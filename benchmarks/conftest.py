@@ -1,0 +1,24 @@
+"""Benchmark-suite fixtures (pytest-benchmark).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper artifact (table or figure) and
+asserts its qualitative shape, so the numbers reported by
+pytest-benchmark double as a regression record of the reproduction.
+Fig. 3 benches use reduced sets-per-point; the full 500-set runs are
+available through ``ftmc fig3 --sets 500``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gen.fms import canonical_fms
+from repro.model.task import TaskSet
+
+
+@pytest.fixture(scope="session")
+def fms() -> TaskSet:
+    return canonical_fms()

@@ -1,0 +1,26 @@
+"""Backend-comparison bench: Theorem 4.1's generality, quantified.
+
+Runs the acceptance-per-backend experiment at reduced scale and asserts
+the published domination orderings among the fixed-priority tests.
+"""
+
+from repro.experiments.backend_comparison import run_backend_comparison
+
+UTILIZATIONS = (0.5, 0.7, 0.9)
+SETS = 30
+
+
+def test_bench_backend_comparison(benchmark):
+    result = benchmark(
+        run_backend_comparison, UTILIZATIONS, SETS
+    )
+    by_name = {name: result.column(name) for name in result.columns[1:]}
+
+    # Published domination results, point by point (shared samples).
+    for rtb, mx in zip(by_name["amc-rtb"], by_name["amc-max"]):
+        assert mx >= rtb - 1e-12
+    for smc, rtb in zip(by_name["smc"], by_name["amc-rtb"]):
+        assert rtb >= smc - 1e-12
+
+    # Nothing should be degenerate at moderate load.
+    assert all(by_name[name][0] > 0.3 for name in by_name)

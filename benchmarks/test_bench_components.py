@@ -1,0 +1,71 @@
+"""Micro-benchmarks of the analytical kernels and the simulator.
+
+Not tied to a specific paper artifact; these track the performance of the
+pieces every experiment is built from (and pin the numpy evaluator's
+speedup over the reference implementation of eq. 5).
+"""
+
+import pytest
+
+from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.safety.killing import pfh_lo_killing, pfh_lo_killing_reference
+from repro.safety.pfh import pfh_plain
+from repro.sim.runtime import simulate_ft_result
+
+SPEC = DualCriticalitySpec.from_names("B", "D")
+
+
+def test_bench_pfh_plain(benchmark, fms):
+    profile = ReexecutionProfile.uniform(fms, 3, 2)
+    value = benchmark(pfh_plain, fms, CriticalityRole.HI, profile)
+    assert value < 1e-7
+
+
+def test_bench_pfh_killing_vectorised(benchmark, fms):
+    """The numpy evaluator of eq. (5) over a 10-hour mission."""
+    reexecution = ReexecutionProfile.uniform(fms, 3, 2)
+    adaptation = AdaptationProfile.uniform(fms, 2)
+    value = benchmark(pfh_lo_killing, fms, reexecution, adaptation, 10.0)
+    assert 0.0 < value < 1.0
+
+
+def test_bench_pfh_killing_reference_short_horizon(benchmark, fms):
+    """Reference implementation, kept honest on a 0.2-hour horizon."""
+    reexecution = ReexecutionProfile.uniform(fms, 3, 2)
+    adaptation = AdaptationProfile.uniform(fms, 2)
+    fast = pfh_lo_killing(fms, reexecution, adaptation, 0.2)
+    slow = benchmark(
+        pfh_lo_killing_reference, fms, reexecution, adaptation, 0.2
+    )
+    assert slow == pytest.approx(fast, rel=1e-9)
+
+
+def test_bench_ft_edf_vd(benchmark, fms):
+    result = benchmark(ft_edf_vd, fms)
+    assert not result.success  # killing fails on the FMS (Fig. 1)
+
+
+def test_bench_ft_edf_vd_degradation(benchmark, fms):
+    result = benchmark(ft_edf_vd_degradation, fms, 6.0)
+    assert result.success
+
+
+def test_bench_taskset_generation(benchmark):
+    ts = benchmark(generate_taskset, 0.9, SPEC, 7)
+    assert ts.utilization() == pytest.approx(0.9)
+
+
+def test_bench_simulator_one_minute(benchmark, fms):
+    """Simulate one minute of the FMS under degradation with faults."""
+    result = ft_edf_vd_degradation(fms, 6.0)
+
+    def run():
+        return simulate_ft_result(
+            fms, result, horizon=60_000.0, seed=1, probability_scale=100.0
+        )
+
+    metrics = benchmark(run)
+    assert metrics.deadline_misses(CriticalityRole.HI) == 0

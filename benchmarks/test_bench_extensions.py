@@ -1,0 +1,138 @@
+"""Benches for the library extensions beyond the paper's evaluation.
+
+- overhead sensitivity: how much context-switch cost an FT-S-accepted
+  system absorbs before HI deadlines start slipping (the analytical
+  model charges zero overhead);
+- multi-level FT-S-ML on the four-level avionics system;
+- generator robustness: the Fig. 3a conclusion under UUniFast instead of
+  the Appendix C incremental-fill generator.
+"""
+
+import numpy as np
+
+from repro.core.backends import EDFVDBackend, EDFVDDegradationBackend
+from repro.core.ftmc import ft_edf_vd
+from repro.experiments.tables import example31_taskset
+from repro.model.criticality import CriticalityRole, DO178BLevel, \
+    DualCriticalitySpec
+from repro.multilevel import MLTask, MLTaskSet, ft_schedule_multilevel
+from repro.sim.runtime import build_simulator
+
+
+def test_bench_overhead_sensitivity(benchmark):
+    """Example 3.1 under EDF-VD absorbs small dispatch costs; large ones
+    break it — quantifying the zero-overhead modelling assumption."""
+    taskset = example31_taskset()
+    result = ft_edf_vd(taskset)
+    assert result.success
+
+    def misses_at(costs):
+        outcome = {}
+        for cost in costs:
+            simulator = build_simulator(taskset, result)
+            simulator.context_switch_cost = cost
+            metrics = simulator.run(60_000.0)
+            outcome[cost] = metrics.deadline_misses(CriticalityRole.HI)
+        return outcome
+
+    outcome = benchmark(misses_at, (0.0, 0.1, 0.5, 2.0, 5.0))
+    assert outcome[0.0] == 0
+    assert outcome[0.1] == 0  # small overhead absorbed
+    assert outcome[5.0] > 0   # 5 ms per dispatch clearly breaks it
+    misses = [outcome[c] for c in sorted(outcome)]
+    assert misses == sorted(misses)  # monotone degradation
+
+
+def _avionics() -> MLTaskSet:
+    A, B, C, D = (DO178BLevel.A, DO178BLevel.B, DO178BLevel.C,
+                  DO178BLevel.D)
+    return MLTaskSet(
+        [
+            MLTask("flight-ctl", 50, 50, 2, A, 1e-6),
+            MLTask("autopilot", 100, 100, 5, B, 1e-5),
+            MLTask("nav", 200, 200, 10, B, 1e-5),
+            MLTask("flightplan", 500, 500, 60, C, 1e-5),
+            MLTask("display", 250, 250, 25, C, 1e-5),
+            MLTask("maint-log", 1000, 1000, 250, D, 1e-5),
+        ],
+        name="avionics",
+    )
+
+
+def test_bench_multilevel(benchmark):
+    """Four-level FT-S-ML: killing protects A/B/C, degradation can adapt
+    C too — the paper's dual-criticality insight generalised."""
+
+    def run():
+        system = _avionics()
+        return (
+            ft_schedule_multilevel(system, EDFVDBackend()),
+            ft_schedule_multilevel(system, EDFVDDegradationBackend(6.0)),
+        )
+
+    kill, degrade = benchmark(run)
+    assert kill.success and kill.boundary is DO178BLevel.C
+    assert degrade.success and degrade.boundary is DO178BLevel.B
+    assert degrade.pfh_adapted[DO178BLevel.C] < 1e-5
+
+
+def test_bench_multicore_scaling(benchmark):
+    """FT-MP acceptance grows with the processor count; m=1 reduces to
+    the paper's uniprocessor FT-S."""
+    from repro.gen.taskset import generate_taskset
+    from repro.multicore import ft_schedule_partitioned
+
+    spec = DualCriticalitySpec.from_names("B", "D")
+
+    def run():
+        acceptance = {}
+        for m in (1, 2, 4):
+            accepted = 0
+            for seed in range(25):
+                taskset = generate_taskset(1.4, spec, seed)
+                if ft_schedule_partitioned(
+                    taskset, m, EDFVDBackend()
+                ).success:
+                    accepted += 1
+            acceptance[m] = accepted / 25
+        return acceptance
+
+    acceptance = benchmark(run)
+    assert acceptance[1] <= acceptance[2] <= acceptance[4]
+    assert acceptance[4] > acceptance[1]
+
+
+def test_bench_generator_robustness(benchmark):
+    """Fig. 3a's conclusion (killing widens the region when LO in {D,E})
+    must not depend on the Appendix C generator: it holds under UUniFast
+    too."""
+    from repro.analysis.edf import schedulable_without_adaptation
+    from repro.core.profiles import minimal_reexecution_profiles
+    from repro.gen.taskset import uunifast_taskset
+    from repro.model.faults import ReexecutionProfile
+
+    spec = DualCriticalitySpec.from_names("B", "D")
+
+    def run():
+        baseline_ok = adapted_ok = total = 0
+        for point, utilization in enumerate((0.6, 0.8)):
+            for index in range(40):
+                rng = np.random.default_rng([point, index])
+                taskset = uunifast_taskset(8, utilization, spec, rng)
+                profiles = minimal_reexecution_profiles(taskset)
+                if profiles is None:
+                    total += 1
+                    continue
+                reexecution = ReexecutionProfile.uniform(
+                    taskset, profiles.n_hi, profiles.n_lo
+                )
+                base = schedulable_without_adaptation(taskset, reexecution)
+                adapted = base or ft_edf_vd(taskset).success
+                baseline_ok += base
+                adapted_ok += adapted
+                total += 1
+        return baseline_ok, adapted_ok, total
+
+    baseline_ok, adapted_ok, total = benchmark(run)
+    assert adapted_ok >= baseline_ok
+    assert adapted_ok - baseline_ok >= 0.1 * total  # a clear gap remains

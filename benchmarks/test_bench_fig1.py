@@ -1,0 +1,28 @@
+"""Bench regenerating Fig. 1 (ID F1): task killing on the FMS."""
+
+import math
+
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_sweep(benchmark, fms):
+    """F1: U_MC grows with n'; schedulable iff n' <= 2; pfh(LO) ~ 1e-1 at
+    n' = 2; safe region disjoint from the schedulable region."""
+    result = benchmark(run_fig1, fms)
+
+    n_primes = result.column("n_prime")
+    u_mc = result.column("u_mc")
+    pfh = result.column("pfh_lo")
+    sched = dict(zip(n_primes, result.column("schedulable")))
+    safe = dict(zip(n_primes, result.column("safe")))
+
+    # Shape: U_MC increasing, pfh decreasing.
+    assert u_mc == sorted(u_mc)
+    assert pfh == sorted(pfh, reverse=True)
+    # Regions exactly as the paper reports for its instance.
+    assert sched[1] and sched[2] and not sched[3]
+    assert not safe[2] and safe[3]
+    # Order of magnitude at n' = 2 (paper: 1e-1).
+    values = dict(zip(n_primes, pfh))
+    assert -1.0 <= math.log10(values[2]) <= 0.0

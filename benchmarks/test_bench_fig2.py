@@ -1,0 +1,33 @@
+"""Bench regenerating Fig. 2 (ID F2): service degradation on the FMS."""
+
+import math
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_sweep(benchmark, fms):
+    """F2: same schedulable region as Fig. 1, but pfh(LO) ~ 1e-11 at
+    n' = 2 — the safe and schedulable regions overlap and FT-S succeeds."""
+    result = benchmark(run_fig2, fms)
+
+    n_primes = result.column("n_prime")
+    sched = dict(zip(n_primes, result.column("schedulable")))
+    values = dict(zip(n_primes, result.column("pfh_lo")))
+
+    assert sched[1] and sched[2] and not sched[3]
+    assert all(result.column("safe"))
+    assert -12.0 <= math.log10(values[2]) <= -10.0
+    assert "SUCCESS with n'_HI=2" in " ".join(result.notes)
+
+
+def test_fig1_vs_fig2_safety_gap(benchmark, fms):
+    """Headline Section 5.1 comparison: degradation ~10 orders safer."""
+    from repro.experiments.fig1 import run_fig1
+
+    def both():
+        return run_fig1(fms), run_fig2(fms)
+
+    fig1, fig2 = benchmark(both)
+    kill = dict(zip(fig1.column("n_prime"), fig1.column("pfh_lo")))
+    degrade = dict(zip(fig2.column("n_prime"), fig2.column("pfh_lo")))
+    assert math.log10(kill[2]) - math.log10(degrade[2]) > 8.0

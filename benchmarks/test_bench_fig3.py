@@ -1,0 +1,86 @@
+"""Benches regenerating the four Fig. 3 panels (IDs F3a-F3d).
+
+Each bench runs a reduced version of the paper's sweep (fewer sets per
+data point and a coarser utilization grid) and asserts the qualitative
+conclusions of Section 5.2.  The paper-scale run (500 sets/point, both
+failure probabilities) is exposed through ``ftmc fig3``.
+"""
+
+from repro.experiments.fig3 import FIG3_PANELS, run_fig3_panel
+
+UTILIZATIONS = (0.4, 0.6, 0.8, 1.0)
+SETS = 60
+F = 1e-5
+
+
+def _series(result):
+    return (
+        result.column("acceptance_without"),
+        result.column("acceptance_with"),
+    )
+
+
+def test_fig3a_killing_lo_de(benchmark):
+    """F3a: killing widens the region considerably when LO in {D, E}."""
+    result = benchmark(
+        run_fig3_panel, FIG3_PANELS["a"], F, UTILIZATIONS, SETS
+    )
+    without, with_adapt = _series(result)
+    assert all(w >= wo for w, wo in zip(with_adapt, without))
+    assert sum(with_adapt) - sum(without) > 0.3  # a substantial gap
+
+
+def test_fig3b_killing_lo_c(benchmark):
+    """F3b: killing rarely helps when LO tasks are level C."""
+    result = benchmark(
+        run_fig3_panel, FIG3_PANELS["b"], F, UTILIZATIONS, SETS
+    )
+    without, with_adapt = _series(result)
+    assert all(w >= wo for w, wo in zip(with_adapt, without))
+    assert sum(with_adapt) - sum(without) < 0.25  # nearly no gap
+
+
+def test_fig3c_degradation_lo_de(benchmark):
+    """F3c: degradation widens the region when LO in {D, E}.
+
+    The gap is smaller than killing's (eq. 12 keeps the degraded LO load
+    ``U_LO^LO / (df - 1)`` in HI mode, where killing drops it entirely) but
+    must be clearly positive.
+    """
+    result = benchmark(
+        run_fig3_panel, FIG3_PANELS["c"], F, UTILIZATIONS, SETS
+    )
+    without, with_adapt = _series(result)
+    assert all(w >= wo for w, wo in zip(with_adapt, without))
+    assert sum(with_adapt) - sum(without) > 0.15
+
+
+def test_fig3d_degradation_lo_c(benchmark):
+    """F3d: degradation still helps when LO is level C — unlike killing."""
+    kill = run_fig3_panel(FIG3_PANELS["b"], F, UTILIZATIONS, SETS)
+    result = benchmark(
+        run_fig3_panel, FIG3_PANELS["d"], F, UTILIZATIONS, SETS
+    )
+    without, with_adapt = _series(result)
+    degrade_gain = sum(with_adapt) - sum(without)
+    kill_gain = sum(kill.column("acceptance_with")) - sum(
+        kill.column("acceptance_without")
+    )
+    assert degrade_gain >= kill_gain
+
+
+def test_fig3_hardware_quality(benchmark):
+    """Fig. 3 cross-cut: decreasing f improves schedulability."""
+
+    def run_both():
+        coarse = run_fig3_panel(FIG3_PANELS["a"], 1e-3, (0.5, 0.7), 40)
+        fine = run_fig3_panel(FIG3_PANELS["a"], 1e-5, (0.5, 0.7), 40)
+        return coarse, fine
+
+    coarse, fine = benchmark(run_both)
+    assert sum(fine.column("acceptance_with")) >= sum(
+        coarse.column("acceptance_with")
+    )
+    assert sum(fine.column("acceptance_without")) >= sum(
+        coarse.column("acceptance_without")
+    )

@@ -1,0 +1,39 @@
+"""Sensitivity benches: df, OS and P_HI sweeps on the pinned FMS.
+
+Quantify the constants the paper fixes without exploration (df = 6,
+OS = 10 h, P_HI = 0.2) — part of the DESIGN.md ablation plan.
+"""
+
+
+
+from repro.experiments.sensitivity import (
+    sweep_degradation_factor,
+    sweep_operation_hours,
+    sweep_p_hi,
+)
+
+
+def test_bench_df_sweep(benchmark, fms):
+    """The FMS needs df >= 3; the paper's df = 6 is comfortably inside."""
+    result = benchmark(sweep_degradation_factor, fms)
+    outcome = dict(zip(result.column("df"), result.column("success")))
+    assert not outcome[2.0] and outcome[3.0] and outcome[6.0]
+
+
+def test_bench_os_sweep(benchmark, fms):
+    """Both adapted LO bounds grow ~linearly with the mission duration."""
+    result = benchmark(sweep_operation_hours, fms)
+    kills = result.column("pfh_lo_killing")
+    assert kills == sorted(kills)
+    # Roughly linear growth: the 10 h bound is ~10x the 1 h bound.
+    ratio = kills[-1] / kills[0]
+    assert 8.0 < ratio < 12.0
+
+
+def test_bench_p_hi_sweep(benchmark):
+    """Acceptance falls as the HI-task share (and its 3x budget) grows."""
+    result = benchmark(
+        sweep_p_hi, 0.8, (0.1, 0.3, 0.6), 40
+    )
+    acceptance = result.column("acceptance")
+    assert acceptance[0] >= acceptance[-1]

@@ -1,0 +1,47 @@
+"""Benches regenerating Tables 1-4 and Examples 3.1/4.1 (IDs T1-T4)."""
+
+import math
+
+import pytest
+
+from repro.experiments.tables import (
+    table1,
+    table2_example31,
+    table3_example41,
+    table4_fms,
+)
+
+
+def test_table1(benchmark):
+    """T1: DO-178B PFH requirements."""
+    result = benchmark(table1)
+    ceilings = dict(zip(result.column("level"), result.column("pfh_requirement")))
+    assert ceilings == {
+        "A": 1e-9, "B": 1e-7, "C": 1e-5,
+        "D": math.inf, "E": math.inf,
+    }
+
+
+def test_table2_example31(benchmark):
+    """T2/E31: the motivating example — pfh(HI)=2.04e-10, U=1.08595."""
+    result = benchmark(table2_example31)
+    notes = " ".join(result.notes)
+    assert "2.040e-10" in notes
+    assert "1.08595" in notes
+    assert "n_HI=3" in notes
+
+
+def test_table3_example41(benchmark):
+    """T3/E41: the Lemma 4.1 conversion is EDF-VD schedulable."""
+    result = benchmark(table3_example41)
+    assert result.column("C(HI)") == [15.0, 12.0, 7.0, 6.0, 8.0]
+    assert result.column("C(LO)") == [10.0, 8.0, 7.0, 6.0, 8.0]
+    assert "schedulable: True" in " ".join(result.notes)
+
+
+def test_table4_fms(benchmark):
+    """T4: the FMS instance conforms to the Table 4 ranges."""
+    result = benchmark(table4_fms)
+    assert len(result.rows) == 11
+    levels = result.column("chi(DO-178B)")
+    assert levels.count("B") == 7 and levels.count("C") == 4

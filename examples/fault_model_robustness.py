@@ -1,0 +1,80 @@
+"""Robustness of the safety bounds to the independence assumption.
+
+The paper's fault model assumes each execution fails *independently* with
+probability f, which gives the per-round failure probability f^n behind
+every PFH bound.  This study asks: what happens when faults are bursty
+(positively correlated), as radiation events spanning several executions
+would be?
+
+Using the two-state Markov fault injector at the *same average rate*, it
+measures the per-round failure rate of a probe task for increasing burst
+lengths and compares against the independent-model prediction f^n.
+
+Expected outcome: independent faults respect f^n; bursts inflate the
+round-failure rate by orders of magnitude — re-execution still helps, but
+certifying against correlated faults requires burst-aware bounds (outside
+the paper's model; an honest threat to validity).
+
+Run:  python examples/fault_model_robustness.py
+"""
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import FaultToleranceConfig, ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.fault_injection import BernoulliFaultInjector, BurstyFaultInjector
+from repro.sim.policies import EDFPolicy
+
+AVERAGE_F = 0.05
+ATTEMPTS = 2
+HORIZON = 2_000_000.0  # 20000 probe jobs
+
+
+def measure(injector) -> tuple[float, int]:
+    probe = Task("probe", 100, 100, 10, CriticalityRole.HI, AVERAGE_F)
+    filler = Task("idle", 100_000, 100_000, 1, CriticalityRole.LO, 0.0)
+    system = TaskSet(
+        [probe, filler], DualCriticalitySpec.from_names("B", "D")
+    )
+    config = FaultToleranceConfig(
+        reexecution=ReexecutionProfile({"probe": ATTEMPTS, "idle": 1})
+    )
+    metrics = Simulator(system, EDFPolicy(), config, injector).run(HORIZON)
+    counters = metrics.counters("probe")
+    return counters.fault_exhausted / counters.released, counters.released
+
+
+def main() -> None:
+    prediction = AVERAGE_F**ATTEMPTS
+    print(f"probe task: f = {AVERAGE_F}, n = {ATTEMPTS} attempts; "
+          f"independent model predicts f^n = {prediction:.2e} per round\n")
+    print(f"{'fault process':<34}{'round failure rate':>20}{'vs f^n':>10}")
+    print("-" * 64)
+
+    rate, released = measure(BernoulliFaultInjector(seed=1))
+    print(f"{'independent (Bernoulli)':<34}{rate:>20.2e}"
+          f"{rate / prediction:>9.1f}x")
+
+    for switchiness, label in ((0.2, "short bursts"),
+                               (0.05, "medium bursts"),
+                               (0.01, "long bursts")):
+        injector = BurstyFaultInjector(
+            AVERAGE_F, burst_probability=0.9,
+            switchiness=switchiness, seed=1,
+        )
+        rate, _ = measure(injector)
+        print(f"{f'bursty ({label}, s={switchiness})':<34}"
+              f"{rate:>20.2e}{rate / prediction:>9.1f}x")
+
+    print(f"\n({released} probe rounds per configuration)")
+    print(
+        "\nTakeaway: the f^n bound — and with it eq. (2)'s PFH — holds "
+        "only under the\npaper's independence assumption.  Correlated "
+        "bursts at the same average rate\ninflate round failures by "
+        "orders of magnitude; burst-aware certification\nneeds fault "
+        "models beyond this paper's."
+    )
+
+
+if __name__ == "__main__":
+    main()

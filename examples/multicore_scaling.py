@@ -1,0 +1,58 @@
+"""Partitioned multiprocessor scaling study.
+
+The paper is a uniprocessor analysis; this example exercises the
+library's partitioned extension (FT-MP): how the acceptance ratio of
+heavily loaded fault-tolerant systems grows with the processor count,
+and what a concrete partition looks like.
+
+Run:  python examples/multicore_scaling.py
+"""
+
+import numpy as np
+
+from repro.core.backends import EDFVDBackend
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import DualCriticalitySpec
+from repro.multicore import ft_schedule_partitioned
+
+SPEC = DualCriticalitySpec.from_names("B", "D")
+UTILIZATIONS = (0.8, 1.2, 1.6, 2.4)
+PROCESSORS = (1, 2, 4)
+SETS = 40
+
+
+def main() -> None:
+    backend = EDFVDBackend()
+
+    print("acceptance ratio by raw utilization and processor count "
+          f"({SETS} sets/cell):\n")
+    header = f"{'U':>6} " + " ".join(f"{f'm={m}':>8}" for m in PROCESSORS)
+    print(header)
+    print("-" * len(header))
+    for point, utilization in enumerate(UTILIZATIONS):
+        row = [f"{utilization:>6.2f}"]
+        for m in PROCESSORS:
+            accepted = 0
+            for index in range(SETS):
+                rng = np.random.default_rng([point, index])
+                taskset = generate_taskset(utilization, SPEC, rng)
+                if ft_schedule_partitioned(taskset, m, backend).success:
+                    accepted += 1
+            row.append(f"{accepted / SETS:>8.2f}")
+        print(" ".join(row))
+
+    # A concrete partition for inspection.
+    taskset = generate_taskset(1.6, SPEC, 7)
+    result = ft_schedule_partitioned(taskset, 2, backend)
+    assert result.success
+    print(f"\nexample partition of a U = 1.6 system on 2 processors "
+          f"(n'={result.adaptation}):")
+    print(result.partition.describe())
+    print("\nEvery processor is an independent instance of the paper's "
+          "uniprocessor problem;\nthe safety bounds (eqs. 2/5/7) are "
+          "processor-count independent because the\nmode-switch trigger "
+          "is global.")
+
+
+if __name__ == "__main__":
+    main()

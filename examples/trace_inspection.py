@@ -1,0 +1,76 @@
+"""Inspecting a fault-tolerant schedule with the trace recorder.
+
+Builds a small dual-criticality system, scripts a transient-fault burst
+that drives a HI task into its third execution, and renders the resulting
+schedule as an ASCII Gantt chart — showing the re-executions, the mode
+switch and the killing of the LO tasks.
+
+Run:  python examples/trace_inspection.py
+"""
+
+from repro import (
+    AdaptationProfile,
+    CriticalityRole,
+    DualCriticalitySpec,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+    Task,
+    TaskSet,
+)
+from repro.sim import (
+    EDFVDPolicy,
+    ScriptedFaultInjector,
+    Simulator,
+    TraceEventKind,
+    TraceRecorder,
+)
+
+
+def main() -> None:
+    spec = DualCriticalitySpec.from_names("B", "D")
+    tasks = [
+        Task("ctrl", period=100, deadline=100, wcet=15,
+             criticality=CriticalityRole.HI, failure_probability=1e-5),
+        Task("telemetry", period=80, deadline=80, wcet=10,
+             criticality=CriticalityRole.LO, failure_probability=1e-5),
+        Task("display", period=150, deadline=150, wcet=25,
+             criticality=CriticalityRole.LO, failure_probability=1e-5),
+    ]
+    system = TaskSet(tasks, spec, name="trace-demo")
+    config = FaultToleranceConfig(
+        reexecution=ReexecutionProfile.uniform(system, n_hi=3, n_lo=1),
+        adaptation=AdaptationProfile.uniform(system, 2),  # kill at attempt 3
+    )
+
+    # Script: ctrl's second job faults twice -> third attempt -> mode
+    # switch -> telemetry/display are killed from then on.
+    injector = ScriptedFaultInjector(
+        {"ctrl": [False, True, True, False]}
+    )
+    trace = TraceRecorder()
+    simulator = Simulator(
+        system, EDFVDPolicy(0.6), config, injector, trace=trace
+    )
+    metrics = simulator.run(600.0)
+
+    print("schedule (one row per task, # = executing, | = mode switch):\n")
+    print(trace.gantt(until=600.0))
+    print()
+    print("events:")
+    for event in trace.events:
+        if event.kind in (TraceEventKind.FAULT, TraceEventKind.KILL,
+                          TraceEventKind.MODE_SWITCH):
+            print(f"  t={event.time:6.1f}  {event.kind.value:<12} {event.task}"
+                  + (f" (attempt {event.attempt})" if event.attempt else ""))
+    print()
+    print(metrics.describe())
+
+    assert metrics.hi_mode_entered
+    assert metrics.deadline_misses(CriticalityRole.HI) == 0
+    print("\nOK: the HI task absorbed two faults and never missed; the LO "
+          "tasks were killed at the mode switch, exactly as the model "
+          "prescribes.")
+
+
+if __name__ == "__main__":
+    main()

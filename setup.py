@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+The offline environment lacks `wheel`, which setuptools' PEP 660 editable
+backend requires; this shim lets `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain `pip install -e .` on newer stacks) work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

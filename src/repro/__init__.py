@@ -1,0 +1,98 @@
+"""ftmc — fault-tolerant mixed-criticality scheduling.
+
+A full reproduction of P. Huang, H. Yang, L. Thiele, *"On the Scheduling
+of Fault-Tolerant Mixed-Criticality Systems"* (TIK Report 351 / DAC 2014):
+the safety (PFH) quantification of Lemmas 3.1-3.4, the problem conversion
+of Lemma 4.1, the FT-S scheduling algorithm (Algorithms 1-2) with
+pluggable mixed-criticality backends, a discrete-event fault-injection
+simulator, and the paper's complete experimental evaluation (Tables 1-4,
+Figures 1-3).
+
+Quickstart::
+
+    from repro import (
+        CriticalityRole, DualCriticalitySpec, Task, TaskSet, ft_edf_vd,
+    )
+
+    tasks = [
+        Task("ctrl", period=60, deadline=60, wcet=5,
+             criticality=CriticalityRole.HI, failure_probability=1e-5),
+        Task("log", period=40, deadline=40, wcet=7,
+             criticality=CriticalityRole.LO, failure_probability=1e-5),
+    ]
+    system = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+    result = ft_edf_vd(system)
+    assert result.success
+"""
+
+from repro.core import (
+    AMCBackend,
+    EDFVDBackend,
+    EDFVDDegradationBackend,
+    FTSFailure,
+    FTSResult,
+    SchedulerBackend,
+    convert,
+    convert_uniform,
+    ft_edf_vd,
+    ft_edf_vd_degradation,
+    ft_schedule,
+)
+from repro.model import (
+    HOUR_MS,
+    AdaptationProfile,
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+    FaultToleranceConfig,
+    MCTask,
+    MCTaskSet,
+    ReexecutionProfile,
+    Task,
+    TaskSet,
+)
+from repro.io import load_taskset, save_taskset
+from repro.report import AnalysisReport, analyse_system, render_report
+from repro.safety import (
+    pfh_lo_degradation,
+    pfh_lo_killing,
+    pfh_plain,
+    survival_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AMCBackend",
+    "EDFVDBackend",
+    "EDFVDDegradationBackend",
+    "FTSFailure",
+    "FTSResult",
+    "SchedulerBackend",
+    "convert",
+    "convert_uniform",
+    "ft_edf_vd",
+    "ft_edf_vd_degradation",
+    "ft_schedule",
+    "HOUR_MS",
+    "AdaptationProfile",
+    "CriticalityRole",
+    "DO178BLevel",
+    "DualCriticalitySpec",
+    "FaultToleranceConfig",
+    "MCTask",
+    "MCTaskSet",
+    "ReexecutionProfile",
+    "Task",
+    "TaskSet",
+    "pfh_lo_degradation",
+    "pfh_lo_killing",
+    "pfh_plain",
+    "survival_probability",
+    "load_taskset",
+    "save_taskset",
+    "AnalysisReport",
+    "analyse_system",
+    "render_report",
+    "__version__",
+]

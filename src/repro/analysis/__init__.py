@@ -1,0 +1,87 @@
+"""Schedulability analyses: classical EDF/FP and mixed-criticality tests."""
+
+from repro.analysis.amc import (
+    amc_rtb_response_times,
+    amc_rtb_schedulable,
+    amc_rtb_schedulable_with_order,
+)
+from repro.analysis.amc_max import (
+    amc_max_response_times,
+    amc_max_schedulable,
+    amc_max_schedulable_with_order,
+)
+from repro.analysis.dbf_mc import (
+    DbfMCAnalysis,
+    dbf_mc_analyse,
+    dbf_mc_schedulable,
+)
+from repro.analysis.smc import (
+    smc_response_times,
+    smc_schedulable,
+    smc_schedulable_with_order,
+)
+from repro.analysis.edf import (
+    Workload,
+    demand_bound_function,
+    edf_processor_demand_test,
+    edf_schedulable,
+    edf_utilization_test,
+    inflated_workload,
+    schedulable_without_adaptation,
+    workload_from_taskset,
+)
+from repro.analysis.edf_vd import (
+    EDFVDAnalysis,
+    edf_vd_schedulable,
+    edf_vd_utilization,
+    edf_vd_x,
+)
+from repro.analysis.edf_vd_degradation import (
+    EDFVDDegradationAnalysis,
+    edf_vd_degradation_schedulable,
+    edf_vd_degradation_utilization,
+)
+from repro.analysis.qpa import qpa_schedulable
+from repro.analysis.fixed_priority import (
+    audsley_assignment,
+    deadline_monotonic_order,
+    dm_schedulable,
+    response_time,
+    rta_schedulable,
+)
+
+__all__ = [
+    "amc_max_response_times",
+    "amc_max_schedulable",
+    "amc_max_schedulable_with_order",
+    "smc_response_times",
+    "smc_schedulable",
+    "smc_schedulable_with_order",
+    "DbfMCAnalysis",
+    "dbf_mc_analyse",
+    "dbf_mc_schedulable",
+    "amc_rtb_response_times",
+    "amc_rtb_schedulable",
+    "amc_rtb_schedulable_with_order",
+    "Workload",
+    "demand_bound_function",
+    "edf_processor_demand_test",
+    "edf_schedulable",
+    "edf_utilization_test",
+    "inflated_workload",
+    "schedulable_without_adaptation",
+    "workload_from_taskset",
+    "EDFVDAnalysis",
+    "edf_vd_schedulable",
+    "edf_vd_utilization",
+    "edf_vd_x",
+    "EDFVDDegradationAnalysis",
+    "edf_vd_degradation_schedulable",
+    "edf_vd_degradation_utilization",
+    "qpa_schedulable",
+    "audsley_assignment",
+    "deadline_monotonic_order",
+    "dm_schedulable",
+    "response_time",
+    "rta_schedulable",
+]

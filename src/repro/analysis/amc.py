@@ -1,0 +1,146 @@
+"""Adaptive Mixed Criticality (AMC) fixed-priority analysis.
+
+AMC-rtb [Baruah, Burns, Davis, RTSS 2011] is the standard fixed-priority
+response-time test for dual-criticality systems: tasks are scheduled with
+static priorities; when any job exceeds its ``C(LO)`` budget the system
+switches to HI mode and LO tasks are abandoned.
+
+The paper's FT-S template (Algorithm 1) is scheduler-agnostic — Theorem
+4.1 only needs *some* MC-schedulability test ``S`` that is monotone in the
+killing profile.  This module supplies AMC-rtb with Audsley priority
+assignment so the experiments can ablate the EDF-VD backend against a
+fixed-priority one.
+
+Response-time bounds (constrained deadlines):
+
+- LO-mode, all tasks::
+
+      R_i^LO = C_i(LO) + sum_{j in hp(i)} ceil(R_i^LO / T_j) * C_j(LO)
+
+- HI-mode (mode switch inside the busy period), HI tasks only::
+
+      R_i^HI = C_i(HI) + sum_{j in hpH(i)} ceil(R_i^HI / T_j) * C_j(HI)
+                       + sum_{k in hpL(i)} ceil(R_i^LO / T_k) * C_k(LO)
+
+where ``hpH``/``hpL`` split the higher-priority tasks by criticality.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.fixed_priority import audsley_assignment
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+
+__all__ = [
+    "amc_rtb_response_times",
+    "amc_rtb_schedulable_with_order",
+    "amc_rtb_schedulable",
+]
+
+_MAX_ITERATIONS = 100_000
+
+
+def _fixed_point(initial: float, step, bound: float) -> float | None:
+    """Iterate ``r = step(r)`` from ``initial`` until convergence or > bound."""
+    r = initial
+    for _ in range(_MAX_ITERATIONS):
+        r_next = step(r)
+        if r_next > bound + 1e-9:
+            return None
+        if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+            return r_next
+        r = r_next
+    return None
+
+
+def _ceil(x: float) -> float:
+    return math.ceil(x - 1e-12)
+
+
+def amc_rtb_response_times(
+    ordered: Sequence[MCTask],
+) -> tuple[list[float | None], list[float | None]]:
+    """LO- and HI-mode response times for tasks in priority order.
+
+    ``ordered[0]`` has the highest priority.  Returns two parallel lists:
+    LO-mode response times for every task, and HI-mode response times for
+    HI tasks (``None`` entries for LO tasks, which are abandoned after the
+    switch).  An entry is ``None`` when the recurrence exceeds the
+    deadline.
+    """
+    for t in ordered:
+        if t.deadline > t.period + 1e-9:
+            raise ValueError(
+                f"AMC-rtb requires constrained deadlines; {t.name} has "
+                f"D={t.deadline} > T={t.period}"
+            )
+    r_lo: list[float | None] = []
+    for i, task in enumerate(ordered):
+        hp = ordered[:i]
+
+        def step(r: float, task=task, hp=hp) -> float:
+            return task.wcet_lo + sum(
+                _ceil(r / j.period) * j.wcet_lo for j in hp
+            )
+
+        r_lo.append(_fixed_point(task.wcet_lo, step, task.deadline))
+
+    r_hi: list[float | None] = []
+    for i, task in enumerate(ordered):
+        if task.criticality is not CriticalityRole.HI:
+            r_hi.append(None)
+            continue
+        if r_lo[i] is None:
+            r_hi.append(None)
+            continue
+        hp_hi = [j for j in ordered[:i] if j.criticality is CriticalityRole.HI]
+        hp_lo = [j for j in ordered[:i] if j.criticality is CriticalityRole.LO]
+        lo_interference = sum(
+            _ceil(r_lo[i] / k.period) * k.wcet_lo for k in hp_lo
+        )
+
+        def step(r: float, task=task, hp_hi=hp_hi, lo=lo_interference) -> float:
+            return (
+                task.wcet_hi
+                + sum(_ceil(r / j.period) * j.wcet_hi for j in hp_hi)
+                + lo
+            )
+
+        r_hi.append(_fixed_point(task.wcet_hi, step, task.deadline))
+    return r_lo, r_hi
+
+
+def amc_rtb_schedulable_with_order(ordered: Sequence[MCTask]) -> bool:
+    """AMC-rtb feasibility for a *given* priority order."""
+    r_lo, r_hi = amc_rtb_response_times(ordered)
+    for task, lo, hi in zip(ordered, r_lo, r_hi):
+        if lo is None:
+            return False
+        if task.criticality is CriticalityRole.HI and hi is None:
+            return False
+    return True
+
+
+def _feasible_at_lowest(candidate: MCTask, others: Sequence[MCTask]) -> bool:
+    """Audsley priority-level test: ``candidate`` at the lowest priority.
+
+    AMC-rtb is OPA-compatible [Baruah/Burns/Davis]: a task's response-time
+    bounds depend only on the *set* of higher-priority tasks, not their
+    relative order, so Audsley's algorithm applies.
+    """
+    ordered = list(others) + [candidate]
+    r_lo, r_hi = amc_rtb_response_times(ordered)
+    if r_lo[-1] is None:
+        return False
+    if candidate.criticality is CriticalityRole.HI and r_hi[-1] is None:
+        return False
+    return True
+
+
+def amc_rtb_schedulable(mc: MCTaskSet) -> bool:
+    """AMC-rtb feasibility with Audsley's optimal priority assignment."""
+    assignment = audsley_assignment(list(mc), _feasible_at_lowest)
+    return assignment is not None

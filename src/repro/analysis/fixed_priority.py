@@ -1,0 +1,121 @@
+"""Classical fixed-priority schedulability analysis.
+
+Provides the single-criticality machinery reused by the AMC mixed-
+criticality test (:mod:`repro.analysis.amc`) and available as an FT-S
+backend in its own right (the paper's Appendix B remarks that classical
+techniques such as Deadline Monotonic can be integrated):
+
+- exact response-time analysis (RTA) for constrained-deadline sporadic
+  tasks under preemptive fixed-priority scheduling;
+- Deadline-Monotonic (DM) priority assignment, optimal for
+  constrained-deadline synchronous task sets;
+- Audsley's Optimal Priority Assignment (OPA) for tests that are
+  OPA-compatible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+from repro.analysis.edf import Workload
+
+__all__ = [
+    "response_time",
+    "rta_schedulable",
+    "deadline_monotonic_order",
+    "dm_schedulable",
+    "audsley_assignment",
+]
+
+#: Iteration guard for the RTA fixed point.  A diverging response time
+#: exceeds the deadline long before this; the guard only protects against
+#: pathological float inputs.
+_MAX_ITERATIONS: int = 100_000
+
+
+def response_time(
+    task: Workload, higher_priority: Sequence[Workload], limit: float | None = None
+) -> float | None:
+    """Worst-case response time of ``task`` under the given interferers.
+
+    Solves the classical recurrence
+    ``R = C_i + sum_j ceil(R / T_j) * C_j`` by fixed-point iteration.
+    Returns ``None`` when the iteration exceeds ``limit`` (defaults to the
+    task's deadline) — i.e. the task is unschedulable.
+    """
+    bound = task.deadline if limit is None else limit
+    r = task.wcet
+    for _ in range(_MAX_ITERATIONS):
+        interference = sum(
+            math.ceil(r / w.period - 1e-12) * w.wcet for w in higher_priority
+        )
+        r_next = task.wcet + interference
+        if r_next > bound + 1e-9:
+            return None
+        if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+            return r_next
+        r = r_next
+    return None
+
+
+def rta_schedulable(workload: Sequence[Workload]) -> bool:
+    """RTA feasibility of ``workload`` in the given priority order.
+
+    ``workload[0]`` is the highest priority.  Valid for constrained
+    deadlines (``D <= T``); raises otherwise, because the simple recurrence
+    is unsound for arbitrary deadlines.
+    """
+    for w in workload:
+        if w.deadline > w.period + 1e-9:
+            raise ValueError(
+                "RTA requires constrained deadlines; "
+                f"got D={w.deadline} > T={w.period}"
+            )
+    for i, w in enumerate(workload):
+        if response_time(w, workload[:i]) is None:
+            return False
+    return True
+
+
+def deadline_monotonic_order(workload: Sequence[Workload]) -> list[Workload]:
+    """Sort by relative deadline, shortest first (highest priority)."""
+    return sorted(workload, key=lambda w: (w.deadline, w.period, -w.wcet))
+
+
+def dm_schedulable(workload: Sequence[Workload]) -> bool:
+    """RTA under the Deadline-Monotonic priority assignment."""
+    ordered = deadline_monotonic_order(workload)
+    return rta_schedulable(ordered)
+
+
+def audsley_assignment(
+    items: Sequence,
+    feasible_at_lowest: Callable[[object, Sequence], bool],
+) -> list | None:
+    """Audsley's Optimal Priority Assignment.
+
+    Repeatedly searches an item that is feasible at the lowest remaining
+    priority level given that all other remaining items have higher
+    priority.  ``feasible_at_lowest(item, others)`` must implement the
+    priority-level test; it must be OPA-compatible (independent of the
+    relative order of ``others``).
+
+    Returns the items ordered from highest to lowest priority, or ``None``
+    when no complete assignment exists.
+    """
+    remaining = list(items)
+    assigned_low_to_high: list = []
+    while remaining:
+        placed = False
+        for candidate in remaining:
+            others = [x for x in remaining if x is not candidate]
+            if feasible_at_lowest(candidate, others):
+                assigned_low_to_high.append(candidate)
+                remaining = others
+                placed = True
+                break
+        if not placed:
+            return None
+    assigned_low_to_high.reverse()
+    return assigned_low_to_high

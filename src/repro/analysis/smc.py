@@ -1,0 +1,88 @@
+"""Static Mixed Criticality (SMC) fixed-priority analysis.
+
+Vestal's original analysis [RTSS 2007], in the formulation of the
+Burns/Davis review (reference [7] of the paper): priorities are static and
+no mode switch is modelled; instead, each task's interference from a
+higher-priority task ``tau_j`` is budgeted at the *lower* of the two
+criticalities (runtime monitoring stops LO tasks from exceeding
+``C(LO)``):
+
+    ``R_i = C_i(chi_i) + sum_{j in hp(i)} ceil(R_i / T_j) * C_j(min(chi_i, chi_j))``
+
+SMC is the weakest of the fixed-priority MC tests (AMC dominates it) but
+also the cheapest, and it completes the backend spectrum for the
+Theorem 4.1 ablation: utilization-based (EDF-VD), demand-based (dbf-mc),
+response-time static (SMC) and response-time adaptive (AMC-rtb/max).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.analysis.fixed_priority import audsley_assignment
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+
+__all__ = ["smc_response_times", "smc_schedulable_with_order", "smc_schedulable"]
+
+_MAX_ITERATIONS = 100_000
+
+
+def _budget(task: MCTask, level: CriticalityRole) -> float:
+    """``C(min(chi_i, chi_j))`` — the interference budget of SMC."""
+    return task.wcet(CriticalityRole(min(task.criticality, level)))
+
+
+def _own_budget(task: MCTask) -> float:
+    """A task's own budget ``C_i(chi_i)``."""
+    return task.wcet(task.criticality)
+
+
+def smc_response_times(ordered: Sequence[MCTask]) -> list[float | None]:
+    """SMC worst-case response times, highest priority first.
+
+    Entries are ``None`` when the recurrence exceeds the deadline.
+    Requires constrained deadlines (like all simple RTA recurrences).
+    """
+    for t in ordered:
+        if t.deadline > t.period + 1e-9:
+            raise ValueError(
+                f"SMC requires constrained deadlines; {t.name} has "
+                f"D={t.deadline} > T={t.period}"
+            )
+    results: list[float | None] = []
+    for i, task in enumerate(ordered):
+        hp = ordered[:i]
+        own = _own_budget(task)
+        r = own
+        converged: float | None = None
+        for _ in range(_MAX_ITERATIONS):
+            interference = sum(
+                math.ceil(r / j.period - 1e-12) * _budget(j, task.criticality)
+                for j in hp
+            )
+            r_next = own + interference
+            if r_next > task.deadline + 1e-9:
+                break
+            if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+                converged = r_next
+                break
+            r = r_next
+        results.append(converged)
+    return results
+
+
+def smc_schedulable_with_order(ordered: Sequence[MCTask]) -> bool:
+    """SMC feasibility for a given priority order."""
+    return all(r is not None for r in smc_response_times(ordered))
+
+
+def _feasible_at_lowest(candidate: MCTask, others: Sequence[MCTask]) -> bool:
+    ordered = list(others) + [candidate]
+    return smc_response_times(ordered)[-1] is not None
+
+
+def smc_schedulable(mc: MCTaskSet) -> bool:
+    """SMC feasibility under Audsley's optimal priority assignment."""
+    return audsley_assignment(list(mc), _feasible_at_lowest) is not None

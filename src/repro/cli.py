@@ -1,0 +1,238 @@
+"""Command-line interface: ``ftmc <experiment>`` / ``python -m repro``.
+
+Regenerates any table or figure of the paper from the terminal::
+
+    ftmc table1            # DO-178B requirements
+    ftmc table2            # Example 3.1
+    ftmc table3            # Example 4.1 conversion
+    ftmc table4            # FMS instance
+    ftmc fig1              # FMS task-killing sweep (+ ASCII chart)
+    ftmc fig2              # FMS degradation sweep (+ ASCII chart)
+    ftmc fig3 --panels a b --sets 100   # acceptance-ratio curves
+    ftmc all --sets 50     # everything, CSVs into --output-dir
+
+CSV files are written when ``--output-dir`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.experiments.fig1 import render_fig1, run_fig1
+from repro.experiments.fig2 import render_fig2, run_fig2
+from repro.experiments.fig3 import (
+    DEFAULT_FAILURE_PROBABILITIES,
+    DEFAULT_UTILIZATIONS,
+    render_fig3_panel,
+    run_fig3,
+)
+from repro.experiments.results import ExperimentResult
+from repro.experiments.tables import (
+    table1,
+    table2_example31,
+    table3_example41,
+    table4_fms,
+)
+
+__all__ = ["main"]
+
+
+def _emit(result: ExperimentResult, output_dir: str | None, chart: str = "") -> None:
+    print(result.render())
+    if chart:
+        print()
+        print(chart)
+    print()
+    if output_dir:
+        os.makedirs(output_dir, exist_ok=True)
+        path = os.path.join(output_dir, f"{result.name}.csv")
+        result.to_csv(path)
+        print(f"wrote {path}")
+
+
+def _run_tables(args: argparse.Namespace, which: Sequence[str]) -> None:
+    producers = {
+        "table1": table1,
+        "table2": table2_example31,
+        "table3": table3_example41,
+        "table4": table4_fms,
+    }
+    for name in which:
+        _emit(producers[name](), args.output_dir)
+
+
+def _run_fig3(args: argparse.Namespace) -> None:
+    results = run_fig3(
+        panels=args.panels,
+        failure_probabilities=args.failure_probabilities,
+        utilizations=args.utilizations,
+        sets_per_point=args.sets,
+        seed=args.seed,
+    )
+    for result in results.values():
+        _emit(result, args.output_dir, render_fig3_panel(result))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="ftmc",
+        description=(
+            "Reproduce the evaluation of 'On the Scheduling of "
+            "Fault-Tolerant Mixed-Criticality Systems' (DAC 2014)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[
+            "table1", "table2", "table3", "table4",
+            "fig1", "fig2", "fig3", "all", "analyze",
+            "backends", "sensitivity", "validate",
+        ],
+        help=(
+            "paper artifact to regenerate; 'analyze' for a user system; "
+            "'backends'/'sensitivity'/'validate' for the extension studies"
+        ),
+    )
+    parser.add_argument(
+        "--system", default=None, metavar="FILE.json",
+        help="task-set JSON for 'analyze' (see repro.io for the format)",
+    )
+    parser.add_argument(
+        "--operation-hours", type=float, default=10.0,
+        help="mission duration OS for 'analyze' (default 10 h)",
+    )
+    parser.add_argument(
+        "--degradation-factor", type=float, default=6.0,
+        help="service degradation factor df for 'analyze' (default 6)",
+    )
+    parser.add_argument(
+        "--output-dir", default=None, help="directory for CSV exports"
+    )
+    parser.add_argument(
+        "--sets", type=int, default=500,
+        help="task sets per Fig. 3 data point (paper: 500)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--panels", nargs="+", default=["a", "b", "c", "d"],
+        choices=["a", "b", "c", "d"], help="Fig. 3 panels to run",
+    )
+    parser.add_argument(
+        "--failure-probabilities", type=float, nargs="+",
+        default=list(DEFAULT_FAILURE_PROBABILITIES),
+        help="hardware failure probabilities f (paper: 1e-3 1e-5)",
+    )
+    parser.add_argument(
+        "--utilizations", type=float, nargs="+",
+        default=list(DEFAULT_UTILIZATIONS),
+        help="utilization grid for Fig. 3",
+    )
+    return parser
+
+
+def _run_analyze(args: argparse.Namespace) -> int:
+    from repro.io import load_taskset
+    from repro.report import analyse_system, render_report
+
+    if args.system is None:
+        print("error: 'analyze' needs --system FILE.json", file=sys.stderr)
+        return 2
+    taskset = load_taskset(args.system)
+    report = analyse_system(
+        taskset,
+        operation_hours=args.operation_hours,
+        degradation_factor=args.degradation_factor,
+    )
+    print(render_report(report))
+    return 0 if report.feasible else 1
+
+
+def _run_backends(args: argparse.Namespace) -> None:
+    from repro.experiments.backend_comparison import (
+        render_backend_comparison,
+        run_backend_comparison,
+    )
+
+    result = run_backend_comparison(
+        sets_per_point=min(args.sets, 200), seed=args.seed
+    )
+    _emit(result, args.output_dir, render_backend_comparison(result))
+
+
+def _run_sensitivity(args: argparse.Namespace) -> None:
+    from repro.experiments.sensitivity import (
+        sweep_degradation_factor,
+        sweep_operation_hours,
+        sweep_p_hi,
+    )
+    from repro.experiments.overhead_study import run_overhead_study
+    from repro.gen.fms import canonical_fms
+
+    fms = canonical_fms()
+    _emit(sweep_degradation_factor(fms), args.output_dir)
+    _emit(sweep_operation_hours(fms), args.output_dir)
+    _emit(
+        sweep_p_hi(sets_per_point=min(args.sets, 200), seed=args.seed),
+        args.output_dir,
+    )
+    _emit(run_overhead_study(seed=args.seed), args.output_dir)
+
+
+def _run_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validation_campaign import run_validation_campaign
+
+    exit_code = 0
+    for mechanism in ("kill", "degrade"):
+        result = run_validation_campaign(
+            sets_per_point=min(args.sets, 50),
+            mechanism=mechanism,
+            seed=args.seed,
+        )
+        _emit(result, args.output_dir)
+        if any(
+            accepted != validated
+            for accepted, validated in zip(
+                result.column("accepted"), result.column("validated")
+            )
+        ):
+            exit_code = 1
+    return exit_code
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "analyze":
+        return _run_analyze(args)
+    if args.experiment == "backends":
+        _run_backends(args)
+        return 0
+    if args.experiment == "sensitivity":
+        _run_sensitivity(args)
+        return 0
+    if args.experiment == "validate":
+        return _run_validate(args)
+    if args.experiment in ("table1", "table2", "table3", "table4"):
+        _run_tables(args, [args.experiment])
+    elif args.experiment == "fig1":
+        result = run_fig1()
+        _emit(result, args.output_dir, render_fig1(result))
+    elif args.experiment == "fig2":
+        result = run_fig2()
+        _emit(result, args.output_dir, render_fig2(result))
+    elif args.experiment == "fig3":
+        _run_fig3(args)
+    else:  # all
+        _run_tables(args, ["table1", "table2", "table3", "table4"])
+        fig1_result = run_fig1()
+        _emit(fig1_result, args.output_dir, render_fig1(fig1_result))
+        fig2_result = run_fig2()
+        _emit(fig2_result, args.output_dir, render_fig2(fig2_result))
+        _run_fig3(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""The paper's primary contribution: problem conversion and FT-S."""
+
+from repro.core.backends import (
+    AMCBackend,
+    AMCMaxBackend,
+    DbfMCBackend,
+    EDFVDBackend,
+    EDFVDDegradationBackend,
+    SchedulerBackend,
+    SMCBackend,
+)
+from repro.core.conversion import convert, convert_uniform
+from repro.core.optimize import (
+    PerTaskAdaptationResult,
+    PerTaskProfileResult,
+    minimal_per_task_reexecution,
+    search_per_task_adaptation,
+)
+from repro.core.ftmc import (
+    DEFAULT_OPERATION_HOURS,
+    FTSFailure,
+    FTSResult,
+    ft_edf_vd,
+    ft_edf_vd_degradation,
+    ft_schedule,
+)
+from repro.core.profiles import (
+    ReexecutionProfiles,
+    maximal_adaptation_profile,
+    minimal_adaptation_profile,
+    minimal_reexecution_profiles,
+    pfh_lo_adapted,
+)
+
+__all__ = [
+    "AMCBackend",
+    "AMCMaxBackend",
+    "SMCBackend",
+    "DbfMCBackend",
+    "PerTaskAdaptationResult",
+    "PerTaskProfileResult",
+    "minimal_per_task_reexecution",
+    "search_per_task_adaptation",
+    "EDFVDBackend",
+    "EDFVDDegradationBackend",
+    "SchedulerBackend",
+    "convert",
+    "convert_uniform",
+    "DEFAULT_OPERATION_HOURS",
+    "FTSFailure",
+    "FTSResult",
+    "ft_edf_vd",
+    "ft_edf_vd_degradation",
+    "ft_schedule",
+    "ReexecutionProfiles",
+    "maximal_adaptation_profile",
+    "minimal_adaptation_profile",
+    "minimal_reexecution_profiles",
+    "pfh_lo_adapted",
+]

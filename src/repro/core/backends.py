@@ -1,0 +1,179 @@
+"""Pluggable mixed-criticality scheduler backends for FT-S.
+
+Theorem 4.1 makes FT-S (Algorithm 1) generic over the conventional
+mixed-criticality scheduling technique ``S``; the only obligations on a
+backend are:
+
+- a schedulability test over converted task sets (Lemma 4.1), and
+- monotonicity in the adaptation profile: decreasing ``n'_HI`` (adapting
+  *earlier*) preserves schedulability — true for every utilization- or
+  response-time-based test shipped here, since ``C(LO)`` budgets shrink.
+
+Backends also declare their adaptation *mechanism* (``"kill"`` vs.
+``"degrade"``), which selects the matching LO-safety bound (eq. 5 vs.
+eq. 7) inside FT-S, and expose the paper's ``U_MC`` load metric when one
+is defined (Algorithm 2 line 11 / eq. 11) for Figs. 1-2.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+from repro.analysis.amc import amc_rtb_schedulable
+from repro.analysis.amc_max import amc_max_schedulable
+from repro.analysis.dbf_mc import dbf_mc_schedulable
+from repro.analysis.smc import smc_schedulable
+from repro.analysis.edf_vd import edf_vd_schedulable, edf_vd_utilization, edf_vd_x
+from repro.analysis.edf_vd_degradation import (
+    edf_vd_degradation_schedulable,
+    edf_vd_degradation_utilization,
+)
+from repro.model.mc_task import MCTaskSet
+
+__all__ = [
+    "SchedulerBackend",
+    "EDFVDBackend",
+    "EDFVDDegradationBackend",
+    "AMCBackend",
+    "AMCMaxBackend",
+    "DbfMCBackend",
+    "SMCBackend",
+]
+
+
+class SchedulerBackend(abc.ABC):
+    """A conventional MC scheduling technique pluggable into FT-S."""
+
+    #: Human-readable backend identifier.
+    name: str = "abstract"
+    #: ``"kill"`` or ``"degrade"`` — the fate of LO tasks after the switch.
+    mechanism: str = "kill"
+
+    @abc.abstractmethod
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        """Sufficient schedulability test for the converted task set."""
+
+    def utilization_metric(self, mc: MCTaskSet) -> float:
+        """``U_MC`` when the backend defines one; ``nan`` otherwise.
+
+        The paper cautions (Section 5.1) that ``U_MC`` values are not
+        comparable across backends with different analyses.
+        """
+        return math.nan
+
+    @property
+    def degradation_factor(self) -> float | None:
+        """``df`` for degrade backends, ``None`` for kill backends."""
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name}>"
+
+
+class EDFVDBackend(SchedulerBackend):
+    """EDF-VD with task killing [Baruah et al. 2012] — Appendix B.0.1.
+
+    The backend used by Algorithm 2 of the paper; schedulability is the
+    utilization test of eq. (10).
+    """
+
+    name = "edf-vd"
+    mechanism = "kill"
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return edf_vd_schedulable(mc)
+
+    def utilization_metric(self, mc: MCTaskSet) -> float:
+        return edf_vd_utilization(mc)
+
+    def virtual_deadline_factor(self, mc: MCTaskSet) -> float | None:
+        """Runtime parameter ``x`` for the simulator (``None`` if unschedulable)."""
+        return edf_vd_x(mc)
+
+
+class EDFVDDegradationBackend(SchedulerBackend):
+    """EDF-VD with service degradation [Huang et al. 2014] — Appendix B.0.2.
+
+    Schedulability is the test of eq. (12); the LO tasks survive the mode
+    switch with periods stretched by ``df``.
+    """
+
+    name = "edf-vd-degradation"
+    mechanism = "degrade"
+
+    def __init__(self, degradation_factor: float) -> None:
+        if degradation_factor <= 1.0:
+            raise ValueError(
+                f"degradation factor must be > 1, got {degradation_factor}"
+            )
+        self._df = degradation_factor
+        self.name = f"edf-vd-degradation(df={degradation_factor:g})"
+
+    @property
+    def degradation_factor(self) -> float:
+        return self._df
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return edf_vd_degradation_schedulable(mc, self._df)
+
+    def utilization_metric(self, mc: MCTaskSet) -> float:
+        return edf_vd_degradation_utilization(mc, self._df)
+
+
+class AMCBackend(SchedulerBackend):
+    """Fixed-priority AMC-rtb with Audsley assignment (library extension).
+
+    Demonstrates the generality claim of Theorem 4.1 with a
+    response-time-based backend; requires constrained deadlines.
+    """
+
+    name = "amc-rtb"
+    mechanism = "kill"
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return amc_rtb_schedulable(mc)
+
+
+class DbfMCBackend(SchedulerBackend):
+    """Demand-bound-function dual-criticality EDF (library extension).
+
+    A simplified Ekberg-Yi-style test (see
+    :mod:`repro.analysis.dbf_mc`); third demonstration of Theorem 4.1's
+    backend generality and the subject of the backend-ablation benchmark.
+    """
+
+    name = "dbf-mc"
+    mechanism = "kill"
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return dbf_mc_schedulable(mc)
+
+
+class SMCBackend(SchedulerBackend):
+    """Vestal's Static Mixed Criticality fixed-priority test (extension).
+
+    The weakest fixed-priority MC test (AMC dominates it); included to
+    complete the backend-ablation spectrum.
+    """
+
+    name = "smc"
+    mechanism = "kill"
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return smc_schedulable(mc)
+
+
+class AMCMaxBackend(SchedulerBackend):
+    """AMC-max: the precise adaptive fixed-priority test (extension).
+
+    Dominates :class:`AMCBackend` (AMC-rtb) at a higher analysis cost —
+    it maximises the HI-mode response time over candidate mode-switch
+    instants.
+    """
+
+    name = "amc-max"
+    mechanism = "kill"
+
+    def is_schedulable(self, mc: MCTaskSet) -> bool:
+        return amc_max_schedulable(mc)

@@ -1,0 +1,88 @@
+"""Problem conversion (Section 4.1, Lemma 4.1).
+
+The central insight of the paper: re-execution generates a list of
+cumulative WCETs for a task, so "kill/degrade LO tasks when a HI instance
+starts its ``(n'+1)``-th execution" can be conservatively re-read as "...
+when a HI task exceeds ``n' * C_i`` units of execution".  This turns the
+fault-tolerant problem into a *conventional* mixed-criticality task set:
+
+- each HI task ``tau_i`` gets ``C_i(HI) = n_i * C_i`` and
+  ``C_i(LO) = n'_i * C_i``;
+- each LO task ``tau_i`` gets ``C_i(LO) = C_i(HI) = n_i * C_i``.
+
+Example 4.1 / Table 3 of the paper instantiate this for the Example 3.1
+task set.  The conversion is conservative: a HI instance observed past
+``n' * C_i`` of execution is certainly in its ``(n'+1)``-th attempt, while
+an attempt that finishes early may under-run the budget (footnote in
+Section 4.1).
+"""
+
+from __future__ import annotations
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.mc_task import MCTask, MCTaskSet
+from repro.model.task import TaskSet
+
+__all__ = ["convert", "convert_uniform"]
+
+
+def convert(
+    taskset: TaskSet,
+    reexecution: ReexecutionProfile,
+    adaptation: AdaptationProfile,
+) -> MCTaskSet:
+    """Build ``Gamma(N, N'_HI)``: the conventional MC task set of Lemma 4.1.
+
+    Parameters
+    ----------
+    taskset:
+        The fault-tolerant dual-criticality task set ``tau``.
+    reexecution:
+        ``N``: per-task maximal execution counts ``n_i``.
+    adaptation:
+        ``N'_HI``: per-HI-task adaptation profiles ``n'_i`` (killing or
+        degradation — the conversion is identical; the mechanism matters
+        only to the scheduler that consumes the converted set).
+
+    Returns
+    -------
+    MCTaskSet
+        Periods, deadlines and criticalities carry over unchanged; WCETs
+        are the cumulative budgets described in the module docstring.
+    """
+    reexecution.validate_for(taskset)
+    adaptation.validate_for(taskset, reexecution)
+    mc_tasks: list[MCTask] = []
+    for task in taskset:
+        n = reexecution[task]
+        if task.criticality is CriticalityRole.HI:
+            wcet_lo = adaptation[task] * task.wcet
+            wcet_hi = n * task.wcet
+        else:
+            wcet_lo = wcet_hi = n * task.wcet
+        mc_tasks.append(
+            MCTask(
+                name=task.name,
+                period=task.period,
+                deadline=task.deadline,
+                wcet_lo=wcet_lo,
+                wcet_hi=wcet_hi,
+                criticality=task.criticality,
+            )
+        )
+    return MCTaskSet(mc_tasks, name=f"{taskset.name}/converted")
+
+
+def convert_uniform(
+    taskset: TaskSet, n_hi: int, n_lo: int, n_prime_hi: int
+) -> MCTaskSet:
+    """``Gamma(n_HI, n_LO, n'_HI)`` under the uniform-profile restriction.
+
+    Section 4.2 of the paper restricts all tasks of a criticality to share
+    one re-execution profile and all HI tasks to share one adaptation
+    profile; this helper builds the corresponding converted set directly.
+    """
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    adaptation = AdaptationProfile.uniform(taskset, n_prime_hi)
+    return convert(taskset, reexecution, adaptation)

@@ -1,0 +1,192 @@
+"""Per-task re-execution profile optimization (ablation of Section 4.2).
+
+The paper simplifies its search space by forcing one re-execution profile
+per criticality level (``forall tau_i, tau_j in tau_chi: n_i = n_j``).
+This module relaxes that restriction: since the plain PFH bound of eq. (2)
+is a *sum of independent per-task terms* ``r_i(n_i, t) * f_i^{n_i}``, a
+per-task profile can reach the same ceiling with strictly less processor
+load whenever tasks differ in period or failure probability.
+
+:func:`minimal_per_task_reexecution` greedily raises, at each step, the
+profile of the task whose load increase buys the largest PFH reduction —
+a Lagrangian-style utility rule.  The result always satisfies the ceiling
+(when reachable) and the ablation benchmark compares its inflated
+utilization against the uniform profile's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.task import HOUR_MS, Task, TaskSet
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, max_rounds
+
+__all__ = [
+    "PerTaskProfileResult",
+    "minimal_per_task_reexecution",
+    "PerTaskAdaptationResult",
+    "search_per_task_adaptation",
+]
+
+
+@dataclass(frozen=True)
+class PerTaskProfileResult:
+    """Outcome of the greedy per-task profile search."""
+
+    profile: ReexecutionProfile
+    pfh: float
+    #: ``sum n_i * C_i / T_i`` over the optimised tasks.
+    inflated_utilization: float
+
+
+def _term(task: Task, n: int, assume_full_wcet: bool) -> float:
+    """One task's eq.-(2) contribution at profile ``n``."""
+    rounds = max_rounds(task, n, HOUR_MS, assume_full_wcet)
+    return rounds * task.failure_probability**n
+
+
+def minimal_per_task_reexecution(
+    taskset: TaskSet,
+    role: CriticalityRole,
+    pfh_ceiling: float,
+    max_n: int = DEFAULT_MAX_REEXECUTIONS,
+    assume_full_wcet: bool = True,
+) -> PerTaskProfileResult | None:
+    """Per-task profiles meeting ``pfh(role) <= ceiling`` at low load.
+
+    Greedy: start from ``n_i = 1`` everywhere; while the summed bound
+    exceeds the ceiling, increment the profile of the task with the best
+    PFH-reduction-per-utilization ratio.  Returns ``None`` when even
+    ``n_i = max_n`` everywhere cannot reach the ceiling.
+
+    The loop terminates: each step strictly decreases some task's term and
+    profiles are bounded by ``max_n``.
+    """
+    tasks = list(taskset.by_criticality(role))
+    if not tasks:
+        return PerTaskProfileResult(ReexecutionProfile({}), 0.0, 0.0)
+
+    profile = {t.name: 1 for t in tasks}
+    terms = {
+        t.name: _term(t, 1, assume_full_wcet) for t in tasks
+    }
+
+    def total() -> float:
+        return sum(terms.values())
+
+    while total() > pfh_ceiling:
+        best_name: str | None = None
+        best_utility = -1.0
+        for task in tasks:
+            n = profile[task.name]
+            if n >= max_n:
+                continue
+            gain = terms[task.name] - _term(task, n + 1, assume_full_wcet)
+            cost = task.utilization  # extra load of one more execution
+            utility = gain / cost if cost > 0 else gain
+            if utility > best_utility:
+                best_utility = utility
+                best_name = task.name
+        if best_name is None or best_utility <= 0.0:
+            return None  # every task saturated and still above the ceiling
+        profile[best_name] += 1
+        task = taskset.task(best_name)
+        terms[best_name] = _term(task, profile[best_name], assume_full_wcet)
+
+    result_profile = ReexecutionProfile(profile)
+    inflated = sum(profile[t.name] * t.utilization for t in tasks)
+    return PerTaskProfileResult(
+        profile=result_profile, pfh=total(), inflated_utilization=inflated
+    )
+
+
+@dataclass(frozen=True)
+class PerTaskAdaptationResult:
+    """Outcome of the per-task adaptation-profile search."""
+
+    success: bool
+    adaptation: AdaptationProfile | None
+    pfh_lo: float
+    reason: str
+
+
+def search_per_task_adaptation(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    backend,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> PerTaskAdaptationResult:
+    """Per-task killing/degradation profiles (relaxing Section 4.2 again).
+
+    The paper shares one ``n'`` across all HI tasks; a per-task profile
+    can instead sacrifice only the *cheapest* task's late re-executions.
+    Greedy search: start from ``n'_i = n_i`` (never adapt), and while the
+    converted set fails the backend test, decrement the ``n'_i`` whose
+    reduction removes the most LO-mode budget (largest ``C_i / T_i``)
+    among tasks still above 1.  The backend's monotonicity makes each
+    decrement a (weak) improvement; on reaching schedulability, the
+    LO-level safety bound is evaluated at the resulting profile.
+
+    Degradation backends use eq. (7), killing backends eq. (5); with an
+    LO level that carries no ceiling the safety check is vacuous.
+    """
+    from repro.core.conversion import convert
+    from repro.safety.degradation import pfh_lo_degradation
+    from repro.safety.killing import pfh_lo_killing
+
+    if taskset.spec is None:
+        raise ValueError("task set has no dual-criticality spec attached")
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    profile = {t.name: n_hi for t in taskset.hi_tasks}
+
+    def schedulable() -> bool:
+        return backend.is_schedulable(
+            convert(taskset, reexecution, AdaptationProfile(profile))
+        )
+
+    while not schedulable():
+        candidates = [
+            t for t in taskset.hi_tasks if profile[t.name] > 1
+        ]
+        if not candidates:
+            return PerTaskAdaptationResult(
+                success=False,
+                adaptation=None,
+                pfh_lo=float("nan"),
+                reason="unschedulable even with every profile at 1",
+            )
+        victim = max(candidates, key=lambda t: t.utilization)
+        profile[victim.name] -= 1
+
+    adaptation = AdaptationProfile(profile)
+    if backend.mechanism == "degrade":
+        pfh_lo = pfh_lo_degradation(
+            taskset, reexecution, adaptation, operation_hours,
+            assume_full_wcet,
+        )
+    else:
+        pfh_lo = pfh_lo_killing(
+            taskset, reexecution, adaptation, operation_hours,
+            assume_full_wcet,
+        )
+    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)
+    if pfh_lo >= ceiling:
+        return PerTaskAdaptationResult(
+            success=False,
+            adaptation=adaptation,
+            pfh_lo=pfh_lo,
+            reason=(
+                f"schedulable profile violates the LO ceiling "
+                f"({pfh_lo:.3e} >= {ceiling:g})"
+            ),
+        )
+    return PerTaskAdaptationResult(
+        success=True,
+        adaptation=adaptation,
+        pfh_lo=pfh_lo,
+        reason="per-task adaptation profile found",
+    )

@@ -1,0 +1,148 @@
+"""Profile searches of Algorithm 1 (FT-S), lines 2, 4 and 8.
+
+Under the uniform-profile restriction of Section 4.2 (one ``n`` per
+criticality, one ``n'`` shared by all HI tasks) the three searches are
+one-dimensional:
+
+- line 2: ``n_chi = inf{n : pfh(chi) <= PFH_chi}`` via eq. (2);
+- line 4: ``n1_HI = inf{n' : pfh(LO) < PFH_LO}`` via eq. (5) (killing) or
+  eq. (7) (degradation) — the smallest adaptation profile that keeps the
+  LO level safe;
+- line 8: ``n2_HI = sup{n' : Gamma(n_HI, n_LO, n') schedulable by S}`` —
+  the largest adaptation profile the scheduler can absorb.
+
+Both pfh-based searches exploit monotonicity in ``n'`` (Lemmas 3.3/3.4:
+larger adaptation profiles can only improve LO safety); the schedulability
+search exploits the backend's monotonicity (smaller ``n'`` can only help).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import SchedulerBackend
+from repro.core.conversion import convert_uniform
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.task import TaskSet
+from repro.safety.degradation import pfh_lo_degradation
+from repro.safety.killing import pfh_lo_killing
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, minimal_uniform_reexecution
+
+__all__ = [
+    "ReexecutionProfiles",
+    "minimal_reexecution_profiles",
+    "pfh_lo_adapted",
+    "minimal_adaptation_profile",
+    "maximal_adaptation_profile",
+]
+
+
+@dataclass(frozen=True)
+class ReexecutionProfiles:
+    """The uniform re-execution profiles ``(n_HI, n_LO)`` of line 2."""
+
+    n_hi: int
+    n_lo: int
+
+
+def minimal_reexecution_profiles(
+    taskset: TaskSet,
+    max_n: int = DEFAULT_MAX_REEXECUTIONS,
+    assume_full_wcet: bool = True,
+) -> ReexecutionProfiles | None:
+    """Line 2 of Algorithm 1: minimal ``n_chi`` meeting each PFH ceiling.
+
+    Uses the ceilings bound by the task set's
+    :class:`~repro.model.criticality.DualCriticalitySpec`.  Returns
+    ``None`` when some level cannot be made safe within ``max_n``
+    re-executions (FT-S then fails regardless of scheduling).
+    """
+    if taskset.spec is None:
+        raise ValueError("task set has no dual-criticality spec attached")
+    profiles = {}
+    for role in (CriticalityRole.HI, CriticalityRole.LO):
+        ceiling = taskset.spec.pfh_requirement(role)
+        n = minimal_uniform_reexecution(
+            taskset, role, ceiling, max_n=max_n, assume_full_wcet=assume_full_wcet
+        )
+        if n is None:
+            return None
+        profiles[role] = n
+    return ReexecutionProfiles(
+        n_hi=profiles[CriticalityRole.HI], n_lo=profiles[CriticalityRole.LO]
+    )
+
+
+def pfh_lo_adapted(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    n_prime: int,
+    mechanism: str,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """LO-level PFH bound with uniform profiles, under kill or degrade.
+
+    Dispatches to eq. (5) (``mechanism="kill"``) or eq. (7)
+    (``mechanism="degrade"``).
+    """
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    adaptation = AdaptationProfile.uniform(taskset, n_prime)
+    if mechanism == "kill":
+        return pfh_lo_killing(
+            taskset, reexecution, adaptation, operation_hours, assume_full_wcet
+        )
+    if mechanism == "degrade":
+        return pfh_lo_degradation(
+            taskset, reexecution, adaptation, operation_hours, assume_full_wcet
+        )
+    raise ValueError(f"unknown adaptation mechanism: {mechanism!r}")
+
+
+def minimal_adaptation_profile(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    mechanism: str,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> int | None:
+    """Line 4 of Algorithm 1: ``n1_HI = inf{n' : pfh(LO) < PFH_LO}``.
+
+    Searches ``n'`` in ``1..n_HI``.  When the LO level carries no
+    quantified requirement (DO-178B levels D/E) the infimum is trivially 1.
+    Returns ``None`` when even ``n' = n_HI`` leaves the LO level unsafe
+    (FT-S line 5/6: FAILURE).
+    """
+    if taskset.spec is None:
+        raise ValueError("task set has no dual-criticality spec attached")
+    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)
+    if not taskset.spec.lo_is_safety_related or not taskset.lo_tasks:
+        return 1
+    for n_prime in range(1, n_hi + 1):
+        value = pfh_lo_adapted(
+            taskset, n_hi, n_lo, n_prime, mechanism, operation_hours,
+            assume_full_wcet,
+        )
+        if value < ceiling:
+            return n_prime
+    return None
+
+
+def maximal_adaptation_profile(
+    taskset: TaskSet, n_hi: int, n_lo: int, backend: SchedulerBackend
+) -> int | None:
+    """Line 8 of Algorithm 1: ``n2_HI = sup{n' : Gamma(...) schedulable}``.
+
+    Scans ``n'`` downward from ``n_HI`` and returns the first schedulable
+    profile (the supremum, by the backend's monotonicity).  Returns
+    ``None`` when even the earliest possible adaptation (``n' = 1``)
+    cannot be scheduled.
+    """
+    for n_prime in range(n_hi, 0, -1):
+        mc = convert_uniform(taskset, n_hi, n_lo, n_prime)
+        if backend.is_schedulable(mc):
+            return n_prime
+    return None

@@ -1,0 +1,89 @@
+"""Minimal ASCII plotting for terminal inspection of reproduced figures.
+
+Not a plotting library — just enough to see the *shape* of each series
+(monotonicity, crossovers, schedulable regions) in a terminal, since the
+offline environment ships no matplotlib.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["line_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _format_tick(value: float) -> str:
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+) -> str:
+    """Render named ``(x, y)`` series on a character grid.
+
+    Each series gets a marker from ``oxq+*...``; non-finite points and, in
+    ``log_y`` mode, non-positive values are skipped.
+    """
+    points: list[tuple[float, float, str]] = []
+    markers: dict[str, str] = {}
+    for i, (name, data) in enumerate(series.items()):
+        marker = _MARKERS[i % len(_MARKERS)]
+        markers[name] = marker
+        for x, y in data:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            if log_y:
+                if y <= 0:
+                    continue
+                y = math.log10(y)
+            points.append((x, y, marker))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    if not points:
+        lines.append("(no finite data points)")
+        return "\n".join(lines)
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if math.isclose(x_lo, x_hi):
+        x_hi = x_lo + 1.0
+    if math.isclose(y_lo, y_hi):
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    y_top = _format_tick(y_hi)
+    y_bottom = _format_tick(y_lo)
+    label_width = max(len(y_top), len(y_bottom))
+    axis_label = f"{y_label}{' (log10)' if log_y else ''}"
+    lines.append(f"{axis_label}:")
+    for i, row_chars in enumerate(grid):
+        if i == 0:
+            prefix = y_top.rjust(label_width)
+        elif i == height - 1:
+            prefix = y_bottom.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    lines.append(f"{' ' * label_width} +{'-' * width}")
+    x_axis = f"{_format_tick(x_lo)}{' ' * max(width - 12, 1)}{_format_tick(x_hi)}"
+    lines.append(f"{' ' * label_width}  {x_axis}  ({x_label})")
+    legend = "  ".join(f"{m}={name}" for name, m in markers.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Figure 1: the impacts of task killing on the FMS (Section 5.1).
+
+Sweeps the killing profile ``n'_HI`` of the HI (level-B) tasks and records
+the mixed-criticality utilization ``U_MC`` (Algorithm 2, line 11) and the
+LO-level PFH bound under killing (eq. 5) for the pinned FMS instance.
+
+Expected qualitative shape (paper):
+
+- ``U_MC`` increases with ``n'`` and the system is schedulable iff
+  ``n' <= 2``;
+- ``pfh(LO)`` decreases with ``n'``; at ``n' = 2`` it has order of
+  magnitude 1e-1 — far above the level-C ceiling 1e-5, so the schedulable
+  region and the safe region are disjoint: task killing cannot serve this
+  FMS safely.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fms_sweep import adaptation_sweep, render_sweep_chart
+from repro.experiments.results import ExperimentResult
+from repro.gen.fms import FMS_OPERATION_HOURS, canonical_fms
+from repro.model.task import TaskSet
+
+__all__ = ["run_fig1", "render_fig1"]
+
+
+def run_fig1(
+    taskset: TaskSet | None = None,
+    operation_hours: float = FMS_OPERATION_HOURS,
+    n_prime_max: int = 4,
+) -> ExperimentResult:
+    """Reproduce the Fig. 1 series on ``taskset`` (default: pinned FMS)."""
+    taskset = taskset or canonical_fms()
+    return adaptation_sweep(
+        taskset,
+        mechanism="kill",
+        operation_hours=operation_hours,
+        n_prime_max=n_prime_max,
+        name="fig1",
+        description="FMS: impacts of task killing (U_MC and pfh(LO) vs n'_HI)",
+    )
+
+
+def render_fig1(result: ExperimentResult | None = None) -> str:
+    """ASCII chart of the Fig. 1 series."""
+    result = result or run_fig1()
+    return render_sweep_chart(result, "Fig. 1 (task killing)")

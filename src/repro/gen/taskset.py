@@ -1,0 +1,215 @@
+"""Random task-set generation (Appendix C.0.5 of the paper).
+
+The paper's generator for the extensive simulations of Fig. 3 is
+parameterised by:
+
+- ``[u-, u+]``: per-task utilization ``C_i/T_i`` drawn uniformly;
+- ``U``: the target system utilization ``sum C_i/T_i``;
+- ``[T-, T+]``: periods drawn uniformly;
+- ``P_HI``: probability that a task is HI-criticality.
+
+Starting from an empty set, random tasks are added until the target
+utilization ``U`` is reached.  The published settings are
+``u- = 0.01, u+ = 0.2, T- = 200 ms, T+ = 2 s, P_HI = 0.2``; tasks have
+implicit deadlines.
+
+:func:`uunifast` (Bini & Buttazzo) is included as a library extension for
+experiments that need an exact utilization with a fixed task count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+__all__ = ["GeneratorConfig", "PAPER_CONFIG", "generate_taskset", "uunifast",
+           "uunifast_taskset"]
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Knobs of the Appendix C random task generator."""
+
+    u_min: float = 0.01
+    u_max: float = 0.2
+    period_min: float = 200.0
+    period_max: float = 2000.0
+    p_hi: float = 0.2
+    failure_probability: float = 1e-5
+    #: When set, per-task failure probabilities are drawn log-uniformly
+    #: from ``[failure_probability, failure_probability_max]`` instead of
+    #: being the constant ``failure_probability`` (the paper's universal
+    #: ``f``).  Library extension for heterogeneous-hardware studies.
+    failure_probability_max: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.u_min < self.u_max <= 1.0:
+            raise ValueError(
+                f"need 0 < u- < u+ <= 1, got [{self.u_min}, {self.u_max}]"
+            )
+        if not 0.0 < self.period_min <= self.period_max:
+            raise ValueError(
+                f"need 0 < T- <= T+, got [{self.period_min}, {self.period_max}]"
+            )
+        if not 0.0 <= self.p_hi <= 1.0:
+            raise ValueError(f"P_HI must be in [0, 1], got {self.p_hi}")
+        if not 0.0 <= self.failure_probability < 1.0:
+            raise ValueError(
+                f"failure probability must be in [0, 1), got "
+                f"{self.failure_probability}"
+            )
+        if self.failure_probability_max is not None:
+            if not (
+                0.0
+                < self.failure_probability
+                <= self.failure_probability_max
+                < 1.0
+            ):
+                raise ValueError(
+                    "need 0 < f_min <= f_max < 1 for a failure-probability "
+                    f"range, got [{self.failure_probability}, "
+                    f"{self.failure_probability_max}]"
+                )
+
+    def draw_failure_probability(self, gen: np.random.Generator) -> float:
+        """One per-task ``f``: the constant, or a log-uniform draw."""
+        if self.failure_probability_max is None:
+            return self.failure_probability
+        log_lo = np.log(self.failure_probability)
+        log_hi = np.log(self.failure_probability_max)
+        return float(np.exp(gen.uniform(log_lo, log_hi)))
+
+
+#: The exact settings used for the experiments of Fig. 3 (Appendix C.0.5).
+PAPER_CONFIG = GeneratorConfig()
+
+
+def generate_taskset(
+    target_utilization: float,
+    spec: DualCriticalitySpec,
+    rng: int | np.random.Generator = 0,
+    config: GeneratorConfig = PAPER_CONFIG,
+    name: str | None = None,
+) -> TaskSet:
+    """One random dual-criticality task set at the target utilization.
+
+    Follows the paper's procedure: add random tasks until ``U`` is
+    reached.  The last task's utilization is clipped so the final system
+    utilization equals ``target_utilization`` exactly (the paper does not
+    specify the overshoot handling; clipping keeps every data point at its
+    nominal x-coordinate and the clipped task within ``[0, u+]``).
+
+    A generated set always contains at least one HI and one LO task — sets
+    without both criticalities are not dual-criticality systems; the
+    criticality of the last tasks is forced when needed.
+    """
+    if target_utilization <= 0:
+        raise ValueError(
+            f"target utilization must be positive, got {target_utilization}"
+        )
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    tasks: list[Task] = []
+    remaining = target_utilization
+    index = 0
+    while remaining > 1e-12:
+        utilization = gen.uniform(config.u_min, config.u_max)
+        utilization = min(utilization, remaining)
+        period = gen.uniform(config.period_min, config.period_max)
+        criticality = (
+            CriticalityRole.HI if gen.random() < config.p_hi else CriticalityRole.LO
+        )
+        tasks.append(
+            Task(
+                name=f"tau{index + 1}",
+                period=period,
+                deadline=period,
+                wcet=utilization * period,
+                criticality=criticality,
+                failure_probability=config.draw_failure_probability(gen),
+            )
+        )
+        remaining -= utilization
+        index += 1
+    _ensure_both_criticalities(tasks, gen)
+    label = name or f"random-U{target_utilization:.3f}"
+    return TaskSet(tasks, spec=spec, name=label)
+
+
+def _ensure_both_criticalities(
+    tasks: list[Task], gen: np.random.Generator
+) -> None:
+    """Flip a random task's criticality if one side is empty."""
+    roles = {t.criticality for t in tasks}
+    if len(tasks) >= 2 and len(roles) == 1:
+        present = roles.pop()
+        index = int(gen.integers(0, len(tasks)))
+        old = tasks[index]
+        tasks[index] = Task(
+            name=old.name,
+            period=old.period,
+            deadline=old.deadline,
+            wcet=old.wcet,
+            criticality=present.other,
+            failure_probability=old.failure_probability,
+        )
+
+
+def uunifast(
+    n_tasks: int, total_utilization: float, rng: int | np.random.Generator = 0
+) -> np.ndarray:
+    """UUniFast [Bini & Buttazzo 2005]: unbiased utilization vectors.
+
+    Returns ``n_tasks`` utilizations summing exactly to
+    ``total_utilization``, uniformly distributed over the simplex.
+    """
+    if n_tasks < 1:
+        raise ValueError(f"need at least one task, got {n_tasks}")
+    if total_utilization <= 0:
+        raise ValueError(
+            f"total utilization must be positive, got {total_utilization}"
+        )
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    utilizations = np.empty(n_tasks)
+    remaining = total_utilization
+    for i in range(n_tasks - 1):
+        next_remaining = remaining * gen.random() ** (1.0 / (n_tasks - 1 - i))
+        utilizations[i] = remaining - next_remaining
+        remaining = next_remaining
+    utilizations[-1] = remaining
+    return utilizations
+
+
+def uunifast_taskset(
+    n_tasks: int,
+    total_utilization: float,
+    spec: DualCriticalitySpec,
+    rng: int | np.random.Generator = 0,
+    config: GeneratorConfig = PAPER_CONFIG,
+    name: str | None = None,
+) -> TaskSet:
+    """A UUniFast-distributed task set with the paper's period/criticality model."""
+    gen = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    utilizations = uunifast(n_tasks, total_utilization, gen)
+    tasks: list[Task] = []
+    for i, utilization in enumerate(utilizations):
+        period = gen.uniform(config.period_min, config.period_max)
+        criticality = (
+            CriticalityRole.HI if gen.random() < config.p_hi else CriticalityRole.LO
+        )
+        tasks.append(
+            Task(
+                name=f"tau{i + 1}",
+                period=period,
+                deadline=period,
+                wcet=float(utilization) * period,
+                criticality=criticality,
+                failure_probability=config.draw_failure_probability(gen),
+            )
+        )
+    _ensure_both_criticalities(tasks, gen)
+    label = name or f"uunifast-n{n_tasks}-U{total_utilization:.3f}"
+    return TaskSet(tasks, spec=spec, name=label)

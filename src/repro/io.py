@@ -1,0 +1,187 @@
+"""Task-set serialisation: JSON load/save for systems and results.
+
+Lets users describe their dual-criticality system in a plain JSON file
+and run the toolchain on it (``ftmc analyze my-system.json``).  Format:
+
+.. code-block:: json
+
+    {
+      "name": "my-system",
+      "criticality": {"hi": "B", "lo": "C"},
+      "tasks": [
+        {"name": "nav", "period": 60, "deadline": 60, "wcet": 5,
+         "criticality": "HI", "failure_probability": 1e-5},
+        {"name": "disp", "period": 40, "wcet": 7,
+         "criticality": "LO", "failure_probability": 1e-5}
+      ]
+    }
+
+``deadline`` defaults to ``period`` (implicit deadlines).  The
+``criticality`` header binds the symbolic HI/LO roles to DO-178B levels
+and may be omitted for task sets analysed without safety ceilings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.model.criticality import (
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+)
+from repro.model.task import Task, TaskSet
+from repro.multilevel.model import MLTask, MLTaskSet
+
+__all__ = [
+    "taskset_to_dict",
+    "taskset_from_dict",
+    "save_taskset",
+    "load_taskset",
+    "multilevel_to_dict",
+    "multilevel_from_dict",
+    "save_multilevel",
+    "load_multilevel",
+]
+
+
+def taskset_to_dict(taskset: TaskSet) -> dict[str, Any]:
+    """Serialise a task set (and its HI/LO spec) to plain data."""
+    data: dict[str, Any] = {
+        "name": taskset.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "period": t.period,
+                "deadline": t.deadline,
+                "wcet": t.wcet,
+                "criticality": t.criticality.name,
+                "failure_probability": t.failure_probability,
+            }
+            for t in taskset
+        ],
+    }
+    if taskset.spec is not None:
+        data["criticality"] = {
+            "hi": taskset.spec.hi_level.name,
+            "lo": taskset.spec.lo_level.name,
+        }
+    return data
+
+
+def taskset_from_dict(data: dict[str, Any]) -> TaskSet:
+    """Deserialise a task set; validates through the model constructors."""
+    if "tasks" not in data or not isinstance(data["tasks"], list):
+        raise ValueError("task-set document needs a 'tasks' list")
+    tasks = []
+    for i, raw in enumerate(data["tasks"]):
+        try:
+            role = CriticalityRole[str(raw["criticality"]).upper()]
+        except KeyError:
+            raise ValueError(
+                f"task #{i}: criticality must be 'HI' or 'LO', "
+                f"got {raw.get('criticality')!r}"
+            ) from None
+        try:
+            period = float(raw["period"])
+            wcet = float(raw["wcet"])
+        except KeyError as missing:
+            raise ValueError(f"task #{i}: missing field {missing}") from None
+        tasks.append(
+            Task(
+                name=str(raw.get("name", f"tau{i + 1}")),
+                period=period,
+                deadline=float(raw.get("deadline", period)),
+                wcet=wcet,
+                criticality=role,
+                failure_probability=float(raw.get("failure_probability", 0.0)),
+            )
+        )
+    spec = None
+    if "criticality" in data:
+        header = data["criticality"]
+        spec = DualCriticalitySpec.from_names(header["hi"], header["lo"])
+    return TaskSet(tasks, spec=spec, name=str(data.get("name", "taskset")))
+
+
+def save_taskset(taskset: TaskSet, path: str) -> None:
+    """Write a task set to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(taskset_to_dict(taskset), handle, indent=2)
+        handle.write("\n")
+
+
+def load_taskset(path: str) -> TaskSet:
+    """Read a task set from a JSON file."""
+    with open(path) as handle:
+        return taskset_from_dict(json.load(handle))
+
+
+# -- multi-level documents -----------------------------------------------------
+#
+# Same shape as the dual format but each task's "level" is a DO-178B
+# letter (A-E) and there is no criticality header:
+#
+#   {"name": "...", "tasks": [
+#       {"name": "x", "period": 50, "wcet": 4, "level": "A",
+#        "failure_probability": 1e-6}, ...]}
+
+
+def multilevel_to_dict(taskset: MLTaskSet) -> dict[str, Any]:
+    """Serialise a multi-level task set to plain data."""
+    return {
+        "name": taskset.name,
+        "tasks": [
+            {
+                "name": t.name,
+                "period": t.period,
+                "deadline": t.deadline,
+                "wcet": t.wcet,
+                "level": t.level.name,
+                "failure_probability": t.failure_probability,
+            }
+            for t in taskset
+        ],
+    }
+
+
+def multilevel_from_dict(data: dict[str, Any]) -> MLTaskSet:
+    """Deserialise a multi-level task set."""
+    if "tasks" not in data or not isinstance(data["tasks"], list):
+        raise ValueError("task-set document needs a 'tasks' list")
+    tasks = []
+    for i, raw in enumerate(data["tasks"]):
+        try:
+            level = DO178BLevel.from_name(str(raw["level"]))
+        except KeyError:
+            raise ValueError(f"task #{i}: missing field 'level'") from None
+        try:
+            period = float(raw["period"])
+            wcet = float(raw["wcet"])
+        except KeyError as missing:
+            raise ValueError(f"task #{i}: missing field {missing}") from None
+        tasks.append(
+            MLTask(
+                name=str(raw.get("name", f"tau{i + 1}")),
+                period=period,
+                deadline=float(raw.get("deadline", period)),
+                wcet=wcet,
+                level=level,
+                failure_probability=float(raw.get("failure_probability", 0.0)),
+            )
+        )
+    return MLTaskSet(tasks, name=str(data.get("name", "ml-taskset")))
+
+
+def save_multilevel(taskset: MLTaskSet, path: str) -> None:
+    """Write a multi-level task set to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(multilevel_to_dict(taskset), handle, indent=2)
+        handle.write("\n")
+
+
+def load_multilevel(path: str) -> MLTaskSet:
+    """Read a multi-level task set from a JSON file."""
+    with open(path) as handle:
+        return multilevel_from_dict(json.load(handle))

@@ -1,0 +1,48 @@
+"""Task, criticality, fault and mixed-criticality models (Section 2)."""
+
+from repro.model.criticality import (
+    NO_REQUIREMENT,
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+    pfh_requirement,
+)
+from repro.model.fault_rates import (
+    failure_probability_from_rate,
+    rate_from_failure_probability,
+    with_fault_rate,
+)
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+    round_failure_probability,
+    round_success_probability,
+)
+from repro.model.iec61508 import SIL, sil_dual_spec, sil_to_do178b
+from repro.model.mc_task import MCTask, MCTaskSet
+from repro.model.task import HOUR_MS, Task, TaskSet
+
+__all__ = [
+    "failure_probability_from_rate",
+    "rate_from_failure_probability",
+    "with_fault_rate",
+    "SIL",
+    "sil_dual_spec",
+    "sil_to_do178b",
+    "NO_REQUIREMENT",
+    "CriticalityRole",
+    "DO178BLevel",
+    "DualCriticalitySpec",
+    "pfh_requirement",
+    "AdaptationProfile",
+    "FaultToleranceConfig",
+    "ReexecutionProfile",
+    "round_failure_probability",
+    "round_success_probability",
+    "MCTask",
+    "MCTaskSet",
+    "HOUR_MS",
+    "Task",
+    "TaskSet",
+]

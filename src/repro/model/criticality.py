@@ -1,0 +1,166 @@
+"""Criticality levels and safety requirements from DO-178B.
+
+The paper (Section 2.1, Table 1) adopts the DO-178B safety standard, which
+defines five design-assurance levels ``A`` (highest) through ``E`` (lowest).
+Each level carries a probability-of-failure-per-hour (PFH) ceiling that any
+function certified at that level must satisfy:
+
+======  =============================
+Level   PFH requirement
+======  =============================
+A       PFH < 1e-9
+B       PFH < 1e-7
+C       PFH < 1e-5
+D       no quantified requirement
+E       no quantified requirement
+======  =============================
+
+Levels D and E are "not safety-related" in the paper's terminology: no
+ceiling constrains their PFH, so such tasks may be killed without
+jeopardising system safety.
+
+A *dual-criticality* system (the paper's focus) picks two of these levels
+and maps the higher one to the symbolic role ``HI`` and the lower one to
+``LO``.  :class:`DualCriticalitySpec` captures that mapping.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "DO178BLevel",
+    "CriticalityRole",
+    "DualCriticalitySpec",
+    "pfh_requirement",
+    "NO_REQUIREMENT",
+]
+
+#: Sentinel PFH ceiling for levels without a quantified safety requirement
+#: (DO-178B levels D and E).  Any finite PFH trivially satisfies it.
+NO_REQUIREMENT: float = math.inf
+
+
+class DO178BLevel(enum.IntEnum):
+    """DO-178B design-assurance level, ordered by importance.
+
+    The integer values are ordered so that comparisons follow criticality:
+    ``DO178BLevel.A > DO178BLevel.B > ... > DO178BLevel.E``.
+    """
+
+    E = 0
+    D = 1
+    C = 2
+    B = 3
+    A = 4
+
+    @property
+    def pfh_ceiling(self) -> float:
+        """The PFH requirement for this level (Table 1 of the paper).
+
+        Returns :data:`NO_REQUIREMENT` (``inf``) for levels D and E, which
+        carry no quantified ceiling.
+        """
+        return _PFH_CEILINGS[self]
+
+    @property
+    def is_safety_related(self) -> bool:
+        """Whether this level carries a quantified PFH requirement."""
+        return math.isfinite(self.pfh_ceiling)
+
+    @classmethod
+    def from_name(cls, name: str) -> "DO178BLevel":
+        """Parse a level from its letter name (case-insensitive)."""
+        try:
+            return cls[name.strip().upper()]
+        except KeyError:
+            raise ValueError(f"unknown DO-178B level: {name!r}") from None
+
+
+_PFH_CEILINGS: dict[DO178BLevel, float] = {
+    DO178BLevel.A: 1e-9,
+    DO178BLevel.B: 1e-7,
+    DO178BLevel.C: 1e-5,
+    DO178BLevel.D: NO_REQUIREMENT,
+    DO178BLevel.E: NO_REQUIREMENT,
+}
+
+
+def pfh_requirement(level: DO178BLevel) -> float:
+    """Return the PFH ceiling ``PFH_chi`` for ``level`` (Table 1)."""
+    return level.pfh_ceiling
+
+
+class CriticalityRole(enum.IntEnum):
+    """Symbolic role of a task in a dual-criticality system.
+
+    The paper restricts attention to dual-criticality systems where only a
+    high (``HI``) and a low (``LO``) criticality exist.  The concrete
+    DO-178B levels behind the roles are supplied by
+    :class:`DualCriticalitySpec`.
+    """
+
+    LO = 0
+    HI = 1
+
+    @property
+    def other(self) -> "CriticalityRole":
+        """The opposite role (``HI`` <-> ``LO``)."""
+        return CriticalityRole.LO if self is CriticalityRole.HI else CriticalityRole.HI
+
+
+@dataclass(frozen=True)
+class DualCriticalitySpec:
+    """Binding of the symbolic HI/LO roles to concrete DO-178B levels.
+
+    Parameters
+    ----------
+    hi_level:
+        The DO-178B level of all HI-criticality tasks.  The paper assumes
+        HI is drawn from {A, B, C} in its examples, but any level strictly
+        above ``lo_level`` is accepted.
+    lo_level:
+        The DO-178B level of all LO-criticality tasks.
+
+    Raises
+    ------
+    ValueError
+        If ``hi_level`` is not strictly more critical than ``lo_level``.
+    """
+
+    hi_level: DO178BLevel
+    lo_level: DO178BLevel
+
+    def __post_init__(self) -> None:
+        if self.hi_level <= self.lo_level:
+            raise ValueError(
+                f"HI level ({self.hi_level.name}) must be strictly more "
+                f"critical than LO level ({self.lo_level.name})"
+            )
+
+    def level(self, role: CriticalityRole) -> DO178BLevel:
+        """The concrete DO-178B level bound to ``role``."""
+        return self.hi_level if role is CriticalityRole.HI else self.lo_level
+
+    def pfh_requirement(self, role: CriticalityRole) -> float:
+        """The PFH ceiling ``PFH_chi`` that tasks of ``role`` must satisfy."""
+        return self.level(role).pfh_ceiling
+
+    @property
+    def lo_is_safety_related(self) -> bool:
+        """Whether LO tasks carry a quantified safety requirement.
+
+        For DO-178B levels D and E this is ``False``: such tasks may be
+        killed without violating any safety ceiling (Example 3.1).
+        """
+        return self.lo_level.is_safety_related
+
+    @classmethod
+    def from_names(cls, hi: str, lo: str) -> "DualCriticalitySpec":
+        """Construct from level letter names, e.g. ``from_names("B", "C")``."""
+        return cls(DO178BLevel.from_name(hi), DO178BLevel.from_name(lo))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"HI={self.hi_level.name}, LO={self.lo_level.name}"

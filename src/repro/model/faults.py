@@ -1,0 +1,208 @@
+"""Fault model, re-execution profiles and adaptation profiles.
+
+Section 2.1 of the paper: every job of task ``tau_i`` fails (does not
+finish properly by its deadline) with probability ``f_i``, due to transient
+hardware errors.  Sanity checks detect faulty executions, and a faulty
+instance is re-executed.  Any instance of ``tau_i`` executes at most
+``n_i`` times; ``n_i`` is the *re-execution profile* of the task and ``N``
+collects the profiles of all tasks.
+
+Section 3.3 adds the *killing profile* (Section 3.4: *degradation
+profile*; jointly: *adaptation profile*) ``n'_i`` of each HI task: when an
+instance of a HI task starts its ``(n'_i + 1)``-th execution, all LO tasks
+are killed (or degraded) from then on.  The paper requires
+``n'_i in N and n'_i < n_i``; this library additionally admits
+``n'_i == n_i``, which encodes "LO tasks are never adapted" (the
+``(n_i+1)``-th execution never occurs by assumption), a convenient fixed
+point for the search in Algorithm 1.
+
+:class:`ReexecutionProfile` and :class:`AdaptationProfile` are thin mappings
+from task name to the integer profile with validation and convenience
+constructors for the paper's uniform-profile restriction (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.model.criticality import CriticalityRole
+from repro.model.task import Task, TaskSet
+
+__all__ = [
+    "ReexecutionProfile",
+    "AdaptationProfile",
+    "round_failure_probability",
+    "round_success_probability",
+]
+
+
+def round_failure_probability(failure_probability: float, executions: int) -> float:
+    """Probability ``f_i^{n}`` that one *round* of a job fails.
+
+    A round is ``executions`` attempts of one job; it fails only if every
+    attempt fails, which under independent transient faults happens with
+    probability ``f_i**n`` (used throughout eqs. (2), (3), (5)-(7)).
+    """
+    if executions < 1:
+        raise ValueError(f"executions must be >= 1, got {executions}")
+    if not 0.0 <= failure_probability < 1.0:
+        raise ValueError(f"failure probability out of [0,1): {failure_probability}")
+    return failure_probability**executions
+
+
+def round_success_probability(failure_probability: float, executions: int) -> float:
+    """Probability ``1 - f_i^{n}`` that a round succeeds within ``n`` tries."""
+    return 1.0 - round_failure_probability(failure_probability, executions)
+
+
+class _IntProfile:
+    """Shared machinery of the two profile mappings (task name -> int)."""
+
+    _minimum: int = 1
+    _label: str = "profile"
+
+    def __init__(self, values: Mapping[str, int]) -> None:
+        cleaned: dict[str, int] = {}
+        for name, value in values.items():
+            if not isinstance(value, int) or isinstance(value, bool):
+                raise TypeError(
+                    f"{self._label} for {name!r} must be an int, got {value!r}"
+                )
+            if value < self._minimum:
+                raise ValueError(
+                    f"{self._label} for {name!r} must be >= {self._minimum}, got {value}"
+                )
+            cleaned[name] = value
+        self._values = cleaned
+
+    def __getitem__(self, task: Task | str) -> int:
+        name = task.name if isinstance(task, Task) else task
+        return self._values[name]
+
+    def __contains__(self, task: Task | str) -> bool:
+        name = task.name if isinstance(task, Task) else task
+        return name in self._values
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self):
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _IntProfile):
+            return NotImplemented
+        return type(self) is type(other) and self._values == other._values
+
+    def __hash__(self) -> int:
+        return hash((type(self), tuple(sorted(self._values.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"{type(self).__name__}({inner})"
+
+    def items(self):
+        return self._values.items()
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(self._values)
+
+    def get(self, task: Task | str, default: int | None = None) -> int | None:
+        name = task.name if isinstance(task, Task) else task
+        return self._values.get(name, default)
+
+
+class ReexecutionProfile(_IntProfile):
+    """``N = {n_i}``: maximal number of executions of any instance of each task.
+
+    ``n_i = 1`` means no re-execution (a job runs once); ``n_i = 3`` means
+    up to two re-executions after the initial attempt.
+    """
+
+    _minimum = 1
+    _label = "re-execution profile"
+
+    @classmethod
+    def uniform(cls, taskset: TaskSet, n_hi: int, n_lo: int) -> "ReexecutionProfile":
+        """The paper's Section 4.2 restriction: one ``n`` per criticality.
+
+        Every HI task receives ``n_hi`` and every LO task ``n_lo``.
+        """
+        values = {
+            t.name: (n_hi if t.criticality is CriticalityRole.HI else n_lo)
+            for t in taskset
+        }
+        return cls(values)
+
+    @classmethod
+    def constant(cls, tasks: Iterable[Task], n: int) -> "ReexecutionProfile":
+        """Every listed task receives the same profile ``n``."""
+        return cls({t.name: n for t in tasks})
+
+    def validate_for(self, taskset: TaskSet) -> None:
+        """Check that a profile is defined for every task in ``taskset``."""
+        missing = [t.name for t in taskset if t.name not in self]
+        if missing:
+            raise ValueError(f"re-execution profile missing tasks: {missing}")
+
+
+class AdaptationProfile(_IntProfile):
+    """``N'_HI = {n'_i}``: killing/degradation profile of the HI tasks.
+
+    When any instance of HI task ``tau_i`` starts its ``(n'_i + 1)``-th
+    execution, all LO tasks are killed or degraded thereafter.
+    """
+
+    _minimum = 1
+    _label = "adaptation profile"
+
+    @classmethod
+    def uniform(cls, taskset: TaskSet, n_prime: int) -> "AdaptationProfile":
+        """One adaptation profile shared by every HI task (Section 4.2)."""
+        return cls({t.name: n_prime for t in taskset.hi_tasks})
+
+    def validate_for(self, taskset: TaskSet, reexecution: ReexecutionProfile) -> None:
+        """Check coverage of all HI tasks and ``n'_i <= n_i``.
+
+        The paper states ``n'_i < n_i``; we accept equality as the "never
+        adapt" encoding (see module docstring) but never more.
+        """
+        for t in taskset.hi_tasks:
+            if t.name not in self:
+                raise ValueError(f"adaptation profile missing HI task {t.name!r}")
+            if t.name in reexecution and self[t] > reexecution[t]:
+                raise ValueError(
+                    f"adaptation profile for {t.name!r} ({self[t]}) exceeds its "
+                    f"re-execution profile ({reexecution[t]})"
+                )
+
+
+@dataclass(frozen=True)
+class FaultToleranceConfig:
+    """Bundle of the fault-tolerance knobs selected for one system.
+
+    Groups the re-execution profile, the adaptation profile, the adaptation
+    *mechanism* (kill vs. degrade) and, for degradation, the factor ``df``.
+    Consumed by the simulator and the experiment drivers.
+    """
+
+    reexecution: ReexecutionProfile
+    adaptation: AdaptationProfile | None = None
+    degradation_factor: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.degradation_factor is not None and self.degradation_factor <= 1.0:
+            raise ValueError(
+                f"degradation factor must be > 1, got {self.degradation_factor}"
+            )
+
+    @property
+    def mechanism(self) -> str:
+        """``"none"``, ``"kill"`` or ``"degrade"``."""
+        if self.adaptation is None:
+            return "none"
+        return "degrade" if self.degradation_factor is not None else "kill"
+
+
+__all__.append("FaultToleranceConfig")

@@ -1,0 +1,80 @@
+"""IEC 61508 safety-integrity levels (library extension).
+
+The paper's safety metric (PFH, averaged over the operation duration) is
+shared between DO-178B and IEC 61508; Section 2.1 cites both and the
+evaluation sticks to DO-178B.  For completeness — and because industrial
+users of this library may certify against IEC 61508 instead — this module
+provides the SIL table for *high-demand / continuous* mode of operation:
+
+=====  ==========================
+SIL    PFH requirement
+=====  ==========================
+4      1e-9 <= PFH < 1e-8
+3      1e-8 <= PFH < 1e-7
+2      1e-7 <= PFH < 1e-6
+1      1e-6 <= PFH < 1e-5
+=====  ==========================
+
+Only the upper bound constrains a design; :meth:`SIL.pfh_ceiling` returns
+it so a SIL can be used anywhere a DO-178B ceiling is, e.g. through
+:func:`sil_dual_spec`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.model.criticality import DO178BLevel, DualCriticalitySpec
+
+__all__ = ["SIL", "sil_to_do178b", "sil_dual_spec"]
+
+
+class SIL(enum.IntEnum):
+    """IEC 61508 safety integrity level (high-demand / continuous mode)."""
+
+    SIL1 = 1
+    SIL2 = 2
+    SIL3 = 3
+    SIL4 = 4
+
+    @property
+    def pfh_ceiling(self) -> float:
+        """The (exclusive) PFH upper bound of the level."""
+        return _CEILINGS[self]
+
+    @property
+    def pfh_floor(self) -> float:
+        """The (inclusive) PFH lower bound of the level's band."""
+        return _CEILINGS[self] / 10.0
+
+
+_CEILINGS: dict[SIL, float] = {
+    SIL.SIL1: 1e-5,
+    SIL.SIL2: 1e-6,
+    SIL.SIL3: 1e-7,
+    SIL.SIL4: 1e-8,
+}
+
+
+def sil_to_do178b(sil: SIL) -> DO178BLevel:
+    """The closest DO-178B level whose ceiling is at least as strict.
+
+    A conservative mapping: the returned level's PFH requirement implies
+    the SIL's.  SIL4 (< 1e-8) maps to level A (< 1e-9); SIL3 (< 1e-7) to
+    level B; SIL2 (< 1e-6) to level B as well (level C's 1e-5 would be too
+    lax); SIL1 (< 1e-5) to level C.
+    """
+    if sil is SIL.SIL4:
+        return DO178BLevel.A
+    if sil in (SIL.SIL3, SIL.SIL2):
+        return DO178BLevel.B
+    return DO178BLevel.C
+
+
+def sil_dual_spec(hi: SIL, lo: SIL) -> DualCriticalitySpec:
+    """A dual-criticality spec from two SILs via the conservative mapping.
+
+    Raises ``ValueError`` when both SILs collapse onto the same DO-178B
+    level (the mapping is not injective).
+    """
+    return DualCriticalitySpec(sil_to_do178b(hi), sil_to_do178b(lo))

@@ -1,0 +1,175 @@
+"""Conventional (Vestal-style) mixed-criticality task model (Section 2.2).
+
+Vestal's model characterises each task by a vector of WCETs, one per
+criticality level, non-decreasing with the level: ``C_i(LO) <= C_i(HI)``.
+At runtime, whenever any task exceeds its LO-criticality WCET, the system
+switches to HI mode; thereafter only HI tasks are guaranteed, and LO tasks
+are killed or degraded.
+
+This module hosts :class:`MCTask` / :class:`MCTaskSet` for the
+dual-criticality case, including the criticality-specific utilizations
+``U_{chi1}^{chi2} = sum_{chi_i = chi1} C_i(chi2) / T_i`` that the EDF-VD
+family of tests consumes (Appendix B of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.criticality import CriticalityRole
+
+__all__ = ["MCTask", "MCTaskSet"]
+
+
+@dataclass(frozen=True)
+class MCTask:
+    """A dual-criticality sporadic task with per-level WCETs.
+
+    ``wcet_lo``/``wcet_hi`` are ``C_i(LO)`` and ``C_i(HI)``.  For LO tasks
+    the model requires ``C_i(LO) == C_i(HI)`` (a LO task is never executed
+    beyond its own criticality level's budget); the constructor enforces the
+    Vestal monotonicity ``C_i(LO) <= C_i(HI)`` for HI tasks.
+    """
+
+    name: str
+    period: float
+    deadline: float
+    wcet_lo: float
+    wcet_hi: float
+    criticality: CriticalityRole
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive, got {self.period}")
+        if self.deadline <= 0:
+            raise ValueError(
+                f"{self.name}: deadline must be positive, got {self.deadline}"
+            )
+        if self.wcet_lo < 0 or self.wcet_hi < 0:
+            raise ValueError(f"{self.name}: WCETs must be non-negative")
+        if self.wcet_lo > self.wcet_hi + 1e-12:
+            raise ValueError(
+                f"{self.name}: C(LO)={self.wcet_lo} exceeds C(HI)={self.wcet_hi}; "
+                "Vestal monotonicity violated"
+            )
+        if self.criticality is CriticalityRole.LO and not math.isclose(
+            self.wcet_lo, self.wcet_hi
+        ):
+            raise ValueError(
+                f"{self.name}: LO-criticality task must have C(LO) == C(HI), "
+                f"got {self.wcet_lo} != {self.wcet_hi}"
+            )
+
+    def wcet(self, level: CriticalityRole) -> float:
+        """``C_i(chi)`` for ``chi in {LO, HI}``."""
+        return self.wcet_hi if level is CriticalityRole.HI else self.wcet_lo
+
+    def utilization(self, level: CriticalityRole) -> float:
+        """``C_i(chi) / T_i``."""
+        return self.wcet(level) / self.period
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        return math.isclose(self.deadline, self.period)
+
+
+class MCTaskSet:
+    """A dual-criticality task set in the conventional (Vestal) model."""
+
+    def __init__(self, tasks: Iterable[MCTask], name: str = "mc-taskset") -> None:
+        self._tasks: tuple[MCTask, ...] = tuple(tasks)
+        self.name = name
+        seen: set[str] = set()
+        for task in self._tasks:
+            if task.name in seen:
+                raise ValueError(f"duplicate task name: {task.name!r}")
+            seen.add(task.name)
+
+    def __iter__(self) -> Iterator[MCTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, index: int) -> MCTask:
+        return self._tasks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MCTaskSet({self.name!r}, n={len(self)})"
+
+    @property
+    def tasks(self) -> tuple[MCTask, ...]:
+        return self._tasks
+
+    def task(self, name: str) -> MCTask:
+        for t in self._tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def by_criticality(self, role: CriticalityRole) -> tuple[MCTask, ...]:
+        return tuple(t for t in self._tasks if t.criticality is role)
+
+    @property
+    def hi_tasks(self) -> tuple[MCTask, ...]:
+        return self.by_criticality(CriticalityRole.HI)
+
+    @property
+    def lo_tasks(self) -> tuple[MCTask, ...]:
+        return self.by_criticality(CriticalityRole.LO)
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        return all(t.is_implicit_deadline for t in self._tasks)
+
+    def utilization(
+        self, of_criticality: CriticalityRole, at_level: CriticalityRole
+    ) -> float:
+        """``U_{chi1}^{chi2}``: utilization of ``chi1`` tasks with ``chi2`` WCETs.
+
+        In the paper's notation (Appendix B), ``U_HI^LO`` is
+        ``utilization(HI, LO)``: the total utilization of the HI tasks when
+        each is budgeted its LO-criticality WCET.
+        """
+        return sum(
+            t.utilization(at_level) for t in self.by_criticality(of_criticality)
+        )
+
+    # Convenience aliases matching the paper's symbols -------------------------
+
+    @property
+    def u_hi_lo(self) -> float:
+        """``U_HI^LO``."""
+        return self.utilization(CriticalityRole.HI, CriticalityRole.LO)
+
+    @property
+    def u_hi_hi(self) -> float:
+        """``U_HI^HI``."""
+        return self.utilization(CriticalityRole.HI, CriticalityRole.HI)
+
+    @property
+    def u_lo_lo(self) -> float:
+        """``U_LO^LO``."""
+        return self.utilization(CriticalityRole.LO, CriticalityRole.LO)
+
+    @property
+    def u_lo_hi(self) -> float:
+        """``U_LO^HI`` (equals ``U_LO^LO`` in this library's model)."""
+        return self.utilization(CriticalityRole.LO, CriticalityRole.HI)
+
+    def describe(self) -> str:
+        """Human-readable table mirroring Table 3 of the paper."""
+        header = f"{'task':<10}{'chi':<5}{'T':>10}{'D':>10}{'C(LO)':>10}{'C(HI)':>10}"
+        rows = [header, "-" * len(header)]
+        for t in self._tasks:
+            rows.append(
+                f"{t.name:<10}{t.criticality.name:<5}{t.period:>10.6g}"
+                f"{t.deadline:>10.6g}{t.wcet_lo:>10.6g}{t.wcet_hi:>10.6g}"
+            )
+        rows.append(
+            f"U_HI^LO={self.u_hi_lo:.5f} U_HI^HI={self.u_hi_hi:.5f} "
+            f"U_LO^LO={self.u_lo_lo:.5f}"
+        )
+        return "\n".join(rows)

@@ -1,0 +1,252 @@
+"""Sporadic task model (Section 2.1 of the paper).
+
+A task :class:`Task` is a sporadic task ``tau_i = (T_i, D_i, C_i, chi_i)``
+scheduled on a uniprocessor:
+
+- ``period`` (``T_i``): minimal inter-arrival time of successive jobs;
+- ``deadline`` (``D_i``): relative deadline (arbitrary deadlines allowed);
+- ``wcet`` (``C_i``): worst-case execution time of a *single* execution
+  (re-executions multiply this, see :mod:`repro.model.faults`);
+- ``criticality`` (``chi_i``): the symbolic HI/LO role;
+- ``failure_probability`` (``f_i``): probability that one job does not
+  finish properly (transient hardware fault), per the paper's fault model.
+
+:class:`TaskSet` aggregates tasks together with the
+:class:`~repro.model.criticality.DualCriticalitySpec` that binds HI/LO to
+concrete DO-178B levels, and provides the utilization queries used
+throughout the schedulability analyses.
+
+All time quantities are expressed in **milliseconds** by convention (the
+unit used in every table of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+
+__all__ = ["Task", "TaskSet", "HOUR_MS"]
+
+#: One hour expressed in the library's canonical time unit (milliseconds).
+HOUR_MS: float = 3_600_000.0
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent sporadic task.
+
+    Parameters mirror Section 2.1.  ``name`` is a free-form identifier used
+    in traces and reports; it must be unique within a :class:`TaskSet`.
+    """
+
+    name: str
+    period: float
+    deadline: float
+    wcet: float
+    criticality: CriticalityRole
+    failure_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive, got {self.period}")
+        if self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be positive, got {self.deadline}")
+        if self.wcet < 0:
+            raise ValueError(f"{self.name}: WCET must be non-negative, got {self.wcet}")
+        if not 0.0 <= self.failure_probability < 1.0:
+            raise ValueError(
+                f"{self.name}: failure probability must lie in [0, 1), "
+                f"got {self.failure_probability}"
+            )
+        if self.wcet > self.deadline and self.wcet > self.period:
+            # A single execution longer than both D and T can never be
+            # feasible, re-executions aside.  Reject early.
+            raise ValueError(
+                f"{self.name}: WCET {self.wcet} exceeds both deadline "
+                f"{self.deadline} and period {self.period}"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """``C_i / T_i`` for a single execution (no re-executions)."""
+        return self.wcet / self.period
+
+    @property
+    def density(self) -> float:
+        """``C_i / min(D_i, T_i)``, the classical density of the task."""
+        return self.wcet / min(self.deadline, self.period)
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        """Whether ``D_i == T_i``."""
+        return math.isclose(self.deadline, self.period)
+
+    @property
+    def is_constrained_deadline(self) -> bool:
+        """Whether ``D_i <= T_i``."""
+        return self.deadline <= self.period or self.is_implicit_deadline
+
+    def with_period(self, period: float) -> "Task":
+        """A copy of the task with a new minimal inter-arrival time.
+
+        Used by the service-degradation mechanism, which stretches
+        ``T_i`` to ``df * T_i`` for LO tasks (Section 3.4).  The relative
+        deadline is left untouched, matching the paper's model where only
+        the inter-arrival time is degraded.
+        """
+        return replace(self, period=period)
+
+    def scaled_wcet(self, executions: int) -> float:
+        """Cumulative WCET of ``executions`` back-to-back executions."""
+        if executions < 0:
+            raise ValueError(f"executions must be non-negative, got {executions}")
+        return executions * self.wcet
+
+
+class TaskSet:
+    """An ordered, named collection of sporadic tasks plus the HI/LO spec.
+
+    The class is deliberately immutable-ish: mutating operations return new
+    ``TaskSet`` instances so that analyses can cache derived quantities.
+    """
+
+    def __init__(
+        self,
+        tasks: Iterable[Task],
+        spec: DualCriticalitySpec | None = None,
+        name: str = "taskset",
+    ) -> None:
+        self._tasks: tuple[Task, ...] = tuple(tasks)
+        self.spec = spec
+        self.name = name
+        seen: set[str] = set()
+        for task in self._tasks:
+            if task.name in seen:
+                raise ValueError(f"duplicate task name: {task.name!r}")
+            seen.add(task.name)
+
+    # -- collection protocol -------------------------------------------------
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, index: int) -> Task:
+        return self._tasks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TaskSet({self.name!r}, n={len(self)}, U={self.utilization():.4f})"
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return self._tasks
+
+    def task(self, name: str) -> Task:
+        """Look a task up by name."""
+        for t in self._tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    # -- criticality partitions ----------------------------------------------
+
+    def by_criticality(self, role: CriticalityRole) -> tuple[Task, ...]:
+        """All tasks of the given criticality role (``tau_chi``)."""
+        return tuple(t for t in self._tasks if t.criticality is role)
+
+    @property
+    def hi_tasks(self) -> tuple[Task, ...]:
+        return self.by_criticality(CriticalityRole.HI)
+
+    @property
+    def lo_tasks(self) -> tuple[Task, ...]:
+        return self.by_criticality(CriticalityRole.LO)
+
+    # -- aggregate quantities --------------------------------------------------
+
+    def utilization(self, role: CriticalityRole | None = None) -> float:
+        """Total single-execution utilization ``U_chi = sum C_i/T_i``.
+
+        With ``role=None`` the sum ranges over all tasks.
+        """
+        tasks = self._tasks if role is None else self.by_criticality(role)
+        return sum(t.utilization for t in tasks)
+
+    def scaled_utilization(
+        self, role: CriticalityRole, executions_of: Callable[[Task], int]
+    ) -> float:
+        """``sum n_i * C_i / T_i`` over tasks of ``role``.
+
+        ``executions_of`` maps each task to its execution count ``n_i``.
+        """
+        return sum(executions_of(t) * t.utilization for t in self.by_criticality(role))
+
+    @property
+    def is_implicit_deadline(self) -> bool:
+        return all(t.is_implicit_deadline for t in self._tasks)
+
+    @property
+    def is_constrained_deadline(self) -> bool:
+        return all(t.is_constrained_deadline for t in self._tasks)
+
+    def hyperperiod(self) -> float:
+        """Least common multiple of all task periods.
+
+        Only meaningful when periods are (near-)integers; raises
+        ``ValueError`` otherwise.  Used by simulation helpers to choose
+        horizons.
+        """
+        lcm = 1
+        for t in self._tasks:
+            p = round(t.period)
+            if not math.isclose(p, t.period, rel_tol=1e-9, abs_tol=1e-9) or p <= 0:
+                raise ValueError(
+                    f"hyperperiod undefined for non-integer period {t.period}"
+                )
+            lcm = lcm * p // math.gcd(lcm, p)
+        return float(lcm)
+
+    # -- derivation -------------------------------------------------------------
+
+    def with_tasks(self, tasks: Sequence[Task], name: str | None = None) -> "TaskSet":
+        """A new set with replaced task list but the same spec."""
+        return TaskSet(tasks, spec=self.spec, name=name or self.name)
+
+    def with_spec(self, spec: DualCriticalitySpec) -> "TaskSet":
+        """A new set with the same tasks bound to a different HI/LO spec."""
+        return TaskSet(self._tasks, spec=spec, name=self.name)
+
+    def degraded(self, factor: float) -> "TaskSet":
+        """The set with every LO task's period stretched by ``factor``.
+
+        Models the paper's service degradation: ``T_hat_i = df * T_i`` for
+        all LO tasks (Section 3.4).  HI tasks are untouched.
+        """
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        tasks = [
+            t.with_period(t.period * factor) if t.criticality is CriticalityRole.LO else t
+            for t in self._tasks
+        ]
+        return TaskSet(tasks, spec=self.spec, name=f"{self.name}/df={factor:g}")
+
+    def describe(self) -> str:
+        """A small human-readable table of the task parameters."""
+        header = f"{'task':<10}{'chi':<5}{'T':>10}{'D':>10}{'C':>10}{'f':>12}"
+        rows = [header, "-" * len(header)]
+        for t in self._tasks:
+            rows.append(
+                f"{t.name:<10}{t.criticality.name:<5}{t.period:>10.6g}"
+                f"{t.deadline:>10.6g}{t.wcet:>10.6g}{t.failure_probability:>12.3g}"
+            )
+        rows.append(
+            f"U = {self.utilization():.5f} "
+            f"(HI {self.utilization(CriticalityRole.HI):.5f}, "
+            f"LO {self.utilization(CriticalityRole.LO):.5f})"
+        )
+        return "\n".join(rows)

@@ -1,0 +1,16 @@
+"""Partitioned multiprocessor scheduling — library extension.
+
+Lifts the paper's uniprocessor FT-S to ``m`` processors by first-fit
+partitioning of the converted task set; each share is an independent
+instance of the uniprocessor problem, so soundness follows directly.
+"""
+
+from repro.multicore.ftmp import FTMPResult, ft_schedule_partitioned
+from repro.multicore.partition import Partition, first_fit_decreasing
+
+__all__ = [
+    "FTMPResult",
+    "ft_schedule_partitioned",
+    "Partition",
+    "first_fit_decreasing",
+]

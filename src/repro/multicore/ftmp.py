@@ -1,0 +1,146 @@
+"""FT-MP: fault-tolerant mixed-criticality scheduling on ``m`` processors.
+
+A library extension in the paper's stated future-work direction: the
+uniprocessor FT-S algorithm lifted to partitioned multiprocessor
+scheduling.  The lift is sound because partitioning reduces the problem
+to ``m`` independent instances of the paper's uniprocessor problem:
+
+- **safety** is processor-independent.  The plain bounds (eq. 2) count
+  rounds per task; the adapted bounds (eqs. 5/7) use the *global* trigger
+  — the mode switch fires when any HI task on any processor starts its
+  ``(n'+1)``-th execution and kills/degrades every LO task system-wide —
+  which is exactly the quantity eq. (3) already bounds over all HI tasks;
+- **schedulability** holds iff some partition makes every processor pass
+  the uniprocessor backend test on its share of the converted set
+  (Lemma 4.1).
+
+The driver mirrors Algorithm 1, replacing line 8's test with "a first-fit
+partition exists at this adaptation profile".  The heuristic keeps the
+scan sound (a found partition is proof; a miss is merely inconclusive, so
+the reported ``n2`` may be pessimistic — as with any sufficient test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import SchedulerBackend
+from repro.core.conversion import convert_uniform
+from repro.core.ftmc import DEFAULT_OPERATION_HOURS, FTSFailure
+from repro.core.profiles import (
+    minimal_adaptation_profile,
+    minimal_reexecution_profiles,
+    pfh_lo_adapted,
+)
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.model.task import TaskSet
+from repro.multicore.partition import Partition, first_fit_decreasing
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, pfh_plain
+
+__all__ = ["FTMPResult", "ft_schedule_partitioned"]
+
+
+@dataclass(frozen=True)
+class FTMPResult:
+    """Outcome of one FT-MP run."""
+
+    success: bool
+    failure: FTSFailure | None
+    m: int
+    backend_name: str
+    mechanism: str
+    operation_hours: float
+    n_hi: int | None = None
+    n_lo: int | None = None
+    n1_hi: int | None = None
+    n2_hi: int | None = None
+    adaptation: int | None = None
+    partition: Partition | None = None
+    pfh_hi: float = float("nan")
+    pfh_lo: float = float("nan")
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+def ft_schedule_partitioned(
+    taskset: TaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    operation_hours: float = DEFAULT_OPERATION_HOURS,
+    max_n: int = DEFAULT_MAX_REEXECUTIONS,
+    assume_full_wcet: bool = True,
+) -> FTMPResult:
+    """FT-S on ``m`` processors via first-fit partitioning.
+
+    Identical to :func:`repro.core.ftmc.ft_schedule` except that the
+    schedulability oracle is "the converted set partitions onto ``m``
+    processors with every share passing the backend test".
+    """
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+
+    def fail(reason: FTSFailure, **fields) -> FTMPResult:
+        return FTMPResult(
+            success=False,
+            failure=reason,
+            m=m,
+            backend_name=backend.name,
+            mechanism=backend.mechanism,
+            operation_hours=operation_hours,
+            **fields,
+        )
+
+    profiles = minimal_reexecution_profiles(
+        taskset, max_n=max_n, assume_full_wcet=assume_full_wcet
+    )
+    if profiles is None:
+        return fail(FTSFailure.UNSAFE_REEXECUTION)
+    n_hi, n_lo = profiles.n_hi, profiles.n_lo
+
+    n1 = minimal_adaptation_profile(
+        taskset, n_hi, n_lo, backend.mechanism, operation_hours,
+        assume_full_wcet,
+    )
+    if n1 is None:
+        return fail(FTSFailure.UNSAFE_ADAPTATION, n_hi=n_hi, n_lo=n_lo)
+
+    n2 = None
+    partition = None
+    for n_prime in range(n_hi, 0, -1):
+        mc = convert_uniform(taskset, n_hi, n_lo, n_prime)
+        found = first_fit_decreasing(mc, m, backend)
+        if found is not None:
+            n2 = n_prime
+            partition = found
+            break
+    if n2 is None:
+        return fail(FTSFailure.UNSCHEDULABLE, n_hi=n_hi, n_lo=n_lo, n1_hi=n1)
+    if n1 > n2:
+        return fail(
+            FTSFailure.INFEASIBLE_WINDOW, n_hi=n_hi, n_lo=n_lo,
+            n1_hi=n1, n2_hi=n2,
+        )
+
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    return FTMPResult(
+        success=True,
+        failure=None,
+        m=m,
+        backend_name=backend.name,
+        mechanism=backend.mechanism,
+        operation_hours=operation_hours,
+        n_hi=n_hi,
+        n_lo=n_lo,
+        n1_hi=n1,
+        n2_hi=n2,
+        adaptation=n2,
+        partition=partition,
+        pfh_hi=pfh_plain(taskset, CriticalityRole.HI, reexecution,
+                         assume_full_wcet),
+        pfh_lo=pfh_lo_adapted(
+            taskset, n_hi, n_lo, n2, backend.mechanism, operation_hours,
+            assume_full_wcet,
+        ),
+    )

@@ -1,0 +1,108 @@
+"""Partitioning heuristics for mixed-criticality task sets.
+
+Building block of the partitioned-multiprocessor extension
+(:mod:`repro.multicore.ftmp`).  A partition assigns every task of a
+converted MC task set (Lemma 4.1) to one of ``m`` processors; each
+processor is then exactly the paper's uniprocessor problem.
+
+Heuristics (all first-fit flavoured, the standard baseline family):
+
+- :func:`first_fit_decreasing` — tasks sorted by a size measure, placed
+  on the first processor whose backend test still passes;
+- *criticality-aware* ordering (HI tasks first) tends to spread the HI
+  load before the LO filler arrives, which helps the EDF-VD test whose
+  HI-mode term is the bottleneck.
+
+Feasibility of a placement is delegated to the uniprocessor backend, so
+any :class:`~repro.core.backends.SchedulerBackend` works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import SchedulerBackend
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+
+__all__ = ["Partition", "first_fit_decreasing"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of MC tasks to processors."""
+
+    processors: tuple[MCTaskSet, ...]
+
+    @property
+    def m(self) -> int:
+        return len(self.processors)
+
+    def processor_of(self, task_name: str) -> int:
+        for index, processor in enumerate(self.processors):
+            if any(t.name == task_name for t in processor):
+                return index
+        raise KeyError(task_name)
+
+    def describe(self) -> str:
+        lines = []
+        for index, processor in enumerate(self.processors):
+            names = ", ".join(t.name for t in processor)
+            lines.append(
+                f"P{index}: U_HI^HI={processor.u_hi_hi:.3f} "
+                f"U_LO^LO={processor.u_lo_lo:.3f} [{names}]"
+            )
+        return "\n".join(lines)
+
+
+def _size(task: MCTask) -> float:
+    """Bin-packing size: the task's largest per-mode utilization."""
+    return max(
+        task.utilization(CriticalityRole.HI),
+        task.utilization(CriticalityRole.LO),
+    )
+
+
+def first_fit_decreasing(
+    mc: MCTaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    criticality_aware: bool = True,
+) -> Partition | None:
+    """First-fit decreasing partitioning validated by the backend test.
+
+    Tasks are ordered by decreasing size; with ``criticality_aware`` the
+    HI tasks are placed before any LO task.  A task goes to the first
+    processor where the backend still accepts the accumulated set.
+    Returns ``None`` when some task fits nowhere.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+    if criticality_aware:
+        ordered = sorted(
+            mc,
+            key=lambda t: (
+                t.criticality is not CriticalityRole.HI,  # HI first
+                -_size(t),
+            ),
+        )
+    else:
+        ordered = sorted(mc, key=lambda t: -_size(t))
+
+    bins: list[list[MCTask]] = [[] for _ in range(m)]
+    for task in ordered:
+        placed = False
+        for bin_tasks in bins:
+            candidate = MCTaskSet(bin_tasks + [task])
+            if backend.is_schedulable(candidate):
+                bin_tasks.append(task)
+                placed = True
+                break
+        if not placed:
+            return None
+    return Partition(
+        processors=tuple(
+            MCTaskSet(bin_tasks, name=f"{mc.name}/P{index}")
+            for index, bin_tasks in enumerate(bins)
+        )
+    )

@@ -1,0 +1,27 @@
+"""Multi-level (beyond dual) criticality — library extension.
+
+The paper defines criticalities over all five DO-178B levels but analyses
+the dual case "for ease of presentation".  This subpackage generalises
+via a sound *grouped reduction*: pick a boundary level, protect everything
+at or above it, adapt everything below it together, and apply the paper's
+dual-criticality machinery (Lemma 4.1, Algorithm 1) to the reduced
+system while checking every level's PFH ceiling individually.
+"""
+
+from repro.multilevel.ftml import MLResult, ft_schedule_multilevel
+from repro.multilevel.model import MLTask, MLTaskSet
+from repro.multilevel.reduction import (
+    boundary_candidates,
+    level_projection,
+    reduce_at_boundary,
+)
+
+__all__ = [
+    "MLResult",
+    "ft_schedule_multilevel",
+    "MLTask",
+    "MLTaskSet",
+    "boundary_candidates",
+    "level_projection",
+    "reduce_at_boundary",
+]

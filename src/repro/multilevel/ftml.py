@@ -1,0 +1,264 @@
+"""FT-S-ML: fault-tolerant scheduling of multi-level systems.
+
+The multi-level driver generalises Algorithm 1 through the grouped
+reduction of :mod:`repro.multilevel.reduction`:
+
+1. *Per-level safety* (line 2 generalised): for every DO-178B level
+   present, find the minimal uniform re-execution profile meeting that
+   level's ceiling under the plain bound of eq. (2).
+2. *Baseline*: if plain EDF schedules the fully inflated workload, no
+   adaptation is needed.
+3. Otherwise scan the *boundary* ``b`` from the least critical candidate
+   upward (adapting as few levels as possible).  For each boundary:
+
+   - ``n1``: the smallest shared adaptation profile keeping **every**
+     LO-group level inside its own ceiling under the backend's mechanism
+     (eqs. 5/7, evaluated on the per-level projections);
+   - ``n2``: the largest profile the backend can schedule on the
+     Lemma 4.1 conversion with per-task (per-level) re-execution budgets;
+   - feasible iff ``n1 <= n2`` (Algorithm 1, lines 9-15).
+
+4. The first feasible boundary wins; FAILURE if none is.
+
+The result is sound by Theorem 4.1 applied to the reduced dual system;
+see the reduction module for why it is conservative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.edf import Workload, edf_schedulable
+from repro.core.backends import SchedulerBackend
+from repro.core.conversion import convert
+from repro.core.ftmc import DEFAULT_OPERATION_HOURS
+from repro.model.criticality import DO178BLevel
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.mc_task import MCTaskSet
+from repro.model.task import HOUR_MS
+from repro.multilevel.model import MLTaskSet
+from repro.multilevel.reduction import (
+    boundary_candidates,
+    level_projection,
+    reduce_at_boundary,
+)
+from repro.safety.degradation import pfh_lo_degradation
+from repro.safety.killing import pfh_lo_killing
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, max_rounds
+
+__all__ = ["MLResult", "ft_schedule_multilevel"]
+
+
+@dataclass(frozen=True)
+class MLResult:
+    """Outcome of one FT-S-ML run."""
+
+    success: bool
+    reason: str
+    backend_name: str
+    mechanism: str
+    operation_hours: float
+    #: Minimal re-execution profile per present level (empty on early fail).
+    level_profiles: dict[DO178BLevel, int] = field(default_factory=dict)
+    #: Chosen boundary; ``None`` when the baseline sufficed or on failure.
+    boundary: DO178BLevel | None = None
+    #: Shared adaptation profile of the HI group (``None`` without one).
+    adaptation: int | None = None
+    #: Plain-bound PFH per level at the chosen profiles.
+    pfh_plain: dict[DO178BLevel, float] = field(default_factory=dict)
+    #: Adapted-bound PFH per LO-group level (killing/degradation).
+    pfh_adapted: dict[DO178BLevel, float] = field(default_factory=dict)
+    #: Converted MC task set when adaptation is used.
+    mc_taskset: MCTaskSet | None = None
+
+    def __bool__(self) -> bool:
+        return self.success
+
+
+def _minimal_level_profile(
+    taskset: MLTaskSet,
+    level: DO178BLevel,
+    max_n: int,
+    assume_full_wcet: bool,
+) -> tuple[int, float] | None:
+    """Smallest uniform ``n`` with ``pfh(level) <= ceiling`` (eq. 2)."""
+    tasks = taskset.by_level(level)
+    ceiling = level.pfh_ceiling
+    for n in range(1, max_n + 1):
+        value = 0.0
+        for task in tasks:
+            scratch = _scratch_task(task)
+            rounds = max_rounds(scratch, n, HOUR_MS, assume_full_wcet)
+            value += rounds * task.failure_probability**n
+        if value <= ceiling:
+            return n, value
+    return None
+
+
+def _scratch_task(ml_task):
+    from repro.model.criticality import CriticalityRole
+    from repro.model.task import Task
+
+    return Task(
+        ml_task.name,
+        ml_task.period,
+        ml_task.deadline,
+        ml_task.wcet,
+        CriticalityRole.HI,
+        ml_task.failure_probability,
+    )
+
+
+def ft_schedule_multilevel(
+    taskset: MLTaskSet,
+    backend: SchedulerBackend,
+    operation_hours: float = DEFAULT_OPERATION_HOURS,
+    max_n: int = DEFAULT_MAX_REEXECUTIONS,
+    assume_full_wcet: bool = True,
+) -> MLResult:
+    """Run FT-S-ML on a multi-level system with the given backend."""
+
+    def fail(reason: str, **fields) -> MLResult:
+        return MLResult(
+            success=False,
+            reason=reason,
+            backend_name=backend.name,
+            mechanism=backend.mechanism,
+            operation_hours=operation_hours,
+            **fields,
+        )
+
+    levels = taskset.levels()
+    if not levels:
+        return fail("empty task set")
+
+    # Step 1: per-level minimal re-execution profiles (plain eq. 2).
+    level_profiles: dict[DO178BLevel, int] = {}
+    pfh_plain: dict[DO178BLevel, float] = {}
+    for level in levels:
+        found = _minimal_level_profile(taskset, level, max_n, assume_full_wcet)
+        if found is None:
+            return fail(
+                f"level {level.name} cannot meet its PFH ceiling within "
+                f"{max_n} executions"
+            )
+        level_profiles[level], pfh_plain[level] = found
+
+    profile_of = {t.name: level_profiles[t.level] for t in taskset}
+
+    # Step 2: no-adaptation baseline — plain EDF on the inflated workload.
+    inflated = [
+        Workload(t.period, t.deadline, profile_of[t.name] * t.wcet)
+        for t in taskset
+    ]
+    if edf_schedulable(inflated):
+        return MLResult(
+            success=True,
+            reason="schedulable by plain EDF with full re-execution budgets",
+            backend_name="edf",
+            mechanism="none",
+            operation_hours=operation_hours,
+            level_profiles=level_profiles,
+            pfh_plain=pfh_plain,
+        )
+
+    # Step 3: boundary scan, least-critical candidate first.
+    for boundary in boundary_candidates(taskset):
+        dual = reduce_at_boundary(taskset, boundary)
+        reexecution = ReexecutionProfile(
+            {t.name: profile_of[t.name] for t in dual}
+        )
+        cap = min(
+            level_profiles[level]
+            for level in levels
+            if level >= boundary
+        )
+
+        # n1: every LO-group level individually safe under adaptation.
+        n1 = 1
+        pfh_adapted: dict[DO178BLevel, float] = {}
+        feasible_safety = True
+        for level in levels:
+            if level >= boundary:
+                continue
+            projection = level_projection(taskset, boundary, level)
+            proj_profile = ReexecutionProfile(
+                {t.name: profile_of[t.name] for t in projection}
+            )
+            level_n1 = None
+            for n_prime in range(1, cap + 1):
+                adaptation = AdaptationProfile.uniform(projection, n_prime)
+                if backend.mechanism == "degrade":
+                    value = pfh_lo_degradation(
+                        projection, proj_profile, adaptation,
+                        operation_hours, assume_full_wcet,
+                    )
+                else:
+                    value = pfh_lo_killing(
+                        projection, proj_profile, adaptation,
+                        operation_hours, assume_full_wcet,
+                    )
+                if value < level.pfh_ceiling:
+                    level_n1 = n_prime
+                    pfh_adapted[level] = value
+                    break
+            if level_n1 is None:
+                feasible_safety = False
+                break
+            n1 = max(n1, level_n1)
+        if not feasible_safety:
+            continue
+
+        # n2: maximal schedulable adaptation profile (Lemma 4.1 conversion).
+        n2 = None
+        for n_prime in range(cap, 0, -1):
+            adaptation = AdaptationProfile.uniform(dual, n_prime)
+            mc = convert(dual, reexecution, adaptation)
+            if backend.is_schedulable(mc):
+                n2 = n_prime
+                break
+        if n2 is None or n1 > n2:
+            continue
+
+        # Recompute the adapted bounds at the adopted profile n2.
+        final_adapted: dict[DO178BLevel, float] = {}
+        for level in levels:
+            if level >= boundary:
+                continue
+            projection = level_projection(taskset, boundary, level)
+            proj_profile = ReexecutionProfile(
+                {t.name: profile_of[t.name] for t in projection}
+            )
+            adaptation = AdaptationProfile.uniform(projection, n2)
+            if backend.mechanism == "degrade":
+                final_adapted[level] = pfh_lo_degradation(
+                    projection, proj_profile, adaptation,
+                    operation_hours, assume_full_wcet,
+                )
+            else:
+                final_adapted[level] = pfh_lo_killing(
+                    projection, proj_profile, adaptation,
+                    operation_hours, assume_full_wcet,
+                )
+
+        adaptation = AdaptationProfile.uniform(dual, n2)
+        return MLResult(
+            success=True,
+            reason=f"feasible at boundary {boundary.name} with n'={n2}",
+            backend_name=backend.name,
+            mechanism=backend.mechanism,
+            operation_hours=operation_hours,
+            level_profiles=level_profiles,
+            boundary=boundary,
+            adaptation=n2,
+            pfh_plain=pfh_plain,
+            pfh_adapted=final_adapted,
+            mc_taskset=convert(dual, reexecution, adaptation),
+        )
+
+    return fail(
+        "no boundary yields overlapping safe and schedulable adaptation "
+        "profiles",
+        level_profiles=level_profiles,
+        pfh_plain=pfh_plain,
+    )

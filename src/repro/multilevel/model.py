@@ -1,0 +1,112 @@
+"""Multi-level task model: tasks carrying concrete DO-178B levels.
+
+The paper's model (Section 2.1) defines criticalities over all five
+DO-178B levels but analyses only the dual case "for ease of
+presentation".  This subpackage builds the natural multi-level
+generalisation on top of the dual-criticality machinery (see
+:mod:`repro.multilevel.reduction` for the semantics).
+
+A :class:`MLTask` is a sporadic task whose criticality is a concrete
+:class:`~repro.model.criticality.DO178BLevel`; :class:`MLTaskSet` groups
+tasks by level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.model.criticality import DO178BLevel
+
+__all__ = ["MLTask", "MLTaskSet"]
+
+
+@dataclass(frozen=True)
+class MLTask:
+    """A sporadic task at one of the five DO-178B levels."""
+
+    name: str
+    period: float
+    deadline: float
+    wcet: float
+    level: DO178BLevel
+    failure_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError(f"{self.name}: period must be positive")
+        if self.deadline <= 0:
+            raise ValueError(f"{self.name}: deadline must be positive")
+        if self.wcet < 0:
+            raise ValueError(f"{self.name}: WCET must be non-negative")
+        if not 0.0 <= self.failure_probability < 1.0:
+            raise ValueError(
+                f"{self.name}: failure probability must lie in [0, 1)"
+            )
+
+    @property
+    def utilization(self) -> float:
+        return self.wcet / self.period
+
+
+class MLTaskSet:
+    """An ordered collection of multi-level tasks."""
+
+    def __init__(self, tasks: Iterable[MLTask], name: str = "ml-taskset") -> None:
+        self._tasks = tuple(tasks)
+        self.name = name
+        seen: set[str] = set()
+        for task in self._tasks:
+            if task.name in seen:
+                raise ValueError(f"duplicate task name: {task.name!r}")
+            seen.add(task.name)
+
+    def __iter__(self) -> Iterator[MLTask]:
+        return iter(self._tasks)
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __getitem__(self, index: int) -> MLTask:
+        return self._tasks[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MLTaskSet({self.name!r}, n={len(self)})"
+
+    @property
+    def tasks(self) -> tuple[MLTask, ...]:
+        return self._tasks
+
+    def task(self, name: str) -> MLTask:
+        for t in self._tasks:
+            if t.name == name:
+                return t
+        raise KeyError(name)
+
+    def levels(self) -> list[DO178BLevel]:
+        """Distinct levels present, most critical first."""
+        return sorted({t.level for t in self._tasks}, reverse=True)
+
+    def by_level(self, level: DO178BLevel) -> tuple[MLTask, ...]:
+        return tuple(t for t in self._tasks if t.level is level)
+
+    def at_or_above(self, level: DO178BLevel) -> tuple[MLTask, ...]:
+        return tuple(t for t in self._tasks if t.level >= level)
+
+    def below(self, level: DO178BLevel) -> tuple[MLTask, ...]:
+        return tuple(t for t in self._tasks if t.level < level)
+
+    def utilization(self, level: DO178BLevel | None = None) -> float:
+        tasks = self._tasks if level is None else self.by_level(level)
+        return sum(t.utilization for t in tasks)
+
+    def describe(self) -> str:
+        header = f"{'task':<12}{'level':<7}{'T':>10}{'D':>10}{'C':>10}{'f':>12}"
+        rows = [header, "-" * len(header)]
+        for t in self._tasks:
+            rows.append(
+                f"{t.name:<12}{t.level.name:<7}{t.period:>10.6g}"
+                f"{t.deadline:>10.6g}{t.wcet:>10.6g}{t.failure_probability:>12.3g}"
+            )
+        rows.append(f"U = {self.utilization():.5f}")
+        return "\n".join(rows)

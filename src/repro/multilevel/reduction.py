@@ -1,0 +1,113 @@
+"""Reduction of a multi-level system to the paper's dual-criticality form.
+
+Semantics (conservative grouping): pick a *boundary* level ``b``.  Tasks
+at levels ``>= b`` form the HI group — they are never killed or degraded
+and each level keeps its own re-execution profile, so its PFH follows the
+plain bound of eq. (2).  Tasks below ``b`` form the LO group — they are
+all killed/degraded together when any HI-group instance starts its
+``(n' + 1)``-th execution, and each LO-group *level* must individually
+satisfy its ceiling under the adapted bounds (eqs. 5/7).
+
+This collapse is sound: it instantiates exactly the dual-criticality
+problem the paper solves, with per-task re-execution profiles (which
+Lemma 4.1's conversion supports).  It is conservative because a genuinely
+multi-level runtime could adapt levels one at a time; analysing that
+cascade is an open problem the paper does not treat.
+
+The per-level safety bounds only involve (a) the tasks of the level under
+analysis and (b) the HI-group trigger tasks, so the reduction materialises
+one dual task set per LO-group level for the eq. (5)/(7) evaluations.
+"""
+
+from __future__ import annotations
+
+from repro.model.criticality import (
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+)
+from repro.model.task import Task, TaskSet
+from repro.multilevel.model import MLTask, MLTaskSet
+
+__all__ = ["boundary_candidates", "reduce_at_boundary", "level_projection"]
+
+
+def _as_dual_task(task: MLTask, role: CriticalityRole) -> Task:
+    return Task(
+        name=task.name,
+        period=task.period,
+        deadline=task.deadline,
+        wcet=task.wcet,
+        criticality=role,
+        failure_probability=task.failure_probability,
+    )
+
+
+def boundary_candidates(taskset: MLTaskSet) -> list[DO178BLevel]:
+    """Boundaries worth trying: every present level except the lowest.
+
+    A boundary ``b`` puts levels ``>= b`` in the HI group; the lowest
+    present level as a boundary would leave the LO group empty (that is
+    the no-adaptation baseline, handled separately by callers).  Returned
+    least-critical-first, so scanning adapts as few levels as possible
+    first.
+    """
+    levels = taskset.levels()  # most critical first
+    if len(levels) < 2:
+        return []
+    return sorted(levels[:-1])
+
+
+def reduce_at_boundary(
+    taskset: MLTaskSet, boundary: DO178BLevel
+) -> TaskSet:
+    """The grouped dual-criticality task set for boundary ``b``.
+
+    The attached :class:`DualCriticalitySpec` binds HI to the *least*
+    critical level of the HI group and LO to the *most* critical level of
+    the LO group — the two levels whose ceilings gate the grouped
+    searches (every other group member's ceiling is checked per level by
+    the multi-level driver).
+    """
+    hi_group = taskset.at_or_above(boundary)
+    lo_group = taskset.below(boundary)
+    if not hi_group:
+        raise ValueError(f"boundary {boundary.name} leaves the HI group empty")
+    if not lo_group:
+        raise ValueError(f"boundary {boundary.name} leaves the LO group empty")
+    tasks = [_as_dual_task(t, CriticalityRole.HI) for t in hi_group]
+    tasks += [_as_dual_task(t, CriticalityRole.LO) for t in lo_group]
+    hi_level = min(t.level for t in hi_group)
+    lo_level = max(t.level for t in lo_group)
+    return TaskSet(
+        tasks,
+        spec=DualCriticalitySpec(hi_level, lo_level),
+        name=f"{taskset.name}@{boundary.name}",
+    )
+
+
+def level_projection(
+    taskset: MLTaskSet, boundary: DO178BLevel, level: DO178BLevel
+) -> TaskSet:
+    """Dual task set for the eq. (5)/(7) bound of one LO-group level.
+
+    Contains the full HI group (the kill/degrade triggers) and, as LO
+    tasks, only the tasks of ``level``; the adapted-safety bounds are
+    separable per LO level, so this is exact.
+    """
+    if level >= boundary:
+        raise ValueError(
+            f"level {level.name} is not below the boundary {boundary.name}"
+        )
+    hi_group = taskset.at_or_above(boundary)
+    members = taskset.by_level(level)
+    if not members:
+        raise ValueError(f"no tasks at level {level.name}")
+    tasks = [_as_dual_task(t, CriticalityRole.HI) for t in hi_group]
+    tasks += [_as_dual_task(t, CriticalityRole.LO) for t in members]
+    hi_level = min(t.level for t in hi_group)
+    return TaskSet(
+        tasks,
+        spec=DualCriticalitySpec(hi_level, level),
+        name=f"{taskset.name}@{boundary.name}/{level.name}",
+    )

@@ -1,0 +1,274 @@
+"""Certification-style analysis report for a dual-criticality system.
+
+Runs the complete FT-S toolchain on a task set — plain safety
+quantification, the no-adaptation baseline, FT-EDF-VD with killing and
+with degradation — and renders one human-readable report: the artifact a
+certification engineer would file next to the DO-178B evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis.edf import schedulable_without_adaptation
+from repro.core.ftmc import (
+    DEFAULT_OPERATION_HOURS,
+    FTSResult,
+    ft_edf_vd,
+    ft_edf_vd_degradation,
+)
+from repro.core.profiles import minimal_reexecution_profiles
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.model.task import TaskSet
+from repro.safety.pfh import pfh_plain
+
+__all__ = [
+    "AnalysisReport",
+    "analyse_system",
+    "render_report",
+    "analyse_multilevel_system",
+    "render_multilevel_report",
+]
+
+
+@dataclass
+class AnalysisReport:
+    """Everything :func:`analyse_system` derives about one system."""
+
+    taskset: TaskSet
+    operation_hours: float
+    degradation_factor: float
+    #: Line-2 profiles, or ``None`` if no profile meets the ceilings.
+    n_hi: int | None
+    n_lo: int | None
+    #: PFH bounds at the minimal profiles (``nan`` when undefined).
+    pfh_hi: float
+    pfh_lo_plain: float
+    #: Plain EDF feasibility with every re-execution budgeted.
+    baseline_schedulable: bool
+    kill_result: FTSResult | None
+    degrade_result: FTSResult | None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether *some* strategy certifies the system."""
+        return bool(
+            self.baseline_schedulable
+            or (self.kill_result and self.kill_result.success)
+            or (self.degrade_result and self.degrade_result.success)
+        )
+
+    @property
+    def recommendation(self) -> str:
+        """The cheapest certifying strategy, in preference order."""
+        if self.n_hi is None:
+            return "infeasible: no re-execution profile meets the PFH ceilings"
+        if self.baseline_schedulable:
+            return "plain EDF with re-execution (no runtime adaptation needed)"
+        if self.degrade_result is not None and self.degrade_result.success:
+            return (
+                "EDF-VD with service degradation "
+                f"(df={self.degradation_factor:g}, "
+                f"n'_HI={self.degrade_result.adaptation})"
+            )
+        if self.kill_result is not None and self.kill_result.success:
+            return f"EDF-VD with task killing (n'_HI={self.kill_result.adaptation})"
+        return "infeasible: no evaluated strategy satisfies safety + schedulability"
+
+
+def analyse_system(
+    taskset: TaskSet,
+    operation_hours: float = DEFAULT_OPERATION_HOURS,
+    degradation_factor: float = 6.0,
+) -> AnalysisReport:
+    """Run the complete toolchain on ``taskset``.
+
+    Degradation is preferred over killing in the recommendation whenever
+    both succeed, per the paper's conclusion that killing is improper when
+    LO tasks carry safety requirements (and harmless to prefer when they
+    do not).
+    """
+    if taskset.spec is None:
+        raise ValueError("task set needs a dual-criticality spec to analyse")
+    profiles = minimal_reexecution_profiles(taskset)
+    if profiles is None:
+        return AnalysisReport(
+            taskset=taskset,
+            operation_hours=operation_hours,
+            degradation_factor=degradation_factor,
+            n_hi=None,
+            n_lo=None,
+            pfh_hi=math.nan,
+            pfh_lo_plain=math.nan,
+            baseline_schedulable=False,
+            kill_result=None,
+            degrade_result=None,
+        )
+    reexecution = ReexecutionProfile.uniform(taskset, profiles.n_hi, profiles.n_lo)
+    return AnalysisReport(
+        taskset=taskset,
+        operation_hours=operation_hours,
+        degradation_factor=degradation_factor,
+        n_hi=profiles.n_hi,
+        n_lo=profiles.n_lo,
+        pfh_hi=pfh_plain(taskset, CriticalityRole.HI, reexecution),
+        pfh_lo_plain=pfh_plain(taskset, CriticalityRole.LO, reexecution),
+        baseline_schedulable=schedulable_without_adaptation(taskset, reexecution),
+        kill_result=ft_edf_vd(taskset, operation_hours=operation_hours),
+        degrade_result=ft_edf_vd_degradation(
+            taskset, degradation_factor, operation_hours=operation_hours
+        ),
+    )
+
+
+def _fts_line(label: str, result: FTSResult | None) -> str:
+    if result is None:
+        return f"  {label:<28} not evaluated"
+    if result.success:
+        detail = (
+            f"SUCCESS  n'_HI={result.adaptation}  "
+            f"pfh(LO)={result.pfh_lo:.3e}"
+        )
+        if not math.isnan(result.u_mc):
+            detail += f"  U_MC={result.u_mc:.4f}"
+    else:
+        detail = f"FAILURE  ({result.failure.value})"  # type: ignore[union-attr]
+    return f"  {label:<28} {detail}"
+
+
+def render_report(report: AnalysisReport) -> str:
+    """Render an :class:`AnalysisReport` as a plain-text document."""
+    taskset = report.taskset
+    spec = taskset.spec
+    assert spec is not None
+    lines = [
+        "=" * 72,
+        f"FAULT-TOLERANT MIXED-CRITICALITY ANALYSIS — {taskset.name}",
+        "=" * 72,
+        "",
+        taskset.describe(),
+        "",
+        f"criticality binding: HI={spec.hi_level.name} "
+        f"(PFH < {spec.pfh_requirement(CriticalityRole.HI):g}), "
+        f"LO={spec.lo_level.name} "
+        f"(PFH < {spec.pfh_requirement(CriticalityRole.LO):g})",
+        f"mission duration OS = {report.operation_hours:g} h",
+        "",
+        "-- safety (Lemma 3.1, no adaptation) " + "-" * 34,
+    ]
+    if report.n_hi is None:
+        lines.append("  NO re-execution profile meets the PFH ceilings")
+    else:
+        lines += [
+            f"  minimal re-execution profiles: n_HI={report.n_hi}, "
+            f"n_LO={report.n_lo}",
+            f"  pfh(HI) = {report.pfh_hi:.3e}",
+            f"  pfh(LO) = {report.pfh_lo_plain:.3e}",
+            "",
+            "-- schedulability " + "-" * 53,
+            f"  {'plain EDF (inflated)':<28} "
+            + ("SCHEDULABLE" if report.baseline_schedulable else "NOT schedulable"),
+            _fts_line("FT-EDF-VD (killing)", report.kill_result),
+            _fts_line(
+                f"FT-EDF-VD (degrade df={report.degradation_factor:g})",
+                report.degrade_result,
+            ),
+        ]
+    lines += [
+        "",
+        "-- verdict " + "-" * 60,
+        f"  {'CERTIFIABLE' if report.feasible else 'INFEASIBLE'}: "
+        f"{report.recommendation}",
+        "=" * 72,
+    ]
+    return "\n".join(lines)
+
+
+# -- multi-level reporting -----------------------------------------------------
+
+
+def analyse_multilevel_system(
+    taskset,
+    operation_hours: float = DEFAULT_OPERATION_HOURS,
+    degradation_factor: float = 6.0,
+):
+    """Run FT-S-ML with both mechanisms on a multi-level system.
+
+    Returns ``(kill_result, degrade_result)`` — two
+    :class:`repro.multilevel.ftml.MLResult` values.
+    """
+    from repro.core.backends import EDFVDBackend, EDFVDDegradationBackend
+    from repro.multilevel.ftml import ft_schedule_multilevel
+
+    kill = ft_schedule_multilevel(
+        taskset, EDFVDBackend(), operation_hours=operation_hours
+    )
+    degrade = ft_schedule_multilevel(
+        taskset,
+        EDFVDDegradationBackend(degradation_factor),
+        operation_hours=operation_hours,
+    )
+    return kill, degrade
+
+
+def _ml_outcome_lines(label: str, result) -> list[str]:
+    lines = [f"  {label}:"]
+    if not result.success:
+        lines.append(f"    FAILURE — {result.reason}")
+        return lines
+    lines.append(f"    SUCCESS — {result.reason}")
+    if result.boundary is not None:
+        lines.append(
+            f"    boundary {result.boundary.name}: levels >= "
+            f"{result.boundary.name} protected, below adapted "
+            f"(n'={result.adaptation})"
+        )
+        for level, value in sorted(
+            result.pfh_adapted.items(), key=lambda kv: -kv[0]
+        ):
+            ceiling = level.pfh_ceiling
+            lines.append(
+                f"      pfh({level.name}) adapted = {value:.3e} "
+                f"(ceiling {ceiling:g})"
+            )
+    return lines
+
+
+def render_multilevel_report(taskset, kill_result, degrade_result) -> str:
+    """Plain-text report for a multi-level FT-S-ML analysis."""
+    lines = [
+        "=" * 72,
+        f"MULTI-LEVEL FAULT-TOLERANT ANALYSIS — {taskset.name}",
+        "=" * 72,
+        "",
+        taskset.describe(),
+        "",
+        "-- per-level safety (plain, eq. 2) " + "-" * 36,
+    ]
+    source = kill_result if kill_result.level_profiles else degrade_result
+    if not source.level_profiles:
+        lines.append("  no re-execution profile meets some level's ceiling")
+    else:
+        for level in sorted(source.level_profiles, key=lambda lv: -lv):
+            n = source.level_profiles[level]
+            pfh = source.pfh_plain.get(level, float("nan"))
+            lines.append(
+                f"  level {level.name}: n = {n}, pfh = {pfh:.3e} "
+                f"(ceiling {level.pfh_ceiling:g})"
+            )
+    lines.append("")
+    lines.append("-- strategies " + "-" * 57)
+    lines += _ml_outcome_lines("task killing (EDF-VD)", kill_result)
+    lines += _ml_outcome_lines(
+        "service degradation (EDF-VD)", degrade_result
+    )
+    feasible = kill_result.success or degrade_result.success
+    lines += [
+        "",
+        "-- verdict " + "-" * 60,
+        f"  {'CERTIFIABLE' if feasible else 'INFEASIBLE'}",
+        "=" * 72,
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,257 @@
+"""Safety quantification under task killing (Section 3.3, Lemmas 3.2/3.3).
+
+When the killing mechanism is armed, the LO tasks' safety depends on *when*
+they are killed.  The paper bounds this in two steps:
+
+- Lemma 3.2 / eq. (3): the probability that no HI task instance ever starts
+  its ``(n'_i + 1)``-th execution within ``[0, t]`` is at least
+
+  ``R(N'_HI, t) = prod_{tau_i in tau_HI} (1 - f_i^{n'_i})^{r_i(n'_i, t)}``
+
+  so ``1 - R(N'_HI, t)`` upper-bounds the probability that the LO tasks
+  have been killed by time ``t``.
+
+- Lemma 3.3 / eqs. (4)-(5): placing the rounds of a LO task ``tau_i`` as
+  late as possible maximises the kill probability each round is exposed to.
+  The per-round finishing instants are the *timing points*
+
+  ``pi_i(t) = {t - n_i C_i - m T_i + D_i | 1 <= m < r_i(n_i, t)} U {t}``
+
+  and the LO-level PFH is bounded by
+
+  ``pfh(LO) = (1/OS) * sum_{tau_i in tau_LO} sum_{alpha in pi_i(t)}
+              [1 - R(N'_HI, alpha) * (1 - f_i^{n_i})]``  with ``t = OS`` hours.
+
+The sums run over tens of thousands of timing points per task over a
+10-hour mission, so the evaluator is numpy-vectorised; products of many
+near-one factors are accumulated in log space via ``log1p``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.model.faults import (
+    AdaptationProfile,
+    ReexecutionProfile,
+    round_failure_probability,
+)
+from repro.model.task import HOUR_MS, Task, TaskSet
+from repro.safety.pfh import max_rounds
+
+__all__ = [
+    "survival_probability",
+    "survival_probability_at",
+    "kill_probability",
+    "timing_points",
+    "pfh_lo_killing",
+]
+
+
+def _hi_arrays(
+    hi_tasks: Sequence[Task],
+    adaptation: AdaptationProfile,
+    assume_full_wcet: bool,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-HI-task vectors (setup time n'C, period T, log(1 - f^n'))."""
+    setups = np.array(
+        [
+            (adaptation[t] * t.wcet if assume_full_wcet else 0.0)
+            for t in hi_tasks
+        ]
+    )
+    periods = np.array([t.period for t in hi_tasks])
+    log_success = np.array(
+        [
+            math.log1p(-round_failure_probability(t.failure_probability, adaptation[t]))
+            for t in hi_tasks
+        ]
+    )
+    return setups, periods, log_success
+
+
+def survival_probability_at(
+    taskset: TaskSet,
+    adaptation: AdaptationProfile,
+    horizons: np.ndarray | Sequence[float],
+    assume_full_wcet: bool = True,
+) -> np.ndarray:
+    """Vectorised ``R(N'_HI, t)`` (eq. 3) over an array of horizons ``t``.
+
+    Returns an array of the same shape as ``horizons``.  Computation is in
+    log space: ``log R = sum_i r_i(n'_i, t) * log(1 - f_i^{n'_i})``.
+    """
+    t = np.asarray(horizons, dtype=float)
+    if np.any(t < 0):
+        raise ValueError("horizons must be non-negative")
+    hi_tasks = taskset.hi_tasks
+    if not hi_tasks:
+        return np.ones_like(t)
+    setups, periods, log_success = _hi_arrays(hi_tasks, adaptation, assume_full_wcet)
+    flat = t.ravel()
+    # rounds[i, k] = r_i(n'_i, t_k), vectorised form of eq. (1)
+    ratio = (flat[np.newaxis, :] - setups[:, np.newaxis]) / periods[:, np.newaxis]
+    rounds = np.maximum(np.floor(ratio + 1e-9) + 1.0, 0.0)
+    log_r = rounds.T @ log_success
+    return np.exp(log_r).reshape(t.shape)
+
+
+def survival_probability(
+    taskset: TaskSet,
+    adaptation: AdaptationProfile,
+    horizon: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """``R(N'_HI, t)`` of eq. (3) at a single horizon ``t``.
+
+    The probability that *no* instance of any HI task executes its
+    ``(n'_i + 1)``-th time within ``[0, t]`` — i.e. that the LO tasks have
+    not been killed/degraded by ``t``.
+    """
+    return float(
+        survival_probability_at(taskset, adaptation, np.array([horizon]),
+                                assume_full_wcet)[0]
+    )
+
+
+def kill_probability(
+    taskset: TaskSet,
+    adaptation: AdaptationProfile,
+    horizon: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """Upper bound ``1 - R(N'_HI, t)`` on the LO tasks being killed by ``t``."""
+    return 1.0 - survival_probability(taskset, adaptation, horizon, assume_full_wcet)
+
+
+def timing_points(
+    task: Task,
+    executions: int,
+    horizon: float,
+    assume_full_wcet: bool = True,
+) -> np.ndarray:
+    """``pi_i(t)`` of eq. (4): worst-case per-round finishing instants.
+
+    For LO task ``tau_i`` with ``r = r_i(n_i, t)`` rounds packed as late as
+    possible before ``t``, round ``r`` finishes at ``t`` and round ``r - m``
+    finishes no later than ``t - n_i C_i - m T_i + D_i`` (proof of
+    Lemma 3.3).  Points that fall at or below zero are dropped: a round that
+    cannot finish inside the window contributes nothing.
+
+    Returns the points sorted ascending, ending with ``t`` itself.
+    """
+    rounds = max_rounds(task, executions, horizon, assume_full_wcet)
+    if rounds <= 0:
+        return np.array([])
+    setup = executions * task.wcet if assume_full_wcet else 0.0
+    m = np.arange(1, rounds)
+    points = horizon - setup - m * task.period + task.deadline
+    points = points[points > 0.0]
+    return np.concatenate([np.sort(points), [horizon]])
+
+
+def pfh_lo_killing(
+    taskset: TaskSet,
+    reexecution: ReexecutionProfile,
+    adaptation: AdaptationProfile,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """``pfh(LO)`` under task killing — eq. (5) of Lemma 3.3.
+
+    Parameters
+    ----------
+    taskset:
+        The dual-criticality task set.
+    reexecution:
+        ``N``: executions per round for every task (``n_i`` of LO tasks
+        enters the per-round success ``1 - f_i^{n_i}`` and the spacing of
+        the timing points).
+    adaptation:
+        ``N'_HI``: the killing profile of the HI tasks.
+    operation_hours:
+        ``OS``: system operation duration in hours (the paper cites
+        1-10 h for commercial aircraft).  The bound is the cumulative
+        failure rate over ``OS`` hours divided by ``OS``.
+    assume_full_wcet:
+        Footnote 1 (see :func:`repro.safety.pfh.max_rounds`).
+
+    Notes
+    -----
+    The PFH of the HI level is *unaffected* by killing (HI tasks are never
+    killed) and remains eq. (2); use :func:`repro.safety.pfh.pfh_plain`.
+    """
+    if operation_hours <= 0:
+        raise ValueError(f"operation hours must be positive, got {operation_hours}")
+    adaptation.validate_for(taskset, reexecution)
+    horizon = operation_hours * HOUR_MS
+    total = 0.0
+    for task in taskset.lo_tasks:
+        n = reexecution[task]
+        points = timing_points(task, n, horizon, assume_full_wcet)
+        if points.size == 0:
+            continue
+        survival = survival_probability_at(
+            taskset, adaptation, points, assume_full_wcet
+        )
+        round_success = 1.0 - round_failure_probability(task.failure_probability, n)
+        # Per-round failure bound: 1 - R(alpha) * (1 - f^n)  (eq. 8)
+        total += float(np.sum(1.0 - survival * round_success))
+    return total / operation_hours
+
+
+def pfh_lo_killing_reference(
+    taskset: TaskSet,
+    reexecution: ReexecutionProfile,
+    adaptation: AdaptationProfile,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """Pure-Python reference implementation of eq. (5).
+
+    Mathematically identical to :func:`pfh_lo_killing`; kept as an oracle
+    for the vectorised evaluator in the test suite.  Orders of magnitude
+    slower — do not use in experiments.
+    """
+    if operation_hours <= 0:
+        raise ValueError(f"operation hours must be positive, got {operation_hours}")
+    horizon = operation_hours * HOUR_MS
+    total = 0.0
+    for task in taskset.lo_tasks:
+        n = reexecution[task]
+        rounds = max_rounds(task, n, horizon, assume_full_wcet)
+        if rounds <= 0:
+            continue
+        setup = n * task.wcet if assume_full_wcet else 0.0
+        points = [horizon]
+        for m in range(1, rounds):
+            alpha = horizon - setup - m * task.period + task.deadline
+            if alpha > 0:
+                points.append(alpha)
+        round_success = 1.0 - round_failure_probability(task.failure_probability, n)
+        for alpha in points:
+            r = _survival_scalar(taskset, adaptation, alpha, assume_full_wcet)
+            total += 1.0 - r * round_success
+    return total / operation_hours
+
+
+def _survival_scalar(
+    taskset: TaskSet,
+    adaptation: AdaptationProfile,
+    horizon: float,
+    assume_full_wcet: bool,
+) -> float:
+    """Scalar log-space evaluation of eq. (3) without numpy."""
+    log_r = 0.0
+    for task in taskset.hi_tasks:
+        n_prime = adaptation[task]
+        rounds = max_rounds(task, n_prime, horizon, assume_full_wcet)
+        failure = round_failure_probability(task.failure_probability, n_prime)
+        log_r += rounds * math.log1p(-failure)
+    return math.exp(log_r)
+
+
+__all__.append("pfh_lo_killing_reference")

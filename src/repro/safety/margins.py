@@ -1,0 +1,140 @@
+"""Safety margins and inverse analyses (library extension).
+
+The paper's forward direction is: given the hardware quality ``f_i``,
+find profiles meeting the PFH ceilings.  Certification practice often
+needs the *inverse* questions:
+
+- :func:`safety_margin` — by how much does a configuration beat its
+  ceiling (the certification headroom)?
+- :func:`max_tolerable_failure_probability` — what is the worst per-job
+  failure probability a given re-execution profile can absorb?  This
+  derives the hardware requirement ("any part with f below X works"),
+  e.g. when selecting COTS processors by soft-error rate.
+- :func:`required_profile_for_probability` — how does the minimal
+  profile grow as hardware degrades?  (The quantified version of the
+  paper's "with safer and more expensive hardware, the system
+  schedulability will be improved".)
+
+All searches exploit the monotonicity of eq. (2) in ``f`` (raising every
+``f_i`` raises the bound) and bisect to a relative precision of ~1e-6.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.safety.pfh import (
+    DEFAULT_MAX_REEXECUTIONS,
+    minimal_uniform_reexecution,
+    pfh_of_tasks,
+)
+
+__all__ = [
+    "safety_margin",
+    "max_tolerable_failure_probability",
+    "required_profile_for_probability",
+]
+
+#: Bisection iterations: 60 halvings of (0, 1) reach ~1e-18 absolute.
+_BISECTION_STEPS: int = 60
+
+
+def safety_margin(
+    taskset: TaskSet,
+    role: CriticalityRole,
+    profile: ReexecutionProfile,
+    assume_full_wcet: bool = True,
+) -> float:
+    """``ceiling / pfh``: the factor by which the level beats its ceiling.
+
+    Values above 1 mean certified with headroom; below 1, violation.
+    ``inf`` when the level has no quantified ceiling or a zero bound.
+    """
+    if taskset.spec is None:
+        raise ValueError("task set has no dual-criticality spec attached")
+    ceiling = taskset.spec.pfh_requirement(role)
+    value = pfh_of_tasks(
+        taskset.by_criticality(role), profile, assume_full_wcet=assume_full_wcet
+    )
+    if value == 0.0 or math.isinf(ceiling):
+        return math.inf
+    return ceiling / value
+
+
+def _with_probability(taskset: TaskSet, role: CriticalityRole, f: float) -> list[Task]:
+    return [
+        Task(t.name, t.period, t.deadline, t.wcet, t.criticality, f)
+        for t in taskset.by_criticality(role)
+    ]
+
+
+def max_tolerable_failure_probability(
+    taskset: TaskSet,
+    role: CriticalityRole,
+    executions: int,
+    pfh_ceiling: float | None = None,
+    assume_full_wcet: bool = True,
+) -> float:
+    """Largest uniform ``f`` the profile ``n = executions`` can absorb.
+
+    Bisects the monotone map ``f -> pfh(role)`` for the level's ceiling
+    (or an explicit one).  Returns 0.0 when even perfect hardware fails
+    the ceiling (only possible for a ceiling of 0) and a value < 1.
+    """
+    if pfh_ceiling is None:
+        if taskset.spec is None:
+            raise ValueError("need an explicit ceiling or an attached spec")
+        pfh_ceiling = taskset.spec.pfh_requirement(role)
+    if math.isinf(pfh_ceiling):
+        return 1.0 - 1e-12  # any hardware works for non-safety levels
+    tasks = taskset.by_criticality(role)
+    if not tasks:
+        return 1.0 - 1e-12
+
+    def bound_at(f: float) -> float:
+        substituted = _with_probability(taskset, role, f)
+        profile = ReexecutionProfile.constant(substituted, executions)
+        return pfh_of_tasks(substituted, profile, assume_full_wcet=assume_full_wcet)
+
+    low, high = 0.0, 1.0 - 1e-12
+    if bound_at(high) <= pfh_ceiling:
+        return high
+    if bound_at(low) > pfh_ceiling:
+        return 0.0
+    for _ in range(_BISECTION_STEPS):
+        mid = (low + high) / 2.0
+        if bound_at(mid) <= pfh_ceiling:
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def required_profile_for_probability(
+    taskset: TaskSet,
+    role: CriticalityRole,
+    failure_probability: float,
+    pfh_ceiling: float | None = None,
+    max_n: int = DEFAULT_MAX_REEXECUTIONS,
+    assume_full_wcet: bool = True,
+) -> int | None:
+    """Minimal uniform ``n`` for hardware of the given quality.
+
+    Substitutes ``failure_probability`` into every task of ``role`` and
+    reruns the line-2 search of Algorithm 1.  ``None`` when no profile up
+    to ``max_n`` suffices.
+    """
+    if pfh_ceiling is None:
+        if taskset.spec is None:
+            raise ValueError("need an explicit ceiling or an attached spec")
+        pfh_ceiling = taskset.spec.pfh_requirement(role)
+    substituted = _with_probability(taskset, role, failure_probability)
+    if not substituted:
+        return 1
+    scratch = TaskSet(substituted, spec=None, name="scratch")
+    return minimal_uniform_reexecution(
+        scratch, role, pfh_ceiling, max_n=max_n, assume_full_wcet=assume_full_wcet
+    )

@@ -1,0 +1,68 @@
+"""Discrete-event uniprocessor simulator with fault injection.
+
+The empirical substrate of the reproduction: a preemptive event-driven
+simulator for dual-criticality sporadic task sets with task re-execution,
+mode switching, LO-task killing and service degradation.
+"""
+
+from repro.sim.engine import (
+    ArrivalModel,
+    PeriodicArrivals,
+    Simulator,
+    SporadicArrivals,
+)
+from repro.sim.exact import edf_schedulable_by_simulation, hyperperiod_of
+from repro.sim.fault_injection import (
+    BernoulliFaultInjector,
+    BurstyFaultInjector,
+    FaultInjector,
+    NoFaultInjector,
+    ScriptedFaultInjector,
+)
+from repro.sim.jobs import Job, JobOutcome
+from repro.sim.metrics import SimulationMetrics, TaskCounters
+from repro.sim.policies import (
+    EDFPolicy,
+    EDFVDPolicy,
+    FixedPriorityPolicy,
+    SchedulingPolicy,
+)
+from repro.sim.execution_time import FullWCET, UniformFraction
+from repro.sim.montecarlo import PFHEstimate, estimate_pfh
+from repro.sim.runtime import build_simulator, simulate_ft_result
+from repro.sim.trace import Segment, TraceEvent, TraceEventKind, TraceRecorder
+from repro.sim.validate import ValidationReport, validate_by_simulation
+
+__all__ = [
+    "ArrivalModel",
+    "PeriodicArrivals",
+    "Simulator",
+    "SporadicArrivals",
+    "BernoulliFaultInjector",
+    "BurstyFaultInjector",
+    "edf_schedulable_by_simulation",
+    "hyperperiod_of",
+    "FaultInjector",
+    "NoFaultInjector",
+    "ScriptedFaultInjector",
+    "Job",
+    "JobOutcome",
+    "SimulationMetrics",
+    "TaskCounters",
+    "EDFPolicy",
+    "EDFVDPolicy",
+    "FixedPriorityPolicy",
+    "SchedulingPolicy",
+    "build_simulator",
+    "simulate_ft_result",
+    "PFHEstimate",
+    "estimate_pfh",
+    "FullWCET",
+    "UniformFraction",
+    "Segment",
+    "TraceEvent",
+    "TraceEventKind",
+    "TraceRecorder",
+    "ValidationReport",
+    "validate_by_simulation",
+]

@@ -1,0 +1,344 @@
+"""Preemptive uniprocessor discrete-event simulation engine.
+
+The engine executes a dual-criticality task set under a pluggable
+scheduling policy with transient-fault injection, task re-execution and
+the paper's runtime adaptation mechanisms:
+
+- every job performs up to ``n_i`` executions, re-executing while the
+  fault injector reports failed sanity checks;
+- when a HI job is dispatched for its ``(n'_i + 1)``-th attempt, the
+  system switches to HI mode: LO jobs are killed and further LO releases
+  suppressed (*killing*), or future LO inter-arrival times are stretched
+  to ``df * T_i`` (*degradation*).
+
+Scheduling is event-driven: the processor state only changes at job
+releases and execution completions, so the engine advances between those
+instants, preempting whenever a release makes a higher-priority job ready.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import FaultToleranceConfig
+from repro.model.task import Task, TaskSet
+from repro.sim.fault_injection import FaultInjector, NoFaultInjector
+from repro.sim.jobs import Job, JobOutcome
+from repro.sim.metrics import SimulationMetrics
+from repro.sim.policies import SchedulingPolicy
+from repro.sim.trace import TraceRecorder
+
+__all__ = ["ArrivalModel", "PeriodicArrivals", "SporadicArrivals", "Simulator"]
+
+_TIME_EPS = 1e-9
+
+
+class ArrivalModel:
+    """Produces successive inter-arrival times for each task."""
+
+    def interarrival(self, task: Task, effective_period: float) -> float:
+        """Gap to the next release; must be >= ``effective_period``."""
+        raise NotImplementedError
+
+
+class PeriodicArrivals(ArrivalModel):
+    """Worst-case sporadic behaviour: release as early as permitted."""
+
+    def interarrival(self, task: Task, effective_period: float) -> float:
+        return effective_period
+
+
+class SporadicArrivals(ArrivalModel):
+    """Sporadic releases with uniform extra delay.
+
+    The gap is drawn uniformly from
+    ``[T, (1 + jitter_fraction) * T]`` — legal sporadic behaviour that
+    exercises non-synchronous arrival patterns.
+    """
+
+    def __init__(self, seed: int | np.random.Generator = 0,
+                 jitter_fraction: float = 0.25) -> None:
+        if jitter_fraction < 0:
+            raise ValueError(f"jitter must be non-negative, got {jitter_fraction}")
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._jitter = jitter_fraction
+
+    def interarrival(self, task: Task, effective_period: float) -> float:
+        return effective_period * (1.0 + self._rng.random() * self._jitter)
+
+
+@dataclass
+class _ReleaseState:
+    """Per-task release bookkeeping."""
+
+    task: Task
+    next_release: float
+    #: Current inter-arrival base (stretched by ``df`` after degradation).
+    effective_period: float
+    enabled: bool = True
+
+
+class Simulator:
+    """One simulation run of a task set under fault-tolerant scheduling.
+
+    Parameters
+    ----------
+    taskset:
+        The dual-criticality task set (original, *unconverted* model).
+    policy:
+        Runtime scheduling policy (EDF, FP or EDF-VD).
+    config:
+        Fault-tolerance knobs: re-execution profile ``N``, optional
+        adaptation profile ``N'_HI`` and mechanism (kill/degrade).
+    fault_injector:
+        Source of sanity-check verdicts; defaults to fault-free.
+    arrivals:
+        Release-time model; defaults to periodic (worst-case sporadic).
+    execution_time_of:
+        Optional per-attempt execution-time model; defaults to the full
+        WCET ``C_i`` (footnote 1 of the paper).  Values must lie in
+        ``(0, C_i]``.
+    """
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        policy: SchedulingPolicy,
+        config: FaultToleranceConfig,
+        fault_injector: FaultInjector | None = None,
+        arrivals: ArrivalModel | None = None,
+        execution_time_of: Callable[[Task], float] | None = None,
+        trace: TraceRecorder | None = None,
+        context_switch_cost: float = 0.0,
+    ) -> None:
+        config.reexecution.validate_for(taskset)
+        if config.adaptation is not None:
+            config.adaptation.validate_for(taskset, config.reexecution)
+        self.taskset = taskset
+        self.policy = policy
+        self.config = config
+        self.faults = fault_injector or NoFaultInjector()
+        self.arrivals = arrivals or PeriodicArrivals()
+        self.execution_time_of = execution_time_of or (lambda t: t.wcet)
+        self.trace = trace
+        if context_switch_cost < 0:
+            raise ValueError(
+                f"context switch cost must be non-negative, got "
+                f"{context_switch_cost}"
+            )
+        self.context_switch_cost = context_switch_cost
+        #: Remaining dispatch overhead to burn before the current job runs.
+        self._overhead_left = 0.0
+
+        self._hi_mode = False
+        self._mode_switch_time: float | None = None
+        self._releases: dict[str, _ReleaseState] = {}
+        self._ready: list[Job] = []
+        self._sequence = itertools.count()
+        self._running: Job | None = None
+        self._last_dispatched: Job | None = None
+
+    # -- public API ---------------------------------------------------------
+
+    def run(self, horizon: float) -> SimulationMetrics:
+        """Simulate ``[0, horizon]`` and return the collected metrics."""
+        if horizon <= 0:
+            raise ValueError(f"horizon must be positive, got {horizon}")
+        metrics = SimulationMetrics(self.taskset, horizon)
+        release_heap: list[tuple[float, int, str]] = []
+        for task in self.taskset:
+            state = _ReleaseState(task, 0.0, task.period)
+            self._releases[task.name] = state
+            heapq.heappush(release_heap, (0.0, next(self._sequence), task.name))
+
+        now = 0.0
+        while now < horizon - _TIME_EPS:
+            # 1. Admit all releases due now.
+            while release_heap and release_heap[0][0] <= now + _TIME_EPS:
+                _, _, name = heapq.heappop(release_heap)
+                state = self._releases[name]
+                if state.enabled:
+                    self._release_job(state, metrics)
+                gap = self.arrivals.interarrival(state.task, state.effective_period)
+                state.next_release += gap
+                if state.next_release < horizon - _TIME_EPS:
+                    heapq.heappush(
+                        release_heap,
+                        (state.next_release, next(self._sequence), name),
+                    )
+
+            next_release = release_heap[0][0] if release_heap else math.inf
+            job = self._pick_job(now, metrics)
+            if job is None:
+                if math.isinf(next_release):
+                    break
+                now = min(next_release, horizon)
+                continue
+
+            # 2a. Burn any pending dispatch overhead first (context-switch
+            #     cost model); a release may preempt the overhead itself.
+            if self._overhead_left > _TIME_EPS:
+                run_until = min(now + self._overhead_left, next_release, horizon)
+                delta = run_until - now
+                self._overhead_left -= delta
+                metrics.busy_time += delta
+                metrics.overhead_time += delta
+                now = run_until
+                continue
+
+            # 2b. Run the chosen job until it finishes its attempt or the
+            #     next release forces a scheduling decision.
+            run_until = min(now + job.remaining, next_release, horizon)
+            delta = run_until - now
+            job.remaining -= delta
+            metrics.busy_time += delta
+            if self.trace is not None:
+                self.trace.on_segment(job.task.name, now, run_until, job.attempt)
+            now = run_until
+            if job.remaining <= _TIME_EPS and now < horizon + _TIME_EPS:
+                self._attempt_finished(job, now, metrics)
+
+        self._finalize(metrics, horizon)
+        metrics.mode_switch_time = self._mode_switch_time
+        return metrics
+
+    @property
+    def hi_mode(self) -> bool:
+        return self._hi_mode
+
+    # -- internals ------------------------------------------------------------
+
+    def _release_job(self, state: _ReleaseState, metrics: SimulationMetrics) -> None:
+        task = state.task
+        exec_time = self.execution_time_of(task)
+        if not 0.0 < exec_time <= task.wcet + _TIME_EPS:
+            raise ValueError(
+                f"execution time {exec_time} for {task.name} outside (0, C]"
+            )
+        job = Job(
+            task=task,
+            release=state.next_release,
+            absolute_deadline=state.next_release + task.deadline,
+            max_attempts=self.config.reexecution[task],
+            execution_time=exec_time,
+        )
+        self._ready.append(job)
+        metrics.counters(task.name).released += 1
+        if self.trace is not None:
+            self.trace.on_release(task.name, state.next_release)
+
+    def _pick_job(self, now: float, metrics: SimulationMetrics) -> Job | None:
+        """Highest-priority ready job; handles mode-switch-on-dispatch."""
+        while True:
+            candidates = [j for j in self._ready if not j.done]
+            if not candidates:
+                self._running = None
+                return None
+            job = min(
+                candidates,
+                key=lambda j: (
+                    self.policy.priority_key(j, self._hi_mode),
+                    j.release,
+                    j.task.name,
+                ),
+            )
+            if self._dispatch_triggers_switch(job):
+                self._enter_hi_mode(job, now, metrics)
+                # Re-evaluate: killing may have emptied the queue, and
+                # priorities change with the mode.
+                continue
+            if self._running is not None and self._running is not job:
+                if not self._running.done and self._running.remaining > _TIME_EPS:
+                    metrics.preemptions += 1
+            self._running = job
+            if (
+                self.context_switch_cost > 0.0
+                and job is not self._last_dispatched
+            ):
+                # A fresh dispatch pays the context-switch cost; switching
+                # away mid-overhead forfeits the remainder already paid.
+                self._overhead_left = self.context_switch_cost
+            self._last_dispatched = job
+            return job
+
+    def _dispatch_triggers_switch(self, job: Job) -> bool:
+        """Whether dispatching ``job`` starts a ``(n' + 1)``-th HI attempt."""
+        if self._hi_mode or self.config.adaptation is None:
+            return False
+        if job.task.criticality is not CriticalityRole.HI:
+            return False
+        return job.attempt > self.config.adaptation[job.task]
+
+    def _enter_hi_mode(
+        self, trigger: Job, now: float, metrics: SimulationMetrics
+    ) -> None:
+        self._hi_mode = True
+        self._mode_switch_time = now
+        trigger.triggered_mode_switch = True
+        if self.trace is not None:
+            self.trace.on_mode_switch(trigger.task.name, now)
+        if self.config.mechanism == "kill":
+            for job in self._ready:
+                if job.task.criticality is CriticalityRole.LO and not job.done:
+                    job.kill(now)
+                    metrics.counters(job.task.name).record(job)
+                    if self.trace is not None:
+                        self.trace.on_kill(job.task.name, now)
+            self._ready = [j for j in self._ready if not j.done]
+            for state in self._releases.values():
+                if state.task.criticality is CriticalityRole.LO:
+                    state.enabled = False
+        elif self.config.mechanism == "degrade":
+            factor = self.config.degradation_factor
+            assert factor is not None
+            for state in self._releases.values():
+                if state.task.criticality is CriticalityRole.LO:
+                    state.effective_period = state.task.period * factor
+
+    def _attempt_finished(
+        self, job: Job, now: float, metrics: SimulationMetrics
+    ) -> None:
+        counters = metrics.counters(job.task.name)
+        counters.executions += 1
+        faulty = self.faults.execution_faulty(job.task, now)
+        if faulty:
+            counters.faults_injected += 1
+            if self.trace is not None:
+                self.trace.on_fault(job.task.name, now, job.attempt)
+            if job.attempt < job.max_attempts:
+                job.start_next_attempt()
+                return
+            job.complete(now, success=False)
+        else:
+            if self.trace is not None:
+                self.trace.on_attempt_ok(job.task.name, now, job.attempt)
+            job.complete(now, success=True)
+        counters.record(job)
+        if self.trace is not None:
+            self.trace.on_complete(job.task.name, now)
+        self._ready.remove(job)
+        if self._running is job:
+            self._running = None
+
+    def _finalize(self, metrics: SimulationMetrics, horizon: float) -> None:
+        """Account for jobs still pending at the horizon."""
+        for job in self._ready:
+            if job.done:
+                continue
+            counters = metrics.counters(job.task.name)
+            if job.absolute_deadline <= horizon + _TIME_EPS:
+                job.outcome = JobOutcome.DEADLINE_MISS
+                job.finish_time = None
+                counters.record(job)
+            else:
+                counters.unfinished += 1

@@ -1,0 +1,56 @@
+"""Execution-time models for the simulator (footnote 1 of the paper).
+
+The analytical formulas assume by default that every execution takes its
+full WCET ``C_i``; footnote 1 notes the alternative where executions may
+finish early (and the ``n_i C_i`` terms must drop to 0 in eqs. 1/4/6).
+These callables plug into :class:`~repro.sim.engine.Simulator` via its
+``execution_time_of`` parameter and let experiments exercise both regimes:
+
+- :class:`FullWCET` — the paper's default (deterministic ``C_i``);
+- :class:`UniformFraction` — each execution draws uniformly from
+  ``[min_fraction * C_i, C_i]``, a common model of early completion.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.model.task import Task
+
+__all__ = ["FullWCET", "UniformFraction"]
+
+
+class FullWCET:
+    """Every execution takes exactly ``C_i`` (the paper's assumption)."""
+
+    def __call__(self, task: Task) -> float:
+        return task.wcet
+
+
+class UniformFraction:
+    """Executions take ``U(min_fraction, 1) * C_i``.
+
+    ``min_fraction`` must lie in (0, 1]; 1 degenerates to
+    :class:`FullWCET`.  Draws come from a seeded generator so runs are
+    reproducible.
+    """
+
+    def __init__(self, seed: int | np.random.Generator = 0,
+                 min_fraction: float = 0.5) -> None:
+        if not 0.0 < min_fraction <= 1.0:
+            raise ValueError(
+                f"min fraction must be in (0, 1], got {min_fraction}"
+            )
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._min_fraction = min_fraction
+
+    def __call__(self, task: Task) -> float:
+        if task.wcet == 0.0:
+            return 0.0
+        fraction = self._min_fraction + (1.0 - self._min_fraction) * float(
+            self._rng.random()
+        )
+        return fraction * task.wcet

@@ -1,0 +1,160 @@
+"""Transient-fault injection for the simulator.
+
+The paper's fault model (Section 2.1): each execution of a job fails with
+a fixed probability (the per-job failure probability ``f_i``) due to
+transient hardware errors, detected by sanity checks at completion.
+
+:class:`BernoulliFaultInjector` draws an independent Bernoulli per
+execution from a seeded :class:`numpy.random.Generator` so runs are
+reproducible.  :class:`ScriptedFaultInjector` replays a predetermined
+fault pattern and is used by the deterministic engine tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import defaultdict, deque
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.model.task import Task
+
+__all__ = [
+    "FaultInjector",
+    "BernoulliFaultInjector",
+    "BurstyFaultInjector",
+    "NoFaultInjector",
+    "ScriptedFaultInjector",
+]
+
+
+class FaultInjector(abc.ABC):
+    """Decides, at each execution completion, whether a fault occurred."""
+
+    @abc.abstractmethod
+    def execution_faulty(self, task: Task, now: float) -> bool:
+        """``True`` when the execution finishing at ``now`` is faulty."""
+
+
+class NoFaultInjector(FaultInjector):
+    """Fault-free hardware: every execution passes its sanity check."""
+
+    def execution_faulty(self, task: Task, now: float) -> bool:
+        return False
+
+
+class BernoulliFaultInjector(FaultInjector):
+    """Independent per-execution faults with the task's probability ``f_i``.
+
+    ``probability_scale`` inflates every ``f_i`` by a constant factor —
+    useful to make rare failures observable in affordable simulation
+    horizons while keeping relative task failure rates intact (the
+    empirical-PFH validation uses this).
+    """
+
+    def __init__(self, seed: int | np.random.Generator = 0,
+                 probability_scale: float = 1.0) -> None:
+        if probability_scale < 0:
+            raise ValueError(f"scale must be non-negative, got {probability_scale}")
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._scale = probability_scale
+
+    def execution_faulty(self, task: Task, now: float) -> bool:
+        p = min(task.failure_probability * self._scale, 1.0)
+        if p <= 0.0:
+            return False
+        return bool(self._rng.random() < p)
+
+
+class BurstyFaultInjector(FaultInjector):
+    """Correlated faults via a two-state (quiet/burst) Markov process.
+
+    The paper's analysis assumes *independent* per-execution faults, so a
+    round of ``n`` executions fails with ``f^n``.  Real transient-fault
+    sources can be bursty (e.g. a radiation event spanning several
+    milliseconds), which positively correlates consecutive executions and
+    can push the per-round failure probability far above ``f^n`` — a
+    threat to the validity of eq. (2) that this injector makes testable.
+
+    The injector holds a global hardware state toggling between QUIET
+    (fault probability ~0) and BURST (probability ``burst_probability``)
+    at each execution completion, with switching probabilities chosen so
+    the *average* per-execution fault rate equals ``average_probability``:
+
+        stationary burst share  p_B = average / burst_probability
+        P(quiet->burst) = p_B * switchiness
+        P(burst->quiet) = (1 - p_B) * switchiness
+
+    Smaller ``switchiness`` means longer bursts (stronger correlation)
+    at the same average rate.
+    """
+
+    def __init__(
+        self,
+        average_probability: float,
+        burst_probability: float = 0.9,
+        switchiness: float = 0.05,
+        seed: int | np.random.Generator = 0,
+    ) -> None:
+        if not 0.0 <= average_probability < 1.0:
+            raise ValueError(
+                f"average probability must be in [0, 1), got "
+                f"{average_probability}"
+            )
+        if not average_probability <= burst_probability <= 1.0:
+            raise ValueError(
+                "burst probability must lie in [average, 1], got "
+                f"{burst_probability}"
+            )
+        if not 0.0 < switchiness <= 1.0:
+            raise ValueError(
+                f"switchiness must be in (0, 1], got {switchiness}"
+            )
+        self._rng = (
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+        )
+        self._burst_probability = burst_probability
+        burst_share = (
+            average_probability / burst_probability
+            if burst_probability > 0
+            else 0.0
+        )
+        self._to_burst = burst_share * switchiness
+        self._to_quiet = (1.0 - burst_share) * switchiness
+        self._in_burst = bool(self._rng.random() < burst_share)
+
+    def execution_faulty(self, task: Task, now: float) -> bool:
+        p = self._burst_probability if self._in_burst else 0.0
+        faulty = bool(self._rng.random() < p)
+        # Advance the hardware state.
+        if self._in_burst:
+            if self._rng.random() < self._to_quiet:
+                self._in_burst = False
+        else:
+            if self._rng.random() < self._to_burst:
+                self._in_burst = True
+        return faulty
+
+
+class ScriptedFaultInjector(FaultInjector):
+    """Replays a scripted per-task fault sequence (for deterministic tests).
+
+    ``script`` maps task names to an iterable of booleans consumed one per
+    execution completion; exhausted scripts report no further faults.
+    """
+
+    def __init__(self, script: Mapping[str, Iterable[bool]]) -> None:
+        self._queues: dict[str, deque[bool]] = defaultdict(deque)
+        for name, faults in script.items():
+            self._queues[name] = deque(bool(x) for x in faults)
+
+    def execution_faulty(self, task: Task, now: float) -> bool:
+        queue = self._queues.get(task.name)
+        if queue:
+            return queue.popleft()
+        return False

@@ -1,0 +1,105 @@
+"""Runtime job state for the discrete-event simulator."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.model.task import Task
+
+__all__ = ["JobOutcome", "Job"]
+
+
+class JobOutcome(enum.Enum):
+    """Terminal state of one job (one *round* in the paper's terms)."""
+
+    #: Still released/executing.
+    PENDING = "pending"
+    #: Some execution passed its sanity check before the deadline.
+    SUCCESS = "success"
+    #: All ``n_i`` executions faulted — the round fails (prob. ``f^n``).
+    FAULT_EXHAUSTED = "fault-exhausted"
+    #: Finished (or still running) past the absolute deadline.
+    DEADLINE_MISS = "deadline-miss"
+    #: Dropped by the mode switch (task killing of LO tasks).
+    KILLED = "killed"
+
+    @property
+    def is_temporal_failure(self) -> bool:
+        """Whether the round "does not successfully finish by its deadline".
+
+        This is the paper's failure notion (Section 2.1): fault exhaustion,
+        a deadline miss and being killed all deny the job's service.
+        """
+        return self in (
+            JobOutcome.FAULT_EXHAUSTED,
+            JobOutcome.DEADLINE_MISS,
+            JobOutcome.KILLED,
+        )
+
+
+@dataclass
+class Job:
+    """One released instance of a task, tracking its execution attempts.
+
+    A job performs up to ``max_attempts`` executions (``n_i``); each
+    execution needs ``execution_time`` processor time.  ``remaining`` is
+    the unfinished part of the *current* attempt.
+    """
+
+    task: Task
+    release: float
+    absolute_deadline: float
+    max_attempts: int
+    execution_time: float
+    #: 1-based index of the attempt currently executing.
+    attempt: int = 1
+    remaining: float = field(default=0.0)
+    outcome: JobOutcome = JobOutcome.PENDING
+    finish_time: float | None = None
+    #: Set by the engine when this job's attempt start triggered the switch.
+    triggered_mode_switch: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.execution_time < 0:
+            raise ValueError(
+                f"execution time must be non-negative, got {self.execution_time}"
+            )
+        self.remaining = self.execution_time
+
+    @property
+    def name(self) -> str:
+        return f"{self.task.name}@{self.release:g}#{self.attempt}"
+
+    @property
+    def done(self) -> bool:
+        return self.outcome is not JobOutcome.PENDING
+
+    def start_next_attempt(self) -> None:
+        """Begin the next execution after a detected fault."""
+        if self.attempt >= self.max_attempts:
+            raise RuntimeError(f"{self.name}: no attempts left")
+        self.attempt += 1
+        self.remaining = self.execution_time
+
+    def complete(self, now: float, success: bool) -> None:
+        """Mark the job finished at ``now``.
+
+        ``success=True`` records :attr:`JobOutcome.SUCCESS` unless the
+        deadline has already passed, in which case the round is a temporal
+        failure regardless of the sanity check.
+        """
+        self.finish_time = now
+        if not success:
+            self.outcome = JobOutcome.FAULT_EXHAUSTED
+        elif now > self.absolute_deadline + 1e-9:
+            self.outcome = JobOutcome.DEADLINE_MISS
+        else:
+            self.outcome = JobOutcome.SUCCESS
+
+    def kill(self, now: float) -> None:
+        """Drop the job at the mode switch (LO tasks under killing)."""
+        self.finish_time = now
+        self.outcome = JobOutcome.KILLED

@@ -1,0 +1,164 @@
+"""Metrics collected by one simulation run."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.model.criticality import CriticalityRole
+from repro.model.task import HOUR_MS, TaskSet
+from repro.sim.jobs import Job, JobOutcome
+
+__all__ = ["TaskCounters", "SimulationMetrics"]
+
+
+@dataclass
+class TaskCounters:
+    """Per-task tallies accumulated over a run."""
+
+    released: int = 0
+    success: int = 0
+    fault_exhausted: int = 0
+    deadline_miss: int = 0
+    killed: int = 0
+    unfinished: int = 0
+    executions: int = 0
+    faults_injected: int = 0
+    #: Response-time statistics over jobs that ran to a finish time.
+    max_response: float = 0.0
+    response_sum: float = 0.0
+    responses: int = 0
+
+    @property
+    def temporal_failures(self) -> int:
+        """Rounds that did not successfully finish by their deadline."""
+        return self.fault_exhausted + self.deadline_miss + self.killed
+
+    @property
+    def mean_response(self) -> float:
+        """Average observed response time (0 when nothing finished)."""
+        return self.response_sum / self.responses if self.responses else 0.0
+
+    def record(self, job: Job) -> None:
+        if job.outcome is JobOutcome.SUCCESS:
+            self.success += 1
+        elif job.outcome is JobOutcome.FAULT_EXHAUSTED:
+            self.fault_exhausted += 1
+        elif job.outcome is JobOutcome.DEADLINE_MISS:
+            self.deadline_miss += 1
+        elif job.outcome is JobOutcome.KILLED:
+            self.killed += 1
+        else:
+            self.unfinished += 1
+        if job.finish_time is not None and job.outcome in (
+            JobOutcome.SUCCESS,
+            JobOutcome.DEADLINE_MISS,
+            JobOutcome.FAULT_EXHAUSTED,
+        ):
+            response = job.finish_time - job.release
+            self.max_response = max(self.max_response, response)
+            self.response_sum += response
+            self.responses += 1
+
+
+@dataclass
+class SimulationMetrics:
+    """Aggregated outcome of one simulation run.
+
+    The empirical PFH accessors mirror the paper's metric: the average
+    per-hour rate of rounds of a criticality level that fail in the
+    temporal domain (Section 2.1).
+    """
+
+    taskset: TaskSet
+    horizon: float
+    per_task: dict[str, TaskCounters] = field(default_factory=dict)
+    mode_switch_time: float | None = None
+    busy_time: float = 0.0
+    #: Portion of ``busy_time`` spent on dispatch/context-switch overhead.
+    overhead_time: float = 0.0
+    preemptions: int = 0
+
+    def counters(self, task_name: str) -> TaskCounters:
+        return self.per_task.setdefault(task_name, TaskCounters())
+
+    @property
+    def hours(self) -> float:
+        return self.horizon / HOUR_MS
+
+    @property
+    def hi_mode_entered(self) -> bool:
+        return self.mode_switch_time is not None
+
+    @property
+    def utilization_observed(self) -> float:
+        """Fraction of the horizon the processor was busy."""
+        return self.busy_time / self.horizon if self.horizon > 0 else 0.0
+
+    def _sum(self, role: CriticalityRole | None, attr: str) -> int:
+        names = (
+            {t.name for t in self.taskset.by_criticality(role)}
+            if role is not None
+            else {t.name for t in self.taskset}
+        )
+        return sum(
+            getattr(c, attr) for name, c in self.per_task.items() if name in names
+        )
+
+    def released(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "released")
+
+    def successes(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "success")
+
+    def deadline_misses(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "deadline_miss")
+
+    def fault_exhaustions(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "fault_exhausted")
+
+    def kills(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "killed")
+
+    def temporal_failures(self, role: CriticalityRole | None = None) -> int:
+        return self._sum(role, "temporal_failures")
+
+    def max_response_time(self, task_name: str) -> float:
+        """Largest observed response time of one task (0 if none finished)."""
+        counters = self.per_task.get(task_name)
+        return counters.max_response if counters else 0.0
+
+    def empirical_pfh(self, role: CriticalityRole) -> float:
+        """Observed failures-per-hour of ``role`` over the simulated span."""
+        if self.horizon <= 0:
+            return 0.0
+        return self.temporal_failures(role) / self.hours
+
+    def outcome_histogram(self) -> Counter:
+        """Counts of all job outcomes across all tasks."""
+        hist: Counter = Counter()
+        for counters in self.per_task.values():
+            hist["success"] += counters.success
+            hist["fault-exhausted"] += counters.fault_exhausted
+            hist["deadline-miss"] += counters.deadline_miss
+            hist["killed"] += counters.killed
+            hist["unfinished"] += counters.unfinished
+        return hist
+
+    def describe(self) -> str:
+        """A compact human-readable run report."""
+        lines = [
+            f"simulated {self.hours:.4g} h "
+            f"(busy {self.utilization_observed:.1%}, "
+            f"{self.preemptions} preemptions)",
+        ]
+        if self.hi_mode_entered:
+            lines.append(f"mode switch at t={self.mode_switch_time:g} ms")
+        for role in (CriticalityRole.HI, CriticalityRole.LO):
+            lines.append(
+                f"{role.name}: released={self.released(role)} "
+                f"ok={self.successes(role)} miss={self.deadline_misses(role)} "
+                f"faulted={self.fault_exhaustions(role)} killed={self.kills(role)} "
+                f"pfh={self.empirical_pfh(role):.3g}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Monte-Carlo estimation of PFH with confidence intervals.
+
+The analytical lemmas give deterministic upper bounds; this module
+estimates the *actual* failure-per-hour rates by repeated randomized
+simulation, with binomial/Poisson confidence intervals, so bounds can be
+checked for soundness (estimate below bound) and tightness (ratio of
+bound to estimate).
+
+Failure events are rare at realistic probabilities (1e-5 per execution),
+so estimation supports the same ``probability_scale`` inflation as the
+fault injector: simulate at a scaled probability where events are
+observable, then compare against the bound evaluated at the scaled
+probability.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.ftmc import FTSResult
+from repro.model.criticality import CriticalityRole
+from repro.model.task import HOUR_MS, TaskSet
+from repro.sim.runtime import simulate_ft_result
+
+__all__ = ["PFHEstimate", "estimate_pfh"]
+
+#: Two-sided normal quantile for the default 95% interval.
+_Z95: float = 1.959963984540054
+
+
+@dataclass(frozen=True)
+class PFHEstimate:
+    """A Monte-Carlo PFH estimate for one criticality level."""
+
+    role: CriticalityRole
+    #: Total simulated hours across all runs.
+    hours: float
+    #: Total observed temporal failures (fault-exhausted + missed + killed).
+    failures: int
+    #: Total rounds released (for context).
+    released: int
+    runs: int
+
+    @property
+    def mean(self) -> float:
+        """Point estimate: failures per hour."""
+        return self.failures / self.hours if self.hours > 0 else 0.0
+
+    def confidence_interval(self, z: float = _Z95) -> tuple[float, float]:
+        """Normal-approximation CI for a Poisson rate.
+
+        ``failures`` is treated as Poisson over ``hours``; the interval is
+        ``(failures + z^2/2 +/- z * sqrt(failures + z^2/4)) / hours``
+        (the score interval, well-behaved at zero counts).
+        """
+        if self.hours <= 0:
+            return (0.0, 0.0)
+        centre = self.failures + z * z / 2.0
+        spread = z * math.sqrt(self.failures + z * z / 4.0)
+        low = max(centre - spread, 0.0) / self.hours
+        high = (centre + spread) / self.hours
+        return (low, high)
+
+    def consistent_with_bound(self, bound: float, z: float = _Z95) -> bool:
+        """Whether the estimate is statistically below ``bound``.
+
+        True when the lower end of the confidence interval does not exceed
+        the bound — i.e. the data does not refute the bound's soundness.
+        """
+        low, _ = self.confidence_interval(z)
+        return low <= bound + 1e-15
+
+
+def estimate_pfh(
+    taskset: TaskSet,
+    result: FTSResult,
+    role: CriticalityRole,
+    hours_per_run: float = 1.0,
+    runs: int = 10,
+    probability_scale: float = 1.0,
+    seed: int = 0,
+) -> PFHEstimate:
+    """Estimate the PFH of ``role`` under a successful FT-S configuration.
+
+    Executes ``runs`` independent seeded simulations of ``hours_per_run``
+    hours each and pools the observed temporal failures.
+    """
+    if runs < 1:
+        raise ValueError(f"need at least one run, got {runs}")
+    if hours_per_run <= 0:
+        raise ValueError(f"hours per run must be positive, got {hours_per_run}")
+    failures = 0
+    released = 0
+    for run in range(runs):
+        metrics = simulate_ft_result(
+            taskset,
+            result,
+            horizon=hours_per_run * HOUR_MS,
+            seed=seed + run,
+            probability_scale=probability_scale,
+        )
+        failures += metrics.temporal_failures(role)
+        released += metrics.released(role)
+    return PFHEstimate(
+        role=role,
+        hours=hours_per_run * runs,
+        failures=failures,
+        released=released,
+        runs=runs,
+    )

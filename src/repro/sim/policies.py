@@ -1,0 +1,95 @@
+"""Runtime scheduling policies for the simulator.
+
+A policy maps a ready job to a sortable priority key (smaller = more
+urgent) given the current system mode.  Three policies are provided:
+
+- :class:`EDFPolicy` — plain Earliest Deadline First;
+- :class:`FixedPriorityPolicy` — static per-task priorities (e.g.
+  Deadline Monotonic);
+- :class:`EDFVDPolicy` — EDF with Virtual Deadlines: in LO mode HI jobs
+  are ordered by the shortened deadline ``release + x * T_i``; after the
+  mode switch every job uses its real deadline.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+from repro.model.criticality import CriticalityRole
+from repro.sim.jobs import Job
+
+__all__ = ["SchedulingPolicy", "EDFPolicy", "FixedPriorityPolicy", "EDFVDPolicy"]
+
+
+class SchedulingPolicy(abc.ABC):
+    """Priority-key provider for the dispatcher."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def priority_key(self, job: Job, hi_mode: bool) -> tuple:
+        """Sort key of ``job``; the smallest key runs.
+
+        Keys must totally order the ready queue; ties are broken by the
+        engine on release time and task name for determinism.
+        """
+
+
+class EDFPolicy(SchedulingPolicy):
+    """Earliest (real) Deadline First, mode-oblivious."""
+
+    name = "edf"
+
+    def priority_key(self, job: Job, hi_mode: bool) -> tuple:
+        return (job.absolute_deadline,)
+
+
+class FixedPriorityPolicy(SchedulingPolicy):
+    """Static priorities: lower number = higher priority.
+
+    ``priorities`` maps task names to priority levels, e.g. a
+    Deadline-Monotonic assignment from
+    :func:`repro.analysis.fixed_priority.deadline_monotonic_order`.
+    """
+
+    name = "fixed-priority"
+
+    def __init__(self, priorities: Mapping[str, int]) -> None:
+        self._priorities = dict(priorities)
+
+    def priority_key(self, job: Job, hi_mode: bool) -> tuple:
+        try:
+            return (self._priorities[job.task.name],)
+        except KeyError:
+            raise KeyError(
+                f"no priority assigned to task {job.task.name!r}"
+            ) from None
+
+
+class EDFVDPolicy(SchedulingPolicy):
+    """EDF-VD runtime ordering [Baruah et al. 2012].
+
+    In LO mode, a HI job released at ``r`` is ordered by its *virtual*
+    deadline ``r + x * T_i`` (``x <= 1`` from the offline analysis,
+    :func:`repro.analysis.edf_vd.edf_vd_x`); LO jobs use real deadlines.
+    In HI mode every job is ordered by its real deadline.
+    """
+
+    name = "edf-vd"
+
+    def __init__(self, x: float) -> None:
+        if not 0.0 < x <= 1.0:
+            raise ValueError(f"virtual deadline factor must be in (0, 1], got {x}")
+        self.x = x
+
+    def virtual_deadline(self, job: Job) -> float:
+        """``release + x * T_i`` for HI jobs; the real deadline otherwise."""
+        if job.task.criticality is CriticalityRole.HI:
+            return job.release + self.x * job.task.period
+        return job.absolute_deadline
+
+    def priority_key(self, job: Job, hi_mode: bool) -> tuple:
+        if hi_mode:
+            return (job.absolute_deadline,)
+        return (self.virtual_deadline(job),)

@@ -1,0 +1,147 @@
+"""Execution tracing for the simulator: event log and ASCII Gantt chart.
+
+A :class:`TraceRecorder` passed to :class:`~repro.sim.engine.Simulator`
+records releases, execution segments, faults, completions, kills and the
+mode switch.  Useful for debugging schedules, for the examples, and for
+asserting fine-grained runtime behaviour in tests (e.g. "the LO job was
+preempted exactly at the HI release").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["TraceEventKind", "TraceEvent", "Segment", "TraceRecorder"]
+
+
+class TraceEventKind(enum.Enum):
+    RELEASE = "release"
+    FAULT = "fault"
+    ATTEMPT_OK = "attempt-ok"
+    COMPLETE = "complete"
+    KILL = "kill"
+    MODE_SWITCH = "mode-switch"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One instantaneous event."""
+
+    time: float
+    kind: TraceEventKind
+    task: str
+    #: Attempt index for execution-related events, 0 otherwise.
+    attempt: int = 0
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A maximal interval during which one job occupied the processor."""
+
+    task: str
+    start: float
+    end: float
+    attempt: int
+
+    @property
+    def length(self) -> float:
+        return self.end - self.start
+
+
+class TraceRecorder:
+    """Accumulates events and processor segments during a run."""
+
+    def __init__(self) -> None:
+        self.events: list[TraceEvent] = []
+        self.segments: list[Segment] = []
+
+    # -- engine callbacks -----------------------------------------------------
+
+    def on_release(self, task: str, time: float) -> None:
+        self.events.append(TraceEvent(time, TraceEventKind.RELEASE, task))
+
+    def on_segment(self, task: str, start: float, end: float, attempt: int) -> None:
+        if end <= start:
+            return
+        last = self.segments[-1] if self.segments else None
+        if (
+            last is not None
+            and last.task == task
+            and last.attempt == attempt
+            and abs(last.end - start) < 1e-9
+        ):
+            self.segments[-1] = Segment(task, last.start, end, attempt)
+        else:
+            self.segments.append(Segment(task, start, end, attempt))
+
+    def on_fault(self, task: str, time: float, attempt: int) -> None:
+        self.events.append(TraceEvent(time, TraceEventKind.FAULT, task, attempt))
+
+    def on_attempt_ok(self, task: str, time: float, attempt: int) -> None:
+        self.events.append(
+            TraceEvent(time, TraceEventKind.ATTEMPT_OK, task, attempt)
+        )
+
+    def on_complete(self, task: str, time: float) -> None:
+        self.events.append(TraceEvent(time, TraceEventKind.COMPLETE, task))
+
+    def on_kill(self, task: str, time: float) -> None:
+        self.events.append(TraceEvent(time, TraceEventKind.KILL, task))
+
+    def on_mode_switch(self, task: str, time: float) -> None:
+        self.events.append(TraceEvent(time, TraceEventKind.MODE_SWITCH, task))
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_of(self, kind: TraceEventKind) -> list[TraceEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def segments_of(self, task: str) -> list[Segment]:
+        return [s for s in self.segments if s.task == task]
+
+    def busy_time(self) -> float:
+        return sum(s.length for s in self.segments)
+
+    @property
+    def mode_switch_time(self) -> float | None:
+        switches = self.events_of(TraceEventKind.MODE_SWITCH)
+        return switches[0].time if switches else None
+
+    # -- rendering ---------------------------------------------------------------
+
+    def gantt(self, until: float | None = None, width: int = 72) -> str:
+        """ASCII Gantt chart of the recorded schedule.
+
+        One row per task; ``#`` marks execution, ``.`` idle.  A ``|``
+        column marks the mode switch when one occurred inside the window.
+        """
+        if not self.segments:
+            return "(no execution recorded)"
+        horizon = until if until is not None else max(s.end for s in self.segments)
+        if horizon <= 0:
+            return "(empty window)"
+        tasks = sorted({s.task for s in self.segments})
+        scale = width / horizon
+        lines = []
+        switch = self.mode_switch_time
+        switch_col = (
+            int(switch * scale) if switch is not None and switch < horizon else None
+        )
+        label_width = max(len(t) for t in tasks)
+        for task in tasks:
+            row = ["."] * width
+            for segment in self.segments_of(task):
+                first = int(segment.start * scale)
+                last = max(int(segment.end * scale) - 1, first)
+                for col in range(first, min(last + 1, width)):
+                    row[col] = "#"
+            if switch_col is not None and switch_col < width:
+                row[switch_col] = "|"
+            lines.append(f"{task.rjust(label_width)} {''.join(row)}")
+        lines.append(
+            f"{' ' * label_width} 0{' ' * max(width - 8, 1)}{horizon:g}"
+        )
+        if switch is not None:
+            lines.append(f"mode switch at t={switch:g}")
+        return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Simulation-based validation of accepted FT-S configurations.
+
+Analytical acceptance (Theorem 4.1) guarantees HI deadlines under the
+model's assumptions; this module stress-tests an accepted configuration
+empirically across many randomized fault patterns and arrival jitters,
+reporting any HI-criticality deadline miss.  A miss would indicate a bug
+in the toolchain (or a violated model assumption), never expected
+behaviour — the validator is the repository's continuous soundness probe
+and is exercised by the integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.ftmc import FTSResult
+from repro.model.criticality import CriticalityRole
+from repro.model.task import TaskSet
+from repro.sim.engine import SporadicArrivals
+from repro.sim.fault_injection import BernoulliFaultInjector
+from repro.sim.runtime import build_simulator
+
+__all__ = ["ValidationReport", "validate_by_simulation"]
+
+
+@dataclass
+class ValidationReport:
+    """Aggregated outcome of a multi-run validation campaign."""
+
+    runs: int
+    horizon: float
+    probability_scale: float
+    hi_misses: int = 0
+    lo_misses: int = 0
+    mode_switches: int = 0
+    hi_jobs: int = 0
+    failing_seeds: list[int] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """No HI-criticality deadline miss across any run."""
+        return self.hi_misses == 0
+
+    def describe(self) -> str:
+        verdict = "PASS" if self.passed else "FAIL"
+        lines = [
+            f"{verdict}: {self.runs} runs x {self.horizon:g} ms, "
+            f"faults x{self.probability_scale:g}",
+            f"HI jobs {self.hi_jobs}, HI misses {self.hi_misses}, "
+            f"LO misses {self.lo_misses}, "
+            f"mode switches in {self.mode_switches}/{self.runs} runs",
+        ]
+        if self.failing_seeds:
+            lines.append(f"failing seeds: {self.failing_seeds}")
+        return "\n".join(lines)
+
+
+def validate_by_simulation(
+    taskset: TaskSet,
+    result: FTSResult,
+    runs: int = 10,
+    horizon: float = 600_000.0,
+    probability_scale: float = 1000.0,
+    jitter_fraction: float = 0.2,
+    seed: int = 0,
+) -> ValidationReport:
+    """Stress an accepted FT-S configuration with randomized runs.
+
+    Each run uses an independent fault seed and sporadic arrival jitter.
+    Half the runs use worst-case periodic arrivals (``jitter = 0``) since
+    the synchronous pattern is the analytical critical instant.
+    """
+    if not result.success:
+        raise ValueError("can only validate successful FT-S results")
+    if runs < 1:
+        raise ValueError(f"need at least one run, got {runs}")
+    report = ValidationReport(
+        runs=runs, horizon=horizon, probability_scale=probability_scale
+    )
+    for run in range(runs):
+        run_seed = seed + run
+        arrivals = (
+            None  # periodic / critical-instant
+            if run % 2 == 0
+            else SporadicArrivals(run_seed, jitter_fraction)
+        )
+        simulator = build_simulator(
+            taskset,
+            result,
+            fault_injector=BernoulliFaultInjector(run_seed, probability_scale),
+            arrivals=arrivals,
+        )
+        metrics = simulator.run(horizon)
+        hi_misses = metrics.deadline_misses(CriticalityRole.HI)
+        report.hi_misses += hi_misses
+        report.lo_misses += metrics.deadline_misses(CriticalityRole.LO)
+        report.hi_jobs += metrics.released(CriticalityRole.HI)
+        report.mode_switches += int(metrics.hi_mode_entered)
+        if hi_misses:
+            report.failing_seeds.append(run_seed)
+    return report

@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's reference task sets and common profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.tables import example31_taskset
+from repro.gen.fms import canonical_fms
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.task import Task, TaskSet
+
+
+@pytest.fixture
+def example31() -> TaskSet:
+    """The Table 2 motivating task set (HI=B, LO=D, f=1e-5)."""
+    return example31_taskset()
+
+
+@pytest.fixture
+def example31_lo_c() -> TaskSet:
+    """Example 3.1 with safety-related LO tasks (LO=C)."""
+    return example31_taskset(hi="B", lo="C")
+
+
+@pytest.fixture
+def fms() -> TaskSet:
+    """The pinned FMS case-study instance (Table 4, seed 333)."""
+    return canonical_fms()
+
+
+@pytest.fixture
+def two_task_set() -> TaskSet:
+    """A minimal HI+LO pair used by unit tests."""
+    tasks = [
+        Task("hi", period=100.0, deadline=100.0, wcet=10.0,
+             criticality=CriticalityRole.HI, failure_probability=1e-4),
+        Task("lo", period=50.0, deadline=50.0, wcet=5.0,
+             criticality=CriticalityRole.LO, failure_probability=1e-4),
+    ]
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"), name="pair")
+
+
+@pytest.fixture
+def example31_profiles(example31: TaskSet) -> ReexecutionProfile:
+    """The paper's profiles for Example 3.1: n_HI=3, n_LO=1."""
+    return ReexecutionProfile.uniform(example31, 3, 1)
+
+
+@pytest.fixture
+def example31_adaptation(example31: TaskSet) -> AdaptationProfile:
+    """The paper's killing profile for Example 4.1: n'_HI=2."""
+    return AdaptationProfile.uniform(example31, 2)

@@ -1,0 +1,150 @@
+"""Tests for classical EDF analysis: utilization bound, dbf, PDC."""
+
+import pytest
+
+from repro.analysis.edf import (
+    Workload,
+    demand_bound_function,
+    edf_processor_demand_test,
+    edf_schedulable,
+    edf_utilization_test,
+    inflated_workload,
+    schedulable_without_adaptation,
+    workload_from_taskset,
+)
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.model.task import Task, TaskSet
+
+
+class TestWorkload:
+    def test_utilization(self):
+        assert Workload(100.0, 100.0, 25.0).utilization == 0.25
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Workload(0.0, 100.0, 10.0)
+        with pytest.raises(ValueError):
+            Workload(100.0, 100.0, -1.0)
+
+    def test_from_taskset_defaults_to_single_wcet(self, example31):
+        workload = workload_from_taskset(example31)
+        assert [w.wcet for w in workload] == [5.0, 4.0, 7.0, 6.0, 8.0]
+
+    def test_from_taskset_custom_budget(self, example31):
+        workload = workload_from_taskset(example31, lambda t: 2 * t.wcet)
+        assert [w.wcet for w in workload] == [10.0, 8.0, 14.0, 12.0, 16.0]
+
+    def test_inflated_workload(self, example31, example31_profiles):
+        workload = inflated_workload(example31, example31_profiles)
+        # HI tasks inflated by 3, LO tasks by 1.
+        assert [w.wcet for w in workload] == [15.0, 12.0, 7.0, 6.0, 8.0]
+
+
+class TestUtilizationTest:
+    def test_example31_single_execution_fits(self, example31):
+        assert edf_utilization_test(workload_from_taskset(example31))
+
+    def test_example31_inflated_fails(self, example31, example31_profiles):
+        """Paper: U = 1.08595 > 1 with full re-execution budgets."""
+        assert not edf_utilization_test(
+            inflated_workload(example31, example31_profiles)
+        )
+
+    def test_boundary_exactly_one(self):
+        assert edf_utilization_test([Workload(10.0, 10.0, 10.0)])
+
+    def test_empty(self):
+        assert edf_utilization_test([])
+
+
+class TestDemandBoundFunction:
+    def test_below_first_deadline(self):
+        w = Workload(10.0, 8.0, 3.0)
+        assert demand_bound_function([w], 7.9) == 0.0
+
+    def test_at_first_deadline(self):
+        w = Workload(10.0, 8.0, 3.0)
+        assert demand_bound_function([w], 8.0) == 3.0
+
+    def test_accumulates_per_period(self):
+        w = Workload(10.0, 8.0, 3.0)
+        assert demand_bound_function([w], 28.0) == 9.0  # jobs at 8, 18, 28
+
+    def test_multiple_tasks_sum(self):
+        a = Workload(10.0, 10.0, 2.0)
+        b = Workload(20.0, 15.0, 5.0)
+        t = 30.0
+        # a: floor((30-10)/10)+1 = 3 jobs; b: floor((30-15)/20)+1 = 1 job
+        assert demand_bound_function([a, b], t) == 3 * 2.0 + 1 * 5.0
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            demand_bound_function([Workload(10, 10, 1)], -1.0)
+
+
+class TestProcessorDemandCriterion:
+    def test_implicit_deadline_consistent_with_utilization(self):
+        good = [Workload(10, 10, 4), Workload(20, 20, 10)]  # U = 0.9
+        assert edf_processor_demand_test(good)
+        bad = [Workload(10, 10, 6), Workload(20, 20, 10)]  # U = 1.1
+        assert not edf_processor_demand_test(bad)
+
+    def test_constrained_deadline_infeasible(self):
+        """U < 1 but constrained deadlines overload a short window."""
+        workload = [Workload(100, 5, 4), Workload(100, 5, 4)]
+        assert not edf_processor_demand_test(workload)
+
+    def test_constrained_deadline_feasible(self):
+        workload = [Workload(100, 10, 4), Workload(100, 20, 4)]
+        assert edf_processor_demand_test(workload)
+
+    def test_arbitrary_deadline_feasible(self):
+        """D > T tasks pass when total utilization behaves."""
+        workload = [Workload(10, 15, 5), Workload(20, 30, 8)]
+        assert edf_processor_demand_test(workload)
+
+    def test_zero_wcet_tasks_ignored(self):
+        assert edf_processor_demand_test([Workload(10, 1, 0.0)])
+
+    def test_empty(self):
+        assert edf_processor_demand_test([])
+
+    def test_utilization_above_one_rejected_fast(self):
+        assert not edf_processor_demand_test([Workload(10, 100, 11)])
+
+
+class TestEdfSchedulableDispatch:
+    def test_implicit_uses_utilization(self):
+        assert edf_schedulable([Workload(10, 10, 10)])
+
+    def test_constrained_uses_pdc(self):
+        assert not edf_schedulable([Workload(100, 5, 4), Workload(100, 5, 4)])
+
+
+class TestBaselineWithoutAdaptation:
+    def test_example31_unschedulable_with_full_profiles(
+        self, example31, example31_profiles
+    ):
+        """The motivation of Section 3.2: re-execution overloads EDF."""
+        assert not schedulable_without_adaptation(example31, example31_profiles)
+
+    def test_example31_schedulable_without_reexecution(self, example31):
+        single = ReexecutionProfile.uniform(example31, 1, 1)
+        assert schedulable_without_adaptation(example31, single)
+
+    def test_requires_complete_profile(self, example31):
+        partial = ReexecutionProfile({"tau1": 2})
+        with pytest.raises(ValueError, match="missing"):
+            schedulable_without_adaptation(example31, partial)
+
+    def test_lo_inflation_counts(self):
+        tasks = [
+            Task("hi", 100, 100, 10, CriticalityRole.HI, 1e-5),
+            Task("lo", 100, 100, 40, CriticalityRole.LO, 1e-5),
+        ]
+        ts = TaskSet(tasks)
+        ok = ReexecutionProfile.uniform(ts, 2, 2)  # U = 0.2 + 0.8 = 1.0
+        too_much = ReexecutionProfile.uniform(ts, 2, 3)  # U = 1.4
+        assert schedulable_without_adaptation(ts, ok)
+        assert not schedulable_without_adaptation(ts, too_much)

@@ -1,0 +1,129 @@
+"""Tests for fixed-priority RTA, DM assignment and Audsley's OPA."""
+
+import pytest
+
+from repro.analysis.edf import Workload
+from repro.analysis.fixed_priority import (
+    audsley_assignment,
+    deadline_monotonic_order,
+    dm_schedulable,
+    response_time,
+    rta_schedulable,
+)
+
+
+class TestResponseTime:
+    def test_highest_priority_task(self):
+        w = Workload(100.0, 100.0, 10.0)
+        assert response_time(w, []) == 10.0
+
+    def test_textbook_example(self):
+        """Classic RTA: C=(3,3,5), T=D=(7,12,20)."""
+        t1 = Workload(7, 7, 3)
+        t2 = Workload(12, 12, 3)
+        t3 = Workload(20, 20, 5)
+        assert response_time(t1, []) == 3.0
+        assert response_time(t2, [t1]) == 6.0
+        # R3: 5 + ceil(R/7)*3 + ceil(R/12)*3 -> converges to 20
+        assert response_time(t3, [t1, t2]) == 20.0
+
+    def test_unschedulable_returns_none(self):
+        low = Workload(10, 10, 6)
+        high = Workload(10, 10, 5)
+        assert response_time(low, [high]) is None
+
+    def test_interference_at_period_boundary(self):
+        """A release exactly at R must be excluded (ceil semantics)."""
+        high = Workload(10, 10, 2)
+        low = Workload(20, 20, 8)
+        # R = 8 + ceil(R/10)*2: R=10 -> 8+2=10 fixpoint.
+        assert response_time(low, [high]) == 10.0
+
+    def test_custom_limit(self):
+        low = Workload(10, 10, 6)
+        high = Workload(10, 10, 5)
+        # Diverges past D = 10 but converges to 16 under a looser limit.
+        assert response_time(low, [high]) is None
+        assert response_time(low, [high], limit=100.0) == 16.0
+
+
+class TestRtaSchedulable:
+    def test_textbook_set_schedulable(self):
+        workload = [Workload(7, 7, 3), Workload(12, 12, 3), Workload(20, 20, 5)]
+        assert rta_schedulable(workload)
+
+    def test_overloaded_set(self):
+        workload = [Workload(10, 10, 6), Workload(10, 10, 5)]
+        assert not rta_schedulable(workload)
+
+    def test_rejects_arbitrary_deadlines(self):
+        with pytest.raises(ValueError, match="constrained"):
+            rta_schedulable([Workload(10, 15, 2)])
+
+    def test_priority_order_matters(self):
+        short = Workload(10, 5, 3)
+        long = Workload(100, 100, 6)
+        assert rta_schedulable([short, long])
+        assert not rta_schedulable([long, short])
+
+
+class TestDeadlineMonotonic:
+    def test_order_by_deadline(self):
+        a = Workload(100, 50, 1)
+        b = Workload(100, 20, 1)
+        c = Workload(100, 80, 1)
+        assert deadline_monotonic_order([a, b, c]) == [b, a, c]
+
+    def test_dm_schedulable_fixes_bad_input_order(self):
+        short = Workload(10, 5, 3)
+        long = Workload(100, 100, 6)
+        assert dm_schedulable([long, short])
+
+    def test_dm_optimality_example(self):
+        """DM schedules constrained-deadline sets when some FP order does."""
+        workload = [Workload(20, 6, 3), Workload(10, 10, 4)]
+        assert dm_schedulable(workload)
+
+
+class TestAudsley:
+    @staticmethod
+    def _feasible(candidate, others):
+        r = response_time(candidate, list(others))
+        return r is not None
+
+    def test_finds_assignment_when_dm_works(self):
+        workload = [Workload(7, 7, 3), Workload(12, 12, 3), Workload(20, 20, 5)]
+        assignment = audsley_assignment(workload, self._feasible)
+        assert assignment is not None
+        assert rta_schedulable(assignment)
+
+    def test_returns_none_when_infeasible(self):
+        workload = [Workload(10, 10, 6), Workload(10, 10, 6)]
+        assert audsley_assignment(workload, self._feasible) is None
+
+    def test_finds_non_dm_assignment(self):
+        """OPA succeeds on a set where the test is not deadline-driven.
+
+        Feasibility here is response time <= period (not deadline), so an
+        assignment can exist that DM-by-deadline would not discover.
+        """
+
+        def feasible(candidate, others):
+            r = response_time(candidate, list(others), limit=candidate.period)
+            return r is not None
+
+        workload = [Workload(20, 5, 9), Workload(10, 10, 5)]
+        assignment = audsley_assignment(workload, feasible)
+        assert assignment is not None
+        # Only the 9-unit task tolerates the lowest priority (R = 19 <= 20);
+        # the 5-unit task cannot (R = 14 > 10).  OPA must find that order,
+        # highest priority first.
+        assert assignment[-1].wcet == 9
+        assert assignment[0].wcet == 5
+
+    def test_single_item(self):
+        workload = [Workload(10, 10, 5)]
+        assert audsley_assignment(workload, self._feasible) == workload
+
+    def test_empty(self):
+        assert audsley_assignment([], self._feasible) == []

@@ -1,0 +1,85 @@
+"""Tests for Quick Processor-demand Analysis (QPA)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.edf import Workload, edf_processor_demand_test
+from repro.analysis.qpa import qpa_schedulable
+
+
+class TestQPA:
+    def test_trivial_cases(self):
+        assert qpa_schedulable([])
+        assert qpa_schedulable([Workload(10, 10, 0.0)])
+        assert qpa_schedulable([Workload(10, 10, 10)])
+
+    def test_overload_rejected(self):
+        assert not qpa_schedulable([Workload(10, 10, 11)])
+
+    def test_constrained_deadline_infeasible(self):
+        assert not qpa_schedulable(
+            [Workload(100, 5, 4), Workload(100, 5, 4)]
+        )
+
+    def test_constrained_deadline_feasible(self):
+        assert qpa_schedulable(
+            [Workload(100, 10, 4), Workload(100, 20, 4)]
+        )
+
+    def test_arbitrary_deadlines(self):
+        assert qpa_schedulable([Workload(10, 15, 5), Workload(20, 30, 8)])
+
+    def test_shared_short_deadline_overload(self):
+        """Two jobs due at t = 5 with 6 units of demand: unschedulable.
+        Exercises the final d_min check of the backward iteration."""
+        assert not qpa_schedulable(
+            [Workload(100, 5, 3), Workload(100, 5, 3)]
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(5, 100),   # period
+                st.integers(2, 150),   # deadline
+                st.integers(1, 40),    # wcet (clamped below)
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_exactly_matches_pdc(self, raw):
+        """QPA and the straightforward PDC are the same exact test."""
+        workload = [
+            Workload(float(t), float(d), float(min(c, t, d)))
+            for t, d, c in raw
+        ]
+        assert qpa_schedulable(workload) == edf_processor_demand_test(workload)
+
+    def test_example31_inflated_unschedulable(self, example31):
+        from repro.analysis.edf import inflated_workload
+        from repro.model.faults import ReexecutionProfile
+
+        profile = ReexecutionProfile.uniform(example31, 3, 1)
+        assert not qpa_schedulable(inflated_workload(example31, profile))
+
+    def test_example31_single_execution_schedulable(self, example31):
+        from repro.analysis.edf import workload_from_taskset
+
+        assert qpa_schedulable(workload_from_taskset(example31))
+
+    def test_near_unit_utilization_rejected_conservatively(self):
+        """Regression: a constrained-deadline workload with U within
+        1e-12 of 1 used to explode the testing horizon (the la/(1-U)
+        bound).  Both PDC and QPA must now terminate quickly with a
+        conservative (possibly pessimistic) rejection, and agree."""
+        almost_one = [
+            Workload(1000.0, 800.0, 500.0),
+            Workload(333.0, 333.0, 333.0 * (0.5 - 1e-13)),
+        ]
+        assert sum(w.utilization for w in almost_one) < 1.0
+        verdict_qpa = qpa_schedulable(almost_one)
+        verdict_pdc = edf_processor_demand_test(almost_one)
+        assert verdict_qpa == verdict_pdc
+        assert verdict_qpa is False  # conservative rejection

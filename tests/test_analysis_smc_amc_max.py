@@ -1,0 +1,125 @@
+"""Tests for the SMC and AMC-max fixed-priority MC analyses."""
+
+import pytest
+
+from repro.analysis.amc import amc_rtb_schedulable, amc_rtb_schedulable_with_order
+from repro.analysis.amc_max import (
+    amc_max_response_times,
+    amc_max_schedulable,
+    amc_max_schedulable_with_order,
+)
+from repro.analysis.smc import (
+    smc_response_times,
+    smc_schedulable,
+    smc_schedulable_with_order,
+)
+from repro.core.conversion import convert_uniform
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.mc_task import MCTask, MCTaskSet
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _pair():
+    hi = MCTask("hi", 100, 100, 10, 20, HI)
+    lo = MCTask("lo", 50, 50, 5, 5, LO)
+    return [lo, hi]
+
+
+class TestSMC:
+    def test_response_times_hand_computed(self):
+        ordered = _pair()
+        r = smc_response_times(ordered)
+        assert r[0] == 5.0  # LO task at its own budget
+        # HI task: own budget C(HI)=20; interference from lo at
+        # C(min(HI, LO)) = C(LO) = 5: R = 20 + ceil(R/50)*5 = 25.
+        assert r[1] == 25.0
+
+    def test_interference_capped_at_interferer_level(self):
+        """A LO task never interferes beyond C(LO), even on a HI task."""
+        hi_victim = MCTask("victim", 100, 100, 10, 40, HI)
+        hi_interferer = MCTask("ih", 50, 50, 10, 20, HI)
+        ordered = [hi_interferer, hi_victim]
+        r = smc_response_times(ordered)
+        # victim: 40 + ceil(R/50)*20 (HI interferer at HI budget):
+        # R=60: ceil(60/50)=2 -> 40+40=80; ceil(80/50)=2 -> 80 fixpoint.
+        assert r[1] == 80.0
+
+    def test_unschedulable_none(self):
+        a = MCTask("a", 10, 10, 6, 6, LO)
+        b = MCTask("b", 10, 10, 3, 6, HI)
+        r = smc_response_times([a, b])
+        assert r[1] is None  # 6 + 6-per-10 cannot fit 10
+
+    def test_rejects_arbitrary_deadlines(self):
+        t = MCTask("t", 10, 20, 1, 1, HI)
+        with pytest.raises(ValueError, match="constrained"):
+            smc_response_times([t])
+
+    def test_audsley_wrapper(self):
+        assert smc_schedulable(MCTaskSet(_pair()))
+
+    def test_with_order(self):
+        assert smc_schedulable_with_order(_pair())
+
+
+class TestAMCMax:
+    def test_matches_rtb_on_simple_pair(self):
+        ordered = _pair()
+        r_lo, r_hi = amc_max_response_times(ordered)
+        assert r_lo[1] == 15.0
+        # One candidate switch instant matters here; AMC-max must not
+        # exceed AMC-rtb's bound of 25.
+        assert r_hi[1] is not None and r_hi[1] <= 25.0
+
+    def test_hi_only_set(self):
+        mc = [MCTask("hi", 100, 100, 10, 30, HI)]
+        r_lo, r_hi = amc_max_response_times(mc)
+        assert r_lo[0] == 10.0
+        assert r_hi[0] == 30.0
+
+    def test_unschedulable_set(self):
+        a = MCTask("a", 10, 10, 5, 5, LO)
+        b = MCTask("b", 100, 100, 10, 95, HI)
+        assert not amc_max_schedulable_with_order([a, b])
+
+    def test_audsley_wrapper(self):
+        assert amc_max_schedulable(MCTaskSet(_pair()))
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dominates_amc_rtb_random_sets(self, seed):
+        """The published domination result, on random converted sets."""
+        spec = DualCriticalitySpec.from_names("B", "D")
+        ts = generate_taskset(0.75, spec, seed)
+        for n_prime in (1, 2):
+            mc = convert_uniform(ts, 3, 1, n_prime)
+            if amc_rtb_schedulable(mc):
+                assert amc_max_schedulable(mc), (
+                    f"AMC-max rejected an AMC-rtb-accepted set "
+                    f"(seed={seed}, n'={n_prime})"
+                )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_dominates_with_fixed_dm_order(self, seed):
+        """Domination also holds order-for-order (no Audsley freedom)."""
+        spec = DualCriticalitySpec.from_names("B", "D")
+        ts = generate_taskset(0.7, spec, seed)
+        mc = convert_uniform(ts, 2, 1, 1)
+        ordered = sorted(mc, key=lambda t: t.deadline)
+        if amc_rtb_schedulable_with_order(ordered):
+            assert amc_max_schedulable_with_order(ordered)
+
+    def test_smc_weaker_than_amc_family(self):
+        """Any SMC-schedulable converted set is AMC-rtb-schedulable.
+
+        (AMC dominates SMC; spot-check rather than exhaustive proof.)
+        """
+        spec = DualCriticalitySpec.from_names("B", "D")
+        for seed in range(10):
+            ts = generate_taskset(0.65, spec, seed)
+            mc = convert_uniform(ts, 2, 1, 1)
+            ordered = sorted(mc, key=lambda t: t.deadline)
+            if smc_schedulable_with_order(ordered):
+                assert amc_rtb_schedulable_with_order(ordered)

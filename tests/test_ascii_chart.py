@@ -1,0 +1,52 @@
+"""Tests for the ASCII chart renderer."""
+
+import math
+
+from repro.experiments.ascii_chart import line_chart
+
+
+class TestLineChart:
+    def test_basic_rendering(self):
+        text = line_chart({"s": [(0, 0), (1, 1), (2, 4)]}, title="t")
+        assert "t" in text
+        assert "legend: o=s" in text
+        assert "|" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = line_chart({"a": [(0, 1)], "b": [(1, 2)]})
+        assert "o=a" in text
+        assert "x=b" in text
+
+    def test_log_scale_drops_nonpositive(self):
+        text = line_chart({"s": [(0, 0.0), (1, 10.0)]}, log_y=True)
+        assert "log10" in text
+        assert "legend" in text
+
+    def test_all_points_invalid(self):
+        text = line_chart({"s": [(0, math.nan), (1, math.inf)]})
+        assert "no finite data points" in text
+
+    def test_constant_series(self):
+        text = line_chart({"s": [(0, 5.0), (1, 5.0)]})
+        assert "legend" in text  # degenerate ranges must not crash
+
+    def test_single_point(self):
+        text = line_chart({"s": [(3.0, 7.0)]})
+        assert "o" in text
+
+    def test_axis_labels(self):
+        text = line_chart(
+            {"s": [(0, 1), (1, 2)]}, x_label="n'", y_label="U_MC"
+        )
+        assert "(n')" in text
+        assert "U_MC" in text
+
+    def test_dimensions_respected(self):
+        text = line_chart({"s": [(0, 0), (10, 10)]}, width=20, height=5)
+        grid_lines = [ln for ln in text.splitlines() if "|" in ln]
+        assert len(grid_lines) == 5
+
+    def test_many_series_wrap_markers(self):
+        series = {f"s{i}": [(i, i)] for i in range(10)}
+        text = line_chart(series)
+        assert "legend" in text

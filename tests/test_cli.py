@@ -1,0 +1,117 @@
+"""Tests for the ``ftmc`` command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig9"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.sets == 500
+        assert args.seed == 0
+        assert args.panels == ["a", "b", "c", "d"]
+        assert args.output_dir is None
+
+    def test_panel_selection(self):
+        args = build_parser().parse_args(["fig3", "--panels", "a", "c"])
+        assert args.panels == ["a", "c"]
+
+
+class TestMain:
+    @pytest.mark.parametrize("name", ["table1", "table2", "table3", "table4"])
+    def test_tables_run(self, name, capsys):
+        assert main([name]) == 0
+        out = capsys.readouterr().out
+        assert name in out
+
+    def test_fig1_runs_with_chart(self, capsys):
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig1" in out
+        assert "legend" in out
+
+    def test_fig2_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        assert "fig2" in capsys.readouterr().out
+
+    def test_fig3_small_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fig3",
+                    "--panels", "a",
+                    "--failure-probabilities", "1e-5",
+                    "--utilizations", "0.5", "0.9",
+                    "--sets", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "acceptance ratio" in out
+
+    def test_analyze_requires_system(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "--system" in capsys.readouterr().err
+
+    def test_analyze_feasible_system(self, tmp_path, capsys, fms):
+        from repro.io import save_taskset
+
+        path = str(tmp_path / "fms.json")
+        save_taskset(fms, path)
+        assert main(["analyze", "--system", path]) == 0
+        out = capsys.readouterr().out
+        assert "CERTIFIABLE" in out
+        assert "degradation" in out
+
+    def test_analyze_infeasible_exit_code(self, tmp_path, capsys):
+        import json
+
+        doc = {
+            "criticality": {"hi": "B", "lo": "D"},
+            "tasks": [
+                {"name": "hi", "period": 100, "wcet": 60,
+                 "criticality": "HI", "failure_probability": 1e-9},
+                {"name": "lo", "period": 100, "wcet": 60,
+                 "criticality": "LO", "failure_probability": 1e-9},
+            ],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        assert main(["analyze", "--system", str(path)]) == 1
+        assert "INFEASIBLE" in capsys.readouterr().out
+
+    def test_output_dir_writes_csv(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        assert main(["table1", "--output-dir", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "table1.csv"))
+        with open(os.path.join(out_dir, "table1.csv")) as handle:
+            header = handle.readline().strip()
+        assert header == "level,pfh_requirement,safety_related"
+
+    def test_backends_command(self, capsys):
+        assert main(["backends", "--sets", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "backend-comparison" in out
+        assert "amc-max" in out
+
+    def test_sensitivity_command(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "sens")
+        assert main(["sensitivity", "--sets", "5",
+                     "--output-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "sweep-df" in out
+        assert "sweep-os" in out
+        assert "sweep-phi" in out
+        assert os.path.exists(os.path.join(out_dir, "sweep-df.csv"))

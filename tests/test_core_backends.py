@@ -1,0 +1,79 @@
+"""Direct unit tests for every scheduler backend."""
+
+import math
+
+import pytest
+
+from repro.core.backends import (
+    AMCBackend,
+    AMCMaxBackend,
+    DbfMCBackend,
+    EDFVDBackend,
+    EDFVDDegradationBackend,
+    SMCBackend,
+)
+from repro.core.conversion import convert_uniform
+from repro.core.ftmc import ft_schedule
+
+ALL_BACKENDS = [
+    EDFVDBackend(),
+    EDFVDDegradationBackend(6.0),
+    AMCBackend(),
+    AMCMaxBackend(),
+    SMCBackend(),
+    DbfMCBackend(),
+]
+
+
+class TestBackendContract:
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_mechanism_declared(self, backend):
+        assert backend.mechanism in ("kill", "degrade")
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_schedulability_on_converted_example(self, backend, example31):
+        mc = convert_uniform(example31, 3, 1, 1)
+        verdict = backend.is_schedulable(mc)
+        assert isinstance(verdict, bool)
+        # Determinism.
+        assert backend.is_schedulable(mc) == verdict
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_monotone_in_killing_profile(self, backend, example31):
+        verdicts = [
+            backend.is_schedulable(convert_uniform(example31, 3, 1, n))
+            for n in (1, 2, 3)
+        ]
+        for earlier, later in zip(verdicts, verdicts[1:]):
+            assert earlier or not later
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_pluggable_into_ft_schedule(self, backend, example31):
+        result = ft_schedule(example31, backend)
+        assert result.backend_name == backend.name
+        assert result.mechanism == backend.mechanism
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS, ids=lambda b: b.name)
+    def test_utilization_metric_defined_or_nan(self, backend, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        value = backend.utilization_metric(mc)
+        assert math.isnan(value) or value >= 0.0
+
+    def test_degradation_factor_exposure(self):
+        assert EDFVDBackend().degradation_factor is None
+        assert EDFVDDegradationBackend(4.0).degradation_factor == 4.0
+
+    def test_only_edf_vd_family_defines_u_mc(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        assert not math.isnan(EDFVDBackend().utilization_metric(mc))
+        assert not math.isnan(
+            EDFVDDegradationBackend(6.0).utilization_metric(mc)
+        )
+        for backend in (AMCBackend(), AMCMaxBackend(), SMCBackend(),
+                        DbfMCBackend()):
+            assert math.isnan(backend.utilization_metric(mc))
+
+    def test_fixed_priority_family_agrees_on_trivial_sets(self, example31):
+        light = convert_uniform(example31, 1, 1, 1)
+        for backend in (AMCBackend(), AMCMaxBackend(), SMCBackend()):
+            assert backend.is_schedulable(light)

@@ -1,0 +1,85 @@
+"""Tests for the Lemma 4.1 problem conversion (Example 4.1 / Table 3)."""
+
+import pytest
+
+from repro.core.conversion import convert, convert_uniform
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+
+
+class TestConvertUniform:
+    def test_table3_exact(self, example31):
+        """The converted set must equal Table 3 of the paper."""
+        mc = convert_uniform(example31, n_hi=3, n_lo=1, n_prime_hi=2)
+        expected = {
+            "tau1": (15.0, 10.0),
+            "tau2": (12.0, 8.0),
+            "tau3": (7.0, 7.0),
+            "tau4": (6.0, 6.0),
+            "tau5": (8.0, 8.0),
+        }
+        for task in mc:
+            hi, lo = expected[task.name]
+            assert task.wcet_hi == hi
+            assert task.wcet_lo == lo
+
+    def test_preserves_periods_deadlines_criticalities(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        for original, converted in zip(example31, mc):
+            assert converted.period == original.period
+            assert converted.deadline == original.deadline
+            assert converted.criticality is original.criticality
+
+    def test_hi_budgets_scale_with_profiles(self, example31):
+        mc = convert_uniform(example31, 4, 2, 3)
+        tau1 = mc.task("tau1")
+        assert tau1.wcet_hi == 20.0  # 4 * 5
+        assert tau1.wcet_lo == 15.0  # 3 * 5
+        tau3 = mc.task("tau3")
+        assert tau3.wcet_hi == tau3.wcet_lo == 14.0  # 2 * 7
+
+    def test_n_prime_equal_n_gives_equal_budgets(self, example31):
+        mc = convert_uniform(example31, 3, 1, 3)
+        for task in mc.hi_tasks:
+            assert task.wcet_lo == task.wcet_hi
+
+    def test_utilization_relations(self, example31):
+        """U_HI^HI = n_HI*U_HI etc. — the identities Algorithm 2 relies on."""
+        n_hi, n_lo, n_prime = 3, 2, 2
+        mc = convert_uniform(example31, n_hi, n_lo, n_prime)
+        u_hi = example31.utilization(CriticalityRole.HI)
+        u_lo = example31.utilization(CriticalityRole.LO)
+        assert mc.u_hi_hi == pytest.approx(n_hi * u_hi)
+        assert mc.u_hi_lo == pytest.approx(n_prime * u_hi)
+        assert mc.u_lo_lo == pytest.approx(n_lo * u_lo)
+
+
+class TestConvertGeneral:
+    def test_per_task_profiles(self, example31):
+        reexecution = ReexecutionProfile(
+            {"tau1": 4, "tau2": 2, "tau3": 1, "tau4": 2, "tau5": 1}
+        )
+        adaptation = AdaptationProfile({"tau1": 3, "tau2": 1})
+        mc = convert(example31, reexecution, adaptation)
+        assert mc.task("tau1").wcet_hi == 20.0
+        assert mc.task("tau1").wcet_lo == 15.0
+        assert mc.task("tau2").wcet_hi == 8.0
+        assert mc.task("tau2").wcet_lo == 4.0
+        assert mc.task("tau4").wcet_hi == 12.0
+        assert mc.task("tau4").wcet_lo == 12.0
+
+    def test_rejects_incomplete_reexecution(self, example31):
+        partial = ReexecutionProfile({"tau1": 2})
+        adaptation = AdaptationProfile.uniform(example31, 1)
+        with pytest.raises(ValueError, match="missing"):
+            convert(example31, partial, adaptation)
+
+    def test_rejects_adaptation_above_reexecution(self, example31):
+        reexecution = ReexecutionProfile.uniform(example31, 2, 1)
+        adaptation = AdaptationProfile.uniform(example31, 3)
+        with pytest.raises(ValueError, match="exceeds"):
+            convert(example31, reexecution, adaptation)
+
+    def test_converted_name_tagged(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        assert "converted" in mc.name

@@ -1,0 +1,164 @@
+"""End-to-end tests for FT-S (Algorithms 1-2, Theorem 4.1)."""
+
+import math
+
+import pytest
+
+from repro.analysis.edf_vd import edf_vd_schedulable
+from repro.core.backends import AMCBackend, EDFVDBackend, EDFVDDegradationBackend
+from repro.core.ftmc import (
+    FTSFailure,
+    ft_edf_vd,
+    ft_edf_vd_degradation,
+    ft_schedule,
+)
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+
+class TestFTEdfVdOnExample31:
+    def test_success_with_paper_profiles(self, example31):
+        """Examples 3.1/4.1 end to end: n_HI=3, n_LO=1, n'=2, SUCCESS."""
+        result = ft_edf_vd(example31)
+        assert result.success
+        assert result.failure is None
+        assert (result.n_hi, result.n_lo) == (3, 1)
+        assert result.adaptation == 2
+        assert result.n1_hi == 1
+        assert result.n2_hi == 2
+
+    def test_reported_pfh_values(self, example31):
+        result = ft_edf_vd(example31)
+        assert result.pfh_hi == pytest.approx(2.04e-10, rel=1e-6)
+        # LO=D carries no ceiling, but the bound is still reported.
+        assert result.pfh_lo >= 0.0
+
+    def test_converted_set_schedulable(self, example31):
+        result = ft_edf_vd(example31)
+        assert result.mc_taskset is not None
+        assert edf_vd_schedulable(result.mc_taskset)
+        assert result.u_mc <= 1.0 + 1e-12
+
+    def test_result_truthiness(self, example31):
+        assert ft_edf_vd(example31)
+
+    def test_failure_with_lo_level_c(self, example31_lo_c):
+        """Paper's point: killing level-C tasks violates their safety."""
+        result = ft_edf_vd(example31_lo_c)
+        assert not result.success
+        assert result.failure is FTSFailure.UNSAFE_ADAPTATION
+
+
+class TestFTOnFMS:
+    def test_killing_fails_safety_window(self, fms):
+        """Fig. 1: safe region (n' >= 3) and schedulable region (n' <= 2)
+        are disjoint, so Algorithm 2 fails."""
+        result = ft_edf_vd(fms, operation_hours=10.0)
+        assert not result.success
+        assert result.failure is FTSFailure.INFEASIBLE_WINDOW
+        assert result.n1_hi == 3
+        assert result.n2_hi == 2
+
+    def test_degradation_succeeds(self, fms):
+        """Fig. 2: degradation overlaps at n' = 2 and FT-S succeeds."""
+        result = ft_edf_vd_degradation(fms, 6.0, operation_hours=10.0)
+        assert result.success
+        assert result.adaptation == 2
+        assert (result.n_hi, result.n_lo) == (3, 2)
+        assert result.degradation_factor == 6.0
+
+    def test_degradation_pfh_matches_paper_order(self, fms):
+        result = ft_edf_vd_degradation(fms, 6.0, operation_hours=10.0)
+        assert -12.0 <= math.log10(result.pfh_lo) <= -10.0
+
+    def test_mechanism_labels(self, fms):
+        kill = ft_edf_vd(fms)
+        degrade = ft_edf_vd_degradation(fms, 6.0)
+        assert kill.mechanism == "kill"
+        assert degrade.mechanism == "degrade"
+        assert kill.degradation_factor is None
+
+
+class TestFailureModes:
+    def test_unsafe_reexecution(self, example31):
+        """A ceiling nothing can reach (f too high for level A at max_n=2)."""
+        result = ft_edf_vd(example31, max_n=2)
+        assert not result.success
+        assert result.failure is FTSFailure.UNSAFE_REEXECUTION
+        assert result.n_hi is None
+
+    def test_unschedulable(self):
+        overloaded = TaskSet(
+            [
+                Task("hi", 100, 100, 60, CriticalityRole.HI, 1e-9),
+                Task("lo", 100, 100, 60, CriticalityRole.LO, 1e-9),
+            ],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        result = ft_edf_vd(overloaded)
+        assert not result.success
+        assert result.failure is FTSFailure.UNSCHEDULABLE
+        assert result.n1_hi == 1
+
+    def test_failure_result_is_falsy(self, fms):
+        assert not ft_edf_vd(fms)
+
+
+class TestTheorem41Guarantees:
+    """On SUCCESS, safety on both levels and schedulability must hold."""
+
+    @pytest.mark.parametrize("lo_level", ["C", "D", "E"])
+    def test_guarantees_across_lo_levels(self, example31, lo_level):
+        spec = DualCriticalitySpec.from_names("B", lo_level)
+        taskset = example31.with_spec(spec)
+        for backend in (EDFVDBackend(), EDFVDDegradationBackend(6.0)):
+            result = ft_schedule(taskset, backend, operation_hours=10.0)
+            if not result.success:
+                continue
+            assert result.pfh_hi <= spec.pfh_requirement(CriticalityRole.HI)
+            assert result.pfh_lo < spec.pfh_requirement(CriticalityRole.LO)
+            assert backend.is_schedulable(result.mc_taskset)
+
+    def test_amc_backend_integrates(self, example31):
+        """Theorem 4.1's generality: a fixed-priority backend plugs in."""
+        result = ft_schedule(example31, AMCBackend())
+        assert result.backend_name == "amc-rtb"
+        if result.success:
+            assert AMCBackend().is_schedulable(result.mc_taskset)
+        # U_MC is undefined for AMC; reported as NaN.
+        assert math.isnan(result.u_mc) or result.u_mc > 0
+
+    def test_adaptation_equals_n2(self, example31):
+        """Line 10: the adopted profile is the maximal schedulable one."""
+        result = ft_edf_vd(example31)
+        assert result.adaptation == result.n2_hi
+
+    def test_operation_hours_recorded(self, example31):
+        result = ft_edf_vd(example31, operation_hours=5.0)
+        assert result.operation_hours == 5.0
+
+
+class TestBackendValidation:
+    def test_degradation_backend_rejects_bad_factor(self):
+        with pytest.raises(ValueError, match="factor"):
+            EDFVDDegradationBackend(1.0)
+
+    def test_backend_names(self):
+        assert EDFVDBackend().name == "edf-vd"
+        assert "df=6" in EDFVDDegradationBackend(6.0).name
+        assert EDFVDBackend().mechanism == "kill"
+        assert EDFVDDegradationBackend(2.0).mechanism == "degrade"
+
+    def test_utilization_metric_nan_for_amc(self, example31):
+        from repro.core.conversion import convert_uniform
+
+        mc = convert_uniform(example31, 3, 1, 2)
+        assert math.isnan(AMCBackend().utilization_metric(mc))
+
+    def test_edf_vd_virtual_deadline_factor(self, example31):
+        from repro.core.conversion import convert_uniform
+
+        backend = EDFVDBackend()
+        mc = convert_uniform(example31, 3, 1, 2)
+        x = backend.virtual_deadline_factor(mc)
+        assert x is not None and 0 < x <= 1

@@ -1,0 +1,167 @@
+"""Tests for the per-task re-execution profile optimizer (ablation)."""
+
+import pytest
+
+from repro.core.optimize import minimal_per_task_reexecution
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.safety.pfh import minimal_uniform_reexecution, pfh_of_tasks
+
+
+def _heterogeneous_set() -> TaskSet:
+    """HI tasks with very different periods and failure probabilities."""
+    tasks = [
+        Task("fast", period=10.0, deadline=10.0, wcet=1.0,
+             criticality=CriticalityRole.HI, failure_probability=1e-4),
+        Task("slow", period=10_000.0, deadline=10_000.0, wcet=100.0,
+             criticality=CriticalityRole.HI, failure_probability=1e-7),
+        Task("lo", period=100.0, deadline=100.0, wcet=5.0,
+             criticality=CriticalityRole.LO, failure_probability=1e-5),
+    ]
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+class TestMinimalPerTask:
+    def test_meets_ceiling(self):
+        ts = _heterogeneous_set()
+        result = minimal_per_task_reexecution(ts, CriticalityRole.HI, 1e-7)
+        assert result is not None
+        assert result.pfh <= 1e-7
+        value = pfh_of_tasks(ts.hi_tasks, result.profile)
+        assert value == pytest.approx(result.pfh)
+
+    def test_never_worse_than_uniform(self):
+        """The headline ablation property: per-task load <= uniform load."""
+        ts = _heterogeneous_set()
+        ceiling = 1e-7
+        per_task = minimal_per_task_reexecution(ts, CriticalityRole.HI, ceiling)
+        uniform_n = minimal_uniform_reexecution(ts, CriticalityRole.HI, ceiling)
+        uniform_load = uniform_n * sum(t.utilization for t in ts.hi_tasks)
+        assert per_task.inflated_utilization <= uniform_load + 1e-12
+
+    def test_heterogeneous_set_gets_heterogeneous_profiles(self):
+        """The fast/error-prone task needs more re-executions than the
+        slow/reliable one — uniform profiles cannot express that."""
+        ts = _heterogeneous_set()
+        result = minimal_per_task_reexecution(ts, CriticalityRole.HI, 1e-7)
+        assert result.profile["fast"] > result.profile["slow"]
+
+    def test_matches_uniform_on_homogeneous_set(self, example31):
+        """Example 3.1's HI tasks are similar: per-task collapses to 3/3."""
+        result = minimal_per_task_reexecution(example31, CriticalityRole.HI, 1e-7)
+        assert result.profile.as_dict() == {"tau1": 3, "tau2": 3}
+
+    def test_unreachable_ceiling(self, example31):
+        assert (
+            minimal_per_task_reexecution(
+                example31, CriticalityRole.HI, 0.0, max_n=4
+            )
+            is None
+        )
+
+    def test_empty_role(self):
+        hi_only = TaskSet(
+            [Task("hi", 100, 100, 5, CriticalityRole.HI, 1e-5)],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        result = minimal_per_task_reexecution(hi_only, CriticalityRole.LO, 1e-5)
+        assert result is not None
+        assert len(result.profile) == 0
+        assert result.pfh == 0.0
+
+    def test_trivial_ceiling_keeps_single_executions(self):
+        ts = _heterogeneous_set()
+        result = minimal_per_task_reexecution(ts, CriticalityRole.HI, 1.0e6)
+        assert all(n == 1 for n in result.profile.as_dict().values())
+
+    def test_profile_is_valid_reexecution_profile(self):
+        ts = _heterogeneous_set()
+        result = minimal_per_task_reexecution(ts, CriticalityRole.HI, 1e-7)
+        assert isinstance(result.profile, ReexecutionProfile)
+        for task in ts.hi_tasks:
+            assert result.profile[task] >= 1
+
+
+class TestPerTaskAdaptation:
+    @staticmethod
+    def _search(taskset, backend=None, **kwargs):
+        from repro.core.backends import EDFVDBackend
+        from repro.core.optimize import search_per_task_adaptation
+
+        return search_per_task_adaptation(
+            taskset, 3, 1, backend or EDFVDBackend(), 10.0, **kwargs
+        )
+
+    def test_example31_finds_finer_profile(self, example31):
+        """Uniform FT-S picks n' = 2 for both HI tasks; the per-task
+        search keeps tau1 unadapted and sacrifices only tau2."""
+        result = self._search(example31)
+        assert result.success
+        profile = result.adaptation.as_dict()
+        assert profile["tau1"] == 3  # never adapted
+        assert profile["tau2"] < 3
+
+    def test_found_profile_is_schedulable(self, example31):
+        from repro.core.backends import EDFVDBackend
+        from repro.core.conversion import convert
+        from repro.model.faults import ReexecutionProfile
+
+        result = self._search(example31)
+        mc = convert(
+            example31,
+            ReexecutionProfile.uniform(example31, 3, 1),
+            result.adaptation,
+        )
+        assert EDFVDBackend().is_schedulable(mc)
+
+    def test_safety_check_blocks_lo_c(self):
+        """A schedulable killing profile that violates the level-C
+        ceiling must be reported as a safety failure, not accepted."""
+        from repro.core.backends import EDFVDBackend
+        from repro.core.optimize import search_per_task_adaptation
+        from repro.model.criticality import DualCriticalitySpec
+        from repro.model.task import Task, TaskSet
+
+        taskset = TaskSet(
+            [
+                Task("hi1", 100, 100, 14, CriticalityRole.HI, 1e-5),
+                Task("hi2", 100, 100, 14, CriticalityRole.HI, 1e-5),
+                Task("lo", 100, 100, 15, CriticalityRole.LO, 1e-5),
+            ],
+            DualCriticalitySpec.from_names("B", "C"),
+        )
+        result = search_per_task_adaptation(
+            taskset, 3, 2, EDFVDBackend(), 10.0
+        )
+        assert not result.success
+        assert "ceiling" in result.reason
+        assert result.adaptation is not None  # a schedulable profile exists
+        assert result.pfh_lo >= 1e-5
+
+    def test_unschedulable_even_at_floor(self):
+        from repro.model.criticality import DualCriticalitySpec
+        from repro.model.task import Task, TaskSet
+
+        overloaded = TaskSet(
+            [
+                Task("hi", 100, 100, 60, CriticalityRole.HI, 1e-9),
+                Task("lo", 100, 100, 60, CriticalityRole.LO, 1e-9),
+            ],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        from repro.core.backends import EDFVDBackend
+        from repro.core.optimize import search_per_task_adaptation
+
+        result = search_per_task_adaptation(
+            overloaded, 2, 1, EDFVDBackend(), 10.0
+        )
+        assert not result.success
+        assert "profile at 1" in result.reason
+
+    def test_requires_spec(self, example31):
+        from repro.model.task import TaskSet
+
+        unbound = TaskSet(example31.tasks, spec=None)
+        with pytest.raises(ValueError, match="spec"):
+            self._search(unbound)

@@ -1,0 +1,128 @@
+"""Tests for the FT-S profile searches (Algorithm 1, lines 2/4/8)."""
+
+import pytest
+
+from repro.core.backends import EDFVDBackend, EDFVDDegradationBackend
+from repro.core.profiles import (
+    maximal_adaptation_profile,
+    minimal_adaptation_profile,
+    minimal_reexecution_profiles,
+    pfh_lo_adapted,
+)
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+
+class TestMinimalReexecutionProfiles:
+    def test_example31(self, example31):
+        """Paper: n_HI = 3 (level B), n_LO = 1 (level D, no requirement)."""
+        profiles = minimal_reexecution_profiles(example31)
+        assert profiles is not None
+        assert profiles.n_hi == 3
+        assert profiles.n_lo == 1
+
+    def test_fms(self, fms):
+        """Paper: n_HI = 3, n_LO = 2 for the FMS (levels B and C)."""
+        profiles = minimal_reexecution_profiles(fms)
+        assert profiles is not None
+        assert (profiles.n_hi, profiles.n_lo) == (3, 2)
+
+    def test_example31_with_lo_c(self, example31_lo_c):
+        profiles = minimal_reexecution_profiles(example31_lo_c)
+        assert profiles is not None
+        assert profiles.n_hi == 3
+        assert profiles.n_lo >= 2  # level C forces LO re-execution
+
+    def test_requires_spec(self, example31):
+        unbound = TaskSet(example31.tasks, spec=None)
+        with pytest.raises(ValueError, match="spec"):
+            minimal_reexecution_profiles(unbound)
+
+    def test_none_when_max_n_too_small(self, example31):
+        assert minimal_reexecution_profiles(example31, max_n=2) is None
+
+    def test_safety_actually_met(self, fms):
+        from repro.model.faults import ReexecutionProfile
+        from repro.safety.pfh import pfh_plain
+
+        profiles = minimal_reexecution_profiles(fms)
+        reexecution = ReexecutionProfile.uniform(fms, profiles.n_hi, profiles.n_lo)
+        assert pfh_plain(fms, CriticalityRole.HI, reexecution) <= 1e-7
+        assert pfh_plain(fms, CriticalityRole.LO, reexecution) <= 1e-5
+
+
+class TestMinimalAdaptationProfile:
+    def test_trivial_when_lo_not_safety_related(self, example31):
+        assert (
+            minimal_adaptation_profile(example31, 3, 1, "kill", 10.0) == 1
+        )
+
+    def test_fms_killing_needs_three(self, fms):
+        """Fig. 1: the killing safe region starts at n' = 3."""
+        assert minimal_adaptation_profile(fms, 3, 2, "kill", 10.0) == 3
+
+    def test_fms_degradation_safe_from_one(self, fms):
+        """Fig. 2: degradation is safe already at n' = 1."""
+        assert minimal_adaptation_profile(fms, 3, 2, "degrade", 10.0) == 1
+
+    def test_none_when_unreachable(self, example31_lo_c):
+        """Killing level-C tasks in Example 3.1 violates safety at any n'."""
+        assert (
+            minimal_adaptation_profile(example31_lo_c, 3, 3, "kill", 10.0)
+            is None
+        )
+
+    def test_unknown_mechanism_rejected(self, fms):
+        with pytest.raises(ValueError, match="mechanism"):
+            pfh_lo_adapted(fms, 3, 2, 2, "pause", 10.0)
+
+    def test_requires_spec(self, example31):
+        unbound = TaskSet(example31.tasks, spec=None)
+        with pytest.raises(ValueError, match="spec"):
+            minimal_adaptation_profile(unbound, 3, 1, "kill", 10.0)
+
+    def test_no_lo_tasks_trivial(self):
+        hi_only = TaskSet(
+            [Task("hi", 100, 100, 5, CriticalityRole.HI, 1e-5)],
+            DualCriticalitySpec.from_names("B", "C"),
+        )
+        assert minimal_adaptation_profile(hi_only, 3, 1, "kill", 10.0) == 1
+
+
+class TestMaximalAdaptationProfile:
+    def test_example31_edf_vd(self, example31):
+        """Example 4.1: n2_HI = 2 under EDF-VD."""
+        assert (
+            maximal_adaptation_profile(example31, 3, 1, EDFVDBackend()) == 2
+        )
+
+    def test_fms_edf_vd(self, fms):
+        """Fig. 1: the FMS schedulable region ends at n' = 2."""
+        assert maximal_adaptation_profile(fms, 3, 2, EDFVDBackend()) == 2
+
+    def test_fms_degradation(self, fms):
+        backend = EDFVDDegradationBackend(6.0)
+        assert maximal_adaptation_profile(fms, 3, 2, backend) == 2
+
+    def test_none_when_nothing_schedulable(self):
+        overloaded = TaskSet(
+            [
+                Task("hi", 100, 100, 60, CriticalityRole.HI, 1e-5),
+                Task("lo", 100, 100, 60, CriticalityRole.LO, 1e-5),
+            ],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        assert (
+            maximal_adaptation_profile(overloaded, 2, 1, EDFVDBackend()) is None
+        )
+
+    def test_result_is_schedulable_and_supremum(self, fms):
+        from repro.core.conversion import convert_uniform
+
+        backend = EDFVDBackend()
+        n2 = maximal_adaptation_profile(fms, 3, 2, backend)
+        assert backend.is_schedulable(convert_uniform(fms, 3, 2, n2))
+        if n2 < 3:
+            assert not backend.is_schedulable(
+                convert_uniform(fms, 3, 2, n2 + 1)
+            )

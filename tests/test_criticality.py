@@ -1,0 +1,110 @@
+"""Unit tests for DO-178B levels and the dual-criticality spec (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.model.criticality import (
+    NO_REQUIREMENT,
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+    pfh_requirement,
+)
+
+
+class TestDO178BLevel:
+    def test_ordering_follows_importance(self):
+        assert DO178BLevel.A > DO178BLevel.B > DO178BLevel.C
+        assert DO178BLevel.C > DO178BLevel.D > DO178BLevel.E
+
+    @pytest.mark.parametrize(
+        "level, ceiling",
+        [
+            (DO178BLevel.A, 1e-9),
+            (DO178BLevel.B, 1e-7),
+            (DO178BLevel.C, 1e-5),
+        ],
+    )
+    def test_table1_ceilings(self, level, ceiling):
+        assert level.pfh_ceiling == ceiling
+        assert pfh_requirement(level) == ceiling
+
+    @pytest.mark.parametrize("level", [DO178BLevel.D, DO178BLevel.E])
+    def test_levels_d_e_have_no_requirement(self, level):
+        assert level.pfh_ceiling == NO_REQUIREMENT
+        assert math.isinf(level.pfh_ceiling)
+        assert not level.is_safety_related
+
+    @pytest.mark.parametrize("level", [DO178BLevel.A, DO178BLevel.B, DO178BLevel.C])
+    def test_levels_a_b_c_are_safety_related(self, level):
+        assert level.is_safety_related
+
+    def test_ceilings_strictly_decrease_with_criticality(self):
+        levels = sorted(DO178BLevel, reverse=True)
+        ceilings = [lvl.pfh_ceiling for lvl in levels]
+        for higher, lower in zip(ceilings, ceilings[1:]):
+            assert higher <= lower
+
+    @pytest.mark.parametrize("name", ["A", "b", " c ", "D", "e"])
+    def test_from_name_accepts_any_case(self, name):
+        level = DO178BLevel.from_name(name)
+        assert level.name == name.strip().upper()
+
+    def test_from_name_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown DO-178B level"):
+            DO178BLevel.from_name("F")
+
+
+class TestCriticalityRole:
+    def test_hi_greater_than_lo(self):
+        assert CriticalityRole.HI > CriticalityRole.LO
+
+    def test_other_swaps(self):
+        assert CriticalityRole.HI.other is CriticalityRole.LO
+        assert CriticalityRole.LO.other is CriticalityRole.HI
+
+
+class TestDualCriticalitySpec:
+    def test_valid_spec(self):
+        spec = DualCriticalitySpec(DO178BLevel.B, DO178BLevel.C)
+        assert spec.level(CriticalityRole.HI) is DO178BLevel.B
+        assert spec.level(CriticalityRole.LO) is DO178BLevel.C
+
+    def test_rejects_equal_levels(self):
+        with pytest.raises(ValueError, match="strictly more critical"):
+            DualCriticalitySpec(DO178BLevel.C, DO178BLevel.C)
+
+    def test_rejects_inverted_levels(self):
+        with pytest.raises(ValueError, match="strictly more critical"):
+            DualCriticalitySpec(DO178BLevel.D, DO178BLevel.B)
+
+    def test_pfh_requirement_per_role(self):
+        spec = DualCriticalitySpec.from_names("B", "C")
+        assert spec.pfh_requirement(CriticalityRole.HI) == 1e-7
+        assert spec.pfh_requirement(CriticalityRole.LO) == 1e-5
+
+    def test_lo_is_safety_related_for_level_c(self):
+        assert DualCriticalitySpec.from_names("B", "C").lo_is_safety_related
+
+    @pytest.mark.parametrize("lo", ["D", "E"])
+    def test_lo_not_safety_related_for_d_e(self, lo):
+        assert not DualCriticalitySpec.from_names("B", lo).lo_is_safety_related
+
+    def test_from_names_round_trip(self):
+        spec = DualCriticalitySpec.from_names("A", "E")
+        assert spec.hi_level is DO178BLevel.A
+        assert spec.lo_level is DO178BLevel.E
+
+    @pytest.mark.parametrize(
+        "hi, lo", [("A", "B"), ("A", "E"), ("B", "C"), ("B", "D"), ("C", "E")]
+    )
+    def test_all_paper_combinations_construct(self, hi, lo):
+        spec = DualCriticalitySpec.from_names(hi, lo)
+        assert spec.hi_level > spec.lo_level
+
+    def test_spec_is_hashable_value_object(self):
+        a = DualCriticalitySpec.from_names("B", "C")
+        b = DualCriticalitySpec.from_names("B", "C")
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,53 @@
+"""Tests for the backend-comparison experiment."""
+
+import pytest
+
+from repro.core.backends import AMCBackend, EDFVDBackend
+from repro.experiments.backend_comparison import (
+    DEFAULT_BACKENDS,
+    render_backend_comparison,
+    run_backend_comparison,
+)
+
+
+class TestBackendComparison:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_backend_comparison(
+            utilizations=(0.5, 0.8), sets_per_point=20
+        )
+
+    def test_columns_cover_all_backends(self, result):
+        names = {b.name for b in DEFAULT_BACKENDS()}
+        assert names <= set(result.columns)
+
+    def test_acceptance_in_unit_interval(self, result):
+        for name in result.columns[1:]:
+            for value in result.column(name):
+                assert 0.0 <= value <= 1.0
+
+    def test_amc_max_dominates_rtb(self, result):
+        for rtb, mx in zip(result.column("amc-rtb"), result.column("amc-max")):
+            assert mx >= rtb - 1e-12
+
+    def test_amc_rtb_dominates_smc(self, result):
+        for smc, rtb in zip(result.column("smc"), result.column("amc-rtb")):
+            assert rtb >= smc - 1e-12
+
+    def test_custom_backend_list(self):
+        result = run_backend_comparison(
+            utilizations=(0.6,),
+            sets_per_point=10,
+            backends=[EDFVDBackend(), AMCBackend()],
+        )
+        assert list(result.columns) == ["utilization", "edf-vd", "amc-rtb"]
+
+    def test_determinism(self):
+        a = run_backend_comparison((0.7,), 10, seed=5)
+        b = run_backend_comparison((0.7,), 10, seed=5)
+        assert a.rows == b.rows
+
+    def test_render(self, result):
+        text = render_backend_comparison(result)
+        assert "acceptance ratio" in text
+        assert "legend" in text

@@ -1,0 +1,40 @@
+"""Tests for the overhead study experiment."""
+
+import pytest
+
+from repro.experiments.overhead_study import run_overhead_study
+
+
+class TestOverheadStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_overhead_study(
+            costs=(0.0, 0.5, 5.0), horizon=60_000.0
+        )
+
+    def test_zero_cost_no_hi_misses(self, study):
+        """The analytical guarantee must hold exactly at zero overhead."""
+        by_cost = dict(zip(study.column("cost_ms"),
+                           study.column("hi_misses")))
+        assert by_cost[0.0] == 0
+
+    def test_large_cost_breaks_hi(self, study):
+        by_cost = dict(zip(study.column("cost_ms"),
+                           study.column("hi_misses")))
+        assert by_cost[5.0] > 0
+
+    def test_misses_monotone_in_cost(self, study):
+        misses = study.column("hi_misses")
+        assert misses == sorted(misses)
+
+    def test_overhead_share_monotone(self, study):
+        shares = study.column("overhead_share")
+        assert shares == sorted(shares)
+        assert shares[0] == 0.0
+
+    def test_rejects_failed_configuration(self, fms):
+        from repro.core.ftmc import ft_edf_vd
+
+        failed = ft_edf_vd(fms)  # FMS killing fails
+        with pytest.raises(ValueError, match="accepted"):
+            run_overhead_study(fms, failed)

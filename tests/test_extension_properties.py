@@ -1,0 +1,116 @@
+"""Property-based tests for the multilevel and multicore extensions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import EDFVDBackend
+from repro.core.conversion import convert_uniform
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import (
+    CriticalityRole,
+    DO178BLevel,
+    DualCriticalitySpec,
+)
+from repro.multicore.partition import first_fit_decreasing
+from repro.multilevel.model import MLTask, MLTaskSet
+from repro.multilevel.reduction import (
+    boundary_candidates,
+    reduce_at_boundary,
+)
+
+SPEC = DualCriticalitySpec.from_names("B", "D")
+
+levels = st.sampled_from(
+    [DO178BLevel.A, DO178BLevel.B, DO178BLevel.C, DO178BLevel.D]
+)
+
+
+@st.composite
+def ml_tasksets(draw):
+    n = draw(st.integers(2, 6))
+    tasks = []
+    used_levels = set()
+    for i in range(n):
+        level = draw(levels)
+        used_levels.add(level)
+        period = float(draw(st.integers(50, 2000)))
+        wcet = float(draw(st.integers(1, max(2, int(period // 10)))))
+        tasks.append(
+            MLTask(f"t{i}", period, period, wcet, level,
+                   draw(st.sampled_from([1e-6, 1e-5, 1e-4])))
+        )
+    return MLTaskSet(tasks)
+
+
+class TestMultilevelProperties:
+    @given(ml_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_reduction_preserves_tasks_and_utilization(self, ml):
+        for boundary in boundary_candidates(ml):
+            dual = reduce_at_boundary(ml, boundary)
+            assert len(dual) == len(ml)
+            assert dual.utilization() == pytest.approx(ml.utilization())
+            # Roles follow the boundary exactly.
+            for task in ml:
+                role = dual.task(task.name).criticality
+                expected = (
+                    CriticalityRole.HI
+                    if task.level >= boundary
+                    else CriticalityRole.LO
+                )
+                assert role is expected
+
+    @given(ml_tasksets())
+    @settings(max_examples=60, deadline=None)
+    def test_boundaries_partition_strictly(self, ml):
+        candidates = boundary_candidates(ml)
+        # Candidates exclude exactly the lowest present level.
+        present = ml.levels()
+        assert set(candidates) == set(present[:-1])
+        for boundary in candidates:
+            dual = reduce_at_boundary(ml, boundary)
+            assert dual.hi_tasks and dual.lo_tasks
+
+    @given(ml_tasksets())
+    @settings(max_examples=40, deadline=None)
+    def test_spec_gates_are_group_extremes(self, ml):
+        for boundary in boundary_candidates(ml):
+            dual = reduce_at_boundary(ml, boundary)
+            hi_levels = [t.level for t in ml if t.level >= boundary]
+            lo_levels = [t.level for t in ml if t.level < boundary]
+            assert dual.spec.hi_level == min(hi_levels)
+            assert dual.spec.lo_level == max(lo_levels)
+
+
+class TestMulticoreProperties:
+    @given(st.integers(0, 40), st.integers(1, 4),
+           st.floats(0.3, 1.8))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_exact_cover(self, seed, m, utilization):
+        taskset = generate_taskset(utilization, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        partition = first_fit_decreasing(mc, m, EDFVDBackend())
+        if partition is None:
+            return
+        names = [
+            t.name for processor in partition.processors for t in processor
+        ]
+        assert sorted(names) == sorted(t.name for t in mc)
+        for processor in partition.processors:
+            assert EDFVDBackend().is_schedulable(processor)
+
+    @given(st.integers(0, 40), st.floats(0.3, 1.8))
+    @settings(max_examples=40, deadline=None)
+    def test_more_processors_never_hurt(self, seed, utilization):
+        taskset = generate_taskset(utilization, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        backend = EDFVDBackend()
+        feasible = [
+            first_fit_decreasing(mc, m, backend) is not None
+            for m in (1, 2, 4)
+        ]
+        for fewer, more in zip(feasible, feasible[1:]):
+            assert more or not fewer

@@ -1,0 +1,162 @@
+"""Unit tests for the fault model and the profile containers."""
+
+import pytest
+
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+    round_failure_probability,
+    round_success_probability,
+)
+
+
+class TestRoundProbabilities:
+    def test_single_execution(self):
+        assert round_failure_probability(1e-5, 1) == pytest.approx(1e-5)
+
+    def test_three_executions(self):
+        """f^n as used throughout eqs. (2)-(7): 1e-5 cubed."""
+        assert round_failure_probability(1e-5, 3) == pytest.approx(1e-15)
+
+    def test_success_complements_failure(self):
+        f, n = 1e-3, 2
+        assert round_success_probability(f, n) == pytest.approx(
+            1.0 - round_failure_probability(f, n)
+        )
+
+    def test_zero_failure_probability(self):
+        assert round_failure_probability(0.0, 5) == 0.0
+        assert round_success_probability(0.0, 5) == 1.0
+
+    def test_rejects_zero_executions(self):
+        with pytest.raises(ValueError, match="executions"):
+            round_failure_probability(1e-5, 0)
+
+    def test_rejects_probability_of_one(self):
+        with pytest.raises(ValueError, match="probability"):
+            round_failure_probability(1.0, 2)
+
+
+class TestReexecutionProfile:
+    def test_uniform_assigns_by_criticality(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 3, 1)
+        assert profile["tau1"] == 3
+        assert profile["tau2"] == 3
+        for name in ("tau3", "tau4", "tau5"):
+            assert profile[name] == 1
+
+    def test_lookup_by_task_object(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 2, 1)
+        assert profile[example31.task("tau1")] == 2
+
+    def test_constant(self, example31):
+        profile = ReexecutionProfile.constant(example31.lo_tasks, 4)
+        assert len(profile) == 3
+        assert all(profile[t] == 4 for t in example31.lo_tasks)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            ReexecutionProfile({"a": 0})
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(TypeError, match="int"):
+            ReexecutionProfile({"a": 2.5})  # type: ignore[dict-item]
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError, match="int"):
+            ReexecutionProfile({"a": True})  # type: ignore[dict-item]
+
+    def test_validate_for_flags_missing_tasks(self, example31):
+        partial = ReexecutionProfile({"tau1": 3})
+        with pytest.raises(ValueError, match="missing"):
+            partial.validate_for(example31)
+
+    def test_contains_and_iteration(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 2, 2)
+        assert "tau1" in profile
+        assert example31.task("tau5") in profile
+        assert "ghost" not in profile
+        assert set(profile) == {t.name for t in example31}
+
+    def test_equality_and_hash(self, example31):
+        a = ReexecutionProfile.uniform(example31, 3, 1)
+        b = ReexecutionProfile.uniform(example31, 3, 1)
+        c = ReexecutionProfile.uniform(example31, 3, 2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+    def test_profile_types_never_equal(self, example31):
+        re_profile = ReexecutionProfile({"tau1": 2, "tau2": 2})
+        adapt = AdaptationProfile({"tau1": 2, "tau2": 2})
+        assert re_profile != adapt
+
+    def test_as_dict_and_get(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 3, 1)
+        d = profile.as_dict()
+        assert d["tau1"] == 3
+        assert profile.get("ghost") is None
+        assert profile.get("ghost", 7) == 7
+
+
+class TestAdaptationProfile:
+    def test_uniform_covers_only_hi_tasks(self, example31):
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        assert set(adaptation) == {"tau1", "tau2"}
+
+    def test_validate_requires_all_hi_tasks(self, example31, example31_profiles):
+        partial = AdaptationProfile({"tau1": 2})
+        with pytest.raises(ValueError, match="missing HI task"):
+            partial.validate_for(example31, example31_profiles)
+
+    def test_validate_rejects_profile_above_reexecution(
+        self, example31, example31_profiles
+    ):
+        too_big = AdaptationProfile.uniform(example31, 4)  # n_HI is 3
+        with pytest.raises(ValueError, match="exceeds"):
+            too_big.validate_for(example31, example31_profiles)
+
+    def test_equal_profile_is_accepted(self, example31, example31_profiles):
+        """n' == n encodes "never adapt" (library extension of n' < n)."""
+        boundary = AdaptationProfile.uniform(example31, 3)
+        boundary.validate_for(example31, example31_profiles)
+
+    def test_paper_profile_validates(
+        self, example31, example31_profiles, example31_adaptation
+    ):
+        example31_adaptation.validate_for(example31, example31_profiles)
+
+
+class TestFaultToleranceConfig:
+    def test_mechanism_none(self, example31, example31_profiles):
+        config = FaultToleranceConfig(reexecution=example31_profiles)
+        assert config.mechanism == "none"
+
+    def test_mechanism_kill(
+        self, example31, example31_profiles, example31_adaptation
+    ):
+        config = FaultToleranceConfig(
+            reexecution=example31_profiles, adaptation=example31_adaptation
+        )
+        assert config.mechanism == "kill"
+
+    def test_mechanism_degrade(
+        self, example31, example31_profiles, example31_adaptation
+    ):
+        config = FaultToleranceConfig(
+            reexecution=example31_profiles,
+            adaptation=example31_adaptation,
+            degradation_factor=6.0,
+        )
+        assert config.mechanism == "degrade"
+
+    @pytest.mark.parametrize("df", [1.0, 0.5, -2.0])
+    def test_rejects_degradation_factor_at_or_below_one(
+        self, example31_profiles, example31_adaptation, df
+    ):
+        with pytest.raises(ValueError, match="factor"):
+            FaultToleranceConfig(
+                reexecution=example31_profiles,
+                adaptation=example31_adaptation,
+                degradation_factor=df,
+            )

@@ -1,0 +1,88 @@
+"""Tests for the FMS use-case generator (Table 4) and the pinned instance."""
+
+import pytest
+
+from repro.core.profiles import minimal_reexecution_profiles
+from repro.experiments.fms_sweep import u_mc_degrade, u_mc_kill
+from repro.gen.fms import (
+    CANONICAL_SEED,
+    FMS_PERIODS_B,
+    FMS_PERIODS_C,
+    canonical_fms,
+    generate_fms,
+)
+from repro.model.criticality import CriticalityRole, DO178BLevel
+
+
+class TestTable4Conformance:
+    def test_eleven_tasks(self):
+        assert len(generate_fms(0)) == 11
+
+    def test_seven_b_and_four_c(self):
+        ts = generate_fms(0)
+        assert len(ts.hi_tasks) == 7
+        assert len(ts.lo_tasks) == 4
+
+    def test_levels_bound_to_b_and_c(self):
+        ts = generate_fms(0)
+        assert ts.spec.hi_level is DO178BLevel.B
+        assert ts.spec.lo_level is DO178BLevel.C
+
+    def test_periods_match_table4(self):
+        ts = generate_fms(0)
+        hi_periods = tuple(t.period for t in ts.hi_tasks)
+        lo_periods = tuple(t.period for t in ts.lo_tasks)
+        assert hi_periods == FMS_PERIODS_B
+        assert lo_periods == FMS_PERIODS_C
+
+    def test_implicit_deadlines(self):
+        assert generate_fms(0).is_implicit_deadline
+
+    def test_wcets_within_ranges(self):
+        for seed in range(20):
+            ts = generate_fms(seed)
+            for task in ts.hi_tasks:
+                assert 0.0 < task.wcet <= 20.0
+            for task in ts.lo_tasks:
+                assert 0.0 < task.wcet <= 200.0
+
+    def test_failure_probability(self):
+        assert all(t.failure_probability == 1e-5 for t in generate_fms(0))
+
+    def test_deterministic_by_seed(self):
+        a = generate_fms(99)
+        b = generate_fms(99)
+        assert [t.wcet for t in a] == [t.wcet for t in b]
+
+
+class TestCanonicalInstance:
+    """The pinned instance must exhibit the paper's Section 5.1 narrative."""
+
+    def test_uses_canonical_seed(self):
+        assert [t.wcet for t in canonical_fms()] == [
+            t.wcet for t in generate_fms(CANONICAL_SEED)
+        ]
+
+    def test_minimal_profiles_are_paper_values(self, fms):
+        profiles = minimal_reexecution_profiles(fms)
+        assert (profiles.n_hi, profiles.n_lo) == (3, 2)
+
+    def test_unschedulable_without_adaptation(self, fms):
+        inflated = 3 * fms.utilization(CriticalityRole.HI) + 2 * fms.utilization(
+            CriticalityRole.LO
+        )
+        assert inflated > 1.0
+
+    def test_u_mc_crosses_one_between_2_and_3_killing(self, fms):
+        assert u_mc_kill(fms, 3, 2, 2) <= 1.0
+        assert u_mc_kill(fms, 3, 2, 3) > 1.0
+
+    def test_u_mc_crosses_one_between_2_and_3_degradation(self, fms):
+        assert u_mc_degrade(fms, 3, 2, 2, 6.0) <= 1.0
+        assert u_mc_degrade(fms, 3, 2, 3, 6.0) > 1.0
+
+    def test_u_mc_monotone_in_n_prime(self, fms):
+        kills = [u_mc_kill(fms, 3, 2, n) for n in (1, 2, 3, 4)]
+        assert kills == sorted(kills)
+        degrades = [u_mc_degrade(fms, 3, 2, n, 6.0) for n in (1, 2, 3)]
+        assert degrades == sorted(degrades)

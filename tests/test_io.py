@@ -1,0 +1,214 @@
+"""Tests for JSON task-set serialisation."""
+
+import json
+
+import pytest
+
+from repro.io import (
+    load_taskset,
+    save_taskset,
+    taskset_from_dict,
+    taskset_to_dict,
+)
+from repro.model.criticality import CriticalityRole, DO178BLevel
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, example31, tmp_path):
+        path = str(tmp_path / "system.json")
+        save_taskset(example31, path)
+        loaded = load_taskset(path)
+        assert loaded.name == example31.name
+        assert loaded.spec == example31.spec
+        assert len(loaded) == len(example31)
+        for original, restored in zip(example31, loaded):
+            assert restored.name == original.name
+            assert restored.period == original.period
+            assert restored.deadline == original.deadline
+            assert restored.wcet == original.wcet
+            assert restored.criticality is original.criticality
+            assert restored.failure_probability == original.failure_probability
+
+    def test_fms_round_trip(self, fms, tmp_path):
+        path = str(tmp_path / "fms.json")
+        save_taskset(fms, path)
+        loaded = load_taskset(path)
+        assert loaded.spec.hi_level is DO178BLevel.B
+        assert [t.wcet for t in loaded] == [t.wcet for t in fms]
+
+    def test_dict_round_trip_without_spec(self, example31):
+        bare = example31.with_tasks(example31.tasks)
+        bare = type(bare)(bare.tasks, spec=None, name="nospec")
+        data = taskset_to_dict(bare)
+        assert "criticality" not in data
+        restored = taskset_from_dict(data)
+        assert restored.spec is None
+
+
+class TestParsing:
+    def test_deadline_defaults_to_period(self):
+        data = {
+            "tasks": [
+                {"name": "a", "period": 50, "wcet": 5, "criticality": "HI"}
+            ]
+        }
+        ts = taskset_from_dict(data)
+        assert ts[0].deadline == 50.0
+
+    def test_failure_probability_defaults_to_zero(self):
+        data = {
+            "tasks": [
+                {"name": "a", "period": 50, "wcet": 5, "criticality": "LO"}
+            ]
+        }
+        assert taskset_from_dict(data)[0].failure_probability == 0.0
+
+    def test_names_default_to_indexed(self):
+        data = {
+            "tasks": [
+                {"period": 50, "wcet": 5, "criticality": "HI"},
+                {"period": 60, "wcet": 5, "criticality": "LO"},
+            ]
+        }
+        ts = taskset_from_dict(data)
+        assert [t.name for t in ts] == ["tau1", "tau2"]
+
+    def test_criticality_case_insensitive(self):
+        data = {
+            "tasks": [
+                {"period": 50, "wcet": 5, "criticality": "hi"},
+            ]
+        }
+        assert taskset_from_dict(data)[0].criticality is CriticalityRole.HI
+
+    def test_rejects_missing_tasks_key(self):
+        with pytest.raises(ValueError, match="'tasks'"):
+            taskset_from_dict({"name": "x"})
+
+    def test_rejects_bad_criticality(self):
+        data = {"tasks": [{"period": 50, "wcet": 5, "criticality": "MEDIUM"}]}
+        with pytest.raises(ValueError, match="criticality"):
+            taskset_from_dict(data)
+
+    def test_rejects_missing_required_field(self):
+        data = {"tasks": [{"period": 50, "criticality": "HI"}]}
+        with pytest.raises(ValueError, match="missing field"):
+            taskset_from_dict(data)
+
+    def test_model_validation_propagates(self):
+        data = {
+            "tasks": [
+                {"period": -1, "wcet": 5, "criticality": "HI"},
+            ]
+        }
+        with pytest.raises(ValueError, match="period"):
+            taskset_from_dict(data)
+
+    def test_saved_file_is_valid_json(self, example31, tmp_path):
+        path = tmp_path / "x.json"
+        save_taskset(example31, str(path))
+        data = json.loads(path.read_text())
+        assert data["criticality"] == {"hi": "B", "lo": "D"}
+        assert len(data["tasks"]) == 5
+
+
+class TestMultilevelIO:
+    @staticmethod
+    def _system():
+        from repro.model.criticality import DO178BLevel
+        from repro.multilevel.model import MLTask, MLTaskSet
+
+        return MLTaskSet(
+            [
+                MLTask("a", 50, 50, 2, DO178BLevel.A, 1e-6),
+                MLTask("c", 500, 500, 40, DO178BLevel.C, 1e-5),
+                MLTask("d", 1000, 1000, 100, DO178BLevel.D, 1e-5),
+            ],
+            name="ml",
+        )
+
+    def test_round_trip(self, tmp_path):
+        from repro.io import load_multilevel, save_multilevel
+
+        system = self._system()
+        path = str(tmp_path / "ml.json")
+        save_multilevel(system, path)
+        loaded = load_multilevel(path)
+        assert loaded.name == "ml"
+        assert [t.level for t in loaded] == [t.level for t in system]
+        assert [t.wcet for t in loaded] == [t.wcet for t in system]
+
+    def test_level_parsing(self):
+        from repro.io import multilevel_from_dict
+
+        data = {
+            "tasks": [
+                {"period": 100, "wcet": 5, "level": "b"},
+            ]
+        }
+        from repro.model.criticality import DO178BLevel
+
+        ml = multilevel_from_dict(data)
+        assert ml[0].level is DO178BLevel.B
+        assert ml[0].deadline == 100.0
+
+    def test_missing_level_rejected(self):
+        from repro.io import multilevel_from_dict
+
+        with pytest.raises(ValueError, match="level"):
+            multilevel_from_dict({"tasks": [{"period": 100, "wcet": 5}]})
+
+    def test_bad_level_rejected(self):
+        from repro.io import multilevel_from_dict
+
+        with pytest.raises(ValueError, match="unknown"):
+            multilevel_from_dict(
+                {"tasks": [{"period": 100, "wcet": 5, "level": "Z"}]}
+            )
+
+
+class TestRoundTripProperties:
+    """Hypothesis: serialisation is the identity on arbitrary task sets."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(1.0, 1e5),          # period
+                st.floats(0.1, 1.0),          # wcet as fraction of period
+                st.booleans(),                # criticality
+                st.floats(0.0, 0.99),         # failure probability
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dual_round_trip(self, raw):
+        from repro.io import taskset_from_dict, taskset_to_dict
+        from repro.model.criticality import (
+            CriticalityRole,
+            DualCriticalitySpec,
+        )
+        from repro.model.task import Task, TaskSet
+
+        tasks = [
+            Task(
+                f"t{i}",
+                period,
+                period,
+                fraction * period,
+                CriticalityRole.HI if is_hi else CriticalityRole.LO,
+                f,
+            )
+            for i, (period, fraction, is_hi, f) in enumerate(raw)
+        ]
+        original = TaskSet(
+            tasks, DualCriticalitySpec.from_names("A", "E"), name="prop"
+        )
+        restored = taskset_from_dict(taskset_to_dict(original))
+        assert restored.spec == original.spec
+        for a, b in zip(original, restored):
+            assert a == b

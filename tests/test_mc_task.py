@@ -1,0 +1,128 @@
+"""Unit tests for the conventional (Vestal) MC task model (Section 2.2)."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+
+
+def _mc(**overrides) -> MCTask:
+    params = dict(
+        name="t",
+        period=100.0,
+        deadline=100.0,
+        wcet_lo=5.0,
+        wcet_hi=15.0,
+        criticality=CriticalityRole.HI,
+    )
+    params.update(overrides)
+    return MCTask(**params)
+
+
+def table3_taskset() -> MCTaskSet:
+    """The converted set of Table 3 (Example 4.1)."""
+    return MCTaskSet(
+        [
+            MCTask("tau1", 60, 60, 10, 15, CriticalityRole.HI),
+            MCTask("tau2", 25, 25, 8, 12, CriticalityRole.HI),
+            MCTask("tau3", 40, 40, 7, 7, CriticalityRole.LO),
+            MCTask("tau4", 90, 90, 6, 6, CriticalityRole.LO),
+            MCTask("tau5", 70, 70, 8, 8, CriticalityRole.LO),
+        ],
+        name="table3",
+    )
+
+
+class TestMCTaskValidation:
+    def test_vestal_monotonicity_enforced(self):
+        with pytest.raises(ValueError, match="monotonicity"):
+            _mc(wcet_lo=20.0, wcet_hi=10.0)
+
+    def test_equal_wcets_allowed_for_hi(self):
+        task = _mc(wcet_lo=10.0, wcet_hi=10.0)
+        assert task.wcet_lo == task.wcet_hi
+
+    def test_lo_task_requires_equal_wcets(self):
+        with pytest.raises(ValueError, match="C\\(LO\\) == C\\(HI\\)"):
+            _mc(criticality=CriticalityRole.LO, wcet_lo=5.0, wcet_hi=10.0)
+
+    def test_lo_task_with_equal_wcets(self):
+        task = _mc(criticality=CriticalityRole.LO, wcet_lo=5.0, wcet_hi=5.0)
+        assert task.wcet(CriticalityRole.HI) == 5.0
+
+    @pytest.mark.parametrize("period", [0.0, -1.0])
+    def test_rejects_nonpositive_period(self, period):
+        with pytest.raises(ValueError, match="period"):
+            _mc(period=period)
+
+    def test_rejects_negative_wcets(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _mc(wcet_lo=-1.0, wcet_hi=5.0)
+
+
+class TestMCTaskAccessors:
+    def test_wcet_by_level(self):
+        task = _mc(wcet_lo=5.0, wcet_hi=15.0)
+        assert task.wcet(CriticalityRole.LO) == 5.0
+        assert task.wcet(CriticalityRole.HI) == 15.0
+
+    def test_utilization_by_level(self):
+        task = _mc(wcet_lo=5.0, wcet_hi=15.0, period=100.0)
+        assert task.utilization(CriticalityRole.LO) == pytest.approx(0.05)
+        assert task.utilization(CriticalityRole.HI) == pytest.approx(0.15)
+
+    def test_implicit_deadline(self):
+        assert _mc().is_implicit_deadline
+        assert not _mc(deadline=50.0).is_implicit_deadline
+
+
+class TestMCTaskSet:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MCTaskSet([_mc(), _mc()])
+
+    def test_partitions(self):
+        mc = table3_taskset()
+        assert [t.name for t in mc.hi_tasks] == ["tau1", "tau2"]
+        assert [t.name for t in mc.lo_tasks] == ["tau3", "tau4", "tau5"]
+
+    def test_lookup(self):
+        mc = table3_taskset()
+        assert mc.task("tau2").wcet_hi == 12
+        with pytest.raises(KeyError):
+            mc.task("nope")
+
+    def test_table3_utilizations(self):
+        """The U_chi1^chi2 values behind Example 4.1's EDF-VD check."""
+        mc = table3_taskset()
+        assert mc.u_hi_lo == pytest.approx(10 / 60 + 8 / 25)
+        assert mc.u_hi_hi == pytest.approx(15 / 60 + 12 / 25)
+        assert mc.u_lo_lo == pytest.approx(7 / 40 + 6 / 90 + 8 / 70)
+        assert mc.u_lo_hi == pytest.approx(mc.u_lo_lo)
+
+    def test_generic_utilization_accessor_matches_aliases(self):
+        mc = table3_taskset()
+        assert mc.utilization(
+            CriticalityRole.HI, CriticalityRole.LO
+        ) == pytest.approx(mc.u_hi_lo)
+        assert mc.utilization(
+            CriticalityRole.LO, CriticalityRole.HI
+        ) == pytest.approx(mc.u_lo_hi)
+
+    def test_is_implicit_deadline(self):
+        assert table3_taskset().is_implicit_deadline
+
+    def test_describe_contains_budgets(self):
+        text = table3_taskset().describe()
+        assert "C(LO)" in text and "C(HI)" in text
+        assert "tau5" in text
+
+    def test_len_and_indexing(self):
+        mc = table3_taskset()
+        assert len(mc) == 5
+        assert mc[1].name == "tau2"
+
+    def test_empty_set_utilizations(self):
+        empty = MCTaskSet([])
+        assert empty.u_hi_lo == 0.0
+        assert empty.u_lo_lo == 0.0

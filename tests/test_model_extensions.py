@@ -1,0 +1,100 @@
+"""Tests for the IEC 61508 SIL model and the fault-rate helpers."""
+
+import math
+
+import pytest
+
+from repro.model.criticality import DO178BLevel
+from repro.model.fault_rates import (
+    failure_probability_from_rate,
+    rate_from_failure_probability,
+    with_fault_rate,
+)
+from repro.model.iec61508 import SIL, sil_dual_spec, sil_to_do178b
+from repro.model.task import HOUR_MS
+
+
+class TestSIL:
+    def test_ceilings(self):
+        assert SIL.SIL1.pfh_ceiling == 1e-5
+        assert SIL.SIL2.pfh_ceiling == 1e-6
+        assert SIL.SIL3.pfh_ceiling == 1e-7
+        assert SIL.SIL4.pfh_ceiling == 1e-8
+
+    def test_floors_are_one_decade_below(self):
+        for sil in SIL:
+            assert sil.pfh_floor == pytest.approx(sil.pfh_ceiling / 10.0)
+
+    def test_ordering(self):
+        assert SIL.SIL4 > SIL.SIL3 > SIL.SIL2 > SIL.SIL1
+
+    def test_do178b_mapping_is_conservative(self):
+        """The mapped level's ceiling implies the SIL's ceiling."""
+        for sil in SIL:
+            level = sil_to_do178b(sil)
+            assert level.pfh_ceiling <= sil.pfh_ceiling
+
+    def test_dual_spec(self):
+        spec = sil_dual_spec(SIL.SIL4, SIL.SIL1)
+        assert spec.hi_level is DO178BLevel.A
+        assert spec.lo_level is DO178BLevel.C
+
+    def test_dual_spec_rejects_collapsing_levels(self):
+        with pytest.raises(ValueError, match="strictly"):
+            sil_dual_spec(SIL.SIL3, SIL.SIL2)  # both map to level B
+
+
+class TestFaultRates:
+    def test_zero_rate(self):
+        assert failure_probability_from_rate(0.0, 100.0) == 0.0
+
+    def test_zero_exposure(self):
+        assert failure_probability_from_rate(100.0, 0.0) == 0.0
+
+    def test_poisson_formula(self):
+        rate, wcet = 36.0, 100.0  # 36/h over 100 ms
+        expected = 1.0 - math.exp(-rate * (wcet / HOUR_MS))
+        assert failure_probability_from_rate(rate, wcet) == pytest.approx(
+            expected
+        )
+
+    def test_small_rate_linearises(self):
+        """For tiny exposure, f ~ lambda * C — the paper's regime."""
+        f = failure_probability_from_rate(1e-3, 10.0)
+        assert f == pytest.approx(1e-3 * 10.0 / HOUR_MS, rel=1e-6)
+
+    def test_round_trip(self):
+        for rate in (0.1, 36.0, 1e4):
+            f = failure_probability_from_rate(rate, 50.0)
+            assert rate_from_failure_probability(f, 50.0) == pytest.approx(
+                rate, rel=1e-9
+            )
+
+    def test_monotone_in_exposure(self):
+        values = [
+            failure_probability_from_rate(100.0, c) for c in (1.0, 10.0, 100.0)
+        ]
+        assert values == sorted(values)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            failure_probability_from_rate(-1.0, 10.0)
+        with pytest.raises(ValueError, match="probability"):
+            rate_from_failure_probability(1.0, 10.0)
+        with pytest.raises(ValueError, match="positive"):
+            rate_from_failure_probability(0.5, 0.0)
+
+    def test_with_fault_rate_scales_by_wcet(self, example31):
+        derived = with_fault_rate(example31, 1e3)
+        by_name = {t.name: t for t in derived}
+        # tau5 (C = 8) is exposed longer than tau2 (C = 4).
+        assert (
+            by_name["tau5"].failure_probability
+            > by_name["tau2"].failure_probability
+        )
+        # everything else preserved
+        for original, new in zip(example31, derived):
+            assert new.period == original.period
+            assert new.wcet == original.wcet
+            assert new.criticality is original.criticality
+        assert derived.spec == example31.spec

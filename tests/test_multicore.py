@@ -1,0 +1,152 @@
+"""Tests for partitioned multiprocessor FT-MC (partitioner + FT-MP)."""
+
+import pytest
+
+from repro.core.backends import EDFVDBackend, EDFVDDegradationBackend
+from repro.core.conversion import convert_uniform
+from repro.core.ftmc import FTSFailure, ft_edf_vd
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.multicore.ftmp import ft_schedule_partitioned
+from repro.multicore.partition import first_fit_decreasing
+
+SPEC = DualCriticalitySpec.from_names("B", "D")
+
+
+class TestFirstFitDecreasing:
+    def test_example31_fits_on_two_processors(self, example31):
+        mc = convert_uniform(example31, 3, 1, 3)  # n' = n: no killing help
+        backend = EDFVDBackend()
+        assert not backend.is_schedulable(mc)  # too heavy for one CPU
+        partition = first_fit_decreasing(mc, 2, backend)
+        assert partition is not None
+        assert partition.m == 2
+        for processor in partition.processors:
+            assert backend.is_schedulable(processor)
+
+    def test_partition_covers_every_task(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        partition = first_fit_decreasing(mc, 2, EDFVDBackend())
+        placed = {
+            t.name for processor in partition.processors for t in processor
+        }
+        assert placed == {t.name for t in mc}
+
+    def test_processor_lookup(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        partition = first_fit_decreasing(mc, 2, EDFVDBackend())
+        for task in mc:
+            index = partition.processor_of(task.name)
+            assert any(
+                t.name == task.name
+                for t in partition.processors[index]
+            )
+        with pytest.raises(KeyError):
+            partition.processor_of("ghost")
+
+    def test_infeasible_when_single_task_too_big(self):
+        from repro.model.mc_task import MCTask, MCTaskSet
+
+        huge = MCTaskSet(
+            [MCTask("x", 100, 100, 50, 150, CriticalityRole.HI)]
+        )
+        assert first_fit_decreasing(huge, 4, EDFVDBackend()) is None
+
+    def test_rejects_zero_processors(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        with pytest.raises(ValueError, match="processor"):
+            first_fit_decreasing(mc, 0, EDFVDBackend())
+
+    def test_criticality_aware_places_hi_first(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        partition = first_fit_decreasing(
+            mc, 2, EDFVDBackend(), criticality_aware=True
+        )
+        # All HI tasks land on P0 here (they fit together).
+        hi_processors = {
+            partition.processor_of(t.name) for t in mc.hi_tasks
+        }
+        assert hi_processors == {0}
+
+    def test_describe(self, example31):
+        mc = convert_uniform(example31, 3, 1, 2)
+        partition = first_fit_decreasing(mc, 2, EDFVDBackend())
+        text = partition.describe()
+        assert "P0" in text and "P1" in text
+
+
+class TestFTMP:
+    def test_reduces_to_uniprocessor_at_m_1(self, example31):
+        uni = ft_edf_vd(example31)
+        multi = ft_schedule_partitioned(example31, 1, EDFVDBackend())
+        assert multi.success == uni.success
+        assert multi.adaptation == uni.adaptation
+        assert multi.n_hi == uni.n_hi
+
+    def test_two_processors_schedule_without_adaptation_pressure(
+        self, example31
+    ):
+        """On 2 CPUs, Example 3.1 fits even at n' = n_HI (no killing)."""
+        result = ft_schedule_partitioned(example31, 2, EDFVDBackend())
+        assert result.success
+        assert result.adaptation == result.n_hi  # killing never triggered
+
+    def test_heavy_set_needs_more_processors(self):
+        taskset = generate_taskset(1.6, SPEC, 7)
+        single = ft_schedule_partitioned(taskset, 1, EDFVDBackend())
+        dual = ft_schedule_partitioned(taskset, 2, EDFVDBackend())
+        assert not single.success
+        assert dual.success
+        assert dual.partition is not None
+        for processor in dual.partition.processors:
+            assert EDFVDBackend().is_schedulable(processor)
+
+    def test_acceptance_monotone_in_m(self):
+        """More processors never hurt (FFD given more bins)."""
+        for seed in range(5):
+            taskset = generate_taskset(1.2, SPEC, seed)
+            results = [
+                ft_schedule_partitioned(taskset, m, EDFVDBackend()).success
+                for m in (1, 2, 4)
+            ]
+            for fewer, more in zip(results, results[1:]):
+                assert more or not fewer
+
+    def test_safety_unaffected_by_m(self):
+        """The PFH bounds are processor-count independent."""
+        taskset = generate_taskset(1.2, SPEC, 3)
+        r2 = ft_schedule_partitioned(taskset, 2, EDFVDBackend())
+        r4 = ft_schedule_partitioned(taskset, 4, EDFVDBackend())
+        if r2.success and r4.success and r2.adaptation == r4.adaptation:
+            assert r2.pfh_hi == pytest.approx(r4.pfh_hi)
+            assert r2.pfh_lo == pytest.approx(r4.pfh_lo)
+
+    def test_degradation_backend(self):
+        taskset = generate_taskset(1.4, SPEC, 11)
+        result = ft_schedule_partitioned(
+            taskset, 2, EDFVDDegradationBackend(6.0)
+        )
+        assert result.mechanism == "degrade"
+        if result.success:
+            assert result.partition is not None
+
+    def test_failure_reasons_propagate(self):
+        from repro.model.task import Task, TaskSet
+
+        hopeless = TaskSet(
+            [
+                Task("hi", 10, 10, 1, CriticalityRole.HI, 0.9),
+                Task("lo", 10, 10, 1, CriticalityRole.LO, 0.9),
+            ],
+            DualCriticalitySpec.from_names("A", "E"),
+        )
+        result = ft_schedule_partitioned(hopeless, 4, EDFVDBackend(), max_n=3)
+        assert not result.success
+        assert result.failure is FTSFailure.UNSAFE_REEXECUTION
+
+    def test_rejects_zero_processors(self, example31):
+        with pytest.raises(ValueError, match="processor"):
+            ft_schedule_partitioned(example31, 0, EDFVDBackend())
+
+    def test_result_truthiness(self, example31):
+        assert ft_schedule_partitioned(example31, 2, EDFVDBackend())

@@ -1,0 +1,207 @@
+"""Tests for the multi-level generalisation (model, reduction, FT-S-ML)."""
+
+import pytest
+
+from repro.core.backends import EDFVDBackend, EDFVDDegradationBackend
+from repro.model.criticality import CriticalityRole, DO178BLevel
+from repro.multilevel.ftml import ft_schedule_multilevel
+from repro.multilevel.model import MLTask, MLTaskSet
+from repro.multilevel.reduction import (
+    boundary_candidates,
+    level_projection,
+    reduce_at_boundary,
+)
+
+A, B, C, D, E = (DO178BLevel.A, DO178BLevel.B, DO178BLevel.C,
+                 DO178BLevel.D, DO178BLevel.E)
+
+
+@pytest.fixture
+def avionics() -> MLTaskSet:
+    """Four-level system where killing and degradation pick different
+    boundaries (see the FT-S-ML tests below)."""
+    return MLTaskSet(
+        [
+            MLTask("flight-ctl", 50, 50, 2, A, 1e-6),
+            MLTask("autopilot", 100, 100, 5, B, 1e-5),
+            MLTask("nav", 200, 200, 10, B, 1e-5),
+            MLTask("flightplan", 500, 500, 60, C, 1e-5),
+            MLTask("display", 250, 250, 25, C, 1e-5),
+            MLTask("maint-log", 1000, 1000, 250, D, 1e-5),
+        ],
+        name="avionics",
+    )
+
+
+class TestMLModel:
+    def test_levels_sorted_most_critical_first(self, avionics):
+        assert avionics.levels() == [A, B, C, D]
+
+    def test_by_level(self, avionics):
+        assert len(avionics.by_level(B)) == 2
+        assert len(avionics.by_level(E)) == 0
+
+    def test_group_queries(self, avionics):
+        assert {t.level for t in avionics.at_or_above(B)} == {A, B}
+        assert {t.level for t in avionics.below(B)} == {C, D}
+
+    def test_utilization(self, avionics):
+        assert avionics.utilization(A) == pytest.approx(2 / 50)
+        assert avionics.utilization() == pytest.approx(
+            sum(t.utilization for t in avionics)
+        )
+
+    def test_duplicate_names_rejected(self):
+        t = MLTask("x", 100, 100, 1, B, 1e-5)
+        with pytest.raises(ValueError, match="duplicate"):
+            MLTaskSet([t, t])
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError, match="period"):
+            MLTask("x", 0, 100, 1, B)
+        with pytest.raises(ValueError, match="probability"):
+            MLTask("x", 100, 100, 1, B, 1.0)
+
+    def test_lookup_and_describe(self, avionics):
+        assert avionics.task("nav").wcet == 10
+        with pytest.raises(KeyError):
+            avionics.task("ghost")
+        assert "flight-ctl" in avionics.describe()
+
+
+class TestReduction:
+    def test_boundary_candidates_exclude_lowest(self, avionics):
+        assert boundary_candidates(avionics) == [C, B, A]
+
+    def test_single_level_has_no_candidates(self):
+        ml = MLTaskSet([MLTask("x", 100, 100, 1, B, 1e-5)])
+        assert boundary_candidates(ml) == []
+
+    def test_reduce_at_boundary_roles(self, avionics):
+        dual = reduce_at_boundary(avionics, B)
+        hi_names = {t.name for t in dual.hi_tasks}
+        assert hi_names == {"flight-ctl", "autopilot", "nav"}
+        lo_names = {t.name for t in dual.lo_tasks}
+        assert lo_names == {"flightplan", "display", "maint-log"}
+
+    def test_reduce_spec_binds_gate_levels(self, avionics):
+        dual = reduce_at_boundary(avionics, B)
+        assert dual.spec.hi_level is B  # least critical of the HI group
+        assert dual.spec.lo_level is C  # most critical of the LO group
+
+    def test_reduce_preserves_parameters(self, avionics):
+        dual = reduce_at_boundary(avionics, C)
+        original = avionics.task("display")
+        reduced = dual.task("display")
+        assert reduced.period == original.period
+        assert reduced.wcet == original.wcet
+        assert reduced.criticality is CriticalityRole.HI  # C >= boundary C
+
+    def test_reduce_rejects_empty_groups(self, avionics):
+        with pytest.raises(ValueError, match="LO group"):
+            reduce_at_boundary(avionics, E)
+
+    def test_level_projection_contents(self, avionics):
+        projection = level_projection(avionics, B, C)
+        assert {t.name for t in projection.lo_tasks} == {
+            "flightplan", "display",
+        }
+        assert {t.name for t in projection.hi_tasks} == {
+            "flight-ctl", "autopilot", "nav",
+        }
+        assert projection.spec.lo_level is C
+
+    def test_level_projection_validates(self, avionics):
+        with pytest.raises(ValueError, match="not below"):
+            level_projection(avionics, B, A)
+        with pytest.raises(ValueError, match="no tasks"):
+            level_projection(avionics, B, E)
+
+
+class TestFTSML:
+    def test_killing_adapts_only_level_d(self, avionics):
+        result = ft_schedule_multilevel(avionics, EDFVDBackend())
+        assert result.success
+        assert result.boundary is C  # HI group A/B/C; only D killed
+        assert set(result.pfh_adapted) == {D}
+        assert result.adaptation is not None
+
+    def test_degradation_adapts_c_and_d(self, avionics):
+        result = ft_schedule_multilevel(avionics, EDFVDDegradationBackend(6.0))
+        assert result.success
+        assert result.boundary is B
+        assert set(result.pfh_adapted) == {C, D}
+        # Level C must individually satisfy its 1e-5 ceiling.
+        assert result.pfh_adapted[C] < 1e-5
+
+    def test_per_level_profiles(self, avionics):
+        result = ft_schedule_multilevel(avionics, EDFVDBackend())
+        profiles = result.level_profiles
+        assert profiles[A] >= profiles[C] >= profiles[D]
+        assert profiles[D] == 1  # no ceiling -> single execution
+
+    def test_per_level_plain_safety_met_for_hi_group(self, avionics):
+        result = ft_schedule_multilevel(avionics, EDFVDBackend())
+        for level in (A, B, C):
+            assert result.pfh_plain[level] <= level.pfh_ceiling
+
+    def test_baseline_path(self):
+        light = MLTaskSet(
+            [
+                MLTask("a", 1000, 1000, 1, A, 1e-6),
+                MLTask("c", 1000, 1000, 1, C, 1e-5),
+            ]
+        )
+        result = ft_schedule_multilevel(light, EDFVDBackend())
+        assert result.success
+        assert result.mechanism == "none"
+        assert result.boundary is None
+
+    def test_unsafe_level_fails_early(self):
+        hopeless = MLTaskSet(
+            [
+                MLTask("a", 10, 10, 1, A, 0.9),
+                MLTask("d", 10, 10, 1, D, 0.9),
+            ]
+        )
+        result = ft_schedule_multilevel(hopeless, EDFVDBackend(), max_n=3)
+        assert not result.success
+        assert "ceiling" in result.reason
+
+    def test_overloaded_fails(self):
+        overloaded = MLTaskSet(
+            [
+                MLTask("a", 100, 100, 60, A, 1e-9),
+                MLTask("c", 100, 100, 60, C, 1e-9),
+            ]
+        )
+        result = ft_schedule_multilevel(overloaded, EDFVDBackend())
+        assert not result.success
+        assert "boundary" in result.reason
+
+    def test_result_truthiness(self, avionics):
+        assert ft_schedule_multilevel(avionics, EDFVDBackend())
+
+    def test_converted_set_schedulable(self, avionics):
+        backend = EDFVDBackend()
+        result = ft_schedule_multilevel(avionics, backend)
+        assert result.mc_taskset is not None
+        assert backend.is_schedulable(result.mc_taskset)
+
+    def test_two_level_system_matches_dual_fts(self, example31):
+        """On a genuinely dual system, FT-S-ML agrees with FT-S."""
+        from repro.core.ftmc import ft_edf_vd
+
+        ml = MLTaskSet(
+            [
+                MLTask(t.name, t.period, t.deadline, t.wcet,
+                       B if t.criticality is CriticalityRole.HI else D,
+                       t.failure_probability)
+                for t in example31
+            ]
+        )
+        ml_result = ft_schedule_multilevel(ml, EDFVDBackend())
+        dual_result = ft_edf_vd(example31)
+        assert ml_result.success == dual_result.success
+        if ml_result.success:
+            assert ml_result.adaptation == dual_result.adaptation

@@ -1,0 +1,260 @@
+"""Property-based tests (hypothesis) for the analytical core.
+
+These check the monotonicity and consistency laws the paper's proofs rely
+on, over randomly drawn tasks, profiles and horizons.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.edf import (
+    Workload,
+    demand_bound_function,
+    edf_processor_demand_test,
+    edf_utilization_test,
+)
+from repro.analysis.edf_vd import analyse as edf_vd_analyse
+from repro.analysis.fixed_priority import dm_schedulable
+from repro.core.conversion import convert_uniform
+from repro.gen.taskset import uunifast
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import (
+    AdaptationProfile,
+    ReexecutionProfile,
+    round_failure_probability,
+)
+from repro.model.task import Task, TaskSet
+from repro.safety.degradation import omega, pfh_lo_degradation
+from repro.safety.killing import pfh_lo_killing, survival_probability
+from repro.safety.pfh import max_rounds, pfh_plain
+
+# -- strategies ---------------------------------------------------------------
+
+periods = st.floats(min_value=10.0, max_value=5000.0, allow_nan=False)
+wcets = st.floats(min_value=0.1, max_value=9.0, allow_nan=False)
+failure_probs = st.floats(min_value=1e-9, max_value=0.3, allow_nan=False)
+horizons = st.floats(min_value=0.0, max_value=1e7, allow_nan=False)
+executions = st.integers(min_value=1, max_value=6)
+
+
+@st.composite
+def tasks(draw, criticality=CriticalityRole.HI, name="t", implicit=False):
+    period = draw(periods)
+    deadline = period if implicit else draw(periods)
+    return Task(
+        name=name,
+        period=period,
+        deadline=deadline,
+        wcet=draw(wcets),
+        criticality=criticality,
+        failure_probability=draw(failure_probs),
+    )
+
+
+@st.composite
+def dual_tasksets(draw, max_hi=3, max_lo=3, implicit=False):
+    n_hi = draw(st.integers(1, max_hi))
+    n_lo = draw(st.integers(1, max_lo))
+    members = []
+    for i in range(n_hi):
+        members.append(
+            draw(tasks(CriticalityRole.HI, name=f"hi{i}", implicit=implicit))
+        )
+    for i in range(n_lo):
+        members.append(
+            draw(tasks(CriticalityRole.LO, name=f"lo{i}", implicit=implicit))
+        )
+    return TaskSet(members, DualCriticalitySpec.from_names("B", "C"))
+
+
+# -- eq. (1): rounds ----------------------------------------------------------
+
+
+class TestRoundsProperties:
+    @given(tasks(), executions, horizons, horizons)
+    @settings(max_examples=200)
+    def test_monotone_in_horizon(self, task, n, t1, t2):
+        lo, hi = sorted((t1, t2))
+        assert max_rounds(task, n, lo) <= max_rounds(task, n, hi)
+
+    @given(tasks(), executions, horizons)
+    @settings(max_examples=200)
+    def test_antitone_in_executions(self, task, n, t):
+        assert max_rounds(task, n + 1, t) <= max_rounds(task, n, t)
+
+    @given(tasks(), executions, horizons)
+    @settings(max_examples=200)
+    def test_footnote1_never_fewer_rounds(self, task, n, t):
+        assert max_rounds(task, n, t, assume_full_wcet=False) >= max_rounds(
+            task, n, t, assume_full_wcet=True
+        )
+
+    @given(tasks(), executions, horizons)
+    @settings(max_examples=200)
+    def test_nonnegative(self, task, n, t):
+        assert max_rounds(task, n, t) >= 0
+
+
+# -- eq. (2): plain pfh -------------------------------------------------------
+
+
+class TestPfhProperties:
+    @given(dual_tasksets(), st.integers(1, 5))
+    @settings(max_examples=60)
+    def test_pfh_decreases_with_reexecution(self, taskset, n):
+        lower = ReexecutionProfile.uniform(taskset, n, n)
+        higher = ReexecutionProfile.uniform(taskset, n + 1, n + 1)
+        for role in (CriticalityRole.HI, CriticalityRole.LO):
+            assert pfh_plain(taskset, role, higher) <= pfh_plain(
+                taskset, role, lower
+            )
+
+    @given(dual_tasksets(), st.integers(1, 4))
+    @settings(max_examples=60)
+    def test_pfh_nonnegative(self, taskset, n):
+        profile = ReexecutionProfile.uniform(taskset, n, n)
+        assert pfh_plain(taskset, CriticalityRole.HI, profile) >= 0.0
+
+    @given(st.floats(1e-9, 0.5), executions)
+    @settings(max_examples=200)
+    def test_round_failure_bounds(self, f, n):
+        p = round_failure_probability(f, n)
+        assert 0.0 <= p <= f
+
+
+# -- eq. (3): survival --------------------------------------------------------
+
+
+class TestSurvivalProperties:
+    @given(dual_tasksets(), st.integers(1, 4), horizons, horizons)
+    @settings(max_examples=60)
+    def test_decreasing_in_time(self, taskset, n_prime, t1, t2):
+        adaptation = AdaptationProfile.uniform(taskset, n_prime)
+        lo, hi = sorted((t1, t2))
+        assert survival_probability(taskset, adaptation, hi) <= (
+            survival_probability(taskset, adaptation, lo) + 1e-12
+        )
+
+    @given(dual_tasksets(), st.integers(1, 4), horizons)
+    @settings(max_examples=60)
+    def test_increasing_in_profile(self, taskset, n_prime, t):
+        smaller = AdaptationProfile.uniform(taskset, n_prime)
+        larger = AdaptationProfile.uniform(taskset, n_prime + 1)
+        assert survival_probability(taskset, smaller, t) <= (
+            survival_probability(taskset, larger, t) + 1e-12
+        )
+
+    @given(dual_tasksets(), st.integers(1, 4), horizons)
+    @settings(max_examples=60)
+    def test_is_probability(self, taskset, n_prime, t):
+        adaptation = AdaptationProfile.uniform(taskset, n_prime)
+        value = survival_probability(taskset, adaptation, t)
+        assert 0.0 <= value <= 1.0
+
+
+# -- eqs. (5)/(7): adapted LO safety -------------------------------------------
+
+
+class TestAdaptedSafetyProperties:
+    @given(dual_tasksets(), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_killing_pfh_decreases_with_profile(self, taskset, n):
+        reexecution = ReexecutionProfile.uniform(taskset, n, 2)
+        lower = pfh_lo_killing(
+            taskset, reexecution, AdaptationProfile.uniform(taskset, 1), 1.0
+        )
+        higher = pfh_lo_killing(
+            taskset, reexecution, AdaptationProfile.uniform(taskset, n), 1.0
+        )
+        assert higher <= lower + 1e-12
+
+    @given(dual_tasksets(), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_degradation_never_exceeds_plain(self, taskset, n):
+        """Lemma 3.4 consequence: degradation only improves LO safety."""
+        reexecution = ReexecutionProfile.uniform(taskset, n, 2)
+        adaptation = AdaptationProfile.uniform(taskset, n - 1)
+        degraded = pfh_lo_degradation(taskset, reexecution, adaptation, 1.0)
+        plain = pfh_plain(taskset, CriticalityRole.LO, reexecution)
+        assert degraded <= plain + 1e-12
+
+    @given(dual_tasksets(), st.integers(2, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_degradation_bounded_by_killing(self, taskset, n):
+        """Empirical law behind Section 5.1: degrade <= kill, same profiles.
+
+        Killing exposes every worst-case round of every LO task to the
+        cumulative kill probability (eq. 5), whereas degradation multiplies
+        a single trigger probability with the plain failure rate (eq. 7).
+        """
+        reexecution = ReexecutionProfile.uniform(taskset, n, 2)
+        adaptation = AdaptationProfile.uniform(taskset, n - 1)
+        kill = pfh_lo_killing(taskset, reexecution, adaptation, 1.0)
+        degrade = pfh_lo_degradation(taskset, reexecution, adaptation, 1.0)
+        assert degrade <= kill + 1e-12
+
+    @given(dual_tasksets(), st.floats(1.0, 20.0), horizons)
+    @settings(max_examples=60)
+    def test_omega_antitone_in_df(self, taskset, df, t):
+        reexecution = ReexecutionProfile.uniform(taskset, 2, 2)
+        assert omega(taskset, reexecution, df, t) <= (
+            omega(taskset, reexecution, 1.0, t) + 1e-12
+        )
+
+
+# -- schedulability laws --------------------------------------------------------
+
+
+class TestSchedulabilityProperties:
+    @given(st.lists(st.tuples(periods, wcets), min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_pdc_agrees_with_utilization_for_implicit(self, raw):
+        workload = [Workload(p, p, min(c, p)) for p, c in raw]
+        assert edf_processor_demand_test(workload) == edf_utilization_test(
+            workload
+        )
+
+    @given(st.lists(st.tuples(periods, wcets), min_size=1, max_size=4))
+    @settings(max_examples=60)
+    def test_dm_implies_edf(self, raw):
+        """FP-schedulable (constrained, DM) implies EDF-schedulable."""
+        workload = [Workload(p, p * 0.8, min(c, p * 0.8)) for p, c in raw]
+        if dm_schedulable(workload):
+            assert edf_processor_demand_test(workload)
+
+    @given(st.lists(st.tuples(periods, wcets), min_size=1, max_size=5),
+           st.floats(1.0, 1e6))
+    @settings(max_examples=100)
+    def test_dbf_monotone(self, raw, t):
+        workload = [Workload(p, p, min(c, p)) for p, c in raw]
+        assert demand_bound_function(workload, t) <= demand_bound_function(
+            workload, t * 1.5
+        )
+
+    @given(dual_tasksets(implicit=True), st.integers(2, 4))
+    @settings(max_examples=40)
+    def test_edf_vd_monotone_in_killing_profile(self, taskset, n_hi):
+        values = [
+            edf_vd_analyse(convert_uniform(taskset, n_hi, 1, k)).u_mc
+            for k in range(1, n_hi + 1)
+        ]
+        for smaller, larger in zip(values, values[1:]):
+            assert smaller <= larger + 1e-12
+
+
+# -- generators -----------------------------------------------------------------
+
+
+class TestGeneratorProperties:
+    @given(st.integers(1, 30), st.floats(0.05, 2.0), st.integers(0, 1000))
+    @settings(max_examples=100)
+    def test_uunifast_exact_sum(self, n, total, seed):
+        u = uunifast(n, total, seed)
+        assert len(u) == n
+        assert u.sum() == pytest.approx(total, rel=1e-9)
+        assert (u >= 0).all()

@@ -1,0 +1,162 @@
+"""Tests for the certification-style analysis report."""
+
+import math
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+from repro.report import analyse_system, render_report
+
+
+class TestAnalyseSystem:
+    def test_fms_recommends_degradation(self, fms):
+        report = analyse_system(fms)
+        assert report.feasible
+        assert (report.n_hi, report.n_lo) == (3, 2)
+        assert not report.baseline_schedulable
+        assert not report.kill_result.success
+        assert report.degrade_result.success
+        assert "degradation" in report.recommendation
+
+    def test_example31_recommends_killing(self, example31):
+        """LO=D is not safety-related; killing certifies the system and is
+        preferred over nothing — degradation also works, so it leads."""
+        report = analyse_system(example31)
+        assert report.feasible
+        assert report.kill_result.success
+        # Degradation preferred when it also succeeds.
+        if report.degrade_result.success:
+            assert "degradation" in report.recommendation
+        else:
+            assert "killing" in report.recommendation
+
+    def test_baseline_sufficient_system(self):
+        tasks = [
+            Task("hi", 1000, 1000, 1, CriticalityRole.HI, 1e-5),
+            Task("lo", 1000, 1000, 1, CriticalityRole.LO, 1e-5),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+        report = analyse_system(ts)
+        assert report.baseline_schedulable
+        assert "no runtime adaptation" in report.recommendation
+
+    def test_unsafe_system(self):
+        """Failure probability so high no profile reaches level A."""
+        tasks = [
+            Task("hi", 10, 10, 5, CriticalityRole.HI, 0.9),
+            Task("lo", 10, 10, 1, CriticalityRole.LO, 0.9),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("A", "E"))
+        report = analyse_system(ts)
+        assert not report.feasible
+        assert report.n_hi is None
+        assert math.isnan(report.pfh_hi)
+        assert "infeasible" in report.recommendation
+
+    def test_totally_overloaded_system(self):
+        tasks = [
+            Task("hi", 100, 100, 60, CriticalityRole.HI, 1e-9),
+            Task("lo", 100, 100, 60, CriticalityRole.LO, 1e-9),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+        report = analyse_system(ts)
+        assert not report.feasible
+        assert "infeasible" in report.recommendation
+
+    def test_requires_spec(self, example31):
+        unbound = TaskSet(example31.tasks, spec=None)
+        with pytest.raises(ValueError, match="spec"):
+            analyse_system(unbound)
+
+    def test_custom_parameters_recorded(self, fms):
+        report = analyse_system(fms, operation_hours=5.0, degradation_factor=8.0)
+        assert report.operation_hours == 5.0
+        assert report.degradation_factor == 8.0
+        assert report.degrade_result.degradation_factor == 8.0
+
+
+class TestRenderReport:
+    def test_contains_all_sections(self, fms):
+        text = render_report(analyse_system(fms))
+        assert "FAULT-TOLERANT MIXED-CRITICALITY ANALYSIS" in text
+        assert "safety (Lemma 3.1" in text
+        assert "schedulability" in text
+        assert "verdict" in text
+        assert "CERTIFIABLE" in text
+
+    def test_infeasible_rendering(self):
+        tasks = [
+            Task("hi", 10, 10, 5, CriticalityRole.HI, 0.9),
+            Task("lo", 10, 10, 1, CriticalityRole.LO, 0.9),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("A", "E"))
+        text = render_report(analyse_system(ts))
+        assert "INFEASIBLE" in text
+        assert "NO re-execution profile" in text
+
+    def test_mentions_every_task(self, fms):
+        text = render_report(analyse_system(fms))
+        for task in fms:
+            assert task.name in text
+
+
+class TestMultilevelReport:
+    @pytest.fixture(scope="class")
+    def avionics(self):
+        from repro.model.criticality import DO178BLevel
+        from repro.multilevel import MLTask, MLTaskSet
+
+        A, B, C, D = (DO178BLevel.A, DO178BLevel.B, DO178BLevel.C,
+                      DO178BLevel.D)
+        return MLTaskSet(
+            [
+                MLTask("flight-ctl", 50, 50, 2, A, 1e-6),
+                MLTask("autopilot", 100, 100, 5, B, 1e-5),
+                MLTask("nav", 200, 200, 10, B, 1e-5),
+                MLTask("flightplan", 500, 500, 60, C, 1e-5),
+                MLTask("display", 250, 250, 25, C, 1e-5),
+                MLTask("maint-log", 1000, 1000, 250, D, 1e-5),
+            ],
+            name="avionics",
+        )
+
+    def test_analyse_returns_both_mechanisms(self, avionics):
+        from repro.report import analyse_multilevel_system
+
+        kill, degrade = analyse_multilevel_system(avionics)
+        assert kill.mechanism == "kill"
+        assert degrade.mechanism == "degrade"
+        assert kill.success and degrade.success
+
+    def test_render_contains_per_level_lines(self, avionics):
+        from repro.report import (
+            analyse_multilevel_system,
+            render_multilevel_report,
+        )
+
+        kill, degrade = analyse_multilevel_system(avionics)
+        text = render_multilevel_report(avionics, kill, degrade)
+        assert "MULTI-LEVEL" in text
+        assert "level A: n = 3" in text
+        assert "boundary C" in text  # killing's choice
+        assert "boundary B" in text  # degradation's choice
+        assert "CERTIFIABLE" in text
+
+    def test_render_infeasible(self):
+        from repro.model.criticality import DO178BLevel
+        from repro.multilevel import MLTask, MLTaskSet
+        from repro.report import (
+            analyse_multilevel_system,
+            render_multilevel_report,
+        )
+
+        hopeless = MLTaskSet(
+            [
+                MLTask("a", 100, 100, 60, DO178BLevel.A, 1e-9),
+                MLTask("c", 100, 100, 60, DO178BLevel.C, 1e-9),
+            ]
+        )
+        kill, degrade = analyse_multilevel_system(hopeless)
+        text = render_multilevel_report(hopeless, kill, degrade)
+        assert "INFEASIBLE" in text

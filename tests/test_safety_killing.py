@@ -1,0 +1,223 @@
+"""Tests for safety under task killing — eqs. (3)-(5), Lemmas 3.2/3.3."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
+from repro.model.task import HOUR_MS, Task, TaskSet
+from repro.safety.killing import (
+    kill_probability,
+    pfh_lo_killing,
+    pfh_lo_killing_reference,
+    survival_probability,
+    survival_probability_at,
+    timing_points,
+)
+from repro.safety.pfh import max_rounds
+
+
+def _single_hi_set(period=1000.0, wcet=10.0, f=1e-3) -> TaskSet:
+    tasks = [
+        Task("hi", period, period, wcet, CriticalityRole.HI, f),
+        Task("lo", 500.0, 500.0, 5.0, CriticalityRole.LO, f),
+    ]
+    return TaskSet(tasks)
+
+
+class TestSurvivalProbability:
+    def test_hand_computed_single_task(self):
+        """R = (1 - f^n')^r with one HI task — directly checkable."""
+        ts = _single_hi_set(period=1000.0, wcet=10.0, f=1e-2)
+        adaptation = AdaptationProfile({"hi": 2})
+        horizon = 10_000.0
+        rounds = max_rounds(ts.task("hi"), 2, horizon)
+        expected = (1.0 - 1e-4) ** rounds
+        assert survival_probability(ts, adaptation, horizon) == pytest.approx(
+            expected, rel=1e-12
+        )
+
+    def test_product_over_hi_tasks(self, example31, example31_adaptation):
+        """R is the product of per-HI-task survival factors (eq. 3)."""
+        horizon = HOUR_MS
+        total = survival_probability(example31, example31_adaptation, horizon)
+        expected = 1.0
+        for task in example31.hi_tasks:
+            rounds = max_rounds(task, 2, horizon)
+            expected *= (1.0 - task.failure_probability**2) ** rounds
+        assert total == pytest.approx(expected, rel=1e-9)
+
+    def test_decreases_with_time(self, example31, example31_adaptation):
+        """Lemma 3.2 remark: R(N', t) decreases as t grows."""
+        horizons = [1e4, 1e5, 1e6, HOUR_MS, 10 * HOUR_MS]
+        values = [
+            survival_probability(example31, example31_adaptation, t)
+            for t in horizons
+        ]
+        for earlier, later in zip(values, values[1:]):
+            assert later <= earlier + 1e-15
+
+    def test_increases_with_adaptation_profile(self, example31):
+        """Larger n' => LO tasks killed less often => larger R."""
+        horizon = HOUR_MS
+        values = [
+            survival_probability(
+                example31, AdaptationProfile.uniform(example31, n), horizon
+            )
+            for n in (1, 2, 3)
+        ]
+        assert values[0] < values[1] < values[2]
+
+    def test_no_hi_tasks_gives_certain_survival(self):
+        ts = TaskSet([Task("lo", 100, 100, 5, CriticalityRole.LO, 1e-3)])
+        assert survival_probability(ts, AdaptationProfile({}), HOUR_MS) == 1.0
+
+    def test_vectorised_matches_scalar(self, example31, example31_adaptation):
+        horizons = np.array([1e3, 5e4, 2e5, HOUR_MS])
+        vector = survival_probability_at(
+            example31, example31_adaptation, horizons
+        )
+        for t, v in zip(horizons, vector):
+            assert v == pytest.approx(
+                survival_probability(example31, example31_adaptation, float(t)),
+                rel=1e-12,
+            )
+
+    def test_at_time_zero(self, example31, example31_adaptation):
+        """At t = 0 every HI task still fits one round (r_i >= 0)."""
+        value = survival_probability(example31, example31_adaptation, 0.0)
+        assert 0.0 < value <= 1.0
+
+    def test_kill_probability_complements(self, example31, example31_adaptation):
+        t = HOUR_MS
+        assert kill_probability(
+            example31, example31_adaptation, t
+        ) == pytest.approx(
+            1.0 - survival_probability(example31, example31_adaptation, t)
+        )
+
+    def test_rejects_negative_horizon(self, example31, example31_adaptation):
+        with pytest.raises(ValueError, match="non-negative"):
+            survival_probability(example31, example31_adaptation, -1.0)
+
+
+class TestTimingPoints:
+    def test_last_point_is_horizon(self, example31):
+        points = timing_points(example31.task("tau3"), 1, HOUR_MS)
+        assert points[-1] == HOUR_MS
+
+    def test_count_matches_rounds(self, example31):
+        """|pi_i(t)| = r_i(n_i, t) when no point falls below zero."""
+        task = example31.task("tau3")
+        rounds = max_rounds(task, 1, HOUR_MS)
+        points = timing_points(task, 1, HOUR_MS)
+        assert len(points) == rounds
+
+    def test_spacing_is_period(self, example31):
+        """Consecutive eq.-(4) points differ by exactly T_i."""
+        task = example31.task("tau4")
+        points = timing_points(task, 2, 1e5)
+        interior = points[:-1]
+        gaps = np.diff(interior)
+        assert np.allclose(gaps, task.period)
+
+    def test_eq4_formula(self):
+        """pi_i(t) = {t - n C - m T + D : 1 <= m < r} + {t}, checked by hand."""
+        task = Task("x", period=100.0, deadline=80.0, wcet=10.0,
+                     criticality=CriticalityRole.LO, failure_probability=1e-3)
+        t = 450.0
+        # r = floor((450 - 20)/100) + 1 = 5 rounds; m in {1,2,3,4}
+        expected = sorted(
+            [450.0 - 20.0 - m * 100.0 + 80.0 for m in (1, 2, 3, 4)]
+        ) + [450.0]
+        points = timing_points(task, 2, t)
+        assert np.allclose(points, expected)
+
+    def test_nonpositive_points_dropped(self):
+        task = Task("x", period=100.0, deadline=10.0, wcet=30.0,
+                     criticality=CriticalityRole.LO, failure_probability=1e-3)
+        t = 250.0
+        # r = floor((250-60)/100)+1 = 2; m=1: 250-60-100+10 = 100 > 0 kept
+        points = timing_points(task, 2, t)
+        assert all(p > 0 for p in points)
+
+    def test_empty_when_no_round_fits(self):
+        task = Task("x", period=100.0, deadline=100.0, wcet=60.0,
+                     criticality=CriticalityRole.LO, failure_probability=1e-3)
+        assert timing_points(task, 2, 100.0).size == 0
+
+
+class TestPfhLoKilling:
+    def test_vectorised_matches_reference(self, example31):
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        fast = pfh_lo_killing(example31, reexecution, adaptation, 1.0)
+        slow = pfh_lo_killing_reference(example31, reexecution, adaptation, 1.0)
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+    def test_decreases_with_adaptation_profile(self, example31):
+        """Section 3.3: increasing n' improves LO safety."""
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        values = [
+            pfh_lo_killing(
+                example31,
+                reexecution,
+                AdaptationProfile.uniform(example31, n),
+                10.0,
+            )
+            for n in (1, 2, 3)
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_no_hi_tasks_reduces_to_plain_round_failures(self):
+        """With no HI tasks R == 1 and each round contributes f^n."""
+        lo = Task("lo", 1000.0, 1000.0, 10.0, CriticalityRole.LO, 1e-3)
+        ts = TaskSet([lo])
+        reexecution = ReexecutionProfile({"lo": 2})
+        adaptation = AdaptationProfile({})
+        value = pfh_lo_killing(ts, reexecution, adaptation, 1.0)
+        rounds = max_rounds(lo, 2, HOUR_MS)
+        assert value == pytest.approx(rounds * 1e-6, rel=1e-6)
+
+    def test_fms_order_of_magnitude_matches_paper(self, fms):
+        """Paper, Section 5.1: at n' = 2 killing yields pfh(LO) ~ 1e-1."""
+        reexecution = ReexecutionProfile.uniform(fms, 3, 2)
+        adaptation = AdaptationProfile.uniform(fms, 2)
+        value = pfh_lo_killing(fms, reexecution, adaptation, 10.0)
+        assert -1.0 <= math.log10(value) <= 0.0
+
+    def test_scales_sublinearly_with_operation_hours(self, example31):
+        """Failure rate accumulates, the per-hour average grows with OS."""
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        one = pfh_lo_killing(example31, reexecution, adaptation, 1.0)
+        ten = pfh_lo_killing(example31, reexecution, adaptation, 10.0)
+        # Kill probability grows with elapsed time, so the 10-hour average
+        # per-hour failure rate exceeds the 1-hour one.
+        assert ten > one
+
+    def test_rejects_nonpositive_operation_hours(self, example31):
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        with pytest.raises(ValueError, match="operation hours"):
+            pfh_lo_killing(example31, reexecution, adaptation, 0.0)
+
+    def test_validates_adaptation_against_reexecution(self, example31):
+        reexecution = ReexecutionProfile.uniform(example31, 2, 1)
+        adaptation = AdaptationProfile.uniform(example31, 3)
+        with pytest.raises(ValueError, match="exceeds"):
+            pfh_lo_killing(example31, reexecution, adaptation, 1.0)
+
+    def test_footnote1_variant_is_larger(self, example31):
+        """Dropping the n*C setup admits more rounds => larger bound."""
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        with_setup = pfh_lo_killing(
+            example31, reexecution, adaptation, 1.0, assume_full_wcet=True
+        )
+        without = pfh_lo_killing(
+            example31, reexecution, adaptation, 1.0, assume_full_wcet=False
+        )
+        assert without >= with_setup

@@ -1,0 +1,140 @@
+"""Tests for the safety-margin and inverse analyses."""
+
+import math
+
+import pytest
+
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.safety.margins import (
+    max_tolerable_failure_probability,
+    required_profile_for_probability,
+    safety_margin,
+)
+from repro.safety.pfh import pfh_of_tasks
+
+
+class TestSafetyMargin:
+    def test_example31_margin(self, example31, example31_profiles):
+        """pfh(HI) = 2.04e-10 against a 1e-7 ceiling: ~490x headroom."""
+        margin = safety_margin(
+            example31, CriticalityRole.HI, example31_profiles
+        )
+        assert margin == pytest.approx(1e-7 / 2.04e-10, rel=1e-5)
+        assert margin > 1.0
+
+    def test_violating_profile_has_margin_below_one(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 2, 1)
+        margin = safety_margin(example31, CriticalityRole.HI, profile)
+        assert margin < 1.0
+
+    def test_no_requirement_level_is_infinite(self, example31):
+        profile = ReexecutionProfile.uniform(example31, 3, 1)
+        assert math.isinf(
+            safety_margin(example31, CriticalityRole.LO, profile)
+        )
+
+    def test_requires_spec(self, example31, example31_profiles):
+        from repro.model.task import TaskSet
+
+        unbound = TaskSet(example31.tasks, spec=None)
+        with pytest.raises(ValueError, match="spec"):
+            safety_margin(unbound, CriticalityRole.HI, example31_profiles)
+
+
+class TestMaxTolerableFailureProbability:
+    def test_bound_holds_at_returned_value(self, example31):
+        f_max = max_tolerable_failure_probability(
+            example31, CriticalityRole.HI, executions=3
+        )
+        assert 0.0 < f_max < 1.0
+        # At the returned probability the bound must (just) hold ...
+        assert self._pfh_at(example31, f_max, 3) <= 1e-7 * (1 + 1e-6)
+        # ... and slightly above it, fail.
+        assert self._pfh_at(example31, f_max * 1.01, 3) > 1e-7
+
+    @staticmethod
+    def _pfh_at(taskset, f, n):
+        from repro.model.task import Task
+
+        tasks = [
+            Task(t.name, t.period, t.deadline, t.wcet, t.criticality, f)
+            for t in taskset.hi_tasks
+        ]
+        profile = ReexecutionProfile.constant(tasks, n)
+        return pfh_of_tasks(tasks, profile)
+
+    def test_more_reexecutions_tolerate_worse_hardware(self, example31):
+        values = [
+            max_tolerable_failure_probability(
+                example31, CriticalityRole.HI, executions=n
+            )
+            for n in (1, 2, 3, 4)
+        ]
+        assert values == sorted(values)
+
+    def test_example31_consistency_with_paper(self, example31):
+        """f = 1e-5 must lie between the n=2 and n=3 tolerances (the paper
+        needs exactly 3 executions at that probability)."""
+        f2 = max_tolerable_failure_probability(
+            example31, CriticalityRole.HI, executions=2
+        )
+        f3 = max_tolerable_failure_probability(
+            example31, CriticalityRole.HI, executions=3
+        )
+        assert f2 < 1e-5 < f3
+
+    def test_unlimited_ceiling(self, example31):
+        value = max_tolerable_failure_probability(
+            example31, CriticalityRole.LO, executions=1
+        )
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+    def test_explicit_ceiling(self, example31):
+        strict = max_tolerable_failure_probability(
+            example31, CriticalityRole.HI, 3, pfh_ceiling=1e-12
+        )
+        lax = max_tolerable_failure_probability(
+            example31, CriticalityRole.HI, 3, pfh_ceiling=1e-6
+        )
+        assert strict < lax
+
+    def test_zero_ceiling(self, example31):
+        assert (
+            max_tolerable_failure_probability(
+                example31, CriticalityRole.HI, 3, pfh_ceiling=0.0
+            )
+            == 0.0
+        )
+
+
+class TestRequiredProfile:
+    def test_paper_operating_point(self, example31):
+        assert (
+            required_profile_for_probability(
+                example31, CriticalityRole.HI, 1e-5
+            )
+            == 3
+        )
+
+    def test_grows_as_hardware_degrades(self, example31):
+        values = [
+            required_profile_for_probability(example31, CriticalityRole.HI, f)
+            for f in (1e-9, 1e-7, 1e-5, 1e-3, 1e-1)
+        ]
+        assert all(v is not None for v in values)
+        assert values == sorted(values)
+
+    def test_none_when_unreachable(self, example31):
+        assert (
+            required_profile_for_probability(
+                example31, CriticalityRole.HI, 0.9, max_n=3
+            )
+            is None
+        )
+
+    def test_perfect_hardware_needs_one(self, example31):
+        assert (
+            required_profile_for_probability(example31, CriticalityRole.HI, 0.0)
+            == 1
+        )

@@ -1,0 +1,111 @@
+"""Tests for the bursty (correlated) fault injector and the validity study.
+
+The paper's fault model assumes independent per-execution faults; the
+bursty injector quantifies what breaks when that assumption does.
+"""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import FaultToleranceConfig, ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.fault_injection import BernoulliFaultInjector, BurstyFaultInjector
+from repro.sim.policies import EDFPolicy
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _probe_task():
+    return Task("probe", 100, 100, 10, HI, 0.05)
+
+
+class TestBurstyInjectorConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="average"):
+            BurstyFaultInjector(1.0)
+        with pytest.raises(ValueError, match="burst"):
+            BurstyFaultInjector(0.5, burst_probability=0.3)
+        with pytest.raises(ValueError, match="switchiness"):
+            BurstyFaultInjector(0.05, switchiness=0.0)
+
+    def test_zero_average_never_faults(self):
+        injector = BurstyFaultInjector(0.0, seed=1)
+        task = _probe_task()
+        assert not any(
+            injector.execution_faulty(task, float(t)) for t in range(2000)
+        )
+
+    def test_average_rate_matches_target(self):
+        """Long-run fault rate converges to the configured average."""
+        target = 0.05
+        injector = BurstyFaultInjector(target, burst_probability=0.8,
+                                       switchiness=0.1, seed=3)
+        task = _probe_task()
+        draws = 60_000
+        faults = sum(
+            injector.execution_faulty(task, float(t)) for t in range(draws)
+        )
+        assert faults / draws == pytest.approx(target, rel=0.15)
+
+    def test_faults_are_bursty(self):
+        """Consecutive-fault runs are far longer than under Bernoulli."""
+        injector = BurstyFaultInjector(0.05, burst_probability=0.9,
+                                       switchiness=0.02, seed=5)
+        task = _probe_task()
+        outcomes = [
+            injector.execution_faulty(task, float(t)) for t in range(30_000)
+        ]
+        # Count the longest run of consecutive faults.
+        longest = current = 0
+        for outcome in outcomes:
+            current = current + 1 if outcome else 0
+            longest = max(longest, current)
+        assert longest >= 5  # Bernoulli at 0.05 virtually never reaches 5
+
+
+class TestIndependenceAssumptionStudy:
+    """Correlated faults break the f^n round-failure bound; independent
+    faults respect it — the library's honest threat-to-validity check."""
+
+    def _round_failures(self, injector, n, horizon=400_000.0):
+        task = Task("probe", 100, 100, 10, HI, 0.05)
+        ts = TaskSet(
+            [task, Task("idle", 100_000, 100_000, 1, LO, 0.0)],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        config = FaultToleranceConfig(
+            reexecution=ReexecutionProfile({"probe": n, "idle": 1})
+        )
+        metrics = Simulator(ts, EDFPolicy(), config, injector).run(horizon)
+        counters = metrics.counters("probe")
+        return counters.fault_exhausted, counters.released
+
+    def test_independent_faults_respect_f_power_n(self):
+        failures, released = self._round_failures(
+            BernoulliFaultInjector(seed=11), n=2
+        )
+        expected = released * 0.05**2  # f^2 per round
+        assert failures <= expected + 4.0 * max(expected, 1.0) ** 0.5
+
+    def test_bursty_faults_exceed_f_power_n(self):
+        """Within-round correlation drives round failures far above f^n."""
+        failures, released = self._round_failures(
+            BurstyFaultInjector(0.05, burst_probability=0.9,
+                                switchiness=0.02, seed=11),
+            n=2,
+        )
+        expected_independent = released * 0.05**2
+        # The bursty process produces many times the independent rate.
+        assert failures > 3.0 * expected_independent
+
+    def test_reexecution_still_helps_under_bursts(self):
+        """More attempts still reduce failures, just less effectively."""
+        f1, r1 = self._round_failures(
+            BurstyFaultInjector(0.05, seed=7), n=1
+        )
+        f3, r3 = self._round_failures(
+            BurstyFaultInjector(0.05, seed=7), n=3
+        )
+        assert f3 / max(r3, 1) < f1 / max(r1, 1)

@@ -1,0 +1,113 @@
+"""Runtime-level tests showing why EDF-VD's virtual deadlines matter.
+
+Constructs a scenario where plain EDF (real deadlines) lets a LO job run
+first, leaving no slack for a HI job's re-executions — while EDF-VD's
+shortened virtual deadline pulls the HI job forward and absorbs the same
+fault without a miss.  The engine must reproduce both behaviours exactly.
+"""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+)
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.fault_injection import ScriptedFaultInjector
+from repro.sim.policies import EDFPolicy, EDFVDPolicy
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+@pytest.fixture
+def system():
+    """HI job needs up to 3 x 30 = 90 units by t = 100; the LO job's
+    earlier real deadline (95) tempts plain EDF to run it first."""
+    tasks = [
+        Task("hi", 100, 100, 30, HI, 0.5),
+        Task("lo", 100, 95, 60, LO, 0.0),
+    ]
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+@pytest.fixture
+def config(system):
+    return FaultToleranceConfig(
+        reexecution=ReexecutionProfile.uniform(system, 3, 1),
+        adaptation=AdaptationProfile.uniform(system, 1),
+    )
+
+
+class TestVirtualDeadlinesMatter:
+    def test_plain_edf_misses_under_fault(self, system, config):
+        """EDF runs lo (D=95) before hi (D=100); hi's re-execution then
+        completes at t = 120 > 100: a HI deadline miss."""
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        metrics = Simulator(system, EDFPolicy(), config, injector).run(150.0)
+        assert metrics.deadline_misses(CriticalityRole.HI) == 1
+
+    def test_edf_vd_absorbs_the_same_fault(self, system, config):
+        """With x = 0.6 the hi job's virtual deadline (60) precedes lo's
+        95: hi runs 0-30, faults, switches mode (n' = 1), re-executes
+        30-60 and meets its real deadline."""
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        metrics = Simulator(
+            system, EDFVDPolicy(0.6), config, injector
+        ).run(150.0)
+        assert metrics.deadline_misses(CriticalityRole.HI) == 0
+        assert metrics.hi_mode_entered
+        assert metrics.counters("hi").success == 2  # both periods fine
+
+    def test_both_policies_fine_without_faults(self, system, config):
+        for policy in (EDFPolicy(), EDFVDPolicy(0.6)):
+            metrics = Simulator(system, policy, config).run(150.0)
+            assert metrics.deadline_misses(CriticalityRole.HI) == 0
+
+    def test_mode_switch_timing(self, system, config):
+        """The switch fires when the second attempt is dispatched: t=30."""
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        metrics = Simulator(
+            system, EDFVDPolicy(0.6), config, injector
+        ).run(150.0)
+        assert metrics.mode_switch_time == pytest.approx(30.0)
+
+    def test_lo_killed_at_switch(self, system, config):
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        metrics = Simulator(
+            system, EDFVDPolicy(0.6), config, injector
+        ).run(150.0)
+        counters = metrics.counters("lo")
+        assert counters.killed == 1  # the pending first lo job
+        assert counters.released <= 1 + metrics.counters("hi").released
+
+
+class TestDegradedReleaseSpacing:
+    def test_post_switch_spacing_is_df_times_period(self):
+        """After the switch, LO releases are spaced exactly df * T."""
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 50, 50, 1, LO, 0.0)
+        ts = TaskSet([hi, lo], DualCriticalitySpec.from_names("B", "D"))
+        config = FaultToleranceConfig(
+            reexecution=ReexecutionProfile.uniform(ts, 2, 1),
+            adaptation=AdaptationProfile.uniform(ts, 1),
+            degradation_factor=4.0,
+        )
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        from repro.sim.trace import TraceEventKind, TraceRecorder
+
+        trace = TraceRecorder()
+        Simulator(ts, EDFPolicy(), config, injector, trace=trace).run(1200.0)
+        releases = [
+            e.time for e in trace.events_of(TraceEventKind.RELEASE)
+            if e.task == "lo"
+        ]
+        switch = trace.mode_switch_time
+        assert switch is not None
+        post = [t for t in releases if t > switch]
+        gaps = [b - a for a, b in zip(post, post[1:])]
+        assert gaps, "no post-switch releases observed"
+        assert all(gap == pytest.approx(200.0) for gap in gaps)  # 4 * 50

@@ -1,0 +1,325 @@
+"""Deterministic scenario tests for the discrete-event engine."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+)
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import PeriodicArrivals, Simulator, SporadicArrivals
+from repro.sim.fault_injection import NoFaultInjector, ScriptedFaultInjector
+from repro.sim.jobs import JobOutcome
+from repro.sim.policies import EDFPolicy, EDFVDPolicy, FixedPriorityPolicy
+
+
+def _ts(*tasks: Task) -> TaskSet:
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+def _config(ts: TaskSet, n_hi=1, n_lo=1, adaptation=None, df=None):
+    return FaultToleranceConfig(
+        reexecution=ReexecutionProfile.uniform(ts, n_hi, n_lo),
+        adaptation=(
+            AdaptationProfile.uniform(ts, adaptation)
+            if adaptation is not None
+            else None
+        ),
+        degradation_factor=df,
+    )
+
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+class TestBasicExecution:
+    def test_single_task_all_jobs_complete(self):
+        ts = _ts(Task("a", 100, 100, 10, HI))
+        sim = Simulator(ts, EDFPolicy(), _config(ts))
+        metrics = sim.run(1000.0)
+        counters = metrics.counters("a")
+        assert counters.released == 10
+        assert counters.success == 10
+        assert counters.deadline_miss == 0
+        assert counters.executions == 10
+
+    def test_busy_time_accounts_execution(self):
+        ts = _ts(Task("a", 100, 100, 10, HI))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(1000.0)
+        assert metrics.busy_time == pytest.approx(100.0)
+        assert metrics.utilization_observed == pytest.approx(0.1)
+
+    def test_two_tasks_edf_order(self):
+        """EDF runs the shorter-deadline job first; both complete."""
+        ts = _ts(Task("short", 50, 50, 10, HI), Task("long", 100, 100, 30, LO))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.counters("short").success == 2
+        assert metrics.counters("long").success == 1
+
+    def test_preemption_counted(self):
+        """The long LO job is preempted by the HI releases at 20 and 40."""
+        ts = _ts(Task("hi", 20, 20, 5, HI), Task("lo", 100, 100, 40, LO))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.preemptions == 2
+        assert metrics.counters("lo").success == 1
+
+    def test_overload_misses_deadlines(self):
+        ts = _ts(Task("a", 10, 10, 6, HI), Task("b", 10, 10, 6, LO))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.deadline_misses() > 0
+
+    def test_idle_gaps_are_skipped(self):
+        ts = _ts(Task("a", 1000, 1000, 1, HI))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(10_000.0)
+        assert metrics.counters("a").success == 10
+        assert metrics.busy_time == pytest.approx(10.0)
+
+    def test_zero_horizon_rejected(self):
+        ts = _ts(Task("a", 100, 100, 10, HI))
+        with pytest.raises(ValueError, match="horizon"):
+            Simulator(ts, EDFPolicy(), _config(ts)).run(0.0)
+
+
+class TestReexecution:
+    def test_fault_triggers_reexecution(self):
+        ts = _ts(Task("a", 100, 100, 10, HI, 0.5))
+        injector = ScriptedFaultInjector({"a": [True, False]})
+        sim = Simulator(ts, EDFPolicy(), _config(ts, n_hi=2), injector)
+        metrics = sim.run(100.0)
+        counters = metrics.counters("a")
+        assert counters.success == 1
+        assert counters.executions == 2
+        assert counters.faults_injected == 1
+        assert metrics.busy_time == pytest.approx(20.0)
+
+    def test_exhausted_attempts_fail(self):
+        ts = _ts(Task("a", 100, 100, 10, HI, 0.5))
+        injector = ScriptedFaultInjector({"a": [True, True]})
+        sim = Simulator(ts, EDFPolicy(), _config(ts, n_hi=2), injector)
+        metrics = sim.run(100.0)
+        counters = metrics.counters("a")
+        assert counters.fault_exhausted == 1
+        assert counters.success == 0
+        assert counters.temporal_failures == 1
+
+    def test_single_attempt_task_fails_on_first_fault(self):
+        ts = _ts(Task("a", 100, 100, 10, HI, 0.5))
+        injector = ScriptedFaultInjector({"a": [True]})
+        metrics = Simulator(ts, EDFPolicy(), _config(ts, n_hi=1), injector).run(
+            100.0
+        )
+        assert metrics.counters("a").fault_exhausted == 1
+
+    def test_reexecution_can_cause_deadline_miss(self):
+        """Two executions of 60 don't fit a deadline of 100."""
+        ts = _ts(Task("a", 200, 100, 60, HI, 0.5))
+        injector = ScriptedFaultInjector({"a": [True, False]})
+        metrics = Simulator(ts, EDFPolicy(), _config(ts, n_hi=2), injector).run(
+            200.0
+        )
+        assert metrics.counters("a").deadline_miss == 1
+
+    def test_fault_free_no_reexecutions(self):
+        ts = _ts(Task("a", 100, 100, 10, HI, 0.9))
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3), NoFaultInjector()
+        ).run(1000.0)
+        assert metrics.counters("a").executions == 10
+
+
+class TestModeSwitchKilling:
+    def _system(self):
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 100, 100, 10, LO, 0.0)
+        return _ts(hi, lo)
+
+    def test_switch_on_third_attempt_start(self):
+        """n' = 2: two faults force a third attempt, killing LO tasks."""
+        ts = self._system()
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        sim = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3, adaptation=2), injector
+        )
+        metrics = sim.run(1000.0)
+        assert metrics.hi_mode_entered
+        assert sim.hi_mode
+        # LO releases stop after the switch (t ~ 20): 1 job at t=0 only.
+        assert metrics.counters("lo").released <= 2
+
+    def test_no_switch_within_profile(self):
+        """A single re-execution (attempt 2 <= n' = 2) must not switch."""
+        ts = self._system()
+        injector = ScriptedFaultInjector({"hi": [True, False]})
+        sim = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3, adaptation=2), injector
+        )
+        metrics = sim.run(500.0)
+        assert not metrics.hi_mode_entered
+        assert metrics.counters("lo").released == 5
+
+    def test_pending_lo_jobs_killed_at_switch(self):
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 100, 100, 50, LO, 0.0)  # long job, still pending
+        ts = _ts(hi, lo)
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3, adaptation=2), injector
+        ).run(400.0)
+        assert metrics.kills(LO) >= 1
+
+    def test_killed_jobs_count_as_temporal_failures(self):
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 100, 100, 50, LO, 0.0)
+        ts = _ts(hi, lo)
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3, adaptation=2), injector
+        ).run(400.0)
+        assert metrics.temporal_failures(LO) >= 1
+
+    def test_hi_tasks_keep_running_after_switch(self):
+        ts = self._system()
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts, n_hi=3, adaptation=2), injector
+        ).run(1000.0)
+        assert metrics.counters("hi").released == 10
+        assert metrics.counters("hi").success == 10
+
+
+class TestModeSwitchDegradation:
+    def test_lo_periods_stretched_after_switch(self):
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 100, 100, 5, LO, 0.0)
+        ts = _ts(hi, lo)
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        config = _config(ts, n_hi=3, adaptation=2, df=5.0)
+        metrics = Simulator(ts, EDFPolicy(), config, injector).run(2000.0)
+        assert metrics.hi_mode_entered
+        # Without degradation: 20 LO releases.  Switch happens near t=20;
+        # afterwards the LO period is 500, so far fewer jobs arrive.
+        lo_released = metrics.counters("lo").released
+        assert 3 <= lo_released <= 7
+
+    def test_degraded_jobs_still_complete(self):
+        hi = Task("hi", 100, 100, 10, HI, 0.5)
+        lo = Task("lo", 100, 100, 5, LO, 0.0)
+        ts = _ts(hi, lo)
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        config = _config(ts, n_hi=3, adaptation=2, df=5.0)
+        metrics = Simulator(ts, EDFPolicy(), config, injector).run(2000.0)
+        counters = metrics.counters("lo")
+        assert counters.killed == 0
+        assert counters.success == counters.released
+
+
+class TestPolicies:
+    def test_fixed_priority_order(self):
+        """FP runs the higher-priority (lower number) task first."""
+        a = Task("a", 100, 100, 30, HI)
+        b = Task("b", 100, 100, 30, LO)
+        ts = _ts(a, b)
+        policy = FixedPriorityPolicy({"a": 1, "b": 0})
+        metrics = Simulator(ts, policy, _config(ts)).run(100.0)
+        assert metrics.counters("a").success == 1
+        assert metrics.counters("b").success == 1
+
+    def test_fixed_priority_missing_task_raises(self):
+        ts = _ts(Task("a", 100, 100, 10, HI))
+        policy = FixedPriorityPolicy({})
+        with pytest.raises(KeyError, match="priority"):
+            Simulator(ts, policy, _config(ts)).run(100.0)
+
+    def test_edf_vd_prefers_hi_in_lo_mode(self):
+        """With x = 0.5, a HI job's virtual deadline beats a LO job's."""
+        hi = Task("hi", 100, 100, 10, HI)
+        lo = Task("lo", 80, 80, 10, LO)
+        ts = _ts(hi, lo)
+        metrics = Simulator(ts, EDFVDPolicy(0.4), _config(ts)).run(80.0)
+        # virtual deadline of hi = 40 < lo's 80: hi finished first.
+        assert metrics.counters("hi").success == 1
+
+    def test_edf_vd_policy_validates_x(self):
+        with pytest.raises(ValueError, match="factor"):
+            EDFVDPolicy(0.0)
+        with pytest.raises(ValueError, match="factor"):
+            EDFVDPolicy(1.5)
+
+
+class TestArrivals:
+    def test_sporadic_arrivals_release_fewer_jobs(self):
+        ts = _ts(Task("a", 100, 100, 1, HI))
+        periodic = Simulator(ts, EDFPolicy(), _config(ts)).run(10_000.0)
+        sporadic = Simulator(
+            ts, EDFPolicy(), _config(ts),
+            arrivals=SporadicArrivals(seed=7, jitter_fraction=0.5),
+        ).run(10_000.0)
+        assert sporadic.counters("a").released <= periodic.counters("a").released
+
+    def test_sporadic_respects_minimum_gap(self):
+        model = SporadicArrivals(seed=3, jitter_fraction=0.25)
+        task = Task("a", 100, 100, 1, HI)
+        for _ in range(100):
+            gap = model.interarrival(task, 100.0)
+            assert 100.0 <= gap <= 125.0
+
+    def test_periodic_is_exact(self):
+        model = PeriodicArrivals()
+        task = Task("a", 100, 100, 1, HI)
+        assert model.interarrival(task, 100.0) == 100.0
+
+    def test_sporadic_rejects_negative_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            SporadicArrivals(jitter_fraction=-0.1)
+
+
+class TestFinalization:
+    def test_pending_job_past_deadline_counts_as_miss(self):
+        """A job released near the horizon with a passed deadline is a miss."""
+        ts = _ts(Task("a", 100, 50, 60, HI))  # C > D: always misses
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.counters("a").deadline_miss >= 1
+
+    def test_pending_job_with_future_deadline_censored(self):
+        ts = _ts(Task("a", 1000, 1000, 900, HI))
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(500.0)
+        counters = metrics.counters("a")
+        assert counters.unfinished == 1
+        assert counters.deadline_miss == 0
+
+    def test_outcome_conservation(self):
+        """released == success + failures + killed + unfinished."""
+        ts = _ts(
+            Task("a", 70, 70, 20, HI, 0.3),
+            Task("b", 110, 110, 30, LO, 0.3),
+        )
+        from repro.sim.fault_injection import BernoulliFaultInjector
+
+        metrics = Simulator(
+            ts,
+            EDFPolicy(),
+            _config(ts, n_hi=2, n_lo=2, adaptation=1),
+            BernoulliFaultInjector(seed=5),
+        ).run(50_000.0)
+        for name in ("a", "b"):
+            c = metrics.counters(name)
+            assert (
+                c.success
+                + c.fault_exhausted
+                + c.deadline_miss
+                + c.killed
+                + c.unfinished
+                == c.released
+            )
+
+
+class TestJobOutcome:
+    def test_temporal_failure_classification(self):
+        assert JobOutcome.FAULT_EXHAUSTED.is_temporal_failure
+        assert JobOutcome.DEADLINE_MISS.is_temporal_failure
+        assert JobOutcome.KILLED.is_temporal_failure
+        assert not JobOutcome.SUCCESS.is_temporal_failure
+        assert not JobOutcome.PENDING.is_temporal_failure

@@ -1,0 +1,102 @@
+"""Hyperperiod-simulation oracle vs the analytical EDF tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.edf import (
+    Workload,
+    edf_processor_demand_test,
+    edf_utilization_test,
+)
+from repro.analysis.qpa import qpa_schedulable
+from repro.sim.exact import edf_schedulable_by_simulation, hyperperiod_of
+
+
+class TestHyperperiod:
+    def test_lcm(self):
+        ws = [Workload(4, 4, 1), Workload(6, 6, 1)]
+        assert hyperperiod_of(ws) == 12.0
+
+    def test_single(self):
+        assert hyperperiod_of([Workload(7, 7, 1)]) == 7.0
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            hyperperiod_of([Workload(2.5, 2.5, 1)])
+
+
+class TestSimulationOracle:
+    def test_trivial(self):
+        assert edf_schedulable_by_simulation([])
+        assert edf_schedulable_by_simulation([Workload(10, 10, 0.0)])
+
+    def test_full_utilization_schedulable(self):
+        assert edf_schedulable_by_simulation(
+            [Workload(4, 4, 2), Workload(8, 8, 4)]
+        )
+
+    def test_overload_rejected(self):
+        assert not edf_schedulable_by_simulation([Workload(10, 10, 11)])
+
+    def test_constrained_infeasible(self):
+        assert not edf_schedulable_by_simulation(
+            [Workload(100, 5, 3), Workload(100, 5, 3)]
+        )
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(2, 24), st.integers(1, 30)),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_utilization_bound_for_implicit(self, raw):
+        """For implicit deadlines, the oracle must agree with U <= 1."""
+        workload = [
+            Workload(float(t), float(t), float(min(c, t))) for t, c in raw
+        ]
+        assert edf_schedulable_by_simulation(workload) == edf_utilization_test(
+            workload
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(4, 20),   # period
+                st.integers(2, 20),   # deadline (clamped to <= T)
+                st.integers(1, 10),   # wcet
+            ),
+            min_size=1,
+            max_size=3,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_pdc_for_constrained(self, raw):
+        """For constrained deadlines, the oracle agrees with PDC/QPA."""
+        workload = [
+            Workload(float(t), float(min(d, t)), float(min(c, d, t)))
+            for t, d, c in raw
+        ]
+        expected = edf_processor_demand_test(workload)
+        assert qpa_schedulable(workload) == expected
+        assert edf_schedulable_by_simulation(workload) == expected
+
+    def test_random_cross_check(self):
+        """Seeded sweep: oracle vs PDC over 100 constrained workloads."""
+        rng = np.random.default_rng(42)
+        for _ in range(100):
+            n = int(rng.integers(1, 4))
+            workload = []
+            for _ in range(n):
+                period = int(rng.integers(4, 16))
+                deadline = int(rng.integers(2, period + 1))
+                wcet = int(rng.integers(1, deadline + 1))
+                workload.append(
+                    Workload(float(period), float(deadline), float(wcet))
+                )
+            assert edf_schedulable_by_simulation(
+                workload
+            ) == edf_processor_demand_test(workload)

@@ -1,0 +1,123 @@
+"""Tests for execution-time models and response-time statistics."""
+
+import pytest
+
+from repro.analysis.edf import Workload
+from repro.analysis.fixed_priority import response_time
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import FaultToleranceConfig, ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.execution_time import FullWCET, UniformFraction
+from repro.sim.policies import EDFPolicy, FixedPriorityPolicy
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _system():
+    tasks = [
+        Task("a", 100, 100, 10, HI),
+        Task("b", 150, 150, 20, LO),
+    ]
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+def _config(ts):
+    return FaultToleranceConfig(reexecution=ReexecutionProfile.uniform(ts, 1, 1))
+
+
+class TestExecutionTimeModels:
+    def test_full_wcet(self):
+        task = Task("a", 100, 100, 10, HI)
+        assert FullWCET()(task) == 10.0
+
+    def test_uniform_fraction_range(self):
+        model = UniformFraction(seed=1, min_fraction=0.4)
+        task = Task("a", 100, 100, 10, HI)
+        for _ in range(200):
+            value = model(task)
+            assert 4.0 <= value <= 10.0
+
+    def test_uniform_fraction_validation(self):
+        with pytest.raises(ValueError, match="fraction"):
+            UniformFraction(min_fraction=0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            UniformFraction(min_fraction=1.5)
+
+    def test_min_fraction_one_is_full_wcet(self):
+        model = UniformFraction(seed=0, min_fraction=1.0)
+        task = Task("a", 100, 100, 10, HI)
+        assert model(task) == 10.0
+
+    def test_simulator_with_early_completions(self):
+        ts = _system()
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts),
+            execution_time_of=UniformFraction(seed=3, min_fraction=0.5),
+        ).run(3000.0)
+        # Early completions reduce busy time below the WCET-based load.
+        full = Simulator(ts, EDFPolicy(), _config(ts)).run(3000.0)
+        assert metrics.busy_time < full.busy_time
+        assert metrics.deadline_misses() == 0
+
+    def test_engine_rejects_overrun_model(self):
+        ts = _system()
+        sim = Simulator(
+            ts, EDFPolicy(), _config(ts),
+            execution_time_of=lambda t: t.wcet * 2.0,
+        )
+        with pytest.raises(ValueError, match="outside"):
+            sim.run(1000.0)
+
+
+class TestResponseTimeStatistics:
+    def test_single_task_response_equals_wcet(self):
+        ts = TaskSet(
+            [Task("a", 100, 100, 10, HI)],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(1000.0)
+        counters = metrics.counters("a")
+        assert counters.max_response == pytest.approx(10.0)
+        assert counters.mean_response == pytest.approx(10.0)
+        assert metrics.max_response_time("a") == pytest.approx(10.0)
+
+    def test_observed_response_bounded_by_rta(self):
+        """Under fixed priorities, observed responses never exceed RTA."""
+        tasks = [
+            Task("hp", 20, 20, 5, HI),
+            Task("lp", 50, 50, 12, LO),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+        policy = FixedPriorityPolicy({"hp": 0, "lp": 1})
+        metrics = Simulator(ts, policy, _config(ts)).run(10_000.0)
+        bound_lp = response_time(
+            Workload(50, 50, 12), [Workload(20, 20, 5)]
+        )
+        assert bound_lp is not None
+        assert metrics.max_response_time("lp") <= bound_lp + 1e-9
+        assert metrics.max_response_time("hp") <= 5.0 + 1e-9
+
+    def test_synchronous_release_attains_rta_bound(self):
+        """The critical instant (synchronous release) realises the bound."""
+        tasks = [
+            Task("hp", 20, 20, 5, HI),
+            Task("lp", 50, 50, 12, LO),
+        ]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+        policy = FixedPriorityPolicy({"hp": 0, "lp": 1})
+        metrics = Simulator(ts, policy, _config(ts)).run(10_000.0)
+        bound_lp = response_time(Workload(50, 50, 12), [Workload(20, 20, 5)])
+        # lp at t=0: 12 + interference from hp releases at 0, 20 -> R = 22.
+        assert metrics.max_response_time("lp") == pytest.approx(bound_lp)
+
+    def test_mean_response_zero_when_nothing_finished(self):
+        from repro.sim.metrics import TaskCounters
+
+        assert TaskCounters().mean_response == 0.0
+
+    def test_unknown_task_max_response(self):
+        ts = _system()
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.max_response_time("ghost") == 0.0

@@ -1,0 +1,78 @@
+"""Unit tests for the runtime job record."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole
+from repro.model.task import Task
+from repro.sim.jobs import Job, JobOutcome
+
+
+def _job(max_attempts=3, deadline=100.0):
+    task = Task("t", 100.0, deadline, 10.0, CriticalityRole.HI, 1e-3)
+    return Job(
+        task=task,
+        release=0.0,
+        absolute_deadline=deadline,
+        max_attempts=max_attempts,
+        execution_time=10.0,
+    )
+
+
+class TestJobLifecycle:
+    def test_initial_state(self):
+        job = _job()
+        assert job.attempt == 1
+        assert job.remaining == 10.0
+        assert not job.done
+        assert job.outcome is JobOutcome.PENDING
+
+    def test_start_next_attempt_resets_remaining(self):
+        job = _job()
+        job.remaining = 0.0
+        job.start_next_attempt()
+        assert job.attempt == 2
+        assert job.remaining == 10.0
+
+    def test_attempts_bounded(self):
+        job = _job(max_attempts=2)
+        job.start_next_attempt()
+        with pytest.raises(RuntimeError, match="no attempts left"):
+            job.start_next_attempt()
+
+    def test_successful_completion_in_time(self):
+        job = _job()
+        job.complete(50.0, success=True)
+        assert job.outcome is JobOutcome.SUCCESS
+        assert job.finish_time == 50.0
+        assert job.done
+
+    def test_late_success_is_a_miss(self):
+        """The sanity check passing after the deadline is still a
+        temporal failure (Section 2.1's failure notion)."""
+        job = _job(deadline=100.0)
+        job.complete(100.5, success=True)
+        assert job.outcome is JobOutcome.DEADLINE_MISS
+
+    def test_fault_exhaustion(self):
+        job = _job()
+        job.complete(30.0, success=False)
+        assert job.outcome is JobOutcome.FAULT_EXHAUSTED
+
+    def test_kill(self):
+        job = _job()
+        job.kill(12.0)
+        assert job.outcome is JobOutcome.KILLED
+        assert job.finish_time == 12.0
+
+    def test_name_includes_attempt(self):
+        job = _job()
+        assert "#1" in job.name
+        job.start_next_attempt()
+        assert "#2" in job.name
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            _job(max_attempts=0)
+        task = Task("t", 100.0, 100.0, 10.0, CriticalityRole.HI)
+        with pytest.raises(ValueError, match="execution time"):
+            Job(task, 0.0, 100.0, 1, execution_time=-1.0)

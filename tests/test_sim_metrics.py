@@ -1,0 +1,129 @@
+"""Dedicated unit tests for the metrics container."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import HOUR_MS, Task, TaskSet
+from repro.sim.jobs import Job, JobOutcome
+from repro.sim.metrics import SimulationMetrics, TaskCounters
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _taskset():
+    return TaskSet(
+        [
+            Task("hi", 100, 100, 10, HI, 1e-3),
+            Task("lo", 200, 200, 20, LO, 1e-3),
+        ],
+        DualCriticalitySpec.from_names("B", "D"),
+    )
+
+
+def _job(task, outcome, release=0.0, finish=None, attempts=1):
+    job = Job(
+        task=task,
+        release=release,
+        absolute_deadline=release + task.deadline,
+        max_attempts=attempts,
+        execution_time=task.wcet,
+    )
+    job.outcome = outcome
+    job.finish_time = finish
+    return job
+
+
+class TestTaskCounters:
+    def test_record_buckets(self):
+        task = _taskset()[0]
+        counters = TaskCounters()
+        for outcome in (
+            JobOutcome.SUCCESS,
+            JobOutcome.FAULT_EXHAUSTED,
+            JobOutcome.DEADLINE_MISS,
+            JobOutcome.KILLED,
+            JobOutcome.PENDING,
+        ):
+            counters.record(_job(task, outcome, finish=50.0))
+        assert counters.success == 1
+        assert counters.fault_exhausted == 1
+        assert counters.deadline_miss == 1
+        assert counters.killed == 1
+        assert counters.unfinished == 1
+        assert counters.temporal_failures == 3
+
+    def test_response_statistics(self):
+        task = _taskset()[0]
+        counters = TaskCounters()
+        counters.record(_job(task, JobOutcome.SUCCESS, release=0.0, finish=30.0))
+        counters.record(_job(task, JobOutcome.SUCCESS, release=100.0,
+                             finish=110.0))
+        assert counters.max_response == 30.0
+        assert counters.mean_response == pytest.approx(20.0)
+        assert counters.responses == 2
+
+    def test_killed_jobs_excluded_from_response_stats(self):
+        task = _taskset()[0]
+        counters = TaskCounters()
+        counters.record(_job(task, JobOutcome.KILLED, finish=40.0))
+        assert counters.responses == 0
+        assert counters.max_response == 0.0
+
+
+class TestSimulationMetrics:
+    def test_hours_and_empirical_pfh(self):
+        ts = _taskset()
+        metrics = SimulationMetrics(ts, horizon=2 * HOUR_MS)
+        counters = metrics.counters("hi")
+        counters.fault_exhausted = 6
+        assert metrics.hours == 2.0
+        assert metrics.empirical_pfh(HI) == pytest.approx(3.0)
+        assert metrics.empirical_pfh(LO) == 0.0
+
+    def test_role_filters(self):
+        ts = _taskset()
+        metrics = SimulationMetrics(ts, horizon=1000.0)
+        metrics.counters("hi").released = 10
+        metrics.counters("lo").released = 4
+        metrics.counters("lo").killed = 2
+        assert metrics.released() == 14
+        assert metrics.released(HI) == 10
+        assert metrics.kills(LO) == 2
+        assert metrics.kills(HI) == 0
+
+    def test_unknown_task_names_ignored_in_sums(self):
+        ts = _taskset()
+        metrics = SimulationMetrics(ts, horizon=1000.0)
+        metrics.counters("ghost").released = 99  # not part of the set
+        assert metrics.released() == 0
+
+    def test_outcome_histogram(self):
+        ts = _taskset()
+        metrics = SimulationMetrics(ts, horizon=1000.0)
+        metrics.counters("hi").success = 3
+        metrics.counters("lo").killed = 2
+        hist = metrics.outcome_histogram()
+        assert hist["success"] == 3
+        assert hist["killed"] == 2
+        assert hist["deadline-miss"] == 0
+
+    def test_describe_mentions_roles_and_switch(self):
+        ts = _taskset()
+        metrics = SimulationMetrics(ts, horizon=1000.0)
+        metrics.mode_switch_time = 123.0
+        metrics.busy_time = 500.0
+        text = metrics.describe()
+        assert "HI:" in text and "LO:" in text
+        assert "mode switch at t=123" in text
+        assert "50.0%" in text
+
+    def test_utilization_observed_zero_horizon_safe(self):
+        metrics = SimulationMetrics(_taskset(), horizon=1000.0)
+        assert metrics.utilization_observed == 0.0
+
+    def test_hi_mode_entered(self):
+        metrics = SimulationMetrics(_taskset(), horizon=1000.0)
+        assert not metrics.hi_mode_entered
+        metrics.mode_switch_time = 10.0
+        assert metrics.hi_mode_entered

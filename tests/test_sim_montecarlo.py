@@ -1,0 +1,99 @@
+"""Tests for the Monte-Carlo PFH estimator."""
+
+import pytest
+
+from repro.core.ftmc import ft_edf_vd
+from repro.model.criticality import CriticalityRole
+from repro.sim.montecarlo import PFHEstimate, estimate_pfh
+
+
+class TestPFHEstimate:
+    def test_mean(self):
+        estimate = PFHEstimate(CriticalityRole.HI, hours=4.0, failures=8,
+                               released=1000, runs=4)
+        assert estimate.mean == 2.0
+
+    def test_zero_hours(self):
+        estimate = PFHEstimate(CriticalityRole.HI, hours=0.0, failures=0,
+                               released=0, runs=0)
+        assert estimate.mean == 0.0
+        assert estimate.confidence_interval() == (0.0, 0.0)
+
+    def test_interval_contains_mean(self):
+        estimate = PFHEstimate(CriticalityRole.LO, hours=10.0, failures=25,
+                               released=10_000, runs=10)
+        low, high = estimate.confidence_interval()
+        assert low <= estimate.mean <= high
+
+    def test_zero_failures_interval_starts_at_zero(self):
+        estimate = PFHEstimate(CriticalityRole.HI, hours=5.0, failures=0,
+                               released=100, runs=5)
+        low, high = estimate.confidence_interval()
+        assert low == 0.0
+        assert high > 0.0  # zero observations still leave uncertainty
+
+    def test_interval_narrows_with_exposure(self):
+        few = PFHEstimate(CriticalityRole.HI, hours=1.0, failures=10,
+                          released=100, runs=1)
+        many = PFHEstimate(CriticalityRole.HI, hours=100.0, failures=1000,
+                           released=10_000, runs=100)
+        few_width = few.confidence_interval()[1] - few.confidence_interval()[0]
+        many_width = (
+            many.confidence_interval()[1] - many.confidence_interval()[0]
+        )
+        assert many_width < few_width  # same rate, more data
+
+    def test_consistency_check(self):
+        estimate = PFHEstimate(CriticalityRole.HI, hours=10.0, failures=20,
+                               released=1000, runs=10)
+        assert estimate.consistent_with_bound(5.0)  # bound above the CI
+        assert not estimate.consistent_with_bound(0.01)  # clearly violated
+
+
+class TestEstimatePfh:
+    @pytest.fixture(scope="class")
+    def configured(self, request):
+        from repro.experiments.tables import example31_taskset
+
+        taskset = example31_taskset()
+        result = ft_edf_vd(taskset)
+        assert result.success
+        return taskset, result
+
+    def test_fault_free_sees_nothing(self, configured):
+        taskset, result = configured
+        estimate = estimate_pfh(
+            taskset, result, CriticalityRole.HI,
+            hours_per_run=0.05, runs=3, probability_scale=0.0,
+        )
+        assert estimate.failures == 0
+        assert estimate.released > 0
+        assert estimate.runs == 3
+
+    def test_scaled_faults_observed_on_lo(self, configured):
+        """LO tasks run once (n_LO = 1), so scaled faults show up."""
+        taskset, result = configured
+        estimate = estimate_pfh(
+            taskset, result, CriticalityRole.LO,
+            hours_per_run=0.1, runs=2, probability_scale=3000.0,
+        )
+        assert estimate.failures > 0
+        assert estimate.mean > 0.0
+
+    def test_deterministic_given_seed(self, configured):
+        taskset, result = configured
+        a = estimate_pfh(taskset, result, CriticalityRole.LO,
+                         hours_per_run=0.05, runs=2,
+                         probability_scale=3000.0, seed=9)
+        b = estimate_pfh(taskset, result, CriticalityRole.LO,
+                         hours_per_run=0.05, runs=2,
+                         probability_scale=3000.0, seed=9)
+        assert a.failures == b.failures
+
+    def test_validation(self, configured):
+        taskset, result = configured
+        with pytest.raises(ValueError, match="run"):
+            estimate_pfh(taskset, result, CriticalityRole.HI, runs=0)
+        with pytest.raises(ValueError, match="hours"):
+            estimate_pfh(taskset, result, CriticalityRole.HI,
+                         hours_per_run=0.0)

@@ -1,0 +1,102 @@
+"""Tests for the context-switch overhead model."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import FaultToleranceConfig, ReexecutionProfile
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.policies import EDFPolicy
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _system():
+    tasks = [Task("hi", 20, 20, 5, HI), Task("lo", 100, 100, 40, LO)]
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+def _config(ts):
+    return FaultToleranceConfig(reexecution=ReexecutionProfile.uniform(ts, 1, 1))
+
+
+class TestOverheadModel:
+    def test_zero_cost_is_default(self):
+        ts = _system()
+        metrics = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        assert metrics.overhead_time == 0.0
+
+    def test_negative_cost_rejected(self):
+        ts = _system()
+        with pytest.raises(ValueError, match="context switch"):
+            Simulator(ts, EDFPolicy(), _config(ts), context_switch_cost=-1.0)
+
+    def test_overhead_counted_per_dispatch(self):
+        """100 ms window: dispatches at 0 (hi), 5 (lo), 20/25, 40/45,
+        55 done... each job-to-job switch pays one unit."""
+        ts = _system()
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts), context_switch_cost=1.0
+        ).run(100.0)
+        assert metrics.overhead_time > 0.0
+        assert metrics.overhead_time == pytest.approx(9.0)
+
+    def test_busy_time_includes_overhead(self):
+        ts = _system()
+        without = Simulator(ts, EDFPolicy(), _config(ts)).run(100.0)
+        with_cost = Simulator(
+            ts, EDFPolicy(), _config(ts), context_switch_cost=1.0
+        ).run(100.0)
+        assert with_cost.busy_time == pytest.approx(
+            without.busy_time + with_cost.overhead_time
+        )
+
+    def test_single_task_pays_once_per_job(self):
+        ts = TaskSet(
+            [Task("a", 100, 100, 10, HI)],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts), context_switch_cost=2.0
+        ).run(1000.0)
+        # 10 jobs, each a fresh dispatch: 20 units of overhead.
+        assert metrics.overhead_time == pytest.approx(20.0)
+        assert metrics.deadline_misses() == 0
+
+    def test_large_cost_induces_misses(self):
+        """The analytical model ignores overhead; a large enough cost
+        breaks a nominally schedulable system — the ablation's point."""
+        ts = _system()
+        clean = Simulator(ts, EDFPolicy(), _config(ts)).run(1000.0)
+        assert clean.deadline_misses() == 0
+        heavy = Simulator(
+            ts, EDFPolicy(), _config(ts), context_switch_cost=8.0
+        ).run(1000.0)
+        assert heavy.deadline_misses() > 0
+
+    def test_overhead_monotone_in_cost(self):
+        ts = _system()
+        values = [
+            Simulator(
+                ts, EDFPolicy(), _config(ts), context_switch_cost=c
+            ).run(500.0).overhead_time
+            for c in (0.0, 0.5, 1.0, 2.0)
+        ]
+        assert values == sorted(values)
+
+    def test_overhead_preempted_by_release(self):
+        """A release landing inside the overhead window preempts it; the
+        engine must not lose time or deadlock."""
+        tasks = [Task("hi", 7, 7, 2, HI), Task("lo", 50, 50, 20, LO)]
+        ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+        metrics = Simulator(
+            ts, EDFPolicy(), _config(ts), context_switch_cost=3.0
+        ).run(200.0)
+        assert metrics.busy_time <= 200.0 + 1e-9
+        conservation = metrics.counters("hi")
+        assert conservation.released == (
+            conservation.success
+            + conservation.deadline_miss
+            + conservation.unfinished
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the scheduling policies' priority keys."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole
+from repro.model.task import Task
+from repro.sim.jobs import Job
+from repro.sim.policies import EDFPolicy, EDFVDPolicy, FixedPriorityPolicy
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _job(name, criticality, release, period=100.0, deadline=None):
+    task = Task(name, period, deadline or period, 10.0, criticality, 1e-5)
+    return Job(
+        task=task,
+        release=release,
+        absolute_deadline=release + task.deadline,
+        max_attempts=1,
+        execution_time=10.0,
+    )
+
+
+class TestEDFPolicy:
+    def test_orders_by_absolute_deadline(self):
+        policy = EDFPolicy()
+        early = _job("a", HI, 0.0, deadline=50.0)
+        late = _job("b", LO, 0.0, deadline=80.0)
+        assert policy.priority_key(early, False) < policy.priority_key(
+            late, False
+        )
+
+    def test_mode_oblivious(self):
+        policy = EDFPolicy()
+        job = _job("a", HI, 0.0)
+        assert policy.priority_key(job, False) == policy.priority_key(job, True)
+
+
+class TestFixedPriorityPolicy:
+    def test_orders_by_static_priority(self):
+        policy = FixedPriorityPolicy({"a": 2, "b": 1})
+        a = _job("a", HI, 0.0, deadline=10.0)
+        b = _job("b", LO, 0.0, deadline=500.0)
+        # b outranks a despite its later deadline.
+        assert policy.priority_key(b, False) < policy.priority_key(a, False)
+
+    def test_unknown_task_raises(self):
+        policy = FixedPriorityPolicy({})
+        with pytest.raises(KeyError, match="priority"):
+            policy.priority_key(_job("ghost", HI, 0.0), False)
+
+
+class TestEDFVDPolicy:
+    def test_virtual_deadline_for_hi_in_lo_mode(self):
+        policy = EDFVDPolicy(0.5)
+        hi = _job("hi", HI, 100.0, period=80.0, deadline=80.0)
+        assert policy.virtual_deadline(hi) == pytest.approx(100.0 + 40.0)
+        assert policy.priority_key(hi, False) == (140.0,)
+
+    def test_lo_tasks_keep_real_deadlines(self):
+        policy = EDFVDPolicy(0.5)
+        lo = _job("lo", LO, 100.0, period=80.0, deadline=80.0)
+        assert policy.virtual_deadline(lo) == 180.0
+
+    def test_hi_mode_restores_real_deadlines(self):
+        policy = EDFVDPolicy(0.5)
+        hi = _job("hi", HI, 100.0, period=80.0, deadline=80.0)
+        assert policy.priority_key(hi, True) == (180.0,)
+
+    def test_virtual_deadline_promotes_hi(self):
+        """The whole point of EDF-VD: x < 1 can flip the EDF order."""
+        policy = EDFVDPolicy(0.5)
+        hi = _job("hi", HI, 0.0, period=100.0, deadline=100.0)
+        lo = _job("lo", LO, 0.0, period=80.0, deadline=80.0)
+        plain = EDFPolicy()
+        assert plain.priority_key(lo, False) < plain.priority_key(hi, False)
+        assert policy.priority_key(hi, False) < policy.priority_key(lo, False)
+
+    @pytest.mark.parametrize("x", [0.0, -0.5, 1.01])
+    def test_factor_validation(self, x):
+        with pytest.raises(ValueError, match="factor"):
+            EDFVDPolicy(x)
+
+    def test_factor_one_degenerates_to_edf_for_implicit(self):
+        policy = EDFVDPolicy(1.0)
+        hi = _job("hi", HI, 0.0, period=100.0, deadline=100.0)
+        assert policy.virtual_deadline(hi) == hi.absolute_deadline

@@ -1,0 +1,176 @@
+"""Property-based tests for the discrete-event simulator.
+
+Random small systems and fault patterns, checking the structural
+invariants any correct uniprocessor simulation must satisfy.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+)
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.fault_injection import BernoulliFaultInjector
+from repro.sim.policies import EDFPolicy
+from repro.sim.trace import TraceRecorder
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+@st.composite
+def small_systems(draw):
+    """2-4 tasks with integer-ish parameters keeping runs short."""
+    n_tasks = draw(st.integers(2, 4))
+    tasks = []
+    for i in range(n_tasks):
+        period = float(draw(st.integers(20, 200)))
+        wcet = float(draw(st.integers(1, max(2, int(period // 4)))))
+        role = HI if i == 0 or draw(st.booleans()) else LO
+        tasks.append(
+            Task(
+                f"t{i}",
+                period,
+                period,
+                wcet,
+                role,
+                draw(st.sampled_from([0.0, 0.05, 0.2])),
+            )
+        )
+    if all(t.criticality is HI for t in tasks):
+        last = tasks[-1]
+        tasks[-1] = Task(last.name, last.period, last.deadline, last.wcet,
+                         LO, last.failure_probability)
+    return TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+
+
+@st.composite
+def configs(draw, taskset):
+    n_hi = draw(st.integers(1, 3))
+    n_lo = draw(st.integers(1, 2))
+    use_adaptation = draw(st.booleans())
+    mechanism_degrade = draw(st.booleans())
+    adaptation = None
+    df = None
+    if use_adaptation:
+        adaptation = AdaptationProfile.uniform(
+            taskset, draw(st.integers(1, n_hi))
+        )
+        if mechanism_degrade:
+            df = float(draw(st.sampled_from([2.0, 6.0])))
+    return FaultToleranceConfig(
+        reexecution=ReexecutionProfile.uniform(taskset, n_hi, n_lo),
+        adaptation=adaptation,
+        degradation_factor=df,
+    )
+
+
+@st.composite
+def scenarios(draw):
+    taskset = draw(small_systems())
+    config = draw(configs(taskset))
+    seed = draw(st.integers(0, 100))
+    return taskset, config, seed
+
+
+class TestSimulatorInvariants:
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_outcome_conservation(self, scenario):
+        """Every released job ends in exactly one outcome bucket."""
+        taskset, config, seed = scenario
+        metrics = Simulator(
+            taskset, EDFPolicy(), config, BernoulliFaultInjector(seed)
+        ).run(5_000.0)
+        for counters in metrics.per_task.values():
+            assert (
+                counters.success
+                + counters.fault_exhausted
+                + counters.deadline_miss
+                + counters.killed
+                + counters.unfinished
+                == counters.released
+            )
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_trace_segments_never_overlap(self, scenario):
+        """A uniprocessor executes at most one job at any instant."""
+        taskset, config, seed = scenario
+        trace = TraceRecorder()
+        Simulator(
+            taskset, EDFPolicy(), config, BernoulliFaultInjector(seed),
+            trace=trace,
+        ).run(5_000.0)
+        ordered = sorted(trace.segments, key=lambda s: s.start)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert earlier.end <= later.start + 1e-9
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_busy_time_consistent_with_trace(self, scenario):
+        taskset, config, seed = scenario
+        trace = TraceRecorder()
+        metrics = Simulator(
+            taskset, EDFPolicy(), config, BernoulliFaultInjector(seed),
+            trace=trace,
+        ).run(5_000.0)
+        assert trace.busy_time() <= 5_000.0 + 1e-6
+        assert abs(trace.busy_time() - metrics.busy_time) < 1e-6
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_kills_only_under_kill_mechanism(self, scenario):
+        taskset, config, seed = scenario
+        metrics = Simulator(
+            taskset, EDFPolicy(), config, BernoulliFaultInjector(seed)
+        ).run(5_000.0)
+        if config.mechanism != "kill":
+            assert metrics.kills() == 0
+        if config.mechanism == "none":
+            assert not metrics.hi_mode_entered
+        if metrics.kills() > 0:
+            assert metrics.hi_mode_entered
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_executions_bounded_by_profiles(self, scenario):
+        """A task never executes more than released * n_i times."""
+        taskset, config, seed = scenario
+        metrics = Simulator(
+            taskset, EDFPolicy(), config, BernoulliFaultInjector(seed)
+        ).run(5_000.0)
+        for task in taskset:
+            counters = metrics.counters(task.name)
+            assert counters.executions <= (
+                counters.released * config.reexecution[task]
+            )
+
+    @given(scenarios())
+    @settings(max_examples=40, deadline=None)
+    def test_fault_free_run_sees_no_faults(self, scenario):
+        taskset, config, _ = scenario
+        metrics = Simulator(taskset, EDFPolicy(), config).run(5_000.0)
+        for counters in metrics.per_task.values():
+            assert counters.faults_injected == 0
+            assert counters.fault_exhausted == 0
+        assert not metrics.hi_mode_entered
+
+    @given(scenarios())
+    @settings(max_examples=25, deadline=None)
+    def test_determinism(self, scenario):
+        taskset, config, seed = scenario
+
+        def run():
+            return Simulator(
+                taskset, EDFPolicy(), config, BernoulliFaultInjector(seed)
+            ).run(5_000.0)
+
+        assert run().outcome_histogram() == run().outcome_histogram()

@@ -1,0 +1,136 @@
+"""Tests for the FT-S -> simulator wiring and cross-validation runs."""
+
+import pytest
+
+from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
+from repro.model.criticality import CriticalityRole
+from repro.sim.runtime import build_simulator, simulate_ft_result
+
+
+class TestBuildSimulator:
+    def test_rejects_failed_results(self, fms):
+        failed = ft_edf_vd(fms)  # FMS killing fails (Fig. 1)
+        assert not failed.success
+        with pytest.raises(ValueError, match="failed FT-S"):
+            build_simulator(fms, failed)
+
+    def test_kill_configuration(self, example31):
+        result = ft_edf_vd(example31)
+        sim = build_simulator(example31, result)
+        assert sim.config.mechanism == "kill"
+        assert sim.config.reexecution["tau1"] == 3
+        assert sim.config.adaptation["tau1"] == 2
+
+    def test_degrade_configuration(self, fms):
+        result = ft_edf_vd_degradation(fms, 6.0)
+        sim = build_simulator(fms, result)
+        assert sim.config.mechanism == "degrade"
+        assert sim.config.degradation_factor == 6.0
+
+    def test_policy_uses_analysis_x(self, example31):
+        from repro.sim.policies import EDFVDPolicy
+
+        result = ft_edf_vd(example31)
+        sim = build_simulator(example31, result)
+        assert isinstance(sim.policy, EDFVDPolicy)
+        assert sim.policy.x == pytest.approx(0.7556, abs=1e-3)
+
+
+class TestFaultFreeValidation:
+    """With no faults injected, an FT-S-accepted system must not miss."""
+
+    def test_example31_no_misses(self, example31):
+        result = ft_edf_vd(example31)
+        metrics = simulate_ft_result(
+            example31, result, horizon=360_000.0, seed=1, probability_scale=0.0
+        )
+        assert metrics.deadline_misses() == 0
+        assert not metrics.hi_mode_entered
+
+    def test_fms_degradation_no_misses(self, fms):
+        result = ft_edf_vd_degradation(fms, 6.0)
+        metrics = simulate_ft_result(
+            fms, result, horizon=360_000.0, seed=1, probability_scale=0.0
+        )
+        assert metrics.deadline_misses() == 0
+
+
+class TestFaultyValidation:
+    def test_hi_tasks_never_miss_under_heavy_faults(self, example31):
+        """The MC guarantee: HI deadlines hold through mode switches."""
+        result = ft_edf_vd(example31)
+        metrics = simulate_ft_result(
+            example31,
+            result,
+            horizon=720_000.0,
+            seed=3,
+            probability_scale=1000.0,  # f = 1e-2 per execution
+        )
+        assert metrics.deadline_misses(CriticalityRole.HI) == 0
+        assert metrics.fault_exhaustions(CriticalityRole.HI) >= 0
+
+    def test_mode_switch_happens_with_inflated_faults(self, example31):
+        result = ft_edf_vd(example31)
+        metrics = simulate_ft_result(
+            example31,
+            result,
+            horizon=3_600_000.0,
+            seed=3,
+            probability_scale=5000.0,  # f = 5e-2: third attempts certain
+        )
+        assert metrics.hi_mode_entered
+        assert metrics.kills(CriticalityRole.LO) >= 0
+
+    def test_seed_reproducibility(self, example31):
+        result = ft_edf_vd(example31)
+        a = simulate_ft_result(example31, result, 360_000.0, seed=11,
+                               probability_scale=1000.0)
+        b = simulate_ft_result(example31, result, 360_000.0, seed=11,
+                               probability_scale=1000.0)
+        assert a.outcome_histogram() == b.outcome_histogram()
+
+    def test_different_seeds_differ(self, example31):
+        result = ft_edf_vd(example31)
+        a = simulate_ft_result(example31, result, 720_000.0, seed=1,
+                               probability_scale=2000.0)
+        b = simulate_ft_result(example31, result, 720_000.0, seed=2,
+                               probability_scale=2000.0)
+        assert (
+            a.counters("tau1").faults_injected
+            != b.counters("tau1").faults_injected
+            or a.outcome_histogram() != b.outcome_histogram()
+        )
+
+
+class TestEmpiricalAgainstAnalytical:
+    def test_empirical_pfh_below_analytical_bound(self, example31):
+        """Scaled-fault simulation stays under the matching eq.-(2) bound.
+
+        With scale s, the empirical per-hour failure rate of the HI level
+        must (statistically) stay below the analytical bound computed at
+        the scaled probability — the bound is conservative.
+        """
+        from repro.model.faults import ReexecutionProfile
+        from repro.model.task import Task, TaskSet
+        from repro.safety.pfh import pfh_plain
+
+        scale = 2000.0  # f = 0.02
+        result = ft_edf_vd(example31)
+        metrics = simulate_ft_result(
+            example31, result, horizon=10 * 3_600_000.0, seed=7,
+            probability_scale=scale,
+        )
+        scaled_tasks = [
+            Task(t.name, t.period, t.deadline, t.wcet, t.criticality,
+                 t.failure_probability * scale)
+            for t in example31
+        ]
+        scaled = TaskSet(scaled_tasks, example31.spec)
+        profile = ReexecutionProfile.uniform(scaled, result.n_hi, result.n_lo)
+        bound = pfh_plain(scaled, CriticalityRole.HI, profile)
+        # Failure counts are Poisson around (at most) bound * hours; allow
+        # four standard deviations of sampling noise.
+        hours = 10.0
+        expected = bound * hours
+        observed = metrics.temporal_failures(CriticalityRole.HI)
+        assert observed <= expected + 4.0 * expected**0.5

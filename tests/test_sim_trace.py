@@ -1,0 +1,128 @@
+"""Tests for the execution trace recorder and its engine integration."""
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.faults import (
+    AdaptationProfile,
+    FaultToleranceConfig,
+    ReexecutionProfile,
+)
+from repro.model.task import Task, TaskSet
+from repro.sim.engine import Simulator
+from repro.sim.fault_injection import ScriptedFaultInjector
+from repro.sim.policies import EDFPolicy
+from repro.sim.trace import Segment, TraceEventKind, TraceRecorder
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def _run(tasks, horizon, injector=None, adaptation=None, n_hi=1):
+    ts = TaskSet(tasks, DualCriticalitySpec.from_names("B", "D"))
+    config = FaultToleranceConfig(
+        reexecution=ReexecutionProfile.uniform(ts, n_hi, 1),
+        adaptation=(
+            AdaptationProfile.uniform(ts, adaptation)
+            if adaptation is not None
+            else None
+        ),
+    )
+    trace = TraceRecorder()
+    sim = Simulator(ts, EDFPolicy(), config, injector, trace=trace)
+    metrics = sim.run(horizon)
+    return trace, metrics
+
+
+class TestSegments:
+    def test_contiguous_execution_merges(self):
+        trace, _ = _run([Task("a", 100, 100, 10, HI)], 100.0)
+        segments = trace.segments_of("a")
+        assert segments == [Segment("a", 0.0, 10.0, 1)]
+
+    def test_preemption_splits_segments(self):
+        trace, _ = _run(
+            [Task("hi", 20, 20, 5, HI), Task("lo", 100, 100, 40, LO)], 100.0
+        )
+        lo_segments = trace.segments_of("lo")
+        assert len(lo_segments) >= 3  # split by the HI releases
+
+    def test_busy_time_matches_metrics(self):
+        trace, metrics = _run(
+            [Task("a", 50, 50, 7, HI), Task("b", 80, 80, 11, LO)], 400.0
+        )
+        assert trace.busy_time() == pytest.approx(metrics.busy_time)
+
+    def test_attempts_distinguished(self):
+        injector = ScriptedFaultInjector({"a": [True, False]})
+        trace, _ = _run(
+            [Task("a", 100, 100, 10, HI, 0.5)], 100.0, injector, n_hi=2
+        )
+        attempts = {s.attempt for s in trace.segments_of("a")}
+        assert attempts == {1, 2}
+
+
+class TestEvents:
+    def test_release_events(self):
+        trace, _ = _run([Task("a", 100, 100, 10, HI)], 300.0)
+        releases = trace.events_of(TraceEventKind.RELEASE)
+        assert [e.time for e in releases] == [0.0, 100.0, 200.0]
+
+    def test_fault_and_completion_events(self):
+        injector = ScriptedFaultInjector({"a": [True, False]})
+        trace, _ = _run(
+            [Task("a", 100, 100, 10, HI, 0.5)], 100.0, injector, n_hi=2
+        )
+        assert len(trace.events_of(TraceEventKind.FAULT)) == 1
+        assert len(trace.events_of(TraceEventKind.ATTEMPT_OK)) == 1
+        assert len(trace.events_of(TraceEventKind.COMPLETE)) == 1
+
+    def test_mode_switch_and_kill_events(self):
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        trace, metrics = _run(
+            [
+                Task("hi", 100, 100, 10, HI, 0.5),
+                Task("lo", 100, 100, 50, LO),
+            ],
+            400.0,
+            injector,
+            adaptation=2,
+            n_hi=3,
+        )
+        assert trace.mode_switch_time is not None
+        assert trace.mode_switch_time == metrics.mode_switch_time
+        assert len(trace.events_of(TraceEventKind.KILL)) >= 1
+
+    def test_no_mode_switch_without_trigger(self):
+        trace, _ = _run([Task("a", 100, 100, 10, HI)], 300.0)
+        assert trace.mode_switch_time is None
+
+
+class TestGantt:
+    def test_renders_rows_per_task(self):
+        trace, _ = _run(
+            [Task("a", 50, 50, 7, HI), Task("b", 80, 80, 11, LO)], 200.0
+        )
+        chart = trace.gantt()
+        lines = chart.splitlines()
+        assert any(line.startswith("a ") for line in lines)
+        assert any(line.startswith("b ") for line in lines)
+        assert "#" in chart
+
+    def test_empty_trace(self):
+        assert "no execution" in TraceRecorder().gantt()
+
+    def test_mode_switch_marker(self):
+        injector = ScriptedFaultInjector({"hi": [True, True, False]})
+        trace, _ = _run(
+            [
+                Task("hi", 100, 100, 10, HI, 0.5),
+                Task("lo", 100, 100, 50, LO),
+            ],
+            400.0,
+            injector,
+            adaptation=2,
+            n_hi=3,
+        )
+        chart = trace.gantt()
+        assert "mode switch at" in chart

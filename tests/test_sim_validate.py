@@ -1,0 +1,59 @@
+"""Tests for the simulation-based validation campaign."""
+
+import pytest
+
+from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
+from repro.sim.validate import ValidationReport, validate_by_simulation
+
+
+class TestValidationReport:
+    def test_passes_without_misses(self):
+        report = ValidationReport(runs=5, horizon=1e5, probability_scale=100.0)
+        assert report.passed
+        assert "PASS" in report.describe()
+
+    def test_fails_with_misses(self):
+        report = ValidationReport(runs=5, horizon=1e5, probability_scale=100.0,
+                                  hi_misses=2, failing_seeds=[3])
+        assert not report.passed
+        text = report.describe()
+        assert "FAIL" in text
+        assert "[3]" in text
+
+
+class TestValidateBySimulation:
+    def test_example31_configuration_passes(self, example31):
+        result = ft_edf_vd(example31)
+        report = validate_by_simulation(
+            example31, result, runs=4, horizon=200_000.0,
+            probability_scale=1000.0, seed=1,
+        )
+        assert report.passed
+        assert report.hi_jobs > 0
+        assert report.runs == 4
+
+    def test_fms_degradation_passes(self, fms):
+        result = ft_edf_vd_degradation(fms, 6.0)
+        report = validate_by_simulation(
+            fms, result, runs=4, horizon=200_000.0,
+            probability_scale=500.0, seed=2,
+        )
+        assert report.passed
+
+    def test_mode_switches_observed_at_high_scale(self, example31):
+        result = ft_edf_vd(example31)
+        report = validate_by_simulation(
+            example31, result, runs=2, horizon=2_000_000.0,
+            probability_scale=5000.0, seed=0,
+        )
+        assert report.mode_switches >= 1
+
+    def test_rejects_failed_results(self, fms):
+        failed = ft_edf_vd(fms)
+        with pytest.raises(ValueError, match="successful"):
+            validate_by_simulation(fms, failed)
+
+    def test_rejects_zero_runs(self, example31):
+        result = ft_edf_vd(example31)
+        with pytest.raises(ValueError, match="run"):
+            validate_by_simulation(example31, result, runs=0)

@@ -1,0 +1,208 @@
+"""Unit tests for the sporadic task model (Section 2.1)."""
+
+import math
+
+import pytest
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import HOUR_MS, Task, TaskSet
+
+
+def _task(**overrides) -> Task:
+    params = dict(
+        name="t",
+        period=100.0,
+        deadline=100.0,
+        wcet=10.0,
+        criticality=CriticalityRole.HI,
+        failure_probability=1e-5,
+    )
+    params.update(overrides)
+    return Task(**params)
+
+
+class TestTaskValidation:
+    def test_hour_constant(self):
+        assert HOUR_MS == 3_600_000.0
+
+    @pytest.mark.parametrize("period", [0.0, -1.0])
+    def test_rejects_nonpositive_period(self, period):
+        with pytest.raises(ValueError, match="period"):
+            _task(period=period)
+
+    @pytest.mark.parametrize("deadline", [0.0, -5.0])
+    def test_rejects_nonpositive_deadline(self, deadline):
+        with pytest.raises(ValueError, match="deadline"):
+            _task(deadline=deadline)
+
+    def test_rejects_negative_wcet(self):
+        with pytest.raises(ValueError, match="WCET"):
+            _task(wcet=-1.0)
+
+    def test_zero_wcet_allowed(self):
+        assert _task(wcet=0.0).utilization == 0.0
+
+    @pytest.mark.parametrize("f", [-0.1, 1.0, 1.5])
+    def test_rejects_failure_probability_outside_unit(self, f):
+        with pytest.raises(ValueError, match="failure probability"):
+            _task(failure_probability=f)
+
+    def test_rejects_wcet_exceeding_both_bounds(self):
+        with pytest.raises(ValueError, match="exceeds both"):
+            _task(wcet=150.0)
+
+    def test_wcet_above_deadline_but_below_period_allowed(self):
+        # Arbitrary-deadline model: D < C <= T is a legal (if tight) task.
+        task = _task(deadline=5.0, wcet=10.0, period=100.0)
+        assert task.wcet == 10.0
+
+
+class TestTaskProperties:
+    def test_utilization(self):
+        assert _task(wcet=25.0, period=100.0).utilization == 0.25
+
+    def test_density_uses_min_of_deadline_and_period(self):
+        task = _task(wcet=10.0, deadline=50.0, period=100.0)
+        assert task.density == pytest.approx(0.2)
+
+    def test_implicit_deadline_detection(self):
+        assert _task().is_implicit_deadline
+        assert not _task(deadline=80.0).is_implicit_deadline
+
+    def test_constrained_deadline_detection(self):
+        assert _task(deadline=80.0).is_constrained_deadline
+        assert not _task(deadline=120.0).is_constrained_deadline
+
+    def test_with_period_preserves_deadline(self):
+        task = _task()
+        stretched = task.with_period(600.0)
+        assert stretched.period == 600.0
+        assert stretched.deadline == task.deadline
+        assert stretched.wcet == task.wcet
+
+    def test_scaled_wcet(self):
+        assert _task(wcet=4.0).scaled_wcet(3) == 12.0
+
+    def test_scaled_wcet_rejects_negative(self):
+        with pytest.raises(ValueError):
+            _task().scaled_wcet(-1)
+
+    def test_tasks_are_immutable(self):
+        with pytest.raises(AttributeError):
+            _task().wcet = 5.0  # type: ignore[misc]
+
+
+class TestTaskSet:
+    def test_iteration_preserves_order(self, example31):
+        names = [t.name for t in example31]
+        assert names == ["tau1", "tau2", "tau3", "tau4", "tau5"]
+
+    def test_len_and_indexing(self, example31):
+        assert len(example31) == 5
+        assert example31[0].name == "tau1"
+
+    def test_lookup_by_name(self, example31):
+        assert example31.task("tau3").wcet == 7.0
+        with pytest.raises(KeyError):
+            example31.task("missing")
+
+    def test_rejects_duplicate_names(self):
+        task = _task()
+        with pytest.raises(ValueError, match="duplicate"):
+            TaskSet([task, task])
+
+    def test_criticality_partition(self, example31):
+        assert [t.name for t in example31.hi_tasks] == ["tau1", "tau2"]
+        assert [t.name for t in example31.lo_tasks] == ["tau3", "tau4", "tau5"]
+
+    def test_utilization_total_matches_example31(self, example31):
+        # U = 5/60 + 4/25 + 7/40 + 6/90 + 8/70
+        expected = 5 / 60 + 4 / 25 + 7 / 40 + 6 / 90 + 8 / 70
+        assert example31.utilization() == pytest.approx(expected)
+
+    def test_utilization_by_role(self, example31):
+        assert example31.utilization(CriticalityRole.HI) == pytest.approx(
+            5 / 60 + 4 / 25
+        )
+        assert example31.utilization(CriticalityRole.LO) == pytest.approx(
+            7 / 40 + 6 / 90 + 8 / 70
+        )
+
+    def test_example31_inflated_utilization_matches_paper(self, example31):
+        # Paper: U = 3 * U_HI + U_LO = 1.08595
+        inflated = 3 * example31.utilization(
+            CriticalityRole.HI
+        ) + example31.utilization(CriticalityRole.LO)
+        assert inflated == pytest.approx(1.08595, abs=1e-5)
+
+    def test_scaled_utilization(self, example31):
+        scaled = example31.scaled_utilization(CriticalityRole.HI, lambda t: 3)
+        assert scaled == pytest.approx(3 * (5 / 60 + 4 / 25))
+
+    def test_implicit_deadline_flags(self, example31):
+        assert example31.is_implicit_deadline
+        assert example31.is_constrained_deadline
+
+    def test_hyperperiod(self, two_task_set):
+        assert two_task_set.hyperperiod() == 100.0
+
+    def test_hyperperiod_rejects_non_integer_periods(self):
+        tasks = [
+            _task(name="a", period=10.5),
+            _task(name="b", period=7.0, criticality=CriticalityRole.LO),
+        ]
+        ts = TaskSet(tasks)
+        with pytest.raises(ValueError, match="hyperperiod"):
+            ts.hyperperiod()
+
+    def test_with_tasks_keeps_spec(self, example31):
+        subset = example31.with_tasks(example31.tasks[:2], name="sub")
+        assert subset.spec == example31.spec
+        assert len(subset) == 2
+        assert subset.name == "sub"
+
+    def test_with_spec_swaps_binding(self, example31):
+        new_spec = DualCriticalitySpec.from_names("A", "E")
+        swapped = example31.with_spec(new_spec)
+        assert swapped.spec == new_spec
+        assert [t.name for t in swapped] == [t.name for t in example31]
+
+    def test_degraded_stretches_only_lo_periods(self, example31):
+        degraded = example31.degraded(6.0)
+        for original, stretched in zip(example31, degraded):
+            if original.criticality is CriticalityRole.LO:
+                assert stretched.period == pytest.approx(6.0 * original.period)
+            else:
+                assert stretched.period == original.period
+            assert stretched.deadline == original.deadline
+
+    def test_degraded_rejects_factor_below_one(self, example31):
+        with pytest.raises(ValueError, match="factor"):
+            example31.degraded(0.5)
+
+    def test_degraded_identity_factor(self, example31):
+        same = example31.degraded(1.0)
+        assert same.utilization() == pytest.approx(example31.utilization())
+
+    def test_describe_mentions_every_task(self, example31):
+        text = example31.describe()
+        for task in example31:
+            assert task.name in text
+        assert "U = " in text
+
+    def test_empty_taskset(self):
+        empty = TaskSet([])
+        assert len(empty) == 0
+        assert empty.utilization() == 0.0
+        assert empty.is_implicit_deadline  # vacuously
+
+    def test_degraded_utilization_shrinks(self, example31):
+        degraded = example31.degraded(2.0)
+        assert degraded.utilization() < example31.utilization()
+        assert degraded.utilization(CriticalityRole.HI) == pytest.approx(
+            example31.utilization(CriticalityRole.HI)
+        )
+
+    def test_spec_optional(self):
+        ts = TaskSet([_task()])
+        assert ts.spec is None
