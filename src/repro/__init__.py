@@ -52,6 +52,16 @@ from repro.model import (
     TaskSet,
 )
 from repro.io import load_taskset, save_taskset
+from repro.lint import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+    lint_file,
+    lint_mc_taskset,
+    lint_taskset,
+    validate_taskset,
+)
 from repro.report import AnalysisReport, analyse_system, render_report
 from repro.safety import (
     pfh_lo_degradation,
@@ -91,6 +101,14 @@ __all__ = [
     "survival_probability",
     "load_taskset",
     "save_taskset",
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "lint_file",
+    "lint_mc_taskset",
+    "lint_taskset",
+    "validate_taskset",
     "AnalysisReport",
     "analyse_system",
     "render_report",

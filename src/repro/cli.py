@@ -12,6 +12,16 @@ Regenerates any table or figure of the paper from the terminal::
     ftmc all --sets 50     # everything, CSVs into --output-dir
 
 CSV files are written when ``--output-dir`` is given.
+
+Static analysis (see ``docs/lint.md`` for the rule catalog)::
+
+    ftmc lint system.json            # diagnose a task-set document
+    ftmc lint system.json --format json --strict
+    ftmc selfcheck                   # AST self-analysis of src/repro
+
+Exit codes for ``lint``/``selfcheck``: 0 clean, 1 errors, 2 warnings
+present under ``--strict``.  Malformed or missing input files yield a
+one-line diagnostic and a nonzero exit, never a traceback.
 """
 
 from __future__ import annotations
@@ -90,11 +100,26 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3", "table4",
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
+            "lint", "selfcheck",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
-            "'backends'/'sensitivity'/'validate' for the extension studies"
+            "'backends'/'sensitivity'/'validate' for the extension "
+            "studies; 'lint'/'selfcheck' for static analysis"
         ),
+    )
+    parser.add_argument(
+        "path", nargs="?", default=None, metavar="FILE.json",
+        help="task-set JSON to check (for 'lint')",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        dest="output_format",
+        help="diagnostics format for 'lint'/'selfcheck' (default text)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="treat warnings as fatal: exit 2 when any warning fires",
     )
     parser.add_argument(
         "--system", default=None, metavar="FILE.json",
@@ -133,14 +158,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _fail(message: str) -> int:
+    """One-line diagnostic on stderr; the CLI never shows a traceback."""
+    print(f"ftmc: error: {message}", file=sys.stderr)
+    return 2
+
+
 def _run_analyze(args: argparse.Namespace) -> int:
+    import json
+
     from repro.io import load_taskset
     from repro.report import analyse_system, render_report
 
     if args.system is None:
         print("error: 'analyze' needs --system FILE.json", file=sys.stderr)
         return 2
-    taskset = load_taskset(args.system)
+    try:
+        taskset = load_taskset(args.system)
+    except OSError as exc:
+        return _fail(f"cannot read {args.system}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        return _fail(
+            f"{args.system} is not valid JSON: {exc.msg} "
+            f"(line {exc.lineno}, column {exc.colno})"
+        )
+    except (ValueError, TypeError, KeyError) as exc:
+        return _fail(f"{args.system}: {exc}")
     report = analyse_system(
         taskset,
         operation_hours=args.operation_hours,
@@ -148,6 +191,32 @@ def _run_analyze(args: argparse.Namespace) -> int:
     )
     print(render_report(report))
     return 0 if report.feasible else 1
+
+
+def _emit_lint_report(report, subject: str, args: argparse.Namespace) -> int:
+    if args.output_format == "json":
+        print(report.render_json(subject))
+    else:
+        print(report.render_text(subject))
+    return report.exit_code(strict=args.strict)
+
+
+def _run_lint(args: argparse.Namespace) -> int:
+    from repro.lint.engine import lint_file
+
+    path = args.path or args.system
+    if path is None:
+        return _fail("'lint' needs a task-set file: ftmc lint FILE.json")
+    return _emit_lint_report(lint_file(path), path, args)
+
+
+def _run_selfcheck(args: argparse.Namespace) -> int:
+    from repro.lint.codecheck import default_root, selfcheck
+
+    root = args.path or default_root()
+    if not os.path.isdir(root):
+        return _fail(f"'selfcheck' target is not a directory: {root}")
+    return _emit_lint_report(selfcheck(root), root, args)
 
 
 def _run_backends(args: argparse.Namespace) -> None:
@@ -206,6 +275,10 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "analyze":
         return _run_analyze(args)
+    if args.experiment == "lint":
+        return _run_lint(args)
+    if args.experiment == "selfcheck":
+        return _run_selfcheck(args)
     if args.experiment == "backends":
         _run_backends(args)
         return 0

@@ -113,6 +113,7 @@ def ft_schedule(
     operation_hours: float = DEFAULT_OPERATION_HOURS,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
     assume_full_wcet: bool = True,
+    validate: bool = False,
 ) -> FTSResult:
     """Run FT-S (Algorithm 1) with the given scheduler backend.
 
@@ -131,6 +132,11 @@ def ft_schedule(
         Search ceiling for the re-execution profiles of line 2.
     assume_full_wcet:
         Footnote 1 of the paper (see :func:`repro.safety.pfh.max_rounds`).
+    validate:
+        Run the model lint rules (:func:`repro.lint.validate_taskset`)
+        before searching profiles, raising
+        :class:`repro.lint.LintError` on error-severity findings instead
+        of computing an answer from a precondition-violating input.
 
     Returns
     -------
@@ -138,6 +144,10 @@ def ft_schedule(
         ``success=True`` guarantees (Theorem 4.1) that both safety and
         schedulability hold with the reported profiles.
     """
+    if validate:
+        from repro.lint.engine import validate_taskset
+
+        validate_taskset(taskset)
 
     def fail(reason: FTSFailure, **fields) -> FTSResult:
         return FTSResult(
@@ -209,6 +219,7 @@ def ft_edf_vd(
     operation_hours: float = DEFAULT_OPERATION_HOURS,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
     assume_full_wcet: bool = True,
+    validate: bool = False,
 ) -> FTSResult:
     """Fault-Tolerant EDF-VD (Algorithm 2): FT-S with task killing."""
     return ft_schedule(
@@ -217,6 +228,7 @@ def ft_edf_vd(
         operation_hours=operation_hours,
         max_n=max_n,
         assume_full_wcet=assume_full_wcet,
+        validate=validate,
     )
 
 
@@ -226,6 +238,7 @@ def ft_edf_vd_degradation(
     operation_hours: float = DEFAULT_OPERATION_HOURS,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
     assume_full_wcet: bool = True,
+    validate: bool = False,
 ) -> FTSResult:
     """FT-S with EDF-VD + service degradation (Appendix B.0.2)."""
     return ft_schedule(
@@ -234,4 +247,5 @@ def ft_edf_vd_degradation(
         operation_hours=operation_hours,
         max_n=max_n,
         assume_full_wcet=assume_full_wcet,
+        validate=validate,
     )

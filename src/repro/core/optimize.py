@@ -53,6 +53,7 @@ def minimal_per_task_reexecution(
     pfh_ceiling: float,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
     assume_full_wcet: bool = True,
+    validate: bool = False,
 ) -> PerTaskProfileResult | None:
     """Per-task profiles meeting ``pfh(role) <= ceiling`` at low load.
 
@@ -61,9 +62,16 @@ def minimal_per_task_reexecution(
     PFH-reduction-per-utilization ratio.  Returns ``None`` when even
     ``n_i = max_n`` everywhere cannot reach the ceiling.
 
+    With ``validate=True`` the model lint rules run first and raise
+    :class:`repro.lint.LintError` on error-severity findings.
+
     The loop terminates: each step strictly decreases some task's term and
     profiles are bounded by ``max_n``.
     """
+    if validate:
+        from repro.lint.engine import validate_taskset
+
+        validate_taskset(taskset)
     tasks = list(taskset.by_criticality(role))
     if not tasks:
         return PerTaskProfileResult(ReexecutionProfile({}), 0.0, 0.0)
@@ -119,6 +127,7 @@ def search_per_task_adaptation(
     backend,
     operation_hours: float,
     assume_full_wcet: bool = True,
+    validate: bool = False,
 ) -> PerTaskAdaptationResult:
     """Per-task killing/degradation profiles (relaxing Section 4.2 again).
 
@@ -138,6 +147,10 @@ def search_per_task_adaptation(
     from repro.safety.degradation import pfh_lo_degradation
     from repro.safety.killing import pfh_lo_killing
 
+    if validate:
+        from repro.lint.engine import validate_taskset
+
+        validate_taskset(taskset)
     if taskset.spec is None:
         raise ValueError("task set has no dual-criticality spec attached")
     reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)

@@ -1,0 +1,103 @@
+"""``repro.lint`` — static analysis for task sets, profiles and the code.
+
+Two front ends:
+
+- **Model linting** — a rule registry (``FTMC0xx`` codes) over the
+  sporadic task model, fault/profile consistency, the Vestal MC model
+  and the Lemma 4.1 conversion round trip.  Entry points:
+  :func:`lint_taskset`, :func:`lint_mc_taskset`, :func:`lint_profiles`,
+  :func:`lint_conversion`, :func:`lint_file`, :func:`validate_taskset`.
+- **Code self-analysis** — an AST pass (``FTMCC0x`` codes) enforcing
+  repository invariants over ``src/repro`` itself:
+  :func:`repro.lint.codecheck.selfcheck`.
+
+The full rule catalog with severities and exit-code semantics lives in
+``docs/lint.md``.
+
+.. note::
+   The model layer imports :mod:`repro.lint.checks` for its constructor
+   validation, so this ``__init__`` must not import the engine (which
+   imports the model) at module scope.  Engine-level names are loaded
+   lazily via PEP 562 ``__getattr__`` instead — ``from repro.lint import
+   lint_taskset`` works as usual, without the circular import.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lint.checks import (
+    check_mc_task_fields,
+    check_task_fields,
+    check_unique_names,
+    raise_on_error,
+)
+from repro.lint.diagnostics import (
+    EXIT_CLEAN,
+    EXIT_ERRORS,
+    EXIT_STRICT_WARNINGS,
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_STRICT_WARNINGS",
+    "check_task_fields",
+    "check_mc_task_fields",
+    "check_unique_names",
+    "raise_on_error",
+    # Lazily loaded (see __getattr__):
+    "lint_taskset",
+    "lint_mc_taskset",
+    "lint_profiles",
+    "lint_conversion",
+    "lint_file",
+    "validate_taskset",
+    "selfcheck",
+    "rule_catalog",
+    "RULES",
+]
+
+_ENGINE_NAMES = frozenset(
+    {
+        "lint_taskset",
+        "lint_mc_taskset",
+        "lint_profiles",
+        "lint_conversion",
+        "lint_file",
+        "validate_taskset",
+    }
+)
+_CODECHECK_NAMES = frozenset({"selfcheck"})
+_REGISTRY_NAMES = frozenset({"rule_catalog", "RULES"})
+
+
+def __getattr__(name: str) -> Any:
+    if name in _ENGINE_NAMES:
+        from repro.lint import engine
+
+        return getattr(engine, name)
+    if name in _CODECHECK_NAMES:
+        from repro.lint import codecheck
+
+        return getattr(codecheck, name)
+    if name in _REGISTRY_NAMES:
+        # The registry is importable eagerly, but rules register on first
+        # engine import — load the engine so the catalog is complete.
+        from repro.lint import engine  # noqa: F401
+        from repro.lint import registry
+
+        return getattr(registry, name)
+    raise AttributeError(f"module 'repro.lint' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

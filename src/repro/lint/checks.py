@@ -1,0 +1,211 @@
+"""Shared structural checks: one implementation for lint and model.
+
+These functions are the single source of truth for the per-task
+invariants of the sporadic model (Section 2.1) and the Vestal MC model
+(Section 2.2).  The lint rules call them to produce diagnostics; the
+model constructors (:class:`repro.model.task.Task`,
+:class:`repro.model.mc_task.MCTask`, ...) call them and raise
+``ValueError`` on the first error, so validation messages are identical
+no matter which path rejects the input.
+
+Only :mod:`repro.lint.diagnostics` and the dependency-free
+:mod:`repro.model.criticality` are imported here — keeping the module
+safely importable from inside the model layer.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.model.criticality import CriticalityRole
+
+__all__ = [
+    "check_task_fields",
+    "check_mc_task_fields",
+    "check_unique_names",
+    "raise_on_error",
+]
+
+
+def _bad_number(value: float) -> bool:
+    """Whether a claimed numeric field failed to parse or is non-finite."""
+    return not math.isfinite(value)
+
+
+def check_task_fields(
+    name: str,
+    period: float,
+    deadline: float,
+    wcet: float,
+    failure_probability: float,
+) -> list[Diagnostic]:
+    """Structural invariants of one sporadic task (FTMC001-004, FTMC010).
+
+    Every message is prefixed with the task name so reports stay readable
+    when many tasks are diagnosed at once.
+    """
+    diags: list[Diagnostic] = []
+    if _bad_number(period) or period <= 0:
+        diags.append(
+            Diagnostic(
+                "FTMC001",
+                Severity.ERROR,
+                name,
+                f"{name}: period must be positive, got {period}",
+                suggestion="set a positive minimal inter-arrival time T",
+            )
+        )
+    if _bad_number(deadline) or deadline <= 0:
+        diags.append(
+            Diagnostic(
+                "FTMC002",
+                Severity.ERROR,
+                name,
+                f"{name}: deadline must be positive, got {deadline}",
+                suggestion="set a positive relative deadline D",
+            )
+        )
+    if _bad_number(wcet) or wcet < 0:
+        diags.append(
+            Diagnostic(
+                "FTMC003",
+                Severity.ERROR,
+                name,
+                f"{name}: WCET must be non-negative, got {wcet}",
+                suggestion="set a non-negative worst-case execution time C",
+            )
+        )
+    if not 0.0 <= failure_probability < 1.0 or _bad_number(failure_probability):
+        diags.append(
+            Diagnostic(
+                "FTMC010",
+                Severity.ERROR,
+                name,
+                f"{name}: failure probability must lie in [0, 1), "
+                f"got {failure_probability}",
+                suggestion="use a per-job failure probability f in [0, 1)",
+            )
+        )
+    # Only meaningful when the window fields themselves are sane.
+    if (
+        not _bad_number(wcet)
+        and wcet >= 0
+        and not _bad_number(deadline)
+        and deadline > 0
+        and not _bad_number(period)
+        and period > 0
+        and wcet > deadline
+        and wcet > period
+    ):
+        diags.append(
+            Diagnostic(
+                "FTMC004",
+                Severity.ERROR,
+                name,
+                f"{name}: WCET {wcet} exceeds both deadline {deadline} "
+                f"and period {period}",
+                suggestion="a single execution can never fit; reduce C "
+                "or relax D/T",
+            )
+        )
+    return diags
+
+
+def check_mc_task_fields(
+    name: str,
+    period: float,
+    deadline: float,
+    wcet_lo: float,
+    wcet_hi: float,
+    criticality: CriticalityRole | None,
+) -> list[Diagnostic]:
+    """Structural invariants of one Vestal task (FTMC001/002/003, 020/021)."""
+    diags: list[Diagnostic] = []
+    if _bad_number(period) or period <= 0:
+        diags.append(
+            Diagnostic(
+                "FTMC001",
+                Severity.ERROR,
+                name,
+                f"{name}: period must be positive, got {period}",
+                suggestion="set a positive minimal inter-arrival time T",
+            )
+        )
+    if _bad_number(deadline) or deadline <= 0:
+        diags.append(
+            Diagnostic(
+                "FTMC002",
+                Severity.ERROR,
+                name,
+                f"{name}: deadline must be positive, got {deadline}",
+                suggestion="set a positive relative deadline D",
+            )
+        )
+    if _bad_number(wcet_lo) or _bad_number(wcet_hi) or wcet_lo < 0 or wcet_hi < 0:
+        diags.append(
+            Diagnostic(
+                "FTMC003",
+                Severity.ERROR,
+                name,
+                f"{name}: WCETs must be non-negative, "
+                f"got C(LO)={wcet_lo}, C(HI)={wcet_hi}",
+                suggestion="set non-negative per-level WCETs",
+            )
+        )
+        return diags
+    if wcet_lo > wcet_hi + 1e-12:
+        diags.append(
+            Diagnostic(
+                "FTMC020",
+                Severity.ERROR,
+                name,
+                f"{name}: C(LO)={wcet_lo} exceeds C(HI)={wcet_hi}; "
+                "Vestal monotonicity violated",
+                suggestion="WCETs must be non-decreasing with the level: "
+                "ensure C(LO) <= C(HI)",
+            )
+        )
+    elif criticality is CriticalityRole.LO and not math.isclose(wcet_lo, wcet_hi):
+        diags.append(
+            Diagnostic(
+                "FTMC021",
+                Severity.ERROR,
+                name,
+                f"{name}: LO-criticality task must have C(LO) == C(HI), "
+                f"got {wcet_lo} != {wcet_hi}",
+                suggestion="a LO task is never budgeted beyond its own "
+                "level; set both WCETs equal",
+            )
+        )
+    return diags
+
+
+def check_unique_names(names: list[str] | tuple[str, ...]) -> list[Diagnostic]:
+    """Duplicate-name detection shared by both task-set classes (FTMC006)."""
+    diags: list[Diagnostic] = []
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            diags.append(
+                Diagnostic(
+                    "FTMC006",
+                    Severity.ERROR,
+                    name,
+                    f"duplicate task name: {name!r}",
+                    suggestion="task names must be unique within a set",
+                )
+            )
+        seen.add(name)
+    return diags
+
+
+def raise_on_error(diags: list[Diagnostic]) -> None:
+    """Raise ``ValueError`` with the first error message, if any.
+
+    The constructors' contract is fail-fast with a single message; the
+    lint front end uses the full list instead.
+    """
+    for diag in diags:
+        if diag.severity is Severity.ERROR:
+            raise ValueError(diag.message)

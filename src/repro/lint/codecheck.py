@@ -1,0 +1,216 @@
+"""AST-based code self-analysis (``ftmc selfcheck``).
+
+Enforces repository invariants that generic linters do not know about:
+
+======== =====================================================================
+code     invariant
+======== =====================================================================
+FTMCC01  no ``==``/``!=`` on probability/PFH floats — certification maths
+         must compare with ``math.isclose`` or an explicit epsilon
+FTMCC02  no mutable default arguments (shared-state bugs across calls)
+FTMCC03  no bare ``except:`` (swallows ``KeyboardInterrupt``/``SystemExit``
+         and hides real faults — anathema for a certification tool)
+FTMCC04  no ``print()`` outside the CLI and the experiment drivers —
+         library code reports through return values and diagnostics
+======== =====================================================================
+
+The pass is purely syntactic (:mod:`ast`), needs no third-party
+packages, and is wired into CI next to ``ruff`` and ``mypy`` — it covers
+the project-specific rules those tools cannot express.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["check_source", "check_path", "selfcheck", "default_root"]
+
+#: Identifier fragments that mark a value as a probability/PFH quantity.
+_PROBABILITY_MARKERS = ("pfh", "prob")
+
+#: Files (relative to the package root) where ``print`` is the interface.
+_PRINT_ALLOWED = ("cli.py", "__main__.py")
+_PRINT_ALLOWED_DIRS = ("experiments",)
+
+_MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
+                     ast.SetComp)
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+def _identifier_of(node: ast.expr) -> str | None:
+    """The rightmost identifier of a Name/Attribute/Call chain, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _identifier_of(node.func)
+    return None
+
+
+def _mentions_probability(node: ast.expr) -> bool:
+    identifier = _identifier_of(node)
+    if identifier is None:
+        return False
+    lowered = identifier.lower()
+    return any(marker in lowered for marker in _PROBABILITY_MARKERS)
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, filename: str, allow_print: bool) -> None:
+        self.filename = filename
+        self.allow_print = allow_print
+        self.diagnostics: list[Diagnostic] = []
+
+    def _emit(self, code: str, line: int, message: str, suggestion: str) -> None:
+        self.diagnostics.append(
+            Diagnostic(
+                code,
+                Severity.ERROR,
+                f"{self.filename}:{line}",
+                message,
+                suggestion=suggestion,
+            )
+        )
+
+    # FTMCC01 ------------------------------------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _mentions_probability(left) or _mentions_probability(right):
+                self._emit(
+                    "FTMCC01",
+                    node.lineno,
+                    "exact equality on a probability/PFH float",
+                    "compare with math.isclose(...) or an explicit epsilon",
+                )
+                break
+        self.generic_visit(node)
+
+    # FTMCC02 ------------------------------------------------------------------
+
+    def _check_defaults(self, node: ast.arguments, line: int) -> None:
+        for default in (*node.defaults, *node.kw_defaults):
+            if default is not None and _is_mutable_default(default):
+                self._emit(
+                    "FTMCC02",
+                    getattr(default, "lineno", line),
+                    "mutable default argument",
+                    "default to None and create the container inside the "
+                    "function",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node.args, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node.args, node.lineno)
+        self.generic_visit(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node.args, node.lineno)
+        self.generic_visit(node)
+
+    # FTMCC03 ------------------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self._emit(
+                "FTMCC03",
+                node.lineno,
+                "bare 'except:' clause",
+                "catch a specific exception type (at minimum "
+                "'except Exception:')",
+            )
+        self.generic_visit(node)
+
+    # FTMCC04 ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            not self.allow_print
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            self._emit(
+                "FTMCC04",
+                node.lineno,
+                "print() in library code",
+                "return data or diagnostics; only cli.py, __main__.py and "
+                "experiments/ may print",
+            )
+        self.generic_visit(node)
+
+
+def _print_allowed(relpath: str) -> bool:
+    parts = relpath.replace(os.sep, "/").split("/")
+    if parts[-1] in _PRINT_ALLOWED:
+        return True
+    return any(part in _PRINT_ALLOWED_DIRS for part in parts[:-1])
+
+
+def check_source(
+    source: str, filename: str = "<string>", allow_print: bool = False
+) -> list[Diagnostic]:
+    """Run the code rules over one source string."""
+    try:
+        tree = ast.parse(source, filename=filename)
+    except SyntaxError as exc:
+        return [
+            Diagnostic(
+                "FTMCC00",
+                Severity.ERROR,
+                f"{filename}:{exc.lineno or 0}",
+                f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(filename, allow_print)
+    checker.visit(tree)
+    return sorted(checker.diagnostics, key=lambda d: d.location)
+
+
+def default_root() -> str:
+    """The ``src/repro`` directory of the running installation."""
+    import repro
+
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def check_path(root: str) -> LintReport:
+    """Walk a directory tree and check every ``.py`` file under it."""
+    diags: list[Diagnostic] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            relpath = os.path.relpath(path, root)
+            with open(path) as handle:
+                source = handle.read()
+            diags.extend(
+                check_source(
+                    source, relpath, allow_print=_print_allowed(relpath)
+                )
+            )
+    return LintReport(diags)
+
+
+def selfcheck(root: str | None = None) -> LintReport:
+    """Check the installed ``repro`` package itself (``ftmc selfcheck``)."""
+    return check_path(root if root is not None else default_root())

@@ -1,0 +1,230 @@
+"""Diagnostics: the value objects every lint front end produces.
+
+A :class:`Diagnostic` is one finding — an ``FTMC0xx`` code, a severity, a
+location (task name, file position, or the whole task set), a message and
+an optional suggested fix.  A :class:`LintReport` aggregates the findings
+of one run and knows how to render itself (text or JSON) and how to map
+severities onto the CLI exit-code contract:
+
+======  ==========================================================
+exit    meaning
+======  ==========================================================
+0       no errors (warnings/infos may be present, non-strict mode)
+1       at least one error-severity diagnostic
+2       warnings present and ``--strict`` requested
+======  ==========================================================
+
+This module is deliberately dependency-free (standard library only) so
+that the model layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "LintReport",
+    "LintError",
+    "EXIT_CLEAN",
+    "EXIT_ERRORS",
+    "EXIT_STRICT_WARNINGS",
+]
+
+#: Exit-code contract of ``ftmc lint`` / ``ftmc selfcheck``.
+EXIT_CLEAN: int = 0
+EXIT_ERRORS: int = 1
+EXIT_STRICT_WARNINGS: int = 2
+
+
+class Severity(enum.IntEnum):
+    """Severity of a diagnostic, ordered so that ``ERROR`` is largest."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding.
+
+    Parameters
+    ----------
+    code:
+        Stable rule identifier (``FTMC0xx`` for model rules, ``FTMCC0x``
+        for the code self-analysis).  Documented in ``docs/lint.md``.
+    severity:
+        :class:`Severity` of the finding.
+    location:
+        Where the finding anchors: a task name, ``"taskset"`` for
+        aggregate findings, or ``"file:line"`` for code findings.
+    message:
+        Human-readable description.  Task-level messages are prefixed
+        with the task name by convention.
+    suggestion:
+        Optional actionable fix ("set deadline <= period", ...).
+    """
+
+    code: str
+    severity: Severity
+    location: str
+    message: str
+    suggestion: str | None = None
+
+    def render(self) -> str:
+        """One-line ``code severity location: message (hint)`` form.
+
+        Task-level messages already carry their task name as a prefix;
+        the location is elided then to avoid ``a: a: ...`` stutter.
+        """
+        if self.message.startswith(f"{self.location}:"):
+            text = f"{self.code} {self.severity}: {self.message}"
+        else:
+            text = f"{self.code} {self.severity}: {self.location}: {self.message}"
+        if self.suggestion:
+            text += f" [fix: {self.suggestion}]"
+        return text
+
+    def as_dict(self) -> dict[str, object]:
+        """Plain-data form used by ``--format json``."""
+        data: dict[str, object] = {
+            "code": self.code,
+            "severity": str(self.severity),
+            "location": self.location,
+            "message": self.message,
+        }
+        if self.suggestion is not None:
+            data["suggestion"] = self.suggestion
+        return data
+
+
+class LintReport:
+    """The ordered findings of one lint run."""
+
+    def __init__(self, diagnostics: Iterable[Diagnostic] = ()) -> None:
+        self._diagnostics: tuple[Diagnostic, ...] = tuple(diagnostics)
+
+    # -- collection protocol ---------------------------------------------------
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self._diagnostics)
+
+    def __len__(self) -> int:
+        return len(self._diagnostics)
+
+    def __bool__(self) -> bool:
+        """Truthy when *any* diagnostic was produced."""
+        return bool(self._diagnostics)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LintReport(errors={len(self.errors)}, "
+            f"warnings={len(self.warnings)}, infos={len(self.infos)})"
+        )
+
+    @property
+    def diagnostics(self) -> tuple[Diagnostic, ...]:
+        return self._diagnostics
+
+    # -- severity partitions ---------------------------------------------------
+
+    def of_severity(self, severity: Severity) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> tuple[Diagnostic, ...]:
+        return self.of_severity(Severity.INFO)
+
+    @property
+    def is_clean(self) -> bool:
+        """No errors and no warnings (infos are allowed)."""
+        return not self.errors and not self.warnings
+
+    def codes(self) -> tuple[str, ...]:
+        """The distinct rule codes present, in first-seen order."""
+        seen: dict[str, None] = {}
+        for d in self._diagnostics:
+            seen.setdefault(d.code, None)
+        return tuple(seen)
+
+    def by_code(self, code: str) -> tuple[Diagnostic, ...]:
+        return tuple(d for d in self._diagnostics if d.code == code)
+
+    def has_code(self, code: str) -> bool:
+        return any(d.code == code for d in self._diagnostics)
+
+    # -- composition -----------------------------------------------------------
+
+    def extend(self, other: "LintReport | Iterable[Diagnostic]") -> "LintReport":
+        """A new report with the other findings appended."""
+        return LintReport((*self._diagnostics, *other))
+
+    # -- rendering -------------------------------------------------------------
+
+    def exit_code(self, strict: bool = False) -> int:
+        """Map severities onto the documented CLI exit codes."""
+        if self.errors:
+            return EXIT_ERRORS
+        if strict and self.warnings:
+            return EXIT_STRICT_WARNINGS
+        return EXIT_CLEAN
+
+    def render_text(self, subject: str | None = None) -> str:
+        """Multi-line human-readable report with a summary footer."""
+        lines = [d.render() for d in self._diagnostics]
+        summary = (
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s), "
+            f"{len(self.infos)} info(s)"
+        )
+        if subject:
+            summary = f"{subject}: {summary}"
+        lines.append(summary)
+        return "\n".join(lines)
+
+    def as_dicts(self) -> list[dict[str, object]]:
+        return [d.as_dict() for d in self._diagnostics]
+
+    def render_json(self, subject: str | None = None) -> str:
+        """Stable JSON document for ``--format json`` and golden tests."""
+        payload: dict[str, object] = {
+            "subject": subject,
+            "summary": {
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "infos": len(self.infos),
+            },
+            "diagnostics": self.as_dicts(),
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+
+class LintError(ValueError):
+    """Raised by ``validate=True`` entry points when error rules fire.
+
+    Carries the full :class:`LintReport` so callers can render every
+    finding, not just the first.
+    """
+
+    def __init__(self, report: LintReport, subject: str = "taskset") -> None:
+        self.report = report
+        self.subject = subject
+        errors = report.errors
+        head = errors[0].render() if errors else "lint failed"
+        extra = f" (+{len(errors) - 1} more)" if len(errors) > 1 else ""
+        super().__init__(f"{subject}: {head}{extra}")

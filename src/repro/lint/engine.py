@@ -1,0 +1,300 @@
+"""Lint engine: run the registered rules over task sets, profiles,
+converted sets and JSON documents.
+
+Front-end functions (all return a :class:`~repro.lint.diagnostics.LintReport`):
+
+- :func:`lint_taskset` — a :class:`~repro.model.task.TaskSet`, a raw
+  JSON-style document ``dict``, or a prepared record;
+- :func:`lint_mc_taskset` — a Vestal-model set (object or record);
+- :func:`lint_profiles` — re-execution/adaptation profiles against a set;
+- :func:`lint_conversion` — Lemma 4.1 round-trip: profiles plus an
+  (optionally external) converted set;
+- :func:`lint_file` — a task-set JSON file; unreadable or malformed
+  input becomes an ``FTMC040`` diagnostic, never an exception;
+- :func:`validate_taskset` — raising front end for the ``validate=True``
+  paths of :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+# Importing the rule modules populates the registry as a side effect.
+from repro.lint import rules_conversion  # noqa: F401
+from repro.lint import rules_mc  # noqa: F401
+from repro.lint import rules_model  # noqa: F401
+from repro.lint import rules_profiles  # noqa: F401
+from repro.lint.diagnostics import Diagnostic, LintError, LintReport, Severity
+from repro.lint.records import (
+    MCTaskRecord,
+    MCTaskSetRecord,
+    TaskRecord,
+    TaskSetRecord,
+)
+from repro.lint.registry import ConversionSubject, ProfilesSubject, rules_for
+from repro.model.criticality import DualCriticalitySpec
+from repro.model.mc_task import MCTaskSet
+from repro.model.task import TaskSet
+
+__all__ = [
+    "lint_taskset",
+    "lint_mc_taskset",
+    "lint_profiles",
+    "lint_conversion",
+    "lint_file",
+    "validate_taskset",
+]
+
+
+def _run(kind: str, subject: Any) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for rule in rules_for(kind):
+        diags.extend(rule.run(subject))
+    return diags
+
+
+# -- document parsing ----------------------------------------------------------
+
+
+def _document_to_record(
+    data: Mapping[str, Any],
+) -> tuple[TaskSetRecord, list[Diagnostic]]:
+    """Parse a raw JSON-style document leniently into a record.
+
+    Document-shape problems (FTMC041) and unparsable values (FTMC042)
+    become diagnostics; whatever *can* be parsed still reaches the rules.
+    """
+    diags: list[Diagnostic] = []
+    raw_tasks = data.get("tasks")
+    if not isinstance(raw_tasks, list):
+        diags.append(
+            Diagnostic(
+                "FTMC041",
+                Severity.ERROR,
+                "document",
+                "task-set document needs a 'tasks' list",
+                suggestion="see repro.io for the expected JSON format",
+            )
+        )
+        raw_tasks = []
+    records: list[TaskRecord] = []
+    for i, raw in enumerate(raw_tasks):
+        if not isinstance(raw, Mapping):
+            diags.append(
+                Diagnostic(
+                    "FTMC041",
+                    Severity.ERROR,
+                    f"task #{i}",
+                    f"task #{i}: entry must be an object, got "
+                    f"{type(raw).__name__}",
+                )
+            )
+            continue
+        record = TaskRecord.from_dict(raw, i)
+        if record.criticality is None:
+            diags.append(
+                Diagnostic(
+                    "FTMC042",
+                    Severity.ERROR,
+                    record.name,
+                    f"{record.name}: criticality must be 'HI' or 'LO', "
+                    f"got {record.raw_criticality}",
+                    suggestion="multi-level documents use repro.io."
+                    "load_multilevel instead",
+                )
+            )
+        records.append(record)
+    spec = None
+    header = data.get("criticality")
+    if header is not None:
+        try:
+            spec = DualCriticalitySpec.from_names(header["hi"], header["lo"])
+        except (TypeError, KeyError, ValueError) as exc:
+            diags.append(
+                Diagnostic(
+                    "FTMC042",
+                    Severity.ERROR,
+                    "document",
+                    f"invalid criticality header {header!r}: {exc}",
+                    suggestion='use {"hi": "<A-E>", "lo": "<A-E>"} with '
+                    "hi strictly more critical",
+                )
+            )
+    record = TaskSetRecord(
+        name=str(data.get("name", "taskset")), tasks=tuple(records), spec=spec
+    )
+    return record, diags
+
+
+def _as_taskset_record(subject: Any) -> tuple[TaskSetRecord, list[Diagnostic]]:
+    if isinstance(subject, TaskSetRecord):
+        return subject, []
+    if isinstance(subject, TaskSet):
+        return TaskSetRecord.from_taskset(subject), []
+    if isinstance(subject, Mapping):
+        return _document_to_record(subject)
+    raise TypeError(
+        "lint_taskset expects a TaskSet, a TaskSetRecord or a document "
+        f"mapping, got {type(subject).__name__}"
+    )
+
+
+# -- front ends ----------------------------------------------------------------
+
+
+def lint_taskset(subject: TaskSet | TaskSetRecord | Mapping[str, Any]) -> LintReport:
+    """Run every ``taskset`` rule over the subject."""
+    record, diags = _as_taskset_record(subject)
+    diags.extend(_run("taskset", record))
+    return LintReport(diags)
+
+
+def lint_mc_taskset(subject: MCTaskSet | MCTaskSetRecord) -> LintReport:
+    """Run every ``mc`` rule over a Vestal-model set."""
+    if isinstance(subject, MCTaskSet):
+        record = MCTaskSetRecord.from_mc_taskset(subject)
+    elif isinstance(subject, MCTaskSetRecord):
+        record = subject
+    else:
+        raise TypeError(
+            "lint_mc_taskset expects an MCTaskSet or MCTaskSetRecord, got "
+            f"{type(subject).__name__}"
+        )
+    return LintReport(_run("mc", record))
+
+
+def _as_profile_map(profile: Any) -> dict[str, int]:
+    if profile is None:
+        return {}
+    if hasattr(profile, "as_dict"):
+        return dict(profile.as_dict())
+    return dict(profile)
+
+
+def lint_profiles(
+    taskset: TaskSet | TaskSetRecord,
+    reexecution: Any,
+    adaptation: Any = None,
+) -> LintReport:
+    """Run every ``profiles`` rule (FTMC014-017).
+
+    ``reexecution``/``adaptation`` may be the
+    :mod:`repro.model.faults` value objects or plain ``name -> int``
+    mappings (which is how *invalid* profiles are expressed, since the
+    value objects refuse to hold them).
+    """
+    record, diags = _as_taskset_record(taskset)
+    subject = ProfilesSubject(
+        taskset=record,
+        reexecution=_as_profile_map(reexecution),
+        adaptation=None if adaptation is None else _as_profile_map(adaptation),
+    )
+    diags.extend(_run("profiles", subject))
+    return LintReport(diags)
+
+
+def lint_conversion(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    n_prime: int,
+    converted: MCTaskSet | MCTaskSetRecord | None = None,
+) -> LintReport:
+    """Lemma 4.1 round-trip check (FTMC016/030/031).
+
+    With ``converted=None`` the set is derived via
+    :func:`repro.core.conversion.convert_uniform` and checked against the
+    source — a self-test of the conversion code path.  Passing an
+    external ``converted`` set verifies a *claimed* conversion instead.
+    """
+    from repro.core.conversion import convert_uniform
+
+    record = TaskSetRecord.from_taskset(taskset)
+    hi_names = [t.name for t in record.hi_tasks]
+    profile_subject = ProfilesSubject(
+        taskset=record,
+        reexecution={t.name: (n_hi if t.name in hi_names else n_lo)
+                     for t in record.tasks},
+        adaptation={name: n_prime for name in hi_names},
+    )
+    diags = _run("profiles", profile_subject)
+    if converted is None:
+        if any(d.severity is Severity.ERROR for d in diags):
+            return LintReport(diags)  # profiles invalid; nothing to derive
+        converted = convert_uniform(taskset, n_hi, n_lo, n_prime)
+    if isinstance(converted, MCTaskSet):
+        converted = MCTaskSetRecord.from_mc_taskset(converted)
+    subject = ConversionSubject(
+        taskset=record,
+        n_hi=n_hi,
+        n_lo=n_lo,
+        n_prime=n_prime,
+        converted=converted,
+    )
+    diags.extend(_run("conversion", subject))
+    diags.extend(_run("mc", converted))
+    return LintReport(diags)
+
+
+def lint_file(path: str) -> LintReport:
+    """Lint a task-set JSON file.
+
+    I/O and parse failures are reported as ``FTMC040`` diagnostics so the
+    CLI can keep its one-line-per-problem contract without catching
+    exceptions.
+    """
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        return LintReport(
+            [
+                Diagnostic(
+                    "FTMC040",
+                    Severity.ERROR,
+                    path,
+                    f"cannot read {path}: {exc.strerror or exc}",
+                )
+            ]
+        )
+    except json.JSONDecodeError as exc:
+        return LintReport(
+            [
+                Diagnostic(
+                    "FTMC040",
+                    Severity.ERROR,
+                    f"{path}:{exc.lineno}",
+                    f"invalid JSON: {exc.msg} (line {exc.lineno}, "
+                    f"column {exc.colno})",
+                )
+            ]
+        )
+    if not isinstance(data, Mapping):
+        return LintReport(
+            [
+                Diagnostic(
+                    "FTMC040",
+                    Severity.ERROR,
+                    path,
+                    "task-set document must be a JSON object, got "
+                    f"{type(data).__name__}",
+                )
+            ]
+        )
+    return lint_taskset(data)
+
+
+def validate_taskset(taskset: TaskSet, strict: bool = False) -> LintReport:
+    """Run the model rules; raise :class:`LintError` on errors.
+
+    This is the ``validate=True`` hook of :mod:`repro.core`: analyses
+    call it before searching profiles so that garbage inputs are rejected
+    with diagnostics instead of producing wrong answers.  With
+    ``strict=True`` warnings are promoted to failures as well.
+    """
+    report = lint_taskset(taskset)
+    threshold = Severity.WARNING if strict else Severity.ERROR
+    if any(d.severity >= threshold for d in report):
+        raise LintError(report, subject=taskset.name)
+    return report

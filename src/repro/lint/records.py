@@ -1,0 +1,180 @@
+"""Unvalidated record views of task sets for the lint rules.
+
+The model constructors (:class:`repro.model.task.Task`, ...) reject
+invalid parameters outright, which is exactly what an analysis pipeline
+wants — but a *linter* must be able to hold broken data and report every
+problem at once.  These records are permissive twins of the model
+classes: plain dataclasses with no ``__post_init__`` validation, plus
+converters from model objects and from raw JSON documents.
+
+Field parsing is forgiving: values that cannot be coerced to ``float``
+are recorded as ``nan`` (and surface through the document rules), so a
+single bad field never aborts the run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+
+__all__ = ["TaskRecord", "TaskSetRecord", "MCTaskRecord", "MCTaskSetRecord"]
+
+
+def _coerce(value: Any, default: float = math.nan) -> float:
+    """``float(value)`` with ``nan`` (or ``default``) on failure."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return default
+
+
+def _coerce_role(value: Any) -> CriticalityRole | None:
+    """Parse HI/LO from a role object or string; ``None`` when invalid."""
+    if isinstance(value, CriticalityRole):
+        return value
+    try:
+        return CriticalityRole[str(value).strip().upper()]
+    except KeyError:
+        return None
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One sporadic task, as claimed — not as validated."""
+
+    name: str
+    period: float
+    deadline: float
+    wcet: float
+    criticality: CriticalityRole | None
+    failure_probability: float = 0.0
+    #: Raw criticality token when it failed to parse (for diagnostics).
+    raw_criticality: str | None = None
+
+    @classmethod
+    def from_task(cls, task: Any) -> "TaskRecord":
+        """View a :class:`repro.model.task.Task` (duck-typed)."""
+        return cls(
+            name=str(task.name),
+            period=float(task.period),
+            deadline=float(task.deadline),
+            wcet=float(task.wcet),
+            criticality=task.criticality,
+            failure_probability=float(getattr(task, "failure_probability", 0.0)),
+        )
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any], index: int) -> "TaskRecord":
+        """Parse one JSON task entry without rejecting anything."""
+        period = _coerce(raw.get("period"))
+        role = _coerce_role(raw.get("criticality"))
+        return cls(
+            name=str(raw.get("name", f"tau{index + 1}")),
+            period=period,
+            deadline=_coerce(raw.get("deadline", period)),
+            wcet=_coerce(raw.get("wcet")),
+            criticality=role,
+            failure_probability=_coerce(raw.get("failure_probability", 0.0), 0.0),
+            raw_criticality=(
+                None if role is not None else repr(raw.get("criticality"))
+            ),
+        )
+
+    @property
+    def utilization(self) -> float:
+        """``C/T``; ``nan``/``inf`` propagate rather than raise."""
+        if self.period == 0:
+            return math.inf
+        return self.wcet / self.period
+
+
+@dataclass(frozen=True)
+class TaskSetRecord:
+    """A task set as claimed: records plus the optional HI/LO spec."""
+
+    name: str
+    tasks: tuple[TaskRecord, ...]
+    spec: DualCriticalitySpec | None = None
+
+    @classmethod
+    def from_taskset(cls, taskset: Any) -> "TaskSetRecord":
+        """View a :class:`repro.model.task.TaskSet` (duck-typed)."""
+        return cls(
+            name=str(taskset.name),
+            tasks=tuple(TaskRecord.from_task(t) for t in taskset),
+            spec=getattr(taskset, "spec", None),
+        )
+
+    def by_criticality(self, role: CriticalityRole) -> tuple[TaskRecord, ...]:
+        return tuple(t for t in self.tasks if t.criticality is role)
+
+    @property
+    def hi_tasks(self) -> tuple[TaskRecord, ...]:
+        return self.by_criticality(CriticalityRole.HI)
+
+    @property
+    def lo_tasks(self) -> tuple[TaskRecord, ...]:
+        return self.by_criticality(CriticalityRole.LO)
+
+    def utilization(self) -> float:
+        return sum(t.utilization for t in self.tasks)
+
+
+@dataclass(frozen=True)
+class MCTaskRecord:
+    """One Vestal-model task, as claimed — not as validated."""
+
+    name: str
+    period: float
+    deadline: float
+    wcet_lo: float
+    wcet_hi: float
+    criticality: CriticalityRole | None
+
+    @classmethod
+    def from_mc_task(cls, task: Any) -> "MCTaskRecord":
+        """View a :class:`repro.model.mc_task.MCTask` (duck-typed)."""
+        return cls(
+            name=str(task.name),
+            period=float(task.period),
+            deadline=float(task.deadline),
+            wcet_lo=float(task.wcet_lo),
+            wcet_hi=float(task.wcet_hi),
+            criticality=task.criticality,
+        )
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any], index: int) -> "MCTaskRecord":
+        period = _coerce(raw.get("period"))
+        return cls(
+            name=str(raw.get("name", f"tau{index + 1}")),
+            period=period,
+            deadline=_coerce(raw.get("deadline", period)),
+            wcet_lo=_coerce(raw.get("wcet_lo")),
+            wcet_hi=_coerce(raw.get("wcet_hi")),
+            criticality=_coerce_role(raw.get("criticality")),
+        )
+
+
+@dataclass(frozen=True)
+class MCTaskSetRecord:
+    """A Vestal-model task set as claimed."""
+
+    name: str
+    tasks: tuple[MCTaskRecord, ...]
+
+    @classmethod
+    def from_mc_taskset(cls, taskset: Any) -> "MCTaskSetRecord":
+        return cls(
+            name=str(taskset.name),
+            tasks=tuple(MCTaskRecord.from_mc_task(t) for t in taskset),
+        )
+
+    def utilization_lo(self) -> float:
+        """LO-mode utilization ``sum C_i(LO) / T_i`` over all tasks."""
+        return sum(
+            math.inf if t.period == 0 else t.wcet_lo / t.period for t in self.tasks
+        )

@@ -1,0 +1,113 @@
+"""Rule registry: the catalog of model-level lint rules.
+
+Every rule is a function ``subject -> Iterable[Diagnostic]`` registered
+under a stable ``FTMC0xx`` code with a default severity, a *kind* naming
+the subject it understands, and a one-line summary.  The engine
+(:mod:`repro.lint.engine`) collects the rules of a kind and runs them in
+code order; tests and ``docs/lint.md`` enumerate the catalog through
+:func:`rule_catalog`.
+
+Kinds
+-----
+``taskset``
+    A :class:`repro.lint.records.TaskSetRecord` (sporadic model + spec).
+``profiles``
+    A :class:`ProfilesSubject` (task set + re-execution/adaptation maps).
+``mc``
+    A :class:`repro.lint.records.MCTaskSetRecord` (Vestal model).
+``conversion``
+    A :class:`ConversionSubject` (source set, profiles, converted set).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.records import MCTaskSetRecord, TaskSetRecord
+
+__all__ = [
+    "Rule",
+    "RULES",
+    "rule",
+    "rules_for",
+    "rule_catalog",
+    "ProfilesSubject",
+    "ConversionSubject",
+]
+
+RuleFunc = Callable[..., Iterable[Diagnostic]]
+
+
+@dataclass(frozen=True)
+class ProfilesSubject:
+    """Subject of the ``profiles`` rules.
+
+    ``reexecution``/``adaptation`` are plain name->int mappings so that
+    invalid profiles (which :class:`repro.model.faults.ReexecutionProfile`
+    would reject) can still be diagnosed.
+    """
+
+    taskset: TaskSetRecord
+    reexecution: Mapping[str, int] = field(default_factory=dict)
+    adaptation: Mapping[str, int] | None = None
+
+
+@dataclass(frozen=True)
+class ConversionSubject:
+    """Subject of the ``conversion`` round-trip rules (Lemma 4.1)."""
+
+    taskset: TaskSetRecord
+    n_hi: int
+    n_lo: int
+    n_prime: int
+    converted: MCTaskSetRecord
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule."""
+
+    code: str
+    severity: Severity
+    kind: str
+    summary: str
+    func: RuleFunc
+
+    def run(self, subject) -> list[Diagnostic]:
+        return list(self.func(subject))
+
+
+#: The global registry, keyed by rule code.
+RULES: dict[str, Rule] = {}
+
+_KINDS = ("taskset", "profiles", "mc", "conversion")
+
+
+def rule(code: str, severity: Severity, kind: str, summary: str):
+    """Class of decorators registering a rule function under ``code``."""
+    if kind not in _KINDS:
+        raise ValueError(f"unknown rule kind {kind!r}; expected one of {_KINDS}")
+    if code in RULES:
+        raise ValueError(f"duplicate rule code {code!r}")
+
+    def decorator(func: RuleFunc) -> RuleFunc:
+        RULES[code] = Rule(
+            code=code, severity=severity, kind=kind, summary=summary, func=func
+        )
+        return func
+
+    return decorator
+
+
+def rules_for(kind: str) -> tuple[Rule, ...]:
+    """All rules of a kind, in ascending code order."""
+    return tuple(
+        RULES[code] for code in sorted(RULES) if RULES[code].kind == kind
+    )
+
+
+def rule_catalog() -> tuple[Rule, ...]:
+    """Every registered rule, in ascending code order."""
+    return tuple(RULES[code] for code in sorted(RULES))

@@ -1,0 +1,119 @@
+"""Lemma 4.1 conversion round-trip rules (FTMC030-031).
+
+Given a source task set, uniform profiles ``(n_HI, n_LO, n'_HI)`` and a
+set *claimed* to be the corresponding conversion, these rules re-derive
+what Lemma 4.1 prescribes and flag every disagreement:
+
+- FTMC030 — the converted set's *structure* diverges from the source
+  (missing/extra tasks, or a task whose period, deadline or criticality
+  was not carried over unchanged);
+- FTMC031 — a converted WCET is not the prescribed multiple of the base
+  WCET (``C(HI) = n_chi * C``; HI tasks additionally ``C(LO) = n' * C``).
+
+The engine uses them in two modes: checking an externally supplied
+converted set against its source, and self-checking
+:func:`repro.core.conversion.convert_uniform` output (which must always
+be clean — a failure indicates a bug in the conversion itself).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ConversionSubject, rule
+from repro.model.criticality import CriticalityRole
+
+#: Relative tolerance for WCET-multiple comparisons; conversions are exact
+#: float products, so anything beyond noise is a genuine mismatch.
+_REL_TOL = 1e-9
+
+
+@rule(
+    "FTMC030",
+    Severity.ERROR,
+    "conversion",
+    "converted set structure disagrees with the source task set",
+)
+def _r_structure(subject: ConversionSubject) -> Iterator[Diagnostic]:
+    source = {t.name: t for t in subject.taskset.tasks}
+    converted = {t.name: t for t in subject.converted.tasks}
+    for name in source:
+        if name not in converted:
+            yield Diagnostic(
+                "FTMC030",
+                Severity.ERROR,
+                name,
+                f"{name}: task missing from the converted set",
+                suggestion="Lemma 4.1 converts every task; none may be "
+                "dropped",
+            )
+    for name in converted:
+        if name not in source:
+            yield Diagnostic(
+                "FTMC030",
+                Severity.ERROR,
+                name,
+                f"{name}: task not present in the source set",
+                suggestion="the conversion must not invent tasks",
+            )
+    for name, src in source.items():
+        mc = converted.get(name)
+        if mc is None:
+            continue
+        for field in ("period", "deadline"):
+            a, b = getattr(src, field), getattr(mc, field)
+            if not math.isclose(a, b, rel_tol=_REL_TOL):
+                yield Diagnostic(
+                    "FTMC030",
+                    Severity.ERROR,
+                    name,
+                    f"{name}: {field} changed across the conversion "
+                    f"({a} -> {b})",
+                    suggestion="periods and deadlines carry over "
+                    "unchanged (Lemma 4.1)",
+                )
+        if src.criticality is not mc.criticality:
+            yield Diagnostic(
+                "FTMC030",
+                Severity.ERROR,
+                name,
+                f"{name}: criticality changed across the conversion",
+                suggestion="criticalities carry over unchanged",
+            )
+
+
+@rule(
+    "FTMC031",
+    Severity.ERROR,
+    "conversion",
+    "converted WCET is not the Lemma 4.1 multiple of the base WCET",
+)
+def _r_wcet_multiples(subject: ConversionSubject) -> Iterator[Diagnostic]:
+    converted = {t.name: t for t in subject.converted.tasks}
+    for src in subject.taskset.tasks:
+        mc = converted.get(src.name)
+        if mc is None or src.criticality is None:
+            continue  # FTMC030 reports structural problems.
+        if src.criticality is CriticalityRole.HI:
+            expect_hi = subject.n_hi * src.wcet
+            expect_lo = subject.n_prime * src.wcet
+        else:
+            expect_hi = expect_lo = subject.n_lo * src.wcet
+        for level, got, expect in (
+            ("C(HI)", mc.wcet_hi, expect_hi),
+            ("C(LO)", mc.wcet_lo, expect_lo),
+        ):
+            if not math.isclose(got, expect, rel_tol=_REL_TOL, abs_tol=1e-12):
+                yield Diagnostic(
+                    "FTMC031",
+                    Severity.ERROR,
+                    src.name,
+                    f"{src.name}: {level}={got} but Lemma 4.1 prescribes "
+                    f"{expect:g} (profiles n_HI={subject.n_hi}, "
+                    f"n_LO={subject.n_lo}, n'={subject.n_prime}, base "
+                    f"C={src.wcet:g})",
+                    suggestion="re-derive the converted set with "
+                    "repro.core.conversion.convert_uniform",
+                )

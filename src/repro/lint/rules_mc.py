@@ -1,0 +1,99 @@
+"""Lint rules for the Vestal (conventional MC) model (FTMC020-023).
+
+Structural per-task rules delegate to
+:func:`repro.lint.checks.check_mc_task_fields`; aggregate rules reason
+over the :class:`~repro.lint.records.MCTaskSetRecord`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.lint.checks import check_mc_task_fields
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.records import MCTaskSetRecord
+from repro.lint.registry import rule
+
+
+def _structural(subject: MCTaskSetRecord) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for t in subject.tasks:
+        diags.extend(
+            check_mc_task_fields(
+                t.name, t.period, t.deadline, t.wcet_lo, t.wcet_hi, t.criticality
+            )
+        )
+    return diags
+
+
+def _select(diags: Iterable[Diagnostic], code: str) -> Iterator[Diagnostic]:
+    return (d for d in diags if d.code == code)
+
+
+@rule(
+    "FTMC020",
+    Severity.ERROR,
+    "mc",
+    "Vestal monotonicity violated: C(LO) > C(HI)",
+)
+def _r_monotonicity(subject: MCTaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC020")
+
+
+@rule(
+    "FTMC021",
+    Severity.ERROR,
+    "mc",
+    "LO-criticality task with distinct per-level WCETs",
+)
+def _r_lo_budgets(subject: MCTaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC021")
+
+
+@rule(
+    "FTMC022",
+    Severity.WARNING,
+    "mc",
+    "HI-level budget C(HI) exceeds min(D, T) (the full budget can never "
+    "fit in one window)",
+)
+def _r_hi_budget_window(subject: MCTaskSetRecord) -> Iterator[Diagnostic]:
+    for t in subject.tasks:
+        window = min(t.deadline, t.period)
+        if (
+            math.isfinite(t.wcet_hi)
+            and math.isfinite(window)
+            and window > 0
+            and t.wcet_hi > window + 1e-12
+        ):
+            yield Diagnostic(
+                "FTMC022",
+                Severity.WARNING,
+                t.name,
+                f"{t.name}: C(HI)={t.wcet_hi} exceeds min(D, T)="
+                f"{window:g}; the HI-mode budget cannot complete within "
+                "one window",
+                suggestion="reduce the re-execution profile or relax the "
+                "deadline",
+            )
+
+
+@rule(
+    "FTMC023",
+    Severity.ERROR,
+    "mc",
+    "LO-mode utilization of the converted set exceeds 1",
+)
+def _r_lo_mode_overutilized(subject: MCTaskSetRecord) -> Iterator[Diagnostic]:
+    total = subject.utilization_lo()
+    if math.isfinite(total) and total > 1.0 + 1e-9:
+        yield Diagnostic(
+            "FTMC023",
+            Severity.ERROR,
+            "taskset",
+            f"LO-mode utilization {total:.5f} exceeds 1; no MC scheduler "
+            "can even sustain normal operation",
+            suggestion="the converted set is trivially unschedulable; "
+            "shrink the LO budgets",
+        )

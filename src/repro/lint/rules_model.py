@@ -1,0 +1,290 @@
+"""Lint rules for the sporadic dual-criticality model (FTMC001-013).
+
+Structural per-task rules delegate to :mod:`repro.lint.checks` (the same
+checks the constructors raise from); aggregate and safety rules reason
+about the whole :class:`~repro.lint.records.TaskSetRecord`, constructing
+real model objects only when the record is structurally sound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+from repro.lint.checks import check_task_fields, check_unique_names
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.records import TaskSetRecord
+from repro.lint.registry import rule
+from repro.model.criticality import CriticalityRole
+from repro.model.task import Task, TaskSet
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, minimal_uniform_reexecution
+
+__all__ = ["as_model_taskset"]
+
+
+def _structural(subject: TaskSetRecord) -> list[Diagnostic]:
+    """All per-task structural findings (cached per subject would be
+    premature: sets are small and rules run once)."""
+    diags: list[Diagnostic] = []
+    for t in subject.tasks:
+        diags.extend(
+            check_task_fields(
+                t.name, t.period, t.deadline, t.wcet, t.failure_probability
+            )
+        )
+    return diags
+
+
+def _select(diags: Iterable[Diagnostic], code: str) -> Iterator[Diagnostic]:
+    return (d for d in diags if d.code == code)
+
+
+def as_model_taskset(subject: TaskSetRecord) -> TaskSet | None:
+    """Build a real :class:`TaskSet` from a record, or ``None`` if the
+    record is structurally invalid (some rule already reports why)."""
+    try:
+        tasks = [
+            Task(
+                name=t.name,
+                period=t.period,
+                deadline=t.deadline,
+                wcet=t.wcet,
+                criticality=t.criticality,
+                failure_probability=t.failure_probability,
+            )
+            for t in subject.tasks
+            if t.criticality is not None
+        ]
+        if len(tasks) != len(subject.tasks):
+            return None
+        return TaskSet(tasks, spec=subject.spec, name=subject.name)
+    except (ValueError, TypeError):
+        return None
+
+
+@rule("FTMC001", Severity.ERROR, "taskset", "period must be positive")
+def _r_period(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC001")
+
+
+@rule("FTMC002", Severity.ERROR, "taskset", "deadline must be positive")
+def _r_deadline(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC002")
+
+
+@rule("FTMC003", Severity.ERROR, "taskset", "WCET must be non-negative")
+def _r_wcet(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC003")
+
+
+@rule(
+    "FTMC004",
+    Severity.ERROR,
+    "taskset",
+    "WCET exceeds both deadline and period (single execution can never fit)",
+)
+def _r_wcet_window(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC004")
+
+
+@rule(
+    "FTMC005",
+    Severity.WARNING,
+    "taskset",
+    "arbitrary deadline D > T (analyses assuming constrained deadlines "
+    "may not apply)",
+)
+def _r_arbitrary_deadline(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    for t in subject.tasks:
+        if (
+            math.isfinite(t.deadline)
+            and math.isfinite(t.period)
+            and t.period > 0
+            and t.deadline > t.period
+            and not math.isclose(t.deadline, t.period)
+        ):
+            yield Diagnostic(
+                "FTMC005",
+                Severity.WARNING,
+                t.name,
+                f"{t.name}: deadline {t.deadline} exceeds period {t.period} "
+                "(arbitrary-deadline task)",
+                suggestion="set D <= T unless the target analysis supports "
+                "arbitrary deadlines",
+            )
+
+
+@rule("FTMC006", Severity.ERROR, "taskset", "duplicate task names")
+def _r_duplicates(subject: TaskSetRecord) -> list[Diagnostic]:
+    return check_unique_names([t.name for t in subject.tasks])
+
+
+@rule(
+    "FTMC007",
+    Severity.ERROR,
+    "taskset",
+    "single-execution utilization exceeds 1 (unschedulable on a "
+    "uniprocessor before any re-execution)",
+)
+def _r_overutilized(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    total = subject.utilization()
+    if math.isfinite(total) and total > 1.0 + 1e-9:
+        yield Diagnostic(
+            "FTMC007",
+            Severity.ERROR,
+            "taskset",
+            f"total utilization {total:.5f} exceeds 1 even without "
+            "re-executions",
+            suggestion="no uniprocessor schedule exists; shed load before "
+            "running any analysis",
+        )
+
+
+@rule(
+    "FTMC008",
+    Severity.INFO,
+    "taskset",
+    "one-sided criticality partition (no HI or no LO tasks)",
+)
+def _r_one_sided(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    if not subject.tasks:
+        return
+    if any(t.criticality is None for t in subject.tasks):
+        return  # FTMC042 reports unparsable criticalities instead.
+    for role, members in (
+        (CriticalityRole.HI, subject.hi_tasks),
+        (CriticalityRole.LO, subject.lo_tasks),
+    ):
+        if not members:
+            yield Diagnostic(
+                "FTMC008",
+                Severity.INFO,
+                "taskset",
+                f"no {role.name} tasks: not a dual-criticality system "
+                "(single-criticality analyses suffice)",
+            )
+
+
+@rule(
+    "FTMC009",
+    Severity.INFO,
+    "taskset",
+    "no dual-criticality spec attached (safety rules are skipped)",
+)
+def _r_no_spec(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    if subject.spec is None:
+        yield Diagnostic(
+            "FTMC009",
+            Severity.INFO,
+            "taskset",
+            "no DualCriticalitySpec attached; PFH ceilings cannot be "
+            "checked",
+            suggestion='bind HI/LO to DO-178B levels, e.g. a '
+            '{"criticality": {"hi": "B", "lo": "C"}} header',
+        )
+
+
+@rule(
+    "FTMC010",
+    Severity.ERROR,
+    "taskset",
+    "failure probability outside [0, 1)",
+)
+def _r_failure_probability(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    return _select(_structural(subject), "FTMC010")
+
+
+@rule(
+    "FTMC011",
+    Severity.WARNING,
+    "taskset",
+    "zero failure probability on a safety-related task (fault model "
+    "degenerates; re-execution is pointless)",
+)
+def _r_zero_probability(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    if subject.spec is None:
+        return
+    for t in subject.tasks:
+        # Exactly the unset default (0.0) counts as "not supplied";
+        # negative values are FTMC010 errors, not warnings.
+        if t.criticality is None or not (
+            0.0 <= t.failure_probability <= 0.0
+        ):
+            continue
+        if subject.spec.level(t.criticality).is_safety_related:
+            yield Diagnostic(
+                "FTMC011",
+                Severity.WARNING,
+                t.name,
+                f"{t.name}: no positive failure probability but its level "
+                f"{subject.spec.level(t.criticality).name} carries a PFH "
+                "ceiling",
+                suggestion="supply the per-job failure probability f of "
+                "the target hardware (paper: 1e-3..1e-5)",
+            )
+
+
+@rule(
+    "FTMC012",
+    Severity.ERROR,
+    "taskset",
+    "PFH ceiling unreachable within the re-execution search bound",
+)
+def _r_unreachable_ceiling(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    if subject.spec is None:
+        return
+    taskset = as_model_taskset(subject)
+    if taskset is None:
+        return
+    for role in (CriticalityRole.HI, CriticalityRole.LO):
+        ceiling = subject.spec.pfh_requirement(role)
+        if not math.isfinite(ceiling) or not taskset.by_criticality(role):
+            continue
+        n = minimal_uniform_reexecution(taskset, role, ceiling)
+        if n is None:
+            yield Diagnostic(
+                "FTMC012",
+                Severity.ERROR,
+                "taskset",
+                f"{role.name} level (DO-178B "
+                f"{subject.spec.level(role).name}): no re-execution "
+                f"profile n <= {DEFAULT_MAX_REEXECUTIONS} reaches the PFH "
+                f"ceiling {ceiling:g}",
+                suggestion="lower the per-job failure probabilities "
+                "(better hardware) or certify at a less critical level",
+            )
+
+
+@rule(
+    "FTMC013",
+    Severity.WARNING,
+    "taskset",
+    "utilization with minimal safe re-execution profiles exceeds 1 "
+    "(FT-S cannot succeed)",
+)
+def _r_inflated_utilization(subject: TaskSetRecord) -> Iterator[Diagnostic]:
+    if subject.spec is None:
+        return
+    taskset = as_model_taskset(subject)
+    if taskset is None:
+        return
+    inflated = 0.0
+    for role in (CriticalityRole.HI, CriticalityRole.LO):
+        if not taskset.by_criticality(role):
+            continue
+        ceiling = subject.spec.pfh_requirement(role)
+        n = minimal_uniform_reexecution(taskset, role, ceiling)
+        if n is None:
+            return  # FTMC012 already reports the unreachable ceiling.
+        inflated += taskset.scaled_utilization(role, lambda _t, _n=n: _n)
+    if inflated > 1.0 + 1e-9:
+        yield Diagnostic(
+            "FTMC013",
+            Severity.WARNING,
+            "taskset",
+            f"utilization inflated by the minimal safe re-execution "
+            f"profiles is {inflated:.5f} > 1; no scheduler backend can "
+            "accept this set",
+            suggestion="reduce base utilization or improve the hardware "
+            "failure probability",
+        )

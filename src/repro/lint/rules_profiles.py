@@ -1,0 +1,111 @@
+"""Lint rules for re-execution and adaptation profiles (FTMC014-017).
+
+Subjects are :class:`~repro.lint.registry.ProfilesSubject` instances:
+the task-set record plus plain ``name -> int`` mappings, so profiles the
+:class:`repro.model.faults` value objects would refuse to construct can
+still be diagnosed in full.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.diagnostics import Diagnostic, Severity
+from repro.lint.registry import ProfilesSubject, rule
+from repro.model.criticality import CriticalityRole
+
+
+@rule(
+    "FTMC014",
+    Severity.ERROR,
+    "profiles",
+    "degenerate re-execution profile n_i < 1 (a job must run at least "
+    "once)",
+)
+def _r_degenerate_reexecution(subject: ProfilesSubject) -> Iterator[Diagnostic]:
+    for name, n in subject.reexecution.items():
+        if n < 1:
+            yield Diagnostic(
+                "FTMC014",
+                Severity.ERROR,
+                name,
+                f"{name}: re-execution profile n={n} is below 1; every "
+                "instance executes at least once",
+                suggestion="use n_i >= 1 (n_i = 1 means no re-execution)",
+            )
+
+
+@rule(
+    "FTMC015",
+    Severity.ERROR,
+    "profiles",
+    "profile does not cover every task it must cover",
+)
+def _r_missing_coverage(subject: ProfilesSubject) -> Iterator[Diagnostic]:
+    for t in subject.taskset.tasks:
+        if t.name not in subject.reexecution:
+            yield Diagnostic(
+                "FTMC015",
+                Severity.ERROR,
+                t.name,
+                f"{t.name}: re-execution profile defines no n_i for this "
+                "task",
+                suggestion="the profile N must map every task of the set",
+            )
+    if subject.adaptation is None:
+        return
+    for t in subject.taskset.tasks:
+        if t.criticality is CriticalityRole.HI and t.name not in subject.adaptation:
+            yield Diagnostic(
+                "FTMC015",
+                Severity.ERROR,
+                t.name,
+                f"{t.name}: adaptation profile defines no n'_i for this "
+                "HI task",
+                suggestion="the profile N'_HI must map every HI task",
+            )
+
+
+@rule(
+    "FTMC016",
+    Severity.ERROR,
+    "profiles",
+    "adaptation profile exceeds the re-execution profile (n'_i > n_i)",
+)
+def _r_adaptation_exceeds(subject: ProfilesSubject) -> Iterator[Diagnostic]:
+    if subject.adaptation is None:
+        return
+    for name, n_prime in subject.adaptation.items():
+        n = subject.reexecution.get(name)
+        if n is not None and n_prime > n:
+            yield Diagnostic(
+                "FTMC016",
+                Severity.ERROR,
+                name,
+                f"{name}: adaptation profile n'={n_prime} exceeds its "
+                f"re-execution profile n={n}",
+                suggestion="the (n'+1)-th execution must exist to trigger "
+                "adaptation: keep n'_i <= n_i",
+            )
+
+
+@rule(
+    "FTMC017",
+    Severity.ERROR,
+    "profiles",
+    "degenerate adaptation profile n'_i < 1",
+)
+def _r_degenerate_adaptation(subject: ProfilesSubject) -> Iterator[Diagnostic]:
+    if subject.adaptation is None:
+        return
+    for name, n_prime in subject.adaptation.items():
+        if n_prime < 1:
+            yield Diagnostic(
+                "FTMC017",
+                Severity.ERROR,
+                name,
+                f"{name}: adaptation profile n'={n_prime} is below 1; "
+                "adaptation cannot trigger before the first execution",
+                suggestion="use n'_i >= 1 (n'_i = n_i encodes 'never "
+                "adapt')",
+            )

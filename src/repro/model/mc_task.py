@@ -18,6 +18,11 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Iterator
 
+from repro.lint.checks import (
+    check_mc_task_fields,
+    check_unique_names,
+    raise_on_error,
+)
 from repro.model.criticality import CriticalityRole
 
 __all__ = ["MCTask", "MCTaskSet"]
@@ -41,26 +46,18 @@ class MCTask:
     criticality: CriticalityRole
 
     def __post_init__(self) -> None:
-        if self.period <= 0:
-            raise ValueError(f"{self.name}: period must be positive, got {self.period}")
-        if self.deadline <= 0:
-            raise ValueError(
-                f"{self.name}: deadline must be positive, got {self.deadline}"
+        # Validation is shared with the lint rules (repro.lint.checks) so
+        # the constructor and `ftmc lint` reject inputs with one message.
+        raise_on_error(
+            check_mc_task_fields(
+                self.name,
+                self.period,
+                self.deadline,
+                self.wcet_lo,
+                self.wcet_hi,
+                self.criticality,
             )
-        if self.wcet_lo < 0 or self.wcet_hi < 0:
-            raise ValueError(f"{self.name}: WCETs must be non-negative")
-        if self.wcet_lo > self.wcet_hi + 1e-12:
-            raise ValueError(
-                f"{self.name}: C(LO)={self.wcet_lo} exceeds C(HI)={self.wcet_hi}; "
-                "Vestal monotonicity violated"
-            )
-        if self.criticality is CriticalityRole.LO and not math.isclose(
-            self.wcet_lo, self.wcet_hi
-        ):
-            raise ValueError(
-                f"{self.name}: LO-criticality task must have C(LO) == C(HI), "
-                f"got {self.wcet_lo} != {self.wcet_hi}"
-            )
+        )
 
     def wcet(self, level: CriticalityRole) -> float:
         """``C_i(chi)`` for ``chi in {LO, HI}``."""
@@ -81,11 +78,7 @@ class MCTaskSet:
     def __init__(self, tasks: Iterable[MCTask], name: str = "mc-taskset") -> None:
         self._tasks: tuple[MCTask, ...] = tuple(tasks)
         self.name = name
-        seen: set[str] = set()
-        for task in self._tasks:
-            if task.name in seen:
-                raise ValueError(f"duplicate task name: {task.name!r}")
-            seen.add(task.name)
+        raise_on_error(check_unique_names([t.name for t in self._tasks]))
 
     def __iter__(self) -> Iterator[MCTask]:
         return iter(self._tasks)

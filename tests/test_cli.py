@@ -1,10 +1,13 @@
 """Tests for the ``ftmc`` command-line interface."""
 
+import json
 import os
 
 import pytest
 
 from repro.cli import build_parser, main
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 class TestParser:
@@ -115,3 +118,124 @@ class TestMain:
         assert "sweep-os" in out
         assert "sweep-phi" in out
         assert os.path.exists(os.path.join(out_dir, "sweep-df.csv"))
+
+
+GOOD_DOC = {
+    "name": "pair",
+    "criticality": {"hi": "B", "lo": "D"},
+    "tasks": [
+        {"name": "hi", "period": 100, "wcet": 10,
+         "criticality": "HI", "failure_probability": 1e-4},
+        {"name": "lo", "period": 50, "wcet": 5,
+         "criticality": "LO", "failure_probability": 1e-4},
+    ],
+}
+
+
+class TestAnalyzeErrorHandling:
+    """Malformed input yields a one-line diagnostic, never a traceback."""
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["analyze", "--system", str(tmp_path / "nope.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("ftmc: error: cannot read")
+        assert "Traceback" not in err
+        assert err.count("\n") == 1
+
+    def test_invalid_json(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert main(["analyze", "--system", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "Traceback" not in err
+
+    def test_semantically_invalid_document(self, tmp_path, capsys):
+        doc = dict(GOOD_DOC, tasks=[dict(GOOD_DOC["tasks"][0], period=-1)])
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(doc))
+        assert main(["analyze", "--system", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("ftmc: error:")
+        assert "period" in err
+
+
+class TestLintCommand:
+    def _write(self, tmp_path, doc) -> str:
+        path = tmp_path / "system.json"
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_requires_a_path(self, capsys):
+        assert main(["lint"]) == 2
+        assert "FILE.json" in capsys.readouterr().err
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        assert main(["lint", self._write(tmp_path, GOOD_DOC)]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s), 0 warning(s), 0 info(s)" in out
+
+    def test_seeded_defect_is_flagged(self, tmp_path, capsys):
+        doc = dict(GOOD_DOC, tasks=[dict(GOOD_DOC["tasks"][0], wcet=-3),
+                                    GOOD_DOC["tasks"][1]])
+        assert main(["lint", self._write(tmp_path, doc)]) == 1
+        out = capsys.readouterr().out
+        assert "FTMC003" in out
+        assert "WCET must be non-negative" in out
+
+    def test_missing_file_is_a_diagnostic_not_a_traceback(self, tmp_path,
+                                                          capsys):
+        assert main(["lint", str(tmp_path / "absent.json")]) == 1
+        captured = capsys.readouterr()
+        assert "FTMC040" in captured.out
+        assert "Traceback" not in captured.out + captured.err
+
+    def test_strict_escalates_warnings(self, tmp_path, capsys):
+        doc = dict(GOOD_DOC, tasks=[
+            dict(GOOD_DOC["tasks"][0], deadline=200),  # D > T warning
+            GOOD_DOC["tasks"][1],
+        ])
+        path = self._write(tmp_path, doc)
+        assert main(["lint", path]) == 0
+        assert main(["lint", path, "--strict"]) == 2
+        assert "FTMC005" in capsys.readouterr().out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        assert main(["lint", self._write(tmp_path, GOOD_DOC),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"errors": 0, "warnings": 0, "infos": 0}
+        assert payload["diagnostics"] == []
+
+    def test_accepts_system_flag_like_analyze(self, tmp_path, capsys):
+        assert main(["lint", "--system",
+                     self._write(tmp_path, GOOD_DOC)]) == 0
+
+    def test_golden_json_output(self, capsys, monkeypatch):
+        """--format json output is byte-stable (golden file)."""
+        monkeypatch.chdir(REPO_ROOT)
+        assert main(["lint", "tests/data/lint_fixture.json",
+                     "--format", "json"]) == 1
+        out = capsys.readouterr().out
+        with open(os.path.join(REPO_ROOT, "tests", "data",
+                               "lint_fixture.expected.json")) as handle:
+            expected = handle.read()
+        assert out == expected
+
+
+class TestSelfcheckCommand:
+    def test_shipped_tree_is_clean(self, capsys):
+        assert main(["selfcheck"]) == 0
+        assert "0 error(s)" in capsys.readouterr().out
+
+    def test_strict_mode_also_clean(self, capsys):
+        assert main(["selfcheck", "--strict"]) == 0
+
+    def test_explicit_target_directory(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(xs=[]):\n    pass\n")
+        assert main(["selfcheck", str(tmp_path)]) == 1
+        assert "FTMCC02" in capsys.readouterr().out
+
+    def test_nonexistent_target_fails_cleanly(self, tmp_path, capsys):
+        assert main(["selfcheck", str(tmp_path / "missing")]) == 2
+        assert "not a directory" in capsys.readouterr().err

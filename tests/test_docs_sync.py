@@ -70,3 +70,33 @@ class TestDocReferences:
     def test_design_and_experiments_exist(self):
         for name in ("DESIGN.md", "EXPERIMENTS.md"):
             assert os.path.exists(os.path.join(REPO_ROOT, name))
+
+
+class TestLintCatalogSync:
+    """docs/lint.md documents every rule code the linter can emit."""
+
+    @pytest.fixture(scope="class")
+    def lint_doc(self):
+        with open(os.path.join(REPO_ROOT, "docs", "lint.md")) as handle:
+            return handle.read()
+
+    def test_every_registered_rule_is_documented(self, lint_doc):
+        from repro.lint import rule_catalog
+
+        for rule in rule_catalog():
+            assert rule.code in lint_doc, f"{rule.code} missing from docs/lint.md"
+
+    def test_document_and_code_rules_are_documented(self, lint_doc):
+        engine_codes = ("FTMC040", "FTMC041", "FTMC042")
+        code_codes = ("FTMCC00", "FTMCC01", "FTMCC02", "FTMCC03", "FTMCC04")
+        for code in engine_codes + code_codes:
+            assert code in lint_doc, f"{code} missing from docs/lint.md"
+
+    def test_documented_codes_all_exist(self, lint_doc):
+        from repro.lint import rule_catalog
+
+        known = {r.code for r in rule_catalog()}
+        known.update({"FTMC040", "FTMC041", "FTMC042"})
+        known.update({f"FTMCC0{i}" for i in range(5)})
+        for code in set(re.findall(r"FTMCC?\d{2,3}", lint_doc)):
+            assert code in known, f"docs/lint.md documents unknown rule {code}"

@@ -1,0 +1,127 @@
+"""Tests for the AST code self-analysis (``ftmc selfcheck``).
+
+Each FTMCC0x rule is exercised on an inline snippet (violating and
+clean), and the shipped package itself must pass — the same gate CI
+enforces.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.codecheck import (
+    check_path,
+    check_source,
+    default_root,
+    selfcheck,
+)
+
+
+def codes(source: str, **kwargs) -> list[str]:
+    return [d.code for d in check_source(textwrap.dedent(source), **kwargs)]
+
+
+class TestSyntaxError:
+    def test_ftmcc00_on_unparsable_source(self):
+        diags = check_source("def broken(:\n", filename="bad.py")
+        assert [d.code for d in diags] == ["FTMCC00"]
+        assert diags[0].location.startswith("bad.py:")
+        assert "syntax error" in diags[0].message
+
+
+class TestProbabilityEquality:
+    def test_ftmcc01_equality_on_probability_name(self):
+        assert codes("ok = failure_probability == 0.0") == ["FTMCC01"]
+
+    def test_ftmcc01_inequality_and_attributes(self):
+        assert codes("if task.pfh_bound != limit:\n    pass") == ["FTMCC01"]
+
+    def test_ftmcc01_call_results_count(self):
+        assert codes("flag = pfh_of_tasks(ts, prof) == 0.0") == ["FTMCC01"]
+
+    def test_ftmcc01_chained_comparison(self):
+        assert codes("x = 0.0 <= prob_hi == ceiling") == ["FTMCC01"]
+
+    def test_clean_comparisons_pass(self):
+        assert codes("ok = count == 3") == []
+        assert codes("ok = math.isclose(pfh, 0.0)") == []
+        assert codes("ok = failure_probability <= 0.0") == []
+
+
+class TestMutableDefaults:
+    def test_ftmcc02_literal_defaults(self):
+        assert codes("def f(xs=[]):\n    pass") == ["FTMCC02"]
+        assert codes("def f(m={}):\n    pass") == ["FTMCC02"]
+
+    def test_ftmcc02_constructor_defaults(self):
+        assert codes("def f(xs=list()):\n    pass") == ["FTMCC02"]
+
+    def test_ftmcc02_keyword_only_and_lambda(self):
+        assert codes("def f(*, xs=set()):\n    pass") == ["FTMCC02"]
+        assert codes("g = lambda xs=[]: xs") == ["FTMCC02"]
+
+    def test_clean_defaults_pass(self):
+        assert codes("def f(xs=None, n=3, name='x'):\n    pass") == []
+        assert codes("def f(xs=()):\n    pass") == []
+
+
+class TestBareExcept:
+    def test_ftmcc03_bare_except(self):
+        src = """
+        try:
+            risky()
+        except:
+            pass
+        """
+        assert codes(src) == ["FTMCC03"]
+
+    def test_typed_except_passes(self):
+        src = """
+        try:
+            risky()
+        except ValueError:
+            pass
+        """
+        assert codes(src) == []
+
+
+class TestPrintPlacement:
+    def test_ftmcc04_print_in_library_code(self):
+        assert codes("print('hello')") == ["FTMCC04"]
+
+    def test_print_allowed_when_flagged(self):
+        assert codes("print('hello')", allow_print=True) == []
+
+    def test_shadowed_print_attribute_passes(self):
+        assert codes("logger.print('hello')") == []
+
+
+class TestTreeWalk:
+    def test_check_path_walks_and_reports(self, tmp_path):
+        (tmp_path / "lib.py").write_text("def f(xs=[]):\n    pass\n")
+        (tmp_path / "cli.py").write_text("print('fine here')\n")
+        sub = tmp_path / "experiments"
+        sub.mkdir()
+        (sub / "driver.py").write_text("print('fine here too')\n")
+        (tmp_path / "notes.txt").write_text("print('not python')\n")
+        report = check_path(str(tmp_path))
+        assert [d.code for d in report] == ["FTMCC02"]
+        assert report.by_code("FTMCC02")[0].location == "lib.py:1"
+
+    def test_locations_are_relative_file_line(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "mod.py").write_text("try:\n    pass\nexcept:\n    pass\n")
+        report = check_path(str(tmp_path))
+        location = report.diagnostics[0].location
+        assert location.endswith("mod.py:3")
+
+
+class TestSelfcheck:
+    def test_default_root_is_the_package(self):
+        assert default_root().endswith("repro")
+
+    def test_shipped_package_is_clean(self):
+        report = selfcheck()
+        assert not list(report), report.render_text("src/repro")
+        assert report.exit_code(strict=True) == 0

@@ -1,0 +1,225 @@
+"""Engine-level tests: subject normalization, file front end, report
+rendering, the exit-code contract and the ``validate=True`` hooks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.ftmc import ft_edf_vd
+from repro.core.optimize import minimal_per_task_reexecution
+from repro.lint import (
+    Diagnostic,
+    LintError,
+    LintReport,
+    Severity,
+    lint_file,
+    lint_taskset,
+    validate_taskset,
+)
+from repro.lint.records import TaskSetRecord
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+
+
+def pair_taskset(hi_wcet: float = 10.0, lo_wcet: float = 5.0) -> TaskSet:
+    return TaskSet(
+        [
+            Task("hi", 100.0, 100.0, hi_wcet, HI, 1e-4),
+            Task("lo", 50.0, 50.0, lo_wcet, LO, 1e-4),
+        ],
+        DualCriticalitySpec.from_names("B", "D"),
+        name="pair",
+    )
+
+
+GOOD_DOC = {
+    "name": "pair",
+    "criticality": {"hi": "B", "lo": "D"},
+    "tasks": [
+        {"name": "hi", "period": 100, "deadline": 100, "wcet": 10,
+         "criticality": "HI", "failure_probability": 1e-4},
+        {"name": "lo", "period": 50, "deadline": 50, "wcet": 5,
+         "criticality": "LO", "failure_probability": 1e-4},
+    ],
+}
+
+
+class TestSubjectNormalization:
+    def test_taskset_record_and_document_agree(self):
+        from_model = lint_taskset(pair_taskset())
+        from_record = lint_taskset(TaskSetRecord.from_taskset(pair_taskset()))
+        from_doc = lint_taskset(GOOD_DOC)
+        assert (from_model.codes() == from_record.codes() == from_doc.codes()
+                == ())
+
+    def test_defective_inputs_agree_across_front_ends(self):
+        bad_doc = {
+            "criticality": {"hi": "B", "lo": "D"},
+            "tasks": [
+                {"name": "a", "period": 10, "wcet": 8, "criticality": "HI",
+                 "failure_probability": 1e-4},
+                {"name": "b", "period": 10, "wcet": 8, "criticality": "LO",
+                 "failure_probability": 1e-4},
+            ],
+        }
+        assert lint_taskset(bad_doc).has_code("FTMC007")
+
+    def test_unknown_subject_type_raises(self):
+        with pytest.raises(TypeError, match="lint_taskset expects"):
+            lint_taskset(42)
+
+
+class TestLintFile:
+    def test_clean_file(self, tmp_path):
+        path = tmp_path / "good.json"
+        path.write_text(json.dumps(GOOD_DOC))
+        report = lint_file(str(path))
+        assert report.is_clean
+        assert report.exit_code() == 0
+
+    def test_missing_file(self, tmp_path):
+        report = lint_file(str(tmp_path / "nope.json"))
+        diags = report.by_code("FTMC040")
+        assert diags and "cannot read" in diags[0].message
+        assert report.exit_code() == 1
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        report = lint_file(str(path))
+        diags = report.by_code("FTMC040")
+        assert diags and "invalid JSON" in diags[0].message
+        assert "line 1" in diags[0].message
+
+    def test_non_object_document(self, tmp_path):
+        path = tmp_path / "array.json"
+        path.write_text("[1, 2, 3]")
+        report = lint_file(str(path))
+        assert any("JSON object" in d.message
+                   for d in report.by_code("FTMC040"))
+
+
+class TestReportContract:
+    def _report(self, *severities: Severity) -> LintReport:
+        return LintReport(
+            Diagnostic(f"FTMC90{i}", sev, "x", f"x: finding {i}")
+            for i, sev in enumerate(severities)
+        )
+
+    def test_exit_codes(self):
+        assert self._report().exit_code() == 0
+        assert self._report(Severity.INFO).exit_code(strict=True) == 0
+        assert self._report(Severity.WARNING).exit_code() == 0
+        assert self._report(Severity.WARNING).exit_code(strict=True) == 2
+        assert self._report(Severity.WARNING, Severity.ERROR).exit_code() == 1
+        assert (
+            self._report(Severity.WARNING, Severity.ERROR).exit_code(strict=True)
+            == 1
+        )
+
+    def test_render_text_footer_and_lines(self):
+        text = self._report(Severity.ERROR, Severity.WARNING).render_text("subj")
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].startswith("FTMC900 error:")
+        assert lines[-1] == "subj: 1 error(s), 1 warning(s), 0 info(s)"
+
+    def test_render_elides_redundant_location(self):
+        with_prefix = Diagnostic("FTMC901", Severity.ERROR, "tau", "tau: bad")
+        without = Diagnostic("FTMC901", Severity.ERROR, "tau", "bad")
+        assert with_prefix.render() == "FTMC901 error: tau: bad"
+        assert without.render() == "FTMC901 error: tau: bad"
+
+    def test_render_json_shape(self):
+        payload = json.loads(self._report(Severity.ERROR).render_json("subj"))
+        assert payload["subject"] == "subj"
+        assert payload["summary"] == {"errors": 1, "warnings": 0, "infos": 0}
+        assert payload["diagnostics"][0]["code"] == "FTMC900"
+        assert payload["diagnostics"][0]["severity"] == "error"
+
+    def test_suggestion_round_trips(self):
+        diag = Diagnostic("FTMC902", Severity.WARNING, "x", "x: odd",
+                          suggestion="fix it")
+        assert "[fix: fix it]" in diag.render()
+        assert diag.as_dict()["suggestion"] == "fix it"
+
+    def test_partitions_and_lookup(self):
+        report = self._report(Severity.ERROR, Severity.WARNING, Severity.INFO)
+        assert len(report) == 3
+        assert bool(report)
+        assert len(report.errors) == len(report.warnings) == len(report.infos) == 1
+        assert report.codes() == ("FTMC900", "FTMC901", "FTMC902")
+        assert report.has_code("FTMC901")
+        assert not report.has_code("FTMC999")
+
+    def test_extend_is_pure(self):
+        base = self._report(Severity.INFO)
+        grown = base.extend(self._report(Severity.ERROR))
+        assert len(base) == 1 and len(grown) == 2
+
+
+class TestValidateHooks:
+    def _overutilized(self) -> TaskSet:
+        return pair_taskset(hi_wcet=90.0, lo_wcet=40.0)  # U = 1.7
+
+    def test_validate_taskset_raises_with_full_report(self):
+        with pytest.raises(LintError) as excinfo:
+            validate_taskset(self._overutilized())
+        err = excinfo.value
+        assert err.report.has_code("FTMC007")
+        assert err.subject == "pair"
+        assert "FTMC007" in str(err)
+
+    def test_validate_taskset_clean_returns_report(self):
+        report = validate_taskset(pair_taskset())
+        assert isinstance(report, LintReport)
+        assert report.is_clean
+
+    def test_validate_strict_promotes_warnings(self):
+        warned = TaskSet(
+            [
+                Task("hi", 50.0, 80.0, 5.0, HI, 1e-4),  # D > T warning
+                Task("lo", 50.0, 50.0, 5.0, LO, 1e-4),
+            ],
+            DualCriticalitySpec.from_names("B", "D"),
+        )
+        assert validate_taskset(warned).has_code("FTMC005")
+        with pytest.raises(LintError):
+            validate_taskset(warned, strict=True)
+
+    def test_ft_edf_vd_validate_flag(self):
+        bad = self._overutilized()
+        # Default path keeps the legacy behaviour: a result, not a raise.
+        assert not ft_edf_vd(bad).success
+        with pytest.raises(LintError, match="FTMC007"):
+            ft_edf_vd(bad, validate=True)
+
+    def test_optimize_validate_flag(self):
+        bad = self._overutilized()
+        with pytest.raises(LintError, match="FTMC007"):
+            minimal_per_task_reexecution(bad, HI, 1e-7, validate=True)
+
+    def test_validate_accepts_good_systems(self):
+        result = ft_edf_vd(pair_taskset(), validate=True)
+        assert result.success
+
+
+class TestGeneratedSetsLintClean:
+    def test_generated_sets_have_no_errors(self):
+        from repro.gen.taskset import generate_taskset
+
+        spec = DualCriticalitySpec.from_names("B", "C")
+        for seed in range(5):
+            report = lint_taskset(generate_taskset(0.6, spec, rng=seed))
+            assert not report.errors, report.render_text(f"seed {seed}")
+            assert report.exit_code() == 0
+
+    def test_paper_reference_sets_are_clean(self, example31, fms):
+        for system in (example31, fms):
+            report = lint_taskset(system)
+            assert not report.errors, report.render_text(system.name)

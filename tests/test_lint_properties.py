@@ -1,0 +1,63 @@
+"""Property-based tests: lint is total over the repo's own generator.
+
+Whatever :func:`repro.gen.taskset.generate_taskset` produces, the lint
+front ends must return a report — never raise — and (since the generator
+is the source of every Fig. 3 data point) the reports must carry no
+error-severity findings.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gen.taskset import generate_taskset
+from repro.lint import lint_taskset
+from repro.lint.engine import lint_conversion, lint_profiles
+from repro.model.criticality import DualCriticalitySpec
+
+SPEC_NAMES = [("A", "C"), ("B", "C"), ("B", "D"), ("C", "E")]
+
+taskset_inputs = st.tuples(
+    st.floats(min_value=0.05, max_value=0.95),
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(SPEC_NAMES),
+)
+
+
+def _generate(params):
+    utilization, seed, (hi, lo) = params
+    spec = DualCriticalitySpec.from_names(hi, lo)
+    return generate_taskset(utilization, spec, rng=seed)
+
+
+@settings(max_examples=40, deadline=None)
+@given(taskset_inputs)
+def test_lint_taskset_never_crashes_and_is_error_free(params):
+    report = lint_taskset(_generate(params))
+    assert not report.errors, report.render_text("generated")
+    assert report.exit_code() == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(taskset_inputs, st.integers(1, 4), st.integers(1, 4))
+def test_lint_profiles_total_on_generated_sets(params, n_hi, n_prime):
+    taskset = _generate(params)
+    reexecution = {t.name: n_hi for t in taskset}
+    adaptation = {t.name: n_prime for t in taskset.hi_tasks}
+    report = lint_profiles(taskset, reexecution, adaptation)
+    # Valid profile structure by construction, except possibly n' > n
+    # (tiny sets may have no HI task at all, and then nothing can fire).
+    expected = ("FTMC016",) if n_prime > n_hi and adaptation else ()
+    assert report.codes() == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(taskset_inputs)
+def test_lint_conversion_round_trip_self_consistent(params):
+    taskset = _generate(params)
+    report = lint_conversion(taskset, n_hi=3, n_lo=1, n_prime=2)
+    # The derived Lemma 4.1 conversion can be infeasible (FTMC022/023 on
+    # the inflated budgets) but must never disagree with its own source.
+    assert not report.has_code("FTMC030")
+    assert not report.has_code("FTMC031")

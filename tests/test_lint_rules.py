@@ -1,0 +1,434 @@
+"""Per-rule unit tests for the model lint rules (FTMC0xx).
+
+Every registered rule gets at least one *clean* fixture (the rule stays
+silent) and one *violating* fixture (the rule fires with its documented
+code and severity).  Records are built directly so that data the model
+constructors would reject can still be exercised.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.conversion import convert_uniform
+from repro.lint import Severity, lint_mc_taskset, lint_taskset
+from repro.lint.engine import lint_conversion, lint_profiles
+from repro.lint.records import (
+    MCTaskRecord,
+    MCTaskSetRecord,
+    TaskRecord,
+    TaskSetRecord,
+)
+from repro.lint.registry import RULES, rule_catalog
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.task import Task, TaskSet
+
+HI = CriticalityRole.HI
+LO = CriticalityRole.LO
+SPEC_BD = DualCriticalitySpec.from_names("B", "D")
+
+
+def task(
+    name: str = "t1",
+    period: float = 100.0,
+    deadline: float | None = None,
+    wcet: float = 10.0,
+    criticality: CriticalityRole = HI,
+    f: float = 1e-4,
+) -> TaskRecord:
+    return TaskRecord(
+        name=name,
+        period=period,
+        deadline=period if deadline is None else deadline,
+        wcet=wcet,
+        criticality=criticality,
+        failure_probability=f,
+    )
+
+
+def taskset(*tasks: TaskRecord, spec=SPEC_BD, name: str = "fixture") -> TaskSetRecord:
+    return TaskSetRecord(name=name, tasks=tuple(tasks), spec=spec)
+
+
+CLEAN = taskset(task("hi", criticality=HI), task("lo", criticality=LO))
+
+
+def mc_task(
+    name: str = "m1",
+    period: float = 100.0,
+    deadline: float | None = None,
+    wcet_lo: float = 10.0,
+    wcet_hi: float = 20.0,
+    criticality: CriticalityRole = HI,
+) -> MCTaskRecord:
+    return MCTaskRecord(
+        name=name,
+        period=period,
+        deadline=period if deadline is None else deadline,
+        wcet_lo=wcet_lo,
+        wcet_hi=wcet_hi,
+        criticality=criticality,
+    )
+
+
+def mc_taskset(*tasks: MCTaskRecord, name: str = "mc-fixture") -> MCTaskSetRecord:
+    return MCTaskSetRecord(name=name, tasks=tuple(tasks))
+
+
+class TestCleanFixture:
+    """The reference clean set silences every taskset rule."""
+
+    def test_no_diagnostics_at_all(self):
+        report = lint_taskset(CLEAN)
+        assert not list(report)
+        assert report.is_clean
+        assert report.exit_code() == 0
+        assert report.exit_code(strict=True) == 0
+
+
+class TestStructuralRules:
+    def test_ftmc001_nonpositive_period(self):
+        report = lint_taskset(taskset(task(period=0.0)))
+        diags = report.by_code("FTMC001")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "period" in diags[0].message
+
+    def test_ftmc002_nonpositive_deadline(self):
+        report = lint_taskset(taskset(task(deadline=-1.0)))
+        assert report.has_code("FTMC002")
+
+    def test_ftmc003_negative_wcet(self):
+        report = lint_taskset(taskset(task(wcet=-2.0)))
+        assert report.has_code("FTMC003")
+
+    def test_ftmc004_wcet_exceeds_window(self):
+        report = lint_taskset(taskset(task(period=10.0, deadline=10.0, wcet=15.0)))
+        diags = report.by_code("FTMC004")
+        assert diags and "exceeds both" in diags[0].message
+
+    def test_ftmc004_silent_when_deadline_accommodates(self):
+        # C > T but C <= D: legal for arbitrary-deadline tasks.
+        report = lint_taskset(taskset(task(period=10.0, deadline=20.0, wcet=15.0)))
+        assert not report.has_code("FTMC004")
+
+    def test_ftmc010_probability_out_of_range(self):
+        for f in (1.0, 1.5, -0.1):
+            report = lint_taskset(taskset(task(f=f)))
+            assert report.has_code("FTMC010"), f
+
+    def test_messages_prefixed_with_task_name(self):
+        report = lint_taskset(taskset(task(name="engine_ctrl", period=-1.0)))
+        diag = report.by_code("FTMC001")[0]
+        assert diag.message.startswith("engine_ctrl:")
+        assert diag.location == "engine_ctrl"
+
+
+class TestAggregateRules:
+    def test_ftmc005_arbitrary_deadline_warns(self):
+        report = lint_taskset(taskset(task(period=50.0, deadline=80.0, wcet=5.0)))
+        diags = report.by_code("FTMC005")
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_ftmc005_silent_for_constrained_deadline(self):
+        report = lint_taskset(taskset(task(period=50.0, deadline=40.0, wcet=5.0)))
+        assert not report.has_code("FTMC005")
+
+    def test_ftmc006_duplicate_names(self):
+        report = lint_taskset(taskset(task("dup", criticality=HI),
+                                      task("dup", criticality=LO)))
+        diags = report.by_code("FTMC006")
+        assert len(diags) == 1
+        assert "duplicate" in diags[0].message
+
+    def test_ftmc007_overutilized(self):
+        report = lint_taskset(
+            taskset(task("a", period=10.0, wcet=8.0),
+                    task("b", period=10.0, wcet=8.0, criticality=LO))
+        )
+        diags = report.by_code("FTMC007")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "utilization" in diags[0].message
+
+    def test_ftmc007_silent_at_exactly_one(self):
+        report = lint_taskset(
+            taskset(task("a", period=10.0, wcet=5.0),
+                    task("b", period=10.0, wcet=5.0, criticality=LO))
+        )
+        assert not report.has_code("FTMC007")
+
+    def test_ftmc008_one_sided_partition(self):
+        report = lint_taskset(taskset(task("a"), task("b", period=50.0)))
+        diags = report.by_code("FTMC008")
+        assert diags and diags[0].severity is Severity.INFO
+        assert "no LO tasks" in diags[0].message
+
+    def test_ftmc008_silent_for_dual_sets(self):
+        assert not lint_taskset(CLEAN).has_code("FTMC008")
+
+    def test_ftmc009_missing_spec(self):
+        report = lint_taskset(
+            taskset(task("hi"), task("lo", criticality=LO), spec=None)
+        )
+        diags = report.by_code("FTMC009")
+        assert diags and diags[0].severity is Severity.INFO
+
+
+class TestSafetyRules:
+    def test_ftmc011_zero_probability_on_safety_task(self):
+        report = lint_taskset(taskset(task("hi", f=0.0),
+                                      task("lo", criticality=LO, f=0.0)))
+        diags = report.by_code("FTMC011")
+        # HI maps to level B (safety-related); LO maps to D (no ceiling).
+        assert [d.location for d in diags] == ["hi"]
+        assert diags[0].severity is Severity.WARNING
+
+    def test_ftmc011_silent_without_spec(self):
+        report = lint_taskset(taskset(task("hi", f=0.0), spec=None))
+        assert not report.has_code("FTMC011")
+
+    def test_ftmc012_unreachable_ceiling(self):
+        # f = 0.9 at level A (ceiling 1e-9): no n <= 30 can get there.
+        spec = DualCriticalitySpec.from_names("A", "D")
+        report = lint_taskset(
+            taskset(task("hi", f=0.9), task("lo", criticality=LO), spec=spec)
+        )
+        diags = report.by_code("FTMC012")
+        assert diags and diags[0].severity is Severity.ERROR
+        assert "ceiling" in diags[0].message
+        # The inflation rule must stay out of the way when FTMC012 fires.
+        assert not report.has_code("FTMC013")
+
+    def test_ftmc012_silent_for_reachable_ceiling(self):
+        assert not lint_taskset(CLEAN).has_code("FTMC012")
+
+    def test_ftmc013_inflated_utilization(self):
+        # Base utilization 0.7 is fine, but the HI ceiling needs n >= 2,
+        # pushing the re-executed demand past 1.
+        report = lint_taskset(
+            taskset(
+                task("hi", period=1000.0, wcet=400.0, f=1e-3),
+                task("lo", period=1000.0, wcet=300.0, criticality=LO, f=1e-3),
+            )
+        )
+        assert not report.has_code("FTMC007")
+        diags = report.by_code("FTMC013")
+        assert diags and diags[0].severity is Severity.WARNING
+        assert "no scheduler backend" in diags[0].message
+
+
+class TestProfileRules:
+    def _set(self) -> TaskSetRecord:
+        return CLEAN
+
+    def test_clean_profiles(self):
+        report = lint_profiles(self._set(), {"hi": 3, "lo": 1}, {"hi": 2})
+        assert not list(report)
+
+    def test_ftmc014_degenerate_reexecution(self):
+        report = lint_profiles(self._set(), {"hi": 0, "lo": 1})
+        diags = report.by_code("FTMC014")
+        assert [d.location for d in diags] == ["hi"]
+
+    def test_ftmc015_missing_reexecution_coverage(self):
+        report = lint_profiles(self._set(), {"hi": 2})
+        diags = report.by_code("FTMC015")
+        assert [d.location for d in diags] == ["lo"]
+
+    def test_ftmc015_missing_adaptation_coverage(self):
+        report = lint_profiles(self._set(), {"hi": 2, "lo": 1}, {})
+        diags = report.by_code("FTMC015")
+        # Only the HI task needs adaptation coverage.
+        assert [d.location for d in diags] == ["hi"]
+        assert "adaptation" in diags[0].message
+
+    def test_ftmc015_no_adaptation_profile_is_fine(self):
+        report = lint_profiles(self._set(), {"hi": 2, "lo": 1}, None)
+        assert not report.has_code("FTMC015")
+
+    def test_ftmc016_adaptation_exceeds_reexecution(self):
+        report = lint_profiles(self._set(), {"hi": 2, "lo": 1}, {"hi": 3})
+        diags = report.by_code("FTMC016")
+        assert diags and "n'=3" in diags[0].message
+
+    def test_ftmc017_degenerate_adaptation(self):
+        report = lint_profiles(self._set(), {"hi": 2, "lo": 1}, {"hi": 0})
+        assert report.has_code("FTMC017")
+
+    def test_value_objects_accepted(self, example31, example31_profiles,
+                                    example31_adaptation):
+        report = lint_profiles(example31, example31_profiles,
+                               example31_adaptation)
+        assert not list(report)
+
+
+class TestMCRules:
+    def test_clean_mc_set(self):
+        report = lint_mc_taskset(
+            mc_taskset(mc_task("hi"),
+                       mc_task("lo", wcet_lo=5.0, wcet_hi=5.0, criticality=LO))
+        )
+        assert not list(report)
+
+    def test_ftmc020_monotonicity(self):
+        report = lint_mc_taskset(mc_taskset(mc_task(wcet_lo=30.0, wcet_hi=20.0)))
+        diags = report.by_code("FTMC020")
+        assert diags and "monotonicity" in diags[0].message
+
+    def test_ftmc021_lo_task_distinct_budgets(self):
+        report = lint_mc_taskset(
+            mc_taskset(mc_task(wcet_lo=5.0, wcet_hi=10.0, criticality=LO))
+        )
+        diags = report.by_code("FTMC021")
+        assert diags and "C(LO) == C(HI)" in diags[0].message
+
+    def test_ftmc021_silent_for_hi_tasks(self):
+        report = lint_mc_taskset(
+            mc_taskset(mc_task(wcet_lo=5.0, wcet_hi=10.0, criticality=HI))
+        )
+        assert not report.has_code("FTMC021")
+
+    def test_ftmc022_hi_budget_exceeds_window(self):
+        report = lint_mc_taskset(
+            mc_taskset(mc_task(period=100.0, deadline=50.0,
+                               wcet_lo=20.0, wcet_hi=60.0))
+        )
+        diags = report.by_code("FTMC022")
+        assert diags and diags[0].severity is Severity.WARNING
+
+    def test_ftmc023_lo_mode_overutilized(self):
+        report = lint_mc_taskset(
+            mc_taskset(
+                mc_task("a", period=10.0, wcet_lo=6.0, wcet_hi=8.0),
+                mc_task("b", period=10.0, wcet_lo=6.0, wcet_hi=6.0,
+                        criticality=LO),
+            )
+        )
+        diags = report.by_code("FTMC023")
+        assert diags and diags[0].severity is Severity.ERROR
+
+
+class TestConversionRules:
+    def _source(self) -> TaskSet:
+        return TaskSet(
+            [
+                Task("hi", 100.0, 100.0, 10.0, HI, 1e-4),
+                Task("lo", 50.0, 50.0, 5.0, LO, 1e-4),
+            ],
+            SPEC_BD,
+            name="src",
+        )
+
+    def test_derived_conversion_is_clean(self):
+        report = lint_conversion(self._source(), n_hi=3, n_lo=1, n_prime=2)
+        assert not report.errors
+
+    def test_external_correct_conversion_is_clean(self):
+        source = self._source()
+        converted = convert_uniform(source, 3, 1, 2)
+        report = lint_conversion(source, 3, 1, 2, converted=converted)
+        assert not report.errors
+
+    def test_ftmc030_dropped_task(self):
+        source = self._source()
+        converted = MCTaskSetRecord.from_mc_taskset(convert_uniform(source, 3, 1, 2))
+        tampered = MCTaskSetRecord(name=converted.name, tasks=converted.tasks[:1])
+        report = lint_conversion(source, 3, 1, 2, converted=tampered)
+        diags = report.by_code("FTMC030")
+        assert any("missing" in d.message for d in diags)
+
+    def test_ftmc030_changed_period(self):
+        source = self._source()
+        converted = MCTaskSetRecord.from_mc_taskset(convert_uniform(source, 3, 1, 2))
+        tampered = MCTaskSetRecord(
+            name=converted.name,
+            tasks=(
+                MCTaskRecord("hi", 90.0, 100.0, converted.tasks[0].wcet_lo,
+                             converted.tasks[0].wcet_hi, HI),
+                converted.tasks[1],
+            ),
+        )
+        report = lint_conversion(source, 3, 1, 2, converted=tampered)
+        assert any("period changed" in d.message
+                   for d in report.by_code("FTMC030"))
+
+    def test_ftmc031_wrong_wcet_multiple(self):
+        source = self._source()
+        # Claim n_hi=3 but hand over the n_hi=2 conversion.
+        wrong = convert_uniform(source, 2, 1, 2)
+        report = lint_conversion(source, 3, 1, 2, converted=wrong)
+        diags = report.by_code("FTMC031")
+        assert diags and "Lemma 4.1 prescribes" in diags[0].message
+
+    def test_invalid_profiles_short_circuit(self):
+        # n' > n is a profile error; no conversion is derived or checked.
+        report = lint_conversion(self._source(), n_hi=2, n_lo=1, n_prime=3)
+        assert report.has_code("FTMC016")
+        assert not report.has_code("FTMC031")
+
+
+class TestDocumentRules:
+    def test_ftmc041_missing_tasks_list(self):
+        report = lint_taskset({"name": "broken"})
+        diags = report.by_code("FTMC041")
+        assert diags and "'tasks' list" in diags[0].message
+
+    def test_ftmc041_non_object_entry(self):
+        report = lint_taskset({"tasks": [42]})
+        assert any("must be an object" in d.message
+                   for d in report.by_code("FTMC041"))
+
+    def test_ftmc042_bad_criticality_value(self):
+        report = lint_taskset(
+            {"tasks": [{"name": "x", "period": 10, "wcet": 1,
+                        "criticality": "MEDIUM"}]}
+        )
+        diags = report.by_code("FTMC042")
+        assert diags and "'HI' or 'LO'" in diags[0].message
+
+    def test_ftmc042_bad_criticality_header(self):
+        report = lint_taskset(
+            {"criticality": {"hi": "Z", "lo": "D"},
+             "tasks": [{"name": "x", "period": 10, "wcet": 1,
+                        "criticality": "HI"}]}
+        )
+        assert any("header" in d.message for d in report.by_code("FTMC042"))
+
+    def test_clean_document(self):
+        report = lint_taskset(
+            {
+                "name": "doc",
+                "criticality": {"hi": "B", "lo": "D"},
+                "tasks": [
+                    {"name": "hi", "period": 100, "wcet": 10,
+                     "criticality": "HI", "failure_probability": 1e-4},
+                    {"name": "lo", "period": 50, "wcet": 5,
+                     "criticality": "LO", "failure_probability": 1e-4},
+                ],
+            }
+        )
+        assert not list(report)
+
+
+class TestRegistry:
+    def test_catalog_is_sorted_and_unique(self):
+        codes = [r.code for r in rule_catalog()]
+        assert codes == sorted(codes)
+        assert len(codes) == len(set(codes))
+        assert len(codes) >= 12  # the ISSUE's 12-15 rule floor
+
+    def test_every_rule_has_summary_and_kind(self):
+        for r in RULES.values():
+            assert r.summary
+            assert r.kind in ("taskset", "profiles", "mc", "conversion")
+
+    def test_duplicate_registration_rejected(self):
+        from repro.lint.registry import rule
+
+        with pytest.raises(ValueError, match="duplicate rule code"):
+            rule("FTMC001", Severity.ERROR, "taskset", "dup")
+
+    def test_unknown_kind_rejected(self):
+        from repro.lint.registry import rule
+
+        with pytest.raises(ValueError, match="unknown rule kind"):
+            rule("FTMC099", Severity.ERROR, "cosmic", "nope")
