@@ -22,6 +22,18 @@ Static analysis (see ``docs/lint.md`` for the rule catalog)::
 Exit codes for ``lint``/``selfcheck``: 0 clean, 1 errors, 2 warnings
 present under ``--strict``.  Malformed or missing input files yield a
 one-line diagnostic and a nonzero exit, never a traceback.
+
+Fault-tolerant campaigns (see ``docs/robustness.md``)::
+
+    ftmc campaign fig2                   # sharded, checkpointed run
+    ftmc campaign fig2 --resume          # continue after a crash/kill
+    ftmc campaign fig1 --chaos 42        # self-test under fault injection
+    ftmc campaign fig3 --timeout 600 --max-retries 4 --sets 100
+
+Campaign exit codes: 0 all shards completed, 3 completed degraded
+(some shards failed; coverage report says which), 130/143 interrupted
+by SIGINT/SIGTERM (checkpoint retained — rerun with ``--resume``),
+2 unusable configuration.
 """
 
 from __future__ import annotations
@@ -100,17 +112,44 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3", "table4",
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
-            "lint", "selfcheck",
+            "lint", "selfcheck", "campaign",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
             "'backends'/'sensitivity'/'validate' for the extension "
-            "studies; 'lint'/'selfcheck' for static analysis"
+            "studies; 'lint'/'selfcheck' for static analysis; 'campaign' "
+            "for a fault-tolerant sharded run (docs/robustness.md)"
         ),
     )
     parser.add_argument(
-        "path", nargs="?", default=None, metavar="FILE.json",
-        help="task-set JSON to check (for 'lint')",
+        "path", nargs="?", default=None, metavar="TARGET",
+        help=(
+            "task-set JSON to check (for 'lint') or experiment name "
+            "(for 'campaign': fig1, fig2, fig3, tables, validation)"
+        ),
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="campaign: continue from the checkpoint instead of restarting",
+    )
+    parser.add_argument(
+        "--chaos", type=int, default=None, metavar="SEED",
+        help="campaign: inject worker crashes/hangs and a torn checkpoint "
+             "from this chaos seed (self-test mode)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="campaign: per-shard watchdog budget in seconds "
+             "(default 120, or 5 under --chaos)",
+    )
+    parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="K",
+        help="campaign: re-executions allowed per failed shard (default 2)",
+    )
+    parser.add_argument(
+        "--retry-delay", type=float, default=None, metavar="S",
+        help="campaign: base backoff delay before a retry "
+             "(default 0.5, or 0.1 under --chaos)",
     )
     parser.add_argument(
         "--format", choices=["text", "json"], default="text",
@@ -219,6 +258,67 @@ def _run_selfcheck(args: argparse.Namespace) -> int:
     return _emit_lint_report(selfcheck(root), root, args)
 
 
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.runner import (
+        CampaignConfigError,
+        CampaignInterrupted,
+        RetryPolicy,
+        build_options,
+        campaign_names,
+        run_campaign,
+    )
+
+    target = args.path
+    if target is None:
+        return _fail(
+            "'campaign' needs an experiment: ftmc campaign "
+            f"{{{','.join(campaign_names())}}}"
+        )
+    if target not in campaign_names():
+        return _fail(
+            f"unknown campaign {target!r} (known: {', '.join(campaign_names())})"
+        )
+    if args.max_retries < 0:
+        return _fail(f"--max-retries must be >= 0, got {args.max_retries}")
+    base_delay = args.retry_delay
+    if base_delay is None:
+        base_delay = 0.1 if args.chaos is not None else 0.5
+    options = build_options(
+        target,
+        seed=args.seed,
+        sets=args.sets,
+        panels=args.panels,
+        failure_probabilities=args.failure_probabilities,
+        utilizations=args.utilizations,
+    )
+    try:
+        report = run_campaign(
+            target,
+            options=options,
+            output_dir=args.output_dir,
+            resume=args.resume,
+            chaos_seed=args.chaos,
+            timeout=args.timeout,
+            retry=RetryPolicy(
+                max_retries=args.max_retries,
+                base_delay=base_delay,
+                max_delay=max(30.0, base_delay),
+            ),
+            on_event=lambda message: print(f"[campaign {target}] {message}"),
+        )
+    except CampaignInterrupted as interrupt:
+        print(
+            f"[campaign {target}] interrupted (signal {interrupt.signum}); "
+            "checkpoint retained — rerun with --resume to continue",
+            file=sys.stderr,
+        )
+        return interrupt.exit_code
+    except CampaignConfigError as exc:
+        return _fail(str(exc))
+    print(report.render())
+    return report.exit_code
+
+
 def _run_backends(args: argparse.Namespace) -> None:
     from repro.experiments.backend_comparison import (
         render_backend_comparison,
@@ -279,6 +379,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_lint(args)
     if args.experiment == "selfcheck":
         return _run_selfcheck(args)
+    if args.experiment == "campaign":
+        return _run_campaign(args)
     if args.experiment == "backends":
         _run_backends(args)
         return 0

@@ -43,6 +43,8 @@ __all__ = [
     "FIG3_PANELS",
     "DEFAULT_UTILIZATIONS",
     "DEFAULT_FAILURE_PROBABILITIES",
+    "fig3_point",
+    "fig3_panel_skeleton",
     "run_fig3_panel",
     "run_fig3",
     "render_fig3_panel",
@@ -111,16 +113,45 @@ def _accept(taskset, mechanism: str) -> tuple[bool, bool]:
     return False, fts.success
 
 
-def run_fig3_panel(
+def fig3_point(
     panel: PanelConfig,
     failure_probability: float,
-    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    point_index: int,
+    utilization: float,
     sets_per_point: int = 500,
     seed: int = 0,
     generator: GeneratorConfig = PAPER_CONFIG,
-) -> ExperimentResult:
-    """Acceptance-ratio series for one panel at one failure probability."""
+) -> tuple[float, float, float, int]:
+    """One data point of a panel: acceptance ratios at one utilization.
+
+    ``point_index`` is the point's position on the utilization grid; it
+    enters the per-set RNG seed, so a campaign shard that evaluates a
+    single point reproduces exactly the sets an in-process sweep would
+    have generated at that grid position.
+    """
     config = replace(generator, failure_probability=failure_probability)
+    baseline_ok = 0
+    adapted_ok = 0
+    for set_index in range(sets_per_point):
+        rng = np.random.default_rng(
+            [seed, point_index, set_index, int(failure_probability * 1e9)]
+        )
+        taskset = generate_taskset(utilization, panel.spec, rng, config)
+        base, adapted = _accept(taskset, panel.mechanism)
+        baseline_ok += base
+        adapted_ok += adapted
+    return (
+        utilization,
+        baseline_ok / sets_per_point,
+        adapted_ok / sets_per_point,
+        sets_per_point,
+    )
+
+
+def fig3_panel_skeleton(
+    panel: PanelConfig, failure_probability: float
+) -> ExperimentResult:
+    """An empty panel result with the canonical name/columns/notes."""
     result = ExperimentResult(
         name=f"fig3{panel.key}-f{failure_probability:g}",
         description=(
@@ -134,23 +165,6 @@ def run_fig3_panel(
             "sets",
         ],
     )
-    for point_index, utilization in enumerate(utilizations):
-        baseline_ok = 0
-        adapted_ok = 0
-        for set_index in range(sets_per_point):
-            rng = np.random.default_rng(
-                [seed, point_index, set_index, int(failure_probability * 1e9)]
-            )
-            taskset = generate_taskset(utilization, panel.spec, rng, config)
-            base, adapted = _accept(taskset, panel.mechanism)
-            baseline_ok += base
-            adapted_ok += adapted
-        result.add_row(
-            utilization,
-            baseline_ok / sets_per_point,
-            adapted_ok / sets_per_point,
-            sets_per_point,
-        )
     result.extend_notes(
         [
             f"panel {panel.key}: {panel.label}",
@@ -160,6 +174,31 @@ def run_fig3_panel(
             "fails (Appendix C)",
         ]
     )
+    return result
+
+
+def run_fig3_panel(
+    panel: PanelConfig,
+    failure_probability: float,
+    utilizations: Sequence[float] = DEFAULT_UTILIZATIONS,
+    sets_per_point: int = 500,
+    seed: int = 0,
+    generator: GeneratorConfig = PAPER_CONFIG,
+) -> ExperimentResult:
+    """Acceptance-ratio series for one panel at one failure probability."""
+    result = fig3_panel_skeleton(panel, failure_probability)
+    for point_index, utilization in enumerate(utilizations):
+        result.add_row(
+            *fig3_point(
+                panel,
+                failure_probability,
+                point_index,
+                utilization,
+                sets_per_point,
+                seed,
+                generator,
+            )
+        )
     return result
 
 

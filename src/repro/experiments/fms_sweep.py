@@ -24,7 +24,26 @@ from repro.experiments.results import ExperimentResult
 from repro.model.criticality import CriticalityRole
 from repro.model.task import TaskSet
 
-__all__ = ["u_mc_kill", "u_mc_degrade", "adaptation_sweep"]
+__all__ = [
+    "u_mc_kill",
+    "u_mc_degrade",
+    "adaptation_sweep",
+    "sweep_point",
+    "sweep_notes",
+    "SWEEP_COLUMNS",
+]
+
+#: Column layout shared by the Fig. 1 / Fig. 2 sweeps (and their campaign
+#: shards, which compute one row each).
+SWEEP_COLUMNS: tuple[str, ...] = (
+    "n_prime",
+    "u_mc",
+    "schedulable",
+    "pfh_lo",
+    "log10_pfh_lo",
+    "safe",
+    "hypothetical",
+)
 
 
 def u_mc_kill(taskset: TaskSet, n_hi: int, n_lo: int, n_prime: int) -> float:
@@ -65,6 +84,83 @@ def u_mc_degrade(
     return max(lo_mode, hi_mode)
 
 
+def _checked_mechanism(mechanism: str, degradation_factor: float | None) -> None:
+    if mechanism not in ("kill", "degrade"):
+        raise ValueError(f"unknown mechanism: {mechanism!r}")
+    if mechanism == "degrade" and degradation_factor is None:
+        raise ValueError("degradation sweep needs a degradation factor")
+
+
+def sweep_point(
+    taskset: TaskSet,
+    mechanism: str,
+    n_prime: int,
+    operation_hours: float,
+    degradation_factor: float | None = None,
+) -> tuple:
+    """One row of the Fig. 1 / Fig. 2 sweep (columns :data:`SWEEP_COLUMNS`).
+
+    Self-contained — derives the minimal re-execution profiles itself —
+    so a campaign shard can evaluate a single ``n'`` point independently
+    of the rest of the sweep.
+    """
+    _checked_mechanism(mechanism, degradation_factor)
+    profiles = minimal_reexecution_profiles(taskset)
+    if profiles is None:
+        raise ValueError("task set cannot meet its PFH ceilings at all")
+    n_hi, n_lo = profiles.n_hi, profiles.n_lo
+    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)  # type: ignore[union-attr]
+    if mechanism == "kill":
+        u_mc = u_mc_kill(taskset, n_hi, n_lo, n_prime)
+    else:
+        assert degradation_factor is not None
+        u_mc = u_mc_degrade(taskset, n_hi, n_lo, n_prime, degradation_factor)
+    pfh_lo = pfh_lo_adapted(
+        taskset, max(n_hi, n_prime), n_lo, n_prime, mechanism, operation_hours
+    )
+    return (
+        n_prime,
+        u_mc,
+        u_mc <= 1.0 + 1e-12,
+        pfh_lo,
+        math.log10(pfh_lo) if pfh_lo > 0 else -math.inf,
+        pfh_lo < ceiling,
+        n_prime > n_hi,
+    )
+
+
+def sweep_notes(
+    taskset: TaskSet,
+    mechanism: str,
+    operation_hours: float,
+    degradation_factor: float | None = None,
+) -> list[str]:
+    """The FT-S summary notes attached to a Fig. 1 / Fig. 2 result."""
+    _checked_mechanism(mechanism, degradation_factor)
+    profiles = minimal_reexecution_profiles(taskset)
+    if profiles is None:
+        raise ValueError("task set cannot meet its PFH ceilings at all")
+    if mechanism == "kill":
+        fts = ft_edf_vd(taskset, operation_hours=operation_hours)
+    else:
+        assert degradation_factor is not None
+        fts = ft_edf_vd_degradation(
+            taskset, degradation_factor, operation_hours=operation_hours
+        )
+    return [
+        f"re-execution profiles: n_HI={profiles.n_hi}, n_LO={profiles.n_lo} "
+        "(paper: 3, 2)",
+        f"FT-S ({fts.backend_name}): "
+        + (
+            f"SUCCESS with n'_HI={fts.adaptation}"
+            if fts.success
+            else f"FAILURE ({fts.failure.value})"  # type: ignore[union-attr]
+        ),
+        f"n1_HI={fts.n1_hi} (minimal safe), n2_HI={fts.n2_hi} "
+        "(maximal schedulable)",
+    ]
+
+
 def adaptation_sweep(
     taskset: TaskSet,
     mechanism: str,
@@ -82,67 +178,20 @@ def adaptation_sweep(
     tasks' ``n_i`` and the HI adaptation profile enter eqs. 5/7) and
     ``U_MC`` comes from the closed form.
     """
-    if mechanism not in ("kill", "degrade"):
-        raise ValueError(f"unknown mechanism: {mechanism!r}")
-    if mechanism == "degrade" and degradation_factor is None:
-        raise ValueError("degradation sweep needs a degradation factor")
-    profiles = minimal_reexecution_profiles(taskset)
-    if profiles is None:
-        raise ValueError("task set cannot meet its PFH ceilings at all")
-    n_hi, n_lo = profiles.n_hi, profiles.n_lo
-    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)  # type: ignore[union-attr]
-
+    _checked_mechanism(mechanism, degradation_factor)
     result = ExperimentResult(
         name=name,
         description=description,
-        columns=[
-            "n_prime",
-            "u_mc",
-            "schedulable",
-            "pfh_lo",
-            "log10_pfh_lo",
-            "safe",
-            "hypothetical",
-        ],
+        columns=list(SWEEP_COLUMNS),
     )
     for n_prime in range(1, n_prime_max + 1):
-        if mechanism == "kill":
-            u_mc = u_mc_kill(taskset, n_hi, n_lo, n_prime)
-        else:
-            assert degradation_factor is not None
-            u_mc = u_mc_degrade(taskset, n_hi, n_lo, n_prime, degradation_factor)
-        pfh_lo = pfh_lo_adapted(
-            taskset, max(n_hi, n_prime), n_lo, n_prime, mechanism, operation_hours
-        )
         result.add_row(
-            n_prime,
-            u_mc,
-            u_mc <= 1.0 + 1e-12,
-            pfh_lo,
-            math.log10(pfh_lo) if pfh_lo > 0 else -math.inf,
-            pfh_lo < ceiling,
-            n_prime > n_hi,
-        )
-
-    if mechanism == "kill":
-        fts = ft_edf_vd(taskset, operation_hours=operation_hours)
-    else:
-        assert degradation_factor is not None
-        fts = ft_edf_vd_degradation(
-            taskset, degradation_factor, operation_hours=operation_hours
+            *sweep_point(
+                taskset, mechanism, n_prime, operation_hours, degradation_factor
+            )
         )
     result.extend_notes(
-        [
-            f"re-execution profiles: n_HI={n_hi}, n_LO={n_lo} (paper: 3, 2)",
-            f"FT-S ({fts.backend_name}): "
-            + (
-                f"SUCCESS with n'_HI={fts.adaptation}"
-                if fts.success
-                else f"FAILURE ({fts.failure.value})"  # type: ignore[union-attr]
-            ),
-            f"n1_HI={fts.n1_hi} (minimal safe), n2_HI={fts.n2_hi} "
-            "(maximal schedulable)",
-        ]
+        sweep_notes(taskset, mechanism, operation_hours, degradation_factor)
     )
     return result
 

@@ -13,6 +13,8 @@ import io
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
+from repro.io import atomic_write_text
+
 __all__ = ["ExperimentResult"]
 
 
@@ -44,16 +46,36 @@ class ExperimentResult:
         return [row[index] for row in self.rows]
 
     def to_csv(self, path: str | None = None) -> str:
-        """Serialise as CSV; also write to ``path`` when given."""
+        """Serialise as CSV; also write to ``path`` (atomically) when given."""
         buffer = io.StringIO()
         writer = csv.writer(buffer, lineterminator="\n")
         writer.writerow(self.columns)
         writer.writerows(self.rows)
         text = buffer.getvalue()
         if path is not None:
-            with open(path, "w", newline="") as handle:
-                handle.write(text)
+            atomic_write_text(path, text)
         return text
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (JSON-serialisable for checkpoints/result files)."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "columns": list(self.columns),
+            "rows": [list(row) for row in self.rows],
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` data."""
+        return cls(
+            name=str(data["name"]),
+            description=str(data.get("description", "")),
+            columns=list(data["columns"]),
+            rows=[list(row) for row in data.get("rows", [])],
+            notes=[str(note) for note in data.get("notes", [])],
+        )
 
     def render(self, float_format: str = "{:.6g}") -> str:
         """ASCII table of the result plus its notes."""

@@ -22,7 +22,92 @@ from repro.gen.taskset import generate_taskset
 from repro.model.criticality import DualCriticalitySpec
 from repro.sim.validate import validate_by_simulation
 
-__all__ = ["run_validation_campaign"]
+__all__ = [
+    "run_validation_campaign",
+    "validation_point",
+    "validation_skeleton",
+]
+
+
+def validation_point(
+    mechanism: str,
+    point_index: int,
+    utilization: float,
+    sets_per_point: int = 20,
+    runs_per_set: int = 3,
+    horizon: float = 120_000.0,
+    probability_scale: float = 1000.0,
+    lo_level: str = "D",
+    degradation_factor: float = 6.0,
+    seed: int = 0,
+) -> tuple[float, int, int, int, int, int]:
+    """One utilization point of the campaign (shardable unit).
+
+    ``point_index`` is the point's position in the utilization sequence;
+    it enters the per-set RNG seed, preserving the exact task sets an
+    in-process campaign would generate at that position.
+    """
+    if mechanism not in ("kill", "degrade"):
+        raise ValueError(f"unknown mechanism: {mechanism!r}")
+    spec = DualCriticalitySpec.from_names("B", lo_level)
+    accepted = validated = hi_misses = switches = hi_jobs = 0
+    for index in range(sets_per_point):
+        rng = np.random.default_rng([seed, point_index, index])
+        taskset = generate_taskset(utilization, spec, rng)
+        if mechanism == "kill":
+            fts = ft_edf_vd(taskset)
+        else:
+            fts = ft_edf_vd_degradation(taskset, degradation_factor)
+        if not fts.success:
+            continue
+        accepted += 1
+        report = validate_by_simulation(
+            taskset,
+            fts,
+            runs=runs_per_set,
+            horizon=horizon,
+            probability_scale=probability_scale,
+            seed=seed + index,
+        )
+        validated += report.passed
+        hi_misses += report.hi_misses
+        switches += report.mode_switches
+        hi_jobs += report.hi_jobs
+    return (utilization, accepted, validated, hi_misses, switches, hi_jobs)
+
+
+def validation_skeleton(
+    mechanism: str,
+    runs_per_set: int = 3,
+    horizon: float = 120_000.0,
+    probability_scale: float = 1000.0,
+    lo_level: str = "D",
+) -> ExperimentResult:
+    """An empty campaign result with the canonical name/columns/notes."""
+    result = ExperimentResult(
+        name=f"validation-{mechanism}",
+        description=(
+            "simulation validation of FT-S-accepted systems "
+            f"({mechanism}, LO={lo_level}, faults x{probability_scale:g})"
+        ),
+        columns=[
+            "utilization",
+            "accepted",
+            "validated",
+            "hi_misses",
+            "mode_switch_runs",
+            "hi_jobs",
+        ],
+    )
+    result.extend_notes(
+        [
+            "'validated' must equal 'accepted' at every point — a HI miss "
+            "would falsify the toolchain",
+            f"{runs_per_set} randomized runs per accepted system "
+            f"({horizon:g} ms each, mixed periodic/jittered arrivals)",
+        ]
+    )
+    return result
 
 
 def run_validation_campaign(
@@ -39,55 +124,22 @@ def run_validation_campaign(
     """Run the campaign; every accepted system must simulate miss-free."""
     if mechanism not in ("kill", "degrade"):
         raise ValueError(f"unknown mechanism: {mechanism!r}")
-    spec = DualCriticalitySpec.from_names("B", lo_level)
-    result = ExperimentResult(
-        name=f"validation-{mechanism}",
-        description=(
-            "simulation validation of FT-S-accepted systems "
-            f"({mechanism}, LO={lo_level}, faults x{probability_scale:g})"
-        ),
-        columns=[
-            "utilization",
-            "accepted",
-            "validated",
-            "hi_misses",
-            "mode_switch_runs",
-            "hi_jobs",
-        ],
+    result = validation_skeleton(
+        mechanism, runs_per_set, horizon, probability_scale, lo_level
     )
     for point, utilization in enumerate(utilizations):
-        accepted = validated = hi_misses = switches = hi_jobs = 0
-        for index in range(sets_per_point):
-            rng = np.random.default_rng([seed, point, index])
-            taskset = generate_taskset(utilization, spec, rng)
-            if mechanism == "kill":
-                fts = ft_edf_vd(taskset)
-            else:
-                fts = ft_edf_vd_degradation(taskset, degradation_factor)
-            if not fts.success:
-                continue
-            accepted += 1
-            report = validate_by_simulation(
-                taskset,
-                fts,
-                runs=runs_per_set,
+        result.add_row(
+            *validation_point(
+                mechanism,
+                point,
+                utilization,
+                sets_per_point=sets_per_point,
+                runs_per_set=runs_per_set,
                 horizon=horizon,
                 probability_scale=probability_scale,
-                seed=seed + index,
+                lo_level=lo_level,
+                degradation_factor=degradation_factor,
+                seed=seed,
             )
-            validated += report.passed
-            hi_misses += report.hi_misses
-            switches += report.mode_switches
-            hi_jobs += report.hi_jobs
-        result.add_row(
-            utilization, accepted, validated, hi_misses, switches, hi_jobs
         )
-    result.extend_notes(
-        [
-            "'validated' must equal 'accepted' at every point — a HI miss "
-            "would falsify the toolchain",
-            f"{runs_per_set} randomized runs per accepted system "
-            f"({horizon:g} ms each, mixed periodic/jittered arrivals)",
-        ]
-    )
     return result

@@ -19,11 +19,20 @@ and run the toolchain on it (``ftmc analyze my-system.json``).  Format:
 ``deadline`` defaults to ``period`` (implicit deadlines).  The
 ``criticality`` header binds the symbolic HI/LO roles to DO-178B levels
 and may be omitted for task sets analysed without safety ceilings.
+
+This module also owns the repository's *crash-safe write primitives*
+(:func:`atomic_write_text`, :func:`atomic_write_json`,
+:func:`append_jsonl`).  Every result/JSON/CSV emitted by the toolchain
+must go through them — a fault-tolerance paper's artifacts should not be
+corruptible by the very crashes it studies.  ``ftmc selfcheck`` enforces
+this (rule FTMCC05).
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any
 
 from repro.model.criticality import (
@@ -35,6 +44,9 @@ from repro.model.task import Task, TaskSet
 from repro.multilevel.model import MLTask, MLTaskSet
 
 __all__ = [
+    "atomic_write_text",
+    "atomic_write_json",
+    "append_jsonl",
     "taskset_to_dict",
     "taskset_from_dict",
     "save_taskset",
@@ -44,6 +56,73 @@ __all__ = [
     "save_multilevel",
     "load_multilevel",
 ]
+
+
+# -- crash-safe write primitives -----------------------------------------------
+
+
+def _fsync_directory(directory: str) -> None:
+    """Flush a directory entry so a rename survives power loss (best effort)."""
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - e.g. network filesystems
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` atomically.
+
+    The content goes to a temporary file *in the same directory* (so the
+    final rename cannot cross filesystems), is fsynced, and then moved
+    over ``path`` with :func:`os.replace`.  Readers therefore observe
+    either the complete old file or the complete new file — never a
+    truncated mixture, no matter when the process is killed.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_json(path: str, data: Any, indent: int = 2) -> None:
+    """Serialise ``data`` as JSON and write it atomically to ``path``."""
+    atomic_write_text(path, json.dumps(data, indent=indent) + "\n")
+
+
+def append_jsonl(path: str, record: Any) -> None:
+    """Append one JSON record as a line to ``path``, fsynced.
+
+    Appends are not atomic (only :func:`os.replace` is), but each record
+    is a single self-contained line followed by a flush + fsync, so a
+    crash can at worst leave one torn *trailing* line — which tolerant
+    readers (e.g. the campaign checkpoint loader) skip.
+    """
+    line = json.dumps(record, separators=(",", ":"))
+    if "\n" in line:  # json never emits raw newlines, but fail loudly
+        raise ValueError("JSONL record serialised with an embedded newline")
+    with open(path, "a") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def taskset_to_dict(taskset: TaskSet) -> dict[str, Any]:
@@ -106,10 +185,8 @@ def taskset_from_dict(data: dict[str, Any]) -> TaskSet:
 
 
 def save_taskset(taskset: TaskSet, path: str) -> None:
-    """Write a task set to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(taskset_to_dict(taskset), handle, indent=2)
-        handle.write("\n")
+    """Write a task set to a JSON file (atomically)."""
+    atomic_write_json(path, taskset_to_dict(taskset))
 
 
 def load_taskset(path: str) -> TaskSet:
@@ -175,10 +252,8 @@ def multilevel_from_dict(data: dict[str, Any]) -> MLTaskSet:
 
 
 def save_multilevel(taskset: MLTaskSet, path: str) -> None:
-    """Write a multi-level task set to a JSON file."""
-    with open(path, "w") as handle:
-        json.dump(multilevel_to_dict(taskset), handle, indent=2)
-        handle.write("\n")
+    """Write a multi-level task set to a JSON file (atomically)."""
+    atomic_write_json(path, multilevel_to_dict(taskset))
 
 
 def load_multilevel(path: str) -> MLTaskSet:

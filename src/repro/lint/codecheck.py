@@ -12,6 +12,10 @@ FTMCC03  no bare ``except:`` (swallows ``KeyboardInterrupt``/``SystemExit``
          and hides real faults — anathema for a certification tool)
 FTMCC04  no ``print()`` outside the CLI and the experiment drivers —
          library code reports through return values and diagnostics
+FTMCC05  no bare write-mode ``open(...)`` outside :mod:`repro.io` —
+         results and checkpoints must go through the crash-safe writers
+         (``atomic_write_text``/``atomic_write_json``/``append_jsonl``)
+         so a kill can never leave a torn artifact
 ======== =====================================================================
 
 The pass is purely syntactic (:mod:`ast`), needs no third-party
@@ -34,6 +38,12 @@ _PROBABILITY_MARKERS = ("pfh", "prob")
 #: Files (relative to the package root) where ``print`` is the interface.
 _PRINT_ALLOWED = ("cli.py", "__main__.py")
 _PRINT_ALLOWED_DIRS = ("experiments",)
+
+#: Files (relative to the package root) that own the write primitives.
+_WRITE_ALLOWED = ("io.py",)
+
+#: ``open()`` mode characters implying a write (FTMCC05).
+_WRITE_MODE_CHARS = frozenset("wax+")
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
@@ -67,10 +77,30 @@ def _is_mutable_default(node: ast.expr) -> bool:
     return False
 
 
+def _open_mode(node: ast.Call) -> str | None:
+    """The literal mode of an ``open()`` call; ``None`` when dynamic."""
+    mode_node: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+                break
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
+
+
 class _Checker(ast.NodeVisitor):
-    def __init__(self, filename: str, allow_print: bool) -> None:
+    def __init__(
+        self, filename: str, allow_print: bool, allow_write: bool = False
+    ) -> None:
         self.filename = filename
         self.allow_print = allow_print
+        self.allow_write = allow_write
         self.diagnostics: list[Diagnostic] = []
 
     def _emit(self, code: str, line: int, message: str, suggestion: str) -> None:
@@ -139,7 +169,7 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
-    # FTMCC04 ------------------------------------------------------------------
+    # FTMCC04 / FTMCC05 --------------------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         if (
@@ -154,6 +184,20 @@ class _Checker(ast.NodeVisitor):
                 "return data or diagnostics; only cli.py, __main__.py and "
                 "experiments/ may print",
             )
+        if (
+            not self.allow_write
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "open"
+        ):
+            mode = _open_mode(node)
+            if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                self._emit(
+                    "FTMCC05",
+                    node.lineno,
+                    f"non-atomic file write (open mode {mode!r})",
+                    "write through repro.io: atomic_write_text / "
+                    "atomic_write_json / append_jsonl (crash-safe)",
+                )
         self.generic_visit(node)
 
 
@@ -164,8 +208,15 @@ def _print_allowed(relpath: str) -> bool:
     return any(part in _PRINT_ALLOWED_DIRS for part in parts[:-1])
 
 
+def _write_allowed(relpath: str) -> bool:
+    return relpath.replace(os.sep, "/") in _WRITE_ALLOWED
+
+
 def check_source(
-    source: str, filename: str = "<string>", allow_print: bool = False
+    source: str,
+    filename: str = "<string>",
+    allow_print: bool = False,
+    allow_write: bool = False,
 ) -> list[Diagnostic]:
     """Run the code rules over one source string."""
     try:
@@ -179,7 +230,7 @@ def check_source(
                 f"syntax error: {exc.msg}",
             )
         ]
-    checker = _Checker(filename, allow_print)
+    checker = _Checker(filename, allow_print, allow_write)
     checker.visit(tree)
     return sorted(checker.diagnostics, key=lambda d: d.location)
 
@@ -205,7 +256,10 @@ def check_path(root: str) -> LintReport:
                 source = handle.read()
             diags.extend(
                 check_source(
-                    source, relpath, allow_print=_print_allowed(relpath)
+                    source,
+                    relpath,
+                    allow_print=_print_allowed(relpath),
+                    allow_write=_write_allowed(relpath),
                 )
             )
     return LintReport(diags)

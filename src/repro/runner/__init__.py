@@ -1,0 +1,49 @@
+"""Fault-tolerant campaign runner (``ftmc campaign <experiment>``).
+
+Applies the paper's own fault-tolerance recipe to the experiment
+harness: deterministic seeded shards, per-shard watchdogs, bounded
+retry with exponential backoff (the harness's re-execution profile),
+crash-safe JSONL checkpointing with exact ``--resume``, graceful
+degradation with explicit coverage accounting, and a chaos mode that
+injects worker crashes, hangs, and torn checkpoints to test the runner
+itself.  See ``docs/robustness.md``.
+"""
+
+from repro.runner.campaigns import (
+    CAMPAIGNS,
+    CampaignDefinition,
+    build_options,
+    campaign_names,
+    get_campaign,
+)
+from repro.runner.chaos import ChaosInjector
+from repro.runner.checkpoint import CampaignCheckpoint, CheckpointState
+from repro.runner.retry import RetryPolicy
+from repro.runner.shards import CampaignReport, ShardOutcome, ShardSpec
+from repro.runner.supervisor import (
+    CHAOS_TIMEOUT,
+    DEFAULT_TIMEOUT,
+    CampaignConfigError,
+    CampaignInterrupted,
+    run_campaign,
+)
+
+__all__ = [
+    "CAMPAIGNS",
+    "CampaignDefinition",
+    "build_options",
+    "campaign_names",
+    "get_campaign",
+    "ChaosInjector",
+    "CampaignCheckpoint",
+    "CheckpointState",
+    "RetryPolicy",
+    "CampaignReport",
+    "ShardOutcome",
+    "ShardSpec",
+    "CHAOS_TIMEOUT",
+    "DEFAULT_TIMEOUT",
+    "CampaignConfigError",
+    "CampaignInterrupted",
+    "run_campaign",
+]

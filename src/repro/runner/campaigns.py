@@ -1,0 +1,432 @@
+"""Campaign definitions: how each experiment splits into shards.
+
+A :class:`CampaignDefinition` gives the runner three pure functions:
+
+``plan(options)``
+    Deterministically expand the campaign options into an ordered list
+    of :class:`~repro.runner.shards.ShardSpec` — the resumable units.
+``execute(params)``
+    Compute one shard's payload from its JSON params.  Runs inside an
+    isolated worker process; must be deterministic (seeds travel in the
+    params) and return JSON-serialisable data.
+``finalize(payloads, options)``
+    Merge the available shard payloads back into
+    :class:`~repro.experiments.results.ExperimentResult` objects.  Must
+    tolerate *missing* shards — a degraded campaign finalises whatever
+    completed.
+
+Because payloads round-trip through JSON both when checkpointed and
+when returned from a worker, an interrupted-and-resumed campaign
+finalises byte-identical result files to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.experiments.fig3 import (
+    DEFAULT_FAILURE_PROBABILITIES,
+    DEFAULT_UTILIZATIONS,
+    FIG3_PANELS,
+    fig3_panel_skeleton,
+    fig3_point,
+)
+from repro.experiments.fms_sweep import SWEEP_COLUMNS, sweep_notes, sweep_point
+from repro.experiments.results import ExperimentResult
+from repro.experiments.tables import (
+    table1,
+    table2_example31,
+    table3_example41,
+    table4_fms,
+)
+from repro.experiments.validation_campaign import (
+    validation_point,
+    validation_skeleton,
+)
+from repro.gen.fms import (
+    FMS_DEGRADATION_FACTOR,
+    FMS_OPERATION_HOURS,
+    canonical_fms,
+)
+from repro.runner.shards import ShardSpec
+
+__all__ = [
+    "CampaignDefinition",
+    "CAMPAIGNS",
+    "get_campaign",
+    "campaign_names",
+    "build_options",
+]
+
+
+@dataclass(frozen=True)
+class CampaignDefinition:
+    """One experiment's sharding contract (see module docstring)."""
+
+    name: str
+    description: str
+    default_options: Callable[[], dict[str, Any]]
+    plan: Callable[[dict[str, Any]], list[ShardSpec]]
+    execute: Callable[[dict[str, Any]], Any]
+    finalize: Callable[
+        [Mapping[str, Any], dict[str, Any]], list[ExperimentResult]
+    ]
+
+
+# -- fig1 / fig2: one shard per n' sweep point ---------------------------------
+
+
+def _fms_options(mechanism: str) -> dict[str, Any]:
+    options: dict[str, Any] = {
+        "mechanism": mechanism,
+        "n_prime_max": 4,
+        "operation_hours": FMS_OPERATION_HOURS,
+        "degradation_factor": None,
+        "seed": 0,
+    }
+    if mechanism == "degrade":
+        options["degradation_factor"] = FMS_DEGRADATION_FACTOR
+    return options
+
+
+def _fms_plan(options: dict[str, Any]) -> list[ShardSpec]:
+    return [
+        ShardSpec(
+            id=f"nprime-{n_prime}",
+            index=n_prime - 1,
+            seed=int(options.get("seed", 0)),
+            params={
+                "mechanism": options["mechanism"],
+                "n_prime": n_prime,
+                "operation_hours": options["operation_hours"],
+                "degradation_factor": options["degradation_factor"],
+            },
+        )
+        for n_prime in range(1, int(options["n_prime_max"]) + 1)
+    ]
+
+
+def _fms_execute(params: dict[str, Any]) -> list[Any]:
+    row = sweep_point(
+        canonical_fms(),
+        params["mechanism"],
+        int(params["n_prime"]),
+        float(params["operation_hours"]),
+        params["degradation_factor"],
+    )
+    return list(row)
+
+
+def _fms_finalize(
+    payloads: Mapping[str, Any],
+    options: dict[str, Any],
+    name: str,
+    description: str,
+) -> list[ExperimentResult]:
+    result = ExperimentResult(
+        name=name, description=description, columns=list(SWEEP_COLUMNS)
+    )
+    for n_prime in range(1, int(options["n_prime_max"]) + 1):
+        payload = payloads.get(f"nprime-{n_prime}")
+        if payload is not None:
+            result.add_row(*payload)
+    result.extend_notes(
+        sweep_notes(
+            canonical_fms(),
+            options["mechanism"],
+            float(options["operation_hours"]),
+            options["degradation_factor"],
+        )
+    )
+    return [result]
+
+
+def _fig1_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    return _fms_finalize(
+        payloads,
+        options,
+        "fig1",
+        "FMS: impacts of task killing (U_MC and pfh(LO) vs n'_HI)",
+    )
+
+
+def _fig2_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    df = float(options["degradation_factor"])
+    return _fms_finalize(
+        payloads,
+        options,
+        "fig2",
+        "FMS: impacts of service degradation "
+        f"(df={df:g}; U_MC and pfh(LO) vs n'_HI)",
+    )
+
+
+# -- fig3: one shard per (panel, f, utilization) grid point --------------------
+
+
+def _fig3_options() -> dict[str, Any]:
+    return {
+        "panels": ["a", "b", "c", "d"],
+        "failure_probabilities": [float(f) for f in DEFAULT_FAILURE_PROBABILITIES],
+        "utilizations": [float(u) for u in DEFAULT_UTILIZATIONS],
+        "sets_per_point": 500,
+        "seed": 0,
+    }
+
+
+def _fig3_plan(options: dict[str, Any]) -> list[ShardSpec]:
+    shards: list[ShardSpec] = []
+    for panel in options["panels"]:
+        for f in options["failure_probabilities"]:
+            for point_index, utilization in enumerate(options["utilizations"]):
+                shards.append(
+                    ShardSpec(
+                        id=f"{panel}-f{f:g}-u{utilization:g}",
+                        index=len(shards),
+                        seed=int(options.get("seed", 0)),
+                        params={
+                            "panel": panel,
+                            "failure_probability": float(f),
+                            "point_index": point_index,
+                            "utilization": float(utilization),
+                            "sets_per_point": int(options["sets_per_point"]),
+                            "seed": int(options.get("seed", 0)),
+                        },
+                    )
+                )
+    return shards
+
+
+def _fig3_execute(params: dict[str, Any]) -> list[Any]:
+    row = fig3_point(
+        FIG3_PANELS[params["panel"]],
+        float(params["failure_probability"]),
+        int(params["point_index"]),
+        float(params["utilization"]),
+        int(params["sets_per_point"]),
+        int(params["seed"]),
+    )
+    return list(row)
+
+
+def _fig3_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    results: list[ExperimentResult] = []
+    for panel in options["panels"]:
+        for f in options["failure_probabilities"]:
+            result = fig3_panel_skeleton(FIG3_PANELS[panel], float(f))
+            for utilization in options["utilizations"]:
+                payload = payloads.get(f"{panel}-f{f:g}-u{utilization:g}")
+                if payload is not None:
+                    result.add_row(*payload)
+            results.append(result)
+    return results
+
+
+# -- tables: one shard per table -----------------------------------------------
+
+_TABLE_PRODUCERS: dict[str, Callable[[], ExperimentResult]] = {
+    "table1": table1,
+    "table2": table2_example31,
+    "table3": table3_example41,
+    "table4": table4_fms,
+}
+
+
+def _tables_options() -> dict[str, Any]:
+    return {"tables": list(_TABLE_PRODUCERS)}
+
+
+def _tables_plan(options: dict[str, Any]) -> list[ShardSpec]:
+    return [
+        ShardSpec(id=name, index=index, seed=0, params={"table": name})
+        for index, name in enumerate(options["tables"])
+    ]
+
+
+def _tables_execute(params: dict[str, Any]) -> dict[str, Any]:
+    return _TABLE_PRODUCERS[params["table"]]().to_dict()
+
+
+def _tables_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    return [
+        ExperimentResult.from_dict(payloads[name])
+        for name in options["tables"]
+        if name in payloads
+    ]
+
+
+# -- validation: one shard per (mechanism, utilization) point ------------------
+
+
+def _validation_options() -> dict[str, Any]:
+    return {
+        "mechanisms": ["kill", "degrade"],
+        "utilizations": [0.5, 0.7, 0.9],
+        "sets_per_point": 20,
+        "runs_per_set": 3,
+        "horizon": 120_000.0,
+        "probability_scale": 1000.0,
+        "lo_level": "D",
+        "degradation_factor": 6.0,
+        "seed": 0,
+    }
+
+
+def _validation_plan(options: dict[str, Any]) -> list[ShardSpec]:
+    shards: list[ShardSpec] = []
+    for mechanism in options["mechanisms"]:
+        for point_index, utilization in enumerate(options["utilizations"]):
+            shards.append(
+                ShardSpec(
+                    id=f"{mechanism}-u{utilization:g}",
+                    index=len(shards),
+                    seed=int(options.get("seed", 0)),
+                    params={
+                        "mechanism": mechanism,
+                        "point_index": point_index,
+                        "utilization": float(utilization),
+                        "sets_per_point": int(options["sets_per_point"]),
+                        "runs_per_set": int(options["runs_per_set"]),
+                        "horizon": float(options["horizon"]),
+                        "probability_scale": float(options["probability_scale"]),
+                        "lo_level": options["lo_level"],
+                        "degradation_factor": float(options["degradation_factor"]),
+                        "seed": int(options.get("seed", 0)),
+                    },
+                )
+            )
+    return shards
+
+
+def _validation_execute(params: dict[str, Any]) -> list[Any]:
+    row = validation_point(
+        params["mechanism"],
+        int(params["point_index"]),
+        float(params["utilization"]),
+        sets_per_point=int(params["sets_per_point"]),
+        runs_per_set=int(params["runs_per_set"]),
+        horizon=float(params["horizon"]),
+        probability_scale=float(params["probability_scale"]),
+        lo_level=params["lo_level"],
+        degradation_factor=float(params["degradation_factor"]),
+        seed=int(params["seed"]),
+    )
+    return list(row)
+
+
+def _validation_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    results: list[ExperimentResult] = []
+    for mechanism in options["mechanisms"]:
+        result = validation_skeleton(
+            mechanism,
+            runs_per_set=int(options["runs_per_set"]),
+            horizon=float(options["horizon"]),
+            probability_scale=float(options["probability_scale"]),
+            lo_level=options["lo_level"],
+        )
+        for utilization in options["utilizations"]:
+            payload = payloads.get(f"{mechanism}-u{utilization:g}")
+            if payload is not None:
+                result.add_row(*payload)
+        results.append(result)
+    return results
+
+
+# -- registry ------------------------------------------------------------------
+
+CAMPAIGNS: dict[str, CampaignDefinition] = {
+    "fig1": CampaignDefinition(
+        name="fig1",
+        description="FMS task-killing sweep, one shard per n' point",
+        default_options=lambda: _fms_options("kill"),
+        plan=_fms_plan,
+        execute=_fms_execute,
+        finalize=_fig1_finalize,
+    ),
+    "fig2": CampaignDefinition(
+        name="fig2",
+        description="FMS degradation sweep, one shard per n' point",
+        default_options=lambda: _fms_options("degrade"),
+        plan=_fms_plan,
+        execute=_fms_execute,
+        finalize=_fig2_finalize,
+    ),
+    "fig3": CampaignDefinition(
+        name="fig3",
+        description="synthetic acceptance ratios, one shard per grid point",
+        default_options=_fig3_options,
+        plan=_fig3_plan,
+        execute=_fig3_execute,
+        finalize=_fig3_finalize,
+    ),
+    "tables": CampaignDefinition(
+        name="tables",
+        description="paper tables 1-4, one shard per table",
+        default_options=_tables_options,
+        plan=_tables_plan,
+        execute=_tables_execute,
+        finalize=_tables_finalize,
+    ),
+    "validation": CampaignDefinition(
+        name="validation",
+        description="simulation validation, one shard per mechanism/point",
+        default_options=_validation_options,
+        plan=_validation_plan,
+        execute=_validation_execute,
+        finalize=_validation_finalize,
+    ),
+}
+
+
+def campaign_names() -> list[str]:
+    return list(CAMPAIGNS)
+
+
+def get_campaign(name: str) -> CampaignDefinition:
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        known = ", ".join(campaign_names())
+        raise ValueError(f"unknown campaign {name!r} (known: {known})") from None
+
+
+def build_options(
+    name: str,
+    seed: int | None = None,
+    sets: int | None = None,
+    panels: list[str] | None = None,
+    failure_probabilities: list[float] | None = None,
+    utilizations: list[float] | None = None,
+) -> dict[str, Any]:
+    """Merge generic CLI knobs into a campaign's default options.
+
+    Only knobs the campaign actually understands are applied; the
+    validation campaign caps ``sets`` at 50 like ``ftmc validate``.
+    """
+    options = get_campaign(name).default_options()
+    if seed is not None and "seed" in options:
+        options["seed"] = int(seed)
+    if sets is not None and "sets_per_point" in options:
+        capped = min(int(sets), 50) if name == "validation" else int(sets)
+        options["sets_per_point"] = capped
+    if name == "fig3":
+        if panels is not None:
+            options["panels"] = list(panels)
+        if failure_probabilities is not None:
+            options["failure_probabilities"] = [
+                float(f) for f in failure_probabilities
+            ]
+        if utilizations is not None:
+            options["utilizations"] = [float(u) for u in utilizations]
+    return options

@@ -1,0 +1,92 @@
+"""Chaos injection: the runner's fault tolerance, itself under test.
+
+Mirrors the simulator's fault-injector idiom
+(:mod:`repro.sim.fault_injection`) one layer up: instead of flipping a
+job's sanity check, :class:`ChaosInjector` deterministically makes
+*worker processes* crash, hang, or tears the checkpoint file — the three
+failure modes the supervisor claims to survive.  ``ftmc campaign <exp>
+--chaos SEED`` runs a campaign under injection; it must still complete,
+with every injected fault visible in the coverage report.
+
+Determinism: the fault plan is a pure function of the chaos seed and the
+planned shard ids.  With three or more shards the plan always contains
+at least one crash, one hang, and one checkpoint truncation, so a chaos
+run exercises every recovery path; remaining shards draw extra crash or
+hang faults at ``extra_fault_rate``.  Faults fire only on a shard's
+*first* attempt — bounded, like the paper's fault model of at most
+``n_i - 1`` faults per job — so a retried shard always succeeds.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Sequence
+
+__all__ = ["ChaosInjector", "CRASH", "HANG", "TRUNCATE"]
+
+CRASH = "crash"
+HANG = "hang"
+TRUNCATE = "truncate"
+
+#: Exit status used by chaos-crashed workers (distinguishable in logs).
+CHAOS_CRASH_EXIT = 23
+
+
+class ChaosInjector:
+    """Deterministic harness-level fault plan for one campaign."""
+
+    def __init__(
+        self,
+        seed: int,
+        shard_ids: Sequence[str],
+        extra_fault_rate: float = 0.25,
+    ) -> None:
+        if not 0.0 <= extra_fault_rate <= 1.0:
+            raise ValueError(
+                f"extra fault rate must be in [0, 1], got {extra_fault_rate}"
+            )
+        self.seed = seed
+        self._rng = random.Random(seed)
+        order = list(shard_ids)
+        self._rng.shuffle(order)
+        self._actions: dict[str, str] = {}
+        for shard_id, action in zip(order, (CRASH, HANG, TRUNCATE)):
+            self._actions[shard_id] = action
+        for shard_id in order[3:]:
+            if self._rng.random() < extra_fault_rate:
+                self._actions[shard_id] = self._rng.choice((CRASH, HANG))
+
+    def plan(self) -> dict[str, str]:
+        """The full fault plan (shard id -> injected fault)."""
+        return dict(self._actions)
+
+    def worker_action(self, shard_id: str, attempt: int) -> str | None:
+        """Fault to inject into this worker attempt (first attempt only)."""
+        if attempt != 1:
+            return None
+        action = self._actions.get(shard_id)
+        return action if action in (CRASH, HANG) else None
+
+    def should_truncate_after(self, shard_id: str) -> bool:
+        """Whether to tear the checkpoint right after this shard commits."""
+        return self._actions.get(shard_id) == TRUNCATE
+
+    @staticmethod
+    def truncate_checkpoint(path: str) -> bool:
+        """Simulate a torn write: cut the checkpoint's last line in half.
+
+        Returns ``False`` when the file has no shard record to tear
+        (nothing after the manifest line).  Uses :func:`os.truncate`, so
+        no write-mode ``open`` is needed (FTMCC05 stays clean).
+        """
+        with open(path, "rb") as handle:
+            data = handle.read()
+        stripped = data.rstrip(b"\n")
+        last_newline = stripped.rfind(b"\n")
+        if last_newline < 0:
+            return False  # only one line: never tear the manifest
+        last_line = stripped[last_newline + 1 :]
+        keep = max(1, len(last_line) // 2)
+        os.truncate(path, last_newline + 1 + keep)
+        return True

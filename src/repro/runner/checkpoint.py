@@ -1,0 +1,96 @@
+"""JSONL campaign checkpointing with a torn-write-tolerant loader.
+
+Layout: line 1 is a ``manifest`` record (experiment, options, planned
+shard ids/seeds); every subsequent line is one completed ``shard``
+record carrying its JSON payload.  The manifest is written atomically
+(:func:`repro.io.atomic_write_text`); shard records are appended with
+flush + fsync (:func:`repro.io.append_jsonl`), so a crash — or the chaos
+injector — can at worst tear individual lines.
+
+The loader is deliberately forgiving: unparseable lines are *skipped and
+counted*, never fatal.  A shard whose record was torn is simply absent
+from the loaded state, and the supervisor re-executes it — re-deriving
+the lost work instead of refusing to resume.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.io import append_jsonl, atomic_write_text
+
+__all__ = ["CheckpointState", "CampaignCheckpoint", "CHECKPOINT_VERSION"]
+
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class CheckpointState:
+    """Everything recoverable from a checkpoint file on disk."""
+
+    manifest: dict[str, Any] | None = None
+    #: Completed shard records keyed by shard id (last record wins).
+    shards: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Lines that did not parse as JSON records (torn writes).
+    corrupt_lines: int = 0
+
+    def payload(self, shard_id: str) -> Any:
+        return self.shards[shard_id]["payload"]
+
+
+class CampaignCheckpoint:
+    """One campaign's JSONL checkpoint file."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def create(self, manifest: dict[str, Any]) -> None:
+        """Start a fresh checkpoint: atomically write the manifest line."""
+        record = {"type": "manifest", "version": CHECKPOINT_VERSION, **manifest}
+        atomic_write_text(self.path, json.dumps(record, separators=(",", ":")) + "\n")
+
+    def append_shard(
+        self, shard_id: str, index: int, seed: int, attempts: int, payload: Any
+    ) -> None:
+        """Durably record one completed shard."""
+        append_jsonl(
+            self.path,
+            {
+                "type": "shard",
+                "id": shard_id,
+                "index": index,
+                "seed": seed,
+                "attempts": attempts,
+                "payload": payload,
+            },
+        )
+
+    def load(self) -> CheckpointState:
+        """Tolerantly read the checkpoint back (skip torn lines)."""
+        state = CheckpointState()
+        try:
+            with open(self.path) as handle:
+                content = handle.read()
+        except FileNotFoundError:
+            return state
+        for line in content.split("\n"):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                state.corrupt_lines += 1
+                continue
+            if not isinstance(record, dict):
+                state.corrupt_lines += 1
+                continue
+            kind = record.get("type")
+            if kind == "manifest" and state.manifest is None:
+                state.manifest = record
+            elif kind == "shard" and "id" in record and "payload" in record:
+                state.shards[str(record["id"])] = record
+            else:
+                state.corrupt_lines += 1
+        return state

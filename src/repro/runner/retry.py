@@ -1,0 +1,67 @@
+"""Retry policy: bounded attempts with exponential backoff and jitter.
+
+The runner applies the paper's own medicine to the harness: a failed
+shard is *re-executed* a bounded number of times — the direct analogue
+of a task's re-execution profile ``n_i`` (Section 3) — before the
+campaign degrades gracefully and records the shard as failed.
+
+Backoff is exponential with multiplicative jitter.  The jitter draws
+from a caller-supplied :class:`random.Random`, so a campaign seeded for
+reproduction produces the same delay schedule every run.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How often and how patiently a failed shard is re-executed.
+
+    ``max_retries`` bounds *additional* attempts: a shard is executed at
+    most ``max_retries + 1`` times in total (mirroring an ``n_i``
+    re-execution profile with ``n_i = max_retries + 1`` executions).
+    """
+
+    max_retries: int = 2
+    base_delay: float = 0.5
+    factor: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.base_delay < 0:
+            raise ValueError(f"base_delay must be >= 0, got {self.base_delay}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} below base_delay {self.base_delay}"
+            )
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    @property
+    def attempts(self) -> int:
+        """Total execution budget per shard (first try + retries)."""
+        return self.max_retries + 1
+
+    def delay(self, attempt: int, rng: random.Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``delay = min(base * factor^(attempt-1), max) * (1 + jitter*u)``
+        with ``u`` uniform in ``[-1, 1]`` from ``rng`` (no jitter when
+        ``rng`` is ``None``).
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        delay = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return delay

@@ -1,0 +1,169 @@
+"""Shard and outcome value objects for the campaign runner.
+
+A *shard* is the runner's unit of fault tolerance: a deterministic,
+seeded slice of an experiment (one ``n'`` sweep point, one Fig. 3 grid
+point, one table) that can be executed in an isolated worker process,
+retried after a crash, and checkpointed independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["ShardSpec", "ShardOutcome", "CampaignReport"]
+
+#: Outcome states for :class:`ShardOutcome.status`.
+COMPLETED = "completed"
+FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One deterministic slice of an experiment.
+
+    ``params`` must be JSON-serialisable: they cross the process
+    boundary to the worker and are recorded in the checkpoint manifest.
+    ``seed`` is the shard's recorded random seed — re-running the shard
+    with the same params/seed reproduces its payload bit-identically.
+    """
+
+    id: str
+    index: int
+    seed: int
+    params: Mapping[str, Any]
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one shard over the whole campaign."""
+
+    spec: ShardSpec
+    status: str = FAILED
+    attempts: int = 0
+    payload: Any = None
+    #: Human-readable reason for each failed attempt, in order.
+    errors: list[str] = field(default_factory=list)
+    #: True when the shard had to be re-executed after its checkpoint
+    #: record was lost to a torn write (chaos truncation / crash).
+    recovered: bool = False
+    #: True when the payload was restored from the checkpoint (--resume).
+    resumed: bool = False
+
+    @property
+    def completed(self) -> bool:
+        return self.status == COMPLETED
+
+    @property
+    def retried(self) -> bool:
+        """Whether fault tolerance did any work for this shard."""
+        return self.attempts > 1 or self.recovered
+
+
+@dataclass
+class CampaignReport:
+    """Coverage accounting for one campaign run (the degradation record).
+
+    A campaign never crashes because a shard died: it completes with
+    this report, which states exactly what was and was not computed —
+    the harness-level analogue of EDF-VD's degraded-but-explicit service
+    guarantees.
+    """
+
+    experiment: str
+    output_dir: str
+    checkpoint_path: str
+    outcomes: list[ShardOutcome] = field(default_factory=list)
+    result_files: list[str] = field(default_factory=list)
+    coverage_path: str | None = None
+    chaos_seed: int | None = None
+    #: Unparseable checkpoint lines skipped by the tolerant loader.
+    corrupt_checkpoint_lines: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def completed(self) -> list[ShardOutcome]:
+        return [o for o in self.outcomes if o.completed]
+
+    @property
+    def failed(self) -> list[ShardOutcome]:
+        return [o for o in self.outcomes if not o.completed]
+
+    @property
+    def retried(self) -> list[ShardOutcome]:
+        return [o for o in self.outcomes if o.retried]
+
+    @property
+    def resumed(self) -> list[ShardOutcome]:
+        return [o for o in self.outcomes if o.resumed]
+
+    @property
+    def exit_code(self) -> int:
+        """0 when every shard completed; 3 for a degraded campaign."""
+        return 0 if not self.failed else 3
+
+    def coverage(self) -> dict[str, Any]:
+        """JSON-serialisable coverage summary (written next to results)."""
+        return {
+            "experiment": self.experiment,
+            "shards": self.total,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "resumed": len(self.resumed),
+            "chaos_seed": self.chaos_seed,
+            "corrupt_checkpoint_lines": self.corrupt_checkpoint_lines,
+            "retried_shards": [
+                {
+                    "id": o.spec.id,
+                    "attempts": o.attempts,
+                    "recovered": o.recovered,
+                    "errors": list(o.errors),
+                }
+                for o in self.retried
+            ],
+            "failed_shards": [
+                {"id": o.spec.id, "attempts": o.attempts, "errors": list(o.errors)}
+                for o in self.failed
+            ],
+        }
+
+    def render(self) -> str:
+        """Terminal summary of the campaign."""
+        lines = [
+            f"== campaign {self.experiment}: "
+            f"{len(self.completed)}/{self.total} shards completed =="
+        ]
+        if self.resumed:
+            lines.append(f"resumed from checkpoint: {len(self.resumed)} shards")
+        if self.corrupt_checkpoint_lines:
+            lines.append(
+                f"checkpoint recovery: skipped "
+                f"{self.corrupt_checkpoint_lines} torn line(s)"
+            )
+        for outcome in self.retried:
+            reasons = "; ".join(outcome.errors) or "checkpoint record lost"
+            lines.append(
+                f"retried: {outcome.spec.id} "
+                f"({outcome.attempts} attempt(s)"
+                + (", recovered from torn checkpoint" if outcome.recovered else "")
+                + f") — {reasons}"
+            )
+        for outcome in self.failed:
+            reasons = "; ".join(outcome.errors) or "unknown"
+            lines.append(
+                f"FAILED: {outcome.spec.id} after {outcome.attempts} "
+                f"attempt(s) — {reasons}"
+            )
+        for path in self.result_files:
+            lines.append(f"wrote {path}")
+        if self.coverage_path:
+            lines.append(f"coverage report: {self.coverage_path}")
+        if self.failed:
+            lines.append(
+                "campaign DEGRADED: partial results above cover only the "
+                "completed shards (exit code 3)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,400 @@
+"""The campaign supervisor: watchdogs, retries, checkpoints, recovery.
+
+:func:`run_campaign` drives a sharded experiment to completion the way
+the paper drives a fault-tolerant task set: every shard runs in an
+isolated worker with a timeout watchdog; a crashed, hung, or raising
+shard is re-executed with exponential backoff (bounded attempts, like an
+``n_i`` re-execution profile); each completed shard is durably
+checkpointed; and when a shard exhausts its budget the campaign
+*degrades gracefully* — it finalises the shards that did complete and
+reports exact coverage instead of crashing.
+
+Interruption contract: on SIGINT/SIGTERM the supervisor kills the active
+worker, leaves the checkpoint in place, and raises
+:class:`CampaignInterrupted` (CLI exit code ``128 + signum``: 130 for
+SIGINT, 143 for SIGTERM).  ``--resume`` then skips every checkpointed
+shard and — because payloads always round-trip through JSON — finalises
+result files byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import random
+import signal
+import threading
+import time
+from typing import Any, Callable
+
+from repro.io import atomic_write_json
+from repro.runner.campaigns import CampaignDefinition, get_campaign
+from repro.runner.chaos import ChaosInjector
+from repro.runner.checkpoint import CampaignCheckpoint
+from repro.runner.retry import RetryPolicy
+from repro.runner.shards import (
+    COMPLETED,
+    CampaignReport,
+    ShardOutcome,
+    ShardSpec,
+)
+from repro.runner.worker import configured_delay, shard_worker
+
+__all__ = [
+    "run_campaign",
+    "CampaignInterrupted",
+    "CampaignConfigError",
+    "DEFAULT_TIMEOUT",
+    "CHAOS_TIMEOUT",
+]
+
+#: Per-shard watchdog budget (seconds) when none is given.
+DEFAULT_TIMEOUT = 120.0
+#: Watchdog budget under chaos, where hangs are injected on purpose.
+CHAOS_TIMEOUT = 5.0
+
+EventHook = Callable[[str], None]
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised when a signal stops the campaign (checkpoint retained)."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"campaign interrupted by signal {signum}")
+        self.signum = signum
+
+    @property
+    def exit_code(self) -> int:
+        return 128 + self.signum
+
+
+class CampaignConfigError(ValueError):
+    """Unusable campaign configuration (bad resume state, bad target)."""
+
+
+def _normalised(data: Any) -> Any:
+    """JSON round-trip, so tuples/lists and int/float compare canonically."""
+    return json.loads(json.dumps(data))
+
+
+def _context() -> multiprocessing.context.BaseContext:
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+class _Supervisor:
+    def __init__(
+        self,
+        campaign: CampaignDefinition,
+        options: dict[str, Any],
+        output_dir: str,
+        timeout: float,
+        retry: RetryPolicy,
+        chaos: ChaosInjector | None,
+        on_event: EventHook | None,
+        shard_delay: float,
+    ) -> None:
+        self.campaign = campaign
+        self.options = options
+        self.output_dir = output_dir
+        self.timeout = timeout
+        self.retry = retry
+        self.chaos = chaos
+        self.shard_delay = shard_delay
+        self._on_event = on_event
+        self._ctx = _context()
+        self._rng = random.Random(int(options.get("seed", 0)))
+        self._signum: int | None = None
+        self.checkpoint = CampaignCheckpoint(
+            os.path.join(output_dir, f"{campaign.name}.checkpoint.jsonl")
+        )
+
+    # -- plumbing --------------------------------------------------------------
+
+    def event(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    def _note_signal(self, signum: int, frame: Any) -> None:
+        self._signum = signum
+
+    def _check_interrupted(self) -> None:
+        if self._signum is not None:
+            raise CampaignInterrupted(self._signum)
+
+    def _sleep(self, seconds: float) -> None:
+        deadline = time.monotonic() + seconds
+        while time.monotonic() < deadline:
+            self._check_interrupted()
+            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+        self._check_interrupted()
+
+    # -- one worker attempt ----------------------------------------------------
+
+    def _run_attempt(
+        self, spec: ShardSpec, chaos_action: str | None
+    ) -> tuple[bool, Any]:
+        """Execute one attempt; returns ``(ok, payload-or-error-text)``."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=shard_worker,
+            args=(
+                child_conn,
+                self.campaign.name,
+                dict(spec.params),
+                chaos_action,
+                self.shard_delay,
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = time.monotonic() + self.timeout
+        message: str | None = None
+        try:
+            while True:
+                if self._signum is not None:
+                    self._kill(process)
+                    raise CampaignInterrupted(self._signum)
+                # Drain early so a large payload cannot deadlock the pipe.
+                message = self._drain(parent_conn, message)
+                if not process.is_alive():
+                    break
+                if time.monotonic() > deadline:
+                    self._kill(process)
+                    return False, f"timed out after {self.timeout:g}s"
+                process.join(0.05)
+            message = self._drain(parent_conn, message)
+            process.join()
+            if process.exitcode != 0:
+                return False, f"worker crashed (exit {process.exitcode})"
+            if message is None:
+                return False, "worker exited without a result"
+            outcome = json.loads(message)
+            if not outcome.get("ok"):
+                return False, f"shard raised: {outcome.get('error', 'unknown')}"
+            return True, outcome["payload"]
+        finally:
+            parent_conn.close()
+
+    @staticmethod
+    def _drain(conn: Any, message: str | None) -> str | None:
+        try:
+            while conn.poll(0):
+                message = conn.recv()
+        except (EOFError, OSError):
+            pass
+        return message
+
+    @staticmethod
+    def _kill(process: Any) -> None:
+        process.terminate()
+        process.join(0.5)
+        if process.is_alive():
+            process.kill()
+            process.join()
+
+    # -- shard lifecycle -------------------------------------------------------
+
+    def run_shard(self, outcome: ShardOutcome) -> None:
+        spec = outcome.spec
+        for attempt in range(1, self.retry.attempts + 1):
+            self._check_interrupted()
+            outcome.attempts = attempt
+            chaos_action = (
+                self.chaos.worker_action(spec.id, attempt) if self.chaos else None
+            )
+            if chaos_action is not None:
+                self.event(f"chaos: injecting {chaos_action} into shard {spec.id}")
+            ok, payload_or_error = self._run_attempt(spec, chaos_action)
+            if ok:
+                outcome.status = COMPLETED
+                outcome.payload = payload_or_error
+                self.checkpoint.append_shard(
+                    spec.id, spec.index, spec.seed, attempt, payload_or_error
+                )
+                if self.chaos and self.chaos.should_truncate_after(spec.id):
+                    if ChaosInjector.truncate_checkpoint(self.checkpoint.path):
+                        self.event(
+                            f"chaos: tore the checkpoint after shard {spec.id}"
+                        )
+                return
+            outcome.errors.append(str(payload_or_error))
+            self.event(
+                f"shard {spec.id} attempt {attempt}/{self.retry.attempts} "
+                f"failed: {payload_or_error}"
+            )
+            if attempt < self.retry.attempts:
+                self._sleep(self.retry.delay(attempt, self._rng))
+        self.event(
+            f"shard {spec.id} failed permanently after "
+            f"{outcome.attempts} attempt(s); campaign degrades"
+        )
+
+    # -- recovery and finalisation ---------------------------------------------
+
+    def recover_torn_records(self, outcomes: list[ShardOutcome]) -> int:
+        """Re-append completed shards whose on-disk record was torn."""
+        state = self.checkpoint.load()
+        corrupt = state.corrupt_lines
+        for outcome in outcomes:
+            if outcome.completed and outcome.spec.id not in state.shards:
+                spec = outcome.spec
+                self.checkpoint.append_shard(
+                    spec.id, spec.index, spec.seed, outcome.attempts,
+                    outcome.payload,
+                )
+                outcome.recovered = True
+                self.event(
+                    f"recovered: re-wrote torn checkpoint record for {spec.id}"
+                )
+        return corrupt
+
+    def finalize(self, report: CampaignReport) -> None:
+        payloads = {
+            o.spec.id: o.payload for o in report.outcomes if o.completed
+        }
+        for result in self.campaign.finalize(payloads, self.options):
+            json_path = os.path.join(self.output_dir, f"{result.name}.json")
+            csv_path = os.path.join(self.output_dir, f"{result.name}.csv")
+            atomic_write_json(json_path, result.to_dict())
+            result.to_csv(csv_path)
+            report.result_files.extend([json_path, csv_path])
+        coverage_path = os.path.join(
+            self.output_dir, f"{self.campaign.name}.coverage.json"
+        )
+        atomic_write_json(coverage_path, report.coverage())
+        report.coverage_path = coverage_path
+
+
+def _load_resume_state(
+    supervisor: _Supervisor, shards: list[ShardSpec], options: dict[str, Any]
+) -> dict[str, dict[str, Any]]:
+    """Validate and load a checkpoint for ``--resume``."""
+    state = supervisor.checkpoint.load()
+    if state.manifest is None:
+        raise CampaignConfigError(
+            f"cannot resume: no usable checkpoint at {supervisor.checkpoint.path}"
+        )
+    manifest = state.manifest
+    if manifest.get("experiment") != supervisor.campaign.name:
+        raise CampaignConfigError(
+            "cannot resume: checkpoint belongs to campaign "
+            f"{manifest.get('experiment')!r}, not {supervisor.campaign.name!r}"
+        )
+    if manifest.get("options") != _normalised(options):
+        raise CampaignConfigError(
+            "cannot resume: campaign options changed since the checkpoint "
+            "was written (rerun without --resume to start over)"
+        )
+    planned = [
+        {"id": s.id, "index": s.index, "seed": s.seed} for s in shards
+    ]
+    if manifest.get("shards") != _normalised(planned):
+        raise CampaignConfigError(
+            "cannot resume: the shard plan no longer matches the checkpoint"
+        )
+    return state.shards
+
+
+def run_campaign(
+    experiment: str,
+    options: dict[str, Any] | None = None,
+    output_dir: str | None = None,
+    resume: bool = False,
+    chaos_seed: int | None = None,
+    timeout: float | None = None,
+    retry: RetryPolicy | None = None,
+    on_event: EventHook | None = None,
+    shard_delay: float | None = None,
+) -> CampaignReport:
+    """Run (or resume) a fault-tolerant experiment campaign.
+
+    See the module docstring for the execution model and
+    ``docs/robustness.md`` for the full contract.  Raises
+    :class:`CampaignInterrupted` on SIGINT/SIGTERM and
+    :class:`CampaignConfigError` on unusable configuration; any other
+    shard-level failure degrades the campaign instead of raising.
+    """
+    campaign = get_campaign(experiment)
+    if options is None:
+        options = campaign.default_options()
+    if output_dir is None:
+        output_dir = os.path.join("results", "campaigns", experiment)
+    os.makedirs(output_dir, exist_ok=True)
+    if timeout is None:
+        timeout = CHAOS_TIMEOUT if chaos_seed is not None else DEFAULT_TIMEOUT
+    if retry is None:
+        retry = RetryPolicy(base_delay=0.1) if chaos_seed is not None else RetryPolicy()
+    if shard_delay is None:
+        shard_delay = configured_delay()
+
+    shards = campaign.plan(options)
+    if not shards:
+        raise CampaignConfigError(f"campaign {experiment!r} planned no shards")
+    ids = [s.id for s in shards]
+    if len(set(ids)) != len(ids):
+        raise CampaignConfigError(f"campaign {experiment!r} has duplicate shard ids")
+
+    chaos = ChaosInjector(chaos_seed, ids) if chaos_seed is not None else None
+    supervisor = _Supervisor(
+        campaign, options, output_dir, timeout, retry, chaos, on_event,
+        shard_delay,
+    )
+
+    resumed_records: dict[str, dict[str, Any]] = {}
+    if resume:
+        resumed_records = _load_resume_state(supervisor, shards, options)
+    else:
+        supervisor.checkpoint.create(
+            {
+                "experiment": campaign.name,
+                "options": _normalised(options),
+                "shards": [
+                    {"id": s.id, "index": s.index, "seed": s.seed}
+                    for s in shards
+                ],
+                "created": time.time(),
+            }
+        )
+
+    report = CampaignReport(
+        experiment=campaign.name,
+        output_dir=output_dir,
+        checkpoint_path=supervisor.checkpoint.path,
+        chaos_seed=chaos_seed,
+    )
+
+    # Install signal handlers (main thread only; tests may call us from
+    # worker threads where signal.signal raises ValueError).
+    previous_handlers: dict[int, Any] = {}
+    in_main_thread = threading.current_thread() is threading.main_thread()
+    if in_main_thread:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, supervisor._note_signal
+            )
+    try:
+        for spec in shards:
+            outcome = ShardOutcome(spec=spec)
+            report.outcomes.append(outcome)
+            record = resumed_records.get(spec.id)
+            if record is not None:
+                outcome.status = COMPLETED
+                outcome.resumed = True
+                outcome.payload = record["payload"]
+                outcome.attempts = int(record.get("attempts", 1))
+                continue
+            supervisor.event(
+                f"shard {spec.id} ({len(report.outcomes)}/{len(shards)})"
+            )
+            supervisor.run_shard(outcome)
+        report.corrupt_checkpoint_lines = supervisor.recover_torn_records(
+            report.outcomes
+        )
+        supervisor.finalize(report)
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+    return report

@@ -1,0 +1,70 @@
+"""Worker-process entry point for campaign shards.
+
+Each shard attempt runs in its own process so that a crash, hang, or
+out-of-control computation cannot take the supervisor down — process
+isolation is the harness-level analogue of the paper's assumption that
+a faulty job execution is detected and contained at its completion.
+
+The worker's only channel back is a one-shot pipe message containing a
+JSON document ``{"ok": true, "payload": ...}`` or ``{"ok": false,
+"error": "..."}``.  Payloads are serialised to JSON *inside the worker*
+so that non-serialisable payloads surface as shard failures, and so
+every payload the supervisor ever sees has been through the same JSON
+normalisation as a checkpointed one (byte-identical resume).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Any, Mapping
+
+from repro.runner.chaos import CHAOS_CRASH_EXIT, CRASH, HANG
+
+__all__ = ["shard_worker", "DELAY_ENV"]
+
+#: Environment hook: float seconds every worker sleeps before computing.
+#: A chaos/testing aid — it widens the window in which a kill signal
+#: lands mid-shard (see docs/robustness.md); leave unset in production.
+DELAY_ENV = "FTMC_SHARD_DELAY"
+
+
+def configured_delay() -> float:
+    """The worker start delay from :data:`DELAY_ENV` (0 when unset/bad)."""
+    raw = os.environ.get(DELAY_ENV)
+    if not raw:
+        return 0.0
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0
+
+
+def shard_worker(
+    conn: Any,
+    experiment: str,
+    params: Mapping[str, Any],
+    chaos_action: str | None,
+    delay: float,
+) -> None:
+    """Execute one shard and send the JSON-encoded outcome over ``conn``."""
+    from repro.runner.campaigns import get_campaign
+
+    if delay > 0:
+        time.sleep(delay)
+    if chaos_action == CRASH:
+        # Simulated transient fault: die abruptly, skipping all cleanup.
+        os._exit(CHAOS_CRASH_EXIT)
+    if chaos_action == HANG:
+        while True:  # simulated livelock; the watchdog must reap us
+            time.sleep(3600)
+    try:
+        payload = get_campaign(experiment).execute(dict(params))
+        text = json.dumps({"ok": True, "payload": payload})
+    except Exception as exc:  # report, never crash the pipe protocol
+        text = json.dumps({"ok": False, "error": f"{type(exc).__name__}: {exc}"})
+    try:
+        conn.send(text)
+    finally:
+        conn.close()

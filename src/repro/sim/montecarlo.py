@@ -41,6 +41,12 @@ class PFHEstimate:
     #: Total rounds released (for context).
     released: int
     runs: int
+    #: Base seed of the estimation (run ``k`` simulates with ``seed + k``);
+    #: together with ``probability_scale`` this makes the estimate fully
+    #: reproducible from its result record alone.
+    seed: int = 0
+    #: Fault-probability inflation the runs were simulated at.
+    probability_scale: float = 1.0
 
     @property
     def mean(self) -> float:
@@ -84,7 +90,11 @@ def estimate_pfh(
     """Estimate the PFH of ``role`` under a successful FT-S configuration.
 
     Executes ``runs`` independent seeded simulations of ``hours_per_run``
-    hours each and pools the observed temporal failures.
+    hours each and pools the observed temporal failures.  ``seed`` is
+    threaded explicitly into each run's fault injector (run ``k`` uses
+    ``seed + k``) and recorded in the estimate, so any
+    :class:`PFHEstimate` can be reproduced bit-identically from its own
+    record.
     """
     if runs < 1:
         raise ValueError(f"need at least one run, got {runs}")
@@ -108,4 +118,6 @@ def estimate_pfh(
         failures=failures,
         released=released,
         runs=runs,
+        seed=seed,
+        probability_scale=probability_scale,
     )

@@ -1,0 +1,172 @@
+"""Process-level integration tests: kill a campaign, resume it exactly.
+
+These run the real CLI (``python -m repro campaign ...``) in a
+subprocess and exercise the contracts only a live process can prove:
+
+* SIGKILL mid-shard, then ``--resume`` → result files byte-identical to
+  an uninterrupted run (the ISSUE's headline acceptance criterion);
+* a checkpoint truncated behind the runner's back still resumes;
+* SIGINT exits 130 with the checkpoint retained;
+* ``--chaos 42`` completes with a coverage report naming every retried
+  shard.
+
+``FTMC_SHARD_DELAY`` (see docs/robustness.md) widens the window in
+which a kill signal lands mid-shard, keeping the races deterministic.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+
+def _env(**extra):
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env.pop("FTMC_SHARD_DELAY", None)
+    env.update(extra)
+    return env
+
+
+def _campaign(args, **kwargs):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "campaign", *args],
+        env=_env(),
+        capture_output=True,
+        text=True,
+        timeout=300,
+        **kwargs,
+    )
+
+
+def _start_campaign(args, delay="0.6"):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "campaign", *args],
+        env=_env(FTMC_SHARD_DELAY=delay),
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+
+
+def _wait_for_lines(path, n, timeout=60.0):
+    """Block until ``path`` holds at least ``n`` complete lines."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            with open(path) as handle:
+                if handle.read().count("\n") >= n:
+                    return
+        except FileNotFoundError:
+            pass
+        time.sleep(0.05)
+    raise AssertionError(f"{path} never reached {n} lines")
+
+
+@pytest.fixture(scope="module")
+def clean_fig2(tmp_path_factory):
+    """One uninterrupted fig2 campaign — the byte-identity reference."""
+    out = tmp_path_factory.mktemp("clean")
+    proc = _campaign(["fig2", "--output-dir", str(out)])
+    assert proc.returncode == 0, proc.stderr
+    return {
+        "fig2.json": (out / "fig2.json").read_bytes(),
+        "fig2.csv": (out / "fig2.csv").read_bytes(),
+    }
+
+
+class TestKillAndResume:
+    def test_sigkilled_campaign_resumes_byte_identically(
+        self, tmp_path, clean_fig2
+    ):
+        out = tmp_path / "killed"
+        proc = _start_campaign(["fig2", "--output-dir", str(out)])
+        try:
+            # manifest + at least one shard committed, campaign mid-flight
+            _wait_for_lines(out / "fig2.checkpoint.jsonl", 2)
+            proc.kill()  # SIGKILL: no cleanup, no atexit, nothing
+        finally:
+            proc.wait()
+        assert proc.returncode == -signal.SIGKILL
+        assert not (out / "fig2.json").exists()  # died before finalising
+
+        resume = _campaign(["fig2", "--output-dir", str(out), "--resume"])
+        assert resume.returncode == 0, resume.stderr
+        for name, reference in clean_fig2.items():
+            assert (out / name).read_bytes() == reference
+        coverage = json.loads((out / "fig2.coverage.json").read_text())
+        assert coverage["completed"] == coverage["shards"] == 4
+        assert coverage["resumed"] >= 1
+
+    def test_truncated_checkpoint_still_resumes(self, tmp_path, clean_fig2):
+        out = tmp_path / "torn"
+        proc = _campaign(["fig2", "--output-dir", str(out)])
+        assert proc.returncode == 0, proc.stderr
+        checkpoint = out / "fig2.checkpoint.jsonl"
+        # tear the checkpoint tail behind the runner's back
+        os.truncate(checkpoint, checkpoint.stat().st_size - 17)
+        (out / "fig2.json").unlink()
+        (out / "fig2.csv").unlink()
+        resume = _campaign(["fig2", "--output-dir", str(out), "--resume"])
+        assert resume.returncode == 0, resume.stderr
+        for name, reference in clean_fig2.items():
+            assert (out / name).read_bytes() == reference
+
+    def test_resume_without_checkpoint_exits_2(self, tmp_path):
+        proc = _campaign(
+            ["fig2", "--output-dir", str(tmp_path / "nothing"), "--resume"]
+        )
+        assert proc.returncode == 2
+        assert "no usable checkpoint" in proc.stderr
+
+
+class TestInterrupt:
+    def test_sigint_exits_130_and_retains_checkpoint(self, tmp_path):
+        out = tmp_path / "interrupted"
+        proc = _start_campaign(["fig2", "--output-dir", str(out)])
+        try:
+            _wait_for_lines(out / "fig2.checkpoint.jsonl", 2)
+            proc.send_signal(signal.SIGINT)
+            stderr = proc.communicate(timeout=60)[1]
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        assert proc.returncode == 130
+        assert "--resume" in stderr  # the operator is told how to continue
+        assert (out / "fig2.checkpoint.jsonl").exists()
+        assert not (out / "fig2.json").exists()
+
+
+class TestChaosSmoke:
+    def test_chaos_campaign_completes_with_coverage(self, tmp_path):
+        """The ISSUE's acceptance criterion: ftmc campaign fig1 --chaos 42."""
+        out = tmp_path / "chaos"
+        proc = _campaign(["fig1", "--chaos", "42", "--output-dir", str(out)])
+        assert proc.returncode == 0, proc.stderr
+        coverage = json.loads((out / "fig1.coverage.json").read_text())
+        assert coverage["chaos_seed"] == 42
+        assert coverage["completed"] == coverage["shards"] == 4
+        assert coverage["failed_shards"] == []
+        # every injected fault shows up as a retried/recovered shard
+        from repro.runner import ChaosInjector
+
+        shard_ids = [f"nprime-{k}" for k in range(1, 5)]
+        plan = ChaosInjector(42, shard_ids).plan()
+        retried = {s["id"] for s in coverage["retried_shards"]}
+        for shard_id, action in plan.items():
+            if action in ("crash", "hang"):
+                assert shard_id in retried
+            if action == "truncate":
+                assert any(
+                    s["id"] == shard_id and s["recovered"]
+                    for s in coverage["retried_shards"]
+                ) or shard_id in retried
+        assert "retried" in proc.stdout  # terminal summary names them too

@@ -239,3 +239,45 @@ class TestSelfcheckCommand:
     def test_nonexistent_target_fails_cleanly(self, tmp_path, capsys):
         assert main(["selfcheck", str(tmp_path / "missing")]) == 2
         assert "not a directory" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    def test_parser_accepts_campaign_knobs(self):
+        args = build_parser().parse_args(
+            ["campaign", "fig1", "--chaos", "42", "--resume",
+             "--timeout", "9", "--max-retries", "4", "--retry-delay", "0.2"]
+        )
+        assert args.experiment == "campaign"
+        assert args.path == "fig1"
+        assert args.chaos == 42
+        assert args.resume is True
+        assert args.timeout == 9.0
+        assert args.max_retries == 4
+        assert args.retry_delay == 0.2
+
+    def test_campaign_without_target_fails(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "needs an experiment" in capsys.readouterr().err
+
+    def test_unknown_campaign_fails(self, capsys):
+        assert main(["campaign", "fig9"]) == 2
+        assert "unknown campaign" in capsys.readouterr().err
+
+    def test_negative_max_retries_fails(self, capsys):
+        assert main(["campaign", "fig1", "--max-retries", "-1"]) == 2
+        assert "--max-retries" in capsys.readouterr().err
+
+    def test_tables_campaign_runs_end_to_end(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "tables", "--output-dir", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4/4 shards completed" in out
+        assert (tmp_path / "tables.coverage.json").exists()
+        assert (tmp_path / "table1.json").exists()
+
+    def test_resume_without_checkpoint_exits_2(self, tmp_path, capsys):
+        assert main(
+            ["campaign", "tables", "--output-dir", str(tmp_path), "--resume"]
+        ) == 2
+        assert "no usable checkpoint" in capsys.readouterr().err

@@ -167,6 +167,71 @@ class TestMultilevelIO:
             )
 
 
+class TestAtomicWriters:
+    """Crash-safe primitives: temp file + fsync + os.replace (FTMCC05)."""
+
+    def test_atomic_write_text_creates_file(self, tmp_path):
+        from repro.io import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "hello\n")
+        assert path.read_text() == "hello\n"
+
+    def test_atomic_write_text_replaces_existing(self, tmp_path):
+        from repro.io import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        path.write_text("old")
+        atomic_write_text(str(path), "new")
+        assert path.read_text() == "new"
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        from repro.io import atomic_write_text
+
+        path = tmp_path / "out.txt"
+        atomic_write_text(str(path), "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.txt"]
+
+    def test_atomic_write_json_round_trips(self, tmp_path):
+        from repro.io import atomic_write_json
+
+        path = tmp_path / "data.json"
+        data = {"rows": [[1, 2.5, "x"]], "name": "t"}
+        atomic_write_json(str(path), data)
+        assert json.loads(path.read_text()) == data
+
+    def test_failed_write_preserves_original(self, tmp_path):
+        from repro.io import atomic_write_json
+
+        path = tmp_path / "data.json"
+        path.write_text("original")
+        with pytest.raises(TypeError):
+            atomic_write_json(str(path), {"bad": object()})
+        assert path.read_text() == "original"  # target untouched
+        assert [p.name for p in tmp_path.iterdir()] == ["data.json"]
+
+    def test_append_jsonl_accumulates_lines(self, tmp_path):
+        from repro.io import append_jsonl
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(str(path), {"shard": "a", "n": 1})
+        append_jsonl(str(path), {"shard": "b", "n": 2})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0]) == {"shard": "a", "n": 1}
+        assert json.loads(lines[1]) == {"shard": "b", "n": 2}
+
+    def test_append_jsonl_escapes_embedded_newlines(self, tmp_path):
+        """Newlines inside values never break the one-record-per-line frame."""
+        from repro.io import append_jsonl
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(str(path), {"text": "a\nb"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0]) == {"text": "a\nb"}
+
+
 class TestRoundTripProperties:
     """Hypothesis: serialisation is the identity on arbitrary task sets."""
 

@@ -96,6 +96,41 @@ class TestPrintPlacement:
         assert codes("logger.print('hello')") == []
 
 
+class TestWriteModeOpen:
+    def test_ftmcc05_positional_write_modes(self):
+        assert codes("f = open(path, 'w')") == ["FTMCC05"]
+        assert codes("f = open(path, 'wb')") == ["FTMCC05"]
+        assert codes("f = open(path, 'a')") == ["FTMCC05"]
+        assert codes("f = open(path, 'x')") == ["FTMCC05"]
+        assert codes("f = open(path, 'r+')") == ["FTMCC05"]
+
+    def test_ftmcc05_keyword_mode(self):
+        assert codes("f = open(path, mode='w')") == ["FTMCC05"]
+
+    def test_read_modes_pass(self):
+        assert codes("f = open(path)") == []
+        assert codes("f = open(path, 'r')") == []
+        assert codes("f = open(path, 'rb')") == []
+        assert codes("f = open(path, mode='r')") == []
+
+    def test_dynamic_mode_not_flagged(self):
+        # A non-literal mode cannot be judged statically; stay silent.
+        assert codes("f = open(path, mode)") == []
+
+    def test_allow_write_flag(self):
+        assert codes("f = open(path, 'w')", allow_write=True) == []
+
+    def test_shadowed_open_attribute_passes(self):
+        assert codes("f = gzip.open(path, 'w')") == []
+
+    def test_io_module_is_exempt_in_tree_walk(self, tmp_path):
+        (tmp_path / "io.py").write_text("f = open(path, 'w')\n")
+        (tmp_path / "lib.py").write_text("f = open(path, 'w')\n")
+        report = check_path(str(tmp_path))
+        assert [d.code for d in report] == ["FTMCC05"]
+        assert report.by_code("FTMCC05")[0].location == "lib.py:1"
+
+
 class TestTreeWalk:
     def test_check_path_walks_and_reports(self, tmp_path):
         (tmp_path / "lib.py").write_text("def f(xs=[]):\n    pass\n")

@@ -1,0 +1,209 @@
+"""End-to-end tests for the campaign supervisor (in-process).
+
+These drive :func:`repro.runner.run_campaign` on the cheap ``tables``
+campaign through real worker processes: success, graceful degradation,
+watchdog timeouts, resume, configuration errors, and a full chaos run
+whose results must match a clean run byte for byte.  Process-level
+SIGKILL/SIGINT integration lives in test_campaign_kill_resume.py.
+"""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.runner import (
+    CampaignConfigError,
+    ChaosInjector,
+    RetryPolicy,
+    run_campaign,
+)
+
+FAST_RETRY = RetryPolicy(max_retries=0, base_delay=0.0)
+
+
+def _run(tmp_path, options, subdir="out", **kwargs):
+    kwargs.setdefault("retry", FAST_RETRY)
+    kwargs.setdefault("timeout", 60.0)
+    return run_campaign(
+        "tables",
+        options=options,
+        output_dir=str(tmp_path / subdir),
+        **kwargs,
+    )
+
+
+class TestSuccessfulCampaign:
+    def test_writes_results_checkpoint_and_coverage(self, tmp_path):
+        report = _run(tmp_path, {"tables": ["table1"]})
+        assert report.exit_code == 0
+        out = tmp_path / "out"
+        assert (out / "table1.json").exists()
+        assert (out / "table1.csv").exists()
+        assert (out / "tables.checkpoint.jsonl").exists()
+        coverage = json.loads((out / "tables.coverage.json").read_text())
+        assert coverage["shards"] == 1
+        assert coverage["completed"] == 1
+        assert coverage["failed"] == 0
+        assert coverage["retried_shards"] == []
+
+    def test_result_matches_direct_computation(self, tmp_path):
+        from repro.experiments.tables import table2_example31
+
+        _run(tmp_path, {"tables": ["table2"]})
+        written = json.loads((tmp_path / "out" / "table2.json").read_text())
+        assert written == json.loads(
+            json.dumps(table2_example31().to_dict())
+        )
+
+    def test_events_are_reported(self, tmp_path):
+        events = []
+        _run(tmp_path, {"tables": ["table1"]}, on_event=events.append)
+        assert any("shard table1" in e for e in events)
+
+
+class TestGracefulDegradation:
+    def test_unknown_shard_degrades_not_crashes(self, tmp_path):
+        report = _run(tmp_path, {"tables": ["table1", "missing"]})
+        assert report.exit_code == 3
+        assert [o.spec.id for o in report.failed] == ["missing"]
+        assert "KeyError" in report.failed[0].errors[0]
+        # the completed shard is still finalised
+        assert (tmp_path / "out" / "table1.json").exists()
+        coverage = json.loads(
+            (tmp_path / "out" / "tables.coverage.json").read_text()
+        )
+        assert [s["id"] for s in coverage["failed_shards"]] == ["missing"]
+
+    def test_failed_shard_respects_retry_budget(self, tmp_path):
+        report = _run(
+            tmp_path,
+            {"tables": ["missing"]},
+            retry=RetryPolicy(max_retries=2, base_delay=0.0),
+        )
+        [outcome] = report.failed
+        assert outcome.attempts == 3
+        assert len(outcome.errors) == 3
+
+    def test_watchdog_reaps_hung_shard(self, tmp_path):
+        report = _run(
+            tmp_path,
+            {"tables": ["table1"]},
+            timeout=0.2,
+            shard_delay=5.0,  # worker sleeps past the watchdog budget
+        )
+        assert report.exit_code == 3
+        [outcome] = report.failed
+        assert "timed out" in outcome.errors[0]
+
+
+class TestResume:
+    def test_resume_skips_completed_shards_byte_identically(self, tmp_path):
+        options = {"tables": ["table1", "table2"]}
+        _run(tmp_path, options)
+        out = tmp_path / "out"
+        originals = {
+            name: (out / name).read_bytes()
+            for name in ("table1.json", "table1.csv", "table2.json")
+        }
+        for name in originals:
+            (out / name).unlink()
+        report = _run(tmp_path, options, resume=True)
+        assert report.exit_code == 0
+        assert len(report.resumed) == 2
+        for name, original in originals.items():
+            assert (out / name).read_bytes() == original
+        coverage = json.loads((out / "tables.coverage.json").read_text())
+        assert coverage["resumed"] == 2
+
+    def test_resume_without_checkpoint_refused(self, tmp_path):
+        with pytest.raises(CampaignConfigError, match="no usable checkpoint"):
+            _run(tmp_path, {"tables": ["table1"]}, resume=True)
+
+    def test_resume_with_changed_options_refused(self, tmp_path):
+        _run(tmp_path, {"tables": ["table1"]})
+        with pytest.raises(CampaignConfigError, match="options changed"):
+            _run(tmp_path, {"tables": ["table1", "table2"]}, resume=True)
+
+    def test_resume_with_foreign_checkpoint_refused(self, tmp_path):
+        _run(tmp_path, {"tables": ["table1"]})
+        out = tmp_path / "out"
+        # masquerade the tables checkpoint as a fig1 one
+        shutil.copy(
+            out / "tables.checkpoint.jsonl", out / "fig1.checkpoint.jsonl"
+        )
+        with pytest.raises(CampaignConfigError, match="belongs to campaign"):
+            run_campaign(
+                "fig1",
+                output_dir=str(out),
+                resume=True,
+                retry=FAST_RETRY,
+                timeout=60.0,
+            )
+
+    def test_resume_reexecutes_torn_records(self, tmp_path):
+        options = {"tables": ["table1", "table2"]}
+        _run(tmp_path, options)
+        out = tmp_path / "out"
+        original = (out / "table2.json").read_bytes()
+        checkpoint = out / "tables.checkpoint.jsonl"
+        assert ChaosInjector.truncate_checkpoint(str(checkpoint))
+        (out / "table2.json").unlink()
+        report = _run(tmp_path, options, resume=True)
+        assert report.exit_code == 0
+        # the torn shard was re-executed, not resumed
+        assert len(report.resumed) == 1
+        assert (out / "table2.json").read_bytes() == original
+
+
+class TestConfigErrors:
+    def test_empty_plan_rejected(self, tmp_path):
+        with pytest.raises(CampaignConfigError, match="no shards"):
+            _run(tmp_path, {"tables": []})
+
+    def test_duplicate_shard_ids_rejected(self, tmp_path):
+        with pytest.raises(CampaignConfigError, match="duplicate"):
+            _run(tmp_path, {"tables": ["table1", "table1"]})
+
+    def test_unknown_experiment_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="unknown campaign"):
+            run_campaign("fig9", output_dir=str(tmp_path))
+
+
+class TestChaosCampaign:
+    def test_chaos_run_completes_with_identical_results(self, tmp_path):
+        options = {"tables": ["table1", "table2", "table3", "table4"]}
+        clean = _run(tmp_path, options, subdir="clean")
+        assert clean.exit_code == 0
+        events = []
+        chaotic = _run(
+            tmp_path,
+            options,
+            subdir="chaos",
+            chaos_seed=42,
+            timeout=1.0,
+            retry=RetryPolicy(max_retries=2, base_delay=0.05, max_delay=0.2),
+            on_event=events.append,
+        )
+        # every injected fault was absorbed: the campaign still completes
+        assert chaotic.exit_code == 0
+        assert not chaotic.failed
+        plan = ChaosInjector(42, [s.spec.id for s in chaotic.outcomes]).plan()
+        retried_ids = {o.spec.id for o in chaotic.retried}
+        for shard_id, action in plan.items():
+            if action in ("crash", "hang"):
+                assert shard_id in retried_ids
+        assert any(o.recovered for o in chaotic.outcomes)  # torn checkpoint
+        assert any("chaos: injecting" in e for e in events)
+        # ...and the outputs are indistinguishable from a clean run
+        for name in ("table1", "table2", "table3", "table4"):
+            for ext in (".json", ".csv"):
+                assert (tmp_path / "chaos" / f"{name}{ext}").read_bytes() == (
+                    tmp_path / "clean" / f"{name}{ext}"
+                ).read_bytes()
+        coverage = json.loads(
+            (tmp_path / "chaos" / "tables.coverage.json").read_text()
+        )
+        assert coverage["chaos_seed"] == 42
+        assert coverage["retried_shards"]

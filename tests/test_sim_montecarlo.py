@@ -90,6 +90,29 @@ class TestEstimatePfh:
                          probability_scale=3000.0, seed=9)
         assert a.failures == b.failures
 
+    def test_estimate_records_seed_and_scale(self, configured):
+        """The estimate carries everything needed to reproduce it."""
+        taskset, result = configured
+        estimate = estimate_pfh(taskset, result, CriticalityRole.LO,
+                                hours_per_run=0.05, runs=2,
+                                probability_scale=3000.0, seed=9)
+        assert estimate.seed == 9
+        assert estimate.probability_scale == 3000.0
+        replay = estimate_pfh(taskset, result, CriticalityRole.LO,
+                              hours_per_run=0.05, runs=estimate.runs,
+                              probability_scale=estimate.probability_scale,
+                              seed=estimate.seed)
+        assert replay.failures == estimate.failures
+        assert replay.released == estimate.released
+
+    def test_default_seed_recorded_as_zero(self, configured):
+        taskset, result = configured
+        estimate = estimate_pfh(taskset, result, CriticalityRole.HI,
+                                hours_per_run=0.05, runs=1,
+                                probability_scale=0.0)
+        assert estimate.seed == 0
+        assert estimate.probability_scale == 0.0
+
     def test_validation(self, configured):
         taskset, result = configured
         with pytest.raises(ValueError, match="run"):
