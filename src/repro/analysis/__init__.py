@@ -24,6 +24,7 @@ from repro.analysis.edf import (
     Workload,
     demand_bound_function,
     edf_processor_demand_test,
+    edf_processor_demand_test_reference,
     edf_schedulable,
     edf_utilization_test,
     inflated_workload,
@@ -66,6 +67,7 @@ __all__ = [
     "Workload",
     "demand_bound_function",
     "edf_processor_demand_test",
+    "edf_processor_demand_test_reference",
     "edf_schedulable",
     "edf_utilization_test",
     "inflated_workload",

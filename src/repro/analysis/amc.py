@@ -27,10 +27,10 @@ where ``hpH``/``hpL`` split the higher-priority tasks by criticality.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.analysis.fixed_priority import audsley_assignment
+from repro.analysis.tolerance import ceil_div, converged, exceeds
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTask, MCTaskSet
 
@@ -48,16 +48,12 @@ def _fixed_point(initial: float, step, bound: float) -> float | None:
     r = initial
     for _ in range(_MAX_ITERATIONS):
         r_next = step(r)
-        if r_next > bound + 1e-9:
+        if exceeds(r_next, bound):
             return None
-        if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+        if converged(r_next, r):
             return r_next
         r = r_next
     return None
-
-
-def _ceil(x: float) -> float:
-    return math.ceil(x - 1e-12)
 
 
 def amc_rtb_response_times(
@@ -72,7 +68,7 @@ def amc_rtb_response_times(
     deadline.
     """
     for t in ordered:
-        if t.deadline > t.period + 1e-9:
+        if exceeds(t.deadline, t.period):
             raise ValueError(
                 f"AMC-rtb requires constrained deadlines; {t.name} has "
                 f"D={t.deadline} > T={t.period}"
@@ -83,7 +79,7 @@ def amc_rtb_response_times(
 
         def step(r: float, task=task, hp=hp) -> float:
             return task.wcet_lo + sum(
-                _ceil(r / j.period) * j.wcet_lo for j in hp
+                ceil_div(r, j.period) * j.wcet_lo for j in hp
             )
 
         r_lo.append(_fixed_point(task.wcet_lo, step, task.deadline))
@@ -99,13 +95,13 @@ def amc_rtb_response_times(
         hp_hi = [j for j in ordered[:i] if j.criticality is CriticalityRole.HI]
         hp_lo = [j for j in ordered[:i] if j.criticality is CriticalityRole.LO]
         lo_interference = sum(
-            _ceil(r_lo[i] / k.period) * k.wcet_lo for k in hp_lo
+            ceil_div(r_lo[i], k.period) * k.wcet_lo for k in hp_lo
         )
 
         def step(r: float, task=task, hp_hi=hp_hi, lo=lo_interference) -> float:
             return (
                 task.wcet_hi
-                + sum(_ceil(r / j.period) * j.wcet_hi for j in hp_hi)
+                + sum(ceil_div(r, j.period) * j.wcet_hi for j in hp_hi)
                 + lo
             )
 

@@ -29,11 +29,17 @@ property suite checks this on random converted sets.
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
 from repro.analysis.amc import amc_rtb_response_times
 from repro.analysis.fixed_priority import audsley_assignment
+from repro.analysis.tolerance import (
+    ceil_div,
+    converged,
+    exceeds,
+    floor_div,
+    strictly_below,
+)
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTask, MCTaskSet
 
@@ -46,19 +52,15 @@ __all__ = [
 _MAX_ITERATIONS = 100_000
 
 
-def _ceil(x: float) -> float:
-    return math.ceil(x - 1e-12)
-
-
 def _hi_interference(
     hp_hi: Sequence[MCTask], s: float, t: float
 ) -> float:
     """``sum_j IH_j(s, t)`` of the AMC-max recurrence."""
     total = 0.0
     for j in hp_hi:
-        jobs = _ceil(t / j.period)
-        after_switch = _ceil((t - s - (j.period - j.deadline)) / j.period) + 1
-        m = min(max(after_switch, 0.0), jobs)
+        jobs = ceil_div(t, j.period)
+        after_switch = ceil_div(t - s - (j.period - j.deadline), j.period) + 1
+        m = min(max(after_switch, 0), jobs)
         total += m * j.wcet_hi + (jobs - m) * j.wcet_lo
     return total
 
@@ -74,9 +76,9 @@ def _response_at_switch(
     r = task.wcet_hi + lo_interference
     for _ in range(_MAX_ITERATIONS):
         r_next = task.wcet_hi + lo_interference + _hi_interference(hp_hi, s, r)
-        if r_next > deadline + 1e-9:
+        if exceeds(r_next, deadline):
             return None
-        if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+        if converged(r_next, r):
             return r_next
         r = r_next
     return None
@@ -106,14 +108,14 @@ def amc_max_response_times(
         candidates = {0.0}
         for k in hp_lo:
             m = 0
-            while m * k.period < r_lo[i] - 1e-9:
+            while strictly_below(m * k.period, r_lo[i]):
                 candidates.add(m * k.period)
                 m += 1
 
         worst: float | None = 0.0
         for s in sorted(candidates):
             lo_interference = sum(
-                (math.floor(s / k.period + 1e-12) + 1) * k.wcet_lo
+                (floor_div(s, k.period) + 1) * k.wcet_lo
                 for k in hp_lo
             )
             r = _response_at_switch(

@@ -27,16 +27,33 @@ Model (simplified from Ekberg-Yi):
 
 Feasibility searches a descending grid of scaling factors ``x``; smaller
 ``x`` relieves HI mode and burdens LO mode, so the two tests are checked
-together for each candidate.
+together for each candidate.  Because the LO-mode test is monotone in
+``x`` (shrinking the virtual deadlines only raises the LO demand), the
+scan stops at the first LO-infeasible factor instead of trying every
+smaller one.
+
+Performance: the HI-mode point enumeration runs on the vectorized
+kernels of :mod:`repro.analysis.kernels` (scalar reference retained, and
+selected under ``REPRO_NO_NUMPY``), it inherits the ``_MAX_TEST_POINTS``
+conservative-reject guard of the classical PDC — a HI utilization just
+below 1 would otherwise enumerate millions of instants — and the
+per-factor workloads are derived from arrays built once per analysis
+rather than rebuilt for all grid steps.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
-from repro.analysis.edf import Workload
+from repro.analysis import kernels
+from repro.analysis.edf import _MAX_TEST_POINTS, Workload
 from repro.analysis.qpa import qpa_schedulable
+from repro.analysis.tolerance import (
+    exceeds,
+    job_count,
+    utilization_exceeds,
+    within,
+)
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTaskSet
 
@@ -74,22 +91,26 @@ def _hi_mode_demand(mc: MCTaskSet, x: float, window: float) -> float:
     demand = 0.0
     for task in mc.hi_tasks:
         offset = task.deadline - x * task.deadline
-        jobs = math.floor((window - offset) / task.period + 1e-9) + 1
+        jobs = job_count(window, offset, task.period)
         if jobs > 0:
             demand += jobs * task.wcet_hi
     return demand
 
 
-def _hi_mode_test(mc: MCTaskSet, x: float) -> bool:
-    """``dbf_HI(l) <= l`` at every HI-mode deadline up to the horizon."""
+def _hi_mode_horizon(mc: MCTaskSet, x: float) -> float | None:
+    """Testing horizon of the HI-mode sweep; ``None`` when intractable.
+
+    The bound mirrors :func:`repro.analysis.edf._pdc_testing_horizon`
+    with the demand offsets ``D_i - x D_i``: beyond ``L_a`` the
+    utilization bound dominates the demand.  Like the classical PDC, a
+    horizon that would require more than ``_MAX_TEST_POINTS`` check
+    instants (HI utilization pathologically close to 1) yields ``None``
+    and the caller rejects conservatively — the guard the scalar
+    implementation historically lacked, which let a single near-critical
+    task set stall a whole sweep shard.
+    """
     hi_tasks = mc.hi_tasks
-    if not hi_tasks:
-        return True
     utilization = sum(t.utilization(CriticalityRole.HI) for t in hi_tasks)
-    if utilization > 1.0 + 1e-12:
-        return False
-    # Horizon: beyond L_a the utilization bound dominates the demand, as in
-    # the classical PDC argument with offsets D_i - x D_i.
     d_max = max(t.deadline for t in hi_tasks)
     if utilization >= 1.0:
         horizon = 2.0 * (max(t.period for t in hi_tasks) + d_max) * len(hi_tasks)
@@ -100,18 +121,51 @@ def _hi_mode_test(mc: MCTaskSet, x: float) -> bool:
             for t in hi_tasks
         )
         horizon = max(d_max, max(la, 0.0) / (1.0 - utilization))
+    min_period = min(t.period for t in hi_tasks)
+    if (horizon / min_period) * len(hi_tasks) > _MAX_TEST_POINTS:
+        return None
+    return horizon
+
+
+def _hi_mode_scan_reference(mc: MCTaskSet, x: float, horizon: float) -> bool:
+    """Scalar HI-mode sweep — the reference oracle for the kernels."""
     points: set[float] = set()
-    for task in hi_tasks:
+    for task in mc.hi_tasks:
         offset = task.deadline - x * task.deadline
         instant = offset
-        while instant <= horizon:
+        while within(instant, horizon):
             if instant > 0:
                 points.add(instant)
             instant += task.period
     for instant in sorted(points):
-        if _hi_mode_demand(mc, x, instant) > instant + 1e-9:
+        if exceeds(_hi_mode_demand(mc, x, instant), instant):
             return False
     return True
+
+
+def _hi_mode_test(mc: MCTaskSet, x: float) -> bool:
+    """``dbf_HI(l) <= l`` at every HI-mode deadline up to the horizon."""
+    hi_tasks = mc.hi_tasks
+    if not hi_tasks:
+        return True
+    if utilization_exceeds(
+        sum(t.utilization(CriticalityRole.HI) for t in hi_tasks)
+    ):
+        return False
+    horizon = _hi_mode_horizon(mc, x)
+    if horizon is None:
+        return False  # intractable horizon: reject conservatively
+    if kernels.numpy_enabled():
+        import numpy as np
+
+        periods = np.fromiter((t.period for t in hi_tasks), float, len(hi_tasks))
+        deadlines = np.fromiter(
+            (t.deadline for t in hi_tasks), float, len(hi_tasks)
+        )
+        wcets = np.fromiter((t.wcet_hi for t in hi_tasks), float, len(hi_tasks))
+        offsets = deadlines - x * deadlines
+        return kernels.demand_satisfied(periods, offsets, wcets, horizon)
+    return _hi_mode_scan_reference(mc, x, horizon)
 
 
 def dbf_mc_analyse(mc: MCTaskSet, x_steps: int = _X_GRID_STEPS) -> DbfMCAnalysis:
@@ -121,16 +175,112 @@ def dbf_mc_analyse(mc: MCTaskSet, x_steps: int = _X_GRID_STEPS) -> DbfMCAnalysis
     HI-mode demand test both hold wins.  (As ``x`` falls the LO-mode test
     tightens — shorter virtual deadlines — while the HI-mode test relaxes,
     so the feasible factors form an interval and the scan reports its
-    upper end.)
+    upper end.)  The LO-mode monotonicity also means the scan can stop at
+    the first LO-infeasible factor: every smaller ``x`` only adds LO-mode
+    demand.
     """
     if x_steps < 1:
         raise ValueError(f"need at least one grid step, got {x_steps}")
+    if kernels.numpy_enabled():
+        return _analyse_vectorized(mc, x_steps)
+    # The per-factor LO workload differs from the base one only in the HI
+    # tasks' virtual deadlines; derive the invariant parts once instead of
+    # rebuilding everything for all grid steps.
+    lo_static = [
+        Workload(task.period, task.deadline, task.wcet_lo)
+        for task in mc
+        if task.criticality is not CriticalityRole.HI and task.wcet_lo > 0
+    ]
+    hi_scaled = [
+        (task.period, task.deadline, task.wcet_lo)
+        for task in mc.hi_tasks
+        if task.wcet_lo > 0
+    ]
     for step in range(x_steps, 0, -1):
         x = step / x_steps
-        if not qpa_schedulable(_lo_mode_workload(mc, x)):
-            continue
+        lo_workload = lo_static + [
+            Workload(period, x * deadline, wcet)
+            for period, deadline, wcet in hi_scaled
+        ]
+        if not qpa_schedulable(lo_workload):
+            break  # LO mode only tightens as x falls: no smaller x can pass
         if _hi_mode_test(mc, x):
             return DbfMCAnalysis(schedulable=True, x=x)
+    return DbfMCAnalysis(schedulable=False, x=None)
+
+
+def _analyse_vectorized(mc: MCTaskSet, x_steps: int) -> DbfMCAnalysis:
+    """Array-based factor scan — verdict-identical to the scalar path.
+
+    Everything that does not depend on ``x`` (the ``(T, C)`` arrays, the
+    utilization sums, the HI-mode horizon ingredients) is computed once;
+    each grid step then only rescales the deadline/offset vectors and runs
+    the vectorized sweeps.  The LO-mode check uses the full PDC rather
+    than QPA: the two are verdict-equivalent (asserted by the property
+    suite), and the batched sweep beats QPA's inherently sequential
+    backward iteration once the demand evaluations are vectorized.
+    """
+    import numpy as np
+
+    lo_items = [
+        (t.period, t.deadline, t.wcet_lo, t.criticality is CriticalityRole.HI)
+        for t in mc
+        if t.wcet_lo > 0
+    ]
+    lo_periods = np.array([item[0] for item in lo_items], dtype=float)
+    lo_deadlines = np.array([item[1] for item in lo_items], dtype=float)
+    lo_wcets = np.array([item[2] for item in lo_items], dtype=float)
+    virtual = np.array([item[3] for item in lo_items], dtype=bool)
+
+    hi_tasks = mc.hi_tasks
+    if hi_tasks:
+        hi_periods = np.fromiter(
+            (t.period for t in hi_tasks), float, len(hi_tasks)
+        )
+        hi_deadlines = np.fromiter(
+            (t.deadline for t in hi_tasks), float, len(hi_tasks)
+        )
+        hi_wcets = np.fromiter(
+            (t.wcet_hi for t in hi_tasks), float, len(hi_tasks)
+        )
+        hi_util_each = hi_wcets / hi_periods
+        hi_total = float(hi_util_each.sum())
+        if utilization_exceeds(hi_total):
+            return DbfMCAnalysis(schedulable=False, x=None)
+        hi_d_max = float(hi_deadlines.max())
+        hi_p_min = float(hi_periods.min())
+        # Horizon fallback for U_HI == 1 (see ``_hi_mode_horizon``).
+        hi_span = 2.0 * (float(hi_periods.max()) + hi_d_max) * len(hi_tasks)
+
+    for step in range(x_steps, 0, -1):
+        x = step / x_steps
+        # HI mode first.  The scalar scan checks LO mode at every factor
+        # it visits, but its own early-break invariant — LO mode only
+        # tightens as x falls — means the verdict is decided entirely at
+        # the first HI-feasible factor: if LO mode fails there, it fails
+        # at every smaller factor too, and every larger factor already
+        # failed HI mode.  So the scan runs only the HI sweep per step
+        # and the LO sweep exactly once.
+        if hi_tasks:
+            offsets = hi_deadlines - x * hi_deadlines
+            if hi_total >= 1.0:
+                horizon = hi_span
+            else:
+                la = float(((hi_periods - offsets) * hi_util_each).sum())
+                horizon = max(hi_d_max, max(la, 0.0) / (1.0 - hi_total))
+            if (horizon / hi_p_min) * len(hi_tasks) > _MAX_TEST_POINTS:
+                continue  # intractable horizon: reject conservatively
+            if not kernels.demand_satisfied(
+                hi_periods, offsets, hi_wcets, horizon
+            ):
+                continue
+        if lo_items:
+            deadlines = np.where(virtual, x * lo_deadlines, lo_deadlines)
+            if not kernels.pdc_schedulable(
+                lo_periods, deadlines, lo_wcets, _MAX_TEST_POINTS
+            ):
+                break  # LO mode only tightens as x falls: no factor passes
+        return DbfMCAnalysis(schedulable=True, x=x)
     return DbfMCAnalysis(schedulable=False, x=None)
 
 

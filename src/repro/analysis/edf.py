@@ -24,6 +24,13 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
+from repro.analysis import kernels
+from repro.analysis.tolerance import (
+    exceeds,
+    job_count,
+    utilization_exceeds,
+    within,
+)
 from repro.model.faults import ReexecutionProfile
 from repro.model.task import Task, TaskSet
 
@@ -34,6 +41,7 @@ __all__ = [
     "edf_utilization_test",
     "demand_bound_function",
     "edf_processor_demand_test",
+    "edf_processor_demand_test_reference",
     "edf_schedulable",
     "schedulable_without_adaptation",
 ]
@@ -78,20 +86,25 @@ def inflated_workload(
 
 def edf_utilization_test(workload: Iterable[Workload]) -> bool:
     """``sum C/T <= 1``: exact for implicit-deadline sporadic tasks."""
-    return sum(w.utilization for w in workload) <= 1.0 + 1e-12
+    return not utilization_exceeds(sum(w.utilization for w in workload))
 
 
 def demand_bound_function(workload: Sequence[Workload], t: float) -> float:
     """``dbf(t) = sum_i max(0, floor((t - D_i)/T_i) + 1) * C_i``.
 
     The maximum cumulative execution demand of jobs with both release and
-    deadline inside any window of length ``t``.
+    deadline inside any window of length ``t``.  The job-count floor is
+    tolerance-aware (:func:`repro.analysis.tolerance.job_count`): at a
+    boundary instant ``t = D_i + k*T_i`` whose floating-point image is a
+    few ulps low, the ``(k+1)``-th job is still counted — an epsilon-less
+    floor undercounts a whole job there and turns the PDC/QPA tests into
+    unsound accepts.
     """
     if t < 0:
         raise ValueError(f"t must be non-negative, got {t}")
     demand = 0.0
     for w in workload:
-        jobs = math.floor((t - w.deadline) / w.period) + 1
+        jobs = job_count(t, w.deadline, w.period)
         if jobs > 0:
             demand += jobs * w.wcet
     return demand
@@ -136,34 +149,68 @@ def _pdc_testing_horizon(workload: Sequence[Workload]) -> float | None:
     return horizon
 
 
-def edf_processor_demand_test(workload: Sequence[Workload]) -> bool:
-    """Exact EDF test via the processor-demand criterion.
-
-    Schedulable iff ``U <= 1`` and ``dbf(t) <= t`` at every absolute
-    deadline ``t`` up to the testing horizon.
-    """
-    workload = [w for w in workload if w.wcet > 0]
-    if not workload:
-        return True
-    if sum(w.utilization for w in workload) > 1.0 + 1e-12:
-        return False
-    horizon = _pdc_testing_horizon(workload)
-    if horizon is None:
-        return False  # intractable horizon: reject conservatively
+def _pdc_scan_reference(workload: Sequence[Workload], horizon: float) -> bool:
+    """Scalar ``dbf(t) <= t`` sweep — the reference oracle for the kernels."""
     # The check instants are the absolute deadlines D_i + k*T_i <= horizon.
     points: set[float] = set()
     for w in workload:
         k = 0
         while True:
             t = w.deadline + k * w.period
-            if t > horizon:
+            if not within(t, horizon):
                 break
             points.add(t)
             k += 1
     for t in sorted(points):
-        if demand_bound_function(workload, t) > t + 1e-9:
+        if exceeds(demand_bound_function(workload, t), t):
             return False
     return True
+
+
+def _pdc_common(workload: Sequence[Workload]) -> tuple[list[Workload], float] | bool:
+    """Shared PDC preamble: verdict when decided early, else (workload, horizon)."""
+    workload = [w for w in workload if w.wcet > 0]
+    if not workload:
+        return True
+    if utilization_exceeds(sum(w.utilization for w in workload)):
+        return False
+    horizon = _pdc_testing_horizon(workload)
+    if horizon is None:
+        return False  # intractable horizon: reject conservatively
+    return workload, horizon
+
+
+def edf_processor_demand_test(workload: Sequence[Workload]) -> bool:
+    """Exact EDF test via the processor-demand criterion.
+
+    Schedulable iff ``U <= 1`` and ``dbf(t) <= t`` at every absolute
+    deadline ``t`` up to the testing horizon.  The sweep runs on the
+    vectorized kernels (:mod:`repro.analysis.kernels`) when NumPy is
+    available; the scalar reference path
+    (:func:`edf_processor_demand_test_reference`) returns identical
+    verdicts and remains the oracle.
+    """
+    prepared = _pdc_common(workload)
+    if isinstance(prepared, bool):
+        return prepared
+    workload, horizon = prepared
+    if kernels.numpy_enabled():
+        periods, deadlines, wcets = kernels.workload_arrays(workload)
+        return kernels.demand_satisfied(periods, deadlines, wcets, horizon)
+    return _pdc_scan_reference(workload, horizon)
+
+
+def edf_processor_demand_test_reference(workload: Sequence[Workload]) -> bool:
+    """The PDC on the scalar reference path, regardless of NumPy.
+
+    Identical verdicts to :func:`edf_processor_demand_test` by
+    construction; kept callable directly so the equivalence suite and
+    ``ftmc bench`` can pit the kernels against it.
+    """
+    prepared = _pdc_common(workload)
+    if isinstance(prepared, bool):
+        return prepared
+    return _pdc_scan_reference(*prepared)
 
 
 def edf_schedulable(workload: Sequence[Workload]) -> bool:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.tolerance import utilization_exceeds
 from repro.model.mc_task import MCTaskSet
 
 __all__ = ["EDFVDAnalysis", "edf_vd_utilization", "edf_vd_schedulable", "edf_vd_x"]
@@ -52,7 +53,7 @@ class EDFVDAnalysis:
     @property
     def schedulable(self) -> bool:
         """Whether eq. (10) holds: ``U_MC <= 1``."""
-        return self.u_mc <= 1.0 + 1e-12
+        return not utilization_exceeds(self.u_mc)
 
 
 def analyse(mc: MCTaskSet) -> EDFVDAnalysis:

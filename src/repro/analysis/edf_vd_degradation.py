@@ -16,6 +16,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.tolerance import utilization_exceeds
 from repro.model.mc_task import MCTaskSet
 
 __all__ = [
@@ -45,7 +46,7 @@ class EDFVDDegradationAnalysis:
     @property
     def schedulable(self) -> bool:
         """Whether eq. (12) holds: ``U_MC <= 1``."""
-        return self.u_mc <= 1.0 + 1e-12
+        return not utilization_exceeds(self.u_mc)
 
 
 def analyse(mc: MCTaskSet, degradation_factor: float) -> EDFVDDegradationAnalysis:

@@ -15,10 +15,10 @@ techniques such as Deadline Monotonic can be integrated):
 
 from __future__ import annotations
 
-import math
 from typing import Callable, Sequence
 
 from repro.analysis.edf import Workload
+from repro.analysis.tolerance import ceil_div, converged, exceeds
 
 __all__ = [
     "response_time",
@@ -48,12 +48,12 @@ def response_time(
     r = task.wcet
     for _ in range(_MAX_ITERATIONS):
         interference = sum(
-            math.ceil(r / w.period - 1e-12) * w.wcet for w in higher_priority
+            ceil_div(r, w.period) * w.wcet for w in higher_priority
         )
         r_next = task.wcet + interference
-        if r_next > bound + 1e-9:
+        if exceeds(r_next, bound):
             return None
-        if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
+        if converged(r_next, r):
             return r_next
         r = r_next
     return None
@@ -67,7 +67,7 @@ def rta_schedulable(workload: Sequence[Workload]) -> bool:
     is unsound for arbitrary deadlines.
     """
     for w in workload:
-        if w.deadline > w.period + 1e-9:
+        if exceeds(w.deadline, w.period):
             raise ValueError(
                 "RTA requires constrained deadlines; "
                 f"got D={w.deadline} > T={w.period}"

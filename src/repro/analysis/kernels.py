@@ -1,0 +1,226 @@
+"""NumPy-vectorized demand-bound kernels behind the scalar analyses.
+
+The processor-demand criterion and the dbf-based MC test spend their time
+in two loops: *enumerating* the absolute deadlines ``D_i + k*T_i`` below
+the testing horizon, and *evaluating* ``dbf(t)`` at each of them.  Both
+are embarrassingly parallel over check points, so this module provides
+array kernels that compute whole point grids at once:
+
+- :func:`workload_arrays` — project a workload onto ``(T, D, C)`` arrays;
+- :func:`deadline_points` — every check instant up to a horizon;
+- :func:`dbf_batch` — ``dbf`` at many instants in one shot;
+- :func:`demand_satisfied` — the full ``dbf(t) <= t`` sweep.
+
+All kernels follow the tolerance policy of
+:mod:`repro.analysis.tolerance` bit-for-bit (same ``REL_EPS`` snapping in
+the job-count floor, same comparison slack), so the scalar paths in
+:mod:`repro.analysis.edf` / :mod:`repro.analysis.dbf_mc` — which remain
+the reference oracle — return identical verdicts; the property suite
+asserts this on the seeded generator corpus.
+
+Setting the environment variable ``REPRO_NO_NUMPY`` to anything but
+``0``/empty forces every caller back onto the scalar reference paths
+(used by ``ftmc bench`` to record before/after numbers, and available as
+an escape hatch on platforms without NumPy — the import is guarded).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Sequence
+
+from repro.analysis.tolerance import REL_EPS, UTIL_EPS
+
+try:  # pragma: no cover - exercised only on NumPy-less installs
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.edf import Workload
+
+__all__ = [
+    "NO_NUMPY_ENV",
+    "numpy_enabled",
+    "workload_arrays",
+    "deadline_points",
+    "dbf_batch",
+    "dbf_single",
+    "demand_satisfied",
+    "max_deadline_at_or_below",
+    "max_deadline_strictly_below",
+    "pdc_schedulable",
+]
+
+#: Environment variable disabling the NumPy kernels when set truthy.
+NO_NUMPY_ENV: str = "REPRO_NO_NUMPY"
+
+#: Check instants are evaluated in chunks of this many rows so the
+#: ``points x tasks`` quotient matrix stays cache-sized even near the
+#: ``_MAX_TEST_POINTS`` enumeration bound.
+_CHUNK: int = 16384
+
+
+def numpy_enabled() -> bool:
+    """Whether the vectorized kernels are active for this call.
+
+    Checked at call time (not import time) so tests and ``ftmc bench``
+    can toggle ``REPRO_NO_NUMPY`` within one process.
+    """
+    if np is None:
+        return False
+    return os.environ.get(NO_NUMPY_ENV, "") in ("", "0")
+
+
+def workload_arrays(workload: Sequence["Workload"]):
+    """``(periods, deadlines, wcets)`` float arrays for a workload."""
+    periods = np.fromiter((w.period for w in workload), float, len(workload))
+    deadlines = np.fromiter((w.deadline for w in workload), float, len(workload))
+    wcets = np.fromiter((w.wcet for w in workload), float, len(workload))
+    return periods, deadlines, wcets
+
+
+def _floor_eps(quotients):
+    """Vectorized tolerance-aware floor (see ``tolerance.floor_div``)."""
+    return np.floor(quotients + REL_EPS * np.maximum(1.0, np.abs(quotients)))
+
+
+def _ceil_eps(quotients):
+    """Vectorized tolerance-aware ceil (see ``tolerance.ceil_div``)."""
+    return np.ceil(quotients - REL_EPS * np.maximum(1.0, np.abs(quotients)))
+
+
+def dbf_single(periods, deadlines, wcets, t: float) -> float:
+    """``dbf(t)`` at one instant over prebuilt arrays.
+
+    The array analogue of :func:`repro.analysis.edf.demand_bound_function`
+    for callers (QPA) that evaluate the dbf at data-dependent instants and
+    therefore cannot batch them, but iterate often enough that the scalar
+    per-task loop dominates.
+    """
+    jobs = _floor_eps((t - deadlines) / periods) + 1.0
+    np.clip(jobs, 0.0, None, out=jobs)
+    return float(jobs @ wcets)
+
+
+def max_deadline_at_or_below(periods, deadlines, limit: float) -> float:
+    """Largest absolute deadline ``D_i + k*T_i`` at most ``limit`` (tolerant).
+
+    Mirrors ``qpa._max_deadline_at_or_below``: a deadline within the
+    shared comparison slack of ``limit`` counts as equal and is included.
+    Returns ``-inf`` when no deadline qualifies.
+    """
+    slack = REL_EPS * np.maximum(1.0, np.maximum(np.abs(deadlines), abs(limit)))
+    mask = deadlines <= limit + slack
+    if not mask.any():
+        return -np.inf
+    d = deadlines[mask]
+    p = periods[mask]
+    k = np.maximum(_floor_eps((limit - d) / p), 0.0)
+    return float((d + k * p).max())
+
+
+def max_deadline_strictly_below(periods, deadlines, limit: float) -> float:
+    """Largest absolute deadline strictly below ``limit`` (tolerant).
+
+    Mirrors ``qpa._max_deadline_strictly_below``: a deadline within
+    tolerance of ``limit`` counts as equal and is excluded, keeping QPA's
+    backward iteration strictly decreasing.  Returns ``-inf`` when no
+    deadline qualifies.
+    """
+    slack = REL_EPS * np.maximum(1.0, np.maximum(np.abs(deadlines), abs(limit)))
+    mask = deadlines < limit - slack
+    if not mask.any():
+        return -np.inf
+    d = deadlines[mask]
+    p = periods[mask]
+    k = np.maximum(_ceil_eps((limit - d) / p) - 1.0, 0.0)
+    return float((d + k * p).max())
+
+
+def dbf_batch(periods, deadlines, wcets, instants):
+    """``dbf(t)`` for every ``t`` in ``instants`` (``(m,) -> (m,)``).
+
+    ``deadlines`` doubles as the per-task demand offset, so the same
+    kernel serves the classical dbf (offset ``D_i``) and the HI-mode
+    MC demand bound (offset ``D_i - x*D_i``).
+    """
+    out = np.empty(len(instants))
+    for start in range(0, len(instants), _CHUNK):
+        ts = instants[start : start + _CHUNK]
+        quotients = (ts[:, None] - deadlines[None, :]) / periods[None, :]
+        jobs = _floor_eps(quotients) + 1.0
+        np.clip(jobs, 0.0, None, out=jobs)
+        out[start : start + _CHUNK] = jobs @ wcets
+    return out
+
+
+def deadline_points(periods, deadlines, horizon: float):
+    """Every absolute deadline ``D_i + k*T_i`` in ``(0, horizon]``, sorted.
+
+    Instants are generated per task with the same tolerance-aware count
+    the scalar enumeration uses (a deadline within tolerance of the
+    horizon is included), then deduplicated.
+    """
+    counts = _floor_eps((horizon - deadlines) / periods).astype(int)
+    valid = counts >= 0
+    if not valid.any():
+        return np.empty(0)
+    # Flat construction of deadline + period * k for k in 0..count per
+    # task, without a Python-level loop: repeat each task's (D, T) over
+    # its point count and rebuild the per-task k index from a cumsum.
+    lengths = counts[valid] + 1
+    starts = np.cumsum(lengths) - lengths
+    k = np.arange(int(lengths.sum())) - np.repeat(starts, lengths)
+    points = np.repeat(deadlines[valid], lengths) + np.repeat(
+        periods[valid], lengths
+    ) * k
+    points = np.unique(points)
+    return points[points > 0.0]
+
+
+def demand_satisfied(periods, deadlines, wcets, horizon: float) -> bool:
+    """Whether ``dbf(t) <= t`` holds at every check instant up to ``horizon``.
+
+    The comparison uses the shared relative slack (``tolerance.within``),
+    vectorized.  Instants are swept in chunks with an early exit on the
+    first violation.
+    """
+    points = deadline_points(periods, deadlines, horizon)
+    for start in range(0, len(points), _CHUNK):
+        ts = points[start : start + _CHUNK]
+        demands = dbf_batch(periods, deadlines, wcets, ts)
+        slack = REL_EPS * np.maximum(1.0, np.maximum(np.abs(demands), np.abs(ts)))
+        if bool((demands > ts + slack).any()):
+            return False
+    return True
+
+
+def pdc_schedulable(periods, deadlines, wcets, max_points: int) -> bool:
+    """Full processor-demand verdict on prebuilt arrays.
+
+    The array analogue of the ``_pdc_common`` preamble plus sweep of
+    :mod:`repro.analysis.edf`: utilization bound, testing horizon ``L``,
+    conservative rejection when the enumeration would exceed
+    ``max_points`` check instants, then the ``dbf(t) <= t`` sweep.  For
+    callers (the dbf-MC factor scan) that re-test many derived workloads
+    sharing ``(T, C)`` arrays, this skips rebuilding workload objects and
+    re-summing utilizations per test.  Zero-wcet entries must already be
+    filtered out.
+    """
+    if periods.size == 0:
+        return True
+    util_each = wcets / periods
+    total = float(util_each.sum())
+    if total > 1.0 + UTIL_EPS:
+        return False
+    d_max = float(deadlines.max())
+    if total >= 1.0:
+        span = float(periods.max()) + d_max
+        horizon = max(d_max, 2.0 * span * periods.size)
+    else:
+        la = float(((periods - deadlines) * util_each).sum())
+        horizon = max(d_max, max(la, 0.0) / (1.0 - total))
+    if (horizon / float(periods.min())) * periods.size > max_points:
+        return False  # intractable horizon: reject conservatively
+    return demand_satisfied(periods, deadlines, wcets, horizon)

@@ -16,7 +16,10 @@ horizon —
 
 The library uses QPA inside the dbf-based MC backend's LO-mode check and
 exposes it standalone; the property suite asserts exact agreement with
-the straightforward PDC on random workloads.
+the straightforward PDC on random workloads.  All comparisons follow the
+shared policy of :mod:`repro.analysis.tolerance` — the same ``dbf``
+job-count snapping and ``dbf(t) <= t`` slack as the PDC, which is what
+makes the identical-verdict property hold at boundary instants.
 """
 
 from __future__ import annotations
@@ -24,26 +27,64 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from repro.analysis import kernels
 from repro.analysis.edf import (
     Workload,
     _pdc_testing_horizon,
     demand_bound_function,
 )
+from repro.analysis.tolerance import (
+    ceil_div,
+    exceeds,
+    floor_div,
+    strictly_below,
+    utilization_exceeds,
+    within,
+)
 
 __all__ = ["qpa_schedulable"]
 
+#: Below this many tasks the scalar per-task loops beat the NumPy kernels
+#: (array construction and dispatch overhead dominate); at or above it the
+#: backward iteration evaluates ``dbf`` through
+#: :func:`repro.analysis.kernels.dbf_single`.  Verdicts are identical on
+#: both sides — the kernels follow the same tolerance snapping.
+_VECTOR_MIN_TASKS: int = 12
 
-def _max_deadline_below(workload: Sequence[Workload], limit: float) -> float:
-    """Largest absolute deadline ``D_i + k T_i`` strictly below ``limit``."""
+
+def _max_deadline_strictly_below(
+    workload: Sequence[Workload], limit: float
+) -> float:
+    """Largest absolute deadline ``D_i + k T_i`` strictly below ``limit``.
+
+    "Strictly below" is tolerance-aware: a deadline within the shared
+    comparison slack of ``limit`` counts as equal and is excluded, which
+    keeps the backward iteration strictly decreasing.
+    """
     best = -math.inf
     for w in workload:
-        if w.deadline < limit:
-            k = math.floor((limit - w.deadline) / w.period - 1e-12)
-            candidate = w.deadline + max(k, 0) * w.period
-            while candidate >= limit - 1e-12:
-                candidate -= w.period
-            if candidate >= w.deadline - 1e-12:
-                best = max(best, candidate)
+        if not strictly_below(w.deadline, limit):
+            continue
+        # Largest k with D + k*T < limit: ceil((limit - D)/T) - 1, where a
+        # quotient within tolerance of an integer m snaps to m (so a
+        # deadline landing on `limit` itself is excluded).
+        k = ceil_div(limit - w.deadline, w.period) - 1
+        candidate = w.deadline + max(k, 0) * w.period
+        best = max(best, candidate)
+    return best
+
+
+def _max_deadline_at_or_below(
+    workload: Sequence[Workload], limit: float
+) -> float:
+    """Largest absolute deadline ``D_i + k T_i`` at most ``limit`` (tolerant)."""
+    best = -math.inf
+    for w in workload:
+        if not within(w.deadline, limit):
+            continue
+        k = floor_div(limit - w.deadline, w.period)
+        candidate = w.deadline + max(k, 0) * w.period
+        best = max(best, candidate)
     return best
 
 
@@ -57,27 +98,47 @@ def qpa_schedulable(workload: Sequence[Workload]) -> bool:
     workload = [w for w in workload if w.wcet > 0]
     if not workload:
         return True
-    if sum(w.utilization for w in workload) > 1.0 + 1e-12:
+    if utilization_exceeds(sum(w.utilization for w in workload)):
         return False
     horizon = _pdc_testing_horizon(workload)
     if horizon is None:
         return False  # intractable horizon: reject conservatively
     d_min = min(w.deadline for w in workload)
-    t = _max_deadline_below(workload, horizon + 1e-9)
+    if kernels.numpy_enabled() and len(workload) >= _VECTOR_MIN_TASKS:
+        periods, deadlines, wcets = kernels.workload_arrays(workload)
+
+        def dbf(instant: float) -> float:
+            return kernels.dbf_single(periods, deadlines, wcets, instant)
+
+        def prev_deadline(limit: float) -> float:
+            return kernels.max_deadline_strictly_below(
+                periods, deadlines, limit
+            )
+
+        t = kernels.max_deadline_at_or_below(periods, deadlines, horizon)
+    else:
+
+        def dbf(instant: float) -> float:
+            return demand_bound_function(workload, instant)
+
+        def prev_deadline(limit: float) -> float:
+            return _max_deadline_strictly_below(workload, limit)
+
+        t = _max_deadline_at_or_below(workload, horizon)
     if t == -math.inf:
         return True
     guard = 0
-    while t > d_min + 1e-9:
+    while exceeds(t, d_min):
         guard += 1
         if guard > 10_000_000:  # pragma: no cover - defensive only
             raise RuntimeError("QPA failed to converge")
-        h = demand_bound_function(workload, t)
-        if h > t + 1e-9:
+        h = dbf(t)
+        if exceeds(h, t):
             return False
-        if h < t - 1e-9:
+        if strictly_below(h, t):
             t = h
         else:
-            t = _max_deadline_below(workload, t)
+            t = prev_deadline(t)
             if t == -math.inf:
                 return True
-    return demand_bound_function(workload, d_min) <= d_min + 1e-9
+    return within(dbf(d_min), d_min)

@@ -17,9 +17,9 @@ response-time static (SMC) and response-time adaptive (AMC-rtb/max).
 
 from __future__ import annotations
 
-import math
 from typing import Sequence
 
+from repro.analysis import tolerance
 from repro.analysis.fixed_priority import audsley_assignment
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTask, MCTaskSet
@@ -46,7 +46,7 @@ def smc_response_times(ordered: Sequence[MCTask]) -> list[float | None]:
     Requires constrained deadlines (like all simple RTA recurrences).
     """
     for t in ordered:
-        if t.deadline > t.period + 1e-9:
+        if tolerance.exceeds(t.deadline, t.period):
             raise ValueError(
                 f"SMC requires constrained deadlines; {t.name} has "
                 f"D={t.deadline} > T={t.period}"
@@ -56,20 +56,20 @@ def smc_response_times(ordered: Sequence[MCTask]) -> list[float | None]:
         hp = ordered[:i]
         own = _own_budget(task)
         r = own
-        converged: float | None = None
+        fixed_point: float | None = None
         for _ in range(_MAX_ITERATIONS):
             interference = sum(
-                math.ceil(r / j.period - 1e-12) * _budget(j, task.criticality)
+                tolerance.ceil_div(r, j.period) * _budget(j, task.criticality)
                 for j in hp
             )
             r_next = own + interference
-            if r_next > task.deadline + 1e-9:
+            if tolerance.exceeds(r_next, task.deadline):
                 break
-            if math.isclose(r_next, r, rel_tol=1e-12, abs_tol=1e-12):
-                converged = r_next
+            if tolerance.converged(r_next, r):
+                fixed_point = r_next
                 break
             r = r_next
-        results.append(converged)
+        results.append(fixed_point)
     return results
 
 

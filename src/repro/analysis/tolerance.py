@@ -1,0 +1,143 @@
+"""Shared numerical-tolerance policy for the schedulability analyses.
+
+Every analysis in :mod:`repro.analysis` ultimately decides predicates of
+the form ``demand(t) <= t``, ``U <= 1`` or ``R <= D`` over floating-point
+task parameters.  Historically each module carried its own ad-hoc epsilon
+(``1e-9`` here, ``1e-12`` there, none at all in
+:func:`~repro.analysis.edf.demand_bound_function`), which produced two
+concrete failure modes:
+
+- **unsound accepts** — an epsilon-less ``floor((t - D)/T)`` undercounts a
+  whole job when the boundary instant ``t = D + k*T`` is represented a few
+  ulps low (e.g. ``D=0.2, T=0.3, k=13``: ``(4.1 - 0.2)/0.3`` evaluates to
+  ``12.999...996``), so a test documented as *exact* accepted genuinely
+  infeasible workloads;
+- **divergent verdicts** — QPA and the straightforward PDC used different
+  comparison tolerances for the same ``dbf(t) <= t`` predicate, breaking
+  their documented identical-verdict property near boundaries.
+
+This module is the single home for the policy.  The conventions:
+
+- Quantities on the *time axis* (instants, demands, response times,
+  deadlines) compare with a **relative** tolerance :data:`REL_EPS`,
+  floored at 1 so values near zero are not compared at ulp resolution.
+- Integer job counts snap to the nearest integer when within the relative
+  tolerance, in the direction that keeps the analysis **sound**:
+  :func:`floor_div` rounds *up* across a near-integer boundary (a job
+  whose deadline sits on the window edge is counted), :func:`ceil_div`
+  rounds *down* (a release at exactly ``t`` does not interfere in
+  ``[0, t)``).
+- Dimensionless utilization sums compare against their bound with the
+  absolute slack :data:`UTIL_EPS` (they are O(1) by construction).
+- Fixed-point iterations detect convergence with :func:`converged`.
+- Probability/PFH comparisons outside the analyses (e.g. the Monte-Carlo
+  soundness checks) use :data:`PROB_EPS`.
+
+The self-check rule ``FTMCC06`` (see :mod:`repro.lint.codecheck`) forbids
+raw epsilon literals anywhere else under ``repro/analysis`` so the
+conventions cannot silently diverge again.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "REL_EPS",
+    "UTIL_EPS",
+    "CONVERGENCE_EPS",
+    "PROB_EPS",
+    "exceeds",
+    "within",
+    "strictly_below",
+    "floor_div",
+    "ceil_div",
+    "job_count",
+    "utilization_exceeds",
+    "converged",
+]
+
+#: Relative comparison tolerance for time-axis quantities (instants,
+#: demands, deadlines, response times), floored at an absolute scale of 1.
+REL_EPS: float = 1e-9
+
+#: Absolute slack for utilization-sum comparisons against their bound.
+UTIL_EPS: float = 1e-12
+
+#: Relative/absolute tolerance for fixed-point convergence detection.
+CONVERGENCE_EPS: float = 1e-12
+
+#: Absolute slack for probability/PFH comparisons (values in ``[0, 1]``).
+PROB_EPS: float = 1e-15
+
+
+def _span(a: float, b: float) -> float:
+    """The comparison scale for two time-axis values: ``max(1, |a|, |b|)``."""
+    return max(1.0, abs(a), abs(b))
+
+
+def exceeds(a: float, b: float) -> bool:
+    """``a > b`` beyond tolerance — the sound form of ``demand > supply``.
+
+    Values within ``REL_EPS * max(1, |a|, |b|)`` of each other are treated
+    as equal, so ``exceeds(dbf(t), t)`` does not reject a workload over an
+    ulp-level excess, and its negation :func:`within` does not accept one
+    over an ulp-level slack.
+    """
+    return a > b + REL_EPS * _span(a, b)
+
+
+def within(a: float, b: float) -> bool:
+    """``a <= b`` up to tolerance (the negation of :func:`exceeds`)."""
+    return not exceeds(a, b)
+
+
+def strictly_below(a: float, b: float) -> bool:
+    """``a < b`` beyond tolerance (values within tolerance are equal)."""
+    return a < b - REL_EPS * _span(a, b)
+
+
+def floor_div(numerator: float, denominator: float) -> int:
+    """Tolerance-aware ``floor(numerator / denominator)``.
+
+    A quotient within tolerance *below* an integer snaps up to it: this is
+    the sound direction for demand bounds, where
+    ``floor((t - D)/T) + 1`` must count the job whose deadline lies
+    exactly on the window edge even when the quotient is represented a few
+    ulps low.
+    """
+    q = numerator / denominator
+    return int(math.floor(q + REL_EPS * max(1.0, abs(q))))
+
+
+def ceil_div(numerator: float, denominator: float) -> int:
+    """Tolerance-aware ``ceil(numerator / denominator)``.
+
+    A quotient within tolerance *above* an integer snaps down to it: this
+    is the sound direction for interference terms, where ``ceil(r / T)``
+    must not charge a whole extra job because ``r`` at an exact multiple
+    of ``T`` is represented a few ulps high.
+    """
+    q = numerator / denominator
+    return int(math.ceil(q - REL_EPS * max(1.0, abs(q))))
+
+
+def job_count(t: float, deadline: float, period: float) -> int:
+    """``floor((t - D)/T) + 1``: jobs with release and deadline in ``[0, t]``.
+
+    May be zero or negative when ``t < deadline``; demand summations must
+    clamp at zero.
+    """
+    return floor_div(t - deadline, period) + 1
+
+
+def utilization_exceeds(total: float, bound: float = 1.0) -> bool:
+    """Whether a utilization sum exceeds its bound beyond :data:`UTIL_EPS`."""
+    return total > bound + UTIL_EPS
+
+
+def converged(current: float, previous: float) -> bool:
+    """Fixed-point convergence test for response-time recurrences."""
+    return math.isclose(
+        current, previous, rel_tol=CONVERGENCE_EPS, abs_tol=CONVERGENCE_EPS
+    )

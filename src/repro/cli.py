@@ -112,14 +112,19 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3", "table4",
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
-            "lint", "selfcheck", "campaign",
+            "lint", "selfcheck", "campaign", "bench",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
             "'backends'/'sensitivity'/'validate' for the extension "
             "studies; 'lint'/'selfcheck' for static analysis; 'campaign' "
-            "for a fault-tolerant sharded run (docs/robustness.md)"
+            "for a fault-tolerant sharded run (docs/robustness.md); "
+            "'bench' for the performance baseline (docs/performance.md)"
         ),
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="bench: smoke configuration (smaller budgets and problem sizes)",
     )
     parser.add_argument(
         "path", nargs="?", default=None, metavar="TARGET",
@@ -371,10 +376,25 @@ def _run_validate(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_bench(args: argparse.Namespace) -> int:
+    from repro.perf import render_report, run_benchmarks, write_report
+
+    report = run_benchmarks(quick=args.quick, seed=args.seed)
+    print(render_report(report))
+    if args.output_dir:
+        path = write_report(report, args.output_dir)
+        print(f"wrote {path}")
+    # Exit 1 when a measured speedup regresses below its floor; a missing
+    # NumPy stack skips the guard (passed is None) rather than failing it.
+    return 1 if report["guard"]["passed"] is False else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "analyze":
         return _run_analyze(args)
+    if args.experiment == "bench":
+        return _run_bench(args)
     if args.experiment == "lint":
         return _run_lint(args)
     if args.experiment == "selfcheck":

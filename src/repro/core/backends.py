@@ -39,7 +39,38 @@ __all__ = [
     "AMCMaxBackend",
     "DbfMCBackend",
     "SMCBackend",
+    "clear_schedulability_cache",
+    "schedulability_cache_info",
 ]
+
+
+#: Shared memo for :meth:`SchedulerBackend.is_schedulable_cached`, keyed by
+#: ``(backend cache signature, MCTaskSet.cache_key())``.  Kept module-level
+#: (rather than per backend instance) because the experiment drivers create
+#: fresh backend objects per sweep point while analysing heavily-overlapping
+#: converted task sets.  Bounded LRU: oldest entries are evicted at
+#: :data:`_CACHE_LIMIT` so week-long campaign runs cannot grow it unboundedly.
+_schedulability_cache: dict[tuple, bool] = {}
+_CACHE_LIMIT: int = 65536
+_cache_hits: int = 0
+_cache_misses: int = 0
+
+
+def clear_schedulability_cache() -> None:
+    """Drop every memoized verdict (and reset the hit/miss counters)."""
+    global _cache_hits, _cache_misses
+    _schedulability_cache.clear()
+    _cache_hits = 0
+    _cache_misses = 0
+
+
+def schedulability_cache_info() -> dict[str, int]:
+    """Counters for diagnostics and the ``ftmc bench`` report."""
+    return {
+        "entries": len(_schedulability_cache),
+        "hits": _cache_hits,
+        "misses": _cache_misses,
+    }
 
 
 class SchedulerBackend(abc.ABC):
@@ -53,6 +84,44 @@ class SchedulerBackend(abc.ABC):
     @abc.abstractmethod
     def is_schedulable(self, mc: MCTaskSet) -> bool:
         """Sufficient schedulability test for the converted task set."""
+
+    @property
+    def cache_signature(self) -> tuple:
+        """Hashable identity of the *configured* test this backend runs.
+
+        Two backend instances with equal signatures must return identical
+        verdicts on every task set.  The default covers stateless backends
+        (the class fully determines the test); backends with parameters
+        must extend it (see :class:`EDFVDDegradationBackend`).
+        """
+        return (type(self).__qualname__,)
+
+    def is_schedulable_cached(self, mc: MCTaskSet) -> bool:
+        """:meth:`is_schedulable` through the shared verdict memo.
+
+        The FT-S searches (and the experiment sweeps built on them) probe
+        the same converted task sets many times — e.g. line 8's descending
+        ``n'`` scan revisits the sets of neighbouring sweep points — so
+        verdicts are memoized by ``(cache_signature, mc.cache_key())``.
+        Safe because backends are referentially transparent in the task
+        parameters; task *names* are deliberately not part of the key.
+        """
+        global _cache_hits, _cache_misses
+        key = (self.cache_signature, mc.cache_key())
+        try:
+            verdict = _schedulability_cache[key]
+            _cache_hits += 1
+            return verdict
+        except KeyError:
+            _cache_misses += 1
+        verdict = self.is_schedulable(mc)
+        if len(_schedulability_cache) >= _CACHE_LIMIT:
+            # Evict the oldest insertions (dicts preserve insertion order);
+            # dropping a quarter amortises the cost over many calls.
+            for old in list(_schedulability_cache)[: _CACHE_LIMIT // 4]:
+                del _schedulability_cache[old]
+        _schedulability_cache[key] = verdict
+        return verdict
 
     def utilization_metric(self, mc: MCTaskSet) -> float:
         """``U_MC`` when the backend defines one; ``nan`` otherwise.
@@ -109,6 +178,10 @@ class EDFVDDegradationBackend(SchedulerBackend):
             )
         self._df = degradation_factor
         self.name = f"edf-vd-degradation(df={degradation_factor:g})"
+
+    @property
+    def cache_signature(self) -> tuple:
+        return (type(self).__qualname__, self._df)
 
     @property
     def degradation_factor(self) -> float:

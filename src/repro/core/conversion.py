@@ -19,12 +19,14 @@ Section 4.1).
 
 from __future__ import annotations
 
+from typing import Iterator, Sequence
+
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import AdaptationProfile, ReexecutionProfile
 from repro.model.mc_task import MCTask, MCTaskSet
-from repro.model.task import TaskSet
+from repro.model.task import Task, TaskSet
 
-__all__ = ["convert", "convert_uniform"]
+__all__ = ["convert", "convert_uniform", "convert_uniform_series"]
 
 
 def convert(
@@ -86,3 +88,61 @@ def convert_uniform(
     reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
     adaptation = AdaptationProfile.uniform(taskset, n_prime_hi)
     return convert(taskset, reexecution, adaptation)
+
+
+def convert_uniform_series(
+    taskset: TaskSet, n_hi: int, n_lo: int, n_primes: Sequence[int]
+) -> Iterator[tuple[int, MCTaskSet]]:
+    """``Gamma(n_HI, n_LO, n')`` for every ``n'`` in ``n_primes``, lazily.
+
+    Equivalent to ``convert_uniform(taskset, n_hi, n_lo, n')`` per entry —
+    same task order, names and set name — but the profile validation runs
+    once (on the largest requested ``n'``; the bound ``n' <= n`` is
+    monotone) and the converted LO tasks, whose budgets do not depend on
+    ``n'``, are built once and shared across the series.  This is the hot
+    path of :func:`repro.core.profiles.maximal_adaptation_profile`, which
+    scans ``n'`` descending and previously re-validated and re-built the
+    entire set at every step.
+    """
+    n_primes = list(n_primes)
+    if not n_primes:
+        return
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    AdaptationProfile.uniform(taskset, max(n_primes)).validate_for(
+        taskset, reexecution
+    )
+    if min(n_primes) < 1:
+        raise ValueError(
+            f"adaptation profile must be at least 1, got {min(n_primes)}"
+        )
+    name = f"{taskset.name}/converted"
+    hi_slots: list[tuple[int, Task]] = []
+    template: list[MCTask | None] = []
+    for index, task in enumerate(taskset):
+        if task.criticality is CriticalityRole.HI:
+            hi_slots.append((index, task))
+            template.append(None)
+        else:
+            budget = reexecution[task] * task.wcet
+            template.append(
+                MCTask(
+                    name=task.name,
+                    period=task.period,
+                    deadline=task.deadline,
+                    wcet_lo=budget,
+                    wcet_hi=budget,
+                    criticality=task.criticality,
+                )
+            )
+    for n_prime in n_primes:
+        mc_tasks = list(template)
+        for index, task in hi_slots:
+            mc_tasks[index] = MCTask(
+                name=task.name,
+                period=task.period,
+                deadline=task.deadline,
+                wcet_lo=n_prime * task.wcet,
+                wcet_hi=n_hi * task.wcet,
+                criticality=task.criticality,
+            )
+        yield n_prime, MCTaskSet(mc_tasks, name=name)

@@ -18,10 +18,11 @@ search exploits the backend's monotonicity (smaller ``n'`` can only help).
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.core.backends import SchedulerBackend
-from repro.core.conversion import convert_uniform
+from repro.core.conversion import convert_uniform_series
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import AdaptationProfile, ReexecutionProfile
 from repro.model.task import TaskSet
@@ -46,6 +47,16 @@ class ReexecutionProfiles:
     n_lo: int
 
 
+#: Memo for :func:`minimal_reexecution_profiles`: the line-2 search depends
+#: only on the task set and the ``(max_n, assume_full_wcet)`` knobs, and the
+#: experiment drivers call it repeatedly for the same set (once per FT-S
+#: invocation, several invocations per sweep point).  Keyed weakly by the
+#: task-set object so retiring a generated set frees its entry.
+_reexecution_memo: "weakref.WeakKeyDictionary[TaskSet, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def minimal_reexecution_profiles(
     taskset: TaskSet,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
@@ -57,9 +68,24 @@ def minimal_reexecution_profiles(
     :class:`~repro.model.criticality.DualCriticalitySpec`.  Returns
     ``None`` when some level cannot be made safe within ``max_n``
     re-executions (FT-S then fails regardless of scheduling).
+
+    Memoized per task-set object (task sets are immutable after
+    construction); the underlying per-level searches stay pure.
     """
     if taskset.spec is None:
         raise ValueError("task set has no dual-criticality spec attached")
+    memo = _reexecution_memo.setdefault(taskset, {})
+    knobs = (max_n, assume_full_wcet)
+    if knobs in memo:
+        return memo[knobs]
+    result = _minimal_reexecution_profiles(taskset, max_n, assume_full_wcet)
+    memo[knobs] = result
+    return result
+
+
+def _minimal_reexecution_profiles(
+    taskset: TaskSet, max_n: int, assume_full_wcet: bool
+) -> ReexecutionProfiles | None:
     profiles = {}
     for role in (CriticalityRole.HI, CriticalityRole.LO):
         ceiling = taskset.spec.pfh_requirement(role)
@@ -140,9 +166,17 @@ def maximal_adaptation_profile(
     profile (the supremum, by the backend's monotonicity).  Returns
     ``None`` when even the earliest possible adaptation (``n' = 1``)
     cannot be scheduled.
+
+    The converted sets come from
+    :func:`~repro.core.conversion.convert_uniform_series` (the profiles
+    are validated once and the LO tasks shared across the scan — only the
+    HI budgets change with ``n'``), and the verdicts go through the
+    backend's shared memo: neighbouring sweep points revisit most of the
+    same ``(n_hi, n_lo, n')`` triples.
     """
-    for n_prime in range(n_hi, 0, -1):
-        mc = convert_uniform(taskset, n_hi, n_lo, n_prime)
-        if backend.is_schedulable(mc):
+    for n_prime, mc in convert_uniform_series(
+        taskset, n_hi, n_lo, range(n_hi, 0, -1)
+    ):
+        if backend.is_schedulable_cached(mc):
             return n_prime
     return None

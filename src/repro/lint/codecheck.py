@@ -16,6 +16,10 @@ FTMCC05  no bare write-mode ``open(...)`` outside :mod:`repro.io` —
          results and checkpoints must go through the crash-safe writers
          (``atomic_write_text``/``atomic_write_json``/``append_jsonl``)
          so a kill can never leave a torn artifact
+FTMCC06  no raw epsilon literals inside :mod:`repro.analysis` outside the
+         tolerance module — ad-hoc ``1e-9``/``1e-12`` comparisons are how
+         the demand tests diverged in the first place; use the named
+         constants and helpers of :mod:`repro.analysis.tolerance`
 ======== =====================================================================
 
 The pass is purely syntactic (:mod:`ast`), needs no third-party
@@ -44,6 +48,16 @@ _WRITE_ALLOWED = ("io.py",)
 
 #: ``open()`` mode characters implying a write (FTMCC05).
 _WRITE_MODE_CHARS = frozenset("wax+")
+
+#: Directory whose files must not carry their own epsilons (FTMCC06) and
+#: the single file inside it that owns them.
+_EPSILON_SCOPED_DIR = "analysis"
+_EPSILON_ALLOWED = ("analysis/tolerance.py",)
+
+#: A float literal of at most this magnitude is assumed to be a numeric
+#: tolerance rather than a model quantity (periods, budgets and
+#: probabilities used in the analyses are all far larger).
+_EPSILON_THRESHOLD = 1e-6
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
@@ -96,11 +110,16 @@ def _open_mode(node: ast.Call) -> str | None:
 
 class _Checker(ast.NodeVisitor):
     def __init__(
-        self, filename: str, allow_print: bool, allow_write: bool = False
+        self,
+        filename: str,
+        allow_print: bool,
+        allow_write: bool = False,
+        forbid_epsilon: bool = False,
     ) -> None:
         self.filename = filename
         self.allow_print = allow_print
         self.allow_write = allow_write
+        self.forbid_epsilon = forbid_epsilon
         self.diagnostics: list[Diagnostic] = []
 
     def _emit(self, code: str, line: int, message: str, suggestion: str) -> None:
@@ -200,6 +219,23 @@ class _Checker(ast.NodeVisitor):
                 )
         self.generic_visit(node)
 
+    # FTMCC06 ------------------------------------------------------------------
+
+    def visit_Constant(self, node: ast.Constant) -> None:
+        if (
+            self.forbid_epsilon
+            and isinstance(node.value, float)
+            and 0.0 < abs(node.value) <= _EPSILON_THRESHOLD
+        ):
+            self._emit(
+                "FTMCC06",
+                node.lineno,
+                f"raw epsilon literal {node.value!r} in an analysis module",
+                "use the named tolerances and comparison helpers of "
+                "repro.analysis.tolerance (REL_EPS, exceeds, floor_div, ...)",
+            )
+        self.generic_visit(node)
+
 
 def _print_allowed(relpath: str) -> bool:
     parts = relpath.replace(os.sep, "/").split("/")
@@ -212,11 +248,19 @@ def _write_allowed(relpath: str) -> bool:
     return relpath.replace(os.sep, "/") in _WRITE_ALLOWED
 
 
+def _epsilon_forbidden(relpath: str) -> bool:
+    normalized = relpath.replace(os.sep, "/")
+    if normalized in _EPSILON_ALLOWED:
+        return False
+    return normalized.split("/")[0] == _EPSILON_SCOPED_DIR
+
+
 def check_source(
     source: str,
     filename: str = "<string>",
     allow_print: bool = False,
     allow_write: bool = False,
+    forbid_epsilon: bool = False,
 ) -> list[Diagnostic]:
     """Run the code rules over one source string."""
     try:
@@ -230,7 +274,7 @@ def check_source(
                 f"syntax error: {exc.msg}",
             )
         ]
-    checker = _Checker(filename, allow_print, allow_write)
+    checker = _Checker(filename, allow_print, allow_write, forbid_epsilon)
     checker.visit(tree)
     return sorted(checker.diagnostics, key=lambda d: d.location)
 
@@ -260,6 +304,7 @@ def check_path(root: str) -> LintReport:
                     relpath,
                     allow_print=_print_allowed(relpath),
                     allow_write=_write_allowed(relpath),
+                    forbid_epsilon=_epsilon_forbidden(relpath),
                 )
             )
     return LintReport(diags)

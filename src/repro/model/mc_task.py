@@ -78,6 +78,7 @@ class MCTaskSet:
     def __init__(self, tasks: Iterable[MCTask], name: str = "mc-taskset") -> None:
         self._tasks: tuple[MCTask, ...] = tuple(tasks)
         self.name = name
+        self._cache_key: tuple | None = None
         raise_on_error(check_unique_names([t.name for t in self._tasks]))
 
     def __iter__(self) -> Iterator[MCTask]:
@@ -95,6 +96,23 @@ class MCTaskSet:
     @property
     def tasks(self) -> tuple[MCTask, ...]:
         return self._tasks
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the *analysed* parameters.
+
+        Every schedulability test in :mod:`repro.analysis` is a function of
+        the tuple ``(T, D, C(LO), C(HI), chi)`` per task (names and the set
+        name are ignored), so two sets with equal keys are interchangeable
+        to any backend — the contract behind
+        :meth:`repro.core.backends.SchedulerBackend.is_schedulable_cached`.
+        Computed lazily and memoized (tasks are immutable).
+        """
+        if self._cache_key is None:
+            self._cache_key = tuple(
+                (t.period, t.deadline, t.wcet_lo, t.wcet_hi, t.criticality)
+                for t in self._tasks
+            )
+        return self._cache_key
 
     def task(self, name: str) -> MCTask:
         for t in self._tasks:

@@ -1,0 +1,15 @@
+"""Performance baselines: the machinery behind ``ftmc bench``.
+
+Measures the demand-bound kernels and the end-to-end experiment hot paths
+against their scalar reference implementations and records the results as
+a ``BENCH_<date>.json`` artifact (see ``docs/performance.md``).
+"""
+
+from repro.perf.bench import (
+    SPEEDUP_FLOORS,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+
+__all__ = ["SPEEDUP_FLOORS", "render_report", "run_benchmarks", "write_report"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis.tolerance import PROB_EPS
 from repro.core.ftmc import FTSResult
 from repro.model.criticality import CriticalityRole
 from repro.model.task import HOUR_MS, TaskSet
@@ -75,7 +76,7 @@ class PFHEstimate:
         the bound — i.e. the data does not refute the bound's soundness.
         """
         low, _ = self.confidence_interval(z)
-        return low <= bound + 1e-15
+        return low <= bound + PROB_EPS
 
 
 def estimate_pfh(

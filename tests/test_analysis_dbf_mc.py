@@ -1,8 +1,15 @@
 """Tests for the dbf-based dual-criticality EDF analysis (extension)."""
 
+import time
+
 import pytest
 
-from repro.analysis.dbf_mc import dbf_mc_analyse, dbf_mc_schedulable
+from repro.analysis.dbf_mc import (
+    _hi_mode_horizon,
+    _hi_mode_test,
+    dbf_mc_analyse,
+    dbf_mc_schedulable,
+)
 from repro.analysis.edf_vd import edf_vd_schedulable
 from repro.core.conversion import convert_uniform
 from repro.model.criticality import CriticalityRole
@@ -78,6 +85,27 @@ class TestDbfMC:
         mc = convert_uniform(example31, 3, 1, 2)
         with pytest.raises(ValueError, match="grid"):
             dbf_mc_analyse(mc, x_steps=0)
+
+    def test_intractable_hi_horizon_bails_out(self):
+        """HI utilization a hair below 1 used to enumerate millions of
+        check instants; the ``_MAX_TEST_POINTS`` guard must reject the
+        factor conservatively instead of stalling the sweep."""
+        mc = MCTaskSet(
+            [
+                MCTask("hi", 1.0, 1.0, 1e-6, 1.0 - 1e-7, CriticalityRole.HI),
+                MCTask("lo", 100.0, 100.0, 1e-6, 1e-6, CriticalityRole.LO),
+            ]
+        )
+        # The horizon itself is declared intractable...
+        assert _hi_mode_horizon(mc, 0.5) is None
+        # ...so the per-factor test rejects without enumerating.
+        assert not _hi_mode_test(mc, 0.5)
+        # ...and the whole scan terminates promptly (it used to take
+        # minutes at ~5e6 instants per factor times 50 factors).
+        start = time.perf_counter()
+        result = dbf_mc_analyse(mc)
+        assert time.perf_counter() - start < 5.0
+        assert not result.schedulable
 
     def test_finds_set_eq10_rejects(self):
         """A diverse-period set where the demand test beats eq. (10)."""

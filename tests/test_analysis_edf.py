@@ -6,12 +6,14 @@ from repro.analysis.edf import (
     Workload,
     demand_bound_function,
     edf_processor_demand_test,
+    edf_processor_demand_test_reference,
     edf_schedulable,
     edf_utilization_test,
     inflated_workload,
     schedulable_without_adaptation,
     workload_from_taskset,
 )
+from repro.analysis.qpa import qpa_schedulable
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import ReexecutionProfile
 from repro.model.task import Task, TaskSet
@@ -81,6 +83,38 @@ class TestDemandBoundFunction:
     def test_rejects_negative_time(self):
         with pytest.raises(ValueError):
             demand_bound_function([Workload(10, 10, 1)], -1.0)
+
+
+class TestEpsilonBoundaryRegression:
+    """Regression: demand landing exactly on ``dbf(t) = t`` at an instant
+    whose floating-point image sits a few ulps off the rational boundary.
+
+    ``t = 0.2 + 13 * 0.3 = 4.1`` is an absolute deadline of the first
+    workload item, but ``(4.1 - 0.2) / 0.3`` evaluates to
+    ``12.999999999999998``: an epsilon-less floor sees 13 jobs instead of
+    14, reports ``dbf(4.1) = 4.0 <= 4.1``, and every demand-based test
+    built on it accepts a workload whose exact demand is ``4.2 > 4.1``.
+    The tolerance-aware job count must reject it.
+    """
+
+    WORKLOAD = [Workload(0.3, 0.2, 0.2), Workload(1000.0, 4.05, 1.4)]
+
+    def test_raw_floor_really_undercounts(self):
+        # Guard the premise: the quotient is short of 13 in binary.
+        assert (4.1 - 0.2) / 0.3 < 13.0
+
+    def test_dbf_counts_the_boundary_job(self):
+        # Exact demand at 4.1: 14 jobs of 0.2 plus the long task's 1.4.
+        assert demand_bound_function(self.WORKLOAD, 4.1) == pytest.approx(4.2)
+
+    def test_pdc_rejects(self):
+        assert not edf_processor_demand_test(self.WORKLOAD)
+
+    def test_pdc_reference_rejects(self):
+        assert not edf_processor_demand_test_reference(self.WORKLOAD)
+
+    def test_qpa_rejects(self):
+        assert not qpa_schedulable(self.WORKLOAD)
 
 
 class TestProcessorDemandCriterion:

@@ -1,0 +1,180 @@
+"""Oracle-equivalence tests: vectorized kernels vs the scalar reference.
+
+The NumPy kernels of :mod:`repro.analysis.kernels` must return *identical
+verdicts* (and matching numbers) to the scalar paths they accelerate, on
+the same corpora the experiments draw from.  The scalar implementations
+are the reference oracle; every divergence is a kernel bug.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import kernels
+from repro.analysis.dbf_mc import dbf_mc_analyse
+from repro.analysis.edf import (
+    Workload,
+    demand_bound_function,
+    edf_processor_demand_test,
+    edf_processor_demand_test_reference,
+)
+from repro.analysis.qpa import (
+    _max_deadline_at_or_below,
+    _max_deadline_strictly_below,
+    _VECTOR_MIN_TASKS,
+    qpa_schedulable,
+)
+from repro.core.conversion import convert_uniform
+from repro.gen.taskset import GeneratorConfig, generate_taskset
+from repro.model.criticality import DualCriticalitySpec
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_enabled(),
+    reason="NumPy kernels disabled (REPRO_NO_NUMPY or missing NumPy)",
+)
+
+_SPEC = DualCriticalitySpec.from_names("B", "C")
+_MANY_TASKS = GeneratorConfig(u_min=0.004, u_max=0.02, p_hi=0.5)
+
+
+def _workload(seed: int, utilization: float, ratio: float) -> list[Workload]:
+    gen = np.random.default_rng(seed)
+    taskset = generate_taskset(utilization, _SPEC, gen, config=_MANY_TASKS)
+    return [Workload(t.period, ratio * t.period, t.wcet) for t in taskset]
+
+
+class TestNumpyToggle:
+    def test_env_disables_kernels(self, monkeypatch):
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        assert not kernels.numpy_enabled()
+
+    def test_zero_and_empty_keep_kernels_on(self, monkeypatch):
+        for value in ("", "0"):
+            monkeypatch.setenv(kernels.NO_NUMPY_ENV, value)
+            assert kernels.numpy_enabled()
+
+
+class TestDbfKernels:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dbf_batch_matches_scalar(self, seed):
+        workload = _workload(seed, 0.7, ratio=0.8)
+        arrays = kernels.workload_arrays(workload)
+        horizon = max(w.deadline for w in workload) * 6.0
+        instants = np.linspace(0.0, horizon, 257)
+        batch = kernels.dbf_batch(*arrays, instants)
+        for t, demand in zip(instants, batch):
+            assert demand == pytest.approx(
+                demand_bound_function(workload, float(t)), rel=1e-12
+            )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dbf_single_matches_scalar(self, seed):
+        workload = _workload(seed, 0.7, ratio=0.8)
+        arrays = kernels.workload_arrays(workload)
+        for t in (0.0, 1.0, 200.0, 4.1, 1234.5):
+            assert kernels.dbf_single(*arrays, t) == pytest.approx(
+                demand_bound_function(workload, t), rel=1e-12
+            )
+
+    def test_dbf_single_snaps_boundary_instants(self):
+        """The kernel inherits the tolerance-aware job-count floor."""
+        workload = [Workload(0.3, 0.2, 0.2)]
+        arrays = kernels.workload_arrays(workload)
+        # 4.1 = 0.2 + 13 * 0.3 over the rationals; the raw float floor
+        # sees only 13 jobs, the snapped one all 14.
+        assert kernels.dbf_single(*arrays, 4.1) == pytest.approx(14 * 0.2)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_deadline_points_match_scalar_enumeration(self, seed):
+        workload = _workload(seed, 0.7, ratio=0.8)
+        periods, deadlines, wcets = kernels.workload_arrays(workload)
+        horizon = max(w.deadline for w in workload) * 4.0
+        points = kernels.deadline_points(periods, deadlines, horizon)
+        expected = set()
+        for w in workload:
+            k = 0
+            while True:
+                t = w.deadline + k * w.period
+                if t > horizon * (1.0 + 1e-9):
+                    break
+                if t > 0:
+                    expected.add(t)
+                k += 1
+        assert sorted(expected) == pytest.approx(list(points))
+
+
+class TestDeadlineSearchKernels:
+    @pytest.mark.parametrize("seed", range(4))
+    @pytest.mark.parametrize("ratio", [0.8, 1.0])
+    def test_match_scalar_helpers(self, seed, ratio):
+        workload = _workload(seed, 0.7, ratio=ratio)
+        periods, deadlines, _ = kernels.workload_arrays(workload)
+        horizon = max(w.deadline for w in workload) * 3.0
+        for limit in np.linspace(0.1, horizon, 37):
+            limit = float(limit)
+            assert kernels.max_deadline_at_or_below(
+                periods, deadlines, limit
+            ) == _max_deadline_at_or_below(workload, limit)
+            assert kernels.max_deadline_strictly_below(
+                periods, deadlines, limit
+            ) == _max_deadline_strictly_below(workload, limit)
+
+    def test_no_candidate_returns_minus_inf(self):
+        workload = [Workload(10.0, 8.0, 1.0)]
+        periods, deadlines, _ = kernels.workload_arrays(workload)
+        assert kernels.max_deadline_at_or_below(periods, deadlines, 5.0) == -math.inf
+        assert (
+            kernels.max_deadline_strictly_below(periods, deadlines, 8.0)
+            == -math.inf
+        )
+
+    def test_strictly_below_excludes_boundary_deadline(self):
+        """A deadline within tolerance of the limit counts as equal."""
+        workload = [Workload(0.3, 0.2, 0.1)]
+        periods, deadlines, _ = kernels.workload_arrays(workload)
+        # 4.1 is the 14th absolute deadline up to float snapping; strictly
+        # below must step down to the 13th (3.8).
+        below = kernels.max_deadline_strictly_below(periods, deadlines, 4.1)
+        assert below == pytest.approx(0.2 + 12 * 0.3)
+
+
+class TestVerdictEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("utilization", [0.5, 0.8, 0.95])
+    def test_pdc_vectorized_equals_reference(self, seed, utilization):
+        workload = _workload(seed, utilization, ratio=0.8)
+        assert edf_processor_demand_test(
+            workload
+        ) == edf_processor_demand_test_reference(workload)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("utilization", [0.5, 0.8, 0.95])
+    def test_qpa_vectorized_equals_scalar(
+        self, seed, utilization, monkeypatch
+    ):
+        workload = _workload(seed, utilization, ratio=0.8)
+        assert len(workload) >= _VECTOR_MIN_TASKS  # vector path exercised
+        fast = qpa_schedulable(workload)
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        assert qpa_schedulable(workload) == fast
+
+    def test_pdc_schedulable_kernel_equals_reference(self):
+        from repro.analysis.edf import _MAX_TEST_POINTS
+
+        for seed in range(6):
+            workload = _workload(seed, 0.85, ratio=0.8)
+            arrays = kernels.workload_arrays(workload)
+            assert kernels.pdc_schedulable(
+                *arrays, _MAX_TEST_POINTS
+            ) == edf_processor_demand_test_reference(workload)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dbf_mc_vectorized_equals_scalar(self, seed, monkeypatch):
+        gen = np.random.default_rng(seed)
+        taskset = generate_taskset(0.6, _SPEC, gen, config=_MANY_TASKS)
+        mc = convert_uniform(taskset, n_hi=2, n_lo=1, n_prime_hi=1)
+        fast = dbf_mc_analyse(mc)
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        slow = dbf_mc_analyse(mc)
+        assert (fast.schedulable, fast.x) == (slow.schedulable, slow.x)

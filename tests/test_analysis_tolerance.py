@@ -1,0 +1,112 @@
+"""Tests for the shared numeric tolerance policy of the analyses."""
+
+import math
+
+import pytest
+
+from repro.analysis.tolerance import (
+    CONVERGENCE_EPS,
+    PROB_EPS,
+    REL_EPS,
+    UTIL_EPS,
+    ceil_div,
+    converged,
+    exceeds,
+    floor_div,
+    job_count,
+    strictly_below,
+    utilization_exceeds,
+    within,
+)
+
+
+class TestComparisons:
+    def test_exceeds_needs_more_than_slack(self):
+        assert not exceeds(1.0 + REL_EPS / 2, 1.0)
+        assert exceeds(1.0 + 3 * REL_EPS, 1.0)
+
+    def test_within_complements_exceeds(self):
+        for a, b in [(1.0, 1.0), (2.0, 1.0), (1.0 + REL_EPS / 2, 1.0)]:
+            assert within(a, b) == (not exceeds(a, b))
+
+    def test_strictly_below_excludes_near_equal(self):
+        assert not strictly_below(1.0 - REL_EPS / 2, 1.0)
+        assert strictly_below(1.0 - 3 * REL_EPS, 1.0)
+
+    def test_slack_is_relative_at_large_scale(self):
+        """At t ~ 1e9 an absolute 1e-9 would be far below one ulp."""
+        big = 1e9
+        assert within(big * (1.0 + REL_EPS / 2), big)
+        assert exceeds(big * (1.0 + 3 * REL_EPS), big)
+
+    def test_slack_floored_at_scale_one(self):
+        """Near zero the slack stays REL_EPS, not zero."""
+        assert within(REL_EPS / 2, 0.0)
+        assert exceeds(3 * REL_EPS, 0.0)
+
+
+class TestSnappedDivisions:
+    def test_floor_div_exact(self):
+        assert floor_div(9.0, 3.0) == 3
+
+    def test_floor_div_snaps_up_across_boundary(self):
+        """A quotient a few ulps below an integer counts the integer.
+
+        (4.1 - 0.2) / 0.3 is exactly 13 over the rationals but lands a
+        couple of ulps short in binary floating point; the snapped floor
+        must still see all 13 periods.
+        """
+        assert (4.1 - 0.2) / 0.3 < 13.0  # the raw quotient really is short
+        assert floor_div(4.1 - 0.2, 0.3) == 13
+
+    def test_floor_div_does_not_snap_far_values(self):
+        assert floor_div(0.29, 0.3) == 0
+
+    def test_ceil_div_snaps_down_across_boundary(self):
+        assert ceil_div(0.1 + 0.2, 0.3) == 1
+
+    def test_ceil_div_exact(self):
+        assert ceil_div(10.0, 3.0) == 4
+
+    def test_floor_ceil_agree_on_near_integers(self):
+        """Both snap to the same integer when the quotient is boundary-close."""
+        for n, d in [(4.1 - 0.2, 0.3), (0.3 * 7, 0.3), (0.1 + 0.2, 0.3)]:
+            q = n / d
+            assert abs(q - round(q)) < REL_EPS * max(1.0, abs(q))
+            assert floor_div(n, d) == ceil_div(n, d) == round(q)
+
+
+class TestJobCount:
+    def test_zero_before_first_deadline(self):
+        assert job_count(7.9, 8.0, 10.0) == 0
+
+    def test_one_at_first_deadline(self):
+        assert job_count(8.0, 8.0, 10.0) == 1
+
+    def test_boundary_instant_counts_the_job(self):
+        """t = D + 13T with non-representable T must count 14 jobs."""
+        assert job_count(4.1, 0.2, 0.3) == 14
+
+    def test_negative_arguments_clamp_to_zero_jobs(self):
+        assert job_count(0.0, 5.0, 10.0) <= 0
+
+
+class TestUtilizationAndConvergence:
+    def test_utilization_boundary(self):
+        assert not utilization_exceeds(1.0)
+        assert not utilization_exceeds(1.0 + UTIL_EPS / 2)
+        assert utilization_exceeds(1.0 + 1e-9)
+
+    def test_custom_bound(self):
+        assert utilization_exceeds(0.76, 0.75)
+        assert not utilization_exceeds(0.75, 0.75)
+
+    def test_converged(self):
+        assert converged(1.0, 1.0)
+        assert converged(1.0 + CONVERGENCE_EPS / 10, 1.0)
+        assert not converged(1.1, 1.0)
+
+    def test_constants_ordering(self):
+        """The per-domain epsilons keep their documented magnitudes."""
+        assert PROB_EPS < UTIL_EPS <= CONVERGENCE_EPS < REL_EPS < 1e-6
+        assert math.isclose(REL_EPS, 1e-9)

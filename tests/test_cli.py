@@ -103,6 +103,52 @@ class TestMain:
             header = handle.readline().strip()
         assert header == "level,pfh_requirement,safety_related"
 
+    def test_bench_quick_smoke(self, tmp_path, capsys, monkeypatch):
+        """``ftmc bench --quick`` renders, writes, and maps the guard to
+        the exit code.  The measurement itself is covered by
+        ``test_perf_bench``; here a canned report keeps the smoke fast."""
+        import repro.perf
+
+        report = {
+            "schema": "ftmc-bench/1", "date": "2026-01-01", "quick": True,
+            "seed": 0, "numpy": True, "budget_ms_per_subject": 1.0,
+            "kernels": {"pdc": {"ns_per_op": 10.0, "ops": 3, "total_ms": 0.1}},
+            "end_to_end": {},
+            "speedups": {"dbf_mc_analyse": 5.0, "fig3_point": 3.0},
+            "cache": {"entries": 0, "hits": 0, "misses": 0},
+            "guard": {"passed": True, "failures": {}},
+        }
+        monkeypatch.setattr(
+            repro.perf, "run_benchmarks", lambda quick, seed: report
+        )
+        out_dir = str(tmp_path / "bench")
+        assert main(["bench", "--quick", "--output-dir", out_dir]) == 0
+        out = capsys.readouterr().out
+        assert "perf guard: PASS" in out
+        assert os.path.exists(os.path.join(out_dir, "BENCH_2026-01-01.json"))
+
+    def test_bench_guard_failure_exit_code(self, capsys, monkeypatch):
+        import repro.perf
+
+        report = {
+            "schema": "ftmc-bench/1", "date": "2026-01-01", "quick": True,
+            "seed": 0, "numpy": True, "budget_ms_per_subject": 1.0,
+            "kernels": {}, "end_to_end": {},
+            "speedups": {"dbf_mc_analyse": 1.1, "fig3_point": 3.0},
+            "cache": {"entries": 0, "hits": 0, "misses": 0},
+            "guard": {
+                "passed": False,
+                "failures": {
+                    "dbf_mc_analyse": {"speedup": 1.1, "floor": 3.0}
+                },
+            },
+        }
+        monkeypatch.setattr(
+            repro.perf, "run_benchmarks", lambda quick, seed: report
+        )
+        assert main(["bench", "--quick"]) == 1
+        assert "perf guard: FAIL" in capsys.readouterr().out
+
     def test_backends_command(self, capsys):
         assert main(["backends", "--sets", "5"]) == 0
         out = capsys.readouterr().out

@@ -11,6 +11,8 @@ from repro.core.backends import (
     EDFVDBackend,
     EDFVDDegradationBackend,
     SMCBackend,
+    clear_schedulability_cache,
+    schedulability_cache_info,
 )
 from repro.core.conversion import convert_uniform
 from repro.core.ftmc import ft_schedule
@@ -77,3 +79,57 @@ class TestBackendContract:
         light = convert_uniform(example31, 1, 1, 1)
         for backend in (AMCBackend(), AMCMaxBackend(), SMCBackend()):
             assert backend.is_schedulable(light)
+
+
+class TestSchedulabilityCache:
+    @pytest.fixture(autouse=True)
+    def _clean_cache(self):
+        clear_schedulability_cache()
+        yield
+        clear_schedulability_cache()
+
+    def test_cached_verdict_matches_uncached(self, example31):
+        backend = EDFVDBackend()
+        mc = convert_uniform(example31, 3, 1, 2)
+        assert backend.is_schedulable_cached(mc) == backend.is_schedulable(mc)
+
+    def test_second_call_hits(self, example31):
+        backend = EDFVDBackend()
+        mc = convert_uniform(example31, 3, 1, 2)
+        backend.is_schedulable_cached(mc)
+        misses = schedulability_cache_info()["misses"]
+        backend.is_schedulable_cached(mc)
+        info = schedulability_cache_info()
+        assert info["misses"] == misses
+        assert info["hits"] >= 1
+
+    def test_equal_valued_sets_share_entries(self, example31):
+        """The key is the task parameters, not the object identity."""
+        backend = EDFVDBackend()
+        backend.is_schedulable_cached(convert_uniform(example31, 3, 1, 2))
+        entries = schedulability_cache_info()["entries"]
+        backend.is_schedulable_cached(convert_uniform(example31, 3, 1, 2))
+        assert schedulability_cache_info()["entries"] == entries
+
+    def test_distinct_backends_do_not_collide(self, example31):
+        """Same task set, different analyses — distinct cache slots."""
+        mc = convert_uniform(example31, 3, 1, 1)
+        verdicts = {
+            backend.name: backend.is_schedulable_cached(mc)
+            for backend in ALL_BACKENDS
+        }
+        for backend in ALL_BACKENDS:
+            assert verdicts[backend.name] == backend.is_schedulable(mc)
+
+    def test_degradation_factor_in_signature(self, example31):
+        """Two degradation backends with different factors must not share."""
+        a = EDFVDDegradationBackend(2.0)
+        b = EDFVDDegradationBackend(50.0)
+        assert a.cache_signature != b.cache_signature
+
+    def test_clear_resets_counters(self, example31):
+        backend = EDFVDBackend()
+        backend.is_schedulable_cached(convert_uniform(example31, 3, 1, 2))
+        clear_schedulability_cache()
+        info = schedulability_cache_info()
+        assert info == {"entries": 0, "hits": 0, "misses": 0}

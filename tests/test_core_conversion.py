@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core.conversion import convert, convert_uniform
+from repro.core.conversion import (
+    convert,
+    convert_uniform,
+    convert_uniform_series,
+)
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import AdaptationProfile, ReexecutionProfile
 
@@ -83,3 +87,34 @@ class TestConvertGeneral:
     def test_converted_name_tagged(self, example31):
         mc = convert_uniform(example31, 3, 1, 2)
         assert "converted" in mc.name
+
+
+class TestConvertUniformSeries:
+    def test_entries_match_convert_uniform(self, example31):
+        n_hi, n_lo = 3, 2
+        series = dict(
+            convert_uniform_series(example31, n_hi, n_lo, range(n_hi, 0, -1))
+        )
+        assert sorted(series) == [1, 2, 3]
+        for n_prime, mc in series.items():
+            expected = convert_uniform(example31, n_hi, n_lo, n_prime)
+            for got, want in zip(mc, expected):
+                assert (got.name, got.period, got.deadline) == (
+                    want.name,
+                    want.period,
+                    want.deadline,
+                )
+                assert got.wcet_lo == want.wcet_lo
+                assert got.wcet_hi == want.wcet_hi
+                assert got.criticality is want.criticality
+
+    def test_lazy_generation_order(self, example31):
+        gen = convert_uniform_series(example31, 3, 1, range(3, 0, -1))
+        n_prime, _ = next(gen)
+        assert n_prime == 3
+
+    def test_rejects_invalid_n_prime(self, example31):
+        with pytest.raises(ValueError):
+            list(convert_uniform_series(example31, 3, 1, [0]))
+        with pytest.raises(ValueError, match="exceeds"):
+            list(convert_uniform_series(example31, 3, 1, [4]))

@@ -126,3 +126,44 @@ class TestMaximalAdaptationProfile:
             assert not backend.is_schedulable(
                 convert_uniform(fms, 3, 2, n2 + 1)
             )
+
+    def test_repeated_calls_stable_across_cache_states(self, fms):
+        """The schedulability cache must never change the search result."""
+        from repro.core.backends import clear_schedulability_cache
+
+        backend = EDFVDBackend()
+        clear_schedulability_cache()
+        cold = maximal_adaptation_profile(fms, 3, 2, backend)
+        warm = maximal_adaptation_profile(fms, 3, 2, backend)
+        assert cold == warm
+        clear_schedulability_cache()
+        assert maximal_adaptation_profile(fms, 3, 2, backend) == cold
+
+
+class TestMinimalReexecutionMemo:
+    def test_memo_returns_consistent_results(self, fms):
+        """Repeated profile derivations (the Fig. 3 hot path) agree."""
+        first = minimal_reexecution_profiles(fms)
+        second = minimal_reexecution_profiles(fms)
+        assert second is first  # memoized per task set
+
+    def test_memo_distinguishes_arguments(self, example31):
+        full = minimal_reexecution_profiles(example31)
+        capped = minimal_reexecution_profiles(example31, max_n=2)
+        assert full is not None and capped is None
+
+    def test_memo_released_with_taskset(self, fms):
+        """The memo holds task sets weakly — no unbounded growth."""
+        import gc
+        import weakref
+
+        from repro.core.profiles import _reexecution_memo
+        from repro.model.task import TaskSet
+
+        clone = TaskSet(list(fms), fms.spec, name="clone")
+        minimal_reexecution_profiles(clone)
+        assert clone in _reexecution_memo
+        ref = weakref.ref(clone)
+        del clone
+        gc.collect()
+        assert ref() is None

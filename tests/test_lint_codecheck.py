@@ -131,6 +131,38 @@ class TestWriteModeOpen:
         assert report.by_code("FTMCC05")[0].location == "lib.py:1"
 
 
+class TestEpsilonLiterals:
+    def test_ftmcc06_raw_epsilon_flagged(self):
+        assert codes("EPS = 1e-9", forbid_epsilon=True) == ["FTMCC06"]
+        assert codes("x = abs(a - b) <= 1e-12", forbid_epsilon=True) == [
+            "FTMCC06"
+        ]
+        assert codes("y = -1e-15", forbid_epsilon=True) == ["FTMCC06"]
+
+    def test_model_scale_floats_pass(self):
+        assert codes("period = 0.001", forbid_epsilon=True) == []
+        assert codes("horizon = 2.5e6", forbid_epsilon=True) == []
+        assert codes("zero = 0.0", forbid_epsilon=True) == []
+
+    def test_integers_never_flagged(self):
+        assert codes("n = 0", forbid_epsilon=True) == []
+        assert codes("flag = True", forbid_epsilon=True) == []
+
+    def test_rule_off_by_default(self):
+        assert codes("EPS = 1e-9") == []
+
+    def test_tolerance_module_is_exempt_in_tree_walk(self, tmp_path):
+        analysis = tmp_path / "analysis"
+        analysis.mkdir()
+        (analysis / "tolerance.py").write_text("REL_EPS = 1e-9\n")
+        (analysis / "edf.py").write_text("eps = 1e-9\n")
+        (tmp_path / "io.py").write_text("eps = 1e-9\n")
+        report = check_path(str(tmp_path))
+        assert [d.code for d in report] == ["FTMCC06"]
+        location = report.by_code("FTMCC06")[0].location
+        assert location.replace("\\", "/") == "analysis/edf.py:1"
+
+
 class TestTreeWalk:
     def test_check_path_walks_and_reports(self, tmp_path):
         (tmp_path / "lib.py").write_text("def f(xs=[]):\n    pass\n")

@@ -1,0 +1,104 @@
+"""Tests for the ``ftmc bench`` performance-baseline suite."""
+
+import json
+import os
+
+import pytest
+
+from repro.analysis import kernels
+from repro.perf import (
+    SPEEDUP_FLOORS,
+    render_report,
+    run_benchmarks,
+    write_report,
+)
+from repro.perf.bench import MIN_TIME_ENV, SCHEMA, _measure, _min_time_ns
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    """One real quick run with a token measurement budget."""
+    previous = os.environ.get(MIN_TIME_ENV)
+    os.environ[MIN_TIME_ENV] = "1"
+    try:
+        return run_benchmarks(quick=True, seed=0)
+    finally:
+        if previous is None:
+            del os.environ[MIN_TIME_ENV]
+        else:
+            os.environ[MIN_TIME_ENV] = previous
+
+
+class TestMeasurement:
+    def test_measure_shape(self):
+        stats = _measure(lambda: None, budget_ns=1_000_00)
+        assert stats["ops"] >= 1
+        assert stats["ns_per_op"] > 0
+        assert stats["total_ms"] == pytest.approx(
+            stats["ns_per_op"] * stats["ops"] / 1e6
+        )
+
+    def test_min_time_env_override(self, monkeypatch):
+        monkeypatch.setenv(MIN_TIME_ENV, "2.5")
+        assert _min_time_ns(quick=True) == int(2.5e6)
+        monkeypatch.delenv(MIN_TIME_ENV)
+        assert _min_time_ns(quick=True) == int(40e6)
+        assert _min_time_ns(quick=False) == int(200e6)
+
+
+class TestReportShape:
+    def test_schema_and_sections(self, quick_report):
+        assert quick_report["schema"] == SCHEMA
+        assert quick_report["quick"] is True
+        for section in ("kernels", "end_to_end", "speedups", "cache", "guard"):
+            assert section in quick_report
+
+    def test_kernel_subjects_present(self, quick_report):
+        assert "demand_bound_function" in quick_report["kernels"]
+        assert "pdc" in quick_report["kernels"]
+        assert "pdc_reference" in quick_report["kernels"]
+        assert "qpa" in quick_report["kernels"]
+
+    def test_end_to_end_pairs_present(self, quick_report):
+        e2e = quick_report["end_to_end"]
+        for name in ("dbf_mc_analyse", "fig3_point", "fig1_sweep"):
+            assert name in e2e
+        assert "dbf_mc_analyse_reference" in e2e
+        assert "fig3_point_reference" in e2e
+
+    def test_speedups_cover_the_floors(self, quick_report):
+        for name in SPEEDUP_FLOORS:
+            assert name in quick_report["speedups"]
+            assert quick_report["speedups"][name] > 0
+
+    def test_guard_consistent_with_speedups(self, quick_report):
+        guard = quick_report["guard"]
+        if not kernels.numpy_enabled():
+            assert guard["passed"] is None
+            return
+        expected_failures = {
+            name
+            for name, floor in SPEEDUP_FLOORS.items()
+            if quick_report["speedups"][name] < floor
+        }
+        assert set(guard["failures"]) == expected_failures
+        assert guard["passed"] == (not expected_failures)
+
+    def test_json_serializable(self, quick_report):
+        json.dumps(quick_report)
+
+
+class TestReportOutput:
+    def test_write_report_roundtrip(self, quick_report, tmp_path):
+        path = write_report(quick_report, str(tmp_path))
+        assert os.path.basename(path) == f"BENCH_{quick_report['date']}.json"
+        with open(path) as handle:
+            assert json.load(handle) == quick_report
+
+    def test_render_report_mentions_floors(self, quick_report):
+        text = render_report(quick_report)
+        assert "ftmc bench" in text
+        for name, floor in SPEEDUP_FLOORS.items():
+            assert f"speedup {name}" in text
+            assert f"floor {floor:g}x" in text
+        assert "perf guard" in text

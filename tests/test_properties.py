@@ -16,8 +16,10 @@ from repro.analysis.edf import (
     Workload,
     demand_bound_function,
     edf_processor_demand_test,
+    edf_processor_demand_test_reference,
     edf_utilization_test,
 )
+from repro.analysis.qpa import qpa_schedulable
 from repro.analysis.edf_vd import analyse as edf_vd_analyse
 from repro.analysis.fixed_priority import dm_schedulable
 from repro.core.conversion import convert_uniform
@@ -235,6 +237,61 @@ class TestSchedulabilityProperties:
         assert demand_bound_function(workload, t) <= demand_bound_function(
             workload, t * 1.5
         )
+
+    @given(st.lists(st.tuples(periods, periods, wcets), min_size=1, max_size=5))
+    @settings(max_examples=100)
+    def test_qpa_agrees_with_pdc(self, raw):
+        """QPA and the PDC are equivalent exact tests — same verdicts."""
+        workload = [
+            Workload(p, min(d, p), min(c, p)) for p, d, c in raw
+        ]
+        assert qpa_schedulable(workload) == edf_processor_demand_test(workload)
+
+    # Decimal-grid parameters: most are not representable in binary
+    # floating point, so absolute deadlines D + k*T land a few ulps off
+    # the rational boundary — exactly where an epsilon-unsound comparison
+    # flips a verdict.  All three demand tests must still agree.
+    decimal_periods = st.integers(1, 50).map(lambda k: k * 0.1)
+    decimal_wcets = st.integers(1, 30).map(lambda k: k * 0.01)
+
+    @given(
+        st.lists(
+            st.tuples(decimal_periods, decimal_periods, decimal_wcets),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_boundary_straddling_verdicts_agree(self, raw):
+        workload = [
+            Workload(p, min(d, p), min(c, p)) for p, d, c in raw
+        ]
+        reference = edf_processor_demand_test_reference(workload)
+        assert edf_processor_demand_test(workload) == reference
+        assert qpa_schedulable(workload) == reference
+
+    @given(
+        st.lists(
+            st.tuples(decimal_periods, decimal_periods, decimal_wcets),
+            min_size=1,
+            max_size=4,
+        ),
+        st.integers(1, 60),
+    )
+    @settings(max_examples=100)
+    def test_dbf_boundary_instants_count_the_job(self, raw, steps):
+        """At its own absolute deadline every workload item's job counts.
+
+        The instant is assembled as ``D + k*T`` in floating point — the
+        same arithmetic whose rounding used to drop the boundary job.
+        """
+        workload = [
+            Workload(p, min(d, p), min(c, p)) for p, d, c in raw
+        ]
+        w = workload[0]
+        t = w.deadline + steps * w.period
+        contribution = demand_bound_function([w], t)
+        assert contribution >= (steps + 1) * w.wcet - 1e-9
 
     @given(dual_tasksets(implicit=True), st.integers(2, 4))
     @settings(max_examples=40)

@@ -157,6 +157,35 @@ class TestPfhLoKilling:
         slow = pfh_lo_killing_reference(example31, reexecution, adaptation, 1.0)
         assert fast == pytest.approx(slow, rel=1e-9)
 
+    def test_vectorised_matches_reference_at_mission_scale(self, fms):
+        """The batched evaluator (one eq.-(3) call over all LO tasks'
+        concatenated timing points) must agree with the per-point scalar
+        oracle on the 10-hour FMS workload the Fig. 3 sweeps use."""
+        reexecution = ReexecutionProfile.uniform(fms, 3, 2)
+        adaptation = AdaptationProfile.uniform(fms, 2)
+        fast = pfh_lo_killing(fms, reexecution, adaptation, 10.0)
+        slow = pfh_lo_killing_reference(fms, reexecution, adaptation, 10.0)
+        assert fast == pytest.approx(slow, rel=1e-9)
+
+    def test_no_numpy_env_selects_reference(self, example31, monkeypatch):
+        from repro.analysis import kernels
+
+        reexecution = ReexecutionProfile.uniform(example31, 3, 2)
+        adaptation = AdaptationProfile.uniform(example31, 2)
+        fast = pfh_lo_killing(example31, reexecution, adaptation, 1.0)
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        scalar = pfh_lo_killing(example31, reexecution, adaptation, 1.0)
+        assert scalar == pytest.approx(fast, rel=1e-9)
+
+    def test_memoized_timing_points_are_immutable(self, example31):
+        from repro.safety.killing import _timing_points_cached
+
+        points = _timing_points_cached(example31.task("tau3"), 1, HOUR_MS, True)
+        with pytest.raises(ValueError):
+            points[0] = -1.0
+        again = _timing_points_cached(example31.task("tau3"), 1, HOUR_MS, True)
+        assert np.array_equal(points, again)
+
     def test_decreases_with_adaptation_profile(self, example31):
         """Section 3.3: increasing n' improves LO safety."""
         reexecution = ReexecutionProfile.uniform(example31, 3, 2)
