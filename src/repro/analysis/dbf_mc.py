@@ -56,6 +56,7 @@ from repro.analysis.tolerance import (
 )
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTaskSet
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["DbfMCAnalysis", "dbf_mc_schedulable", "dbf_mc_analyse"]
 
@@ -181,8 +182,9 @@ def dbf_mc_analyse(mc: MCTaskSet, x_steps: int = _X_GRID_STEPS) -> DbfMCAnalysis
     """
     if x_steps < 1:
         raise ValueError(f"need at least one grid step, got {x_steps}")
+    obs_metrics.inc("analysis.dbf_mc.calls")
     if kernels.numpy_enabled():
-        return _analyse_vectorized(mc, x_steps)
+        return _record_analysis(_analyse_vectorized(mc, x_steps))
     # The per-factor LO workload differs from the base one only in the HI
     # tasks' virtual deadlines; derive the invariant parts once instead of
     # rebuilding everything for all grid steps.
@@ -196,17 +198,29 @@ def dbf_mc_analyse(mc: MCTaskSet, x_steps: int = _X_GRID_STEPS) -> DbfMCAnalysis
         for task in mc.hi_tasks
         if task.wcet_lo > 0
     ]
-    for step in range(x_steps, 0, -1):
-        x = step / x_steps
-        lo_workload = lo_static + [
-            Workload(period, x * deadline, wcet)
-            for period, deadline, wcet in hi_scaled
-        ]
-        if not qpa_schedulable(lo_workload):
-            break  # LO mode only tightens as x falls: no smaller x can pass
-        if _hi_mode_test(mc, x):
-            return DbfMCAnalysis(schedulable=True, x=x)
-    return DbfMCAnalysis(schedulable=False, x=None)
+    steps_visited = 0
+    try:
+        for step in range(x_steps, 0, -1):
+            steps_visited += 1
+            x = step / x_steps
+            lo_workload = lo_static + [
+                Workload(period, x * deadline, wcet)
+                for period, deadline, wcet in hi_scaled
+            ]
+            if not qpa_schedulable(lo_workload):
+                break  # LO mode only tightens as x falls: no smaller x can pass
+            if _hi_mode_test(mc, x):
+                return _record_analysis(DbfMCAnalysis(schedulable=True, x=x))
+        return _record_analysis(DbfMCAnalysis(schedulable=False, x=None))
+    finally:
+        obs_metrics.inc("analysis.dbf_mc.x_steps", steps_visited)
+
+
+def _record_analysis(analysis: DbfMCAnalysis) -> DbfMCAnalysis:
+    """Count the verdict into the obs registry (no-op when disabled)."""
+    if analysis.schedulable:
+        obs_metrics.inc("analysis.dbf_mc.schedulable")
+    return analysis
 
 
 def _analyse_vectorized(mc: MCTaskSet, x_steps: int) -> DbfMCAnalysis:
@@ -252,7 +266,9 @@ def _analyse_vectorized(mc: MCTaskSet, x_steps: int) -> DbfMCAnalysis:
         # Horizon fallback for U_HI == 1 (see ``_hi_mode_horizon``).
         hi_span = 2.0 * (float(hi_periods.max()) + hi_d_max) * len(hi_tasks)
 
+    steps_visited = 0
     for step in range(x_steps, 0, -1):
+        steps_visited += 1
         x = step / x_steps
         # HI mode first.  The scalar scan checks LO mode at every factor
         # it visits, but its own early-break invariant — LO mode only
@@ -280,7 +296,9 @@ def _analyse_vectorized(mc: MCTaskSet, x_steps: int) -> DbfMCAnalysis:
                 lo_periods, deadlines, lo_wcets, _MAX_TEST_POINTS
             ):
                 break  # LO mode only tightens as x falls: no factor passes
+        obs_metrics.inc("analysis.dbf_mc.x_steps", steps_visited)
         return DbfMCAnalysis(schedulable=True, x=x)
+    obs_metrics.inc("analysis.dbf_mc.x_steps", steps_visited)
     return DbfMCAnalysis(schedulable=False, x=None)
 
 

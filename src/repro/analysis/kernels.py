@@ -30,6 +30,7 @@ import os
 from typing import TYPE_CHECKING, Sequence
 
 from repro.analysis.tolerance import REL_EPS, UTIL_EPS
+from repro.obs import metrics as obs_metrics
 
 try:  # pragma: no cover - exercised only on NumPy-less installs
     import numpy as np
@@ -145,6 +146,7 @@ def dbf_batch(periods, deadlines, wcets, instants):
     kernel serves the classical dbf (offset ``D_i``) and the HI-mode
     MC demand bound (offset ``D_i - x*D_i``).
     """
+    obs_metrics.observe("analysis.kernels.dbf_batch.points", len(instants))
     out = np.empty(len(instants))
     for start in range(0, len(instants), _CHUNK):
         ts = instants[start : start + _CHUNK]
@@ -187,6 +189,7 @@ def demand_satisfied(periods, deadlines, wcets, horizon: float) -> bool:
     first violation.
     """
     points = deadline_points(periods, deadlines, horizon)
+    obs_metrics.observe("analysis.kernels.sweep.points", len(points))
     for start in range(0, len(points), _CHUNK):
         ts = points[start : start + _CHUNK]
         demands = dbf_batch(periods, deadlines, wcets, ts)

@@ -41,6 +41,7 @@ from repro.analysis.tolerance import (
     utilization_exceeds,
     within,
 )
+from repro.obs import metrics as obs_metrics
 
 __all__ = ["qpa_schedulable"]
 
@@ -95,6 +96,7 @@ def qpa_schedulable(workload: Sequence[Workload]) -> bool:
     intractable near-``U = 1`` horizons) with the straightforward PDC, so
     the two tests return identical verdicts on every input.
     """
+    obs_metrics.inc("analysis.qpa.calls")
     workload = [w for w in workload if w.wcet > 0]
     if not workload:
         return True
@@ -128,17 +130,23 @@ def qpa_schedulable(workload: Sequence[Workload]) -> bool:
     if t == -math.inf:
         return True
     guard = 0
-    while exceeds(t, d_min):
-        guard += 1
-        if guard > 10_000_000:  # pragma: no cover - defensive only
-            raise RuntimeError("QPA failed to converge")
-        h = dbf(t)
-        if exceeds(h, t):
-            return False
-        if strictly_below(h, t):
-            t = h
-        else:
-            t = prev_deadline(t)
-            if t == -math.inf:
-                return True
-    return within(dbf(d_min), d_min)
+    # Iteration counting happens once per call (in the finally), not per
+    # iteration — the backward loop is the hot path the obs overhead
+    # contract protects (docs/observability.md).
+    try:
+        while exceeds(t, d_min):
+            guard += 1
+            if guard > 10_000_000:  # pragma: no cover - defensive only
+                raise RuntimeError("QPA failed to converge")
+            h = dbf(t)
+            if exceeds(h, t):
+                return False
+            if strictly_below(h, t):
+                t = h
+            else:
+                t = prev_deadline(t)
+                if t == -math.inf:
+                    return True
+        return within(dbf(d_min), d_min)
+    finally:
+        obs_metrics.inc("analysis.qpa.iterations", guard)

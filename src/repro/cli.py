@@ -34,6 +34,17 @@ Campaign exit codes: 0 all shards completed, 3 completed degraded
 (some shards failed; coverage report says which), 130/143 interrupted
 by SIGINT/SIGTERM (checkpoint retained — rerun with ``--resume``),
 2 unusable configuration.
+
+Observability (see ``docs/observability.md``)::
+
+    ftmc campaign fig1 --trace run.jsonl   # record spans/metrics JSONL
+    ftmc stats run.jsonl                   # aggregate a recorded trace
+    ftmc stats run.jsonl --format json
+    ftmc stats --check run.jsonl           # schema validation (0 ok, 2 bad)
+    ftmc stats                             # live process registry snapshot
+
+``--trace`` works with every verb; ``stats`` exits 0 on success and 2
+on unreadable or schema-invalid traces.
 """
 
 from __future__ import annotations
@@ -112,14 +123,15 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3", "table4",
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
-            "lint", "selfcheck", "campaign", "bench",
+            "lint", "selfcheck", "campaign", "bench", "stats",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
             "'backends'/'sensitivity'/'validate' for the extension "
             "studies; 'lint'/'selfcheck' for static analysis; 'campaign' "
             "for a fault-tolerant sharded run (docs/robustness.md); "
-            "'bench' for the performance baseline (docs/performance.md)"
+            "'bench' for the performance baseline (docs/performance.md); "
+            "'stats' to aggregate an obs trace (docs/observability.md)"
         ),
     )
     parser.add_argument(
@@ -129,9 +141,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "path", nargs="?", default=None, metavar="TARGET",
         help=(
-            "task-set JSON to check (for 'lint') or experiment name "
-            "(for 'campaign': fig1, fig2, fig3, tables, validation)"
+            "task-set JSON to check (for 'lint'), experiment name "
+            "(for 'campaign': fig1, fig2, fig3, tables, validation), or "
+            "trace file (for 'stats')"
         ),
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE.jsonl",
+        help="record a structured obs trace of this invocation to FILE "
+             "(spans, events, metrics; docs/observability.md)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="stats: validate the trace against the schema instead of "
+             "aggregating it (exit 0 valid, 2 problems)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -376,6 +399,49 @@ def _run_validate(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_stats(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import (
+        TRACE_SCHEMA,
+        aggregate_trace,
+        check_trace,
+        load_trace,
+        render_stats,
+        snapshot_stats,
+    )
+
+    path = args.path
+    if args.check:
+        if path is None:
+            return _fail(
+                "'stats --check' needs a trace file: "
+                "ftmc stats --check TRACE.jsonl"
+            )
+        try:
+            problems = check_trace(path)
+        except OSError as exc:
+            return _fail(f"cannot read {path}: {exc.strerror or exc}")
+        if problems:
+            for problem in problems:
+                print(f"{path}: {problem}", file=sys.stderr)
+            return 2
+        print(f"{path}: valid {TRACE_SCHEMA} trace")
+        return 0
+    if path is not None:
+        try:
+            stats = aggregate_trace(load_trace(path), source=path)
+        except OSError as exc:
+            return _fail(f"cannot read {path}: {exc.strerror or exc}")
+    else:
+        stats = snapshot_stats()
+    if args.output_format == "json":
+        print(json.dumps(stats, indent=2, sort_keys=True))
+    else:
+        print(render_stats(stats))
+    return 0
+
+
 def _run_bench(args: argparse.Namespace) -> int:
     from repro.perf import render_report, run_benchmarks, write_report
 
@@ -389,8 +455,7 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 1 if report["guard"]["passed"] is False else 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "analyze":
         return _run_analyze(args)
     if args.experiment == "bench":
@@ -401,6 +466,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_selfcheck(args)
     if args.experiment == "campaign":
         return _run_campaign(args)
+    if args.experiment == "stats":
+        return _run_stats(args)
     if args.experiment == "backends":
         _run_backends(args)
         return 0
@@ -427,6 +494,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         _emit(fig2_result, args.output_dir, render_fig2(fig2_result))
         _run_fig3(args)
     return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    # Intermixed parsing so the optional TARGET positional still matches
+    # after a flag ("ftmc stats --check trace.jsonl").
+    args = build_parser().parse_intermixed_args(argv)
+    if args.trace is None:
+        return _dispatch(args)
+    from repro.obs import span, start_tracing, stop_tracing
+
+    try:
+        start_tracing(args.trace)
+    except OSError as exc:
+        return _fail(f"cannot write trace {args.trace}: {exc.strerror or exc}")
+    try:
+        with span("ftmc", experiment=args.experiment):
+            return _dispatch(args)
+    finally:
+        stop_tracing()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -30,6 +30,7 @@ from repro.analysis.edf_vd_degradation import (
     edf_vd_degradation_utilization,
 )
 from repro.model.mc_task import MCTaskSet
+from repro.obs import metrics as obs_metrics
 
 __all__ = [
     "SchedulerBackend",
@@ -111,9 +112,11 @@ class SchedulerBackend(abc.ABC):
         try:
             verdict = _schedulability_cache[key]
             _cache_hits += 1
+            obs_metrics.inc("core.sched_cache.hits")
             return verdict
         except KeyError:
             _cache_misses += 1
+            obs_metrics.inc("core.sched_cache.misses")
         verdict = self.is_schedulable(mc)
         if len(_schedulability_cache) >= _CACHE_LIMIT:
             # Evict the oldest insertions (dicts preserve insertion order);

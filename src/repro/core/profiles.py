@@ -26,6 +26,7 @@ from repro.core.conversion import convert_uniform_series
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import AdaptationProfile, ReexecutionProfile
 from repro.model.task import TaskSet
+from repro.obs import metrics as obs_metrics
 from repro.safety.degradation import pfh_lo_degradation
 from repro.safety.killing import pfh_lo_killing
 from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, minimal_uniform_reexecution
@@ -77,7 +78,9 @@ def minimal_reexecution_profiles(
     memo = _reexecution_memo.setdefault(taskset, {})
     knobs = (max_n, assume_full_wcet)
     if knobs in memo:
+        obs_metrics.inc("core.profile_memo.hits")
         return memo[knobs]
+    obs_metrics.inc("core.profile_memo.misses")
     result = _minimal_reexecution_profiles(taskset, max_n, assume_full_wcet)
     memo[knobs] = result
     return result

@@ -37,6 +37,8 @@ from repro.experiments.results import ExperimentResult
 from repro.gen.taskset import PAPER_CONFIG, GeneratorConfig, generate_taskset
 from repro.model.criticality import DualCriticalitySpec
 from repro.model.faults import ReexecutionProfile
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "PanelConfig",
@@ -132,14 +134,24 @@ def fig3_point(
     config = replace(generator, failure_probability=failure_probability)
     baseline_ok = 0
     adapted_ok = 0
-    for set_index in range(sets_per_point):
-        rng = np.random.default_rng(
-            [seed, point_index, set_index, int(failure_probability * 1e9)]
-        )
-        taskset = generate_taskset(utilization, panel.spec, rng, config)
-        base, adapted = _accept(taskset, panel.mechanism)
-        baseline_ok += base
-        adapted_ok += adapted
+    with obs_trace.span(
+        "fig3.point",
+        panel=panel.key,
+        f=failure_probability,
+        utilization=utilization,
+        sets=sets_per_point,
+    ):
+        for set_index in range(sets_per_point):
+            rng = np.random.default_rng(
+                [seed, point_index, set_index, int(failure_probability * 1e9)]
+            )
+            taskset = generate_taskset(utilization, panel.spec, rng, config)
+            base, adapted = _accept(taskset, panel.mechanism)
+            baseline_ok += base
+            adapted_ok += adapted
+        obs_metrics.inc("experiments.fig3.sets", sets_per_point)
+        obs_metrics.inc("experiments.fig3.accepted_baseline", baseline_ok)
+        obs_metrics.inc("experiments.fig3.accepted_adapted", adapted_ok)
     return (
         utilization,
         baseline_ok / sets_per_point,

@@ -23,6 +23,8 @@ from repro.experiments.ascii_chart import line_chart
 from repro.experiments.results import ExperimentResult
 from repro.model.criticality import CriticalityRole
 from repro.model.task import TaskSet
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = [
     "u_mc_kill",
@@ -105,19 +107,21 @@ def sweep_point(
     of the rest of the sweep.
     """
     _checked_mechanism(mechanism, degradation_factor)
-    profiles = minimal_reexecution_profiles(taskset)
-    if profiles is None:
-        raise ValueError("task set cannot meet its PFH ceilings at all")
-    n_hi, n_lo = profiles.n_hi, profiles.n_lo
-    ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)  # type: ignore[union-attr]
-    if mechanism == "kill":
-        u_mc = u_mc_kill(taskset, n_hi, n_lo, n_prime)
-    else:
-        assert degradation_factor is not None
-        u_mc = u_mc_degrade(taskset, n_hi, n_lo, n_prime, degradation_factor)
-    pfh_lo = pfh_lo_adapted(
-        taskset, max(n_hi, n_prime), n_lo, n_prime, mechanism, operation_hours
-    )
+    obs_metrics.inc("experiments.sweep.points")
+    with obs_trace.span("sweep.point", mechanism=mechanism, n_prime=n_prime):
+        profiles = minimal_reexecution_profiles(taskset)
+        if profiles is None:
+            raise ValueError("task set cannot meet its PFH ceilings at all")
+        n_hi, n_lo = profiles.n_hi, profiles.n_lo
+        ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)  # type: ignore[union-attr]
+        if mechanism == "kill":
+            u_mc = u_mc_kill(taskset, n_hi, n_lo, n_prime)
+        else:
+            assert degradation_factor is not None
+            u_mc = u_mc_degrade(taskset, n_hi, n_lo, n_prime, degradation_factor)
+        pfh_lo = pfh_lo_adapted(
+            taskset, max(n_hi, n_prime), n_lo, n_prime, mechanism, operation_hours
+        )
     return (
         n_prime,
         u_mc,

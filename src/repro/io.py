@@ -47,6 +47,7 @@ __all__ = [
     "atomic_write_text",
     "atomic_write_json",
     "append_jsonl",
+    "JsonlAppender",
     "taskset_to_dict",
     "taskset_from_dict",
     "save_taskset",
@@ -116,13 +117,65 @@ def append_jsonl(path: str, record: Any) -> None:
     crash can at worst leave one torn *trailing* line — which tolerant
     readers (e.g. the campaign checkpoint loader) skip.
     """
-    line = json.dumps(record, separators=(",", ":"))
-    if "\n" in line:  # json never emits raw newlines, but fail loudly
-        raise ValueError("JSONL record serialised with an embedded newline")
+    line = _jsonl_line(record)
     with open(path, "a") as handle:
         handle.write(line + "\n")
         handle.flush()
         os.fsync(handle.fileno())
+
+
+def _jsonl_line(record: Any) -> str:
+    line = json.dumps(record, separators=(",", ":"))
+    if "\n" in line:  # json never emits raw newlines, but fail loudly
+        raise ValueError("JSONL record serialised with an embedded newline")
+    return line
+
+
+class JsonlAppender:
+    """Streaming JSONL appender for high-rate event streams (obs traces).
+
+    :func:`append_jsonl` pays one ``open`` + ``fsync`` per record — right
+    for checkpoints, far too slow for a trace emitting thousands of span
+    records.  This appender keeps the handle open, flushes each record to
+    the OS (so a crash tears at most the trailing line, which tolerant
+    loaders skip), and fsyncs once on :meth:`close`.
+
+    :meth:`abandon` exists for forked children: a campaign worker that
+    inherits the supervisor's open trace stream must neither write to it
+    nor flush/close it — abandoning simply drops the handle reference.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._handle = open(path, "a")
+
+    def write(self, record: Any) -> None:
+        """Append one record as a flushed JSONL line."""
+        if self._handle is None:
+            raise ValueError("appender is closed")
+        self._handle.write(_jsonl_line(record) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        """Flush, fsync and close the stream (idempotent)."""
+        if self._handle is None:
+            return
+        try:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        finally:
+            self._handle.close()
+            self._handle = None
+
+    def abandon(self) -> None:
+        """Drop the handle without flushing or closing (post-fork child)."""
+        self._handle = None
+
+    def __enter__(self) -> "JsonlAppender":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 def taskset_to_dict(taskset: TaskSet) -> dict[str, Any]:

@@ -20,6 +20,11 @@ FTMCC06  no raw epsilon literals inside :mod:`repro.analysis` outside the
          tolerance module — ad-hoc ``1e-9``/``1e-12`` comparisons are how
          the demand tests diverged in the first place; use the named
          constants and helpers of :mod:`repro.analysis.tolerance`
+FTMCC07  no direct clock reads (``time.time``/``time.monotonic``/
+         ``perf_counter`` and friends) inside ``analysis/``, ``sim/`` or
+         ``runner/`` — mixing wall and monotonic clocks is how the
+         supervisor once produced negative durations; go through
+         :mod:`repro.obs.clock` (``time.sleep`` stays allowed)
 ======== =====================================================================
 
 The pass is purely syntactic (:mod:`ast`), needs no third-party
@@ -58,6 +63,27 @@ _EPSILON_ALLOWED = ("analysis/tolerance.py",)
 #: tolerance rather than a model quantity (periods, budgets and
 #: probabilities used in the analyses are all far larger).
 _EPSILON_THRESHOLD = 1e-6
+
+#: Directories whose files must read clocks through ``repro.obs.clock``
+#: (FTMCC07); :mod:`repro.obs` and :mod:`repro.perf.bench` live outside
+#: them and keep their deliberate raw access.
+_CLOCK_SCOPED_DIRS = ("analysis", "sim", "runner")
+
+#: ``time.<attr>`` reads flagged by FTMCC07 (``time.sleep`` is not a read).
+_CLOCK_READS = frozenset({
+    "time", "time_ns", "monotonic", "monotonic_ns",
+    "perf_counter", "perf_counter_ns", "process_time", "process_time_ns",
+    "thread_time", "thread_time_ns", "clock_gettime", "clock_gettime_ns",
+})
+
+#: Bare names unambiguous enough to flag when called directly (i.e. after
+#: ``from time import perf_counter``).  ``time``/``monotonic`` alone are
+#: excluded: they collide with ``repro.obs.clock``'s own exports.
+_CLOCK_BARE_READS = frozenset({
+    "perf_counter", "perf_counter_ns", "monotonic_ns",
+    "process_time", "process_time_ns", "thread_time", "thread_time_ns",
+    "clock_gettime", "clock_gettime_ns",
+})
 
 _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
                      ast.SetComp)
@@ -115,11 +141,13 @@ class _Checker(ast.NodeVisitor):
         allow_print: bool,
         allow_write: bool = False,
         forbid_epsilon: bool = False,
+        forbid_clock: bool = False,
     ) -> None:
         self.filename = filename
         self.allow_print = allow_print
         self.allow_write = allow_write
         self.forbid_epsilon = forbid_epsilon
+        self.forbid_clock = forbid_clock
         self.diagnostics: list[Diagnostic] = []
 
     def _emit(self, code: str, line: int, message: str, suggestion: str) -> None:
@@ -188,7 +216,23 @@ class _Checker(ast.NodeVisitor):
             )
         self.generic_visit(node)
 
-    # FTMCC04 / FTMCC05 --------------------------------------------------------
+    # FTMCC07 ------------------------------------------------------------------
+
+    def _clock_read_name(self, node: ast.Call) -> str | None:
+        """The flagged clock identifier of a call, or ``None``."""
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "time"
+            and func.attr in _CLOCK_READS
+        ):
+            return f"time.{func.attr}"
+        if isinstance(func, ast.Name) and func.id in _CLOCK_BARE_READS:
+            return func.id
+        return None
+
+    # FTMCC04 / FTMCC05 / FTMCC07 ----------------------------------------------
 
     def visit_Call(self, node: ast.Call) -> None:
         if (
@@ -216,6 +260,17 @@ class _Checker(ast.NodeVisitor):
                     f"non-atomic file write (open mode {mode!r})",
                     "write through repro.io: atomic_write_text / "
                     "atomic_write_json / append_jsonl (crash-safe)",
+                )
+        if self.forbid_clock:
+            clock_read = self._clock_read_name(node)
+            if clock_read is not None:
+                self._emit(
+                    "FTMCC07",
+                    node.lineno,
+                    f"direct clock read {clock_read}() in a clock-disciplined "
+                    "module",
+                    "read clocks through repro.obs.clock (monotonic / "
+                    "monotonic_ns for durations, wall_time for timestamps)",
                 )
         self.generic_visit(node)
 
@@ -255,12 +310,17 @@ def _epsilon_forbidden(relpath: str) -> bool:
     return normalized.split("/")[0] == _EPSILON_SCOPED_DIR
 
 
+def _clock_forbidden(relpath: str) -> bool:
+    return relpath.replace(os.sep, "/").split("/")[0] in _CLOCK_SCOPED_DIRS
+
+
 def check_source(
     source: str,
     filename: str = "<string>",
     allow_print: bool = False,
     allow_write: bool = False,
     forbid_epsilon: bool = False,
+    forbid_clock: bool = False,
 ) -> list[Diagnostic]:
     """Run the code rules over one source string."""
     try:
@@ -274,7 +334,9 @@ def check_source(
                 f"syntax error: {exc.msg}",
             )
         ]
-    checker = _Checker(filename, allow_print, allow_write, forbid_epsilon)
+    checker = _Checker(
+        filename, allow_print, allow_write, forbid_epsilon, forbid_clock
+    )
     checker.visit(tree)
     return sorted(checker.diagnostics, key=lambda d: d.location)
 
@@ -305,6 +367,7 @@ def check_path(root: str) -> LintReport:
                     allow_print=_print_allowed(relpath),
                     allow_write=_write_allowed(relpath),
                     forbid_epsilon=_epsilon_forbidden(relpath),
+                    forbid_clock=_clock_forbidden(relpath),
                 )
             )
     return LintReport(diags)

@@ -1,0 +1,90 @@
+"""repro.obs — unified observability: metrics, tracing, clock discipline.
+
+The paper's pipeline (Lemma 4.1 conversion -> EDF-VD tests -> FT-S
+profile search -> campaign sweeps) is instrumented through this package
+so one can answer "where did the time go, how many QPA iterations ran,
+which shard's retries dominated" without ad-hoc prints:
+
+- :mod:`repro.obs.metrics` — a process-wide registry of counters,
+  gauges and histograms, **disabled by default** (every recording call
+  is a single boolean check when off, so the hot analysis paths carry
+  no measurable overhead and the ``ftmc bench`` speedup floors hold).
+  Enable programmatically (:func:`enable`), via the ``REPRO_OBS``
+  environment variable, or implicitly by opening a trace session.
+- :mod:`repro.obs.trace` — nestable spans (``with span("qpa", ...)``)
+  and point events emitting schema-versioned JSONL
+  (:data:`~repro.obs.trace.TRACE_SCHEMA`) through the crash-safe
+  appender of :mod:`repro.io`; the loader tolerates torn tails exactly
+  like the campaign checkpoint loader.
+- :mod:`repro.obs.clock` — the repository's only sanctioned clock
+  access inside ``analysis/``, ``sim/`` and ``runner/`` (lint rule
+  FTMCC07): monotonic readings for durations, wall readings for
+  ``created_unix``-style timestamps, never mixed.
+- :mod:`repro.obs.stats` — aggregation of a trace stream (or the live
+  registry) into the tables behind ``ftmc stats``.
+
+See ``docs/observability.md`` for the event schema, the metric catalog
+and the enable/overhead contract.
+"""
+
+from repro.obs import clock
+from repro.obs.metrics import (
+    OBS_ENV,
+    MetricsRegistry,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    inc,
+    observe,
+    registry,
+    timer,
+)
+from repro.obs.stats import (
+    STATS_SCHEMA,
+    aggregate_trace,
+    render_stats,
+    snapshot_stats,
+)
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    TraceLog,
+    TraceSession,
+    active_session,
+    check_trace,
+    event,
+    load_trace,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+
+__all__ = [
+    "OBS_ENV",
+    "STATS_SCHEMA",
+    "TRACE_SCHEMA",
+    "MetricsRegistry",
+    "TraceLog",
+    "TraceSession",
+    "active_session",
+    "aggregate_trace",
+    "check_trace",
+    "clock",
+    "disable",
+    "enable",
+    "enabled",
+    "event",
+    "gauge",
+    "inc",
+    "load_trace",
+    "observe",
+    "registry",
+    "render_stats",
+    "snapshot_stats",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "timer",
+    "tracing",
+]

@@ -1,0 +1,41 @@
+"""Clock discipline for the toolchain (lint rule FTMCC07).
+
+The supervisor historically stamped checkpoint manifests with wall-clock
+``time.time()`` while measuring watchdog deadlines with
+``time.monotonic()`` — two different clocks with two different failure
+modes, mixed ad hoc.  This module is the single sanctioned clock access
+for ``analysis/``, ``sim/`` and ``runner/`` (enforced by FTMCC07, see
+``docs/lint.md``), and it keeps the two jobs separate by name:
+
+- :func:`monotonic` / :func:`monotonic_ns` — **durations and
+  deadlines**.  Monotonic readings never jump backwards across NTP
+  adjustments, so span durations and watchdog budgets derived from them
+  are never negative.
+- :func:`wall_time` — **timestamps for humans** (``created_unix``
+  fields in manifests and trace headers).  Never subtract two wall
+  readings to get a duration.
+
+``repro.perf.bench`` keeps its direct ``time.perf_counter_ns`` access
+(it *is* a measurement harness and sits outside the scoped packages).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["monotonic", "monotonic_ns", "wall_time"]
+
+
+def monotonic() -> float:
+    """Monotonic seconds — for deadlines and coarse durations."""
+    return time.monotonic()
+
+
+def monotonic_ns() -> int:
+    """High-resolution monotonic nanoseconds — for span/timer durations."""
+    return time.perf_counter_ns()
+
+
+def wall_time() -> float:
+    """Wall-clock Unix seconds — for ``created_unix`` timestamps only."""
+    return time.time()

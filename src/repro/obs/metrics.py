@@ -1,0 +1,220 @@
+"""Process-wide metrics registry: counters, gauges, histograms, timers.
+
+Disabled by default with a zero-overhead no-op path: every module-level
+recording helper (:func:`inc`, :func:`gauge`, :func:`observe`,
+:func:`timer`) first checks one module-global boolean and returns
+immediately when observability is off.  The instrumented hot paths
+(QPA, the dbf-MC factor scan, the schedulability cache) therefore pay a
+single predictable branch per *call*, never per inner-loop iteration —
+the ``ftmc bench`` speedup floors are unaffected either way, since the
+optimized and reference variants carry the identical instrumentation.
+
+Enabling:
+
+- programmatically — :func:`enable` / :func:`disable`;
+- by environment — set ``REPRO_OBS`` to anything but ``""``/``"0"``
+  before the process starts (read once at import;
+  :func:`configure_from_env` re-reads it for tests);
+- implicitly — opening a trace session
+  (:func:`repro.obs.trace.start_tracing`) enables the registry so span
+  streams and metric snapshots stay consistent.
+
+The registry itself is thread-safe (one lock around every mutation) and
+deliberately simple: names are flat dotted strings (see the metric
+catalog in ``docs/observability.md``), histograms keep count/total/
+min/max rather than buckets — enough to answer "how many and how big"
+without a stats dependency.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Any, Mapping
+
+from repro.obs import clock
+
+__all__ = [
+    "OBS_ENV",
+    "Histogram",
+    "MetricsRegistry",
+    "configure_from_env",
+    "disable",
+    "enable",
+    "enabled",
+    "gauge",
+    "inc",
+    "observe",
+    "registry",
+    "timer",
+]
+
+#: Environment switch: any value but ``""``/``"0"`` enables the registry.
+OBS_ENV = "REPRO_OBS"
+
+
+class Histogram:
+    """Count/total/min/max summary of an observed value stream."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> dict[str, float]:
+        """JSON-serialisable summary (mean included for convenience)."""
+        if self.count == 0:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.total / self.count,
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe container for counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at 0)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to its latest ``value``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = Histogram()
+            histogram.observe(value)
+
+    def counter(self, name: str) -> int:
+        """Current value of a counter (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-serialisable snapshot of every metric, sorted by name."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": dict(sorted(self._gauges.items())),
+                "histograms": {
+                    name: histogram.snapshot()
+                    for name, histogram in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh trace sessions)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide registry every helper below records into.
+_registry = MetricsRegistry()
+
+#: Master switch — module-global so the disabled path is one LOAD_GLOBAL
+#: plus a branch.
+_enabled: bool = False
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide registry (always readable, even when disabled)."""
+    return _registry
+
+
+def enabled() -> bool:
+    """Whether recording helpers currently write into the registry."""
+    return _enabled
+
+
+def enable() -> None:
+    """Turn metric recording on for this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn metric recording off (the default)."""
+    global _enabled
+    _enabled = False
+
+
+def configure_from_env(environ: Mapping[str, str] | None = None) -> bool:
+    """Set the switch from :data:`OBS_ENV`; returns the resulting state."""
+    global _enabled
+    source = os.environ if environ is None else environ
+    _enabled = source.get(OBS_ENV, "") not in ("", "0")
+    return _enabled
+
+
+configure_from_env()
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Counter increment — no-op unless observability is enabled."""
+    if _enabled:
+        _registry.inc(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Gauge update — no-op unless observability is enabled."""
+    if _enabled:
+        _registry.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Histogram sample — no-op unless observability is enabled."""
+    if _enabled:
+        _registry.observe(name, value)
+
+
+class timer:
+    """``with timer("name"):`` — observe the block's duration in ns.
+
+    When disabled the context manager neither reads a clock nor touches
+    the registry.
+    """
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._start: int | None = None
+
+    def __enter__(self) -> "timer":
+        if _enabled:
+            self._start = clock.monotonic_ns()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._start is not None:
+            _registry.observe(self.name, clock.monotonic_ns() - self._start)
+            self._start = None

@@ -1,0 +1,177 @@
+"""Aggregation behind ``ftmc stats``: trace streams and live snapshots.
+
+Two sources, one output shape (:data:`STATS_SCHEMA`):
+
+- :func:`aggregate_trace` folds a loaded :class:`~repro.obs.trace.TraceLog`
+  into per-span-name duration statistics, per-event-name counts, and the
+  stream's final metrics snapshot;
+- :func:`snapshot_stats` wraps the live process registry in the same
+  shape (no spans — only a running process has those).
+
+:func:`render_stats` produces the terminal table; the CLI emits the raw
+dictionary under ``--format json``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import registry
+from repro.obs.trace import TraceLog
+
+__all__ = ["STATS_SCHEMA", "aggregate_trace", "render_stats", "snapshot_stats"]
+
+#: Format identifier for the aggregated output (text and JSON).
+STATS_SCHEMA = "ftmc-stats/1"
+
+
+def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
+    """Fold a trace into span/event/metrics summary statistics."""
+    names: dict[int, str] = {}
+    spans: dict[str, dict[str, Any]] = {}
+    open_spans = 0
+    for record in log.records:
+        kind = record.get("type")
+        if kind == "span-start":
+            span_id = record.get("id")
+            name = str(record.get("name"))
+            if isinstance(span_id, int):
+                names[span_id] = name
+                open_spans += 1
+            entry = spans.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "closed": 0,
+                    "errors": 0,
+                    "total_ns": 0,
+                    "min_ns": None,
+                    "max_ns": None,
+                },
+            )
+            entry["count"] += 1
+        elif kind == "span-end":
+            name = names.get(record.get("id"))  # type: ignore[arg-type]
+            if name is None:
+                continue
+            open_spans -= 1
+            entry = spans[name]
+            duration = record.get("dur_ns")
+            if isinstance(duration, int):
+                entry["closed"] += 1
+                entry["total_ns"] += duration
+                if entry["min_ns"] is None or duration < entry["min_ns"]:
+                    entry["min_ns"] = duration
+                if entry["max_ns"] is None or duration > entry["max_ns"]:
+                    entry["max_ns"] = duration
+            if record.get("error"):
+                entry["errors"] += 1
+    events: dict[str, int] = {}
+    for record in log.of_type("event"):
+        name = str(record.get("name"))
+        events[name] = events.get(name, 0) + 1
+    metrics_snapshot = log.final_metrics() or {
+        "counters": {},
+        "gauges": {},
+        "histograms": {},
+    }
+    return {
+        "schema": STATS_SCHEMA,
+        "source": source,
+        "spans": dict(sorted(spans.items())),
+        "open_spans": open_spans,
+        "events": dict(sorted(events.items())),
+        "metrics": metrics_snapshot,
+        "corrupt_lines": log.corrupt_lines,
+    }
+
+
+def snapshot_stats() -> dict[str, Any]:
+    """The live process registry in the aggregated-stats shape."""
+    return {
+        "schema": STATS_SCHEMA,
+        "source": None,
+        "spans": {},
+        "open_spans": 0,
+        "events": {},
+        "metrics": registry().snapshot(),
+        "corrupt_lines": 0,
+    }
+
+
+def _format_ns(value: float | int | None) -> str:
+    if value is None:
+        return "-"
+    ns = float(value)
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f}s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.1f}ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f}us"
+    return f"{ns:.0f}ns"
+
+
+def render_stats(stats: dict[str, Any]) -> str:
+    """Terminal table for an aggregated-stats dictionary."""
+    lines: list[str] = []
+    source = stats.get("source")
+    lines.append(
+        f"== ftmc stats — {source if source else 'process registry'} =="
+    )
+    spans = stats.get("spans", {})
+    if spans:
+        lines.append("")
+        lines.append(f"{'span':<24}{'count':>7}{'total':>10}{'mean':>10}"
+                     f"{'max':>10}{'errors':>8}")
+        lines.append("-" * 69)
+        for name, entry in spans.items():
+            closed = entry.get("closed", 0)
+            mean = entry["total_ns"] / closed if closed else None
+            lines.append(
+                f"{name:<24}{entry['count']:>7}"
+                f"{_format_ns(entry['total_ns'] if closed else None):>10}"
+                f"{_format_ns(mean):>10}"
+                f"{_format_ns(entry.get('max_ns')):>10}"
+                f"{entry.get('errors', 0):>8}"
+            )
+        if stats.get("open_spans"):
+            lines.append(f"(unclosed spans: {stats['open_spans']})")
+    events = stats.get("events", {})
+    if events:
+        lines.append("")
+        lines.append(f"{'event':<40}{'count':>7}")
+        lines.append("-" * 47)
+        for name, count in events.items():
+            lines.append(f"{name:<40}{count:>7}")
+    metrics_snapshot = stats.get("metrics", {})
+    counters = metrics_snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<40}{'value':>12}")
+        lines.append("-" * 52)
+        for name, value in counters.items():
+            lines.append(f"{name:<40}{value:>12}")
+    gauges = metrics_snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        lines.append(f"{'gauge':<40}{'value':>12}")
+        lines.append("-" * 52)
+        for name, value in gauges.items():
+            lines.append(f"{name:<40}{value:>12g}")
+    histograms = metrics_snapshot.get("histograms", {})
+    if histograms:
+        lines.append("")
+        lines.append(f"{'histogram':<34}{'count':>7}{'mean':>11}{'max':>11}")
+        lines.append("-" * 63)
+        for name, entry in histograms.items():
+            lines.append(
+                f"{name:<34}{entry.get('count', 0):>7}"
+                f"{entry.get('mean', 0.0):>11.1f}{entry.get('max', 0.0):>11.1f}"
+            )
+    if stats.get("corrupt_lines"):
+        lines.append("")
+        lines.append(f"skipped {stats['corrupt_lines']} torn line(s)")
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

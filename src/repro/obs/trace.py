@@ -1,0 +1,410 @@
+"""Structured tracing: nestable spans over schema-versioned JSONL.
+
+One trace file is one *session*: a ``header`` record followed by a
+stream of ``span-start`` / ``span-end`` / ``event`` records and a final
+``metrics`` snapshot, one JSON object per line (schema
+:data:`TRACE_SCHEMA`).  Timestamps are **monotonic nanoseconds relative
+to the session start** (``t_ns``), so durations are never negative
+across wall-clock adjustments; the header carries the one wall-clock
+reading (``created_unix``) for humans.  The exact record shapes are
+documented in ``docs/observability.md``.
+
+Writing goes through :class:`repro.io.JsonlAppender` (flush per record,
+fsync on close) — a crash can at worst tear the trailing line, and
+:func:`load_trace` skips-and-counts torn lines exactly like the
+campaign checkpoint loader.
+
+Usage::
+
+    with tracing("run.jsonl"):
+        with span("campaign", experiment="fig1"):
+            event("shard.retry", id="nprime-2", attempt=1)
+
+When no session is active (the default), :func:`span` and :func:`event`
+return immediately — library code can stay instrumented unconditionally.
+Span nesting is tracked with a :class:`contextvars.ContextVar`, so
+parent links stay correct across threads.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.obs import clock, metrics
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "RECORD_TYPES",
+    "TraceLog",
+    "TraceSession",
+    "active_session",
+    "check_trace",
+    "event",
+    "load_trace",
+    "reset_inherited_session",
+    "span",
+    "start_tracing",
+    "stop_tracing",
+    "tracing",
+]
+
+#: Schema identifier stamped into every trace header.
+TRACE_SCHEMA = "ftmc-obs/1"
+
+#: Every record type a well-formed trace may contain.
+RECORD_TYPES = frozenset(
+    {"header", "span-start", "span-end", "event", "metrics"}
+)
+
+#: The active session (process-global: one trace stream per process).
+_session: "TraceSession | None" = None
+
+#: Innermost open span id for the current context (thread/task local).
+_parent: contextvars.ContextVar[int | None] = contextvars.ContextVar(
+    "repro_obs_parent_span", default=None
+)
+
+
+class TraceSession:
+    """One open trace stream: allocates span ids, emits records."""
+
+    def __init__(self, path: str) -> None:
+        # Imported here, not at module level: the instrumented analysis
+        # modules import repro.obs, and repro.io (transitively) imports
+        # them back — deferring to session open breaks the cycle.
+        from repro.io import JsonlAppender
+
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.path = path
+        self._writer = JsonlAppender(path)
+        self._ids = itertools.count(1)
+        self._t0 = clock.monotonic_ns()
+        #: Whether the registry was already enabled when the session
+        #: opened (stop_tracing restores that state).
+        self._metrics_were_enabled = False
+        self.emit(
+            {
+                "schema": TRACE_SCHEMA,
+                "type": "header",
+                "created_unix": clock.wall_time(),
+            }
+        )
+
+    def now_ns(self) -> int:
+        """Monotonic nanoseconds since the session opened."""
+        return clock.monotonic_ns() - self._t0
+
+    def next_id(self) -> int:
+        return next(self._ids)
+
+    def emit(self, record: dict[str, Any]) -> None:
+        self._writer.write(record)
+
+    def close(self) -> None:
+        """Emit the final metrics snapshot and durably close the stream."""
+        self.emit(
+            {
+                "type": "metrics",
+                "t_ns": self.now_ns(),
+                "metrics": metrics.registry().snapshot(),
+            }
+        )
+        self._writer.close()
+
+    def abandon(self) -> None:
+        """Drop the stream without writing (forked child, see below)."""
+        self._writer.abandon()
+
+
+def active_session() -> TraceSession | None:
+    """The process's open trace session, if any."""
+    return _session
+
+
+def start_tracing(path: str) -> TraceSession:
+    """Open a trace session at ``path`` and enable the metrics registry.
+
+    The registry is reset so the session's final ``metrics`` record
+    describes exactly this session's work; the previous enabled state is
+    restored by :func:`stop_tracing`.
+    """
+    global _session
+    if _session is not None:
+        raise RuntimeError(f"a trace session is already active: {_session.path}")
+    session = TraceSession(path)
+    session._metrics_were_enabled = metrics.enabled()
+    metrics.registry().reset()
+    metrics.enable()
+    _session = session
+    return session
+
+
+def stop_tracing() -> None:
+    """Close the active session (no-op when none is open)."""
+    global _session
+    session = _session
+    if session is None:
+        return
+    _session = None
+    try:
+        session.close()
+    finally:
+        if not session._metrics_were_enabled:
+            metrics.disable()
+
+
+@contextmanager
+def tracing(path: str) -> Iterator[TraceSession]:
+    """``with tracing(path):`` — session scoped to the block."""
+    session = start_tracing(path)
+    try:
+        yield session
+    finally:
+        stop_tracing()
+
+
+def reset_inherited_session() -> None:
+    """Disarm a session inherited across ``fork`` (campaign workers).
+
+    The supervisor owns the trace stream; a forked worker that inherits
+    the open appender must neither write to it nor flush it on exit.
+    Workers call this first thing, making every subsequent
+    :func:`span`/:func:`event` in the child a no-op.
+    """
+    global _session
+    session = _session
+    if session is not None:
+        _session = None
+        session.abandon()
+
+
+@contextmanager
+def span(name: str, **attrs: Any) -> Iterator[int | None]:
+    """Nestable traced span; yields the span id (``None`` untraced).
+
+    Emits ``span-start`` on entry and ``span-end`` (with ``dur_ns`` and,
+    on an exception, ``error: true``) on exit.  Attributes must be
+    JSON-serialisable.
+    """
+    session = _session
+    if session is None:
+        yield None
+        return
+    span_id = session.next_id()
+    start_record: dict[str, Any] = {
+        "type": "span-start",
+        "id": span_id,
+        "t_ns": session.now_ns(),
+        "name": name,
+    }
+    parent = _parent.get()
+    if parent is not None:
+        start_record["parent"] = parent
+    if attrs:
+        start_record["attrs"] = attrs
+    session.emit(start_record)
+    token = _parent.set(span_id)
+    start_ns = clock.monotonic_ns()
+    error = False
+    try:
+        yield span_id
+    except BaseException:
+        error = True
+        raise
+    finally:
+        _parent.reset(token)
+        end_record: dict[str, Any] = {
+            "type": "span-end",
+            "id": span_id,
+            "t_ns": session.now_ns(),
+            "dur_ns": clock.monotonic_ns() - start_ns,
+        }
+        if error:
+            end_record["error"] = True
+        # The session may have been stopped inside the span (tests,
+        # interrupted CLIs); losing the end record is then acceptable —
+        # the loader treats it as an unclosed span.
+        if _session is session:
+            session.emit(end_record)
+
+
+def event(name: str, **attrs: Any) -> None:
+    """Point event attached to the innermost open span (no-op untraced)."""
+    session = _session
+    if session is None:
+        return
+    record: dict[str, Any] = {
+        "type": "event",
+        "t_ns": session.now_ns(),
+        "name": name,
+    }
+    parent = _parent.get()
+    if parent is not None:
+        record["span"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    session.emit(record)
+
+
+# -- loading and validation ----------------------------------------------------
+
+
+@dataclass
+class TraceLog:
+    """Everything recoverable from a trace file on disk."""
+
+    #: The session header (``None`` when the file never had one).
+    header: dict[str, Any] | None = None
+    #: Every well-formed non-header record, in file order.
+    records: list[dict[str, Any]] = field(default_factory=list)
+    #: Lines that did not parse as known records (torn writes).
+    corrupt_lines: int = 0
+
+    def of_type(self, record_type: str) -> list[dict[str, Any]]:
+        return [r for r in self.records if r.get("type") == record_type]
+
+    def span_starts(self, name: str | None = None) -> list[dict[str, Any]]:
+        starts = self.of_type("span-start")
+        if name is None:
+            return starts
+        return [r for r in starts if r.get("name") == name]
+
+    def final_metrics(self) -> dict[str, Any] | None:
+        """The last metrics snapshot in the stream, if any."""
+        snapshots = self.of_type("metrics")
+        return snapshots[-1]["metrics"] if snapshots else None
+
+
+def load_trace(path: str) -> TraceLog:
+    """Tolerantly read a trace back (skip-and-count torn lines)."""
+    log = TraceLog()
+    with open(path) as handle:
+        content = handle.read()
+    for line in content.split("\n"):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            log.corrupt_lines += 1
+            continue
+        if not isinstance(record, dict) or record.get("type") not in RECORD_TYPES:
+            log.corrupt_lines += 1
+            continue
+        if record["type"] == "header":
+            if log.header is None:
+                log.header = record
+            else:
+                log.corrupt_lines += 1
+        else:
+            log.records.append(record)
+    return log
+
+
+def _check_record(
+    record: dict[str, Any],
+    lineno: int,
+    open_spans: set[int],
+    seen_spans: set[int],
+    problems: list[str],
+) -> None:
+    kind = record.get("type")
+    if kind == "span-start":
+        span_id = record.get("id")
+        if not isinstance(span_id, int) or not isinstance(record.get("name"), str):
+            problems.append(f"line {lineno}: span-start needs int 'id' and str 'name'")
+            return
+        if span_id in seen_spans:
+            problems.append(f"line {lineno}: duplicate span id {span_id}")
+            return
+        parent = record.get("parent")
+        if parent is not None and parent not in open_spans:
+            problems.append(
+                f"line {lineno}: span {span_id} references unknown parent {parent}"
+            )
+        seen_spans.add(span_id)
+        open_spans.add(span_id)
+    elif kind == "span-end":
+        span_id = record.get("id")
+        if span_id not in open_spans:
+            problems.append(f"line {lineno}: span-end for unopened span {span_id!r}")
+            return
+        open_spans.discard(span_id)
+        if not isinstance(record.get("dur_ns"), int):
+            problems.append(f"line {lineno}: span-end {span_id} missing int 'dur_ns'")
+    elif kind == "event":
+        if not isinstance(record.get("name"), str):
+            problems.append(f"line {lineno}: event needs a str 'name'")
+        parent = record.get("span")
+        if parent is not None and parent not in seen_spans:
+            problems.append(f"line {lineno}: event references unknown span {parent}")
+    elif kind == "metrics":
+        if not isinstance(record.get("metrics"), dict):
+            problems.append(f"line {lineno}: metrics record missing 'metrics' object")
+
+
+def check_trace(path: str) -> list[str]:
+    """Validate a trace against the schema; returns human-readable problems.
+
+    An empty list means the file is a valid :data:`TRACE_SCHEMA` stream.
+    A torn *final* line (the one failure mode of a flushed appender) is
+    tolerated; garbage anywhere else is reported.  Spans left open (a
+    session killed mid-run) are tolerated — only structurally impossible
+    records (unknown types, dangling references, duplicate ids) fail.
+    """
+    with open(path) as handle:
+        lines = handle.read().split("\n")
+    while lines and not lines[-1].strip():
+        lines.pop()
+    problems: list[str] = []
+    open_spans: set[int] = set()
+    seen_spans: set[int] = set()
+    saw_header = False
+    for index, line in enumerate(lines):
+        lineno = index + 1
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                continue  # torn tail: the tolerated failure mode
+            problems.append(f"line {lineno}: unparseable JSON")
+            continue
+        if not isinstance(record, dict):
+            problems.append(f"line {lineno}: record is not an object")
+            continue
+        kind = record.get("type")
+        if kind not in RECORD_TYPES:
+            problems.append(f"line {lineno}: unknown record type {kind!r}")
+            continue
+        if not saw_header:
+            if kind != "header":
+                problems.append(f"line {lineno}: first record must be a header")
+            elif record.get("schema") != TRACE_SCHEMA:
+                problems.append(
+                    f"line {lineno}: schema {record.get('schema')!r} is not "
+                    f"{TRACE_SCHEMA!r}"
+                )
+            saw_header = True
+            if kind == "header":
+                continue
+        elif kind == "header":
+            problems.append(f"line {lineno}: duplicate header")
+            continue
+        if kind != "header" and "t_ns" in record and not isinstance(
+            record["t_ns"], int
+        ):
+            problems.append(f"line {lineno}: 't_ns' must be an integer")
+        _check_record(record, lineno, open_spans, seen_spans, problems)
+    if not saw_header:
+        problems.append("empty trace: no header record")
+    return problems

@@ -49,6 +49,9 @@ class ShardOutcome:
     recovered: bool = False
     #: True when the payload was restored from the checkpoint (--resume).
     resumed: bool = False
+    #: Monotonic wall-clock seconds spent on this shard across all
+    #: attempts (``None`` for resumed shards, which never ran here).
+    duration_s: float | None = None
 
     @property
     def completed(self) -> bool:
@@ -115,17 +118,26 @@ class CampaignReport:
             "resumed": len(self.resumed),
             "chaos_seed": self.chaos_seed,
             "corrupt_checkpoint_lines": self.corrupt_checkpoint_lines,
+            "executed_seconds": round(
+                sum(o.duration_s for o in self.outcomes if o.duration_s), 6
+            ),
             "retried_shards": [
                 {
                     "id": o.spec.id,
                     "attempts": o.attempts,
                     "recovered": o.recovered,
+                    "duration_s": o.duration_s,
                     "errors": list(o.errors),
                 }
                 for o in self.retried
             ],
             "failed_shards": [
-                {"id": o.spec.id, "attempts": o.attempts, "errors": list(o.errors)}
+                {
+                    "id": o.spec.id,
+                    "attempts": o.attempts,
+                    "duration_s": o.duration_s,
+                    "errors": list(o.errors),
+                }
                 for o in self.failed
             ],
         }

@@ -29,6 +29,9 @@ import time
 from typing import Any, Callable
 
 from repro.io import atomic_write_json
+from repro.obs import clock
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.runner.campaigns import CampaignDefinition, get_campaign
 from repro.runner.chaos import ChaosInjector
 from repro.runner.checkpoint import CampaignCheckpoint
@@ -124,10 +127,10 @@ class _Supervisor:
             raise CampaignInterrupted(self._signum)
 
     def _sleep(self, seconds: float) -> None:
-        deadline = time.monotonic() + seconds
-        while time.monotonic() < deadline:
+        deadline = clock.monotonic() + seconds
+        while clock.monotonic() < deadline:
             self._check_interrupted()
-            time.sleep(min(0.05, max(0.0, deadline - time.monotonic())))
+            time.sleep(min(0.05, max(0.0, deadline - clock.monotonic())))
         self._check_interrupted()
 
     # -- one worker attempt ----------------------------------------------------
@@ -150,7 +153,7 @@ class _Supervisor:
         )
         process.start()
         child_conn.close()
-        deadline = time.monotonic() + self.timeout
+        deadline = clock.monotonic() + self.timeout
         message: str | None = None
         try:
             while True:
@@ -161,8 +164,12 @@ class _Supervisor:
                 message = self._drain(parent_conn, message)
                 if not process.is_alive():
                     break
-                if time.monotonic() > deadline:
+                if clock.monotonic() > deadline:
                     self._kill(process)
+                    obs_metrics.inc("runner.timeouts")
+                    obs_trace.event(
+                        "shard.timeout", id=spec.id, budget_s=self.timeout
+                    )
                     return False, f"timed out after {self.timeout:g}s"
                 process.join(0.05)
             message = self._drain(parent_conn, message)
@@ -198,6 +205,14 @@ class _Supervisor:
     # -- shard lifecycle -------------------------------------------------------
 
     def run_shard(self, outcome: ShardOutcome) -> None:
+        started = clock.monotonic()
+        try:
+            with obs_trace.span("shard", id=outcome.spec.id):
+                self._run_shard_attempts(outcome)
+        finally:
+            outcome.duration_s = clock.monotonic() - started
+
+    def _run_shard_attempts(self, outcome: ShardOutcome) -> None:
         spec = outcome.spec
         for attempt in range(1, self.retry.attempts + 1):
             self._check_interrupted()
@@ -207,10 +222,13 @@ class _Supervisor:
             )
             if chaos_action is not None:
                 self.event(f"chaos: injecting {chaos_action} into shard {spec.id}")
-            ok, payload_or_error = self._run_attempt(spec, chaos_action)
+            obs_metrics.inc("runner.attempts")
+            with obs_trace.span("shard.attempt", id=spec.id, attempt=attempt):
+                ok, payload_or_error = self._run_attempt(spec, chaos_action)
             if ok:
                 outcome.status = COMPLETED
                 outcome.payload = payload_or_error
+                obs_metrics.inc("runner.shards.completed")
                 self.checkpoint.append_shard(
                     spec.id, spec.index, spec.seed, attempt, payload_or_error
                 )
@@ -226,7 +244,12 @@ class _Supervisor:
                 f"failed: {payload_or_error}"
             )
             if attempt < self.retry.attempts:
-                self._sleep(self.retry.delay(attempt, self._rng))
+                obs_metrics.inc("runner.retries")
+                obs_trace.event("shard.retry", id=spec.id, attempt=attempt)
+                delay = self.retry.delay(attempt, self._rng)
+                obs_trace.event("shard.backoff", id=spec.id, delay_s=delay)
+                self._sleep(delay)
+        obs_metrics.inc("runner.shards.failed")
         self.event(
             f"shard {spec.id} failed permanently after "
             f"{outcome.attempts} attempt(s); campaign degrades"
@@ -355,7 +378,7 @@ def run_campaign(
                     {"id": s.id, "index": s.index, "seed": s.seed}
                     for s in shards
                 ],
-                "created": time.time(),
+                "created_unix": clock.wall_time(),
             }
         )
 
@@ -376,24 +399,27 @@ def run_campaign(
                 signum, supervisor._note_signal
             )
     try:
-        for spec in shards:
-            outcome = ShardOutcome(spec=spec)
-            report.outcomes.append(outcome)
-            record = resumed_records.get(spec.id)
-            if record is not None:
-                outcome.status = COMPLETED
-                outcome.resumed = True
-                outcome.payload = record["payload"]
-                outcome.attempts = int(record.get("attempts", 1))
-                continue
-            supervisor.event(
-                f"shard {spec.id} ({len(report.outcomes)}/{len(shards)})"
+        with obs_trace.span(
+            "campaign", experiment=campaign.name, shards=len(shards)
+        ):
+            for spec in shards:
+                outcome = ShardOutcome(spec=spec)
+                report.outcomes.append(outcome)
+                record = resumed_records.get(spec.id)
+                if record is not None:
+                    outcome.status = COMPLETED
+                    outcome.resumed = True
+                    outcome.payload = record["payload"]
+                    outcome.attempts = int(record.get("attempts", 1))
+                    continue
+                supervisor.event(
+                    f"shard {spec.id} ({len(report.outcomes)}/{len(shards)})"
+                )
+                supervisor.run_shard(outcome)
+            report.corrupt_checkpoint_lines = supervisor.recover_torn_records(
+                report.outcomes
             )
-            supervisor.run_shard(outcome)
-        report.corrupt_checkpoint_lines = supervisor.recover_torn_records(
-            report.outcomes
-        )
-        supervisor.finalize(report)
+            supervisor.finalize(report)
     finally:
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)

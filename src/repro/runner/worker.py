@@ -20,6 +20,7 @@ import os
 import time
 from typing import Any, Mapping
 
+from repro.obs.trace import reset_inherited_session
 from repro.runner.chaos import CHAOS_CRASH_EXIT, CRASH, HANG
 
 __all__ = ["shard_worker", "DELAY_ENV"]
@@ -51,6 +52,9 @@ def shard_worker(
     """Execute one shard and send the JSON-encoded outcome over ``conn``."""
     from repro.runner.campaigns import get_campaign
 
+    # A forked worker inherits the supervisor's open trace stream; it
+    # must never write to (or flush) the parent's file descriptor.
+    reset_inherited_session()
     if delay > 0:
         time.sleep(delay)
     if chaos_action == CRASH:

@@ -5,12 +5,23 @@ records releases, execution segments, faults, completions, kills and the
 mode switch.  Useful for debugging schedules, for the examples, and for
 asserting fine-grained runtime behaviour in tests (e.g. "the LO job was
 preempted exactly at the HI release").
+
+When a :mod:`repro.obs` trace session is open, every recorded event is
+also forwarded as an obs ``event`` named ``sim.<kind>`` (e.g.
+``sim.mode-switch``) so simulator activity lands in the same JSONL
+stream as analysis and runner spans.  Forwarding is on by default and
+free when no session is active; pass ``forward=False`` to keep a
+recorder purely local.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 
 __all__ = ["TraceEventKind", "TraceEvent", "Segment", "TraceRecorder"]
 
@@ -34,6 +45,15 @@ class TraceEvent:
     #: Attempt index for execution-related events, 0 otherwise.
     attempt: int = 0
 
+    def to_record(self) -> dict[str, Any]:
+        """JSON-serialisable form (the enum becomes its string value)."""
+        return {
+            "kind": self.kind.value,
+            "task": self.task,
+            "time": self.time,
+            "attempt": self.attempt,
+        }
+
 
 @dataclass(frozen=True)
 class Segment:
@@ -52,14 +72,28 @@ class Segment:
 class TraceRecorder:
     """Accumulates events and processor segments during a run."""
 
-    def __init__(self) -> None:
+    def __init__(self, forward: bool = True) -> None:
         self.events: list[TraceEvent] = []
         self.segments: list[Segment] = []
+        #: Forward recorded events into an open obs trace session.
+        self.forward = forward
+
+    def _record(self, trace_event: TraceEvent) -> None:
+        self.events.append(trace_event)
+        if obs_metrics.enabled():  # guard: skip the name f-string when off
+            obs_metrics.inc(f"sim.events.{trace_event.kind.value}")
+        if self.forward and obs_trace.active_session() is not None:
+            obs_trace.event(
+                f"sim.{trace_event.kind.value}",
+                task=trace_event.task,
+                time=trace_event.time,
+                attempt=trace_event.attempt,
+            )
 
     # -- engine callbacks -----------------------------------------------------
 
     def on_release(self, task: str, time: float) -> None:
-        self.events.append(TraceEvent(time, TraceEventKind.RELEASE, task))
+        self._record(TraceEvent(time, TraceEventKind.RELEASE, task))
 
     def on_segment(self, task: str, start: float, end: float, attempt: int) -> None:
         if end <= start:
@@ -76,21 +110,19 @@ class TraceRecorder:
             self.segments.append(Segment(task, start, end, attempt))
 
     def on_fault(self, task: str, time: float, attempt: int) -> None:
-        self.events.append(TraceEvent(time, TraceEventKind.FAULT, task, attempt))
+        self._record(TraceEvent(time, TraceEventKind.FAULT, task, attempt))
 
     def on_attempt_ok(self, task: str, time: float, attempt: int) -> None:
-        self.events.append(
-            TraceEvent(time, TraceEventKind.ATTEMPT_OK, task, attempt)
-        )
+        self._record(TraceEvent(time, TraceEventKind.ATTEMPT_OK, task, attempt))
 
     def on_complete(self, task: str, time: float) -> None:
-        self.events.append(TraceEvent(time, TraceEventKind.COMPLETE, task))
+        self._record(TraceEvent(time, TraceEventKind.COMPLETE, task))
 
     def on_kill(self, task: str, time: float) -> None:
-        self.events.append(TraceEvent(time, TraceEventKind.KILL, task))
+        self._record(TraceEvent(time, TraceEventKind.KILL, task))
 
     def on_mode_switch(self, task: str, time: float) -> None:
-        self.events.append(TraceEvent(time, TraceEventKind.MODE_SWITCH, task))
+        self._record(TraceEvent(time, TraceEventKind.MODE_SWITCH, task))
 
     # -- queries ---------------------------------------------------------------
 

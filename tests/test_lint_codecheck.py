@@ -163,6 +163,42 @@ class TestEpsilonLiterals:
         assert location.replace("\\", "/") == "analysis/edf.py:1"
 
 
+class TestClockReads:
+    def test_ftmcc07_time_module_reads_flagged(self):
+        assert codes("t = time.time()", forbid_clock=True) == ["FTMCC07"]
+        assert codes("t = time.monotonic()", forbid_clock=True) == ["FTMCC07"]
+        assert codes("t = time.perf_counter_ns()", forbid_clock=True) == [
+            "FTMCC07"
+        ]
+
+    def test_ftmcc07_bare_imported_reads_flagged(self):
+        assert codes("t = perf_counter()", forbid_clock=True) == ["FTMCC07"]
+        assert codes("t = monotonic_ns()", forbid_clock=True) == ["FTMCC07"]
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert codes("time.sleep(0.1)", forbid_clock=True) == []
+
+    def test_obs_clock_is_the_sanctioned_path(self):
+        assert codes("t = clock.monotonic()", forbid_clock=True) == []
+        assert codes("stamp = clock.wall_time()", forbid_clock=True) == []
+
+    def test_rule_off_by_default(self):
+        assert codes("t = time.time()") == []
+
+    def test_only_disciplined_dirs_are_scoped_in_tree_walk(self, tmp_path):
+        runner = tmp_path / "runner"
+        runner.mkdir()
+        (runner / "supervisor.py").write_text("t = time.monotonic()\n")
+        obs = tmp_path / "obs"
+        obs.mkdir()
+        (obs / "clock.py").write_text("t = time.monotonic()\n")
+        (tmp_path / "perf.py").write_text("t = time.perf_counter()\n")
+        report = check_path(str(tmp_path))
+        assert [d.code for d in report] == ["FTMCC07"]
+        location = report.by_code("FTMCC07")[0].location
+        assert location.replace("\\", "/") == "runner/supervisor.py:1"
+
+
 class TestTreeWalk:
     def test_check_path_walks_and_reports(self, tmp_path):
         (tmp_path / "lib.py").write_text("def f(xs=[]):\n    pass\n")

@@ -1,0 +1,118 @@
+"""End-to-end observability: traced campaigns and the traced CLI.
+
+The acceptance property from docs/observability.md: in a traced chaos
+campaign, the number of ``shard`` spans equals the number of shards in
+the checkpoint manifest — every planned shard is observed exactly once,
+no matter how many crashes, hangs, and retries happened inside it.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.obs import check_trace, load_trace, metrics, tracing
+from repro.runner import RetryPolicy, run_campaign
+from repro.runner.checkpoint import CampaignCheckpoint
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    from repro.obs.trace import stop_tracing
+
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+    yield
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+
+
+class TestTracedChaosCampaign:
+    def test_shard_spans_match_the_manifest(self, tmp_path):
+        trace_path = str(tmp_path / "trace.jsonl")
+        out_dir = tmp_path / "out"
+        options = {"tables": ["table1", "table2", "table3", "table4"]}
+        with tracing(trace_path):
+            report = run_campaign(
+                "tables",
+                options=options,
+                output_dir=str(out_dir),
+                chaos_seed=7,
+                timeout=1.0,
+                retry=RetryPolicy(max_retries=2, base_delay=0.05, max_delay=0.2),
+            )
+        assert report.exit_code == 0
+
+        manifest = CampaignCheckpoint(
+            str(out_dir / "tables.checkpoint.jsonl")
+        ).load().manifest
+        assert manifest is not None
+
+        log = load_trace(trace_path)
+        # One "shard" span per planned shard, exactly — chaos retries
+        # show up as nested "shard.attempt" spans, never extra shards.
+        assert len(log.span_starts("shard")) == len(manifest["shards"])
+        assert len(log.span_starts("campaign")) == 1
+        attempts = log.span_starts("shard.attempt")
+        assert len(attempts) >= len(manifest["shards"])  # chaos forced retries
+
+        # The injected faults are visible as events and counters.
+        event_names = {r["name"] for r in log.of_type("event")}
+        assert "shard.retry" in event_names
+        counters = log.final_metrics()["counters"]
+        assert counters["runner.shards.completed"] == len(manifest["shards"])
+        assert counters["runner.retries"] >= 1
+        assert counters["runner.attempts"] == len(attempts)
+
+        # The stream survived the run schema-valid despite the chaos.
+        assert check_trace(trace_path) == []
+
+    def test_manifest_and_outcomes_use_disciplined_clocks(self, tmp_path):
+        out_dir = tmp_path / "out"
+        report = run_campaign(
+            "tables", options={"tables": ["table1"]}, output_dir=str(out_dir)
+        )
+        manifest = CampaignCheckpoint(
+            str(out_dir / "tables.checkpoint.jsonl")
+        ).load().manifest
+        assert manifest["created_unix"] > 1e9  # wall-clock stamp, for humans
+        [outcome] = report.outcomes
+        assert outcome.duration_s is not None
+        assert outcome.duration_s >= 0.0  # monotonic, never negative
+        coverage = report.coverage()
+        assert coverage["executed_seconds"] >= 0.0
+
+    def test_resumed_shards_have_no_duration(self, tmp_path):
+        options = {"tables": ["table1", "table2"]}
+        run_campaign("tables", options=options, output_dir=str(tmp_path / "o"))
+        report = run_campaign(
+            "tables", options=options, output_dir=str(tmp_path / "o"), resume=True
+        )
+        assert all(o.duration_s is None for o in report.outcomes if o.resumed)
+
+
+class TestTracedCli:
+    def test_trace_flag_wraps_the_verb_in_a_root_span(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "cli.jsonl")
+        assert main(["table2", "--trace", trace_path]) == 0
+        capsys.readouterr()  # the table itself is not under test
+        log = load_trace(trace_path)
+        [root] = log.span_starts("ftmc")
+        assert root["attrs"]["experiment"] == "table2"
+        assert "parent" not in root
+        assert check_trace(trace_path) == []
+
+    def test_trace_session_closes_even_on_failure(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "cli.jsonl")
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["stats", missing, "--trace", trace_path]) == 2
+        capsys.readouterr()
+        # The session was still closed cleanly: metrics record present.
+        assert load_trace(trace_path).final_metrics() is not None
+        assert check_trace(trace_path) == []
+
+    def test_unwritable_trace_path_exit_2(self, tmp_path, capsys):
+        target = tmp_path / "adir"
+        target.mkdir()
+        assert main(["table2", "--trace", str(target)]) == 2
+        assert "cannot write trace" in capsys.readouterr().err

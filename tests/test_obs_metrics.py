@@ -1,0 +1,133 @@
+"""Tests for the repro.obs metrics registry.
+
+The contract under test (docs/observability.md): recording is disabled
+by default and every helper is a no-op then; enabling routes helpers
+into the process-wide registry; ``REPRO_OBS`` semantics are "anything
+but empty/0"; the timer observes durations only when enabled.
+"""
+
+import pytest
+
+from repro.obs import metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    """Each test starts disabled with an empty registry, and leaves none."""
+    metrics.disable()
+    metrics.registry().reset()
+    yield
+    metrics.disable()
+    metrics.registry().reset()
+
+
+def empty_snapshot():
+    return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestDisabledDefault:
+    def test_disabled_helpers_record_nothing(self):
+        assert not metrics.enabled()
+        metrics.inc("a.counter")
+        metrics.inc("a.counter", 5)
+        metrics.gauge("a.gauge", 3.5)
+        metrics.observe("a.hist", 10.0)
+        assert metrics.registry().snapshot() == empty_snapshot()
+
+    def test_disabled_timer_records_nothing(self):
+        with metrics.timer("a.timer"):
+            pass
+        assert metrics.registry().snapshot() == empty_snapshot()
+
+    def test_registry_is_readable_while_disabled(self):
+        assert metrics.registry().counter("never.touched") == 0
+
+
+class TestEnableDisable:
+    def test_enable_routes_into_registry(self):
+        metrics.enable()
+        metrics.inc("a.counter")
+        metrics.inc("a.counter", 2)
+        metrics.gauge("a.gauge", 1.25)
+        metrics.observe("a.hist", 4.0)
+        snap = metrics.registry().snapshot()
+        assert snap["counters"] == {"a.counter": 3}
+        assert snap["gauges"] == {"a.gauge": 1.25}
+        assert snap["histograms"]["a.hist"]["count"] == 1
+
+    def test_disable_stops_recording(self):
+        metrics.enable()
+        metrics.inc("a.counter")
+        metrics.disable()
+        metrics.inc("a.counter")
+        assert metrics.registry().counter("a.counter") == 1
+
+    def test_gauge_keeps_latest_value(self):
+        metrics.enable()
+        metrics.gauge("g", 1.0)
+        metrics.gauge("g", -2.0)
+        assert metrics.registry().snapshot()["gauges"] == {"g": -2.0}
+
+    def test_timer_observes_nanoseconds(self):
+        metrics.enable()
+        with metrics.timer("t"):
+            pass
+        hist = metrics.registry().snapshot()["histograms"]["t"]
+        assert hist["count"] == 1
+        assert hist["min"] >= 0
+
+
+class TestConfigureFromEnv:
+    def test_unset_and_zero_disable(self):
+        assert metrics.configure_from_env({}) is False
+        assert metrics.configure_from_env({metrics.OBS_ENV: ""}) is False
+        assert metrics.configure_from_env({metrics.OBS_ENV: "0"}) is False
+
+    def test_any_other_value_enables(self):
+        assert metrics.configure_from_env({metrics.OBS_ENV: "1"}) is True
+        assert metrics.enabled()
+        assert metrics.configure_from_env({metrics.OBS_ENV: "yes"}) is True
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        hist = metrics.Histogram()
+        for value in (4.0, -1.0, 7.0):
+            hist.observe(value)
+        snap = hist.snapshot()
+        assert snap == {
+            "count": 3,
+            "total": 10.0,
+            "min": -1.0,
+            "max": 7.0,
+            "mean": 10.0 / 3,
+        }
+
+    def test_empty_snapshot_is_finite(self):
+        assert metrics.Histogram().snapshot() == {
+            "count": 0,
+            "total": 0.0,
+            "min": 0.0,
+            "max": 0.0,
+            "mean": 0.0,
+        }
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_is_sorted_and_json_shaped(self):
+        import json
+
+        metrics.enable()
+        metrics.inc("z.last")
+        metrics.inc("a.first")
+        snap = metrics.registry().snapshot()
+        assert list(snap["counters"]) == ["a.first", "z.last"]
+        json.dumps(snap)  # must be serialisable as-is
+
+    def test_reset_drops_everything(self):
+        metrics.enable()
+        metrics.inc("c")
+        metrics.gauge("g", 1.0)
+        metrics.observe("h", 2.0)
+        metrics.registry().reset()
+        assert metrics.registry().snapshot() == empty_snapshot()

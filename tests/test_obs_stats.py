@@ -1,0 +1,140 @@
+"""Tests for trace aggregation and the ``ftmc stats`` CLI verb.
+
+Exit-code contract: 0 for a valid aggregate/validation, 2 for an
+unreadable file or a schema-invalid trace (``--check``).  A torn final
+line is the tolerated failure mode and must not fail ``--check``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (
+    STATS_SCHEMA,
+    TRACE_SCHEMA,
+    aggregate_trace,
+    load_trace,
+    render_stats,
+    snapshot_stats,
+    span,
+    tracing,
+)
+from repro.obs import metrics, event
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    from repro.obs.trace import stop_tracing
+
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+    yield
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    """A small but representative trace: nested spans, events, metrics."""
+    path = str(tmp_path / "trace.jsonl")
+    with tracing(path):
+        with span("campaign", experiment="demo"):
+            for attempt in (1, 2):
+                with span("shard", id="s0"):
+                    event("shard.retry", attempt=attempt)
+            metrics.inc("runner.attempts", 2)
+            metrics.observe("batch.points", 64)
+    return path
+
+
+class TestAggregateTrace:
+    def test_shapes_and_counts(self, trace_file):
+        stats = aggregate_trace(load_trace(trace_file), source=trace_file)
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["source"] == trace_file
+        assert stats["spans"]["campaign"]["count"] == 1
+        assert stats["spans"]["shard"]["count"] == 2
+        assert stats["spans"]["shard"]["closed"] == 2
+        assert stats["spans"]["shard"]["min_ns"] <= stats["spans"]["shard"]["max_ns"]
+        assert stats["events"] == {"shard.retry": 2}
+        assert stats["metrics"]["counters"]["runner.attempts"] == 2
+        assert stats["metrics"]["histograms"]["batch.points"]["count"] == 1
+        assert stats["open_spans"] == 0
+        assert stats["corrupt_lines"] == 0
+
+    def test_unclosed_spans_counted(self, trace_file):
+        # Drop the final span-end lines to simulate a killed session.
+        with open(trace_file) as handle:
+            lines = [l for l in handle.read().splitlines() if l.strip()]
+        kept = [l for l in lines if json.loads(l).get("type") != "span-end"]
+        with open(trace_file, "w") as handle:
+            handle.write("\n".join(kept) + "\n")
+        stats = aggregate_trace(load_trace(trace_file))
+        assert stats["open_spans"] == 3
+        assert stats["spans"]["shard"]["closed"] == 0
+
+    def test_render_mentions_every_section(self, trace_file):
+        text = render_stats(aggregate_trace(load_trace(trace_file), source=trace_file))
+        for needle in ("campaign", "shard.retry", "runner.attempts", "batch.points"):
+            assert needle in text
+
+    def test_render_empty_snapshot(self):
+        assert "(no metrics recorded)" in render_stats(snapshot_stats())
+
+    def test_snapshot_stats_wraps_live_registry(self):
+        metrics.enable()
+        metrics.inc("live.counter")
+        stats = snapshot_stats()
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["source"] is None
+        assert stats["metrics"]["counters"] == {"live.counter": 1}
+
+
+class TestStatsCli:
+    def test_aggregate_exit_0(self, trace_file, capsys):
+        assert main(["stats", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert "ftmc stats" in out
+        assert "shard" in out
+
+    def test_json_format_parses(self, trace_file, capsys):
+        assert main(["stats", trace_file, "--format", "json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["schema"] == STATS_SCHEMA
+        assert stats["spans"]["shard"]["count"] == 2
+
+    def test_missing_file_exit_2(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == 2
+        assert "ftmc:" in capsys.readouterr().err
+
+    def test_live_snapshot_without_path(self, capsys):
+        assert main(["stats"]) == 0
+        assert "process registry" in capsys.readouterr().out
+
+    def test_check_valid_exit_0(self, trace_file, capsys):
+        assert main(["stats", "--check", trace_file]) == 0
+        assert f"valid {TRACE_SCHEMA} trace" in capsys.readouterr().out
+
+    def test_check_flag_after_positional(self, trace_file):
+        assert main(["stats", trace_file, "--check"]) == 0
+
+    def test_check_torn_tail_exit_0(self, trace_file):
+        with open(trace_file, "a") as handle:
+            handle.write('{"type": "span-start", "id":')
+        assert main(["stats", "--check", trace_file]) == 0
+
+    def test_check_corrupt_middle_exit_2(self, trace_file, capsys):
+        with open(trace_file) as handle:
+            lines = handle.read().splitlines()
+        lines.insert(2, "{torn mid-stream")
+        with open(trace_file, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        assert main(["stats", "--check", trace_file]) == 2
+        assert "unparseable" in capsys.readouterr().err
+
+    def test_check_without_path_exit_2(self, capsys):
+        assert main(["stats", "--check"]) == 2
+        assert "ftmc:" in capsys.readouterr().err

@@ -1,0 +1,267 @@
+"""Tests for repro.obs.trace: sessions, spans, loading, validation.
+
+The central property: any nested span tree written through the public
+API round-trips through the JSONL stream — every span start has a
+matching end with the right parent link, every event lands on the
+innermost open span, and ``check_trace`` accepts the file.  A torn
+final line (the one failure mode of a flushed appender) must be
+skipped-and-counted by the loader and tolerated by the validator.
+"""
+
+import os
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import metrics
+from repro.obs.trace import (
+    TRACE_SCHEMA,
+    active_session,
+    check_trace,
+    event,
+    load_trace,
+    reset_inherited_session,
+    span,
+    start_tracing,
+    stop_tracing,
+    tracing,
+)
+
+
+@pytest.fixture(autouse=True)
+def no_leftover_session():
+    """Never leak an open session (or enabled registry) across tests."""
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+    yield
+    stop_tracing()
+    metrics.disable()
+    metrics.registry().reset()
+
+
+names = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=1,
+    max_size=8,
+)
+
+#: Nested span trees: {"name": str, "events": [str], "children": [tree]}.
+span_trees = st.recursive(
+    st.builds(
+        lambda name, evts: {"name": name, "events": evts, "children": []},
+        names,
+        st.lists(names, max_size=2),
+    ),
+    lambda child: st.builds(
+        lambda name, evts, kids: {"name": name, "events": evts, "children": kids},
+        names,
+        st.lists(names, max_size=2),
+        st.lists(child, max_size=3),
+    ),
+    max_leaves=6,
+)
+
+
+def emit_tree(tree):
+    with span(tree["name"], depth_marker=True):
+        for event_name in tree["events"]:
+            event(event_name)
+        for child in tree["children"]:
+            emit_tree(child)
+
+
+def count_spans(tree):
+    return 1 + sum(count_spans(child) for child in tree["children"])
+
+
+def count_events(tree):
+    return len(tree["events"]) + sum(count_events(c) for c in tree["children"])
+
+
+class TestRoundTrip:
+    @given(st.lists(span_trees, min_size=1, max_size=3), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_span_forest_round_trips(self, forest, tear_tail):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "trace.jsonl")
+            with tracing(path):
+                metrics.inc("test.counter", 3)
+                for tree in forest:
+                    emit_tree(tree)
+            if tear_tail:
+                with open(path, "a") as handle:
+                    handle.write('{"type": "event", "name": "to')
+
+            log = load_trace(path)
+            expected_spans = sum(count_spans(t) for t in forest)
+            expected_events = sum(count_events(t) for t in forest)
+            starts = log.span_starts()
+            assert len(starts) == expected_spans
+            assert len(log.of_type("span-end")) == expected_spans
+            assert len(log.of_type("event")) == expected_events
+            assert log.corrupt_lines == (1 if tear_tail else 0)
+            assert log.header is not None
+            assert log.header["schema"] == TRACE_SCHEMA
+
+            # Parent links: every span except the forest roots has one,
+            # and it references an already-started span.
+            seen = set()
+            roots = 0
+            for record in log.records:
+                if record["type"] == "span-start":
+                    parent = record.get("parent")
+                    if parent is None:
+                        roots += 1
+                    else:
+                        assert parent in seen
+                    seen.add(record["id"])
+            assert roots == len(forest)
+
+            # The final metrics snapshot carries the session's counters.
+            assert log.final_metrics()["counters"]["test.counter"] == 3
+
+            # Torn tails are the tolerated failure mode.
+            assert check_trace(path) == []
+
+    def test_span_names_and_attrs_survive(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            with span("outer", experiment="fig1"):
+                event("milestone", shard="nprime-2")
+        log = load_trace(path)
+        [start] = log.span_starts("outer")
+        assert start["attrs"]["experiment"] == "fig1"
+        [evt] = log.of_type("event")
+        assert evt["attrs"] == {"shard": "nprime-2"}
+        assert evt["span"] == start["id"]
+
+    def test_error_spans_are_flagged(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        [end] = load_trace(path).of_type("span-end")
+        assert end["error"] is True
+        assert check_trace(path) == []
+
+
+class TestDisabledPath:
+    def test_span_and_event_are_noops_without_session(self, tmp_path):
+        assert active_session() is None
+        with span("nothing") as span_id:
+            assert span_id is None
+            event("nothing.either")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_session_lifecycle_and_nesting_refusal(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        session = start_tracing(path)
+        assert active_session() is session
+        with pytest.raises(RuntimeError, match="already active"):
+            start_tracing(str(tmp_path / "other.jsonl"))
+        stop_tracing()
+        assert active_session() is None
+        stop_tracing()  # idempotent
+
+    def test_stop_tracing_restores_metrics_state(self, tmp_path):
+        assert not metrics.enabled()
+        with tracing(str(tmp_path / "a.jsonl")):
+            assert metrics.enabled()
+        assert not metrics.enabled()
+
+        metrics.enable()
+        with tracing(str(tmp_path / "b.jsonl")):
+            assert metrics.enabled()
+        assert metrics.enabled()
+
+    def test_session_creates_parent_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "t.jsonl")
+        with tracing(path):
+            pass
+        assert check_trace(path) == []
+
+    def test_reset_inherited_session_disarms_tracing(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        start_tracing(path)
+        reset_inherited_session()
+        assert active_session() is None
+        with span("after.fork"):
+            event("ignored")
+        # Nothing past the header was written (the stream was abandoned).
+        log = load_trace(path)
+        assert log.span_starts() == []
+        assert log.of_type("event") == []
+
+
+class TestCheckTrace:
+    def write(self, tmp_path, lines):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        return path
+
+    HEADER = f'{{"schema": "{TRACE_SCHEMA}", "type": "header", "created_unix": 1.0}}'
+
+    def test_missing_header_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            ['{"type": "event", "t_ns": 1, "name": "e"}', '{"type": "metrics", "t_ns": 2, "metrics": {}}'],
+        )
+        assert any("header" in p for p in check_trace(path))
+
+    def test_wrong_schema_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path, ['{"schema": "ftmc-obs/99", "type": "header"}']
+        )
+        assert any("ftmc-obs/1" in p for p in check_trace(path))
+
+    def test_unknown_record_type_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path, [self.HEADER, '{"type": "mystery", "t_ns": 1}']
+        )
+        assert any("unknown record type" in p for p in check_trace(path))
+
+    def test_span_end_without_start_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path, [self.HEADER, '{"type": "span-end", "id": 9, "t_ns": 1, "dur_ns": 1}']
+        )
+        assert any("unopened span" in p for p in check_trace(path))
+
+    def test_duplicate_span_id_is_reported(self, tmp_path):
+        start = '{"type": "span-start", "id": 1, "t_ns": 1, "name": "s"}'
+        path = self.write(tmp_path, [self.HEADER, start, start])
+        assert any("duplicate span id" in p for p in check_trace(path))
+
+    def test_dangling_parent_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            [self.HEADER, '{"type": "span-start", "id": 1, "t_ns": 1, "name": "s", "parent": 42}'],
+        )
+        assert any("unknown parent" in p for p in check_trace(path))
+
+    def test_garbage_in_the_middle_is_reported(self, tmp_path):
+        path = self.write(
+            tmp_path, [self.HEADER, "{torn", '{"type": "metrics", "t_ns": 1, "metrics": {}}']
+        )
+        assert any("unparseable" in p for p in check_trace(path))
+
+    def test_unclosed_spans_are_tolerated(self, tmp_path):
+        path = self.write(
+            tmp_path,
+            [self.HEADER, '{"type": "span-start", "id": 1, "t_ns": 1, "name": "killed"}'],
+        )
+        assert check_trace(path) == []
+
+    def test_empty_file_is_reported(self, tmp_path):
+        path = self.write(tmp_path, [""])
+        assert any("empty trace" in p for p in check_trace(path))
+
+    def test_loader_skips_duplicate_headers(self, tmp_path):
+        path = self.write(tmp_path, [self.HEADER, self.HEADER])
+        log = load_trace(path)
+        assert log.corrupt_lines == 1
+        assert any("duplicate header" in p for p in check_trace(path))
