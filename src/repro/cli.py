@@ -26,6 +26,7 @@ one-line diagnostic and a nonzero exit, never a traceback.
 Fault-tolerant campaigns (see ``docs/robustness.md``)::
 
     ftmc campaign fig2                   # sharded, checkpointed run
+    ftmc campaign fig2 --jobs 4          # same results, 4 workers at once
     ftmc campaign fig2 --resume          # continue after a crash/kill
     ftmc campaign fig1 --chaos 42        # self-test under fault injection
     ftmc campaign fig3 --timeout 600 --max-retries 4 --sets 100
@@ -171,6 +172,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 120, or 5 under --chaos)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="campaign: run up to N shard workers concurrently "
+             "(default min(cpu_count, 4); 1 = serial; results are "
+             "byte-identical for every N)",
+    )
+    parser.add_argument(
         "--max-retries", type=int, default=2, metavar="K",
         help="campaign: re-executions allowed per failed shard (default 2)",
     )
@@ -308,6 +315,8 @@ def _run_campaign(args: argparse.Namespace) -> int:
         )
     if args.max_retries < 0:
         return _fail(f"--max-retries must be >= 0, got {args.max_retries}")
+    if args.jobs is not None and args.jobs < 1:
+        return _fail(f"--jobs must be >= 1, got {args.jobs}")
     base_delay = args.retry_delay
     if base_delay is None:
         base_delay = 0.1 if args.chaos is not None else 0.5
@@ -333,6 +342,7 @@ def _run_campaign(args: argparse.Namespace) -> int:
                 max_delay=max(30.0, base_delay),
             ),
             on_event=lambda message: print(f"[campaign {target}] {message}"),
+            jobs=args.jobs,
         )
     except CampaignInterrupted as interrupt:
         print(

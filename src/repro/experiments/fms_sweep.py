@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import math
 
+from repro.analysis.tolerance import utilization_exceeds
 from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
 from repro.core.profiles import minimal_reexecution_profiles, pfh_lo_adapted
 from repro.experiments.ascii_chart import line_chart
@@ -125,7 +126,7 @@ def sweep_point(
     return (
         n_prime,
         u_mc,
-        u_mc <= 1.0 + 1e-12,
+        not utilization_exceeds(u_mc, 1.0),
         pfh_lo,
         math.log10(pfh_lo) if pfh_lo > 0 else -math.inf,
         pfh_lo < ceiling,

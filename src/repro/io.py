@@ -116,10 +116,22 @@ def append_jsonl(path: str, record: Any) -> None:
     is a single self-contained line followed by a flush + fsync, so a
     crash can at worst leave one torn *trailing* line — which tolerant
     readers (e.g. the campaign checkpoint loader) skip.
+
+    A previous crash can leave the file *without* a trailing newline;
+    appending straight after it would glue this record onto the torn
+    fragment and lose both lines.  The appender therefore starts a fresh
+    line when the file does not end in a newline — the fragment stays a
+    self-contained corrupt line for the loader to skip-and-count, and
+    the new record survives.
     """
     line = _jsonl_line(record)
-    with open(path, "a") as handle:
-        handle.write(line + "\n")
+    with open(path, "a+b") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() > 0:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) != b"\n":
+                handle.write(b"\n")
+        handle.write((line + "\n").encode("utf-8"))
         handle.flush()
         os.fsync(handle.fileno())
 

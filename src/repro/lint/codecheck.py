@@ -16,10 +16,11 @@ FTMCC05  no bare write-mode ``open(...)`` outside :mod:`repro.io` —
          results and checkpoints must go through the crash-safe writers
          (``atomic_write_text``/``atomic_write_json``/``append_jsonl``)
          so a kill can never leave a torn artifact
-FTMCC06  no raw epsilon literals inside :mod:`repro.analysis` outside the
-         tolerance module — ad-hoc ``1e-9``/``1e-12`` comparisons are how
-         the demand tests diverged in the first place; use the named
-         constants and helpers of :mod:`repro.analysis.tolerance`
+FTMCC06  no raw epsilon literals inside :mod:`repro.analysis` or
+         :mod:`repro.experiments` outside the tolerance module — ad-hoc
+         ``1e-9``/``1e-12`` comparisons are how the demand tests (and
+         later the sweep's ``u_mc`` feasibility column) diverged; use the
+         named constants and helpers of :mod:`repro.analysis.tolerance`
 FTMCC07  no direct clock reads (``time.time``/``time.monotonic``/
          ``perf_counter`` and friends) inside ``analysis/``, ``sim/`` or
          ``runner/`` — mixing wall and monotonic clocks is how the
@@ -54,9 +55,9 @@ _WRITE_ALLOWED = ("io.py",)
 #: ``open()`` mode characters implying a write (FTMCC05).
 _WRITE_MODE_CHARS = frozenset("wax+")
 
-#: Directory whose files must not carry their own epsilons (FTMCC06) and
-#: the single file inside it that owns them.
-_EPSILON_SCOPED_DIR = "analysis"
+#: Directories whose files must not carry their own epsilons (FTMCC06)
+#: and the single file that owns them.
+_EPSILON_SCOPED_DIRS = ("analysis", "experiments")
 _EPSILON_ALLOWED = ("analysis/tolerance.py",)
 
 #: A float literal of at most this magnitude is assumed to be a numeric
@@ -285,7 +286,8 @@ class _Checker(ast.NodeVisitor):
             self._emit(
                 "FTMCC06",
                 node.lineno,
-                f"raw epsilon literal {node.value!r} in an analysis module",
+                f"raw epsilon literal {node.value!r} in an epsilon-scoped "
+                "module",
                 "use the named tolerances and comparison helpers of "
                 "repro.analysis.tolerance (REL_EPS, exceeds, floor_div, ...)",
             )
@@ -307,7 +309,7 @@ def _epsilon_forbidden(relpath: str) -> bool:
     normalized = relpath.replace(os.sep, "/")
     if normalized in _EPSILON_ALLOWED:
         return False
-    return normalized.split("/")[0] == _EPSILON_SCOPED_DIR
+    return normalized.split("/")[0] in _EPSILON_SCOPED_DIRS
 
 
 def _clock_forbidden(relpath: str) -> bool:

@@ -48,12 +48,14 @@ from repro.obs.stats import (
 )
 from repro.obs.trace import (
     TRACE_SCHEMA,
+    SpanHandle,
     TraceLog,
     TraceSession,
     active_session,
     check_trace,
     event,
     load_trace,
+    open_span,
     span,
     start_tracing,
     stop_tracing,
@@ -65,6 +67,7 @@ __all__ = [
     "STATS_SCHEMA",
     "TRACE_SCHEMA",
     "MetricsRegistry",
+    "SpanHandle",
     "TraceLog",
     "TraceSession",
     "active_session",
@@ -79,6 +82,7 @@ __all__ = [
     "inc",
     "load_trace",
     "observe",
+    "open_span",
     "registry",
     "render_stats",
     "snapshot_stats",

@@ -26,9 +26,17 @@ STATS_SCHEMA = "ftmc-stats/1"
 
 
 def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
-    """Fold a trace into span/event/metrics summary statistics."""
+    """Fold a trace into span/event/metrics summary statistics.
+
+    Spans carrying an integer ``slot`` attribute (the campaign runner
+    stamps its ``shard``/``shard.attempt`` spans with their worker-pool
+    slot) additionally feed a per-slot occupancy table under ``pool``,
+    so a ``--jobs N`` run shows how evenly the pool was loaded.
+    """
     names: dict[int, str] = {}
     spans: dict[str, dict[str, Any]] = {}
+    slot_of: dict[int, int] = {}
+    pool: dict[int, dict[str, Any]] = {}
     open_spans = 0
     for record in log.records:
         kind = record.get("type")
@@ -38,6 +46,13 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
             if isinstance(span_id, int):
                 names[span_id] = name
                 open_spans += 1
+                slot = record.get("attrs", {}).get("slot")
+                # Occupancy counts the outer shard span only — attempt
+                # spans nest inside it and would double-book the slot.
+                if isinstance(slot, int) and name == "shard":
+                    slot_of[span_id] = slot
+                    pool.setdefault(slot, {"spans": 0, "busy_ns": 0})
+                    pool[slot]["spans"] += 1
             entry = spans.setdefault(
                 name,
                 {
@@ -66,6 +81,9 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
                     entry["max_ns"] = duration
             if record.get("error"):
                 entry["errors"] += 1
+            slot = slot_of.get(record.get("id"))  # type: ignore[arg-type]
+            if slot is not None and isinstance(duration, int):
+                pool[slot]["busy_ns"] += duration
     events: dict[str, int] = {}
     for record in log.of_type("event"):
         name = str(record.get("name"))
@@ -80,6 +98,7 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
         "source": source,
         "spans": dict(sorted(spans.items())),
         "open_spans": open_spans,
+        "pool": {str(slot): pool[slot] for slot in sorted(pool)},
         "events": dict(sorted(events.items())),
         "metrics": metrics_snapshot,
         "corrupt_lines": log.corrupt_lines,
@@ -93,6 +112,7 @@ def snapshot_stats() -> dict[str, Any]:
         "source": None,
         "spans": {},
         "open_spans": 0,
+        "pool": {},
         "events": {},
         "metrics": registry().snapshot(),
         "corrupt_lines": 0,
@@ -137,6 +157,17 @@ def render_stats(stats: dict[str, Any]) -> str:
             )
         if stats.get("open_spans"):
             lines.append(f"(unclosed spans: {stats['open_spans']})")
+    pool = stats.get("pool", {})
+    if pool:
+        lines.append("")
+        lines.append(f"{'pool slot':<12}{'shards':>8}{'busy':>10}")
+        lines.append("-" * 30)
+        for slot, entry in pool.items():
+            busy = entry.get("busy_ns", 0)
+            lines.append(
+                f"{slot:<12}{entry.get('spans', 0):>8}"
+                f"{_format_ns(busy if busy else None):>10}"
+            )
     events = stats.get("events", {})
     if events:
         lines.append("")

@@ -41,12 +41,14 @@ from repro.obs import clock, metrics
 __all__ = [
     "TRACE_SCHEMA",
     "RECORD_TYPES",
+    "SpanHandle",
     "TraceLog",
     "TraceSession",
     "active_session",
     "check_trace",
     "event",
     "load_trace",
+    "open_span",
     "reset_inherited_session",
     "span",
     "start_tracing",
@@ -236,8 +238,14 @@ def span(name: str, **attrs: Any) -> Iterator[int | None]:
             session.emit(end_record)
 
 
-def event(name: str, **attrs: Any) -> None:
-    """Point event attached to the innermost open span (no-op untraced)."""
+def event(name: str, *, span_id: int | None = None, **attrs: Any) -> None:
+    """Point event attached to a span (no-op untraced).
+
+    Attaches to the innermost open span of the calling context unless
+    ``span_id`` names one explicitly — concurrent structures (the
+    campaign pool) manage overlapping spans by handle, outside the
+    contextvar nesting.
+    """
     session = _session
     if session is None:
         return
@@ -246,12 +254,75 @@ def event(name: str, **attrs: Any) -> None:
         "t_ns": session.now_ns(),
         "name": name,
     }
-    parent = _parent.get()
+    parent = span_id if span_id is not None else _parent.get()
     if parent is not None:
         record["span"] = parent
     if attrs:
         record["attrs"] = attrs
     session.emit(record)
+
+
+class SpanHandle:
+    """A manually managed span (see :func:`open_span`)."""
+
+    __slots__ = ("span_id", "_session", "_start_ns", "_closed")
+
+    def __init__(self, session: TraceSession, span_id: int, start_ns: int) -> None:
+        self.span_id = span_id
+        self._session = session
+        self._start_ns = start_ns
+        self._closed = False
+
+    def end(self, error: bool = False) -> None:
+        """Emit the ``span-end`` record (idempotent; safe after stop)."""
+        if self._closed:
+            return
+        self._closed = True
+        session = self._session
+        record: dict[str, Any] = {
+            "type": "span-end",
+            "id": self.span_id,
+            "t_ns": session.now_ns(),
+            "dur_ns": clock.monotonic_ns() - self._start_ns,
+        }
+        if error:
+            record["error"] = True
+        # Skip the write when the session was stopped underneath us —
+        # the loader treats the span as unclosed, same as `span`.
+        if _session is session:
+            session.emit(record)
+
+
+def open_span(
+    name: str, *, parent: int | None = None, **attrs: Any
+) -> SpanHandle | None:
+    """Open a span without entering it; returns a handle (``None`` untraced).
+
+    Unlike the :func:`span` context manager this does **not** touch the
+    contextvar nesting: it exists for schedulers whose spans overlap in
+    one thread (N campaign shards in flight at once), where lexical
+    nesting cannot express the lifetimes.  ``parent`` defaults to the
+    innermost open contextvar span; pass another span's id to parent
+    explicitly.  The caller must call :meth:`SpanHandle.end`.
+    """
+    session = _session
+    if session is None:
+        return None
+    span_id = session.next_id()
+    record: dict[str, Any] = {
+        "type": "span-start",
+        "id": span_id,
+        "t_ns": session.now_ns(),
+        "name": name,
+    }
+    if parent is None:
+        parent = _parent.get()
+    if parent is not None:
+        record["parent"] = parent
+    if attrs:
+        record["attrs"] = attrs
+    session.emit(record)
+    return SpanHandle(session, span_id, clock.monotonic_ns())
 
 
 # -- loading and validation ----------------------------------------------------

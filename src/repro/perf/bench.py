@@ -8,9 +8,10 @@ escape hatch users have.  Three kinds of numbers are recorded:
 
 - **kernels**: ns/op of the individual demand-bound primitives
   (``demand_bound_function``, ``dbf_batch``, the PDC, QPA);
-- **end_to_end**: wall-clock of ``dbf_mc_analyse`` and of a Fig. 3
+- **end_to_end**: wall-clock of ``dbf_mc_analyse``, of a Fig. 3
   acceptance-ratio point / the Fig. 1 sweep — the paths the experiment
-  campaigns actually spend their time in;
+  campaigns actually spend their time in — and of a full campaign run
+  at ``--jobs 1`` versus ``--jobs 4`` (the worker-pool speedup);
 - **speedups**: optimized over reference, with the regression floors of
   :data:`SPEEDUP_FLOORS` enforced by the ``ftmc bench`` exit code.
 
@@ -30,6 +31,7 @@ codes.
 from __future__ import annotations
 
 import os
+import tempfile
 import time
 from contextlib import contextmanager
 from typing import Callable, Iterator
@@ -55,6 +57,7 @@ from repro.experiments.fig3 import FIG3_PANELS, fig3_point
 from repro.gen.taskset import GeneratorConfig, generate_taskset
 from repro.io import atomic_write_json
 from repro.model.criticality import DualCriticalitySpec
+from repro.runner.supervisor import run_campaign
 
 __all__ = [
     "MIN_TIME_ENV",
@@ -78,6 +81,7 @@ MIN_TIME_ENV: str = "FTMC_BENCH_MIN_TIME_MS"
 SPEEDUP_FLOORS: dict[str, float] = {
     "dbf_mc_analyse": 3.0,
     "fig3_point": 2.0,
+    "campaign_jobs4": 2.0,
 }
 
 
@@ -254,6 +258,38 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
     report["end_to_end"]["fig1_sweep"] = _measure(
         _fresh(lambda: run_fig1()), budget
     )
+
+    # --- end-to-end: the campaign runner's worker pool ------------------
+    # A single timed run per pool width (the adaptive loop would rerun a
+    # multi-second campaign many times over).  The per-worker shard delay
+    # makes the shards' wall-clock dominate fork/checkpoint overhead, so
+    # the ratio isolates the pool's concurrency win; results are
+    # byte-identical across jobs, which run_campaign's own tests pin.
+    delay = 0.1 if quick else 0.25
+
+    def timed_campaign(jobs: int) -> int:
+        with tempfile.TemporaryDirectory() as tmp:
+            start = time.perf_counter_ns()
+            run_campaign(
+                "tables", output_dir=tmp, jobs=jobs, shard_delay=delay
+            )
+            return time.perf_counter_ns() - start
+
+    serial_ns = timed_campaign(1)
+    pool_ns = timed_campaign(4)
+    report["end_to_end"]["campaign_jobs1"] = {
+        "ns_per_op": float(serial_ns),
+        "ops": 1,
+        "total_ms": serial_ns / 1e6,
+        "shard_delay_s": delay,
+    }
+    report["end_to_end"]["campaign_jobs4"] = {
+        "ns_per_op": float(pool_ns),
+        "ops": 1,
+        "total_ms": pool_ns / 1e6,
+        "shard_delay_s": delay,
+    }
+    report["speedups"]["campaign_jobs4"] = serial_ns / pool_ns
 
     report["cache"] = schedulability_cache_info()
     if numpy_active:

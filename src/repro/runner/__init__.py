@@ -1,8 +1,10 @@
 """Fault-tolerant campaign runner (``ftmc campaign <experiment>``).
 
 Applies the paper's own fault-tolerance recipe to the experiment
-harness: deterministic seeded shards, per-shard watchdogs, bounded
-retry with exponential backoff (the harness's re-execution profile),
+harness: deterministic seeded shards executed on a bounded worker pool
+(``--jobs N``, byte-identical results for every N), per-shard
+watchdogs, bounded retry with non-blocking exponential backoff (the
+harness's re-execution profile),
 crash-safe JSONL checkpointing with exact ``--resume``, graceful
 degradation with explicit coverage accounting, and a chaos mode that
 injects worker crashes, hangs, and torn checkpoints to test the runner
@@ -19,12 +21,19 @@ from repro.runner.campaigns import (
 from repro.runner.chaos import ChaosInjector
 from repro.runner.checkpoint import CampaignCheckpoint, CheckpointState
 from repro.runner.retry import RetryPolicy
-from repro.runner.shards import CampaignReport, ShardOutcome, ShardSpec
+from repro.runner.shards import (
+    CampaignReport,
+    ShardOutcome,
+    ShardRun,
+    ShardSpec,
+    backoff_rng,
+)
 from repro.runner.supervisor import (
     CHAOS_TIMEOUT,
     DEFAULT_TIMEOUT,
     CampaignConfigError,
     CampaignInterrupted,
+    default_jobs,
     run_campaign,
 )
 
@@ -40,10 +49,13 @@ __all__ = [
     "RetryPolicy",
     "CampaignReport",
     "ShardOutcome",
+    "ShardRun",
     "ShardSpec",
+    "backoff_rng",
     "CHAOS_TIMEOUT",
     "DEFAULT_TIMEOUT",
     "CampaignConfigError",
     "CampaignInterrupted",
+    "default_jobs",
     "run_campaign",
 ]

@@ -55,13 +55,17 @@ class RetryPolicy:
     def delay(self, attempt: int, rng: random.Random | None = None) -> float:
         """Backoff before retry number ``attempt`` (1-based).
 
-        ``delay = min(base * factor^(attempt-1), max) * (1 + jitter*u)``
-        with ``u`` uniform in ``[-1, 1]`` from ``rng`` (no jitter when
-        ``rng`` is ``None``).
+        ``delay = min(min(base * factor^(attempt-1), max) * (1 + jitter*u),
+        max)`` with ``u`` uniform in ``[-1, 1]`` from ``rng`` (no jitter
+        when ``rng`` is ``None``).  ``max_delay`` caps the *jittered*
+        value, so no schedule ever waits longer than ``max_delay``.
         """
         if attempt < 1:
             raise ValueError(f"attempt must be >= 1, got {attempt}")
         delay = min(self.base_delay * self.factor ** (attempt - 1), self.max_delay)
         if rng is not None and self.jitter > 0.0:
-            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            delay = min(
+                delay * (1.0 + self.jitter * (2.0 * rng.random() - 1.0)),
+                self.max_delay,
+            )
         return delay

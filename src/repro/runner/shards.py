@@ -8,10 +8,12 @@ retried after a crash, and checkpointed independently.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-__all__ = ["ShardSpec", "ShardOutcome", "CampaignReport"]
+__all__ = ["ShardSpec", "ShardOutcome", "ShardRun", "CampaignReport",
+           "backoff_rng"]
 
 #: Outcome states for :class:`ShardOutcome.status`.
 COMPLETED = "completed"
@@ -61,6 +63,68 @@ class ShardOutcome:
     def retried(self) -> bool:
         """Whether fault tolerance did any work for this shard."""
         return self.attempts > 1 or self.recovered
+
+
+def backoff_rng(spec: ShardSpec) -> random.Random:
+    """The shard's private backoff-jitter stream.
+
+    Each shard draws its retry jitter from its own generator, seeded
+    purely by the shard's identity — never from a stream shared across
+    shards.  A shared stream would make every delay schedule depend on
+    the order in which *other* shards happened to fail, which under a
+    concurrent pool is completion order: non-deterministic.  With a
+    per-shard stream the schedule for shard *i* is a pure function of
+    the plan, whatever ``--jobs`` is.
+    """
+    return random.Random(spec.seed * 1_000_003 + spec.index)
+
+
+@dataclass
+class ShardRun:
+    """Scheduler-side execution state for one shard (the state machine).
+
+    The supervisor's pool loop keeps up to ``--jobs`` of these *live* at
+    once.  A run is **waiting** until its first attempt starts, then
+    alternates between **running** (a worker process is alive, watched
+    against ``deadline``) and **backing off** (``process is None`` and
+    the next attempt may not start before ``ready_at``, a monotonic
+    timestamp — the non-blocking replacement for sleeping the whole
+    supervisor).  A live run holds its pool ``slot`` across retries, so
+    ``--jobs 1`` reproduces the serial scheduler's exact ordering.
+    """
+
+    outcome: ShardOutcome
+    #: Per-shard jitter stream (see :func:`backoff_rng`).
+    rng: random.Random
+    #: Pool slot this shard occupies while live (``None`` before start).
+    slot: int | None = None
+    #: Worker process / supervisor end of the result pipe, while running.
+    process: Any = None
+    conn: Any = None
+    #: Monotonic watchdog deadline for the running attempt.
+    deadline: float = 0.0
+    #: Monotonic instant before which the next attempt must not start.
+    ready_at: float = 0.0
+    #: Last message drained from the pipe during this attempt.
+    message: str | None = None
+    #: Monotonic start of the first attempt (feeds ``duration_s``).
+    started_monotonic: float | None = None
+    #: Open obs span handles (``None`` when untraced).
+    span: Any = None
+    attempt_span: Any = None
+
+    @property
+    def spec(self) -> ShardSpec:
+        return self.outcome.spec
+
+    @property
+    def running(self) -> bool:
+        """Whether a worker process is currently attached."""
+        return self.process is not None
+
+    @property
+    def started(self) -> bool:
+        return self.started_monotonic is not None
 
 
 @dataclass

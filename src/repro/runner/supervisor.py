@@ -1,4 +1,4 @@
-"""The campaign supervisor: watchdogs, retries, checkpoints, recovery.
+"""The campaign supervisor: worker pool, watchdogs, retries, checkpoints.
 
 :func:`run_campaign` drives a sharded experiment to completion the way
 the paper drives a fault-tolerant task set: every shard runs in an
@@ -9,8 +9,24 @@ checkpointed; and when a shard exhausts its budget the campaign
 *degrades gracefully* — it finalises the shards that did complete and
 reports exact coverage instead of crashing.
 
-Interruption contract: on SIGINT/SIGTERM the supervisor kills the active
-worker, leaves the checkpoint in place, and raises
+Shards execute on a bounded pool of up to ``jobs`` concurrent worker
+processes (default :func:`default_jobs`; ``jobs=1`` reproduces the
+serial scheduler exactly).  The scheduler is a single-threaded loop
+over per-shard state machines (:class:`~repro.runner.shards.ShardRun`):
+each live shard owns its pipe, its watchdog deadline, and its
+retry/backoff state, and backoff is *non-blocking* — a per-shard
+"ready at" monotonic timestamp instead of sleeping the supervisor, so
+one shard's backoff never stalls the rest of the pool.
+
+Determinism contract: checkpoint shard records may land in completion
+order, but every shard's payload is a pure function of its spec, and
+backoff jitter draws from a per-shard stream
+(:func:`~repro.runner.shards.backoff_rng`) rather than a shared one —
+so result and coverage files are byte-identical across ``jobs`` values
+(timing fields aside), across ``--resume``, and under ``--chaos``.
+
+Interruption contract: on SIGINT/SIGTERM the supervisor kills **all**
+live workers, leaves the checkpoint in place, and raises
 :class:`CampaignInterrupted` (CLI exit code ``128 + signum``: 130 for
 SIGINT, 143 for SIGTERM).  ``--resume`` then skips every checkpointed
 shard and — because payloads always round-trip through JSON — finalises
@@ -22,7 +38,6 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
-import random
 import signal
 import threading
 import time
@@ -40,12 +55,15 @@ from repro.runner.shards import (
     COMPLETED,
     CampaignReport,
     ShardOutcome,
+    ShardRun,
     ShardSpec,
+    backoff_rng,
 )
 from repro.runner.worker import configured_delay, shard_worker
 
 __all__ = [
     "run_campaign",
+    "default_jobs",
     "CampaignInterrupted",
     "CampaignConfigError",
     "DEFAULT_TIMEOUT",
@@ -57,7 +75,15 @@ DEFAULT_TIMEOUT = 120.0
 #: Watchdog budget under chaos, where hangs are injected on purpose.
 CHAOS_TIMEOUT = 5.0
 
+#: Scheduler sweep interval (seconds) when no shard made progress.
+_POLL_TICK = 0.02
+
 EventHook = Callable[[str], None]
+
+
+def default_jobs() -> int:
+    """The default worker-pool width: ``min(os.cpu_count(), 4)``."""
+    return max(1, min(os.cpu_count() or 1, 4))
 
 
 class CampaignInterrupted(RuntimeError):
@@ -86,6 +112,10 @@ def _context() -> multiprocessing.context.BaseContext:
     return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
+def _span_id(handle: Any) -> int | None:
+    return handle.span_id if handle is not None else None
+
+
 class _Supervisor:
     def __init__(
         self,
@@ -97,6 +127,7 @@ class _Supervisor:
         chaos: ChaosInjector | None,
         on_event: EventHook | None,
         shard_delay: float,
+        jobs: int,
     ) -> None:
         self.campaign = campaign
         self.options = options
@@ -105,10 +136,12 @@ class _Supervisor:
         self.retry = retry
         self.chaos = chaos
         self.shard_delay = shard_delay
+        self.jobs = jobs
         self._on_event = on_event
         self._ctx = _context()
-        self._rng = random.Random(int(options.get("seed", 0)))
         self._signum: int | None = None
+        self._planned = 0
+        self._started_count = 0
         self.checkpoint = CampaignCheckpoint(
             os.path.join(output_dir, f"{campaign.name}.checkpoint.jsonl")
         )
@@ -126,19 +159,80 @@ class _Supervisor:
         if self._signum is not None:
             raise CampaignInterrupted(self._signum)
 
-    def _sleep(self, seconds: float) -> None:
-        deadline = clock.monotonic() + seconds
-        while clock.monotonic() < deadline:
-            self._check_interrupted()
-            time.sleep(min(0.05, max(0.0, deadline - clock.monotonic())))
-        self._check_interrupted()
+    # -- the pool scheduler ----------------------------------------------------
 
-    # -- one worker attempt ----------------------------------------------------
+    def run_shards(self, outcomes: list[ShardOutcome]) -> None:
+        """Drive every non-resumed shard to completion, ``jobs`` at a time.
 
-    def _run_attempt(
-        self, spec: ShardSpec, chaos_action: str | None
-    ) -> tuple[bool, Any]:
-        """Execute one attempt; returns ``(ok, payload-or-error-text)``."""
+        Single-threaded scheduler over per-shard state machines: each
+        iteration fills free pool slots with waiting shards (plan
+        order), then sweeps the live shards — reaping finished workers,
+        enforcing watchdog deadlines, and starting the next attempt of
+        any shard whose backoff ``ready_at`` has passed.  A live shard
+        holds its slot across retries, so ``jobs=1`` reproduces the
+        serial scheduler's exact ordering.  On interruption (or any
+        supervisor-level error) every live worker is killed before the
+        exception propagates.
+        """
+        self._planned = len(outcomes)
+        waiting = [
+            ShardRun(outcome=o, rng=backoff_rng(o.spec))
+            for o in outcomes
+            if not o.resumed
+        ]
+        live: list[ShardRun] = []
+        # pop() must yield the lowest free slot, so keep them descending.
+        free_slots = list(range(self.jobs - 1, -1, -1))
+        try:
+            while waiting or live:
+                self._check_interrupted()
+                progressed = False
+                while waiting and free_slots:
+                    run = waiting.pop(0)
+                    run.slot = free_slots.pop()
+                    live.append(run)
+                    self._start_attempt(run)
+                    progressed = True
+                now = clock.monotonic()
+                for run in list(live):
+                    if run.running:
+                        progressed |= self._poll_running(run, live, free_slots)
+                    elif now >= run.ready_at:
+                        self._start_attempt(run)
+                        progressed = True
+                if not progressed:
+                    time.sleep(_POLL_TICK)
+        except BaseException:
+            self._kill_live(live)
+            raise
+
+    def _start_attempt(self, run: ShardRun) -> None:
+        """Launch the next worker attempt for a live shard."""
+        spec = run.spec
+        attempt = run.outcome.attempts + 1
+        run.outcome.attempts = attempt
+        if not run.started:
+            run.started_monotonic = clock.monotonic()
+            self._started_count += 1
+            suffix = f", slot {run.slot}" if self.jobs > 1 else ""
+            self.event(
+                f"shard {spec.id} ({self._started_count}/{self._planned}"
+                f"{suffix})"
+            )
+            run.span = obs_trace.open_span("shard", id=spec.id, slot=run.slot)
+        chaos_action = (
+            self.chaos.worker_action(spec.id, attempt) if self.chaos else None
+        )
+        if chaos_action is not None:
+            self.event(f"chaos: injecting {chaos_action} into shard {spec.id}")
+        obs_metrics.inc("runner.attempts")
+        run.attempt_span = obs_trace.open_span(
+            "shard.attempt",
+            parent=_span_id(run.span),
+            id=spec.id,
+            attempt=attempt,
+            slot=run.slot,
+        )
         parent_conn, child_conn = self._ctx.Pipe(duplex=False)
         process = self._ctx.Process(
             target=shard_worker,
@@ -153,37 +247,152 @@ class _Supervisor:
         )
         process.start()
         child_conn.close()
-        deadline = clock.monotonic() + self.timeout
-        message: str | None = None
-        try:
-            while True:
-                if self._signum is not None:
-                    self._kill(process)
-                    raise CampaignInterrupted(self._signum)
-                # Drain early so a large payload cannot deadlock the pipe.
-                message = self._drain(parent_conn, message)
-                if not process.is_alive():
-                    break
-                if clock.monotonic() > deadline:
-                    self._kill(process)
-                    obs_metrics.inc("runner.timeouts")
-                    obs_trace.event(
-                        "shard.timeout", id=spec.id, budget_s=self.timeout
-                    )
-                    return False, f"timed out after {self.timeout:g}s"
-                process.join(0.05)
-            message = self._drain(parent_conn, message)
-            process.join()
-            if process.exitcode != 0:
-                return False, f"worker crashed (exit {process.exitcode})"
-            if message is None:
-                return False, "worker exited without a result"
-            outcome = json.loads(message)
-            if not outcome.get("ok"):
+        run.process = process
+        run.conn = parent_conn
+        run.message = None
+        run.deadline = clock.monotonic() + self.timeout
+
+    def _poll_running(
+        self, run: ShardRun, live: list[ShardRun], free_slots: list[int]
+    ) -> bool:
+        """One watchdog/reap sweep over a running shard; True on progress."""
+        run.message = self._drain(run.conn, run.message)
+        process = run.process
+        if process.is_alive():
+            if clock.monotonic() > run.deadline:
+                self._kill(process)
+                obs_metrics.inc("runner.timeouts")
+                obs_trace.event(
+                    "shard.timeout",
+                    span_id=_span_id(run.attempt_span),
+                    id=run.spec.id,
+                    budget_s=self.timeout,
+                )
+                self._close_attempt(run)
+                self._attempt_failed(
+                    run, live, free_slots,
+                    f"timed out after {self.timeout:g}s",
+                )
+                return True
+            return False
+        # The worker exited: drain the pipe's tail, then judge the attempt.
+        run.message = self._drain(run.conn, run.message)
+        process.join()
+        ok, payload_or_error = self._judge(run.message, process.exitcode)
+        self._close_attempt(run)
+        if ok:
+            self._complete(run, live, free_slots, payload_or_error)
+        else:
+            self._attempt_failed(run, live, free_slots, payload_or_error)
+        return True
+
+    @staticmethod
+    def _judge(message: str | None, exitcode: int | None) -> tuple[bool, Any]:
+        """Grade a finished attempt from its pipe message and exit code.
+
+        A received ok-payload wins over a nonzero exit code: a worker
+        that delivered ``{"ok": true}`` and then died in interpreter
+        teardown did the work, and discarding its result would burn a
+        retry re-deriving a payload the supervisor already holds.
+        """
+        if message is not None:
+            try:
+                outcome = json.loads(message)
+            except ValueError:
+                outcome = None
+            if isinstance(outcome, dict):
+                if outcome.get("ok"):
+                    return True, outcome["payload"]
                 return False, f"shard raised: {outcome.get('error', 'unknown')}"
-            return True, outcome["payload"]
-        finally:
-            parent_conn.close()
+        if exitcode != 0:
+            return False, f"worker crashed (exit {exitcode})"
+        return False, "worker exited without a result"
+
+    def _close_attempt(self, run: ShardRun) -> None:
+        """Detach the worker process/pipe and close the attempt span."""
+        run.conn.close()
+        run.conn = None
+        run.process = None
+        if run.attempt_span is not None:
+            run.attempt_span.end()
+            run.attempt_span = None
+
+    def _complete(
+        self, run: ShardRun, live: list[ShardRun], free_slots: list[int],
+        payload: Any,
+    ) -> None:
+        spec = run.spec
+        outcome = run.outcome
+        outcome.status = COMPLETED
+        outcome.payload = payload
+        obs_metrics.inc("runner.shards.completed")
+        self.checkpoint.append_shard(
+            spec.id, spec.index, spec.seed, outcome.attempts, payload
+        )
+        if self.chaos and self.chaos.should_truncate_after(spec.id):
+            if ChaosInjector.truncate_checkpoint(self.checkpoint.path):
+                self.event(f"chaos: tore the checkpoint after shard {spec.id}")
+        self._retire(run, live, free_slots)
+
+    def _attempt_failed(
+        self, run: ShardRun, live: list[ShardRun], free_slots: list[int],
+        error: Any,
+    ) -> None:
+        spec = run.spec
+        outcome = run.outcome
+        outcome.errors.append(str(error))
+        self.event(
+            f"shard {spec.id} attempt {outcome.attempts}/{self.retry.attempts} "
+            f"failed: {error}"
+        )
+        if outcome.attempts < self.retry.attempts:
+            obs_metrics.inc("runner.retries")
+            obs_trace.event(
+                "shard.retry",
+                span_id=_span_id(run.span),
+                id=spec.id,
+                attempt=outcome.attempts,
+            )
+            delay = self.retry.delay(outcome.attempts, run.rng)
+            obs_trace.event(
+                "shard.backoff",
+                span_id=_span_id(run.span),
+                id=spec.id,
+                delay_s=delay,
+            )
+            # Non-blocking backoff: the shard stays live in its slot and
+            # the scheduler simply will not restart it before ready_at.
+            run.ready_at = clock.monotonic() + delay
+            return
+        obs_metrics.inc("runner.shards.failed")
+        self.event(
+            f"shard {spec.id} failed permanently after "
+            f"{outcome.attempts} attempt(s); campaign degrades"
+        )
+        self._retire(run, live, free_slots)
+
+    def _retire(
+        self, run: ShardRun, live: list[ShardRun], free_slots: list[int]
+    ) -> None:
+        """Close out a finished shard and return its slot to the pool."""
+        if run.started_monotonic is not None:
+            run.outcome.duration_s = clock.monotonic() - run.started_monotonic
+        if run.span is not None:
+            run.span.end()
+            run.span = None
+        live.remove(run)
+        free_slots.append(run.slot)  # type: ignore[arg-type]
+        free_slots.sort(reverse=True)
+
+    def _kill_live(self, live: list[ShardRun]) -> None:
+        """Kill every live worker (interrupt/error path)."""
+        for run in live:
+            if run.process is not None:
+                self._kill(run.process)
+                run.process = None
+            if run.conn is not None:
+                run.conn.close()
+                run.conn = None
 
     @staticmethod
     def _drain(conn: Any, message: str | None) -> str | None:
@@ -201,59 +410,6 @@ class _Supervisor:
         if process.is_alive():
             process.kill()
             process.join()
-
-    # -- shard lifecycle -------------------------------------------------------
-
-    def run_shard(self, outcome: ShardOutcome) -> None:
-        started = clock.monotonic()
-        try:
-            with obs_trace.span("shard", id=outcome.spec.id):
-                self._run_shard_attempts(outcome)
-        finally:
-            outcome.duration_s = clock.monotonic() - started
-
-    def _run_shard_attempts(self, outcome: ShardOutcome) -> None:
-        spec = outcome.spec
-        for attempt in range(1, self.retry.attempts + 1):
-            self._check_interrupted()
-            outcome.attempts = attempt
-            chaos_action = (
-                self.chaos.worker_action(spec.id, attempt) if self.chaos else None
-            )
-            if chaos_action is not None:
-                self.event(f"chaos: injecting {chaos_action} into shard {spec.id}")
-            obs_metrics.inc("runner.attempts")
-            with obs_trace.span("shard.attempt", id=spec.id, attempt=attempt):
-                ok, payload_or_error = self._run_attempt(spec, chaos_action)
-            if ok:
-                outcome.status = COMPLETED
-                outcome.payload = payload_or_error
-                obs_metrics.inc("runner.shards.completed")
-                self.checkpoint.append_shard(
-                    spec.id, spec.index, spec.seed, attempt, payload_or_error
-                )
-                if self.chaos and self.chaos.should_truncate_after(spec.id):
-                    if ChaosInjector.truncate_checkpoint(self.checkpoint.path):
-                        self.event(
-                            f"chaos: tore the checkpoint after shard {spec.id}"
-                        )
-                return
-            outcome.errors.append(str(payload_or_error))
-            self.event(
-                f"shard {spec.id} attempt {attempt}/{self.retry.attempts} "
-                f"failed: {payload_or_error}"
-            )
-            if attempt < self.retry.attempts:
-                obs_metrics.inc("runner.retries")
-                obs_trace.event("shard.retry", id=spec.id, attempt=attempt)
-                delay = self.retry.delay(attempt, self._rng)
-                obs_trace.event("shard.backoff", id=spec.id, delay_s=delay)
-                self._sleep(delay)
-        obs_metrics.inc("runner.shards.failed")
-        self.event(
-            f"shard {spec.id} failed permanently after "
-            f"{outcome.attempts} attempt(s); campaign degrades"
-        )
 
     # -- recovery and finalisation ---------------------------------------------
 
@@ -331,14 +487,17 @@ def run_campaign(
     retry: RetryPolicy | None = None,
     on_event: EventHook | None = None,
     shard_delay: float | None = None,
+    jobs: int | None = None,
 ) -> CampaignReport:
     """Run (or resume) a fault-tolerant experiment campaign.
 
-    See the module docstring for the execution model and
-    ``docs/robustness.md`` for the full contract.  Raises
-    :class:`CampaignInterrupted` on SIGINT/SIGTERM and
-    :class:`CampaignConfigError` on unusable configuration; any other
-    shard-level failure degrades the campaign instead of raising.
+    ``jobs`` bounds the worker pool (default :func:`default_jobs`;
+    ``1`` preserves the serial scheduler exactly).  See the module
+    docstring for the execution model and ``docs/robustness.md`` for the
+    full contract.  Raises :class:`CampaignInterrupted` on
+    SIGINT/SIGTERM and :class:`CampaignConfigError` on unusable
+    configuration; any other shard-level failure degrades the campaign
+    instead of raising.
     """
     campaign = get_campaign(experiment)
     if options is None:
@@ -352,6 +511,10 @@ def run_campaign(
         retry = RetryPolicy(base_delay=0.1) if chaos_seed is not None else RetryPolicy()
     if shard_delay is None:
         shard_delay = configured_delay()
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs < 1:
+        raise CampaignConfigError(f"jobs must be >= 1, got {jobs}")
 
     shards = campaign.plan(options)
     if not shards:
@@ -363,7 +526,7 @@ def run_campaign(
     chaos = ChaosInjector(chaos_seed, ids) if chaos_seed is not None else None
     supervisor = _Supervisor(
         campaign, options, output_dir, timeout, retry, chaos, on_event,
-        shard_delay,
+        shard_delay, jobs,
     )
 
     resumed_records: dict[str, dict[str, Any]] = {}
@@ -400,7 +563,7 @@ def run_campaign(
             )
     try:
         with obs_trace.span(
-            "campaign", experiment=campaign.name, shards=len(shards)
+            "campaign", experiment=campaign.name, shards=len(shards), jobs=jobs
         ):
             for spec in shards:
                 outcome = ShardOutcome(spec=spec)
@@ -411,11 +574,7 @@ def run_campaign(
                     outcome.resumed = True
                     outcome.payload = record["payload"]
                     outcome.attempts = int(record.get("attempts", 1))
-                    continue
-                supervisor.event(
-                    f"shard {spec.id} ({len(report.outcomes)}/{len(shards)})"
-                )
-                supervisor.run_shard(outcome)
+            supervisor.run_shards(report.outcomes)
             report.corrupt_checkpoint_lines = supervisor.recover_torn_records(
                 report.outcomes
             )

@@ -221,6 +221,29 @@ class TestAtomicWriters:
         assert json.loads(lines[0]) == {"shard": "a", "n": 1}
         assert json.loads(lines[1]) == {"shard": "b", "n": 2}
 
+    def test_append_jsonl_after_torn_tail_starts_fresh_line(self, tmp_path):
+        """A record appended after a torn line must not glue onto it.
+
+        Regression: the campaign's chaos truncation tears the trailing
+        checkpoint line; the next completed shard's record used to be
+        appended straight onto the fragment, corrupting both.
+        """
+        import os
+
+        from repro.io import append_jsonl
+
+        path = tmp_path / "log.jsonl"
+        append_jsonl(str(path), {"shard": "a"})
+        append_jsonl(str(path), {"shard": "torn"})
+        os.truncate(path, path.stat().st_size - 5)  # tear the tail
+        append_jsonl(str(path), {"shard": "b"})
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        assert json.loads(lines[0]) == {"shard": "a"}
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(lines[1])  # the fragment stays its own corrupt line
+        assert json.loads(lines[2]) == {"shard": "b"}
+
     def test_append_jsonl_escapes_embedded_newlines(self, tmp_path):
         """Newlines inside values never break the one-record-per-line frame."""
         from repro.io import append_jsonl

@@ -67,6 +67,29 @@ class TestTracedChaosCampaign:
         # The stream survived the run schema-valid despite the chaos.
         assert check_trace(trace_path) == []
 
+    def test_parallel_campaign_trace_shows_pool_occupancy(self, tmp_path):
+        from repro.obs import aggregate_trace
+
+        trace_path = str(tmp_path / "trace.jsonl")
+        options = {"tables": ["table1", "table2", "table3", "table4"]}
+        with tracing(trace_path):
+            report = run_campaign(
+                "tables",
+                options=options,
+                output_dir=str(tmp_path / "out"),
+                jobs=4,
+                shard_delay=0.05,  # keep all four shards in flight at once
+            )
+        assert report.exit_code == 0
+        assert check_trace(trace_path) == []
+        log = load_trace(trace_path)
+        # every shard/attempt span carries its worker-pool slot
+        for record in log.span_starts("shard") + log.span_starts("shard.attempt"):
+            assert record["attrs"]["slot"] in (0, 1, 2, 3)
+        stats = aggregate_trace(log)
+        assert list(stats["pool"]) == ["0", "1", "2", "3"]
+        assert sum(e["spans"] for e in stats["pool"].values()) == 4
+
     def test_manifest_and_outcomes_use_disciplined_clocks(self, tmp_path):
         out_dir = tmp_path / "out"
         report = run_campaign(

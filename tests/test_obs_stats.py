@@ -76,6 +76,36 @@ class TestAggregateTrace:
         assert stats["open_spans"] == 3
         assert stats["spans"]["shard"]["closed"] == 0
 
+    def test_pool_occupancy_from_slot_attributes(self, tmp_path):
+        from repro.obs import open_span
+
+        path = str(tmp_path / "trace.jsonl")
+        with tracing(path):
+            with span("campaign", jobs=2):
+                a = open_span("shard", id="a", slot=0)
+                b = open_span("shard", id="b", slot=1)
+                # attempt spans carry the slot too but must not double-book
+                attempt = open_span(
+                    "shard.attempt", parent=a.span_id, slot=0
+                )
+                attempt.end()
+                a.end()
+                c = open_span("shard", id="c", slot=0)
+                c.end()
+                b.end()
+        stats = aggregate_trace(load_trace(path))
+        assert list(stats["pool"]) == ["0", "1"]
+        assert stats["pool"]["0"]["spans"] == 2
+        assert stats["pool"]["1"]["spans"] == 1
+        assert stats["pool"]["0"]["busy_ns"] >= 0
+        text = render_stats(stats)
+        assert "pool slot" in text
+
+    def test_pool_absent_without_slot_attributes(self, trace_file):
+        stats = aggregate_trace(load_trace(trace_file))
+        assert stats["pool"] == {}
+        assert "pool slot" not in render_stats(stats)
+
     def test_render_mentions_every_section(self, trace_file):
         text = render_stats(aggregate_trace(load_trace(trace_file), source=trace_file))
         for needle in ("campaign", "shard.retry", "runner.attempts", "batch.points"):

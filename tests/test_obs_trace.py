@@ -22,6 +22,7 @@ from repro.obs.trace import (
     check_trace,
     event,
     load_trace,
+    open_span,
     reset_inherited_session,
     span,
     start_tracing,
@@ -147,6 +148,70 @@ class TestRoundTrip:
         [end] = load_trace(path).of_type("span-end")
         assert end["error"] is True
         assert check_trace(path) == []
+
+
+class TestManualSpans:
+    """open_span/SpanHandle: overlapping lifetimes outside the contextvar."""
+
+    def test_overlapping_spans_round_trip(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            with span("campaign") as campaign_id:
+                a = open_span("shard", id="a", slot=0)
+                b = open_span("shard", id="b", slot=1)
+                # interleaved closure — impossible with lexical nesting
+                a.end()
+                b.end()
+                assert a.span_id != b.span_id
+        log = load_trace(path)
+        starts = log.span_starts("shard")
+        assert [s["attrs"]["slot"] for s in starts] == [0, 1]
+        # both parent to the enclosing contextvar span by default
+        assert all(s["parent"] == campaign_id for s in starts)
+        assert len(log.of_type("span-end")) == 3
+        assert check_trace(path) == []
+
+    def test_explicit_parent_and_event_span_id(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            outer = open_span("shard")
+            inner = open_span("shard.attempt", parent=outer.span_id)
+            event("shard.timeout", span_id=inner.span_id)
+            inner.end()
+            event("shard.retry", span_id=outer.span_id)
+            outer.end()
+        log = load_trace(path)
+        [attempt] = log.span_starts("shard.attempt")
+        assert attempt["parent"] == outer.span_id
+        timeout, retry = log.of_type("event")
+        assert timeout["span"] == inner.span_id
+        assert retry["span"] == outer.span_id
+        assert check_trace(path) == []
+
+    def test_end_is_idempotent(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with tracing(path):
+            handle = open_span("once")
+            handle.end()
+            handle.end()
+            handle.end(error=True)
+        log = load_trace(path)
+        [end] = log.of_type("span-end")
+        assert end["dur_ns"] >= 0
+        assert "error" not in end
+
+    def test_end_after_stop_is_safe(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        start_tracing(path)
+        handle = open_span("orphan")
+        stop_tracing()
+        handle.end()  # must not write to (or crash on) the closed stream
+        log = load_trace(path)
+        assert log.of_type("span-end") == []
+        assert check_trace(path) == []  # unclosed spans are tolerated
+
+    def test_noop_when_untraced(self):
+        assert open_span("nothing") is None
 
 
 class TestDisabledPath:

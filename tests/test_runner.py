@@ -58,6 +58,19 @@ class TestRetryPolicy:
         policy = RetryPolicy(base_delay=2.0, jitter=0.25)
         assert policy.delay(1) == 2.0
 
+    def test_jittered_delay_never_exceeds_max(self):
+        # base 28 with jitter 0.25 ranges over [21, 35] before the cap:
+        # the cap must bound the *jittered* value, not just the base.
+        policy = RetryPolicy(base_delay=28.0, factor=2.0, max_delay=30.0,
+                             jitter=0.25)
+        delays = [policy.delay(1, random.Random(i)) for i in range(200)]
+        assert all(21.0 <= d <= 30.0 for d in delays)
+        assert max(delays) == 30.0  # some draws did hit the cap
+        # attempt 2 pre-caps at max_delay; jitter must not push past it
+        assert all(
+            policy.delay(2, random.Random(i)) <= 30.0 for i in range(200)
+        )
+
     @pytest.mark.parametrize(
         "kwargs, match",
         [
@@ -156,6 +169,21 @@ class TestCheckpoint:
         assert state.payload("a") == [1, 2.5, "x"]
         assert state.shards["b"]["attempts"] == 2
         assert state.corrupt_lines == 0
+
+    def test_duplicate_manifest_line_counted_corrupt(self, tmp_path):
+        path = tmp_path / "ck.jsonl"
+        checkpoint = CampaignCheckpoint(str(path))
+        checkpoint.create({"experiment": "x"})
+        checkpoint.append_shard("a", 0, 0, 1, "kept")
+        with open(path, "a") as handle:
+            handle.write(
+                json.dumps({"type": "manifest", "experiment": "impostor"})
+                + "\n"
+            )
+        state = checkpoint.load()
+        assert state.manifest["experiment"] == "x"  # first manifest wins
+        assert state.payload("a") == "kept"
+        assert state.corrupt_lines == 1
 
     def test_last_record_wins_for_duplicate_ids(self, tmp_path):
         checkpoint = CampaignCheckpoint(str(tmp_path / "ck.jsonl"))

@@ -2,12 +2,15 @@
 
 These drive :func:`repro.runner.run_campaign` on the cheap ``tables``
 campaign through real worker processes: success, graceful degradation,
-watchdog timeouts, resume, configuration errors, and a full chaos run
-whose results must match a clean run byte for byte.  Process-level
-SIGKILL/SIGINT integration lives in test_campaign_kill_resume.py.
+watchdog timeouts, resume, configuration errors, a full chaos run
+whose results must match a clean run byte for byte, and the worker
+pool's determinism contract (``--jobs N`` byte-identical to serial,
+fresh / resumed / under chaos).  Process-level SIGKILL/SIGINT
+integration lives in test_campaign_kill_resume.py.
 """
 
 import json
+import multiprocessing
 import os
 import shutil
 
@@ -207,3 +210,115 @@ class TestChaosCampaign:
         )
         assert coverage["chaos_seed"] == 42
         assert coverage["retried_shards"]
+
+
+class TestParallelCampaign:
+    """The --jobs determinism contract (see docs/robustness.md)."""
+
+    OPTIONS = {"tables": ["table1", "table2", "table3", "table4"]}
+    FILES = [
+        f"table{i}{ext}" for i in range(1, 5) for ext in (".json", ".csv")
+    ]
+
+    def _bytes(self, tmp_path, subdir):
+        out = tmp_path / subdir
+        return {name: (out / name).read_bytes() for name in self.FILES}
+
+    @staticmethod
+    def _coverage_sans_timing(tmp_path, subdir):
+        coverage = json.loads(
+            (tmp_path / subdir / "tables.coverage.json").read_text()
+        )
+        del coverage["executed_seconds"]
+        for entry in coverage["retried_shards"] + coverage["failed_shards"]:
+            del entry["duration_s"]
+        return coverage
+
+    def test_pool_results_byte_identical_to_serial(self, tmp_path):
+        serial = _run(tmp_path, self.OPTIONS, subdir="j1", jobs=1)
+        pooled = _run(tmp_path, self.OPTIONS, subdir="j4", jobs=4)
+        assert serial.exit_code == 0
+        assert pooled.exit_code == 0
+        assert self._bytes(tmp_path, "j1") == self._bytes(tmp_path, "j4")
+        assert self._coverage_sans_timing(
+            tmp_path, "j1"
+        ) == self._coverage_sans_timing(tmp_path, "j4")
+
+    def test_pool_resume_byte_identical_to_serial(self, tmp_path):
+        _run(tmp_path, self.OPTIONS, subdir="serial", jobs=1)
+        _run(tmp_path, self.OPTIONS, subdir="pool", jobs=4)
+        out = tmp_path / "pool"
+        for name in self.FILES:
+            (out / name).unlink()
+        resumed = _run(tmp_path, self.OPTIONS, subdir="pool", resume=True,
+                       jobs=4)
+        assert resumed.exit_code == 0
+        assert len(resumed.resumed) == 4
+        assert self._bytes(tmp_path, "pool") == self._bytes(
+            tmp_path, "serial"
+        )
+
+    def test_chaos_pool_converges_to_clean_serial(self, tmp_path):
+        clean = _run(tmp_path, self.OPTIONS, subdir="clean", jobs=1)
+        assert clean.exit_code == 0
+        chaotic = _run(
+            tmp_path,
+            self.OPTIONS,
+            subdir="chaos",
+            jobs=4,
+            chaos_seed=42,
+            timeout=1.0,
+            retry=RetryPolicy(max_retries=2, base_delay=0.05, max_delay=0.2),
+        )
+        assert chaotic.exit_code == 0
+        assert not chaotic.failed
+        assert self._bytes(tmp_path, "clean") == self._bytes(
+            tmp_path, "chaos"
+        )
+
+    def test_resume_restores_recorded_attempts(self, tmp_path):
+        chaotic = _run(
+            tmp_path,
+            self.OPTIONS,
+            jobs=4,
+            chaos_seed=42,
+            timeout=1.0,
+            retry=RetryPolicy(max_retries=2, base_delay=0.05, max_delay=0.2),
+        )
+        assert chaotic.exit_code == 0
+        recorded = {o.spec.id: o.attempts for o in chaotic.outcomes}
+        assert any(attempts > 1 for attempts in recorded.values())
+        resumed = _run(tmp_path, self.OPTIONS, resume=True, jobs=4)
+        assert all(o.resumed for o in resumed.outcomes)
+        assert {o.spec.id: o.attempts for o in resumed.outcomes} == recorded
+        assert all(o.duration_s is None for o in resumed.outcomes)
+
+    @pytest.mark.skipif(
+        "fork" not in multiprocessing.get_all_start_methods(),
+        reason="patching the worker entry point requires fork",
+    )
+    def test_received_payload_beats_nonzero_exit(self, tmp_path, monkeypatch):
+        # Regression: a worker that delivers its ok-payload and then dies
+        # with a nonzero exit must count as a success, not burn a retry.
+        import repro.runner.supervisor as supervisor_module
+
+        real_worker = supervisor_module.shard_worker
+
+        def send_then_die(conn, experiment, params, chaos_action, delay):
+            real_worker(conn, experiment, params, chaos_action, delay)
+            os._exit(1)
+
+        monkeypatch.setattr(
+            supervisor_module, "shard_worker", send_then_die
+        )
+        report = _run(tmp_path, {"tables": ["table1"]})
+        assert report.exit_code == 0
+        [outcome] = report.outcomes
+        assert outcome.completed
+        assert outcome.attempts == 1
+        assert outcome.errors == []
+        assert (tmp_path / "out" / "table1.json").exists()
+
+    def test_jobs_below_one_rejected(self, tmp_path):
+        with pytest.raises(CampaignConfigError, match="jobs"):
+            _run(tmp_path, {"tables": ["table1"]}, jobs=0)
