@@ -187,13 +187,38 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0.5, or 0.1 under --chaos)",
     )
     parser.add_argument(
-        "--format", choices=["text", "json"], default="text",
+        "--format", choices=["text", "json", "sarif"], default="text",
         dest="output_format",
-        help="diagnostics format for 'lint'/'selfcheck' (default text)",
+        help="diagnostics format for 'lint'/'selfcheck' (default text; "
+             "'sarif' emits SARIF 2.1.0 for code-scanning upload)",
     )
     parser.add_argument(
         "--strict", action="store_true",
         help="treat warnings as fatal: exit 2 when any warning fires",
+    )
+    parser.add_argument(
+        "--profile", choices=["src", "tests"], default="src",
+        help="selfcheck: rule scoping profile ('tests' relaxes the "
+             "library-only rules for test/benchmark trees)",
+    )
+    parser.add_argument(
+        "--fix", action="store_true",
+        help="selfcheck: apply the provably safe rewrites (sorted() "
+             "wrapping, seed threading) before analysing",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE.json",
+        help="selfcheck: baseline file suppressing accepted findings "
+             "(default: auto-discover lint-baseline.json near the target)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="selfcheck: report every finding, ignoring any baseline",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="selfcheck: rewrite the baseline from the current findings "
+             "(records new ones, expires stale ones)",
     )
     parser.add_argument(
         "--system", default=None, metavar="FILE.json",
@@ -270,6 +295,11 @@ def _run_analyze(args: argparse.Namespace) -> int:
 def _emit_lint_report(report, subject: str, args: argparse.Namespace) -> int:
     if args.output_format == "json":
         print(report.render_json(subject))
+    elif args.output_format == "sarif":
+        from repro.lint.sarif import render_sarif
+        from repro.lint.taint import TAINT_RULE_CATALOG
+
+        print(render_sarif(report, subject, rule_catalog=TAINT_RULE_CATALOG))
     else:
         print(report.render_text(subject))
     return report.exit_code(strict=args.strict)
@@ -284,13 +314,78 @@ def _run_lint(args: argparse.Namespace) -> int:
     return _emit_lint_report(lint_file(path), path, args)
 
 
+def _apply_fixes(root: str) -> int:
+    """``selfcheck --fix``: rewrite the tree in place; count the fixes."""
+    from repro.lint.fixes import fix_file
+
+    applied = 0
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            for fix in fix_file(path):
+                relpath = os.path.relpath(path, root)
+                print(f"fixed {relpath}: {fix.render()}", file=sys.stderr)
+                applied += 1
+    return applied
+
+
 def _run_selfcheck(args: argparse.Namespace) -> int:
-    from repro.lint.codecheck import default_root, selfcheck
+    import json
+
+    from repro.lint.baseline import (
+        apply_baseline,
+        default_baseline_path,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.lint.codecheck import check_path, default_root
+    from repro.lint.project import build_index
+    from repro.lint.taint import analyze_index
 
     root = args.path or default_root()
     if not os.path.isdir(root):
         return _fail(f"'selfcheck' target is not a directory: {root}")
-    return _emit_lint_report(selfcheck(root), root, args)
+
+    if args.fix:
+        applied = _apply_fixes(root)
+        print(f"applied {applied} rewrite(s)", file=sys.stderr)
+
+    report = check_path(root, profile=args.profile)
+    index = build_index(root, jobs=args.jobs)
+    report = report.extend(analyze_index(index))
+
+    baseline_path = None
+    if not args.no_baseline:
+        baseline_path = args.baseline or default_baseline_path(root)
+
+    if args.update_baseline:
+        target = baseline_path or os.path.join(os.getcwd(),
+                                               "lint-baseline.json")
+        written = write_baseline(target, report)
+        print(f"baseline: wrote {written} entrie(s) to {target}",
+              file=sys.stderr)
+        baseline_path = target
+
+    if baseline_path is not None:
+        try:
+            baseline = load_baseline(baseline_path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            return _fail(f"cannot read baseline {baseline_path}: {exc}")
+        result = apply_baseline(report, baseline)
+        report = result.report
+        if result.suppressed or result.stale:
+            print(
+                f"baseline: suppressed {result.suppressed} finding(s), "
+                f"{len(result.stale)} stale entrie(s)"
+                + (" — regenerate with --update-baseline"
+                   if result.stale else ""),
+                file=sys.stderr,
+            )
+    return _emit_lint_report(report, root, args)
 
 
 def _run_campaign(args: argparse.Namespace) -> int:

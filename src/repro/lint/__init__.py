@@ -7,9 +7,14 @@ Two front ends:
   and the Lemma 4.1 conversion round trip.  Entry points:
   :func:`lint_taskset`, :func:`lint_mc_taskset`, :func:`lint_profiles`,
   :func:`lint_conversion`, :func:`lint_file`, :func:`validate_taskset`.
-- **Code self-analysis** — an AST pass (``FTMCC0x`` codes) enforcing
-  repository invariants over ``src/repro`` itself:
-  :func:`repro.lint.codecheck.selfcheck`.
+- **Code self-analysis** — a syntactic AST pass (``FTMCC0x`` codes) plus
+  the project-level dataflow passes (``FTMCD``/``FTMCF``/``FTMCP``:
+  determinism taint, fork safety, analysis purity) enforcing repository
+  invariants over ``src/repro`` itself:
+  :func:`repro.lint.codecheck.selfcheck`, with SARIF output
+  (:mod:`repro.lint.sarif`), baseline suppression
+  (:mod:`repro.lint.baseline`) and provable autofixes
+  (:mod:`repro.lint.fixes`).
 
 The full rule catalog with severities and exit-code semantics lives in
 ``docs/lint.md``.
@@ -62,8 +67,17 @@ __all__ = [
     "lint_file",
     "validate_taskset",
     "selfcheck",
+    "check_path",
     "rule_catalog",
     "RULES",
+    "build_index",
+    "analyze_index",
+    "TAINT_RULE_CATALOG",
+    "render_sarif",
+    "apply_baseline",
+    "load_baseline",
+    "write_baseline",
+    "rewrite_source",
 ]
 
 _ENGINE_NAMES = frozenset(
@@ -76,8 +90,19 @@ _ENGINE_NAMES = frozenset(
         "validate_taskset",
     }
 )
-_CODECHECK_NAMES = frozenset({"selfcheck"})
+_CODECHECK_NAMES = frozenset({"selfcheck", "check_path"})
 _REGISTRY_NAMES = frozenset({"rule_catalog", "RULES"})
+#: Dataflow-layer names → owning submodule (all lazily loaded).
+_DATAFLOW_NAMES = {
+    "build_index": "project",
+    "analyze_index": "taint",
+    "TAINT_RULE_CATALOG": "taint",
+    "render_sarif": "sarif",
+    "apply_baseline": "baseline",
+    "load_baseline": "baseline",
+    "write_baseline": "baseline",
+    "rewrite_source": "fixes",
+}
 
 
 def __getattr__(name: str) -> Any:
@@ -89,6 +114,11 @@ def __getattr__(name: str) -> Any:
         from repro.lint import codecheck
 
         return getattr(codecheck, name)
+    if name in _DATAFLOW_NAMES:
+        import importlib
+
+        module = importlib.import_module(f"repro.lint.{_DATAFLOW_NAMES[name]}")
+        return getattr(module, name)
     if name in _REGISTRY_NAMES:
         # The registry is importable eagerly, but rules register on first
         # engine import — load the engine so the catalog is complete.

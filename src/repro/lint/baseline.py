@@ -1,0 +1,172 @@
+"""Baseline suppression: land strict rules without a big-bang cleanup.
+
+A *baseline* (``lint-baseline.json`` at the repo root) records the
+accepted pre-existing findings of the dataflow rule families.  Findings
+whose fingerprint appears in the baseline are suppressed; anything new
+fails the build — strict on new code, tolerant of the audited past.
+
+Design points:
+
+- Only the dataflow families (``FTMCD``/``FTMCF``/``FTMCP``) are
+  baselinable.  The syntactic ``FTMCC`` rules and the model rules have
+  been enforced since PR 1; violations there are fixed, not suppressed.
+- Fingerprints are **line-number-insensitive**: the hash covers
+  ``(code, file path, message)``, so unrelated edits that shift a
+  finding up or down do not invalidate its entry.  Messages carry no
+  line numbers by construction.
+- Stale entries (fingerprints matching no current finding) are reported
+  so the baseline only ever shrinks; ``ftmc selfcheck
+  --update-baseline`` rewrites the file from the current findings,
+  expiring them.
+- The file is written through :func:`repro.io.atomic_write_text` and is
+  deterministic (sorted entries, stable JSON), so CI can diff it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.io import atomic_write_text
+from repro.lint.diagnostics import Diagnostic, LintReport
+
+__all__ = [
+    "BASELINABLE_PREFIXES",
+    "Baseline",
+    "fingerprint",
+    "load_baseline",
+    "apply_baseline",
+    "write_baseline",
+    "default_baseline_path",
+]
+
+#: Rule-code prefixes the baseline may suppress.
+BASELINABLE_PREFIXES = ("FTMCD", "FTMCF", "FTMCP")
+
+_FORMAT_VERSION = 1
+
+
+def _is_baselinable(diag: Diagnostic) -> bool:
+    return diag.code.startswith(BASELINABLE_PREFIXES)
+
+
+def fingerprint(diag: Diagnostic) -> str:
+    """Stable, line-insensitive identity of one finding.
+
+    Hashes ``code | file path | message`` — the line component of the
+    location is dropped so edits elsewhere in the file do not expire the
+    entry.
+    """
+    path, sep, line = diag.location.rpartition(":")
+    anchor = path if sep and line.isdigit() else diag.location
+    digest = hashlib.sha256(
+        f"{diag.code}|{anchor}|{diag.message}".encode()
+    ).hexdigest()
+    return digest[:16]
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file: fingerprint → recorded entry."""
+
+    path: str | None = None
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __contains__(self, diag: Diagnostic) -> bool:
+        return fingerprint(diag) in self.entries
+
+
+def default_baseline_path(root: str) -> str | None:
+    """``lint-baseline.json`` next to (or two levels above) the tree.
+
+    ``ftmc selfcheck`` scans ``src/repro``; the baseline lives at the
+    repo root, so walk up a bounded number of levels looking for it.
+    """
+    level = os.path.abspath(root)
+    for _ in range(3):
+        candidate = os.path.join(level, "lint-baseline.json")
+        if os.path.isfile(candidate):
+            return candidate
+        parent = os.path.dirname(level)
+        if parent == level:
+            break
+        level = parent
+    return None
+
+
+def load_baseline(path: str) -> Baseline:
+    """Parse a baseline file (raises ``ValueError`` on malformed input)."""
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict) or data.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"{path}: not a version-{_FORMAT_VERSION} baseline")
+    entries: dict[str, dict[str, str]] = {}
+    for entry in data.get("entries", ()):
+        if not isinstance(entry, dict) or "fingerprint" not in entry:
+            raise ValueError(f"{path}: malformed baseline entry: {entry!r}")
+        entries[str(entry["fingerprint"])] = {
+            key: str(value) for key, value in entry.items()
+        }
+    return Baseline(path=path, entries=entries)
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of filtering a report against a baseline."""
+
+    report: LintReport  #: The report with baselined findings removed.
+    suppressed: int  #: How many findings the baseline absorbed.
+    stale: tuple[str, ...]  #: Fingerprints matching no current finding.
+
+
+def apply_baseline(report: LintReport, baseline: Baseline) -> BaselineResult:
+    """Suppress baselined findings; report stale entries for expiry."""
+    kept: list[Diagnostic] = []
+    matched: set[str] = set()
+    suppressed = 0
+    for diag in report:
+        if _is_baselinable(diag):
+            fp = fingerprint(diag)
+            if fp in baseline.entries:
+                matched.add(fp)
+                suppressed += 1
+                continue
+        kept.append(diag)
+    stale = tuple(sorted(set(baseline.entries) - matched))
+    return BaselineResult(
+        report=LintReport(kept), suppressed=suppressed, stale=stale
+    )
+
+
+def write_baseline(path: str, report: LintReport) -> int:
+    """Record every baselinable finding of ``report`` at ``path``.
+
+    Returns the number of entries written.  The file is deterministic:
+    entries are sorted by fingerprint and duplicates collapse.
+    """
+    entries: dict[str, dict[str, str]] = {}
+    for diag in report:
+        if not _is_baselinable(diag):
+            continue
+        fp = fingerprint(diag)
+        anchor, sep, line = diag.location.rpartition(":")
+        entries[fp] = {
+            "fingerprint": fp,
+            "code": diag.code,
+            "path": anchor if sep and line.isdigit() else diag.location,
+            "message": diag.message,
+        }
+    payload = {
+        "version": _FORMAT_VERSION,
+        "comment": "Accepted pre-existing dataflow findings; must only "
+                   "shrink. Regenerate with: ftmc selfcheck "
+                   "--update-baseline",
+        "entries": [entries[fp] for fp in sorted(entries)],
+    }
+    atomic_write_text(path, json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)

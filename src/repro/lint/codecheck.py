@@ -91,23 +91,32 @@ _MUTABLE_LITERALS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp,
 _MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray"})
 
 
-def _identifier_of(node: ast.expr) -> str | None:
-    """The rightmost identifier of a Name/Attribute/Call chain, if any."""
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Call):
-        return _identifier_of(node.func)
-    return None
-
-
-def _mentions_probability(node: ast.expr) -> bool:
-    identifier = _identifier_of(node)
-    if identifier is None:
+def _is_probability_name(identifier: str | None) -> bool:
+    if not identifier:
         return False
     lowered = identifier.lower()
     return any(marker in lowered for marker in _PROBABILITY_MARKERS)
+
+
+def _mentions_probability(node: ast.expr) -> bool:
+    """Any probability-marked identifier in the (sub)expression.
+
+    Scans every name, attribute and keyword argument, so
+    ``estimate.pfh``, ``pfh_bound.value`` and ``f(prob=p)`` all count —
+    not just bare ``pfh``-named identifiers.
+    """
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            identifier: str | None = child.id
+        elif isinstance(child, ast.Attribute):
+            identifier = child.attr
+        elif isinstance(child, ast.keyword):
+            identifier = child.arg
+        else:
+            continue
+        if _is_probability_name(identifier):
+            return True
+    return False
 
 
 def _is_mutable_default(node: ast.expr) -> bool:
@@ -116,6 +125,14 @@ def _is_mutable_default(node: ast.expr) -> bool:
     if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
         return node.func.id in _MUTABLE_CONSTRUCTORS
     return False
+
+
+def _mode_of(mode_node: ast.expr | None) -> str | None:
+    if mode_node is None:
+        return "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value
+    return None
 
 
 def _open_mode(node: ast.Call) -> str | None:
@@ -128,11 +145,130 @@ def _open_mode(node: ast.Call) -> str | None:
             if keyword.arg == "mode":
                 mode_node = keyword.value
                 break
+    return _mode_of(mode_node)
+
+
+def _method_open_mode(node: ast.Call) -> str | None:
+    """The literal mode of a ``path.open(...)`` call (first positional)."""
+    mode_node: ast.expr | None = node.args[0] if node.args else None
     if mode_node is None:
-        return "r"
-    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
-        return mode_node.value
-    return None
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+                break
+    return _mode_of(mode_node)
+
+
+#: ``pathlib`` constructors whose results are tracked as path values.
+_PATH_CONSTRUCTORS = ("Path", "PurePath", "PosixPath", "WindowsPath")
+
+#: Path methods whose result is again a path (keeps taint through chains).
+_PATH_PRODUCING_METHODS = frozenset({
+    "joinpath", "with_suffix", "with_name", "with_stem", "resolve",
+    "absolute", "expanduser", "relative_to",
+})
+
+#: ``Path`` methods that write to the filesystem directly (FTMCC05).
+_PATH_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+class _PathTable:
+    """Names provably bound to ``pathlib.Path`` values in one file.
+
+    Built from the import statements plus a small assignment fixpoint:
+    ``p = Path(x)``, ``q = p / "out"``, ``r = q.with_suffix(".json")``
+    and ``Path``-annotated parameters all count; anything else does not
+    (so ``gzip.open(...)`` and unknown objects stay unflagged).
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.constructors: set[str] = set()
+        self.modules: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "pathlib":
+                for alias in node.names:
+                    if alias.name in _PATH_CONSTRUCTORS:
+                        self.constructors.add(alias.asname or alias.name)
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "pathlib":
+                        self.modules.add(alias.asname or "pathlib")
+        self.names: set[str] = set()
+        self._collect(tree)
+
+    def _collect(self, tree: ast.Module) -> None:
+        annotated: list[tuple[str, ast.expr | None]] = []
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+                    annotated.append((arg.arg, arg.annotation))
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                annotated.append((node.target.id, node.annotation))
+        for name, annotation in annotated:
+            if self._is_path_annotation(annotation):
+                self.names.add(name)
+        for _ in range(3):  # propagate through chained rebindings
+            grown = False
+            for node in ast.walk(tree):
+                targets: list[ast.expr] = []
+                value: ast.expr | None = None
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                if value is None or not self.is_path_expr(value):
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name) and target.id not in \
+                            self.names:
+                        self.names.add(target.id)
+                        grown = True
+            if not grown:
+                break
+
+    def _is_path_annotation(self, annotation: ast.expr | None) -> bool:
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in self.constructors
+        if isinstance(annotation, ast.Attribute):
+            return (
+                annotation.attr in _PATH_CONSTRUCTORS
+                and isinstance(annotation.value, ast.Name)
+                and annotation.value.id in self.modules
+            )
+        if isinstance(annotation, ast.Constant) and isinstance(
+            annotation.value, str
+        ):
+            return annotation.value.strip() in self.constructors
+        return False
+
+    def is_path_expr(self, node: ast.expr) -> bool:
+        """Conservatively: is this expression certainly a path value?"""
+        if isinstance(node, ast.Name):
+            return node.id in self.names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in self.constructors:
+                return True
+            if isinstance(func, ast.Attribute):
+                if (
+                    func.attr in _PATH_CONSTRUCTORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in self.modules
+                ):
+                    return True
+                if func.attr in _PATH_PRODUCING_METHODS:
+                    return self.is_path_expr(func.value)
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+            return self.is_path_expr(node.left) or self.is_path_expr(node.right)
+        if isinstance(node, ast.Attribute) and node.attr == "parent":
+            return self.is_path_expr(node.value)
+        return False
 
 
 class _Checker(ast.NodeVisitor):
@@ -143,12 +279,16 @@ class _Checker(ast.NodeVisitor):
         allow_write: bool = False,
         forbid_epsilon: bool = False,
         forbid_clock: bool = False,
+        path_table: _PathTable | None = None,
+        allow_prob_eq: bool = False,
     ) -> None:
         self.filename = filename
         self.allow_print = allow_print
         self.allow_write = allow_write
         self.forbid_epsilon = forbid_epsilon
         self.forbid_clock = forbid_clock
+        self.path_table = path_table
+        self.allow_prob_eq = allow_prob_eq
         self.diagnostics: list[Diagnostic] = []
 
     def _emit(self, code: str, line: int, message: str, suggestion: str) -> None:
@@ -165,6 +305,9 @@ class _Checker(ast.NodeVisitor):
     # FTMCC01 ------------------------------------------------------------------
 
     def visit_Compare(self, node: ast.Compare) -> None:
+        if self.allow_prob_eq:
+            self.generic_visit(node)
+            return
         operands = [node.left, *node.comparators]
         for op, left, right in zip(node.ops, operands, operands[1:]):
             if not isinstance(op, (ast.Eq, ast.NotEq)):
@@ -262,6 +405,31 @@ class _Checker(ast.NodeVisitor):
                     "write through repro.io: atomic_write_text / "
                     "atomic_write_json / append_jsonl (crash-safe)",
                 )
+        if (
+            not self.allow_write
+            and self.path_table is not None
+            and isinstance(node.func, ast.Attribute)
+            and self.path_table.is_path_expr(node.func.value)
+        ):
+            attr = node.func.attr
+            if attr in _PATH_WRITE_METHODS:
+                self._emit(
+                    "FTMCC05",
+                    node.lineno,
+                    f"non-atomic file write (Path.{attr})",
+                    "write through repro.io: atomic_write_text / "
+                    "atomic_write_json / append_jsonl (crash-safe)",
+                )
+            elif attr == "open":
+                mode = _method_open_mode(node)
+                if mode is not None and _WRITE_MODE_CHARS & set(mode):
+                    self._emit(
+                        "FTMCC05",
+                        node.lineno,
+                        f"non-atomic file write (Path.open mode {mode!r})",
+                        "write through repro.io: atomic_write_text / "
+                        "atomic_write_json / append_jsonl (crash-safe)",
+                    )
         if self.forbid_clock:
             clock_read = self._clock_read_name(node)
             if clock_read is not None:
@@ -323,6 +491,7 @@ def check_source(
     allow_write: bool = False,
     forbid_epsilon: bool = False,
     forbid_clock: bool = False,
+    allow_prob_eq: bool = False,
 ) -> list[Diagnostic]:
     """Run the code rules over one source string."""
     try:
@@ -337,7 +506,9 @@ def check_source(
             )
         ]
     checker = _Checker(
-        filename, allow_print, allow_write, forbid_epsilon, forbid_clock
+        filename, allow_print, allow_write, forbid_epsilon, forbid_clock,
+        path_table=_PathTable(tree),
+        allow_prob_eq=allow_prob_eq,
     )
     checker.visit(tree)
     return sorted(checker.diagnostics, key=lambda d: d.location)
@@ -350,8 +521,17 @@ def default_root() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
-def check_path(root: str) -> LintReport:
-    """Walk a directory tree and check every ``.py`` file under it."""
+def check_path(root: str, profile: str = "src") -> LintReport:
+    """Walk a directory tree and check every ``.py`` file under it.
+
+    ``profile`` selects the scoping rules: ``"src"`` applies the full
+    library discipline; ``"tests"`` relaxes the rules that do not apply
+    to test/benchmark code (printing, direct writes to ``tmp_path``,
+    epsilon literals and exact probability assertions on stored
+    constants, clock reads in timing tests) while keeping the universal
+    ones (FTMCC02/03).
+    """
+    relaxed = profile == "tests"
     diags: list[Diagnostic] = []
     for dirpath, dirnames, filenames in os.walk(root):
         dirnames.sort()
@@ -366,15 +546,44 @@ def check_path(root: str) -> LintReport:
                 check_source(
                     source,
                     relpath,
-                    allow_print=_print_allowed(relpath),
-                    allow_write=_write_allowed(relpath),
-                    forbid_epsilon=_epsilon_forbidden(relpath),
-                    forbid_clock=_clock_forbidden(relpath),
+                    allow_print=relaxed or _print_allowed(relpath),
+                    allow_write=relaxed or _write_allowed(relpath),
+                    forbid_epsilon=not relaxed and _epsilon_forbidden(relpath),
+                    forbid_clock=not relaxed and _clock_forbidden(relpath),
+                    allow_prob_eq=relaxed,
                 )
             )
     return LintReport(diags)
 
 
-def selfcheck(root: str | None = None) -> LintReport:
-    """Check the installed ``repro`` package itself (``ftmc selfcheck``)."""
-    return check_path(root if root is not None else default_root())
+def selfcheck(
+    root: str | None = None,
+    profile: str = "src",
+    jobs: int | None = None,
+    baseline_path: str | None = "auto",
+    dataflow: bool = True,
+) -> LintReport:
+    """Check the installed ``repro`` package itself (``ftmc selfcheck``).
+
+    Runs the syntactic pass, then (``dataflow=True``) the project-level
+    taint/fork/purity passes, and finally suppresses findings recorded
+    in the baseline (``baseline_path="auto"`` discovers
+    ``lint-baseline.json`` near ``root``; ``None`` disables suppression).
+    """
+    target = root if root is not None else default_root()
+    report = check_path(target, profile=profile)
+    if dataflow:
+        from repro.lint.project import build_index
+        from repro.lint.taint import analyze_index
+
+        index = build_index(target, jobs=jobs)
+        report = report.extend(analyze_index(index))
+    if baseline_path == "auto":
+        from repro.lint.baseline import default_baseline_path
+
+        baseline_path = default_baseline_path(target)
+    if baseline_path is not None:
+        from repro.lint.baseline import apply_baseline, load_baseline
+
+        report = apply_baseline(report, load_baseline(baseline_path)).report
+    return report

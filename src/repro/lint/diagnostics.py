@@ -27,6 +27,7 @@ from typing import Iterable, Iterator
 
 __all__ = [
     "Severity",
+    "TracePoint",
     "Diagnostic",
     "LintReport",
     "LintError",
@@ -53,6 +54,27 @@ class Severity(enum.IntEnum):
 
 
 @dataclass(frozen=True)
+class TracePoint:
+    """One step of a dataflow trace attached to a diagnostic.
+
+    ``location`` is a ``file:line`` anchor; ``note`` says what happens
+    there ("source: random.random() (unseeded RNG)", "assigned to
+    'payload'", "sink: append_jsonl(...)").  The dataflow rules
+    (``FTMCD``/``FTMCP``) attach ordered traces so a finding can be read
+    source → sink without re-running the analysis.
+    """
+
+    location: str
+    note: str
+
+    def render(self) -> str:
+        return f"{self.location}: {self.note}"
+
+    def as_dict(self) -> dict[str, str]:
+        return {"location": self.location, "note": self.note}
+
+
+@dataclass(frozen=True)
 class Diagnostic:
     """One lint finding.
 
@@ -71,6 +93,9 @@ class Diagnostic:
         with the task name by convention.
     suggestion:
         Optional actionable fix ("set deadline <= period", ...).
+    trace:
+        Optional ordered dataflow trace (source → sink) for findings
+        produced by the taint passes.
     """
 
     code: str
@@ -78,12 +103,14 @@ class Diagnostic:
     location: str
     message: str
     suggestion: str | None = None
+    trace: tuple[TracePoint, ...] = ()
 
     def render(self) -> str:
         """One-line ``code severity location: message (hint)`` form.
 
         Task-level messages already carry their task name as a prefix;
         the location is elided then to avoid ``a: a: ...`` stutter.
+        Dataflow traces render as indented continuation lines.
         """
         if self.message.startswith(f"{self.location}:"):
             text = f"{self.code} {self.severity}: {self.message}"
@@ -91,6 +118,8 @@ class Diagnostic:
             text = f"{self.code} {self.severity}: {self.location}: {self.message}"
         if self.suggestion:
             text += f" [fix: {self.suggestion}]"
+        for i, point in enumerate(self.trace, start=1):
+            text += f"\n    {i}. {point.render()}"
         return text
 
     def as_dict(self) -> dict[str, object]:
@@ -103,6 +132,8 @@ class Diagnostic:
         }
         if self.suggestion is not None:
             data["suggestion"] = self.suggestion
+        if self.trace:
+            data["trace"] = [point.as_dict() for point in self.trace]
         return data
 
 

@@ -1,0 +1,247 @@
+"""Safe autofixes for the determinism rules (``ftmc selfcheck --fix``).
+
+Only rewrites with a *provable* safety argument are applied; everything
+else stays a diagnostic for a human.  Two rewrite families:
+
+**sorted()-wrapping** — an iteration whose iterable is provably a
+``set``/``frozenset`` (a literal, a ``set(...)`` call, or a name bound
+exactly once in scope to one of those) is wrapped in ``sorted(...)``.
+Guarantee: the iteration visits the same elements; only the (previously
+unspecified) order changes, becoming deterministic.  Sites already
+wrapped in ``sorted(...)`` are left alone, which is what makes the
+rewrite idempotent.
+
+**seed-threading** — a zero-argument RNG constructor
+(``random.Random()``, ``numpy.random.default_rng()``, ...) inside a
+function that has a ``seed`` parameter becomes ``Random(seed)``.
+Guarantee: the constructor draws from the caller-supplied seed instead
+of system entropy; no other expression changes.  Constructors that
+already take arguments never match, so this too is idempotent.
+
+Rewrites splice the original source at AST column offsets (applied in
+reverse document order so earlier edits cannot shift later ones);
+everything outside the spliced spans is byte-identical.  Files are
+written through :func:`repro.io.atomic_write_text`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+
+from repro.io import atomic_write_text
+from repro.lint.project import ModuleInfo, module_from_source
+
+__all__ = ["Fix", "rewrite_source", "fix_file"]
+
+#: Zero-argument constructors that accept a seed as first argument.
+_SEEDABLE_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+})
+
+#: Builtins that materialise their (set) argument in iteration order.
+_MATERIALIZERS = frozenset({"list", "tuple", "iter", "enumerate", "reversed"})
+
+
+@dataclass(frozen=True)
+class Fix:
+    """One applied rewrite, for reporting."""
+
+    lineno: int
+    description: str
+
+    def render(self) -> str:
+        return f"line {self.lineno}: {self.description}"
+
+
+def _is_set_constructor(node: ast.expr, module: ModuleInfo) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return module.resolve(node.func) in ("set", "frozenset")
+    return False
+
+
+def _walk_scope(scope: ast.AST):
+    """Walk a scope's nodes without descending into nested scopes."""
+    stack = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # analysed as its own scope
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _assignment_counts(scope: ast.AST) -> dict[str, int]:
+    """How many times each name is (re)bound inside a scope body."""
+    counts: dict[str, int] = {}
+
+    def bump(target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            counts[target.id] = counts.get(target.id, 0) + 1
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bump(element)
+
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bump(target)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bump(node.target)
+        elif isinstance(node, ast.For):
+            bump(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bump(item.optional_vars)
+        elif isinstance(node, ast.comprehension):
+            bump(node.target)
+    return counts
+
+
+def _provable_sets(scope: ast.AST, module: ModuleInfo) -> set[str]:
+    """Names bound exactly once in ``scope``, to a set constructor."""
+    counts = _assignment_counts(scope)
+    provable: set[str] = set()
+    for node in _walk_scope(scope):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and counts.get(target.id) == 1
+                and _is_set_constructor(node.value, module)
+            ):
+                provable.add(target.id)
+    return provable
+
+
+def _provably_set(node: ast.expr, provable: set[str], module: ModuleInfo) -> bool:
+    if _is_set_constructor(node, module):
+        return True
+    return isinstance(node, ast.Name) and node.id in provable
+
+
+def _scopes(tree: ast.Module):
+    """The module plus every function, outermost first."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+@dataclass(frozen=True)
+class _Splice:
+    lineno: int  #: 1-based
+    col: int  #: 0-based column offset
+    text: str
+
+
+def _apply_splices(source: str, splices: list[_Splice]) -> str:
+    lines = source.splitlines(keepends=True)
+    # Reverse document order: later edits first, so offsets stay valid.
+    for splice in sorted(splices, key=lambda s: (s.lineno, s.col), reverse=True):
+        line = lines[splice.lineno - 1]
+        lines[splice.lineno - 1] = (
+            line[: splice.col] + splice.text + line[splice.col :]
+        )
+    return "".join(lines)
+
+
+def _wrap(node: ast.expr, text_before: str, text_after: str) -> list[_Splice]:
+    return [
+        _Splice(node.lineno, node.col_offset, text_before),
+        _Splice(node.end_lineno or node.lineno,
+                node.end_col_offset or node.col_offset, text_after),
+    ]
+
+
+def rewrite_source(
+    source: str, relpath: str = "<string>"
+) -> tuple[str, list[Fix]]:
+    """Apply every provable rewrite; return ``(new_source, fixes)``.
+
+    The input is returned unchanged (and ``fixes`` is empty) when
+    nothing provable is found or the source does not parse.
+    """
+    module = module_from_source(source, relpath)
+    if module is None:
+        return source, []
+
+    splices: list[_Splice] = []
+    fixes: list[Fix] = []
+
+    def wrap_sorted(node: ast.expr, what: str) -> None:
+        splices.extend(_wrap(node, "sorted(", ")"))
+        fixes.append(Fix(node.lineno, f"wrapped {what} in sorted(...)"))
+
+    for scope in _scopes(module.tree):
+        provable = _provable_sets(scope, module)
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.For) and _provably_set(
+                node.iter, provable, module
+            ):
+                wrap_sorted(node.iter, "loop iterable")
+            elif isinstance(node, ast.comprehension) and _provably_set(
+                node.iter, provable, module
+            ):
+                wrap_sorted(node.iter, "comprehension iterable")
+            elif (
+                isinstance(node, ast.Call)
+                and module.resolve(node.func) in _MATERIALIZERS
+                and len(node.args) == 1
+                and not node.keywords
+                and _provably_set(node.args[0], provable, module)
+            ):
+                wrap_sorted(node.args[0], "materialised set")
+
+    # Seed-threading: zero-arg RNG constructors in seed-taking functions.
+    for scope in _scopes(module.tree):
+        if not isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        args = scope.args
+        params = {a.arg for a in (*args.posonlyargs, *args.args,
+                                  *args.kwonlyargs)}
+        if "seed" not in params:
+            continue
+        for node in _walk_scope(scope):
+            if (
+                isinstance(node, ast.Call)
+                and not node.args
+                and not node.keywords
+                and module.resolve(node.func) in _SEEDABLE_CONSTRUCTORS
+            ):
+                # Insert just before the closing paren of ``ctor()``.
+                end_line = node.end_lineno or node.lineno
+                end_col = (node.end_col_offset or node.col_offset) - 1
+                splices.append(_Splice(end_line, end_col, "seed"))
+                fixes.append(Fix(
+                    node.lineno,
+                    "threaded the in-scope 'seed' parameter into the RNG "
+                    "constructor",
+                ))
+
+    if not splices:
+        return source, []
+    rewritten = _apply_splices(source, splices)
+    # A rewrite that breaks the parse is a bug; never emit it.
+    try:
+        ast.parse(rewritten)
+    except SyntaxError:  # pragma: no cover - safety net
+        return source, []
+    fixes.sort(key=lambda fix: fix.lineno)
+    return rewritten, fixes
+
+
+def fix_file(path: str) -> list[Fix]:
+    """Rewrite one file in place (atomically); return the applied fixes."""
+    with open(path) as handle:
+        source = handle.read()
+    rewritten, fixes = rewrite_source(source, relpath=path)
+    if fixes and rewritten != source:
+        atomic_write_text(path, rewritten)
+    return fixes

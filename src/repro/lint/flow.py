@@ -1,0 +1,722 @@
+"""Intraprocedural taint analysis for the determinism rules.
+
+The determinism contract of the campaign runner (byte-identical result
+files across ``--jobs``, fresh/resume/chaos — ``docs/robustness.md``) is
+a *dataflow* property: no nondeterministic value may flow into a result
+or checkpoint write.  This module implements the analysis that checks
+it:
+
+- **Sources** introduce taint *kinds*: unseeded RNG draws (``rng``),
+  wall-clock reads (``wallclock``), entropy (``entropy``:
+  ``os.urandom``/``uuid4``/``secrets``), and set-iteration /
+  filesystem-listing order (``order``).
+- **Sanitizers** remove kinds: ``sorted()`` (and the order-insensitive
+  reductions ``len``/``sum``/``min``/``max``/``any``/``all``) clear
+  ``order``; seeding clears ``rng`` at the source (``random.Random(s)``,
+  ``np.random.default_rng(s)`` and ``backoff_rng(spec)`` streams are
+  sanctioned and never tainted).
+- **Sinks** are the result/checkpoint emission points:
+  :mod:`repro.io`'s atomic writers, checkpoint records
+  (``append_shard``/``checkpoint.create``) and ``ShardOutcome``
+  payloads.
+
+The analysis is intraprocedural with *function summaries* for
+cross-module flows: each function is summarised as "returns kinds K" and
+"forwards parameter p to sink S"; :mod:`repro.lint.taint` iterates
+summary computation to a fixpoint and applies summaries at call sites,
+so a helper that launders ``random.random()`` through two modules is
+still caught.  Every reported flow carries an ordered
+:class:`~repro.lint.diagnostics.TracePoint` trace from source to sink.
+
+Soundness posture: the engine is a linter, not a verifier — it
+over-approximates propagation (any call forwards its arguments' taint to
+its result) and under-approximates aliasing (containers are tainted as
+wholes).  False positives are expected to be rare and suppressable via
+``lint-baseline.json``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping
+
+from repro.lint.diagnostics import TracePoint
+from repro.lint.project import FunctionInfo, ModuleInfo, attribute_chain
+
+__all__ = [
+    "KINDS",
+    "KIND_DESCRIPTIONS",
+    "Taint",
+    "TaintedFlow",
+    "FunctionSummary",
+    "analyze_function",
+    "analyze_module_body",
+    "module_environment",
+]
+
+#: The real taint kinds (``param:*`` pseudo-kinds feed the summaries).
+KINDS = ("rng", "wallclock", "entropy", "order")
+
+KIND_DESCRIPTIONS: dict[str, str] = {
+    "rng": "unseeded-RNG",
+    "wallclock": "wall-clock",
+    "entropy": "entropy",
+    "order": "iteration-order-dependent",
+}
+
+#: Module-level ``random`` draws (on the shared, unseedable-by-shard
+#: global generator).  ``random.seed`` mutates, never returns a draw.
+_RANDOM_DRAWS = frozenset({
+    "random", "randint", "randrange", "choice", "choices", "sample",
+    "shuffle", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "gammavariate", "lognormvariate", "paretovariate",
+    "triangular", "vonmisesvariate", "weibullvariate", "getrandbits",
+    "randbytes",
+})
+
+#: Seeded-stream constructors: sanctioned *with* a seed argument,
+#: an ``rng`` source without one (they seed from system entropy).
+_RNG_CONSTRUCTORS = frozenset({
+    "random.Random",
+    "random.SystemRandom",
+    "numpy.random.default_rng",
+    "numpy.random.RandomState",
+    "numpy.random.Generator",
+})
+
+_WALLCLOCK_SOURCES = frozenset({
+    "time.time", "time.time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+    "repro.obs.clock.wall_time",
+    "repro.obs.clock.monotonic", "repro.obs.clock.monotonic_ns",
+})
+
+_ENTROPY_SOURCES = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+    "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+    "secrets.randbits", "secrets.randbelow", "secrets.choice",
+})
+
+#: Filesystem enumeration order is not specified — an ``order`` source.
+_ORDER_SOURCES = frozenset({
+    "os.listdir", "os.scandir", "glob.glob", "glob.iglob",
+})
+
+#: ``order``-clearing builtins: deterministic results over unordered input.
+_ORDER_SANITIZERS = frozenset({
+    "sorted", "len", "sum", "min", "max", "any", "all",
+})
+
+#: Leaf names of the crash-safe writers — the result emission sinks.
+_WRITER_SINKS = frozenset({
+    "atomic_write_text", "atomic_write_json", "append_jsonl",
+})
+
+#: Attribute-call sinks: checkpoint records and shard result payloads.
+_CHECKPOINT_ATTR_SINKS = frozenset({"append_shard"})
+
+#: Functions returning sanctioned per-shard streams (never tainted).
+_SANCTIONED_STREAMS = frozenset({"backoff_rng"})
+
+_TRACE_CAP = 8
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One taint kind with the trace of how it got here."""
+
+    kind: str
+    trace: tuple[TracePoint, ...]
+
+    def step(self, point: TracePoint) -> "Taint":
+        if len(self.trace) >= _TRACE_CAP:
+            return self
+        if self.trace and self.trace[-1].note == point.note:
+            return self
+        return replace(self, trace=(*self.trace, point))
+
+
+@dataclass
+class Val:
+    """Abstract value of one expression: taints plus a shape tag."""
+
+    taints: dict[str, Taint] = field(default_factory=dict)
+    #: "set" | "dict" | "rng_seeded" | "rng_unseeded" | None
+    tag: str | None = None
+
+    def merge(self, other: "Val") -> "Val":
+        taints = dict(self.taints)
+        for kind, taint in other.taints.items():
+            taints.setdefault(kind, taint)
+        return Val(taints=taints, tag=self.tag or other.tag)
+
+    def without(self, kind: str) -> "Val":
+        taints = {k: t for k, t in self.taints.items() if k != kind}
+        return Val(taints=taints, tag=self.tag)
+
+    @property
+    def tainted(self) -> bool:
+        return bool(self.taints)
+
+
+@dataclass(frozen=True)
+class TaintedFlow:
+    """One source→sink flow found by the analysis."""
+
+    kind: str  #: A real kind, or ``param:<name>`` inside a summary run.
+    sink: str  #: Human-readable sink ("append_jsonl(...)").
+    lineno: int
+    trace: tuple[TracePoint, ...]
+
+
+@dataclass(frozen=True)
+class FunctionSummary:
+    """Cross-module summary of one function's taint behaviour."""
+
+    returns: frozenset[str] = frozenset()
+    #: ``(param name, sink description)`` pairs.
+    param_sinks: tuple[tuple[str, str], ...] = ()
+
+
+def _location(module: ModuleInfo, node: ast.AST) -> str:
+    return f"{module.relpath}:{getattr(node, 'lineno', 0)}"
+
+
+class _FunctionTaint:
+    """One analysis run over one function (or module) body."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        summaries: Mapping[str, FunctionSummary],
+        env: dict[str, Val],
+        emit: Callable[[TaintedFlow], None],
+    ) -> None:
+        self.module = module
+        self.summaries = summaries
+        self.env = env
+        self.emit_cb = emit
+        self.emitting = False
+        self.returns: set[str] = set()
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _resolve_call(self, func: ast.expr) -> str | None:
+        """Dotted origin of the callee, through the import map."""
+        return self.module.resolve(func)
+
+    def _emit(self, flow: TaintedFlow) -> None:
+        if self.emitting:
+            self.emit_cb(flow)
+
+    def _sink_hit(self, node: ast.Call, sink: str, args: list[Val]) -> None:
+        for val in args:
+            for kind, taint in sorted(val.taints.items()):
+                point = TracePoint(
+                    _location(self.module, node), f"sink: {sink}"
+                )
+                self._emit(
+                    TaintedFlow(
+                        kind=kind,
+                        sink=sink,
+                        lineno=node.lineno,
+                        trace=(*taint.step(point).trace,),
+                    )
+                )
+
+    def _source(self, node: ast.AST, kind: str, what: str) -> Val:
+        point = TracePoint(
+            _location(self.module, node),
+            f"source: {what} ({KIND_DESCRIPTIONS[kind]} value)",
+        )
+        return Val(taints={kind: Taint(kind=kind, trace=(point,))})
+
+    # -- expression evaluation -------------------------------------------------
+
+    def eval(self, node: ast.expr | None) -> Val:
+        if node is None:
+            return Val()
+        method = getattr(self, f"_eval_{type(node).__name__}", None)
+        if method is not None:
+            return method(node)
+        return self._eval_children(node)
+
+    def _eval_children(self, node: ast.AST) -> Val:
+        result = Val()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                result = result.merge(self.eval(child))
+            elif isinstance(child, (ast.comprehension, ast.keyword)):
+                result = result.merge(self._eval_children(child))
+        result.tag = None
+        return result
+
+    def _eval_Name(self, node: ast.Name) -> Val:
+        val = self.env.get(node.id)
+        if val is None:
+            return Val()
+        return Val(taints=dict(val.taints), tag=val.tag)
+
+    def _eval_Attribute(self, node: ast.Attribute) -> Val:
+        chain = attribute_chain(node)
+        if chain:
+            dotted = ".".join(chain)
+            val = self.env.get(dotted)
+            if val is not None:
+                return Val(taints=dict(val.taints), tag=val.tag)
+        return self._eval_children(node)
+
+    def _eval_Set(self, node: ast.Set) -> Val:
+        val = self._eval_children(node)
+        val.tag = "set"
+        return val
+
+    def _eval_SetComp(self, node: ast.SetComp) -> Val:
+        val = self._eval_comprehension(node, [node.elt])
+        val.tag = "set"
+        return val
+
+    def _eval_Dict(self, node: ast.Dict) -> Val:
+        val = self._eval_children(node)
+        val.tag = "dict"
+        return val
+
+    def _eval_ListComp(self, node: ast.ListComp) -> Val:
+        return self._eval_comprehension(node, [node.elt])
+
+    def _eval_GeneratorExp(self, node: ast.GeneratorExp) -> Val:
+        return self._eval_comprehension(node, [node.elt])
+
+    def _eval_DictComp(self, node: ast.DictComp) -> Val:
+        val = self._eval_comprehension(node, [node.key, node.value])
+        val.tag = "dict"
+        return val
+
+    def _eval_comprehension(
+        self, node: ast.expr, elements: list[ast.expr]
+    ) -> Val:
+        """A comprehension: iteration order of a set generator leaks out."""
+        result = Val()
+        saved: dict[str, Val | None] = {}
+        for gen in node.generators:  # type: ignore[attr-defined]
+            iter_val = self.eval(gen.iter)
+            element = Val(taints=dict(iter_val.taints))
+            if iter_val.tag == "set":
+                element = element.merge(
+                    self._source(
+                        gen.iter, "order",
+                        "iteration over a set",
+                    )
+                )
+            for name in _target_names(gen.target):
+                saved.setdefault(name, self.env.get(name))
+                self.env[name] = element
+            for cond in gen.ifs:
+                self.eval(cond)
+            result = result.merge(element)
+        for element_expr in elements:
+            result = result.merge(self.eval(element_expr))
+        for name, val in saved.items():
+            if val is None:
+                self.env.pop(name, None)
+            else:
+                self.env[name] = val
+        result.tag = None
+        return result
+
+    def _eval_Call(self, node: ast.Call) -> Val:  # noqa: C901
+        arg_vals = [self.eval(arg) for arg in node.args]
+        kw_vals = [self.eval(kw.value) for kw in node.keywords]
+        all_args = arg_vals + kw_vals
+        merged = Val()
+        for val in all_args:
+            merged = merged.merge(val)
+        merged.tag = None
+
+        func = node.func
+        dotted = self._resolve_call(func)
+        leaf = dotted.rpartition(".")[2] if dotted else None
+        chain = attribute_chain(func) or []
+
+        # --- sanitizers -------------------------------------------------------
+        if dotted in _ORDER_SANITIZERS:
+            # ``sorted`` (et al.) erase iteration-order dependence, and
+            # reading a set through them is fine in the first place.
+            result = merged.without("order")
+            result.tag = None
+            return result
+
+        # --- constructors / sanctioned streams --------------------------------
+        if dotted in _RNG_CONSTRUCTORS:
+            seeded = bool(node.args or node.keywords)
+            merged.tag = "rng_seeded" if seeded else "rng_unseeded"
+            return merged
+        if leaf in _SANCTIONED_STREAMS:
+            merged.tag = "rng_seeded"
+            return merged
+        if dotted in ("set", "frozenset"):
+            merged.tag = "set"
+            return merged
+        if dotted == "dict":
+            merged.tag = "dict"
+            return merged
+        if dotted in ("list", "tuple", "iter", "enumerate", "reversed"):
+            # Materialising a set exposes its iteration order.
+            if any(val.tag == "set" for val in all_args):
+                merged = merged.merge(
+                    self._source(node, "order", f"{dotted}() over a set")
+                )
+            return merged
+
+        # --- sources ----------------------------------------------------------
+        if dotted is not None:
+            head = dotted.partition(".")[0]
+            if head == "random" and leaf in _RANDOM_DRAWS:
+                return merged.merge(
+                    self._source(node, "rng", f"{dotted}() on the global "
+                                              "random stream")
+                )
+            if dotted.startswith("numpy.random.") and dotted not in \
+                    _RNG_CONSTRUCTORS:
+                return merged.merge(
+                    self._source(node, "rng", f"{dotted}() on the global "
+                                              "numpy stream")
+                )
+            if dotted in _WALLCLOCK_SOURCES:
+                return merged.merge(
+                    self._source(node, "wallclock", f"{dotted}()")
+                )
+            if dotted in _ENTROPY_SOURCES:
+                return merged.merge(
+                    self._source(node, "entropy", f"{dotted}()")
+                )
+            if dotted in _ORDER_SOURCES:
+                return merged.merge(
+                    self._source(node, "order", f"{dotted}() (filesystem "
+                                                "order)")
+                )
+
+        # Draws on an unseeded generator object are sources; draws on a
+        # seeded one are the sanctioned way to be random.
+        if isinstance(func, ast.Attribute):
+            base = self.eval(func.value)
+            if base.tag == "rng_unseeded":
+                return merged.merge(
+                    self._source(node, "rng",
+                                 f"{func.attr}() on an unseeded generator")
+                )
+            if base.tag == "rng_seeded":
+                return merged
+            if base.tag == "set" and func.attr == "pop":
+                return merged.merge(
+                    self._source(node, "order", "set.pop() (arbitrary "
+                                                "element)")
+                )
+            merged = merged.merge(Val(taints=dict(base.taints)))
+
+        # --- sinks ------------------------------------------------------------
+        if leaf in _WRITER_SINKS:
+            self._sink_hit(node, f"{leaf}(...)", all_args)
+        elif isinstance(func, ast.Attribute) and (
+            func.attr in _CHECKPOINT_ATTR_SINKS
+            or (func.attr == "create" and "checkpoint" in chain[:-1])
+        ):
+            self._sink_hit(node, f"checkpoint {func.attr}(...)", all_args)
+        elif leaf == "ShardOutcome":
+            self._sink_hit(node, "ShardOutcome(...)", all_args)
+
+        # --- summaries --------------------------------------------------------
+        summary = self._summary_for(dotted)
+        if summary is not None:
+            if summary.param_sinks:
+                bound = self._bind_args(dotted, node, arg_vals, kw_vals)
+                for param, sink in summary.param_sinks:
+                    val = bound.get(param)
+                    if val is None or not val.tainted:
+                        continue
+                    for kind, taint in sorted(val.taints.items()):
+                        point = TracePoint(
+                            _location(self.module, node),
+                            f"passed to {leaf}(), which forwards it to "
+                            f"{sink}",
+                        )
+                        self._emit(
+                            TaintedFlow(
+                                kind=kind,
+                                sink=sink,
+                                lineno=node.lineno,
+                                trace=taint.step(point).trace,
+                            )
+                        )
+            for kind in sorted(summary.returns):
+                merged = merged.merge(
+                    Val(taints={kind: Taint(kind=kind, trace=(TracePoint(
+                        _location(self.module, node),
+                        f"{leaf}() returns a "
+                        f"{KIND_DESCRIPTIONS.get(kind, kind)} value",
+                    ),))})
+                )
+        return merged
+
+    def _summary_for(self, dotted: str | None) -> FunctionSummary | None:
+        if dotted is None:
+            return None
+        summary = self.summaries.get(dotted)
+        if summary is not None:
+            return summary
+        # Intra-module call by bare name.
+        return self.summaries.get(f"{self.module.module}.{dotted}")
+
+    def _bind_args(
+        self,
+        dotted: str | None,
+        node: ast.Call,
+        arg_vals: list[Val],
+        kw_vals: list[Val],
+    ) -> dict[str, Val]:
+        """Best-effort positional/keyword binding against the summary owner."""
+        params = self._params_of(dotted)
+        bound: dict[str, Val] = {}
+        for i, val in enumerate(arg_vals):
+            if params and i < len(params):
+                bound[params[i]] = val
+            else:
+                bound[f"#{i}"] = val
+        for kw, val in zip(node.keywords, kw_vals):
+            if kw.arg is not None:
+                bound[kw.arg] = val
+        return bound
+
+    def _params_of(self, dotted: str | None) -> tuple[str, ...]:
+        if dotted is None:
+            return ()
+        info = _PARAMS_CACHE.get(dotted)
+        return info if info is not None else ()
+
+    # -- statement execution ---------------------------------------------------
+
+    def exec_body(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self.exec(stmt)
+
+    def exec(self, node: ast.stmt) -> None:
+        method = getattr(self, f"_exec_{type(node).__name__}", None)
+        if method is not None:
+            method(node)
+            return
+        # Generic: evaluate embedded expressions, walk nested bodies.
+        for fieldname in ("body", "orelse", "finalbody"):
+            sub = getattr(node, fieldname, None)
+            if isinstance(sub, list):
+                self.exec_body([s for s in sub if isinstance(s, ast.stmt)])
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child)
+
+    def _exec_Expr(self, node: ast.Expr) -> None:
+        self.eval(node.value)
+
+    def _exec_Assign(self, node: ast.Assign) -> None:
+        val = self.eval(node.value)
+        for target in node.targets:
+            self._bind_target(target, val, node.lineno)
+
+    def _exec_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind_target(node.target, self.eval(node.value), node.lineno)
+
+    def _exec_AugAssign(self, node: ast.AugAssign) -> None:
+        val = self.eval(node.value)
+        if isinstance(node.target, ast.Name):
+            current = self.env.get(node.target.id, Val())
+            self._bind_target(node.target, current.merge(val), node.lineno)
+
+    def _bind_target(self, target: ast.expr, val: Val, lineno: int) -> None:
+        if isinstance(target, ast.Name):
+            names = [target.id]
+        elif isinstance(target, ast.Attribute):
+            chain = attribute_chain(target)
+            names = [".".join(chain)] if chain else []
+            # ``outcome.payload = <tainted>`` is a result-emission sink.
+            if (
+                chain
+                and chain[-1] == "payload"
+                and val.tainted
+            ):
+                for kind, taint in sorted(val.taints.items()):
+                    point = TracePoint(
+                        f"{self.module.relpath}:{lineno}",
+                        "sink: assigned to a shard result payload",
+                    )
+                    self._emit(
+                        TaintedFlow(
+                            kind=kind,
+                            sink="shard payload",
+                            lineno=lineno,
+                            trace=taint.step(point).trace,
+                        )
+                    )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind_target(element, val, lineno)
+            return
+        elif isinstance(target, ast.Subscript):
+            # ``record["k"] = tainted`` taints the whole container.
+            chain = attribute_chain(target.value)
+            if chain and val.tainted:
+                name = ".".join(chain)
+                current = self.env.get(name, Val())
+                self._bind_target_merge(name, current.merge(val), lineno)
+            return
+        else:
+            return
+        for name in names:
+            self._bind_target_merge(name, val, lineno)
+
+    def _bind_target_merge(self, name: str, val: Val, lineno: int) -> None:
+        bound = Val(taints={}, tag=val.tag)
+        point = TracePoint(
+            f"{self.module.relpath}:{lineno}", f"assigned to '{name}'"
+        )
+        for kind, taint in val.taints.items():
+            bound.taints[kind] = taint.step(point)
+        self.env[name] = bound
+
+    def _exec_For(self, node: ast.For) -> None:
+        iter_val = self.eval(node.iter)
+        element = Val(taints=dict(iter_val.taints))
+        if iter_val.tag == "set":
+            element = element.merge(
+                self._source(node.iter, "order", "iteration over a set")
+            )
+        self._bind_target(node.target, element, node.lineno)
+        self.exec_body(node.body)
+        self.exec_body(node.orelse)
+
+    def _exec_While(self, node: ast.While) -> None:
+        self.eval(node.test)
+        self.exec_body(node.body)
+        self.exec_body(node.orelse)
+
+    def _exec_If(self, node: ast.If) -> None:
+        self.eval(node.test)
+        self.exec_body(node.body)
+        self.exec_body(node.orelse)
+
+    def _exec_With(self, node: ast.With) -> None:
+        for item in node.items:
+            val = self.eval(item.context_expr)
+            if item.optional_vars is not None:
+                self._bind_target(item.optional_vars, val, node.lineno)
+        self.exec_body(node.body)
+
+    _exec_AsyncWith = _exec_With
+
+    def _exec_Try(self, node: ast.Try) -> None:
+        self.exec_body(node.body)
+        for handler in node.handlers:
+            self.exec_body(handler.body)
+        self.exec_body(node.orelse)
+        self.exec_body(node.finalbody)
+
+    def _exec_Return(self, node: ast.Return) -> None:
+        val = self.eval(node.value)
+        self.returns.update(val.taints)
+
+    def _exec_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested defs are analysed as their own functions
+
+    _exec_AsyncFunctionDef = _exec_FunctionDef
+
+    def _exec_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # methods are collected by the project index
+
+
+def _target_names(target: ast.expr) -> list[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: list[str] = []
+        for element in target.elts:
+            names.extend(_target_names(element))
+        return names
+    return []
+
+
+#: qualname → parameter names, shared so call sites can bind summary
+#: parameters without holding the whole index (populated by taint.py).
+_PARAMS_CACHE: dict[str, tuple[str, ...]] = {}
+
+
+def register_params(functions: Mapping[str, tuple[str, ...]]) -> None:
+    """Install the project's qualname→params table for argument binding."""
+    _PARAMS_CACHE.clear()
+    _PARAMS_CACHE.update(functions)
+
+
+def module_environment(
+    module: ModuleInfo, summaries: Mapping[str, FunctionSummary]
+) -> dict[str, Val]:
+    """Tags/taints of module-level bindings (no emission)."""
+    analyzer = _FunctionTaint(module, summaries, {}, lambda flow: None)
+    analyzer.exec_body(module.tree.body)
+    return analyzer.env
+
+
+def analyze_module_body(
+    module: ModuleInfo,
+    summaries: Mapping[str, FunctionSummary],
+    emit: Callable[[TaintedFlow], None],
+) -> None:
+    """Emit flows for module-level (import-time) code."""
+    analyzer = _FunctionTaint(module, summaries, {}, emit)
+    analyzer.exec_body(module.tree.body)  # warm-up pass
+    analyzer.emitting = True
+    analyzer.exec_body(module.tree.body)
+
+
+def analyze_function(
+    module: ModuleInfo,
+    info: FunctionInfo,
+    summaries: Mapping[str, FunctionSummary],
+    module_env: Mapping[str, Val],
+    emit: Callable[[TaintedFlow], None],
+) -> FunctionSummary:
+    """Analyse one function; emit real-kind flows; return its summary.
+
+    Parameters are seeded with ``param:<name>`` pseudo-taints so that a
+    parameter reaching a sink is recorded in the summary (and surfaced
+    at call sites that pass tainted arguments), and returned kinds feed
+    the callers.
+    """
+    env: dict[str, Val] = {
+        name: Val(taints=dict(val.taints), tag=val.tag)
+        for name, val in module_env.items()
+    }
+    def_location = f"{module.relpath}:{info.lineno}"
+    for param in info.params:
+        kind = f"param:{param}"
+        env[param] = Val(taints={kind: Taint(kind=kind, trace=(TracePoint(
+            def_location, f"parameter '{param}' of {info.name}()"
+        ),))})
+
+    param_sinks: dict[tuple[str, str], None] = {}
+
+    def collect(flow: TaintedFlow) -> None:
+        if flow.kind.startswith("param:"):
+            param_sinks.setdefault((flow.kind[6:], flow.sink), None)
+        else:
+            emit(flow)
+
+    analyzer = _FunctionTaint(module, summaries, env, collect)
+    analyzer.exec_body(info.node.body)  # warm-up pass (loop-carried taint)
+    analyzer.emitting = True
+    analyzer.exec_body(info.node.body)
+    returns = frozenset(
+        kind for kind in analyzer.returns if not kind.startswith("param:")
+    )
+    return FunctionSummary(
+        returns=returns, param_sinks=tuple(sorted(param_sinks))
+    )

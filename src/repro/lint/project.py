@@ -1,0 +1,360 @@
+"""Project model for the dataflow lint passes.
+
+Where :mod:`repro.lint.codecheck` looks at one file at a time, the
+dataflow rules (``FTMCD``/``FTMCF``/``FTMCP``) need a *project* view:
+which module a name was imported from, which function a ``Process``
+target resolves to, which module-level names are mutable state.  This
+module builds that view once per tree walk:
+
+- :class:`ModuleInfo` — one parsed module: AST, import map (local name →
+  dotted origin), module-level string constants, module-level mutable
+  bindings, and every function definition with its qualified name;
+- :class:`ProjectIndex` — the whole tree: modules keyed by dotted name,
+  an import graph, and cross-module resolution
+  (:meth:`ProjectIndex.resolve_function`);
+- :func:`build_index` — parallel per-file parse (a thread pool; parsing
+  is the dominant cost and the tree must index in well under a second so
+  ``ftmc selfcheck`` stays interactive).
+
+Everything here is standard library only and import-free at analysis
+time: *resolution is textual*.  ``from repro.io import append_jsonl``
+maps the local name ``append_jsonl`` to the dotted path
+``repro.io.append_jsonl`` whether or not ``repro.io`` is importable,
+which is what lets the same pass run over fixtures and foreign trees.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = [
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectIndex",
+    "build_index",
+    "index_from_sources",
+    "module_from_source",
+    "dotted_name",
+    "attribute_chain",
+]
+
+#: Constructors whose module-level bindings count as mutable state.
+_MUTABLE_CONSTRUCTORS = frozenset({"list", "dict", "set", "bytearray", "deque",
+                                   "defaultdict", "Counter", "OrderedDict"})
+
+
+def attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``; ``None`` for non-name chains."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """``a.b.c`` rendered back to its dotted source form."""
+    chain = attribute_chain(node)
+    return ".".join(chain) if chain else None
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function (or method) definition inside a module."""
+
+    qualname: str  #: ``module.func`` or ``module.Class.func`` (dotted).
+    name: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    params: tuple[str, ...]
+
+    @property
+    def lineno(self) -> int:
+        return self.node.lineno
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module and its name-resolution tables."""
+
+    relpath: str  #: Path relative to the scanned root, ``/``-separated.
+    module: str  #: Dotted module name (``repro.runner.worker``).
+    tree: ast.Module
+    source: str
+    #: Local name → dotted origin (``np`` → ``numpy``,
+    #: ``append_jsonl`` → ``repro.io.append_jsonl``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: Module-level ``NAME = "literal string"`` constants.
+    constants: dict[str, str] = field(default_factory=dict)
+    #: Module-level names bound to mutable containers (fork-safety pass).
+    mutable_globals: dict[str, int] = field(default_factory=dict)
+    #: Functions by in-module qualname (``Class.meth`` or ``func``).
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+
+    def resolve(self, node: ast.expr) -> str | None:
+        """The dotted origin of a Name/Attribute chain, if importable.
+
+        ``np.random.rand`` with ``import numpy as np`` resolves to
+        ``numpy.random.rand``; an unimported local name resolves to
+        itself so intra-module references still compare.
+        """
+        chain = attribute_chain(node)
+        if not chain:
+            return None
+        head, rest = chain[0], chain[1:]
+        origin = self.imports.get(head, head)
+        return ".".join([origin, *rest]) if rest else origin
+
+    def resolve_dotted(self, name: str) -> str:
+        """Resolve an already-dotted local name through the import map."""
+        head, _, rest = name.partition(".")
+        origin = self.imports.get(head, head)
+        return f"{origin}.{rest}" if rest else origin
+
+
+def _module_name(relpath: str, package: str) -> str:
+    parts = relpath.replace(os.sep, "/").split("/")
+    if parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts[-1] == "__init__":
+        parts.pop()
+    return ".".join([package, *parts]) if parts else package
+
+
+def _record_imports(module: ModuleInfo, node: ast.stmt, is_package: bool) -> None:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            local = alias.asname or alias.name.partition(".")[0]
+            target = alias.name if alias.asname else alias.name.partition(".")[0]
+            module.imports[local] = target
+            if alias.asname is None and "." in alias.name:
+                # ``import a.b`` binds ``a`` locally but the dependency
+                # is on ``a.b`` — keep the full path for the graph (the
+                # dotted key can never collide with a local identifier).
+                module.imports[alias.name] = alias.name
+    elif isinstance(node, ast.ImportFrom):
+        base = node.module or ""
+        if node.level:
+            # Resolve ``from .mod import f`` against this module's
+            # package: level 1 is the containing package (the module
+            # itself when it *is* a package ``__init__``).
+            parts = module.module.split(".")
+            drop = node.level - 1 if is_package else node.level
+            anchor = parts[: len(parts) - drop] if drop else parts
+            base = ".".join([*anchor, base]) if base else ".".join(anchor)
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            local = alias.asname or alias.name
+            module.imports[local] = f"{base}.{alias.name}" if base else alias.name
+
+
+def _is_mutable_binding(value: ast.expr) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        callee = value.func
+        name = callee.id if isinstance(callee, ast.Name) else (
+            callee.attr if isinstance(callee, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+def _collect_functions(
+    module: ModuleInfo, body: list[ast.stmt], prefix: str
+) -> None:
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{node.name}"
+            args = node.args
+            params = tuple(
+                a.arg
+                for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+            )
+            module.functions[qual] = FunctionInfo(
+                qualname=f"{module.module}.{qual}",
+                name=node.name,
+                module=module.module,
+                node=node,
+                params=params,
+            )
+        elif isinstance(node, ast.ClassDef):
+            _collect_functions(module, node.body, f"{prefix}{node.name}.")
+
+
+def module_from_source(
+    source: str, relpath: str = "<string>", package: str = "project"
+) -> ModuleInfo | None:
+    """Parse one source string into a :class:`ModuleInfo` (None = syntax error)."""
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError:
+        return None
+    normalized = relpath.replace(os.sep, "/")
+    module = ModuleInfo(
+        relpath=normalized,
+        module=_module_name(normalized, package),
+        tree=tree,
+        source=source,
+    )
+    is_package = normalized.endswith("__init__.py")
+    for node in tree.body:
+        _record_imports(module, node, is_package)
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if (
+                    isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    module.constants[target.id] = node.value.value
+                elif _is_mutable_binding(node.value):
+                    module.mutable_globals[target.id] = node.lineno
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                if (
+                    isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, str)
+                ):
+                    module.constants[node.target.id] = node.value.value
+                elif _is_mutable_binding(node.value):
+                    module.mutable_globals[node.target.id] = node.lineno
+    _collect_functions(module, tree.body, "")
+    return module
+
+
+def index_from_sources(
+    sources: Mapping[str, str], package: str = "project"
+) -> "ProjectIndex":
+    """Build an in-memory index from ``{relpath: source}`` (fixtures)."""
+    index = ProjectIndex(root="<memory>", package=package)
+    unparsed: list[str] = []
+    for relpath in sorted(sources):
+        module = module_from_source(sources[relpath], relpath, package)
+        if module is None:
+            unparsed.append(relpath.replace(os.sep, "/"))
+        else:
+            index.modules[module.module] = module
+    index.unparsed = tuple(unparsed)
+    return index
+
+
+@dataclass
+class ProjectIndex:
+    """Every parsed module of one tree, plus cross-module resolution."""
+
+    root: str
+    package: str
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    #: relpaths (sorted) that failed to parse; the syntactic pass
+    #: reports them as FTMCC00, the dataflow passes just skip them.
+    unparsed: tuple[str, ...] = ()
+
+    def ordered(self) -> list[ModuleInfo]:
+        """Modules in deterministic (relpath) order."""
+        return sorted(self.modules.values(), key=lambda m: m.relpath)
+
+    def by_relpath(self, relpath: str) -> ModuleInfo | None:
+        normalized = relpath.replace(os.sep, "/")
+        for module in self.modules.values():
+            if module.relpath == normalized:
+                return module
+        return None
+
+    def resolve_function(self, dotted: str) -> FunctionInfo | None:
+        """Find the definition behind a dotted path, across modules.
+
+        ``repro.runner.worker.shard_worker`` splits into the longest
+        module prefix present in the index plus an in-module qualname.
+        """
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = self.modules.get(".".join(parts[:split]))
+            if module is not None:
+                qual = ".".join(parts[split:])
+                info = module.functions.get(qual)
+                if info is not None:
+                    return info
+        return None
+
+    def import_graph(self) -> dict[str, tuple[str, ...]]:
+        """module → imported in-project modules (deterministic order)."""
+        known = set(self.modules)
+        graph: dict[str, tuple[str, ...]] = {}
+        for module in self.ordered():
+            targets: set[str] = set()
+            for origin in module.imports.values():
+                # An imported *name* may be module.attr; try both forms.
+                if origin in known:
+                    targets.add(origin)
+                else:
+                    parent = origin.rpartition(".")[0]
+                    if parent in known:
+                        targets.add(parent)
+            targets.discard(module.module)
+            graph[module.module] = tuple(sorted(targets))
+        return graph
+
+
+def _iter_py_files(root: str) -> list[str]:
+    paths: list[str] = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                paths.append(os.path.join(dirpath, filename))
+    return paths
+
+
+def default_jobs() -> int:
+    """Worker count for the per-file phases (bounded; 1 on tiny trees)."""
+    return max(1, min(8, (os.cpu_count() or 2)))
+
+
+def build_index(
+    root: str, package: str | None = None, jobs: int | None = None
+) -> ProjectIndex:
+    """Parse every ``.py`` file under ``root`` into a :class:`ProjectIndex`.
+
+    Files are read and parsed concurrently (``jobs`` threads); the index
+    itself is assembled deterministically in sorted-path order, so the
+    output is independent of completion order.
+    """
+    if package is None:
+        package = os.path.basename(os.path.normpath(root)) or "project"
+    paths = _iter_py_files(root)
+    jobs = jobs if jobs is not None else default_jobs()
+
+    def parse_one(path: str) -> tuple[str, ModuleInfo | None]:
+        relpath = os.path.relpath(path, root).replace(os.sep, "/")
+        with open(path) as handle:
+            source = handle.read()
+        return relpath, module_from_source(source, relpath, package)
+
+    if jobs > 1 and len(paths) > 1:
+        with ThreadPoolExecutor(max_workers=jobs) as pool:
+            parsed = list(pool.map(parse_one, paths))
+    else:
+        parsed = [parse_one(path) for path in paths]
+
+    index = ProjectIndex(root=root, package=package)
+    unparsed: list[str] = []
+    for relpath, module in sorted(parsed, key=lambda pair: pair[0]):
+        if module is None:
+            unparsed.append(relpath)
+        else:
+            index.modules[module.module] = module
+    index.unparsed = tuple(unparsed)
+    return index

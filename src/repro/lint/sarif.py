@@ -1,0 +1,154 @@
+"""SARIF 2.1.0 rendering for lint reports.
+
+`SARIF <https://sarifweb.azurewebsites.net/>`_ is the interchange format
+GitHub code scanning (and most editors) ingest; ``ftmc lint --format
+sarif`` / ``ftmc selfcheck --format sarif`` emit one run per invocation
+so CI can upload findings as code-scanning alerts.
+
+The mapping is deliberately small and deterministic (goldens diff it):
+
+- each distinct rule code present in the report becomes one entry in
+  ``tool.driver.rules`` (described from the rule catalogs when known,
+  from the first finding's message otherwise);
+- each diagnostic becomes one ``result``; ``file:line`` locations map to
+  ``physicalLocation``, non-file locations (task names, ``"taskset"``)
+  are carried in the message only;
+- a diagnostic's dataflow trace becomes a single-thread ``codeFlow`` so
+  the source → sink path is clickable in code-scanning UIs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "ftmc-lint"
+
+_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _split_location(location: str) -> tuple[str, int] | None:
+    """``path:line`` → ``(uri, line)``; None for non-file locations."""
+    path, sep, line = location.rpartition(":")
+    if not sep:
+        return None
+    try:
+        lineno = int(line)
+    except ValueError:
+        return None
+    return path.replace("\\", "/"), max(1, lineno)
+
+
+def _physical_location(uri: str, line: int) -> dict[str, object]:
+    return {
+        "artifactLocation": {"uri": uri, "uriBaseId": "SRCROOT"},
+        "region": {"startLine": line},
+    }
+
+
+def _result(diag: Diagnostic, rule_index: int) -> dict[str, object]:
+    text = diag.message
+    if diag.suggestion:
+        text += f" [fix: {diag.suggestion}]"
+    result: dict[str, object] = {
+        "ruleId": diag.code,
+        "ruleIndex": rule_index,
+        "level": _LEVELS[diag.severity],
+        "message": {"text": text},
+    }
+    parsed = _split_location(diag.location)
+    if parsed is not None:
+        uri, line = parsed
+        result["locations"] = [{"physicalLocation": _physical_location(uri, line)}]
+    else:
+        result["message"] = {"text": f"{diag.location}: {text}"}
+    if diag.trace:
+        flow_locations = []
+        for point in diag.trace:
+            step = _split_location(point.location)
+            entry: dict[str, object] = {"message": {"text": point.note}}
+            if step is not None:
+                entry["physicalLocation"] = _physical_location(*step)
+            flow_locations.append({"location": entry})
+        result["codeFlows"] = [
+            {"threadFlows": [{"locations": flow_locations}]}
+        ]
+    return result
+
+
+def render_sarif(
+    report: LintReport,
+    subject: str | None = None,
+    rule_catalog: Mapping[str, tuple[Severity, str]] | None = None,
+) -> str:
+    """The report as a SARIF 2.1.0 JSON document (stable output).
+
+    ``rule_catalog`` supplies ``code → (severity, summary)`` metadata for
+    the ``tool.driver.rules`` array; codes missing from it are described
+    by the first finding's message.
+    """
+    catalog = dict(rule_catalog or {})
+
+    rule_ids: list[str] = []
+    first_message: dict[str, Diagnostic] = {}
+    for diag in report:
+        if diag.code not in first_message:
+            first_message[diag.code] = diag
+            rule_ids.append(diag.code)
+    rule_ids.sort()
+    rule_index = {code: i for i, code in enumerate(rule_ids)}
+
+    rules = []
+    for code in rule_ids:
+        if code in catalog:
+            severity, summary = catalog[code]
+        else:
+            diag = first_message[code]
+            severity, summary = diag.severity, diag.message
+        rules.append(
+            {
+                "id": code,
+                "shortDescription": {"text": summary},
+                "defaultConfiguration": {"level": _LEVELS[severity]},
+            }
+        )
+
+    document: dict[str, object] = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri":
+                            "https://example.invalid/ftmc/docs/lint",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"description": {
+                        "text": subject or "scanned tree"
+                    }}
+                },
+                "results": [
+                    _result(diag, rule_index[diag.code]) for diag in report
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

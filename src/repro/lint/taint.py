@@ -1,0 +1,567 @@
+"""The dataflow rule families: FTMCD, FTMCF and FTMCP.
+
+Built on the project index (:mod:`repro.lint.project`) and the taint
+engine (:mod:`repro.lint.flow`), three families of machine-checked
+invariants back the campaign runner's determinism contract and the
+analysis layer's certification argument:
+
+======= ======================================================================
+code    invariant
+======= ======================================================================
+FTMCD01 no unseeded-RNG value may reach a result/checkpoint sink —
+        campaign payloads must be a pure function of the shard plan
+        (``backoff_rng``-style seeded per-shard streams are sanctioned)
+FTMCD02 no wall-clock or entropy value (``time.time``, ``os.urandom``,
+        ``uuid4``, ...) may reach a result/checkpoint sink
+FTMCD03 no unordered-iteration result (``set`` iteration, ``os.listdir``
+        order) may reach a result/checkpoint sink; ``sorted()`` sanitises
+FTMCF01 no module-level mutable state may be mutated inside
+        :mod:`repro.runner` functions — a forked worker mutates its own
+        copy while the supervisor's goes stale
+FTMCF02 no pipe ``send()`` after ``close()`` on the same connection (the
+        worker protocol is one-shot; send-after-close raises at runtime)
+FTMCF03 every ``Process(target=...)`` entry point must call
+        ``reset_inherited_session()`` before doing traced work — a
+        forked child must never write to the parent's trace stream
+FTMCP01 functions in :mod:`repro.analysis`/:mod:`repro.safety` must not
+        write files — analyses are pure; emission belongs to callers
+FTMCP02 functions in :mod:`repro.analysis`/:mod:`repro.safety` must not
+        mutate module-level state (``functools.lru_cache`` is the
+        sanctioned memo mechanism)
+FTMCP03 functions in :mod:`repro.analysis`/:mod:`repro.safety` must not
+        read the environment at call time, except the sanctioned
+        ``REPRO_*`` toggles (``REPRO_NO_NUMPY``)
+======= ======================================================================
+
+All are error severity.  Pre-existing findings are suppressed through
+``lint-baseline.json`` (:mod:`repro.lint.baseline`) so the rules are
+strict on new code only.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.diagnostics import Diagnostic, Severity, TracePoint
+from repro.lint.flow import (
+    FunctionSummary,
+    TaintedFlow,
+    analyze_function,
+    analyze_module_body,
+    module_environment,
+    register_params,
+)
+from repro.lint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+    attribute_chain,
+)
+
+__all__ = ["TAINT_RULE_CATALOG", "analyze_index"]
+
+#: code → (severity, summary); consumed by docs-sync tests and SARIF.
+TAINT_RULE_CATALOG: dict[str, tuple[Severity, str]] = {
+    "FTMCD01": (Severity.ERROR,
+                "unseeded RNG value flows into a result/checkpoint sink"),
+    "FTMCD02": (Severity.ERROR,
+                "wall-clock or entropy value flows into a result/checkpoint "
+                "sink"),
+    "FTMCD03": (Severity.ERROR,
+                "unordered iteration result flows into a result/checkpoint "
+                "sink"),
+    "FTMCF01": (Severity.ERROR,
+                "module-level mutable state mutated in a runner function"),
+    "FTMCF02": (Severity.ERROR,
+                "pipe send() after close() on the same connection"),
+    "FTMCF03": (Severity.ERROR,
+                "fork target does not reset the inherited obs session"),
+    "FTMCP01": (Severity.ERROR,
+                "analysis/safety function writes files at call time"),
+    "FTMCP02": (Severity.ERROR,
+                "analysis/safety function mutates module-level state"),
+    "FTMCP03": (Severity.ERROR,
+                "analysis/safety function reads the environment at call time "
+                "outside the sanctioned REPRO_* toggles"),
+}
+
+_KIND_TO_CODE = {
+    "rng": "FTMCD01",
+    "wallclock": "FTMCD02",
+    "entropy": "FTMCD02",
+    "order": "FTMCD03",
+}
+
+_KIND_TO_NOUN = {
+    "rng": "unseeded RNG value",
+    "wallclock": "wall-clock value",
+    "entropy": "entropy value",
+    "order": "unordered iteration result",
+}
+
+_KIND_TO_SUGGESTION = {
+    "rng": "draw from a seeded stream: random.Random(seed), "
+           "np.random.default_rng(seed) or a backoff_rng-style per-shard "
+           "generator",
+    "wallclock": "derive record fields from the shard plan; keep timing in "
+                 "coverage/trace files excluded from the byte-identical "
+                 "contract",
+    "entropy": "derive identifiers from the shard plan (id/index/seed), "
+               "never from os.urandom/uuid4",
+    "order": "wrap the iterable in sorted(...) before it reaches an emitted "
+             "record",
+}
+
+#: Container-mutating method names (FTMCF01/FTMCP02).
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault", "remove",
+    "discard", "clear", "pop", "popitem", "appendleft", "extendleft",
+})
+
+#: Call-time write APIs (FTMCP01) besides write-mode ``open``.
+_WRITE_CALLS = frozenset({
+    "repro.io.atomic_write_text", "repro.io.atomic_write_json",
+    "repro.io.append_jsonl",
+    "os.makedirs", "os.mkdir", "os.remove", "os.unlink", "os.rename",
+    "os.replace", "os.rmdir",
+    "shutil.copy", "shutil.copy2", "shutil.copyfile", "shutil.copytree",
+    "shutil.move", "shutil.rmtree",
+})
+
+#: ``pathlib.Path`` mutating methods (FTMCP01 / FTMCC05 routing).
+_PATH_WRITE_METHODS = frozenset({
+    "write_text", "write_bytes", "touch", "mkdir", "unlink", "rmdir",
+    "rename", "replace", "symlink_to", "hardlink_to",
+})
+
+#: Environment keys analyses may read at call time (FTMCP03).
+_SANCTIONED_ENV_PREFIX = "REPRO_"
+
+_SUMMARY_ROUNDS = 4
+
+
+def _runner_scoped(module: ModuleInfo) -> bool:
+    return module.relpath.startswith("runner/") or "/runner/" in module.relpath
+
+
+def _purity_scoped(module: ModuleInfo) -> bool:
+    for prefix in ("analysis/", "safety/"):
+        if module.relpath.startswith(prefix) or f"/{prefix}" in module.relpath:
+            return True
+    return False
+
+
+def _functions_in_order(module: ModuleInfo) -> list[FunctionInfo]:
+    return sorted(module.functions.values(), key=lambda f: f.lineno)
+
+
+# -- FTMCD: determinism taint --------------------------------------------------
+
+
+def _taint_diagnostics(index: ProjectIndex) -> list[Diagnostic]:
+    register_params(
+        {
+            info.qualname: info.params
+            for module in index.ordered()
+            for info in module.functions.values()
+        }
+    )
+    summaries: dict[str, FunctionSummary] = {}
+    discard = lambda flow: None  # noqa: E731 - summary rounds do not emit
+    for _ in range(_SUMMARY_ROUNDS):
+        envs = {
+            module.module: module_environment(module, summaries)
+            for module in index.ordered()
+        }
+        round_summaries: dict[str, FunctionSummary] = {}
+        for module in index.ordered():
+            for info in _functions_in_order(module):
+                round_summaries[info.qualname] = analyze_function(
+                    module, info, summaries, envs[module.module], discard
+                )
+        if round_summaries == summaries:
+            break
+        summaries = round_summaries
+
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple[str, str, str]] = set()
+
+    def emitter(module: ModuleInfo):
+        def emit(flow: TaintedFlow) -> None:
+            code = _KIND_TO_CODE.get(flow.kind)
+            if code is None:
+                return
+            location = f"{module.relpath}:{flow.lineno}"
+            message = (
+                f"{_KIND_TO_NOUN[flow.kind]} reaches {flow.sink} — emitted "
+                "records must be a deterministic function of the plan"
+            )
+            key = (code, location, message)
+            if key in seen:
+                return
+            seen.add(key)
+            diagnostics.append(
+                Diagnostic(
+                    code,
+                    Severity.ERROR,
+                    location,
+                    message,
+                    suggestion=_KIND_TO_SUGGESTION[flow.kind],
+                    trace=tuple(flow.trace),
+                )
+            )
+
+        return emit
+
+    for module in index.ordered():
+        emit = emitter(module)
+        analyze_module_body(module, summaries, emit)
+        env = module_environment(module, summaries)
+        for info in _functions_in_order(module):
+            analyze_function(module, info, summaries, env, emit)
+    return diagnostics
+
+
+# -- FTMCF: fork/concurrency safety --------------------------------------------
+
+
+def _global_mutations(
+    module: ModuleInfo, info: FunctionInfo
+) -> Iterable[tuple[int, str, str]]:
+    """``(line, name, how)`` mutations of module-level state in a function."""
+    declared_global: set[str] = set()
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+    for node in ast.walk(info.node):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id in declared_global
+                ):
+                    yield node.lineno, target.id, "rebound via 'global'"
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ) and target.value.id in module.mutable_globals:
+                    yield node.lineno, target.value.id, "item-assigned"
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            base = node.func.value
+            if (
+                isinstance(base, ast.Name)
+                and base.id in module.mutable_globals
+                and node.func.attr in _MUTATOR_METHODS
+            ):
+                yield node.lineno, base.id, f".{node.func.attr}()"
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ) and target.value.id in module.mutable_globals:
+                    yield node.lineno, target.value.id, "item-deleted"
+
+
+def _send_after_close(info: FunctionInfo) -> Iterable[tuple[int, str]]:
+    """``(line, name)`` for pipe sends that follow a close on all paths."""
+
+    def conn_of(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Attribute):
+            chain = attribute_chain(call.func.value)
+            if chain:
+                return ".".join(chain)
+        return None
+
+    findings: list[tuple[int, str]] = []
+
+    def walk(body: list[ast.stmt], closed: set[str]) -> set[str]:
+        for stmt in body:
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                if isinstance(call.func, ast.Attribute):
+                    name = conn_of(call)
+                    if name is not None:
+                        if call.func.attr == "close":
+                            closed.add(name)
+                        elif call.func.attr == "send" and name in closed:
+                            findings.append((stmt.lineno, name))
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        closed.discard(target.id)
+            elif isinstance(stmt, ast.If):
+                then = walk(stmt.body, set(closed))
+                other = walk(stmt.orelse, set(closed))
+                closed = then & other
+            elif isinstance(stmt, (ast.For, ast.While)):
+                walk(stmt.body, set(closed))
+                walk(stmt.orelse, set(closed))
+            elif isinstance(stmt, ast.Try):
+                after_body = walk(stmt.body, set(closed))
+                for handler in stmt.handlers:
+                    walk(handler.body, set(closed))
+                after_else = walk(stmt.orelse, set(after_body))
+                closed = walk(stmt.finalbody, after_else)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                closed = walk(stmt.body, closed)
+        return closed
+
+    walk(info.node.body, set())
+    return findings
+
+
+def _calls_name(node: ast.AST, name: str) -> bool:
+    for child in ast.walk(node):
+        if isinstance(child, ast.Call):
+            func = child.func
+            leaf = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if leaf == name:
+                return True
+    return False
+
+
+def _fork_diagnostics(index: ProjectIndex) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for module in index.ordered():
+        if _runner_scoped(module):
+            for info in _functions_in_order(module):
+                for line, name, how in sorted(
+                    set(_global_mutations(module, info))
+                ):
+                    diagnostics.append(
+                        Diagnostic(
+                            "FTMCF01",
+                            Severity.ERROR,
+                            f"{module.relpath}:{line}",
+                            f"module-level mutable '{name}' {how} inside "
+                            f"{info.name}() — a forked worker mutates its own "
+                            "copy while the supervisor's copy goes stale",
+                            suggestion="thread the state through parameters "
+                            "or move it into the supervisor object",
+                        )
+                    )
+                for line, name in _send_after_close(info):
+                    diagnostics.append(
+                        Diagnostic(
+                            "FTMCF02",
+                            Severity.ERROR,
+                            f"{module.relpath}:{line}",
+                            f"{name}.send() after {name}.close() — the "
+                            "one-shot worker pipe protocol sends exactly "
+                            "once, then closes",
+                            suggestion="send the outcome first; close in a "
+                            "finally block",
+                        )
+                    )
+        # FTMCF03 applies wherever workers are forked.
+        for node in ast.walk(module.tree):
+            if not (isinstance(node, ast.Call)):
+                continue
+            func_chain = attribute_chain(node.func)
+            if not func_chain or func_chain[-1] != "Process":
+                continue
+            target = next(
+                (kw.value for kw in node.keywords if kw.arg == "target"), None
+            )
+            if target is None:
+                continue
+            dotted = module.resolve(target)
+            if dotted is None:
+                continue
+            info = index.resolve_function(dotted)
+            if info is None:
+                info = index.resolve_function(f"{module.module}.{dotted}")
+            if info is None:
+                continue
+            if not _calls_name(info.node, "reset_inherited_session"):
+                diagnostics.append(
+                    Diagnostic(
+                        "FTMCF03",
+                        Severity.ERROR,
+                        f"{module.relpath}:{node.lineno}",
+                        f"fork target {info.name}() never calls "
+                        "reset_inherited_session() — the child would write "
+                        "to the parent's inherited trace stream",
+                        suggestion="call repro.obs.trace."
+                        "reset_inherited_session() first in the worker entry "
+                        "point",
+                        trace=(
+                            TracePoint(
+                                f"{module.relpath}:{node.lineno}",
+                                f"worker forked with target={info.name}",
+                            ),
+                            TracePoint(
+                                f"{info.module.rpartition('.')[2]}: "
+                                f"{info.name}() defined at line {info.lineno}",
+                                "entry point does not reset the obs session",
+                            ),
+                        ),
+                    )
+                )
+    return diagnostics
+
+
+# -- FTMCP: purity of the analysis layer ---------------------------------------
+
+
+def _open_write_mode(node: ast.Call) -> str | None:
+    mode_node: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    else:
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode_node = keyword.value
+    if mode_node is None:
+        return None  # default "r"
+    if isinstance(mode_node, ast.Constant) and isinstance(mode_node.value, str):
+        return mode_node.value if set(mode_node.value) & set("wax+") else None
+    return None
+
+
+def _env_key(node: ast.Call | ast.Subscript, module: ModuleInfo) -> str | None:
+    """The (resolved) key of an environment read, if literal."""
+    key_node: ast.expr | None = None
+    if isinstance(node, ast.Call) and node.args:
+        key_node = node.args[0]
+    elif isinstance(node, ast.Subscript):
+        key_node = node.slice
+    if isinstance(key_node, ast.Constant) and isinstance(key_node.value, str):
+        return key_node.value
+    if isinstance(key_node, ast.Name):
+        return module.constants.get(key_node.id)
+    if isinstance(key_node, ast.Attribute):
+        return module.constants.get(key_node.attr)
+    return None
+
+
+def _purity_diagnostics(index: ProjectIndex) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    for module in index.ordered():
+        if not _purity_scoped(module):
+            continue
+        for info in _functions_in_order(module):
+            for line, name, how in sorted(set(_global_mutations(module, info))):
+                diagnostics.append(
+                    Diagnostic(
+                        "FTMCP02",
+                        Severity.ERROR,
+                        f"{module.relpath}:{line}",
+                        f"module-level state '{name}' {how} inside "
+                        f"{info.name}() — analyses must be pure so results "
+                        "depend only on their inputs",
+                        suggestion="use functools.lru_cache for memoisation, "
+                        "or return the data to the caller",
+                    )
+                )
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Call):
+                    dotted = module.resolve(node.func)
+                    leaf = dotted.rpartition(".")[2] if dotted else None
+                    if dotted == "open":
+                        mode = _open_write_mode(node)
+                        if mode is not None:
+                            diagnostics.append(
+                                Diagnostic(
+                                    "FTMCP01",
+                                    Severity.ERROR,
+                                    f"{module.relpath}:{node.lineno}",
+                                    f"file write (open mode {mode!r}) inside "
+                                    f"{info.name}() — analyses are pure; "
+                                    "emission belongs to the caller",
+                                    suggestion="return the data; let the "
+                                    "experiment driver write it via repro.io",
+                                )
+                            )
+                    elif dotted in _WRITE_CALLS or (
+                        leaf in _PATH_WRITE_METHODS
+                        and isinstance(node.func, ast.Attribute)
+                    ):
+                        what = dotted if dotted in _WRITE_CALLS else f".{leaf}()"
+                        diagnostics.append(
+                            Diagnostic(
+                                "FTMCP01",
+                                Severity.ERROR,
+                                f"{module.relpath}:{node.lineno}",
+                                f"filesystem mutation {what} inside "
+                                f"{info.name}() — analyses are pure; emission "
+                                "belongs to the caller",
+                                suggestion="return the data; let the "
+                                "experiment driver write it via repro.io",
+                            )
+                        )
+                    elif dotted == "os.getenv" or (
+                        isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "get"
+                        and module.resolve(node.func.value) == "os.environ"
+                    ):
+                        key = _env_key(node, module)
+                        if key is None or not key.startswith(
+                            _SANCTIONED_ENV_PREFIX
+                        ):
+                            diagnostics.append(
+                                _env_diagnostic(module, info, node.lineno, key)
+                            )
+                elif isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    if module.resolve(node.value) == "os.environ":
+                        key = _env_key(node, module)
+                        if key is None or not key.startswith(
+                            _SANCTIONED_ENV_PREFIX
+                        ):
+                            diagnostics.append(
+                                _env_diagnostic(module, info, node.lineno, key)
+                            )
+    return diagnostics
+
+
+def _env_diagnostic(
+    module: ModuleInfo, info: FunctionInfo, lineno: int, key: str | None
+) -> Diagnostic:
+    shown = f"{key!r}" if key is not None else "a dynamic key"
+    return Diagnostic(
+        "FTMCP03",
+        Severity.ERROR,
+        f"{module.relpath}:{lineno}",
+        f"environment read of {shown} at call time inside {info.name}() — "
+        "outside the sanctioned REPRO_* toggles this makes results depend on "
+        "ambient process state",
+        suggestion="read configuration at import time, pass it as a "
+        "parameter, or use a REPRO_*-prefixed toggle",
+    )
+
+
+# -- entry point ---------------------------------------------------------------
+
+
+def _sort_key(diag: Diagnostic) -> tuple[str, int, str]:
+    path, _, line = diag.location.rpartition(":")
+    try:
+        return (path, int(line), diag.code)
+    except ValueError:
+        return (diag.location, 0, diag.code)
+
+
+def analyze_index(index: ProjectIndex) -> list[Diagnostic]:
+    """Run every dataflow rule family over a built project index."""
+    diagnostics = [
+        *_taint_diagnostics(index),
+        *_fork_diagnostics(index),
+        *_purity_diagnostics(index),
+    ]
+    return sorted(diagnostics, key=_sort_key)

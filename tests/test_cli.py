@@ -286,6 +286,89 @@ class TestSelfcheckCommand:
         assert main(["selfcheck", str(tmp_path / "missing")]) == 2
         assert "not a directory" in capsys.readouterr().err
 
+    # The acceptance fixture: an unseeded RNG draw laundered through two
+    # assignments into a repro.io writer inside a runner-scoped module.
+    PLANT = (
+        "import random\n"
+        "from repro.io import append_jsonl\n"
+        "\n"
+        "def record_shard(path, shard_id):\n"
+        "    jitter = random.random()\n"
+        '    record = {"shard": shard_id, "jitter": jitter}\n'
+        "    append_jsonl(path, record)\n"
+    )
+
+    def plant(self, tmp_path):
+        runner = tmp_path / "runner"
+        runner.mkdir()
+        (runner / "plant.py").write_text(self.PLANT)
+        return tmp_path
+
+    def test_planted_rng_flow_is_traced_in_text(self, tmp_path, capsys):
+        root = self.plant(tmp_path)
+        assert main(["selfcheck", str(root), "--no-baseline"]) == 1
+        out = capsys.readouterr().out
+        assert "FTMCD01" in out
+        assert "runner/plant.py:7" in out
+        assert "source: random.random()" in out
+        assert "assigned to 'jitter'" in out
+        assert "sink: append_jsonl(...)" in out
+
+    def test_planted_rng_flow_is_traced_in_sarif(self, tmp_path, capsys):
+        root = self.plant(tmp_path)
+        code = main(
+            ["selfcheck", str(root), "--no-baseline", "--format", "sarif"]
+        )
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "FTMCD01"
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "runner/plant.py"
+        assert physical["region"]["startLine"] == 7
+        steps = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert "random.random()" in steps[0]["location"]["message"]["text"]
+        assert steps[-1]["location"]["message"]["text"].startswith("sink")
+
+    def test_baseline_round_trip_via_cli(self, tmp_path, capsys):
+        root = self.plant(tmp_path)
+        baseline = str(tmp_path / "accepted.json")
+        code = main(
+            ["selfcheck", str(root), "--baseline", baseline,
+             "--update-baseline"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0, captured.out
+        assert "wrote 1 entrie(s)" in captured.err
+        # Second run against the written baseline: suppressed, clean.
+        assert main(["selfcheck", str(root), "--baseline", baseline]) == 0
+        assert "suppressed 1 finding(s)" in capsys.readouterr().err
+
+    def test_tests_profile_relaxes_probability_equality(self, tmp_path,
+                                                        capsys):
+        (tmp_path / "test_mod.py").write_text(
+            "def test_round_trip(task):\n    assert task.pfh == 1e-5\n"
+        )
+        assert main(["selfcheck", str(tmp_path), "--no-baseline"]) == 1
+        assert "FTMCC01" in capsys.readouterr().out
+        code = main(
+            ["selfcheck", str(tmp_path), "--no-baseline",
+             "--profile", "tests", "--strict"]
+        )
+        assert code == 0
+
+    def test_fix_flag_rewrites_provable_sites(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "def visit(items):\n"
+            "    seen = set(items)\n"
+            "    return list(seen)\n"
+        )
+        assert main(["selfcheck", str(tmp_path), "--fix",
+                     "--no-baseline"]) == 0
+        assert "applied 1 rewrite(s)" in capsys.readouterr().err
+        assert "list(sorted(seen))" in target.read_text()
+
 
 class TestCampaignCommand:
     def test_parser_accepts_campaign_knobs(self):

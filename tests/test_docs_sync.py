@@ -95,11 +95,19 @@ class TestLintCatalogSync:
         for code in engine_codes + code_codes:
             assert code in lint_doc, f"{code} missing from docs/lint.md"
 
+    def test_dataflow_rules_are_documented(self, lint_doc):
+        from repro.lint.taint import TAINT_RULE_CATALOG
+
+        for code in TAINT_RULE_CATALOG:
+            assert code in lint_doc, f"{code} missing from docs/lint.md"
+
     def test_documented_codes_all_exist(self, lint_doc):
         from repro.lint import rule_catalog
+        from repro.lint.taint import TAINT_RULE_CATALOG
 
         known = {r.code for r in rule_catalog()}
         known.update({"FTMC040", "FTMC041", "FTMC042"})
         known.update({f"FTMCC0{i}" for i in range(8)})
-        for code in set(re.findall(r"FTMCC?\d{2,3}", lint_doc)):
+        known.update(TAINT_RULE_CATALOG)
+        for code in set(re.findall(r"FTMC[CDFP]?\d{2,3}", lint_doc)):
             assert code in known, f"docs/lint.md documents unknown rule {code}"

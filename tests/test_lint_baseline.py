@@ -1,0 +1,169 @@
+"""Tests for baseline suppression (``lint-baseline.json``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BASELINABLE_PREFIXES,
+    apply_baseline,
+    default_baseline_path,
+    fingerprint,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+
+def dataflow_finding(line: int = 8, message: str | None = None) -> Diagnostic:
+    return Diagnostic(
+        "FTMCD01",
+        Severity.ERROR,
+        f"runner/plant.py:{line}",
+        message or "unseeded RNG value reaches append_jsonl(...)",
+    )
+
+
+class TestFingerprint:
+    def test_line_shifts_do_not_change_the_fingerprint(self):
+        assert fingerprint(dataflow_finding(8)) == fingerprint(
+            dataflow_finding(123)
+        )
+
+    def test_code_path_and_message_all_matter(self):
+        base = dataflow_finding()
+        other_file = Diagnostic(
+            base.code, base.severity, "runner/other.py:8", base.message
+        )
+        other_message = dataflow_finding(message="different flow")
+        other_code = Diagnostic(
+            "FTMCD02", base.severity, base.location, base.message
+        )
+        prints = {
+            fingerprint(base), fingerprint(other_file),
+            fingerprint(other_message), fingerprint(other_code),
+        }
+        assert len(prints) == 4
+
+
+class TestRoundTrip:
+    def test_add_then_suppress(self, tmp_path):
+        report = LintReport([dataflow_finding()])
+        path = str(tmp_path / "lint-baseline.json")
+        assert write_baseline(path, report) == 1
+        result = apply_baseline(report, load_baseline(path))
+        assert len(result.report) == 0
+        assert result.suppressed == 1
+        assert result.stale == ()
+
+    def test_fixed_finding_becomes_stale_and_expires(self, tmp_path):
+        finding = dataflow_finding()
+        path = str(tmp_path / "lint-baseline.json")
+        write_baseline(path, LintReport([finding]))
+        # The finding is fixed: the entry goes stale ...
+        result = apply_baseline(LintReport(()), load_baseline(path))
+        assert result.stale == (fingerprint(finding),)
+        # ... and --update-baseline (write from current findings) expires it.
+        assert write_baseline(path, LintReport(())) == 0
+        assert load_baseline(path).entries == {}
+
+    def test_new_finding_is_not_suppressed(self, tmp_path):
+        path = str(tmp_path / "lint-baseline.json")
+        write_baseline(path, LintReport([dataflow_finding()]))
+        fresh = dataflow_finding(message="a brand new flow")
+        result = apply_baseline(
+            LintReport([dataflow_finding(), fresh]), load_baseline(path)
+        )
+        assert list(result.report) == [fresh]
+        assert result.suppressed == 1
+
+    def test_written_file_is_deterministic(self, tmp_path):
+        report = LintReport(
+            [dataflow_finding(), dataflow_finding(message="second flow")]
+        )
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        write_baseline(str(first), report)
+        write_baseline(str(second), report)
+        assert first.read_text() == second.read_text()
+
+
+class TestScope:
+    def test_only_dataflow_families_are_baselinable(self, tmp_path):
+        assert BASELINABLE_PREFIXES == ("FTMCD", "FTMCF", "FTMCP")
+        syntactic = Diagnostic(
+            "FTMCC05", Severity.ERROR, "x.py:1", "non-atomic file write"
+        )
+        path = str(tmp_path / "lint-baseline.json")
+        assert write_baseline(path, LintReport([syntactic])) == 0
+        # Even a hand-forged entry must not suppress an FTMCC finding.
+        forged = {
+            "version": 1,
+            "entries": [
+                {
+                    "fingerprint": fingerprint(syntactic),
+                    "code": syntactic.code,
+                    "path": "x.py",
+                    "message": syntactic.message,
+                }
+            ],
+        }
+        (tmp_path / "forged.json").write_text(json.dumps(forged))
+        result = apply_baseline(
+            LintReport([syntactic]),
+            load_baseline(str(tmp_path / "forged.json")),
+        )
+        assert list(result.report) == [syntactic]
+        assert result.suppressed == 0
+
+
+class TestLoadErrors:
+    def test_wrong_version_rejected(self, tmp_path):
+        bad = tmp_path / "b.json"
+        bad.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_baseline(str(bad))
+
+    def test_malformed_entry_rejected(self, tmp_path):
+        bad = tmp_path / "b.json"
+        bad.write_text(json.dumps({"version": 1, "entries": [{"x": 1}]}))
+        with pytest.raises(ValueError, match="malformed"):
+            load_baseline(str(bad))
+
+
+class TestDiscovery:
+    def test_walks_up_from_the_scanned_tree(self, tmp_path):
+        (tmp_path / "lint-baseline.json").write_text(
+            json.dumps({"version": 1, "entries": []})
+        )
+        nested = tmp_path / "src" / "pkg"
+        nested.mkdir(parents=True)
+        found = default_baseline_path(str(nested))
+        assert found == str(tmp_path / "lint-baseline.json")
+
+    def test_returns_none_when_absent(self, tmp_path):
+        nested = tmp_path / "deep" / "er" / "tree"
+        nested.mkdir(parents=True)
+        assert default_baseline_path(str(nested)) is None
+
+    def test_repo_baseline_matches_current_findings(self):
+        # The committed baseline must stay exactly in sync with the
+        # tree: selfcheck with it applied is clean (see
+        # test_lint_codecheck), and no entry is stale.
+        import os
+
+        from repro.lint.codecheck import default_root, selfcheck
+
+        repo_baseline = default_baseline_path(default_root())
+        if repo_baseline is None:
+            # Installed without the repo checkout; nothing to verify.
+            return
+        report = selfcheck(baseline_path=None)
+        result = apply_baseline(report, load_baseline(repo_baseline))
+        assert result.stale == (), (
+            "stale baseline entries - regenerate with "
+            "ftmc selfcheck --update-baseline"
+        )
+        assert os.path.basename(repo_baseline) == "lint-baseline.json"

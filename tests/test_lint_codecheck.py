@@ -47,6 +47,21 @@ class TestProbabilityEquality:
         assert codes("ok = math.isclose(pfh, 0.0)") == []
         assert codes("ok = failure_probability <= 0.0") == []
 
+    def test_ftmcc01_attribute_access(self):
+        # The marker may sit anywhere in the chain, not just rightmost.
+        assert codes("ok = estimate.pfh == x") == ["FTMCC01"]
+        assert codes("ok = pfh_bound.value == x") == ["FTMCC01"]
+
+    def test_ftmcc01_keyword_argument(self):
+        assert codes("ok = f(prob=p) != q") == ["FTMCC01"]
+        assert codes("ok = compare(a, pfh=bound) == other") == ["FTMCC01"]
+
+    def test_ftmcc01_subscript_operand(self):
+        assert codes("ok = row[pfh_index] == x") == ["FTMCC01"]
+
+    def test_ftmcc01_relaxed_for_tests_profile(self):
+        assert codes("ok = task.pfh == 1e-5", allow_prob_eq=True) == []
+
 
 class TestMutableDefaults:
     def test_ftmcc02_literal_defaults(self):
@@ -122,6 +137,63 @@ class TestWriteModeOpen:
 
     def test_shadowed_open_attribute_passes(self):
         assert codes("f = gzip.open(path, 'w')") == []
+
+    def test_ftmcc05_path_write_text(self):
+        assert codes(
+            "from pathlib import Path\n"
+            "Path(p).write_text(data)\n"
+        ) == ["FTMCC05"]
+
+    def test_ftmcc05_path_write_bytes_through_chain(self):
+        assert codes(
+            "import pathlib\n"
+            "pathlib.Path(p).with_suffix('.bin').write_bytes(blob)\n"
+        ) == ["FTMCC05"]
+
+    def test_ftmcc05_named_path_variable(self):
+        src = """
+        from pathlib import Path
+
+        def dump(root, payload):
+            out = Path(root) / "result.json"
+            out.write_text(payload)
+        """
+        assert codes(src) == ["FTMCC05"]
+
+    def test_ftmcc05_annotated_path_open_write(self):
+        src = """
+        from pathlib import Path
+
+        def dump(target: Path, payload):
+            with target.open("w") as handle:
+                handle.write(payload)
+        """
+        assert codes(src) == ["FTMCC05"]
+
+    def test_path_open_read_passes(self):
+        src = """
+        from pathlib import Path
+
+        def load(target: Path):
+            with target.open() as handle:
+                return handle.read()
+        """
+        assert codes(src) == []
+        src_r = """
+        from pathlib import Path
+
+        def load(root):
+            return (Path(root) / "a.json").open("r")
+        """
+        assert codes(src_r) == []
+
+    def test_path_methods_on_unknown_objects_pass(self):
+        # write_text on something not provably a Path: stay silent.
+        assert codes("blob.write_text(data)") == []
+
+    def test_ftmcc05_path_writes_respect_allow_write(self):
+        src = "from pathlib import Path\nPath(p).write_text(d)\n"
+        assert codes(src, allow_write=True) == []
 
     def test_io_module_is_exempt_in_tree_walk(self, tmp_path):
         (tmp_path / "io.py").write_text("f = open(path, 'w')\n")

@@ -1,0 +1,225 @@
+"""Tests for the provable autofixes (``ftmc selfcheck --fix``).
+
+The two documented guarantees are property-tested with hypothesis:
+
+- **idempotence** — applying the rewriter to its own output changes
+  nothing (second pass finds no work);
+- **behaviour preservation** — a ``sorted()``-wrapped iteration visits
+  exactly the same elements (order excepted, which was unspecified to
+  begin with), and a seed-threaded constructor becomes the deterministic
+  ``Random(seed)`` stream.
+"""
+
+from __future__ import annotations
+
+import random
+import textwrap
+from collections import Counter
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lint.fixes import fix_file, rewrite_source
+
+
+def rewrite(source: str):
+    return rewrite_source(textwrap.dedent(source))
+
+
+def run(source: str, name: str, *args):
+    namespace: dict = {}
+    exec(source, namespace)  # noqa: S102 - test fixture execution
+    return namespace[name](*args)
+
+
+SET_LOOP = """
+def visit(items):
+    seen = set(items)
+    out = []
+    for item in seen:
+        out.append(item)
+    return out
+"""
+
+SET_MATERIALISE = """
+def snapshot(items):
+    seen = set(items)
+    return list(seen)
+"""
+
+SEED_THREAD = """
+import random
+
+def draw(n, seed):
+    rng = random.Random()
+    return [rng.random() for _ in range(n)]
+"""
+
+
+class TestRewrites:
+    def test_set_loop_is_wrapped(self):
+        fixed, fixes = rewrite(SET_LOOP)
+        assert "for item in sorted(seen):" in fixed
+        assert [f.description for f in fixes] == [
+            "wrapped loop iterable in sorted(...)"
+        ]
+
+    def test_materialised_set_is_wrapped(self):
+        fixed, fixes = rewrite(SET_MATERIALISE)
+        assert "list(sorted(seen))" in fixed
+        assert len(fixes) == 1
+
+    def test_seed_is_threaded(self):
+        fixed, fixes = rewrite(SEED_THREAD)
+        assert "random.Random(seed)" in fixed
+        assert len(fixes) == 1
+
+    def test_comprehension_iterable_is_wrapped(self):
+        fixed, fixes = rewrite(
+            """
+            def items(raw):
+                seen = set(raw)
+                return [x + 1 for x in seen]
+            """
+        )
+        assert "for x in sorted(seen)" in fixed
+
+    def test_unprovable_sites_stay_untouched(self):
+        for source in (
+            # reassigned: no longer provably a set at the loop
+            """
+            def visit(items, flag):
+                seen = set(items)
+                if flag:
+                    seen = list(items)
+                for item in seen:
+                    pass
+            """,
+            # parameter of unknown type
+            """
+            def visit(seen):
+                for item in seen:
+                    pass
+            """,
+            # no seed parameter in scope
+            """
+            import random
+
+            def draw(n):
+                rng = random.Random()
+                return rng.random()
+            """,
+            # already seeded
+            """
+            import random
+
+            def draw(n, seed):
+                rng = random.Random(seed)
+                return rng.random()
+            """,
+        ):
+            fixed, fixes = rewrite(source)
+            assert fixes == []
+            assert fixed == textwrap.dedent(source)
+
+    def test_nested_function_scopes_are_independent(self):
+        fixed, fixes = rewrite(
+            """
+            def outer(items):
+                seen = set(items)
+
+                def inner(other):
+                    seen = list(other)
+                    for x in seen:
+                        pass
+
+                for item in seen:
+                    pass
+            """
+        )
+        # outer's loop wraps; inner's (a list) must not.
+        assert "for item in sorted(seen):" in fixed
+        assert "for x in seen:" in fixed
+        assert len(fixes) == 1
+
+    def test_syntax_errors_pass_through(self):
+        source = "def broken(:\n"
+        fixed, fixes = rewrite_source(source)
+        assert fixed == source and fixes == []
+
+    def test_fix_file_rewrites_in_place(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(textwrap.dedent(SET_LOOP))
+        fixes = fix_file(str(target))
+        assert len(fixes) == 1
+        assert "sorted(seen)" in target.read_text()
+        # Second run: nothing left to do, file untouched.
+        before = target.read_text()
+        assert fix_file(str(target)) == []
+        assert target.read_text() == before
+
+
+class TestIdempotence:
+    TEMPLATES = (SET_LOOP, SET_MATERIALISE, SEED_THREAD)
+
+    @given(st.sampled_from(TEMPLATES))
+    def test_second_pass_is_a_no_op(self, template):
+        once, fixes = rewrite(template)
+        assert fixes, "template should need fixing"
+        twice, again = rewrite_source(once)
+        assert again == []
+        assert twice == once
+
+    @given(
+        st.sets(st.integers(min_value=-50, max_value=50), max_size=8),
+        st.booleans(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_idempotent_on_generated_sources(self, values, use_loop):
+        literal = "{" + ", ".join(map(str, sorted(values))) + "}" \
+            if values else "set()"
+        body = (
+            f"    seen = {literal}\n"
+            + ("    out = [x for x in seen]\n" if use_loop
+               else "    out = list(seen)\n")
+            + "    return out\n"
+        )
+        source = "def f():\n" + body
+        once, _ = rewrite_source(source)
+        twice, again = rewrite_source(once)
+        assert twice == once and again == []
+
+
+class TestBehaviourPreservation:
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_wrapped_loop_visits_the_same_elements(self, items):
+        original = textwrap.dedent(SET_LOOP)
+        fixed, _ = rewrite_source(original)
+        assert Counter(run(original, "visit", items)) == Counter(
+            run(fixed, "visit", items)
+        )
+        # And the fixed ordering is deterministic: sorted.
+        assert run(fixed, "visit", items) == sorted(set(items))
+
+    @given(st.lists(st.integers(min_value=-1000, max_value=1000), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_wrapped_materialisation_preserves_elements(self, items):
+        original = textwrap.dedent(SET_MATERIALISE)
+        fixed, _ = rewrite_source(original)
+        assert set(run(original, "snapshot", items)) == set(
+            run(fixed, "snapshot", items)
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=8),
+        st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_threaded_seed_gives_the_reference_stream(self, n, seed):
+        fixed, _ = rewrite_source(textwrap.dedent(SEED_THREAD))
+        first = run(fixed, "draw", n, seed)
+        second = run(fixed, "draw", n, seed)
+        assert first == second, "seed threading must make draws deterministic"
+        reference = random.Random(seed)
+        assert first == [reference.random() for _ in range(n)]

@@ -1,0 +1,147 @@
+"""Tests for the project model behind the dataflow passes."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.project import (
+    build_index,
+    index_from_sources,
+    module_from_source,
+)
+
+
+def parse(source: str, relpath: str = "mod.py", package: str = "pkg"):
+    module = module_from_source(textwrap.dedent(source), relpath, package)
+    assert module is not None
+    return module
+
+
+class TestModuleInfo:
+    def test_import_map_absolute(self):
+        module = parse(
+            """
+            import numpy as np
+            import os.path
+            from repro.io import append_jsonl as emit
+            """
+        )
+        assert module.imports["np"] == "numpy"
+        assert module.imports["os"] == "os"
+        assert module.imports["emit"] == "repro.io.append_jsonl"
+
+    def test_resolve_through_aliases(self):
+        import ast
+
+        module = parse("import numpy as np\n")
+        node = ast.parse("np.random.rand", mode="eval").body
+        assert module.resolve(node) == "numpy.random.rand"
+
+    def test_relative_import_from_plain_module(self):
+        module = parse(
+            "from .shards import plan\n", relpath="runner/worker.py"
+        )
+        # worker lives in pkg.runner; level 1 is that package.
+        assert module.imports["plan"] == "pkg.runner.shards.plan"
+
+    def test_relative_import_from_package_init(self):
+        module = parse(
+            "from .shards import plan\n", relpath="runner/__init__.py"
+        )
+        # the __init__ *is* pkg.runner; level 1 anchors there too.
+        assert module.imports["plan"] == "pkg.runner.shards.plan"
+
+    def test_module_level_constants_and_mutables(self):
+        module = parse(
+            """
+            ENV_KEY = "REPRO_NO_NUMPY"
+            CACHE = {}
+            SEEN = set()
+            LIMIT = 3
+            """
+        )
+        assert module.constants == {"ENV_KEY": "REPRO_NO_NUMPY"}
+        assert set(module.mutable_globals) == {"CACHE", "SEEN"}
+
+    def test_function_collection_includes_methods(self):
+        module = parse(
+            """
+            def top(a, b):
+                pass
+
+            class Box:
+                def method(self, x):
+                    pass
+            """
+        )
+        assert set(module.functions) == {"top", "Box.method"}
+        assert module.functions["top"].params == ("a", "b")
+        assert module.functions["Box.method"].qualname == "pkg.mod.Box.method"
+
+    def test_syntax_error_returns_none(self):
+        assert module_from_source("def broken(:\n", "bad.py") is None
+
+
+class TestProjectIndex:
+    def test_index_from_sources_and_resolution(self):
+        index = index_from_sources(
+            {
+                "runner/work.py": "def entry(x):\n    return x\n",
+                "runner/__init__.py": "",
+                "util.py": "def helper():\n    pass\n",
+            },
+            package="proj",
+        )
+        assert set(index.modules) == {
+            "proj.runner.work", "proj.runner", "proj.util"
+        }
+        info = index.resolve_function("proj.runner.work.entry")
+        assert info is not None and info.name == "entry"
+        assert index.resolve_function("proj.runner.work.missing") is None
+
+    def test_unparsed_files_are_recorded_not_fatal(self):
+        index = index_from_sources(
+            {"ok.py": "x = 1\n", "bad.py": "def broken(:\n"}
+        )
+        assert index.unparsed == ("bad.py",)
+        assert set(index.modules) == {"project.ok"}
+
+    def test_import_graph_is_deterministic(self):
+        index = index_from_sources(
+            {
+                "a.py": "from proj.b import f\n",
+                "b.py": "def f():\n    pass\n",
+                "c.py": "import proj.a\n",
+            },
+            package="proj",
+        )
+        graph = index.import_graph()
+        assert graph["proj.a"] == ("proj.b",)
+        assert graph["proj.c"] == ("proj.a",)
+        assert graph["proj.b"] == ()
+
+    def test_build_index_over_disk_tree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        (pkg / "sub").mkdir(parents=True)
+        (pkg / "__init__.py").write_text("")
+        (pkg / "top.py").write_text("def f():\n    pass\n")
+        (pkg / "sub" / "__init__.py").write_text("")
+        (pkg / "sub" / "leaf.py").write_text("def g():\n    pass\n")
+        index = build_index(str(pkg))
+        assert set(index.modules) == {
+            "pkg", "pkg.top", "pkg.sub", "pkg.sub.leaf"
+        }
+        relpaths = [m.relpath for m in index.ordered()]
+        assert relpaths == sorted(relpaths)
+
+    def test_serial_and_parallel_builds_agree(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        for i in range(6):
+            (pkg / f"m{i}.py").write_text(f"def f{i}():\n    pass\n")
+        serial = build_index(str(pkg), jobs=1)
+        parallel = build_index(str(pkg), jobs=4)
+        assert set(serial.modules) == set(parallel.modules)
+        assert [m.relpath for m in serial.ordered()] == [
+            m.relpath for m in parallel.ordered()
+        ]

@@ -1,0 +1,136 @@
+"""Tests for SARIF 2.1.0 rendering (``--format sarif``)."""
+
+from __future__ import annotations
+
+import json
+import os
+import textwrap
+
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity, TracePoint
+from repro.lint.project import index_from_sources
+from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif
+from repro.lint.taint import TAINT_RULE_CATALOG, analyze_index
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+#: The planted acceptance fixture: an unseeded RNG draw reaching a
+#: checkpoint record, two assignments deep.
+PLANTED = {
+    "runner/plant.py": textwrap.dedent(
+        """
+        import random
+        from repro.io import append_jsonl
+
+        def record_shard(path, shard_id):
+            jitter = random.random()
+            record = {"shard": shard_id, "jitter": jitter}
+            append_jsonl(path, record)
+        """
+    )
+}
+
+
+def planted_report() -> LintReport:
+    return LintReport(
+        analyze_index(index_from_sources(PLANTED, package="proj"))
+    )
+
+
+class TestSarifStructure:
+    def test_envelope(self):
+        doc = json.loads(render_sarif(planted_report(), subject="fixture"))
+        assert doc["version"] == SARIF_VERSION
+        assert doc["$schema"] == SARIF_SCHEMA
+        assert len(doc["runs"]) == 1
+
+    def test_rules_and_results_are_linked(self):
+        doc = json.loads(
+            render_sarif(
+                planted_report(), subject="fixture",
+                rule_catalog=TAINT_RULE_CATALOG,
+            )
+        )
+        run = doc["runs"][0]
+        rules = run["tool"]["driver"]["rules"]
+        assert [rule["id"] for rule in rules] == ["FTMCD01"]
+        assert rules[0]["defaultConfiguration"]["level"] == "error"
+        (result,) = run["results"]
+        assert result["ruleId"] == "FTMCD01"
+        assert rules[result["ruleIndex"]]["id"] == "FTMCD01"
+
+    def test_result_location_points_at_sink(self):
+        doc = json.loads(render_sarif(planted_report(), subject="fixture"))
+        (result,) = doc["runs"][0]["results"]
+        physical = result["locations"][0]["physicalLocation"]
+        assert physical["artifactLocation"]["uri"] == "runner/plant.py"
+        assert physical["region"]["startLine"] == 8
+
+    def test_code_flow_runs_source_to_sink(self):
+        doc = json.loads(render_sarif(planted_report(), subject="fixture"))
+        (result,) = doc["runs"][0]["results"]
+        steps = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        notes = [step["location"]["message"]["text"] for step in steps]
+        assert "random.random()" in notes[0]
+        assert notes[-1].startswith("sink")
+        lines = [
+            step["location"]["physicalLocation"]["region"]["startLine"]
+            for step in steps
+        ]
+        assert lines[0] == 6 and lines[-1] == 8
+
+    def test_non_file_locations_fold_into_message(self):
+        report = LintReport(
+            [
+                Diagnostic(
+                    "FTMC001", Severity.ERROR, "tau_1",
+                    "tau_1: deadline exceeds period",
+                )
+            ]
+        )
+        doc = json.loads(render_sarif(report))
+        (result,) = doc["runs"][0]["results"]
+        assert "locations" not in result
+        assert result["message"]["text"].startswith("tau_1:")
+
+    def test_severity_level_mapping(self):
+        report = LintReport(
+            [
+                Diagnostic("A01", Severity.ERROR, "f.py:1", "e"),
+                Diagnostic("B01", Severity.WARNING, "f.py:2", "w"),
+                Diagnostic("C01", Severity.INFO, "f.py:3", "i"),
+            ]
+        )
+        doc = json.loads(render_sarif(report))
+        levels = [r["level"] for r in doc["runs"][0]["results"]]
+        assert levels == ["error", "warning", "note"]
+
+    def test_trace_points_without_file_anchor_keep_note(self):
+        report = LintReport(
+            [
+                Diagnostic(
+                    "FTMCD01", Severity.ERROR, "f.py:3", "m",
+                    trace=(TracePoint("somewhere odd", "a note"),),
+                )
+            ]
+        )
+        doc = json.loads(render_sarif(report))
+        (result,) = doc["runs"][0]["results"]
+        (step,) = result["codeFlows"][0]["threadFlows"][0]["locations"]
+        assert step["location"]["message"]["text"] == "a note"
+        assert "physicalLocation" not in step["location"]
+
+
+class TestSarifGolden:
+    def test_planted_fixture_output_is_byte_stable(self):
+        rendered = render_sarif(
+            planted_report(), subject="planted-fixture",
+            rule_catalog=TAINT_RULE_CATALOG,
+        )
+        golden = os.path.join(DATA_DIR, "lint_sarif.expected.json")
+        with open(golden) as handle:
+            assert rendered + "\n" == handle.read()
+
+    def test_output_is_deterministic_across_runs(self):
+        first = render_sarif(planted_report(), subject="s")
+        second = render_sarif(planted_report(), subject="s")
+        assert first == second

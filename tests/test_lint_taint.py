@@ -1,0 +1,490 @@
+"""Tests for the dataflow rule families (FTMCD / FTMCF / FTMCP).
+
+Every determinism rule is exercised as a fixture *pair*: the violating
+variant must fire, its sanctioned twin (seeded stream, ``sorted()``
+wrap, reset session, ...) must stay silent.  Fixture code lives in
+string literals, so scanning ``tests/`` itself stays clean.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint.project import index_from_sources
+from repro.lint.taint import TAINT_RULE_CATALOG, analyze_index
+
+
+def findings(sources: dict[str, str], package: str = "proj"):
+    dedented = {
+        path: textwrap.dedent(source) for path, source in sources.items()
+    }
+    return analyze_index(index_from_sources(dedented, package=package))
+
+
+def codes(sources: dict[str, str], package: str = "proj") -> list[str]:
+    return [d.code for d in findings(sources, package)]
+
+
+class TestFTMCD01UnseededRng:
+    VIOLATION = {
+        "runner/plant.py": """
+        import random
+        from repro.io import append_jsonl
+
+        def record_shard(path, shard_id):
+            jitter = random.random()
+            record = {"shard": shard_id, "jitter": jitter}
+            append_jsonl(path, record)
+        """
+    }
+    SEEDED_TWIN = {
+        "runner/plant.py": """
+        import random
+        from repro.io import append_jsonl
+
+        def record_shard(path, shard_id, seed):
+            rng = random.Random(seed)
+            record = {"shard": shard_id, "jitter": rng.random()}
+            append_jsonl(path, record)
+        """
+    }
+
+    def test_global_stream_draw_into_writer_fires(self):
+        assert codes(self.VIOLATION) == ["FTMCD01"]
+
+    def test_seeded_stream_twin_is_clean(self):
+        assert codes(self.SEEDED_TWIN) == []
+
+    def test_trace_runs_source_to_sink(self):
+        (diag,) = findings(self.VIOLATION)
+        notes = [point.note for point in diag.trace]
+        assert "source" in notes[0] and "random.random()" in notes[0]
+        assert notes[-1].startswith("sink")
+        assert any("jitter" in note for note in notes)
+
+    def test_unseeded_constructor_fires_seeded_does_not(self):
+        template = """
+        import random
+        from repro.io import atomic_write_json
+
+        def emit(path{extra}):
+            rng = random.Random({arg})
+            atomic_write_json(path, rng.random())
+        """
+        unseeded = {"m.py": template.format(extra="", arg="")}
+        seeded = {"m.py": template.format(extra=", seed", arg="seed")}
+        assert codes(unseeded) == ["FTMCD01"]
+        assert codes(seeded) == []
+
+    def test_backoff_rng_stream_is_sanctioned(self):
+        sanctioned = {
+            "runner/retry.py": """
+            from repro.runner.shards import backoff_rng
+            from repro.io import append_jsonl
+
+            def delay(path, spec):
+                rng = backoff_rng(spec)
+                append_jsonl(path, {"delay": rng.uniform(0, 1)})
+            """
+        }
+        assert codes(sanctioned) == []
+
+    def test_numpy_global_draws_fire(self):
+        violation = {
+            "m.py": """
+            import numpy as np
+            from repro.io import atomic_write_json
+
+            def emit(path, n):
+                atomic_write_json(path, list(np.random.rand(n)))
+            """
+        }
+        assert codes(violation) == ["FTMCD01"]
+
+
+class TestFTMCD02WallclockEntropy:
+    def test_wallclock_into_checkpoint_fires(self):
+        violation = {
+            "runner/sup.py": """
+            import time
+
+            def snapshot(checkpoint, plan):
+                checkpoint.create({"plan": plan, "at": time.time()})
+            """
+        }
+        assert codes(violation) == ["FTMCD02"]
+
+    def test_plan_derived_twin_is_clean(self):
+        twin = {
+            "runner/sup.py": """
+            def snapshot(checkpoint, plan, stamp):
+                checkpoint.create({"plan": plan, "at": stamp})
+            """
+        }
+        assert codes(twin) == []
+
+    def test_entropy_into_payload_fires(self):
+        violation = {
+            "runner/ids.py": """
+            import uuid
+
+            def tag(outcome):
+                outcome.payload = {"run_id": str(uuid.uuid4())}
+            """
+        }
+        assert codes(violation) == ["FTMCD02"]
+
+    def test_plan_id_twin_is_clean(self):
+        twin = {
+            "runner/ids.py": """
+            def tag(outcome, spec):
+                outcome.payload = {"run_id": f"{spec.seed}-{spec.index}"}
+            """
+        }
+        assert codes(twin) == []
+
+
+class TestFTMCD03IterationOrder:
+    def test_set_iteration_into_writer_fires(self):
+        violation = {
+            "m.py": """
+            from repro.io import atomic_write_json
+
+            def emit(path, items):
+                seen = set(items)
+                atomic_write_json(path, list(seen))
+            """
+        }
+        assert codes(violation) == ["FTMCD03"]
+
+    def test_sorted_twin_is_clean(self):
+        twin = {
+            "m.py": """
+            from repro.io import atomic_write_json
+
+            def emit(path, items):
+                seen = set(items)
+                atomic_write_json(path, sorted(seen))
+            """
+        }
+        assert codes(twin) == []
+
+    def test_listdir_order_fires_and_sorted_clears(self):
+        violation = {
+            "m.py": """
+            import os
+            from repro.io import atomic_write_json
+
+            def emit(path, d):
+                atomic_write_json(path, os.listdir(d))
+            """
+        }
+        twin = {
+            "m.py": """
+            import os
+            from repro.io import atomic_write_json
+
+            def emit(path, d):
+                atomic_write_json(path, sorted(os.listdir(d)))
+            """
+        }
+        assert codes(violation) == ["FTMCD03"]
+        assert codes(twin) == []
+
+    def test_order_insensitive_reduction_is_clean(self):
+        twin = {
+            "m.py": """
+            from repro.io import atomic_write_json
+
+            def emit(path, items):
+                seen = set(items)
+                atomic_write_json(path, sum(seen))
+            """
+        }
+        assert codes(twin) == []
+
+
+class TestCrossModuleSummaries:
+    def test_taint_flows_through_helper_module(self):
+        sources = {
+            "helpers.py": """
+            from repro.io import append_jsonl
+
+            def emit(path, record):
+                append_jsonl(path, record)
+            """,
+            "runner/main.py": """
+            import random
+            from proj.helpers import emit
+
+            def go(path):
+                emit(path, random.random())
+            """,
+        }
+        diags = findings(sources)
+        assert [d.code for d in diags] == ["FTMCD01"]
+        assert diags[0].location.startswith("runner/main.py")
+
+    def test_tainted_return_value_propagates(self):
+        sources = {
+            "gen.py": """
+            import random
+
+            def draw():
+                return random.random()
+            """,
+            "emit.py": """
+            from repro.io import atomic_write_json
+            from proj.gen import draw
+
+            def go(path):
+                atomic_write_json(path, draw())
+            """,
+        }
+        assert codes(sources) == ["FTMCD01"]
+
+    def test_clean_helper_stays_clean(self):
+        sources = {
+            "gen.py": """
+            def derive(spec):
+                return spec.seed * 3
+            """,
+            "emit.py": """
+            from repro.io import atomic_write_json
+            from proj.gen import derive
+
+            def go(path, spec):
+                atomic_write_json(path, derive(spec))
+            """,
+        }
+        assert codes(sources) == []
+
+
+class TestFTMCFForkSafety:
+    def test_f01_module_mutable_mutated_in_runner(self):
+        violation = {
+            "runner/state.py": """
+            CACHE = {}
+
+            def remember(key, value):
+                CACHE[key] = value
+            """
+        }
+        assert codes(violation) == ["FTMCF01"]
+
+    def test_f01_parameter_threading_is_clean(self):
+        twin = {
+            "runner/state.py": """
+            def remember(cache, key, value):
+                cache[key] = value
+            """
+        }
+        assert codes(twin) == []
+
+    def test_f01_only_applies_under_runner(self):
+        elsewhere = {
+            "report.py": """
+            CACHE = {}
+
+            def remember(key, value):
+                CACHE[key] = value
+            """
+        }
+        assert codes(elsewhere) == []
+
+    def test_f02_send_after_close_fires(self):
+        violation = {
+            "runner/pipes.py": """
+            def drain(conn, msg):
+                conn.close()
+                conn.send(msg)
+            """
+        }
+        assert codes(violation) == ["FTMCF02"]
+
+    def test_f02_close_in_finally_is_clean(self):
+        twin = {
+            "runner/pipes.py": """
+            def drain(conn, msg):
+                try:
+                    conn.send(msg)
+                finally:
+                    conn.close()
+            """
+        }
+        assert codes(twin) == []
+
+    def test_f02_close_on_one_branch_only_is_clean(self):
+        twin = {
+            "runner/pipes.py": """
+            def drain(conn, msg, flush):
+                if flush:
+                    conn.close()
+                else:
+                    pass
+                conn.send(msg)
+            """
+        }
+        # close happens on only one path; must-close semantics stay quiet.
+        assert codes(twin) == []
+
+    def test_f03_fork_target_without_reset_fires(self):
+        violation = {
+            "runner/sup.py": """
+            import multiprocessing as mp
+            from proj.runner.work import entry
+
+            def launch():
+                worker = mp.Process(target=entry, args=(1,))
+                worker.start()
+            """,
+            "runner/work.py": """
+            def entry(x):
+                return x * 2
+            """,
+        }
+        diags = findings(violation)
+        assert [d.code for d in diags] == ["FTMCF03"]
+        assert diags[0].trace, "FTMCF03 carries a fork->entry trace"
+
+    def test_f03_reset_session_twin_is_clean(self):
+        twin = {
+            "runner/sup.py": """
+            import multiprocessing as mp
+            from proj.runner.work import entry
+
+            def launch():
+                worker = mp.Process(target=entry, args=(1,))
+                worker.start()
+            """,
+            "runner/work.py": """
+            from repro.obs.trace import reset_inherited_session
+
+            def entry(x):
+                reset_inherited_session()
+                return x * 2
+            """,
+        }
+        assert codes(twin) == []
+
+
+class TestFTMCPPurity:
+    def test_p01_file_write_in_analysis_fires(self):
+        violation = {
+            "analysis/demand.py": """
+            from repro.io import atomic_write_json
+
+            def dbf(tasks, t, path):
+                result = len(tasks) * t
+                atomic_write_json(path, result)
+                return result
+            """
+        }
+        assert codes(violation) == ["FTMCP01"]
+
+    def test_p01_open_write_fires_but_read_does_not(self):
+        write = {
+            "safety/margin.py": """
+            def dump(x):
+                with open("/tmp/x", "w") as handle:
+                    handle.write(str(x))
+            """
+        }
+        read = {
+            "safety/margin.py": """
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+            """
+        }
+        assert codes(write) == ["FTMCP01"]
+        assert codes(read) == []
+
+    def test_p02_module_state_mutation_fires(self):
+        violation = {
+            "analysis/memo.py": """
+            _SEEN = []
+
+            def analyse(x):
+                _SEEN.append(x)
+                return x + 1
+            """
+        }
+        assert codes(violation) == ["FTMCP02"]
+
+    def test_p03_env_read_fires_except_sanctioned_toggle(self):
+        violation = {
+            "analysis/cfg.py": """
+            import os
+
+            def tuning():
+                return os.getenv("HOME")
+            """
+        }
+        sanctioned = {
+            "analysis/cfg.py": """
+            import os
+
+            def tuning():
+                return os.getenv("REPRO_NO_NUMPY")
+            """
+        }
+        assert codes(violation) == ["FTMCP03"]
+        assert codes(sanctioned) == []
+
+    def test_p03_sanction_resolves_module_constants(self):
+        sanctioned = {
+            "analysis/cfg.py": """
+            import os
+
+            ENV_KEY = "REPRO_FAST_PATH"
+
+            def tuning():
+                return os.getenv(ENV_KEY)
+            """
+        }
+        assert codes(sanctioned) == []
+
+    def test_purity_rules_do_not_apply_outside_scope(self):
+        elsewhere = {
+            "experiments/driver.py": """
+            import os
+
+            def run():
+                return os.getenv("HOME")
+            """
+        }
+        assert codes(elsewhere) == []
+
+
+class TestCatalogAndOrdering:
+    def test_catalog_covers_all_emitted_codes(self):
+        assert set(TAINT_RULE_CATALOG) == {
+            "FTMCD01", "FTMCD02", "FTMCD03",
+            "FTMCF01", "FTMCF02", "FTMCF03",
+            "FTMCP01", "FTMCP02", "FTMCP03",
+        }
+
+    def test_diagnostics_sorted_and_deduplicated(self):
+        sources = {
+            "runner/many.py": """
+            import random
+            import time
+            from repro.io import append_jsonl
+
+            STATE = []
+
+            def a(path):
+                append_jsonl(path, time.time())
+
+            def b(path):
+                STATE.append(1)
+                append_jsonl(path, random.random())
+            """
+        }
+        diags = findings(sources)
+        keys = [(d.location, d.code) for d in diags]
+        assert keys == sorted(
+            keys, key=lambda item: (int(item[0].rsplit(":", 1)[1]), item[1])
+        )
+        assert len(set(keys)) == len(keys)
