@@ -29,7 +29,15 @@ Fault-tolerant campaigns (see ``docs/robustness.md``)::
     ftmc campaign fig2 --jobs 4          # same results, 4 workers at once
     ftmc campaign fig2 --resume          # continue after a crash/kill
     ftmc campaign fig1 --chaos 42        # self-test under fault injection
+    ftmc campaign fig2 --jobs 4 --executors 2   # distributed worker groups
     ftmc campaign fig3 --timeout 600 --max-retries 4 --sets 100
+
+``--executors N`` runs the shards on N ``campaign-worker`` group
+processes instead of the in-process pool — same bytes out, but each
+group is a failure domain the campaign survives (leases are reclaimed
+and groups restarted; docs/robustness.md).  The ``campaign-worker``
+verb itself is the internal group entry point spawned by the
+supervisor; it is not meant to be invoked by hand.
 
 Campaign exit codes: 0 all shards completed, 3 completed degraded
 (some shards failed; coverage report says which), 130/143 interrupted
@@ -124,7 +132,8 @@ def build_parser() -> argparse.ArgumentParser:
             "table1", "table2", "table3", "table4",
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
-            "lint", "selfcheck", "campaign", "bench", "stats",
+            "lint", "selfcheck", "campaign", "campaign-worker",
+            "bench", "stats",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
@@ -176,6 +185,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="campaign: run up to N shard workers concurrently "
              "(default min(cpu_count, 4); 1 = serial; results are "
              "byte-identical for every N)",
+    )
+    parser.add_argument(
+        "--executors", type=int, default=None, metavar="N",
+        help="campaign: distribute the pool slots over N campaign-worker "
+             "group processes (default: in-process pool; clamped to "
+             "--jobs; results are byte-identical for every N)",
+    )
+    parser.add_argument(
+        "--executor-restarts", type=int, default=None, metavar="K",
+        help="campaign: restarts allowed per lost executor before it is "
+             "retired (default 2; only meaningful with --executors)",
     )
     parser.add_argument(
         "--max-retries", type=int, default=2, metavar="K",
@@ -412,6 +432,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
         return _fail(f"--max-retries must be >= 0, got {args.max_retries}")
     if args.jobs is not None and args.jobs < 1:
         return _fail(f"--jobs must be >= 1, got {args.jobs}")
+    if args.executors is not None and args.executors < 1:
+        return _fail(f"--executors must be >= 1, got {args.executors}")
+    if args.executor_restarts is not None and args.executor_restarts < 0:
+        return _fail(
+            f"--executor-restarts must be >= 0, got {args.executor_restarts}"
+        )
     base_delay = args.retry_delay
     if base_delay is None:
         base_delay = 0.1 if args.chaos is not None else 0.5
@@ -438,6 +464,12 @@ def _run_campaign(args: argparse.Namespace) -> int:
             ),
             on_event=lambda message: print(f"[campaign {target}] {message}"),
             jobs=args.jobs,
+            executors=args.executors,
+            **(
+                {"executor_restarts": args.executor_restarts}
+                if args.executor_restarts is not None
+                else {}
+            ),
         )
     except CampaignInterrupted as interrupt:
         print(
@@ -561,6 +593,11 @@ def _run_bench(args: argparse.Namespace) -> int:
 
 
 def _dispatch(args: argparse.Namespace) -> int:
+    if args.experiment == "campaign-worker":
+        # Internal: the worker-group entry point spawned by --executors.
+        from repro.runner.workergroup import run_worker_group
+
+        return run_worker_group()
     if args.experiment == "analyze":
         return _run_analyze(args)
     if args.experiment == "bench":

@@ -115,10 +115,18 @@ _WRITER_SINKS = frozenset({
 })
 
 #: Attribute-call sinks: checkpoint records and shard result payloads.
-_CHECKPOINT_ATTR_SINKS = frozenset({"append_shard"})
+_CHECKPOINT_ATTR_SINKS = frozenset(
+    {"append_shard", "append_lease", "append_heartbeat"}
+)
 
 #: Functions returning sanctioned per-shard streams (never tainted).
 _SANCTIONED_STREAMS = frozenset({"backoff_rng"})
+
+#: The audited provenance stampers (``repro.obs.clock.metadata_stamp``):
+#: wall time deliberately flowing into an artifact header.  Their return
+#: value is clean by decree — this is the whitelist that lets FTMCD02
+#: flag every *other* clock read that reaches a checkpoint or result.
+_SANCTIONED_METADATA = frozenset({"metadata_stamp"})
 
 _TRACE_CAP = 8
 
@@ -356,6 +364,10 @@ class _FunctionTaint:
         if leaf in _SANCTIONED_STREAMS:
             merged.tag = "rng_seeded"
             return merged
+        if leaf in _SANCTIONED_METADATA:
+            # Deliberate provenance (created_unix headers), not leakage:
+            # the stamp is clean even though it reads the wall clock.
+            return Val()
         if dotted in ("set", "frozenset"):
             merged.tag = "set"
             return merged

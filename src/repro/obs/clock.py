@@ -14,6 +14,13 @@ for ``analysis/``, ``sim/`` and ``runner/`` (enforced by FTMCC07, see
 - :func:`wall_time` — **timestamps for humans** (``created_unix``
   fields in manifests and trace headers).  Never subtract two wall
   readings to get a duration.
+- :func:`metadata_stamp` — the **sanctioned provenance block** for
+  durable artifacts.  Wall time flowing into a checkpoint or result
+  file is exactly what determinism rule FTMCD02 exists to flag, but a
+  ``created_unix`` field is deliberate provenance, not accidental
+  nondeterminism.  Routing it through this one audited helper lets the
+  dataflow lint whitelist the pattern (``_SANCTIONED_METADATA``)
+  instead of carrying a per-call-site baseline entry.
 
 ``repro.perf.bench`` keeps its direct ``time.perf_counter_ns`` access
 (it *is* a measurement harness and sits outside the scoped packages).
@@ -22,8 +29,9 @@ for ``analysis/``, ``sim/`` and ``runner/`` (enforced by FTMCC07, see
 from __future__ import annotations
 
 import time
+from typing import Any
 
-__all__ = ["monotonic", "monotonic_ns", "wall_time"]
+__all__ = ["metadata_stamp", "monotonic", "monotonic_ns", "wall_time"]
 
 
 def monotonic() -> float:
@@ -39,3 +47,16 @@ def monotonic_ns() -> int:
 def wall_time() -> float:
     """Wall-clock Unix seconds — for ``created_unix`` timestamps only."""
     return time.time()
+
+
+def metadata_stamp() -> dict[str, Any]:
+    """Provenance fields for durable artifact headers (``created_unix``).
+
+    The one sanctioned path for wall time into checkpoints and result
+    manifests: writers splat the returned mapping into their header
+    record (``{**fields, **clock.metadata_stamp()}``).  Keeping the
+    stamp behind a named helper is what lets the determinism lint
+    distinguish deliberate provenance from a stray ``time.time()``
+    leaking into results.
+    """
+    return {"created_unix": wall_time()}

@@ -31,12 +31,18 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
     Spans carrying an integer ``slot`` attribute (the campaign runner
     stamps its ``shard``/``shard.attempt`` spans with their worker-pool
     slot) additionally feed a per-slot occupancy table under ``pool``,
-    so a ``--jobs N`` run shows how evenly the pool was loaded.
+    so a ``--jobs N`` run shows how evenly the pool was loaded.  Spans
+    carrying a string ``executor`` attribute feed the analogous
+    per-executor table under ``executors`` — in a ``--executors N`` run
+    it shows how the fleet shared the work (a shard reclaimed from a
+    lost executor is booked to the executor that first dispatched it).
     """
     names: dict[int, str] = {}
     spans: dict[str, dict[str, Any]] = {}
     slot_of: dict[int, int] = {}
     pool: dict[int, dict[str, Any]] = {}
+    executor_of: dict[int, str] = {}
+    executors: dict[str, dict[str, Any]] = {}
     open_spans = 0
     for record in log.records:
         kind = record.get("type")
@@ -53,6 +59,13 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
                     slot_of[span_id] = slot
                     pool.setdefault(slot, {"spans": 0, "busy_ns": 0})
                     pool[slot]["spans"] += 1
+                executor = record.get("attrs", {}).get("executor")
+                if isinstance(executor, str) and name == "shard":
+                    executor_of[span_id] = executor
+                    executors.setdefault(
+                        executor, {"spans": 0, "busy_ns": 0}
+                    )
+                    executors[executor]["spans"] += 1
             entry = spans.setdefault(
                 name,
                 {
@@ -84,6 +97,9 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
             slot = slot_of.get(record.get("id"))  # type: ignore[arg-type]
             if slot is not None and isinstance(duration, int):
                 pool[slot]["busy_ns"] += duration
+            executor = executor_of.get(record.get("id"))  # type: ignore[arg-type]
+            if executor is not None and isinstance(duration, int):
+                executors[executor]["busy_ns"] += duration
     events: dict[str, int] = {}
     for record in log.of_type("event"):
         name = str(record.get("name"))
@@ -99,6 +115,7 @@ def aggregate_trace(log: TraceLog, source: str | None = None) -> dict[str, Any]:
         "spans": dict(sorted(spans.items())),
         "open_spans": open_spans,
         "pool": {str(slot): pool[slot] for slot in sorted(pool)},
+        "executors": dict(sorted(executors.items())),
         "events": dict(sorted(events.items())),
         "metrics": metrics_snapshot,
         "corrupt_lines": log.corrupt_lines,
@@ -113,6 +130,7 @@ def snapshot_stats() -> dict[str, Any]:
         "spans": {},
         "open_spans": 0,
         "pool": {},
+        "executors": {},
         "events": {},
         "metrics": registry().snapshot(),
         "corrupt_lines": 0,
@@ -166,6 +184,17 @@ def render_stats(stats: dict[str, Any]) -> str:
             busy = entry.get("busy_ns", 0)
             lines.append(
                 f"{slot:<12}{entry.get('spans', 0):>8}"
+                f"{_format_ns(busy if busy else None):>10}"
+            )
+    executors = stats.get("executors", {})
+    if executors:
+        lines.append("")
+        lines.append(f"{'executor':<16}{'shards':>8}{'busy':>10}")
+        lines.append("-" * 34)
+        for executor, entry in executors.items():
+            busy = entry.get("busy_ns", 0)
+            lines.append(
+                f"{executor:<16}{entry.get('spans', 0):>8}"
                 f"{_format_ns(busy if busy else None):>10}"
             )
     events = stats.get("events", {})

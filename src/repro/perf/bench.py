@@ -267,11 +267,15 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
     # byte-identical across jobs, which run_campaign's own tests pin.
     delay = 0.1 if quick else 0.25
 
-    def timed_campaign(jobs: int) -> int:
+    def timed_campaign(jobs: int, executors: int | None = None) -> int:
         with tempfile.TemporaryDirectory() as tmp:
             start = time.perf_counter_ns()
             run_campaign(
-                "tables", output_dir=tmp, jobs=jobs, shard_delay=delay
+                "tables",
+                output_dir=tmp,
+                jobs=jobs,
+                executors=executors,
+                shard_delay=delay,
             )
             return time.perf_counter_ns() - start
 
@@ -290,6 +294,19 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
         "shard_delay_s": delay,
     }
     report["speedups"]["campaign_jobs4"] = serial_ns / pool_ns
+
+    # Subprocess-executor topology: same shards over two worker groups.
+    # Reported (the transport tax is worker-group spawn + pipe framing)
+    # but not floor-guarded — spawn latency is machine-dependent in a
+    # way the in-process ratio is not.
+    exec_ns = timed_campaign(4, executors=2)
+    report["end_to_end"]["campaign_exec2"] = {
+        "ns_per_op": float(exec_ns),
+        "ops": 1,
+        "total_ms": exec_ns / 1e6,
+        "shard_delay_s": delay,
+    }
+    report["speedups"]["campaign_exec2"] = serial_ns / exec_ns
 
     report["cache"] = schedulability_cache_info()
     if numpy_active:

@@ -7,8 +7,14 @@ watchdogs, bounded retry with non-blocking exponential backoff (the
 harness's re-execution profile),
 crash-safe JSONL checkpointing with exact ``--resume``, graceful
 degradation with explicit coverage accounting, and a chaos mode that
-injects worker crashes, hangs, and torn checkpoints to test the runner
-itself.  See ``docs/robustness.md``.
+injects worker crashes, hangs, torn checkpoints — and, under
+``--executors``, whole-executor SIGKILLs — to test the runner itself.
+
+Shard attempts run on pluggable *executors*
+(:mod:`repro.runner.executors`): the default in-process fork pool, or
+``--executors N`` worker-group processes that are first-class failure
+domains (checkpointed leases, reclamation, bounded restarts).  See
+``docs/robustness.md``.
 """
 
 from repro.runner.campaigns import (
@@ -20,6 +26,14 @@ from repro.runner.campaigns import (
 )
 from repro.runner.chaos import ChaosInjector
 from repro.runner.checkpoint import CampaignCheckpoint, CheckpointState
+from repro.runner.executors import (
+    AttemptHandle,
+    Executor,
+    ExecutorLost,
+    LocalPoolExecutor,
+    SubprocessExecutor,
+)
+from repro.runner.protocol import PROTOCOL_VERSION, ChannelClosed, PipeChannel
 from repro.runner.retry import RetryPolicy
 from repro.runner.shards import (
     CampaignReport,
@@ -30,12 +44,14 @@ from repro.runner.shards import (
 )
 from repro.runner.supervisor import (
     CHAOS_TIMEOUT,
+    DEFAULT_EXECUTOR_RESTARTS,
     DEFAULT_TIMEOUT,
     CampaignConfigError,
     CampaignInterrupted,
     default_jobs,
     run_campaign,
 )
+from repro.runner.workergroup import run_worker_group
 
 __all__ = [
     "CAMPAIGNS",
@@ -46,6 +62,14 @@ __all__ = [
     "ChaosInjector",
     "CampaignCheckpoint",
     "CheckpointState",
+    "AttemptHandle",
+    "Executor",
+    "ExecutorLost",
+    "LocalPoolExecutor",
+    "SubprocessExecutor",
+    "PROTOCOL_VERSION",
+    "ChannelClosed",
+    "PipeChannel",
     "RetryPolicy",
     "CampaignReport",
     "ShardOutcome",
@@ -53,9 +77,11 @@ __all__ = [
     "ShardSpec",
     "backoff_rng",
     "CHAOS_TIMEOUT",
+    "DEFAULT_EXECUTOR_RESTARTS",
     "DEFAULT_TIMEOUT",
     "CampaignConfigError",
     "CampaignInterrupted",
     "default_jobs",
     "run_campaign",
+    "run_worker_group",
 ]

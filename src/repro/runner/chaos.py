@@ -11,10 +11,16 @@ with every injected fault visible in the coverage report.
 Determinism: the fault plan is a pure function of the chaos seed and the
 planned shard ids.  With three or more shards the plan always contains
 at least one crash, one hang, and one checkpoint truncation, so a chaos
-run exercises every recovery path; remaining shards draw extra crash or
-hang faults at ``extra_fault_rate``.  Faults fire only on a shard's
-*first* attempt — bounded, like the paper's fault model of at most
-``n_i - 1`` faults per job — so a retried shard always succeeds.
+run exercises every recovery path; with four or more it also designates
+one shard whose *executor* is SIGKILLed as a whole at dispatch time
+(:data:`KILL_EXECUTOR` — a host-level fault, so it only fires on
+topologies whose executors can actually be killed, i.e. ``--executors``
+worker groups; under the in-process pool the shard simply runs clean).
+Remaining shards draw extra crash or hang faults at
+``extra_fault_rate``.  Worker faults fire only on a shard's *first*
+attempt — bounded, like the paper's fault model of at most ``n_i - 1``
+faults per job — so a retried shard always succeeds, and the executor
+kill fires exactly once per campaign.
 """
 
 from __future__ import annotations
@@ -23,11 +29,12 @@ import os
 import random
 from typing import Sequence
 
-__all__ = ["ChaosInjector", "CRASH", "HANG", "TRUNCATE"]
+__all__ = ["ChaosInjector", "CRASH", "HANG", "TRUNCATE", "KILL_EXECUTOR"]
 
 CRASH = "crash"
 HANG = "hang"
 TRUNCATE = "truncate"
+KILL_EXECUTOR = "kill-executor"
 
 #: Exit status used by chaos-crashed workers (distinguishable in logs).
 CHAOS_CRASH_EXIT = 23
@@ -51,9 +58,9 @@ class ChaosInjector:
         order = list(shard_ids)
         self._rng.shuffle(order)
         self._actions: dict[str, str] = {}
-        for shard_id, action in zip(order, (CRASH, HANG, TRUNCATE)):
+        for shard_id, action in zip(order, (CRASH, HANG, TRUNCATE, KILL_EXECUTOR)):
             self._actions[shard_id] = action
-        for shard_id in order[3:]:
+        for shard_id in order[4:]:
             if self._rng.random() < extra_fault_rate:
                 self._actions[shard_id] = self._rng.choice((CRASH, HANG))
 
@@ -71,6 +78,20 @@ class ChaosInjector:
     def should_truncate_after(self, shard_id: str) -> bool:
         """Whether to tear the checkpoint right after this shard commits."""
         return self._actions.get(shard_id) == TRUNCATE
+
+    def executor_kill_shard(self) -> str | None:
+        """The shard whose executor gets SIGKILLed at dispatch (if any).
+
+        The supervisor fires this at most once per campaign, when the
+        designated shard is first dispatched onto a killable executor:
+        the whole worker-group session is SIGKILLed, its pipe severed,
+        and the shard's freshly written lease record torn — the full
+        host-loss failure signature, on demand.
+        """
+        for shard_id, action in self._actions.items():
+            if action == KILL_EXECUTOR:
+                return shard_id
+        return None
 
     @staticmethod
     def truncate_checkpoint(path: str) -> bool:

@@ -3,14 +3,31 @@
 Layout: line 1 is a ``manifest`` record (experiment, options, planned
 shard ids/seeds); every subsequent line is one completed ``shard``
 record carrying its JSON payload.  The manifest is written atomically
-(:func:`repro.io.atomic_write_text`); shard records are appended with
-flush + fsync (:func:`repro.io.append_jsonl`), so a crash — or the chaos
-injector — can at worst tear individual lines.
+(:func:`repro.io.atomic_write_text`); all other records are appended
+with flush + fsync (:func:`repro.io.append_jsonl`), so a crash — or the
+chaos injector — can at worst tear individual lines.
 
-The loader is deliberately forgiving: unparseable lines are *skipped and
-counted*, never fatal.  A shard whose record was torn is simply absent
-from the loaded state, and the supervisor re-executes it — re-deriving
-the lost work instead of refusing to resume.
+Distributed campaigns add two record kinds, both pure functions of the
+plan and the executor topology (no clocks — the determinism lint's
+FTMCD02 applies to every checkpoint write):
+
+- ``lease`` — appended *before* a shard attempt is dispatched to an
+  executor: ``{"type": "lease", "id": ..., "executor": ...,
+  "attempt": n, "incarnation": k}``.  A lease without a matching
+  ``shard`` record marks work that was in flight when something died.
+- ``heartbeat`` — appended when an executor (re)starts:
+  ``{"type": "heartbeat", "executor": ..., "incarnation": k}`` — the
+  durable trail of executor incarnations for post-mortems.
+
+The loader is deliberately forgiving, in two distinct ways.  Lines
+that do not parse (torn writes) are *skipped and counted* in
+``corrupt_lines``.  Well-formed records whose ``type`` is simply not
+recognised — e.g. a future ftmc's record kinds read by this binary —
+are *skipped and counted separately* in ``unknown_records``, so
+``--resume`` across versions degrades to a warning instead of refusing
+or miscounting corruption.  A shard whose record was torn is simply
+absent from the loaded state, and the supervisor re-executes it —
+re-deriving the lost work instead of refusing to resume.
 """
 
 from __future__ import annotations
@@ -21,9 +38,18 @@ from typing import Any
 
 from repro.io import append_jsonl, atomic_write_text
 
-__all__ = ["CheckpointState", "CampaignCheckpoint", "CHECKPOINT_VERSION"]
+__all__ = [
+    "CheckpointState",
+    "CampaignCheckpoint",
+    "CHECKPOINT_VERSION",
+    "KNOWN_RECORD_KINDS",
+]
 
 CHECKPOINT_VERSION = 1
+
+#: Record kinds this loader understands; anything else well-formed is a
+#: forward-compatibility skip (``unknown_records``), not corruption.
+KNOWN_RECORD_KINDS = frozenset({"manifest", "shard", "lease", "heartbeat"})
 
 
 @dataclass
@@ -33,11 +59,26 @@ class CheckpointState:
     manifest: dict[str, Any] | None = None
     #: Completed shard records keyed by shard id (last record wins).
     shards: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Latest dispatch lease per shard id (last record wins).
+    leases: dict[str, dict[str, Any]] = field(default_factory=dict)
+    #: Executor (re)start records observed, in order.
+    heartbeats: list[dict[str, Any]] = field(default_factory=list)
     #: Lines that did not parse as JSON records (torn writes).
     corrupt_lines: int = 0
+    #: Well-formed records of an unrecognised kind (newer writer?).
+    unknown_records: int = 0
 
     def payload(self, shard_id: str) -> Any:
         return self.shards[shard_id]["payload"]
+
+    def stale_leases(self) -> list[str]:
+        """Shard ids leased to an executor but never checkpointed.
+
+        On ``--resume`` these mark attempts that were in flight when
+        the previous run (or one of its executors) died; the supervisor
+        simply re-executes them — the lease never blocks anything.
+        """
+        return sorted(i for i in self.leases if i not in self.shards)
 
 
 class CampaignCheckpoint:
@@ -67,6 +108,32 @@ class CampaignCheckpoint:
             },
         )
 
+    def append_lease(
+        self, shard_id: str, executor: str, attempt: int, incarnation: int
+    ) -> None:
+        """Durably record a dispatch lease (before the attempt starts)."""
+        append_jsonl(
+            self.path,
+            {
+                "type": "lease",
+                "id": shard_id,
+                "executor": executor,
+                "attempt": attempt,
+                "incarnation": incarnation,
+            },
+        )
+
+    def append_heartbeat(self, executor: str, incarnation: int) -> None:
+        """Durably record an executor (re)start."""
+        append_jsonl(
+            self.path,
+            {
+                "type": "heartbeat",
+                "executor": executor,
+                "incarnation": incarnation,
+            },
+        )
+
     def load(self) -> CheckpointState:
         """Tolerantly read the checkpoint back (skip torn lines)."""
         state = CheckpointState()
@@ -91,6 +158,17 @@ class CampaignCheckpoint:
                 state.manifest = record
             elif kind == "shard" and "id" in record and "payload" in record:
                 state.shards[str(record["id"])] = record
+            elif kind == "lease" and "id" in record:
+                state.leases[str(record["id"])] = record
+            elif kind == "heartbeat":
+                state.heartbeats.append(record)
+            elif isinstance(kind, str) and kind not in KNOWN_RECORD_KINDS:
+                # Forward compatibility: a newer ftmc may append record
+                # kinds this binary has never heard of.  Skip them with
+                # a count — never crash or call them corruption.
+                state.unknown_records += 1
             else:
+                # Malformed known kind (duplicate manifest, shard with
+                # no payload, ...): corruption, same as a torn line.
                 state.corrupt_lines += 1
         return state

@@ -1,0 +1,443 @@
+"""Pluggable campaign executors: where shard attempts actually run.
+
+The supervisor schedules :class:`~repro.runner.shards.ShardRun` state
+machines over an *executor* — a failure domain that can launch one
+shard attempt per pool slot and can die as a whole:
+
+- :class:`LocalPoolExecutor` — the default in-process topology: each
+  attempt is a directly forked worker process, exactly as the
+  supervisor ran them before executors existed.  It cannot be lost
+  (its "host" is the supervisor itself).
+- :class:`SubprocessExecutor` — one ``ftmc campaign-worker`` group per
+  executor, launched in its own session and spoken to over the
+  line-delimited JSON protocol (:mod:`repro.runner.protocol`).  The
+  stepping stone to remote hosts: everything the supervisor knows about
+  the group travels over two pipes, and the group can be SIGKILLed as a
+  unit — which the chaos injector does on purpose.
+
+Both expose the same two duck-typed surfaces: the executor itself
+(dispatch/liveness/restart/kill) and an :class:`AttemptHandle` per
+in-flight attempt (poll/finished/message/exitcode/cancel/close).  The
+supervisor's scheduling, judging, retry and checkpoint logic is
+identical across topologies — that is the determinism contract's
+rely-guarantee: whatever the transport does, the bytes that reach the
+result files are a pure function of the shard plan.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import subprocess
+import sys
+from typing import Any, Callable, Mapping
+
+from repro.obs import clock
+from repro.runner.protocol import ChannelClosed, PipeChannel
+
+__all__ = [
+    "EXEC_RESTARTING",
+    "EXEC_RETIRED",
+    "EXEC_UP",
+    "AttemptHandle",
+    "Executor",
+    "ExecutorLost",
+    "HEARTBEAT_TIMEOUT",
+    "LocalPoolExecutor",
+    "SubprocessExecutor",
+    "executor_rng",
+    "fork_context",
+]
+
+#: Executor lifecycle states (managed by the supervisor's sweep).
+EXEC_UP = "up"
+EXEC_RESTARTING = "restarting"
+EXEC_RETIRED = "retired"
+
+#: Seconds without any protocol traffic before a live-looking group is
+#: presumed wedged.  Groups heartbeat every ~0.5 s; process death is
+#: detected much earlier via ``Popen.poll`` and pipe EOF, so this only
+#: catches a group that is alive but silent.
+HEARTBEAT_TIMEOUT = 30.0
+
+
+class ExecutorLost(RuntimeError):
+    """Dispatch hit a dead executor; the supervisor reclaims its leases."""
+
+
+def fork_context() -> Any:
+    """The multiprocessing context used for worker forks (prefer fork)."""
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def executor_rng(index: int) -> random.Random:
+    """Per-executor restart-backoff jitter stream.
+
+    Mirrors :func:`repro.runner.shards.backoff_rng`: each executor draws
+    restart jitter from its own generator, seeded purely by its index,
+    so one executor's failure history never perturbs another's delays.
+    """
+    return random.Random(0xF7E * 1_000_003 + index)
+
+
+class AttemptHandle:
+    """One in-flight shard attempt, as seen by the supervisor."""
+
+    def poll(self) -> None:
+        """Pump I/O for this attempt (drain pipes, demux results)."""
+        raise NotImplementedError
+
+    def finished(self) -> bool:
+        """Whether the attempt has delivered its final message/exitcode."""
+        raise NotImplementedError
+
+    @property
+    def message(self) -> str | None:
+        raise NotImplementedError
+
+    @property
+    def exitcode(self) -> int | None:
+        raise NotImplementedError
+
+    def cancel(self) -> None:
+        """Kill the attempt (watchdog timeout path)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Detach every resource; the handle is dead afterwards."""
+        raise NotImplementedError
+
+
+class Executor:
+    """Common executor state; topologies override the transport verbs."""
+
+    #: Whether ``--chaos`` may SIGKILL this executor as a unit.
+    can_kill = False
+    #: Whether a lost executor can be replaced by a fresh incarnation.
+    can_restart = False
+
+    def __init__(self, eid: str, index: int = 0) -> None:
+        self.eid = eid
+        #: Pool slots this executor serves (assigned by the supervisor).
+        self.slots: list[int] = []
+        self.state = EXEC_UP
+        self.incarnation = 0
+        self.restarts_used = 0
+        #: Monotonic instant before which a scheduled restart must wait.
+        self.restart_ready_at = 0.0
+        self.rng = executor_rng(index)
+
+    def start(self) -> None:
+        """Bring the executor up (spawn its transport, if any)."""
+
+    def start_attempt(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        chaos_action: str | None,
+        delay: float,
+    ) -> AttemptHandle:
+        raise NotImplementedError
+
+    def pump(self) -> None:
+        """Drain transport I/O (no-op for the in-process topology)."""
+
+    def alive(self) -> bool:
+        return True
+
+    def restart(self) -> None:
+        """Replace a lost transport with a fresh incarnation."""
+        raise NotImplementedError(f"executor {self.eid} cannot restart")
+
+    def kill(self) -> None:
+        """SIGKILL the whole executor (chaos path)."""
+        raise NotImplementedError(f"executor {self.eid} cannot be killed")
+
+    def shutdown(self) -> None:
+        """Tear the executor down cleanly at campaign end."""
+
+
+class _LocalAttemptHandle(AttemptHandle):
+    """A directly forked worker process plus its one-shot result pipe."""
+
+    def __init__(self, process: Any, conn: Any) -> None:
+        self._process: Any = process
+        self._conn: Any = conn
+        self._message: str | None = None
+        self._exitcode: int | None = None
+        self._done = False
+
+    def poll(self) -> None:
+        self._drain()
+
+    def _drain(self) -> None:
+        try:
+            while self._conn is not None and self._conn.poll(0):
+                self._message = self._conn.recv()
+        except (EOFError, OSError):
+            pass
+
+    def finished(self) -> bool:
+        if self._done:
+            return True
+        if self._process is None or self._process.is_alive():
+            return False
+        # The worker exited: drain the pipe's tail before judging.
+        self._drain()
+        self._process.join()
+        self._exitcode = self._process.exitcode
+        self._done = True
+        return True
+
+    @property
+    def message(self) -> str | None:
+        return self._message
+
+    @property
+    def exitcode(self) -> int | None:
+        return self._exitcode
+
+    def cancel(self) -> None:
+        process = self._process
+        if process is None:
+            return
+        process.terminate()
+        process.join(0.5)
+        if process.is_alive():
+            process.kill()
+            process.join()
+        self._process = None
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+        self._process = None
+
+
+class LocalPoolExecutor(Executor):
+    """The in-process worker pool: fork a worker per attempt.
+
+    Behaviour-preserving extraction of the supervisor's original
+    fork/pipe logic.  ``worker`` is the fork target (the supervisor
+    passes :func:`repro.runner.worker.shard_worker`); it stays a
+    parameter so tests can substitute instrumented workers.
+    """
+
+    def __init__(self, eid: str, worker: Callable[..., None]) -> None:
+        super().__init__(eid)
+        self._worker = worker
+        self._ctx = fork_context()
+
+    def start_attempt(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        chaos_action: str | None,
+        delay: float,
+    ) -> AttemptHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=self._worker,
+            args=(child_conn, experiment, dict(params), chaos_action, delay),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _LocalAttemptHandle(process, parent_conn)
+
+
+class _SubprocessAttemptHandle(AttemptHandle):
+    """One task dispatched to a worker group, demuxed by its executor."""
+
+    def __init__(self, executor: "SubprocessExecutor", task_id: int) -> None:
+        self._executor = executor
+        self.task_id = task_id
+        self._message: str | None = None
+        self._exitcode: int | None = None
+        self._done = False
+
+    def poll(self) -> None:
+        self._executor.pump()
+
+    def finished(self) -> bool:
+        return self._done
+
+    @property
+    def message(self) -> str | None:
+        return self._message
+
+    @property
+    def exitcode(self) -> int | None:
+        return self._exitcode
+
+    def cancel(self) -> None:
+        self._executor.cancel_task(self.task_id)
+
+    def close(self) -> None:
+        self._executor.forget_task(self.task_id)
+
+
+class SubprocessExecutor(Executor):
+    """One ``ftmc campaign-worker`` group process per executor.
+
+    The group runs in its own session (so a chaos kill can SIGKILL the
+    whole process group), speaks the pipe protocol, and heartbeats.
+    Task ids are never reused across incarnations, so a result from a
+    previous life can never be mistaken for a current attempt's.
+    """
+
+    can_kill = True
+    can_restart = True
+
+    def __init__(self, eid: str, index: int) -> None:
+        super().__init__(eid, index)
+        self._popen: Any = None
+        self._channel: PipeChannel | None = None
+        self._tasks: dict[int, _SubprocessAttemptHandle] = {}
+        self._task_counter = 0
+        self._last_seen = 0.0
+
+    def start(self) -> None:
+        self._spawn()
+
+    def _spawn(self) -> None:
+        import repro
+
+        env = dict(os.environ)
+        package_root = os.path.dirname(
+            os.path.dirname(os.path.abspath(repro.__file__))
+        )
+        env["PYTHONPATH"] = package_root + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self._popen = subprocess.Popen(
+            [sys.executable, "-m", "repro", "campaign-worker"],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None,  # diagnostics pass through to the supervisor's
+            start_new_session=True,  # kill()/killpg reaps shard children too
+            env=env,
+        )
+        self._channel = PipeChannel(self._popen.stdin, self._popen.stdout)
+        self._last_seen = clock.monotonic()
+
+    def start_attempt(
+        self,
+        experiment: str,
+        params: Mapping[str, Any],
+        chaos_action: str | None,
+        delay: float,
+    ) -> AttemptHandle:
+        if self._channel is None or self._channel.closed:
+            raise ExecutorLost(f"executor {self.eid} has no live channel")
+        self._task_counter += 1
+        task_id = self._task_counter
+        try:
+            self._channel.send(
+                {
+                    "op": "run",
+                    "task": task_id,
+                    "experiment": experiment,
+                    "params": dict(params),
+                    "chaos": chaos_action,
+                    "delay": delay,
+                }
+            )
+        except ChannelClosed as exc:
+            raise ExecutorLost(f"executor {self.eid} died: {exc}") from exc
+        handle = _SubprocessAttemptHandle(self, task_id)
+        self._tasks[task_id] = handle
+        return handle
+
+    def pump(self) -> None:
+        """Demux every pending reply onto its attempt handle.
+
+        Also called once more *after* the group dies: results the group
+        flushed before dying are still sitting in the pipe buffer, and
+        recovering them is what makes an executor kill lose zero
+        completed shards.
+        """
+        if self._channel is None:
+            return
+        for reply in self._channel.poll():
+            self._last_seen = clock.monotonic()
+            op = reply.get("op")
+            if op == "result":
+                handle = self._tasks.pop(reply.get("task"), None)
+                if handle is not None:
+                    message = reply.get("message")
+                    handle._message = (
+                        message if isinstance(message, str) else None
+                    )
+                    exitcode = reply.get("exitcode")
+                    handle._exitcode = (
+                        exitcode if isinstance(exitcode, int) else None
+                    )
+                    handle._done = True
+            # "ready" and "heartbeat" only refresh the liveness clock.
+
+    def alive(self) -> bool:
+        if self._popen is None or self._channel is None:
+            return False
+        if self._popen.poll() is not None or self._channel.closed:
+            return False
+        return clock.monotonic() - self._last_seen < HEARTBEAT_TIMEOUT
+
+    def cancel_task(self, task_id: int) -> None:
+        self._tasks.pop(task_id, None)
+        if self._channel is not None:
+            try:
+                self._channel.send({"op": "cancel", "task": task_id})
+            except ChannelClosed:
+                pass
+
+    def forget_task(self, task_id: int) -> None:
+        self._tasks.pop(task_id, None)
+
+    def restart(self) -> None:
+        """Spawn the next incarnation (the previous one is dead)."""
+        self._teardown(kill=True)
+        self._tasks.clear()
+        self.incarnation += 1
+        self._spawn()
+
+    def kill(self) -> None:
+        """SIGKILL the whole group session and sever the pipe."""
+        popen = self._popen
+        if popen is not None and popen.poll() is None:
+            try:
+                os.killpg(popen.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                popen.kill()
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+
+    def shutdown(self) -> None:
+        if self._channel is not None and not self._channel.closed:
+            try:
+                self._channel.send({"op": "shutdown"})
+            except ChannelClosed:
+                pass
+        self._teardown(kill=False)
+
+    def _teardown(self, kill: bool) -> None:
+        if self._channel is not None:
+            self._channel.close()
+            self._channel = None
+        popen = self._popen
+        if popen is None:
+            return
+        if kill and popen.poll() is None:
+            self.kill()
+        try:
+            popen.wait(timeout=2.0)
+        except subprocess.TimeoutExpired:
+            popen.kill()
+            popen.wait()
+        self._popen = None

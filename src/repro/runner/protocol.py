@@ -1,0 +1,151 @@
+"""Line-delimited JSON protocol between the supervisor and worker groups.
+
+A :class:`~repro.runner.executors.SubprocessExecutor` talks to its
+``ftmc campaign-worker`` group over two anonymous pipes (the group's
+stdin and stdout).  Every message is one JSON object on one line — the
+same framing as the JSONL checkpoint, and for the same reason: a
+SIGKILLed writer can at worst tear the final line, and the reader can
+always resynchronise on the next newline.
+
+Supervisor -> group ops::
+
+    {"op": "run", "task": 7, "experiment": "fig1", "params": {...},
+     "chaos": null, "delay": 0.0}
+    {"op": "cancel", "task": 7}          # watchdog fired: kill the child
+    {"op": "shutdown"}                   # campaign over: exit cleanly
+
+Group -> supervisor ops::
+
+    {"op": "ready", "pid": 1234, "version": 1}
+    {"op": "heartbeat", "seq": 3}
+    {"op": "result", "task": 7, "message": "...", "exitcode": 0}
+
+The supervisor never blocks on a group: :class:`PipeChannel` reads the
+reply pipe non-blockingly, buffers partial lines, and reports EOF (a
+dead or killed group) as :attr:`PipeChannel.closed` instead of raising
+mid-sweep.  Torn or foreign lines decode to ``None`` and are counted,
+never fatal — executor loss is a survivable event, not a crash.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, BinaryIO
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ChannelClosed",
+    "PipeChannel",
+    "decode_line",
+    "encode",
+]
+
+#: Version stamped into ``ready`` messages; bumped on wire changes.
+PROTOCOL_VERSION = 1
+
+_READ_CHUNK = 65536
+
+
+class ChannelClosed(RuntimeError):
+    """The peer's end of the pipe is gone (dead or killed process)."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One protocol message as a compact JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode() + b"\n"
+
+
+def decode_line(line: bytes) -> dict[str, Any] | None:
+    """Decode one framed line; ``None`` for torn or foreign content."""
+    try:
+        record = json.loads(line)
+    except (ValueError, UnicodeDecodeError):
+        return None
+    if isinstance(record, dict) and isinstance(record.get("op"), str):
+        return record
+    return None
+
+
+class PipeChannel:
+    """The supervisor's end of a worker group's pipe pair.
+
+    ``writer``/``reader`` are the binary pipe file objects (the group's
+    stdin and stdout from ``Popen``); the channel owns and closes them.
+    Ops go out through ``writer``; replies are drained from ``reader``
+    without ever blocking the single-threaded scheduler — the read side
+    is switched to non-blocking mode and partial lines are buffered
+    across :meth:`poll` calls.
+    """
+
+    def __init__(self, writer: BinaryIO, reader: BinaryIO) -> None:
+        self._writer: BinaryIO | None = writer
+        self._reader: BinaryIO | None = reader
+        os.set_blocking(reader.fileno(), False)
+        self._buffer = b""
+        self._eof = False
+        #: Torn/foreign reply lines skipped by :meth:`poll`.
+        self.dropped = 0
+
+    @property
+    def closed(self) -> bool:
+        """True once the peer hung up (EOF seen or locally closed)."""
+        return self._eof or self._reader is None
+
+    def send(self, message: dict[str, Any]) -> None:
+        """Write one op; :class:`ChannelClosed` when the peer is gone."""
+        if self._writer is None:
+            raise ChannelClosed("channel is closed")
+        data = encode(message)
+        fd = self._writer.fileno()
+        try:
+            while data:
+                written = os.write(fd, data)
+                data = data[written:]
+        except (BrokenPipeError, OSError) as exc:
+            raise ChannelClosed(f"peer hung up: {exc}") from exc
+
+    def poll(self) -> list[dict[str, Any]]:
+        """Drain every complete reply line currently available.
+
+        Data the group wrote before dying stays readable from the pipe
+        buffer, so a result that raced an executor kill is still
+        recovered here — completed shards are never lost to the kill.
+        """
+        if self._reader is None:
+            return []
+        fd = self._reader.fileno()
+        while not self._eof:
+            try:
+                chunk = os.read(fd, _READ_CHUNK)
+            except BlockingIOError:
+                break
+            except OSError:
+                self._eof = True
+                break
+            if not chunk:
+                self._eof = True
+                break
+            self._buffer += chunk
+        messages: list[dict[str, Any]] = []
+        while b"\n" in self._buffer:
+            line, self._buffer = self._buffer.split(b"\n", 1)
+            if not line.strip():
+                continue
+            message = decode_line(line)
+            if message is None:
+                self.dropped += 1
+                continue
+            messages.append(message)
+        return messages
+
+    def close(self) -> None:
+        """Sever both pipe ends (idempotent)."""
+        for stream in (self._writer, self._reader):
+            if stream is not None:
+                try:
+                    stream.close()
+                except OSError:
+                    pass
+        self._writer = None
+        self._reader = None

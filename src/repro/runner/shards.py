@@ -85,12 +85,16 @@ class ShardRun:
 
     The supervisor's pool loop keeps up to ``--jobs`` of these *live* at
     once.  A run is **waiting** until its first attempt starts, then
-    alternates between **running** (a worker process is alive, watched
-    against ``deadline``) and **backing off** (``process is None`` and
-    the next attempt may not start before ``ready_at``, a monotonic
-    timestamp — the non-blocking replacement for sleeping the whole
-    supervisor).  A live run holds its pool ``slot`` across retries, so
-    ``--jobs 1`` reproduces the serial scheduler's exact ordering.
+    alternates between **running** (an attempt handle is attached,
+    watched against ``deadline``) and **backing off** (``handle is
+    None`` and the next attempt may not start before ``ready_at``, a
+    monotonic timestamp — the non-blocking replacement for sleeping the
+    whole supervisor).  A live run holds its pool ``slot`` across
+    retries, so ``--jobs 1`` reproduces the serial scheduler's exact
+    ordering.  When the run's executor is lost mid-attempt, the
+    supervisor reclaims the lease: the handle is detached, the slot is
+    released, and the run goes back to waiting for a surviving
+    executor's slot.
     """
 
     outcome: ShardOutcome
@@ -98,15 +102,14 @@ class ShardRun:
     rng: random.Random
     #: Pool slot this shard occupies while live (``None`` before start).
     slot: int | None = None
-    #: Worker process / supervisor end of the result pipe, while running.
-    process: Any = None
-    conn: Any = None
+    #: The in-flight attempt (:class:`repro.runner.executors.AttemptHandle`)
+    #: and the executor hosting it, while running.
+    handle: Any = None
+    executor: Any = None
     #: Monotonic watchdog deadline for the running attempt.
     deadline: float = 0.0
     #: Monotonic instant before which the next attempt must not start.
     ready_at: float = 0.0
-    #: Last message drained from the pipe during this attempt.
-    message: str | None = None
     #: Monotonic start of the first attempt (feeds ``duration_s``).
     started_monotonic: float | None = None
     #: Open obs span handles (``None`` when untraced).
@@ -119,8 +122,8 @@ class ShardRun:
 
     @property
     def running(self) -> bool:
-        """Whether a worker process is currently attached."""
-        return self.process is not None
+        """Whether a worker attempt is currently attached."""
+        return self.handle is not None
 
     @property
     def started(self) -> bool:
@@ -146,6 +149,14 @@ class CampaignReport:
     chaos_seed: int | None = None
     #: Unparseable checkpoint lines skipped by the tolerant loader.
     corrupt_checkpoint_lines: int = 0
+    #: Well-formed checkpoint records of an unrecognised kind (written
+    #: by a newer ftmc?) skipped with a warning by the tolerant loader.
+    unknown_checkpoint_records: int = 0
+    #: In-flight attempts requeued after their executor was lost
+    #: (timing-dependent; reported, but outside the coverage bytes).
+    reclaimed_leases: int = 0
+    #: Leases found without a completed shard record on ``--resume``.
+    stale_leases: int = 0
 
     @property
     def total(self) -> int:
@@ -182,6 +193,7 @@ class CampaignReport:
             "resumed": len(self.resumed),
             "chaos_seed": self.chaos_seed,
             "corrupt_checkpoint_lines": self.corrupt_checkpoint_lines,
+            "unknown_checkpoint_records": self.unknown_checkpoint_records,
             "executed_seconds": round(
                 sum(o.duration_s for o in self.outcomes if o.duration_s), 6
             ),
@@ -218,6 +230,23 @@ class CampaignReport:
             lines.append(
                 f"checkpoint recovery: skipped "
                 f"{self.corrupt_checkpoint_lines} torn line(s)"
+            )
+        if self.unknown_checkpoint_records:
+            lines.append(
+                f"checkpoint recovery: skipped "
+                f"{self.unknown_checkpoint_records} unrecognised record(s) "
+                "(written by a newer ftmc?)"
+            )
+        if self.reclaimed_leases:
+            lines.append(
+                f"executor fault tolerance: reclaimed "
+                f"{self.reclaimed_leases} orphaned lease(s) from lost "
+                "executor(s)"
+            )
+        if self.stale_leases:
+            lines.append(
+                f"resume: {self.stale_leases} stale lease(s) from the "
+                "previous run were re-executed"
             )
         for outcome in self.retried:
             reasons = "; ".join(outcome.errors) or "checkpoint record lost"

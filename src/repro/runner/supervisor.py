@@ -1,4 +1,4 @@
-"""The campaign supervisor: worker pool, watchdogs, retries, checkpoints.
+"""The campaign supervisor: executors, watchdogs, retries, checkpoints.
 
 :func:`run_campaign` drives a sharded experiment to completion the way
 the paper drives a fault-tolerant task set: every shard runs in an
@@ -9,21 +9,47 @@ checkpointed; and when a shard exhausts its budget the campaign
 *degrades gracefully* — it finalises the shards that did complete and
 reports exact coverage instead of crashing.
 
-Shards execute on a bounded pool of up to ``jobs`` concurrent worker
-processes (default :func:`default_jobs`; ``jobs=1`` reproduces the
-serial scheduler exactly).  The scheduler is a single-threaded loop
-over per-shard state machines (:class:`~repro.runner.shards.ShardRun`):
-each live shard owns its pipe, its watchdog deadline, and its
-retry/backoff state, and backoff is *non-blocking* — a per-shard
-"ready at" monotonic timestamp instead of sleeping the supervisor, so
-one shard's backoff never stalls the rest of the pool.
+Shards execute on a bounded pool of up to ``jobs`` concurrent slots
+(default :func:`default_jobs`; ``jobs=1`` reproduces the serial
+scheduler exactly).  Slots are served by pluggable **executors**
+(:mod:`repro.runner.executors`) — failure domains that can die as a
+whole.  The default :class:`~repro.runner.executors.LocalPoolExecutor`
+forks a worker per attempt, exactly as the supervisor always has;
+``executors=N`` instead spreads the slots round-robin over ``N``
+``ftmc campaign-worker`` group processes
+(:class:`~repro.runner.executors.SubprocessExecutor`), each spoken to
+over a line-delimited JSON pipe protocol.
+
+The scheduler is a single-threaded loop over per-shard state machines
+(:class:`~repro.runner.shards.ShardRun`): each live shard owns its
+attempt handle, its watchdog deadline, and its retry/backoff state, and
+backoff is *non-blocking* — a per-shard "ready at" monotonic timestamp
+instead of sleeping the supervisor, so one shard's backoff never stalls
+the rest of the pool.
+
+Executor fault tolerance: before each dispatch onto a killable
+topology the supervisor appends a **lease** record to the checkpoint;
+when an executor dies (crash, chaos SIGKILL, wedged heartbeat) the
+supervisor recovers any results the group flushed before dying, then
+*reclaims* every other leased shard — the in-flight attempt is rolled
+back as if it never started, the shard is requeued at the front of the
+plan, and it re-executes on a surviving (or restarted) executor.
+Restarts are bounded (``executor_restarts`` per executor, with the same
+jittered backoff policy as shard retries, drawn from a per-executor
+stream).  When every executor is lost and retired, remaining shards are
+failed as orphans and the campaign degrades (exit code 3) instead of
+hanging.
 
 Determinism contract: checkpoint shard records may land in completion
 order, but every shard's payload is a pure function of its spec, and
 backoff jitter draws from a per-shard stream
 (:func:`~repro.runner.shards.backoff_rng`) rather than a shared one —
-so result and coverage files are byte-identical across ``jobs`` values
-(timing fields aside), across ``--resume``, and under ``--chaos``.
+so result and coverage files are byte-identical across ``jobs`` and
+``executors`` values (timing fields aside), across ``--resume``, and
+under ``--chaos``.  Reclaimed attempts keep that contract: because the
+rollback erases the attempt from the shard's accounting, an executor
+loss is invisible in the coverage bytes — it costs wall-clock time, not
+reproducibility.
 
 Interruption contract: on SIGINT/SIGTERM the supervisor kills **all**
 live workers, leaves the checkpoint in place, and raises
@@ -36,7 +62,6 @@ result files byte-identical to an uninterrupted run.
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import signal
 import threading
@@ -49,7 +74,16 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import trace as obs_trace
 from repro.runner.campaigns import CampaignDefinition, get_campaign
 from repro.runner.chaos import ChaosInjector
-from repro.runner.checkpoint import CampaignCheckpoint
+from repro.runner.checkpoint import CampaignCheckpoint, CheckpointState
+from repro.runner.executors import (
+    EXEC_RESTARTING,
+    EXEC_RETIRED,
+    EXEC_UP,
+    Executor,
+    ExecutorLost,
+    LocalPoolExecutor,
+    SubprocessExecutor,
+)
 from repro.runner.retry import RetryPolicy
 from repro.runner.shards import (
     COMPLETED,
@@ -68,12 +102,15 @@ __all__ = [
     "CampaignConfigError",
     "DEFAULT_TIMEOUT",
     "CHAOS_TIMEOUT",
+    "DEFAULT_EXECUTOR_RESTARTS",
 ]
 
 #: Per-shard watchdog budget (seconds) when none is given.
 DEFAULT_TIMEOUT = 120.0
 #: Watchdog budget under chaos, where hangs are injected on purpose.
 CHAOS_TIMEOUT = 5.0
+#: Bounded executor-level fault tolerance: restarts per executor.
+DEFAULT_EXECUTOR_RESTARTS = 2
 
 #: Scheduler sweep interval (seconds) when no shard made progress.
 _POLL_TICK = 0.02
@@ -107,11 +144,6 @@ def _normalised(data: Any) -> Any:
     return json.loads(json.dumps(data))
 
 
-def _context() -> multiprocessing.context.BaseContext:
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
-
-
 def _span_id(handle: Any) -> int | None:
     return handle.span_id if handle is not None else None
 
@@ -128,6 +160,8 @@ class _Supervisor:
         on_event: EventHook | None,
         shard_delay: float,
         jobs: int,
+        executors: list[Executor],
+        executor_restarts: int,
     ) -> None:
         self.campaign = campaign
         self.options = options
@@ -137,11 +171,30 @@ class _Supervisor:
         self.chaos = chaos
         self.shard_delay = shard_delay
         self.jobs = jobs
+        self.executors = executors
+        self.executor_restarts = executor_restarts
         self._on_event = on_event
-        self._ctx = _context()
         self._signum: int | None = None
         self._planned = 0
         self._started_count = 0
+        #: In-flight attempts reclaimed from lost executors (reporting).
+        self.reclaimed_leases = 0
+        #: Shards whose chaos executor-kill has already fired.
+        self._chaos_killed: set[str] = set()
+        # Round-robin the pool slots over the executors so losing one
+        # executor in an N-executor topology costs 1/N of the pool, not
+        # a contiguous block of the plan.
+        self._slot_executor: dict[int, Executor] = {}
+        for slot in range(jobs):
+            executor = executors[slot % len(executors)]
+            self._slot_executor[slot] = executor
+            executor.slots.append(slot)
+        # Leases only matter when an executor can actually be lost; the
+        # in-process pool keeps the original checkpoint layout (and its
+        # fsync count) byte-for-byte.
+        self._record_leases = any(
+            e.can_kill or e.can_restart for e in executors
+        )
         self.checkpoint = CampaignCheckpoint(
             os.path.join(output_dir, f"{campaign.name}.checkpoint.jsonl")
         )
@@ -159,19 +212,226 @@ class _Supervisor:
         if self._signum is not None:
             raise CampaignInterrupted(self._signum)
 
+    # -- executor lifecycle ----------------------------------------------------
+
+    def start_executors(self) -> None:
+        """Bring every executor up (and record its first heartbeat)."""
+        for executor in self.executors:
+            executor.start()
+            if self._record_leases:
+                self.checkpoint.append_heartbeat(
+                    executor.eid, executor.incarnation
+                )
+
+    def shutdown_executors(self) -> None:
+        """Tear every executor down (campaign end or interrupt)."""
+        for executor in self.executors:
+            executor.shutdown()
+
+    def _sweep_executors(
+        self,
+        waiting: list[ShardRun],
+        live: list[ShardRun],
+        free_slots: list[int],
+    ) -> bool:
+        """Liveness/restart sweep over the executor fleet.
+
+        Detects dead executors (process exit, severed pipe, silent
+        heartbeat) and reclaims their leases; fires due restarts and
+        returns the revived executor's slots to the pool; and when the
+        whole fleet is retired, fails the remaining shards as orphans so
+        the campaign degrades instead of hanging.  Returns True when
+        anything changed (progress, for the scheduler's idle tick).
+        """
+        progressed = False
+        for executor in self.executors:
+            if executor.state == EXEC_UP:
+                executor.pump()
+                if not executor.alive():
+                    self._executor_lost(executor, waiting, live, free_slots)
+                    progressed = True
+            elif executor.state == EXEC_RESTARTING:
+                if clock.monotonic() >= executor.restart_ready_at:
+                    executor.restart()
+                    executor.state = EXEC_UP
+                    if self._record_leases:
+                        self.checkpoint.append_heartbeat(
+                            executor.eid, executor.incarnation
+                        )
+                    obs_metrics.inc("runner.executors.restarts")
+                    obs_trace.event(
+                        "executor.restart",
+                        executor=executor.eid,
+                        incarnation=executor.incarnation,
+                    )
+                    self.event(
+                        f"executor {executor.eid} restarted "
+                        f"(incarnation {executor.incarnation})"
+                    )
+                    free_slots.extend(executor.slots)
+                    free_slots.sort(reverse=True)
+                    progressed = True
+        if waiting and all(e.state == EXEC_RETIRED for e in self.executors):
+            self._fail_orphans(waiting)
+            progressed = True
+        return progressed
+
+    def _executor_lost(
+        self,
+        executor: Executor,
+        waiting: list[ShardRun],
+        live: list[ShardRun],
+        free_slots: list[int],
+    ) -> None:
+        """Reclaim a dead executor's leases and schedule its replacement.
+
+        Results the group flushed before dying are still sitting in the
+        pipe buffer: one final pump recovers them, and those shards are
+        judged and checkpointed normally — an executor loss never costs
+        a completed shard.  Every other leased shard is rolled back as
+        if its attempt had never started (attempt count and error list
+        untouched) and requeued at the front of the plan, which is what
+        keeps coverage byte-identical whether or not an executor died.
+        """
+        if executor.state != EXEC_UP:
+            return
+        executor.pump()  # last drain: recover results that raced the death
+        slots = set(executor.slots)
+        self.event(f"executor {executor.eid} lost (slots {sorted(slots)})")
+        obs_metrics.inc("runner.executors.lost")
+        obs_trace.event(
+            "executor.lost",
+            executor=executor.eid,
+            incarnation=executor.incarnation,
+        )
+        # 1) Shards whose result survived the crash complete normally.
+        for run in [r for r in live if r.slot in slots]:
+            if run.handle is not None:
+                run.handle.poll()
+                if run.handle.finished():
+                    ok, verdict = self._judge(
+                        run.handle.message, run.handle.exitcode
+                    )
+                    self._close_attempt(run)
+                    if ok:
+                        self._complete(run, live, free_slots, verdict)
+                    else:
+                        self._attempt_failed(run, live, free_slots, verdict)
+        # 2) Everything else leased to the executor is reclaimed: the
+        #    in-flight attempt is erased from the shard's accounting and
+        #    the shard rejoins the queue ahead of fresh work.  Runs that
+        #    were merely backing off in one of the executor's slots keep
+        #    their ready_at and retry state untouched.
+        reclaimed = [r for r in live if r.slot in slots]
+        for run in reclaimed:
+            if run.handle is not None:
+                run.outcome.attempts -= 1
+                self.reclaimed_leases += 1
+                obs_metrics.inc("runner.leases.reclaimed")
+                obs_trace.event(
+                    "lease.reclaimed",
+                    span_id=_span_id(run.span),
+                    id=run.spec.id,
+                    executor=executor.eid,
+                )
+                self.event(
+                    f"reclaimed lease: shard {run.spec.id} requeued after "
+                    f"losing executor {executor.eid}"
+                )
+                self._close_attempt(run, error=True)
+            live.remove(run)
+            run.slot = None
+        waiting[:0] = reclaimed
+        # 3) The dead executor's slots leave the pool until it restarts.
+        free_slots[:] = [s for s in free_slots if s not in slots]
+        self._schedule_restart_or_retire(executor)
+
+    def _schedule_restart_or_retire(self, executor: Executor) -> None:
+        if executor.can_restart and (
+            executor.restarts_used < self.executor_restarts
+        ):
+            executor.restarts_used += 1
+            delay = self.retry.delay(executor.restarts_used, executor.rng)
+            executor.restart_ready_at = clock.monotonic() + delay
+            executor.state = EXEC_RESTARTING
+            self.event(
+                f"executor {executor.eid}: restart "
+                f"{executor.restarts_used}/{self.executor_restarts} "
+                f"in {delay:.2f}s"
+            )
+            return
+        executor.state = EXEC_RETIRED
+        obs_trace.event("executor.retired", executor=executor.eid)
+        self.event(
+            f"executor {executor.eid} retired (restart budget exhausted)"
+        )
+
+    def _fail_orphans(self, waiting: list[ShardRun]) -> None:
+        """Fail every unfinished shard: the whole fleet is gone."""
+        for run in waiting:
+            outcome = run.outcome
+            outcome.errors.append(
+                "orphaned: every executor was lost and retired"
+            )
+            obs_metrics.inc("runner.shards.failed")
+            self.event(
+                f"shard {run.spec.id} orphaned: no executors left; "
+                "campaign degrades"
+            )
+            if run.started_monotonic is not None:
+                outcome.duration_s = (
+                    clock.monotonic() - run.started_monotonic
+                )
+            if run.span is not None:
+                run.span.end(error=True)
+                run.span = None
+        waiting.clear()
+
+    def _maybe_kill_executor(self, run: ShardRun, executor: Executor) -> None:
+        """Fire the chaos executor-kill if this dispatch is the trigger.
+
+        SIGKILLs the whole worker-group session, severs its pipe, and
+        tears the lease record just written for this shard — the full
+        host-loss signature.  Fires at most once per campaign, keyed to
+        the shard the chaos plan designated, and only on topologies
+        whose executors can actually be killed.
+        """
+        if self.chaos is None or not executor.can_kill:
+            return
+        spec_id = run.spec.id
+        if spec_id in self._chaos_killed:
+            return
+        if self.chaos.executor_kill_shard() != spec_id:
+            return
+        self._chaos_killed.add(spec_id)
+        self.event(
+            f"chaos: SIGKILLing executor {executor.eid} mid-shard {spec_id}"
+        )
+        obs_trace.event(
+            "executor.chaos_kill", executor=executor.eid, id=spec_id
+        )
+        executor.kill()
+        # The lease for this dispatch is the checkpoint's last line
+        # (appends only happen on this thread); tearing it simulates an
+        # executor dying mid-lease-write.
+        if ChaosInjector.truncate_checkpoint(self.checkpoint.path):
+            self.event(f"chaos: tore the lease record for shard {spec_id}")
+
     # -- the pool scheduler ----------------------------------------------------
 
     def run_shards(self, outcomes: list[ShardOutcome]) -> None:
         """Drive every non-resumed shard to completion, ``jobs`` at a time.
 
         Single-threaded scheduler over per-shard state machines: each
-        iteration fills free pool slots with waiting shards (plan
-        order), then sweeps the live shards — reaping finished workers,
-        enforcing watchdog deadlines, and starting the next attempt of
-        any shard whose backoff ``ready_at`` has passed.  A live shard
-        holds its slot across retries, so ``jobs=1`` reproduces the
-        serial scheduler's exact ordering.  On interruption (or any
-        supervisor-level error) every live worker is killed before the
+        iteration sweeps the executor fleet (liveness, lease
+        reclamation, due restarts), fills free pool slots with ready
+        waiting shards (plan order; reclaimed shards go first), then
+        sweeps the live shards — reaping finished attempts, enforcing
+        watchdog deadlines, and starting the next attempt of any shard
+        whose backoff ``ready_at`` has passed.  A live shard holds its
+        slot across retries, so ``jobs=1`` reproduces the serial
+        scheduler's exact ordering.  On interruption (or any
+        supervisor-level error) every live attempt is killed before the
         exception propagates.
         """
         self._planned = len(outcomes)
@@ -186,19 +446,30 @@ class _Supervisor:
         try:
             while waiting or live:
                 self._check_interrupted()
-                progressed = False
+                progressed = self._sweep_executors(waiting, live, free_slots)
                 while waiting and free_slots:
-                    run = waiting.pop(0)
+                    now = clock.monotonic()
+                    index = next(
+                        (
+                            i
+                            for i, r in enumerate(waiting)
+                            if r.ready_at <= now
+                        ),
+                        None,
+                    )
+                    if index is None:
+                        break
+                    run = waiting.pop(index)
                     run.slot = free_slots.pop()
                     live.append(run)
-                    self._start_attempt(run)
+                    self._dispatch(run, waiting, live, free_slots)
                     progressed = True
                 now = clock.monotonic()
                 for run in list(live):
                     if run.running:
                         progressed |= self._poll_running(run, live, free_slots)
                     elif now >= run.ready_at:
-                        self._start_attempt(run)
+                        self._dispatch(run, waiting, live, free_slots)
                         progressed = True
                 if not progressed:
                     time.sleep(_POLL_TICK)
@@ -206,10 +477,41 @@ class _Supervisor:
             self._kill_live(live)
             raise
 
-    def _start_attempt(self, run: ShardRun) -> None:
-        """Launch the next worker attempt for a live shard."""
+    def _dispatch(
+        self,
+        run: ShardRun,
+        waiting: list[ShardRun],
+        live: list[ShardRun],
+        free_slots: list[int],
+    ) -> None:
+        """Start an attempt on the run's slot, absorbing executor death."""
+        executor = self._slot_executor[run.slot]  # type: ignore[index]
+        try:
+            self._start_attempt(run, executor)
+        except ExecutorLost:
+            # The executor died under the dispatch; reclaim its leases
+            # (including this very run, which never actually started).
+            self._executor_lost(executor, waiting, live, free_slots)
+
+    def _start_attempt(self, run: ShardRun, executor: Executor) -> None:
+        """Launch the next worker attempt for a live shard.
+
+        Dispatch happens *before* any state mutation: if the executor is
+        already dead, :class:`ExecutorLost` propagates with the shard's
+        accounting untouched, and the reclaim path simply requeues it.
+        """
         spec = run.spec
         attempt = run.outcome.attempts + 1
+        chaos_action = (
+            self.chaos.worker_action(spec.id, attempt) if self.chaos else None
+        )
+        if self._record_leases:
+            self.checkpoint.append_lease(
+                spec.id, executor.eid, attempt, executor.incarnation
+            )
+        handle = executor.start_attempt(
+            self.campaign.name, spec.params, chaos_action, self.shard_delay
+        )
         run.outcome.attempts = attempt
         if not run.started:
             run.started_monotonic = clock.monotonic()
@@ -219,10 +521,9 @@ class _Supervisor:
                 f"shard {spec.id} ({self._started_count}/{self._planned}"
                 f"{suffix})"
             )
-            run.span = obs_trace.open_span("shard", id=spec.id, slot=run.slot)
-        chaos_action = (
-            self.chaos.worker_action(spec.id, attempt) if self.chaos else None
-        )
+            run.span = obs_trace.open_span(
+                "shard", id=spec.id, slot=run.slot, executor=executor.eid
+            )
         if chaos_action is not None:
             self.event(f"chaos: injecting {chaos_action} into shard {spec.id}")
         obs_metrics.inc("runner.attempts")
@@ -232,35 +533,22 @@ class _Supervisor:
             id=spec.id,
             attempt=attempt,
             slot=run.slot,
+            executor=executor.eid,
         )
-        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
-        process = self._ctx.Process(
-            target=shard_worker,
-            args=(
-                child_conn,
-                self.campaign.name,
-                dict(spec.params),
-                chaos_action,
-                self.shard_delay,
-            ),
-            daemon=True,
-        )
-        process.start()
-        child_conn.close()
-        run.process = process
-        run.conn = parent_conn
-        run.message = None
+        run.handle = handle
+        run.executor = executor
         run.deadline = clock.monotonic() + self.timeout
+        self._maybe_kill_executor(run, executor)
 
     def _poll_running(
         self, run: ShardRun, live: list[ShardRun], free_slots: list[int]
     ) -> bool:
         """One watchdog/reap sweep over a running shard; True on progress."""
-        run.message = self._drain(run.conn, run.message)
-        process = run.process
-        if process.is_alive():
+        handle = run.handle
+        handle.poll()
+        if not handle.finished():
             if clock.monotonic() > run.deadline:
-                self._kill(process)
+                handle.cancel()
                 obs_metrics.inc("runner.timeouts")
                 obs_trace.event(
                     "shard.timeout",
@@ -268,22 +556,19 @@ class _Supervisor:
                     id=run.spec.id,
                     budget_s=self.timeout,
                 )
-                self._close_attempt(run)
+                self._close_attempt(run, error=True)
                 self._attempt_failed(
                     run, live, free_slots,
                     f"timed out after {self.timeout:g}s",
                 )
                 return True
             return False
-        # The worker exited: drain the pipe's tail, then judge the attempt.
-        run.message = self._drain(run.conn, run.message)
-        process.join()
-        ok, payload_or_error = self._judge(run.message, process.exitcode)
+        ok, verdict = self._judge(handle.message, handle.exitcode)
         self._close_attempt(run)
         if ok:
-            self._complete(run, live, free_slots, payload_or_error)
+            self._complete(run, live, free_slots, verdict)
         else:
-            self._attempt_failed(run, live, free_slots, payload_or_error)
+            self._attempt_failed(run, live, free_slots, verdict)
         return True
 
     @staticmethod
@@ -308,13 +593,14 @@ class _Supervisor:
             return False, f"worker crashed (exit {exitcode})"
         return False, "worker exited without a result"
 
-    def _close_attempt(self, run: ShardRun) -> None:
-        """Detach the worker process/pipe and close the attempt span."""
-        run.conn.close()
-        run.conn = None
-        run.process = None
+    def _close_attempt(self, run: ShardRun, error: bool = False) -> None:
+        """Detach the attempt handle and close the attempt span."""
+        if run.handle is not None:
+            run.handle.close()
+            run.handle = None
+        run.executor = None
         if run.attempt_span is not None:
-            run.attempt_span.end()
+            run.attempt_span.end(error=error)
             run.attempt_span = None
 
     def _complete(
@@ -385,38 +671,24 @@ class _Supervisor:
         free_slots.sort(reverse=True)
 
     def _kill_live(self, live: list[ShardRun]) -> None:
-        """Kill every live worker (interrupt/error path)."""
+        """Kill every live attempt (interrupt/error path)."""
         for run in live:
-            if run.process is not None:
-                self._kill(run.process)
-                run.process = None
-            if run.conn is not None:
-                run.conn.close()
-                run.conn = None
-
-    @staticmethod
-    def _drain(conn: Any, message: str | None) -> str | None:
-        try:
-            while conn.poll(0):
-                message = conn.recv()
-        except (EOFError, OSError):
-            pass
-        return message
-
-    @staticmethod
-    def _kill(process: Any) -> None:
-        process.terminate()
-        process.join(0.5)
-        if process.is_alive():
-            process.kill()
-            process.join()
+            if run.handle is not None:
+                try:
+                    run.handle.cancel()
+                except Exception:
+                    pass
+                run.handle.close()
+                run.handle = None
+            run.executor = None
 
     # -- recovery and finalisation ---------------------------------------------
 
-    def recover_torn_records(self, outcomes: list[ShardOutcome]) -> int:
+    def recover_torn_records(
+        self, outcomes: list[ShardOutcome]
+    ) -> CheckpointState:
         """Re-append completed shards whose on-disk record was torn."""
         state = self.checkpoint.load()
-        corrupt = state.corrupt_lines
         for outcome in outcomes:
             if outcome.completed and outcome.spec.id not in state.shards:
                 spec = outcome.spec
@@ -428,7 +700,7 @@ class _Supervisor:
                 self.event(
                     f"recovered: re-wrote torn checkpoint record for {spec.id}"
                 )
-        return corrupt
+        return state
 
     def finalize(self, report: CampaignReport) -> None:
         payloads = {
@@ -449,7 +721,7 @@ class _Supervisor:
 
 def _load_resume_state(
     supervisor: _Supervisor, shards: list[ShardSpec], options: dict[str, Any]
-) -> dict[str, dict[str, Any]]:
+) -> CheckpointState:
     """Validate and load a checkpoint for ``--resume``."""
     state = supervisor.checkpoint.load()
     if state.manifest is None:
@@ -474,7 +746,7 @@ def _load_resume_state(
         raise CampaignConfigError(
             "cannot resume: the shard plan no longer matches the checkpoint"
         )
-    return state.shards
+    return state
 
 
 def run_campaign(
@@ -488,16 +760,25 @@ def run_campaign(
     on_event: EventHook | None = None,
     shard_delay: float | None = None,
     jobs: int | None = None,
+    executors: int | None = None,
+    executor_restarts: int = DEFAULT_EXECUTOR_RESTARTS,
 ) -> CampaignReport:
     """Run (or resume) a fault-tolerant experiment campaign.
 
     ``jobs`` bounds the worker pool (default :func:`default_jobs`;
-    ``1`` preserves the serial scheduler exactly).  See the module
-    docstring for the execution model and ``docs/robustness.md`` for the
-    full contract.  Raises :class:`CampaignInterrupted` on
-    SIGINT/SIGTERM and :class:`CampaignConfigError` on unusable
-    configuration; any other shard-level failure degrades the campaign
-    instead of raising.
+    ``1`` preserves the serial scheduler exactly).  ``executors=None``
+    (the default) runs every slot on the in-process
+    :class:`~repro.runner.executors.LocalPoolExecutor`;
+    ``executors=N`` spreads the slots over ``N`` ``ftmc
+    campaign-worker`` group processes (clamped to ``jobs`` — an
+    executor with no slots would never be used), each a failure domain
+    the campaign survives: dead executors have their leased shards
+    reclaimed and are restarted up to ``executor_restarts`` times with
+    jittered backoff.  See the module docstring for the execution model
+    and ``docs/robustness.md`` for the full contract.  Raises
+    :class:`CampaignInterrupted` on SIGINT/SIGTERM and
+    :class:`CampaignConfigError` on unusable configuration; any other
+    shard-level failure degrades the campaign instead of raising.
     """
     campaign = get_campaign(experiment)
     if options is None:
@@ -515,6 +796,12 @@ def run_campaign(
         jobs = default_jobs()
     if jobs < 1:
         raise CampaignConfigError(f"jobs must be >= 1, got {jobs}")
+    if executors is not None and executors < 1:
+        raise CampaignConfigError(f"executors must be >= 1, got {executors}")
+    if executor_restarts < 0:
+        raise CampaignConfigError(
+            f"executor restarts must be >= 0, got {executor_restarts}"
+        )
 
     shards = campaign.plan(options)
     if not shards:
@@ -523,15 +810,36 @@ def run_campaign(
     if len(set(ids)) != len(ids):
         raise CampaignConfigError(f"campaign {experiment!r} has duplicate shard ids")
 
+    if executors is None:
+        fleet: list[Executor] = [LocalPoolExecutor("local", worker=shard_worker)]
+    else:
+        fleet = [
+            SubprocessExecutor(f"exec-{i}", i)
+            for i in range(min(executors, jobs))
+        ]
+
     chaos = ChaosInjector(chaos_seed, ids) if chaos_seed is not None else None
     supervisor = _Supervisor(
         campaign, options, output_dir, timeout, retry, chaos, on_event,
-        shard_delay, jobs,
+        shard_delay, jobs, fleet, executor_restarts,
     )
 
     resumed_records: dict[str, dict[str, Any]] = {}
+    report = CampaignReport(
+        experiment=campaign.name,
+        output_dir=output_dir,
+        checkpoint_path=supervisor.checkpoint.path,
+        chaos_seed=chaos_seed,
+    )
     if resume:
-        resumed_records = _load_resume_state(supervisor, shards, options)
+        resume_state = _load_resume_state(supervisor, shards, options)
+        resumed_records = resume_state.shards
+        stale = resume_state.stale_leases()
+        report.stale_leases = len(stale)
+        for shard_id in stale:
+            supervisor.event(
+                f"resume: stale lease for shard {shard_id}; re-executing"
+            )
     else:
         supervisor.checkpoint.create(
             {
@@ -541,16 +849,9 @@ def run_campaign(
                     {"id": s.id, "index": s.index, "seed": s.seed}
                     for s in shards
                 ],
-                "created_unix": clock.wall_time(),
+                **clock.metadata_stamp(),
             }
         )
-
-    report = CampaignReport(
-        experiment=campaign.name,
-        output_dir=output_dir,
-        checkpoint_path=supervisor.checkpoint.path,
-        chaos_seed=chaos_seed,
-    )
 
     # Install signal handlers (main thread only; tests may call us from
     # worker threads where signal.signal raises ValueError).
@@ -563,7 +864,11 @@ def run_campaign(
             )
     try:
         with obs_trace.span(
-            "campaign", experiment=campaign.name, shards=len(shards), jobs=jobs
+            "campaign",
+            experiment=campaign.name,
+            shards=len(shards),
+            jobs=jobs,
+            executors=len(fleet),
         ):
             for spec in shards:
                 outcome = ShardOutcome(spec=spec)
@@ -574,12 +879,20 @@ def run_campaign(
                     outcome.resumed = True
                     outcome.payload = record["payload"]
                     outcome.attempts = int(record.get("attempts", 1))
+            supervisor.start_executors()
             supervisor.run_shards(report.outcomes)
-            report.corrupt_checkpoint_lines = supervisor.recover_torn_records(
-                report.outcomes
-            )
+            final_state = supervisor.recover_torn_records(report.outcomes)
+            report.corrupt_checkpoint_lines = final_state.corrupt_lines
+            report.unknown_checkpoint_records = final_state.unknown_records
+            report.reclaimed_leases = supervisor.reclaimed_leases
+            if final_state.unknown_records:
+                supervisor.event(
+                    f"checkpoint: skipped {final_state.unknown_records} "
+                    "unrecognised record(s) (written by a newer ftmc?)"
+                )
             supervisor.finalize(report)
     finally:
+        supervisor.shutdown_executors()
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
     return report

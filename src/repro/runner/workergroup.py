@@ -1,0 +1,214 @@
+"""The ``ftmc campaign-worker`` process: one executor's worker group.
+
+A :class:`~repro.runner.executors.SubprocessExecutor` launches exactly
+one of these.  The group is a tiny, single-threaded agent: it reads
+``run``/``cancel``/``shutdown`` ops from stdin, forks one worker
+process per ``run`` (reusing :func:`repro.runner.worker.shard_worker`
+unchanged — chaos worker faults included), reaps workers, and streams
+``ready``/``heartbeat``/``result`` replies to stdout using the framing
+in :mod:`repro.runner.protocol`.
+
+The group performs **no judging and no retries** — it forwards each
+worker's raw pipe message and exit code and lets the supervisor apply
+the same verdict logic it applies to locally forked workers.  That
+keeps the two topologies byte-identical by construction.
+
+Protocol hygiene: stdout *is* the wire, so the group re-points fd 1 at
+stderr immediately and keeps a private duplicate for protocol writes —
+a stray ``print`` anywhere in experiment code (workers inherit the
+redirection) lands in the supervisor's stderr instead of corrupting
+the message stream.
+
+Failure behaviour: EOF on stdin, or a broken stdout pipe, means the
+supervisor is gone (dead, or severing us on purpose during a chaos
+kill) — the group kills every worker child and exits.  The group never
+exits because a *worker* died; that is a result to report, not a group
+failure.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import time
+from typing import Any
+
+from repro.obs import clock
+from repro.runner.executors import fork_context
+from repro.runner.protocol import PROTOCOL_VERSION, decode_line, encode
+from repro.runner.worker import shard_worker
+
+__all__ = ["WorkerGroup", "run_worker_group", "HEARTBEAT_INTERVAL"]
+
+#: Seconds between ``heartbeat`` messages while idle or busy.
+HEARTBEAT_INTERVAL = 0.5
+
+_TICK = 0.02
+
+
+class _GroupTask:
+    """One forked worker child plus its one-shot result pipe."""
+
+    __slots__ = ("task_id", "process", "conn", "message")
+
+    def __init__(self, task_id: int, process: Any, conn: Any) -> None:
+        self.task_id = task_id
+        self.process = process
+        self.conn = conn
+        self.message: str | None = None
+
+
+class WorkerGroup:
+    """The campaign-worker event loop (see the module docstring)."""
+
+    def __init__(self) -> None:
+        self._ctx = fork_context()
+        self._tasks: dict[int, _GroupTask] = {}
+        self._seq = 0
+        self._in_fd: int | None = None
+        self._out_fd: int | None = None
+
+    def run(self) -> int:
+        # Claim the wire: protocol writes go to a private duplicate of
+        # stdout, and fd 1 itself is re-pointed at stderr so that no
+        # stray print (here or in a forked worker) can corrupt framing.
+        self._out_fd = os.dup(1)
+        os.dup2(2, 1)
+        self._in_fd = 0
+        buffer = b""
+        shutdown = False
+        eof = False
+        last_beat = clock.monotonic()
+        try:
+            self._send({"op": "ready", "pid": os.getpid(),
+                        "version": PROTOCOL_VERSION})
+            while True:
+                if (shutdown or eof) and not self._tasks:
+                    break
+                if eof and not shutdown:
+                    # The supervisor vanished (or severed us): stop work.
+                    break
+                if not eof:
+                    readable, _, _ = select.select(
+                        [self._in_fd], [], [], _TICK
+                    )
+                    if readable:
+                        try:
+                            data = os.read(self._in_fd, 65536)
+                        except OSError:
+                            data = b""
+                        if not data:
+                            eof = True
+                        buffer += data
+                        while b"\n" in buffer:
+                            line, buffer = buffer.split(b"\n", 1)
+                            op = decode_line(line)
+                            if op is not None:
+                                shutdown |= self._handle(op)
+                else:
+                    time.sleep(_TICK)
+                self._reap()
+                now = clock.monotonic()
+                if now - last_beat >= HEARTBEAT_INTERVAL:
+                    last_beat = now
+                    self._seq += 1
+                    self._send({"op": "heartbeat", "seq": self._seq})
+        except BrokenPipeError:
+            pass  # supervisor's read end is gone: fall through to cleanup
+        finally:
+            for task in list(self._tasks.values()):
+                self._discard(task)
+        return 0
+
+    # -- wire ------------------------------------------------------------------
+
+    def _send(self, message: dict[str, Any]) -> None:
+        data = encode(message)
+        fd = self._out_fd
+        assert fd is not None
+        while data:
+            written = os.write(fd, data)
+            data = data[written:]
+
+    # -- ops -------------------------------------------------------------------
+
+    def _handle(self, op: dict[str, Any]) -> bool:
+        """Apply one supervisor op; True when it was ``shutdown``."""
+        kind = op.get("op")
+        if kind == "run":
+            self._start(op)
+        elif kind == "cancel":
+            task = self._tasks.pop(op.get("task"), None)
+            if task is not None:
+                self._discard(task)
+        elif kind == "shutdown":
+            return True
+        return False
+
+    def _start(self, op: dict[str, Any]) -> None:
+        task_id = op.get("task")
+        if not isinstance(task_id, int):
+            return
+        params = op.get("params")
+        parent_conn, child_conn = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=shard_worker,
+            args=(
+                child_conn,
+                str(op.get("experiment")),
+                dict(params) if isinstance(params, dict) else {},
+                op.get("chaos"),
+                float(op.get("delay") or 0.0),
+            ),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        self._tasks[task_id] = _GroupTask(task_id, process, parent_conn)
+
+    # -- workers ---------------------------------------------------------------
+
+    def _reap(self) -> None:
+        """Forward the raw verdict material of every finished worker."""
+        for task in list(self._tasks.values()):
+            self._drain(task)
+            if task.process.is_alive():
+                continue
+            self._drain(task)  # the pipe's tail, now that the worker exited
+            task.process.join()
+            exitcode = task.process.exitcode
+            task.conn.close()
+            del self._tasks[task.task_id]
+            self._send(
+                {
+                    "op": "result",
+                    "task": task.task_id,
+                    "message": task.message,
+                    "exitcode": exitcode,
+                }
+            )
+
+    @staticmethod
+    def _drain(task: _GroupTask) -> None:
+        try:
+            while task.conn.poll(0):
+                task.message = task.conn.recv()
+        except (EOFError, OSError):
+            pass
+
+    def _discard(self, task: _GroupTask) -> None:
+        """Kill a worker without reporting (cancel / teardown path)."""
+        process = task.process
+        if process.is_alive():
+            process.terminate()
+            process.join(0.5)
+            if process.is_alive():
+                process.kill()
+                process.join()
+        task.conn.close()
+        self._tasks.pop(task.task_id, None)
+
+
+def run_worker_group() -> int:
+    """CLI entry point for the hidden ``campaign-worker`` verb."""
+    return WorkerGroup().run()

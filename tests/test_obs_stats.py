@@ -106,6 +106,38 @@ class TestAggregateTrace:
         assert stats["pool"] == {}
         assert "pool slot" not in render_stats(stats)
 
+    def test_executor_occupancy_from_executor_attributes(self, tmp_path):
+        from repro.obs import open_span
+
+        path = str(tmp_path / "trace.jsonl")
+        with tracing(path):
+            with span("campaign", executors=2):
+                a = open_span("shard", id="a", slot=0, executor="exec-0")
+                b = open_span("shard", id="b", slot=1, executor="exec-1")
+                # attempt spans carry the executor too but must not
+                # double-book the fleet table
+                attempt = open_span(
+                    "shard.attempt", parent=a.span_id, slot=0,
+                    executor="exec-0",
+                )
+                attempt.end()
+                a.end()
+                c = open_span("shard", id="c", slot=0, executor="exec-0")
+                c.end()
+                b.end()
+        stats = aggregate_trace(load_trace(path))
+        assert list(stats["executors"]) == ["exec-0", "exec-1"]
+        assert stats["executors"]["exec-0"]["spans"] == 2
+        assert stats["executors"]["exec-1"]["spans"] == 1
+        assert stats["executors"]["exec-0"]["busy_ns"] >= 0
+        text = render_stats(stats)
+        assert "executor" in text
+
+    def test_executors_absent_without_executor_attributes(self, trace_file):
+        stats = aggregate_trace(load_trace(trace_file))
+        assert stats["executors"] == {}
+        assert "executor" not in render_stats(stats)
+
     def test_render_mentions_every_section(self, trace_file):
         text = render_stats(aggregate_trace(load_trace(trace_file), source=trace_file))
         for needle in ("campaign", "shard.retry", "runner.attempts", "batch.points"):

@@ -18,7 +18,13 @@ from repro.runner.campaigns import (
     campaign_names,
     get_campaign,
 )
-from repro.runner.chaos import CRASH, HANG, TRUNCATE, ChaosInjector
+from repro.runner.chaos import (
+    CRASH,
+    HANG,
+    KILL_EXECUTOR,
+    TRUNCATE,
+    ChaosInjector,
+)
 from repro.runner.checkpoint import CampaignCheckpoint
 from repro.runner.retry import RetryPolicy
 from repro.runner.shards import (
@@ -211,7 +217,6 @@ class TestCheckpoint:
         lines = [
             json.dumps({"type": "manifest", "experiment": "x"}),
             json.dumps([1, 2, 3]),            # not an object
-            json.dumps({"type": "mystery"}),  # unknown record type
             json.dumps({"type": "shard", "id": "a"}),  # missing payload
         ]
         from repro.io import atomic_write_text
@@ -220,7 +225,45 @@ class TestCheckpoint:
         state = CampaignCheckpoint(str(path)).load()
         assert state.manifest is not None
         assert state.shards == {}
-        assert state.corrupt_lines == 3
+        assert state.corrupt_lines == 2
+        assert state.unknown_records == 0
+
+    def test_unknown_record_kinds_skipped_not_corrupt(self, tmp_path):
+        """Forward compatibility: a newer ftmc's records degrade to a count."""
+        path = tmp_path / "ck.jsonl"
+        lines = [
+            json.dumps({"type": "manifest", "experiment": "x"}),
+            json.dumps({"type": "mystery"}),
+            json.dumps({"type": "shard-v2", "id": "a", "blob": 1}),
+            json.dumps({"type": "shard", "id": "a", "payload": "kept",
+                        "index": 0, "seed": 0, "attempts": 1}),
+            json.dumps({"type": 7}),  # non-string kind is corruption
+        ]
+        from repro.io import atomic_write_text
+
+        atomic_write_text(str(path), "\n".join(lines) + "\n")
+        state = CampaignCheckpoint(str(path)).load()
+        assert state.payload("a") == "kept"
+        assert state.unknown_records == 2
+        assert state.corrupt_lines == 1
+
+    def test_lease_and_heartbeat_round_trip(self, tmp_path):
+        checkpoint = CampaignCheckpoint(str(tmp_path / "ck.jsonl"))
+        checkpoint.create({"experiment": "x"})
+        checkpoint.append_heartbeat("exec-0", 0)
+        checkpoint.append_lease("a", "exec-0", 1, 0)
+        checkpoint.append_lease("b", "exec-0", 1, 0)
+        checkpoint.append_lease("a", "exec-1", 2, 1)  # last lease wins
+        checkpoint.append_shard("b", 1, 0, 1, "done")
+        checkpoint.append_heartbeat("exec-0", 1)
+        state = checkpoint.load()
+        assert state.corrupt_lines == 0
+        assert state.unknown_records == 0
+        assert state.leases["a"]["executor"] == "exec-1"
+        assert state.leases["a"]["incarnation"] == 1
+        assert [h["incarnation"] for h in state.heartbeats] == [0, 1]
+        # "a" was leased but never checkpointed: stale. "b" completed.
+        assert state.stale_leases() == ["a"]
 
 
 class TestChaosInjector:
@@ -237,6 +280,21 @@ class TestChaosInjector:
             assert set(plan.values()) >= {CRASH, HANG, TRUNCATE}
             # exactly one truncation; the rest are worker faults
             assert list(plan.values()).count(TRUNCATE) == 1
+
+    def test_four_or_more_shards_designate_one_executor_kill(self):
+        for seed in range(5):
+            injector = ChaosInjector(seed, self.IDS)
+            plan = injector.plan()
+            assert list(plan.values()).count(KILL_EXECUTOR) == 1
+            victim = injector.executor_kill_shard()
+            assert plan[victim] == KILL_EXECUTOR
+            # a host-level fault, never injected into the worker itself
+            assert injector.worker_action(victim, 1) is None
+            assert not injector.should_truncate_after(victim)
+
+    def test_small_plans_have_no_executor_kill(self):
+        injector = ChaosInjector(7, ["a", "b", "c"])
+        assert injector.executor_kill_shard() is None
 
     def test_faults_fire_only_on_first_attempt(self):
         injector = ChaosInjector(42, self.IDS)
