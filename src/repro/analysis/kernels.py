@@ -43,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "NO_NUMPY_ENV",
     "numpy_enabled",
+    "kernel_tier",
     "workload_arrays",
     "deadline_points",
     "dbf_batch",
@@ -71,6 +72,19 @@ def numpy_enabled() -> bool:
     if np is None:
         return False
     return os.environ.get(NO_NUMPY_ENV, "") in ("", "0")
+
+
+def kernel_tier() -> str:
+    """``"numpy"`` or ``"scalar"`` — the dispatch tier active *right now*.
+
+    Because :func:`numpy_enabled` is read per call, a resident process can
+    flip tiers mid-flight (``ftmc bench`` does, and a served toggle could).
+    Anything that memoizes verdicts across calls must therefore key on the
+    tier at call time — the two tiers are verdict-equivalent by contract,
+    but a cache that conflates them would mask a tier-specific defect and
+    make ``REPRO_NO_NUMPY`` useless as a diagnostic within one process.
+    """
+    return "numpy" if numpy_enabled() else "scalar"
 
 
 def workload_arrays(workload: Sequence["Workload"]):

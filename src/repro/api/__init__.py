@@ -1,0 +1,62 @@
+"""``repro.api`` — the stable public facade over the toolchain.
+
+Library callers and the ``ftmc serve`` HTTP front-end share one typed
+surface: request/response dataclasses (:mod:`repro.api.types`), the
+:class:`~repro.api.service.AnalysisService` that executes them, and the
+:class:`~repro.api.server.ApiServer` that exposes the service over
+HTTP/JSON.  The facade is the supported integration point — the modules
+underneath (:mod:`repro.analysis`, :mod:`repro.core`,
+:mod:`repro.safety`) may reshape between releases; these types aim not
+to.
+
+In-process use::
+
+    from repro.api import AnalysisService, ScheduleRequest
+    from repro.io import load_taskset
+
+    service = AnalysisService()
+    request = ScheduleRequest(taskset=load_taskset("system.json"),
+                              backend="edf-vd")
+    response = service.schedule(request)
+
+Over HTTP, the same request is the JSON body of ``POST /v1/schedule``
+with the task set embedded in the ``ftmc analyze`` document format.
+"""
+
+from repro.api.batching import DbfMicroBatcher
+from repro.api.server import ApiServer
+from repro.api.service import AnalysisService, backend_catalog, make_backend
+from repro.api.types import (
+    API_SCHEMA,
+    AnalyzeRequest,
+    AnalyzeResponse,
+    ApiError,
+    DbfRequest,
+    DbfResponse,
+    PFHRequest,
+    PFHResponse,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulabilityRequest,
+    SchedulabilityResponse,
+)
+
+__all__ = [
+    "API_SCHEMA",
+    "AnalysisService",
+    "ApiError",
+    "ApiServer",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "DbfMicroBatcher",
+    "DbfRequest",
+    "DbfResponse",
+    "PFHRequest",
+    "PFHResponse",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulabilityRequest",
+    "SchedulabilityResponse",
+    "backend_catalog",
+    "make_backend",
+]

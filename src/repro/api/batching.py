@@ -1,0 +1,134 @@
+"""Micro-batching of concurrent ``dbf`` point queries.
+
+A resident ``ftmc serve`` process often fields many simultaneous
+``POST /v1/dbf`` requests against the *same* workload (dashboards
+sampling a demand curve, sweep clients splitting instants across
+connections).  Evaluating each request alone calls
+:func:`repro.analysis.kernels.dbf_batch` with a short instants vector,
+paying the kernel's fixed setup (array marshalling, chunk loop entry)
+once per request.  The :class:`DbfMicroBatcher` coalesces requests that
+arrive within a small window *and share a workload* into one kernel call
+over the concatenated instants, then scatters the demand slices back.
+
+Correctness is unaffected: ``dbf_batch`` is elementwise in ``instants``,
+so a member's slice of the batched result equals its solo result
+exactly.  Under the scalar tier (``REPRO_NO_NUMPY``) batching is
+bypassed — the scalar reference path has no per-call setup worth
+amortising — and any member that times out waiting for its leader falls
+back to computing alone, so the batcher can delay a response but never
+lose one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from repro.analysis import kernels
+from repro.analysis.edf import Workload, demand_bound_function
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["DbfMicroBatcher", "DEFAULT_WINDOW_S"]
+
+#: How long the first arrival (the *leader*) holds the batch open for
+#: followers, in seconds.  Kept well under typical request latency so a
+#: solo request's added latency stays negligible.
+DEFAULT_WINDOW_S = 0.002
+
+#: Safety valve: a follower waits at most this long for its leader's
+#: result before computing alone.
+_FOLLOWER_TIMEOUT_S = 2.0
+
+
+class _Batch:
+    """One open batch: a workload key, its members, and their results."""
+
+    def __init__(self, workload: tuple[Workload, ...]) -> None:
+        self.workload = workload
+        self.instants: list[float] = []
+        self.slices: list[tuple[int, int]] = []
+        self.results: list[tuple[float, ...]] | None = None
+        self.done = threading.Event()
+
+    def join(self, instants: Sequence[float]) -> int:
+        """Append a member's instants; returns its member index."""
+        start = len(self.instants)
+        self.instants.extend(instants)
+        self.slices.append((start, len(self.instants)))
+        return len(self.slices) - 1
+
+
+class DbfMicroBatcher:
+    """Coalesce concurrent same-workload ``dbf`` queries into one kernel call.
+
+    Thread-safe; one instance is shared by every request handler thread
+    of an :class:`~repro.api.server.ApiServer`.  ``evaluate`` is also
+    correct (just unbatched) when called from a single thread, so the
+    in-process facade uses the same entry point.
+    """
+
+    def __init__(self, window_s: float = DEFAULT_WINDOW_S) -> None:
+        if window_s < 0:
+            raise ValueError(f"window must be non-negative, got {window_s}")
+        self._window_s = window_s
+        self._lock = threading.Lock()
+        self._open: dict[tuple[Workload, ...], _Batch] = {}
+
+    def evaluate(
+        self, workload: tuple[Workload, ...], instants: Sequence[float]
+    ) -> tuple[float, ...]:
+        """``dbf(t)`` for each ``t`` in ``instants`` over ``workload``."""
+        if not kernels.numpy_enabled() or self._window_s == 0.0:
+            return self._compute(workload, tuple(instants))
+        with self._lock:
+            batch = self._open.get(workload)
+            if batch is None:
+                batch = _Batch(workload)
+                self._open[workload] = batch
+                leader = True
+            else:
+                leader = False
+            member = batch.join(instants)
+        if leader:
+            # Hold the window open for followers, then close and compute.
+            return self._lead(batch)[member]
+        if batch.done.wait(_FOLLOWER_TIMEOUT_S) and batch.results is not None:
+            obs_metrics.inc("api.dbf.coalesced")
+            return batch.results[member]
+        # Leader died (thread killed, kernel raised) — compute alone.
+        obs_metrics.inc("api.dbf.fallbacks")
+        return self._compute(workload, tuple(instants))
+
+    def _lead(self, batch: _Batch) -> list[tuple[float, ...]]:
+        batch.done.wait(self._window_s)  # nobody sets it; pure sleep
+        with self._lock:
+            # Closing the batch: later arrivals start a fresh one.
+            if self._open.get(batch.workload) is batch:
+                del self._open[batch.workload]
+        try:
+            demands = self._compute(batch.workload, tuple(batch.instants))
+            batch.results = [
+                demands[start:stop] for start, stop in batch.slices
+            ]
+            obs_metrics.inc("api.dbf.batches")
+            obs_metrics.observe("api.dbf.batch_members", len(batch.slices))
+            return batch.results
+        finally:
+            batch.done.set()
+
+    @staticmethod
+    def _compute(
+        workload: tuple[Workload, ...], instants: tuple[float, ...]
+    ) -> tuple[float, ...]:
+        """One kernel (or scalar-reference) evaluation of the demands."""
+        if kernels.numpy_enabled():
+            np = kernels.np
+            assert np is not None  # numpy_enabled() implies the import worked
+            arrays = kernels.workload_arrays(workload)
+            demands = kernels.dbf_batch(
+                *arrays, np.asarray(instants, dtype=float)
+            )
+            return tuple(float(d) for d in demands)
+        return tuple(
+            demand_bound_function(workload, t) for t in instants
+        )

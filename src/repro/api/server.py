@@ -1,0 +1,219 @@
+"""``ftmc serve``: a resident HTTP/JSON front-end for the facade.
+
+Stdlib only (:mod:`http.server`); one :class:`AnalysisService` instance
+is shared by every handler thread, so the schedulability verdict memo,
+the profile memos and the dbf micro-batcher stay warm across requests —
+the whole point of serving instead of one-shot CLI runs.
+
+Routes (bodies and responses are JSON, keys sorted for byte-stable
+output):
+
+========  ===================  =============================================
+method    path                 operation
+========  ===================  =============================================
+GET       ``/healthz``         liveness + schema id
+GET       ``/v1/backends``     selectable backend catalog
+GET       ``/v1/stats``        cache/metric warm-state snapshot
+POST      ``/v1/schedule``     FT-S profile search (Algorithm 1)
+POST      ``/v1/schedulability``  one backend verdict on ``Gamma(n, n')``
+POST      ``/v1/pfh``          PFH bounds (eqs. 2, 5, 7)
+POST      ``/v1/dbf``          batched demand-bound evaluation
+POST      ``/v1/analyze``      full certification report (= ``ftmc analyze``)
+========  ===================  =============================================
+
+Every failure is a structured JSON error body — a traceback never
+reaches the wire: :class:`~repro.api.types.ApiError` maps to its own
+status (invalid task sets are 4xx), anything unexpected to a generic
+500 with the exception type name only.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable
+
+from repro.api.service import AnalysisService, backend_catalog
+from repro.api.types import (
+    API_SCHEMA,
+    AnalyzeRequest,
+    ApiError,
+    DbfRequest,
+    PFHRequest,
+    ScheduleRequest,
+    SchedulabilityRequest,
+)
+from repro.obs import metrics as obs_metrics
+
+__all__ = ["ApiServer", "MAX_BODY_BYTES"]
+
+#: Largest accepted request body; beyond it the server answers 413
+#: instead of buffering an unbounded payload in a resident process.
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _json_bytes(payload: dict[str, Any]) -> bytes:
+    """Canonical wire encoding: sorted keys, no float coercion surprises."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the shared service; all responses JSON."""
+
+    # Set by ApiServer on the *handler class* it instantiates per server.
+    service: AnalysisService
+
+    protocol_version = "HTTP/1.1"
+
+    # Buffer the whole response (status line + headers + body) into one
+    # send, and turn Nagle off.  The stdlib default — unbuffered wfile —
+    # puts headers and body in separate TCP segments, and Nagle plus
+    # delayed ACK then stalls every keep-alive round trip by ~40 ms.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # The default handler logs every request to stderr; a resident server
+    # must stay quiet (observability goes through repro.obs instead).
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _respond(self, status: int, payload: dict[str, Any]) -> None:
+        body = _json_bytes(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> Any:
+        length_header = self.headers.get("Content-Length")
+        try:
+            length = int(length_header or "")
+        except ValueError:
+            raise ApiError(411, "length-required",
+                           "request needs a Content-Length header") from None
+        if length > MAX_BODY_BYTES:
+            raise ApiError(413, "too-large",
+                           f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ApiError.bad_request("invalid-json",
+                                       f"request body is not JSON: {exc}") from None
+
+    def _dispatch(self, handler: Callable[[], dict[str, Any]]) -> None:
+        try:
+            self._respond(200, handler())
+        except ApiError as exc:
+            self._respond(exc.status, exc.to_dict())
+        except Exception as exc:  # noqa: BLE001 - the wire must never see a traceback
+            obs_metrics.inc("api.errors.internal")
+            self._respond(
+                500,
+                {
+                    "error": {
+                        "status": 500,
+                        "code": "internal",
+                        "message": f"internal error ({type(exc).__name__})",
+                    }
+                },
+            )
+
+    # -- routes ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server contract
+        if self.path == "/healthz":
+            self._dispatch(lambda: {"status": "ok", "schema": API_SCHEMA})
+        elif self.path == "/v1/backends":
+            self._dispatch(lambda: {"backends": backend_catalog()})
+        elif self.path == "/v1/stats":
+            self._dispatch(lambda: dict(self.service.stats()))
+        else:
+            self._respond(404, ApiError(404, "not-found",
+                                        f"no route {self.path!r}").to_dict())
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server contract
+        service = self.service
+        routes: dict[str, Callable[[Any], dict[str, Any]]] = {
+            "/v1/schedule": lambda data: service.schedule(
+                ScheduleRequest.from_dict(data)).to_dict(),
+            "/v1/schedulability": lambda data: service.schedulability(
+                SchedulabilityRequest.from_dict(data)).to_dict(),
+            "/v1/pfh": lambda data: service.pfh(
+                PFHRequest.from_dict(data)).to_dict(),
+            "/v1/dbf": lambda data: service.dbf(
+                DbfRequest.from_dict(data)).to_dict(),
+            "/v1/analyze": lambda data: service.analyze(
+                AnalyzeRequest.from_dict(data)).to_dict(),
+        }
+        route = routes.get(self.path)
+        if route is None:
+            self._respond(404, ApiError(404, "not-found",
+                                        f"no route {self.path!r}").to_dict())
+            return
+        self._dispatch(lambda: route(self._read_json()))
+
+
+class ApiServer:
+    """A bound, optionally-threaded ``ftmc serve`` instance.
+
+    ``port=0`` binds an ephemeral port (read :attr:`port` after
+    construction) — the form the tests and the serve-smoke CI job use.
+    ``serve_forever`` blocks (the CLI path); ``start``/``stop`` run the
+    accept loop on a daemon thread (the test/bench path).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        service: AnalysisService | None = None,
+    ) -> None:
+        self.service = service if service is not None else AnalysisService()
+
+        # Each ApiServer gets its own handler subclass so concurrent
+        # servers (tests) don't share service state through a class attr.
+        handler = type("_BoundHandler", (_Handler,), {"service": self.service})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return str(self._httpd.server_address[0])
+
+    @property
+    def port(self) -> int:
+        return int(self._httpd.server_address[1])
+
+    def serve_forever(self) -> None:
+        """Block serving requests until :meth:`stop` (or process signal)."""
+        self._httpd.serve_forever(poll_interval=0.1)
+
+    def start(self) -> None:
+        """Serve on a background daemon thread (returns once accepting)."""
+        if self._thread is not None:
+            raise RuntimeError("server already started")
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="ftmc-serve", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop accepting, finish in-flight requests, release the socket."""
+        self._httpd.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._httpd.server_close()
+
+    def __enter__(self) -> "ApiServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,238 @@
+"""The :class:`AnalysisService`: one object answering every facade operation.
+
+Each public method takes a typed request from :mod:`repro.api.types` and
+returns the matching typed response; bad inputs surface as
+:class:`~repro.api.types.ApiError`.  The service owns no mutable state
+of its own — its value in a resident process is what it keeps *warm*:
+the shared schedulability verdict memo
+(:func:`repro.core.backends.schedulability_cache_info`), the
+re-execution profile memo of :mod:`repro.core.profiles`, and a
+:class:`~repro.api.batching.DbfMicroBatcher` coalescing concurrent
+demand queries.  Every operation runs inside a ``repro.obs`` span
+(``api.<op>``) with per-endpoint request/error counters and a latency
+histogram, so ``ftmc serve --trace`` produces a stream ``ftmc stats``
+can aggregate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+from repro.analysis import kernels
+from repro.core import backends as core_backends
+from repro.core.conversion import convert_uniform
+from repro.core.ftmc import ft_schedule
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import ReexecutionProfile
+from repro.core.profiles import pfh_lo_adapted
+from repro.obs import metrics as obs_metrics
+from repro.obs.trace import span
+from repro.report import analyse_system, render_report
+from repro.safety.pfh import pfh_plain
+
+from repro.api.batching import DbfMicroBatcher
+from repro.api.types import (
+    AnalyzeRequest,
+    AnalyzeResponse,
+    ApiError,
+    DbfRequest,
+    DbfResponse,
+    PFHRequest,
+    PFHResponse,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulabilityRequest,
+    SchedulabilityResponse,
+)
+
+__all__ = ["AnalysisService", "backend_catalog", "make_backend"]
+
+R = TypeVar("R")
+
+#: Default ``df`` when a degrade backend is requested without one; matches
+#: the ``ftmc analyze`` default.
+DEFAULT_DEGRADATION_FACTOR = 6.0
+
+_BACKENDS: dict[str, Callable[[float | None], core_backends.SchedulerBackend]] = {
+    "edf-vd": lambda df: core_backends.EDFVDBackend(),
+    "edf-vd-degradation": lambda df: core_backends.EDFVDDegradationBackend(
+        DEFAULT_DEGRADATION_FACTOR if df is None else df
+    ),
+    "amc-rtb": lambda df: core_backends.AMCBackend(),
+    "amc-max": lambda df: core_backends.AMCMaxBackend(),
+    "smc": lambda df: core_backends.SMCBackend(),
+    "dbf-mc": lambda df: core_backends.DbfMCBackend(),
+}
+
+
+def backend_catalog() -> list[dict[str, str]]:
+    """The selectable backends, as JSON-ready rows (``GET /v1/backends``)."""
+    rows = []
+    for name in sorted(_BACKENDS):
+        instance = _BACKENDS[name](None)
+        rows.append({"name": name, "mechanism": instance.mechanism})
+    return rows
+
+
+def make_backend(
+    name: str, degradation_factor: float | None = None
+) -> core_backends.SchedulerBackend:
+    """Instantiate a backend by its registry name.
+
+    ``degradation_factor`` applies to degrade backends (default ``6.0``)
+    and is rejected for kill backends rather than silently ignored.
+    """
+    factory = _BACKENDS.get(name)
+    if factory is None:
+        raise ApiError.bad_request(
+            "unknown-backend",
+            f"unknown backend {name!r}; one of: {', '.join(sorted(_BACKENDS))}",
+        )
+    if degradation_factor is not None and name != "edf-vd-degradation":
+        raise ApiError.bad_request(
+            "invalid-request",
+            f"backend {name!r} does not take a degradation factor",
+        )
+    try:
+        return factory(degradation_factor)
+    except ValueError as exc:
+        raise ApiError.bad_request("invalid-request", str(exc)) from None
+
+
+class AnalysisService:
+    """Facade over :mod:`repro.analysis`, :mod:`repro.core`, :mod:`repro.safety`."""
+
+    def __init__(self, batch_window_s: float | None = None) -> None:
+        self._batcher = (
+            DbfMicroBatcher() if batch_window_s is None
+            else DbfMicroBatcher(batch_window_s)
+        )
+
+    # -- instrumentation -------------------------------------------------------
+
+    def _run(self, op: str, fn: Callable[[], R]) -> R:
+        """Execute one operation inside its span + counters + latency timer."""
+        obs_metrics.inc("api.requests")
+        obs_metrics.inc(f"api.requests.{op}")
+        with span(f"api.{op}"):
+            try:
+                with obs_metrics.timer(f"api.latency_ns.{op}"):
+                    return fn()
+            except ApiError:
+                obs_metrics.inc(f"api.errors.{op}")
+                raise
+
+    # -- operations ------------------------------------------------------------
+
+    def schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        """FT-S (Algorithm 1): search safe + schedulable profiles."""
+        return self._run("schedule", lambda: self._schedule(request))
+
+    def _schedule(self, request: ScheduleRequest) -> ScheduleResponse:
+        backend = make_backend(request.backend, request.degradation_factor)
+        try:
+            result = ft_schedule(
+                request.taskset,
+                backend,
+                operation_hours=request.operation_hours,
+                max_n=request.max_n,
+            )
+        except ValueError as exc:
+            raise ApiError.bad_request("invalid-request", str(exc)) from None
+        return ScheduleResponse.from_result(result)
+
+    def schedulability(
+        self, request: SchedulabilityRequest
+    ) -> SchedulabilityResponse:
+        """One backend verdict on ``Gamma(n_HI, n_LO, n'_HI)`` (Lemma 4.1)."""
+        return self._run("schedulability", lambda: self._schedulability(request))
+
+    def _schedulability(
+        self, request: SchedulabilityRequest
+    ) -> SchedulabilityResponse:
+        backend = make_backend(request.backend, request.degradation_factor)
+        try:
+            converted = convert_uniform(
+                request.taskset, request.n_hi, request.n_lo, request.n_prime_hi
+            )
+            verdict = backend.is_schedulable_cached(converted)
+        except ValueError as exc:
+            raise ApiError.bad_request("invalid-request", str(exc)) from None
+        return SchedulabilityResponse(
+            schedulable=verdict,
+            backend=request.backend,
+            mechanism=backend.mechanism,
+            kernel_tier=kernels.kernel_tier(),
+        )
+
+    def pfh(self, request: PFHRequest) -> PFHResponse:
+        """PFH bounds at the given profiles (eqs. 2, 5, 7)."""
+        return self._run("pfh", lambda: self._pfh(request))
+
+    def _pfh(self, request: PFHRequest) -> PFHResponse:
+        taskset = request.taskset
+        try:
+            reexecution = ReexecutionProfile.uniform(
+                taskset, request.n_hi, request.n_lo
+            )
+            pfh_hi = pfh_plain(taskset, CriticalityRole.HI, reexecution)
+            if request.mechanism == "plain":
+                pfh_lo = pfh_plain(taskset, CriticalityRole.LO, reexecution)
+            else:
+                assert request.adaptation is not None  # enforced by from_dict
+                pfh_lo = pfh_lo_adapted(
+                    taskset,
+                    request.n_hi,
+                    request.n_lo,
+                    request.adaptation,
+                    request.mechanism,
+                    request.operation_hours,
+                )
+        except ValueError as exc:
+            raise ApiError.bad_request("invalid-request", str(exc)) from None
+        return PFHResponse(
+            pfh_hi=pfh_hi,
+            pfh_lo=pfh_lo,
+            mechanism=request.mechanism,
+            n_hi=request.n_hi,
+            n_lo=request.n_lo,
+            adaptation=request.adaptation,
+        )
+
+    def dbf(self, request: DbfRequest) -> DbfResponse:
+        """Demand bound ``dbf(t)`` at each instant, micro-batched."""
+        return self._run("dbf", lambda: self._dbf(request))
+
+    def _dbf(self, request: DbfRequest) -> DbfResponse:
+        demands = self._batcher.evaluate(request.workload, request.instants)
+        return DbfResponse(demands=demands)
+
+    def analyze(self, request: AnalyzeRequest) -> AnalyzeResponse:
+        """The full certification report behind ``ftmc analyze``."""
+        return self._run("analyze", lambda: self._analyze(request))
+
+    def _analyze(self, request: AnalyzeRequest) -> AnalyzeResponse:
+        try:
+            report = analyse_system(
+                request.taskset,
+                operation_hours=request.operation_hours,
+                degradation_factor=request.degradation_factor,
+            )
+        except ValueError as exc:
+            raise ApiError.bad_request("invalid-request", str(exc)) from None
+        return AnalyzeResponse(
+            feasible=report.feasible,
+            recommendation=report.recommendation,
+            report=render_report(report),
+        )
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def stats(self) -> dict[str, object]:
+        """Warm-state snapshot for ``GET /v1/stats``."""
+        return {
+            "schedulability_cache": core_backends.schedulability_cache_info(),
+            "kernel_tier": kernels.kernel_tier(),
+            "metrics": obs_metrics.registry().snapshot(),
+            "metrics_enabled": obs_metrics.enabled(),
+        }

@@ -1,0 +1,579 @@
+"""Typed request/response contracts for the :mod:`repro.api` facade.
+
+Every operation the service exposes is a pair of frozen dataclasses with
+a documented JSON wire shape (``to_dict``/``from_dict``).  The wire
+format embeds task sets in the same document format ``ftmc analyze``
+reads from disk (:mod:`repro.io`), so a file that works one-shot works
+verbatim as a request body — the byte-identical-verdict contract between
+``ftmc serve`` and the one-shot CLI starts here.
+
+Error mapping is structural, never a traceback: any malformed input is
+converted to an :class:`ApiError` carrying a machine-readable ``code``
+and the HTTP status the server should answer with.  ``NaN`` never
+crosses the wire — undefined float quantities (``U_MC`` on backends
+without one, PFH fields on failure) serialise as ``null`` and
+deserialise back to ``math.nan``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.analysis.edf import Workload
+from repro.core.ftmc import DEFAULT_OPERATION_HOURS, FTSResult
+from repro.io import taskset_from_dict, taskset_to_dict
+from repro.model.task import TaskSet
+from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS
+
+__all__ = [
+    "API_SCHEMA",
+    "ApiError",
+    "AnalyzeRequest",
+    "AnalyzeResponse",
+    "DbfRequest",
+    "DbfResponse",
+    "PFHRequest",
+    "PFHResponse",
+    "ScheduleRequest",
+    "ScheduleResponse",
+    "SchedulabilityRequest",
+    "SchedulabilityResponse",
+    "parse_taskset_field",
+]
+
+#: Wire-format identifier answered by ``GET /healthz``.
+API_SCHEMA = "ftmc-api/1"
+
+#: Upper bound on list-shaped request payloads (workload items, instants,
+#: tasks).  Requests beyond it are rejected 400 rather than letting one
+#: caller monopolise a resident server's memory and kernel time.
+MAX_REQUEST_ITEMS = 100_000
+
+
+class ApiError(Exception):
+    """A structured, HTTP-mappable request failure.
+
+    ``code`` is a stable machine-readable slug (clients branch on it),
+    ``status`` the HTTP status the server answers with, ``message`` the
+    human-readable one-liner.  The server renders :meth:`to_dict` as the
+    response body — a traceback never reaches the wire.
+    """
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    @classmethod
+    def bad_request(cls, code: str, message: str) -> "ApiError":
+        return cls(400, code, message)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "error": {
+                "status": self.status,
+                "code": self.code,
+                "message": self.message,
+            }
+        }
+
+
+def _float_or_none(value: float) -> float | None:
+    """JSON image of a float field: ``NaN``/``inf`` become ``null``."""
+    return None if (value != value or math.isinf(value)) else value
+
+
+def _float_from_wire(value: Any) -> float:
+    return math.nan if value is None else float(value)
+
+
+def _require_mapping(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise ApiError.bad_request(
+            "invalid-request", f"{what} must be a JSON object"
+        )
+    return data
+
+
+def parse_taskset_field(data: Mapping[str, Any]) -> TaskSet:
+    """The ``taskset`` field of a request, through the model validators.
+
+    Reuses :func:`repro.io.taskset_from_dict` so requests accept exactly
+    the documents ``ftmc analyze``/``ftmc lint`` accept, and rejects
+    exactly what they reject — as a structured 400, never a traceback.
+    """
+    document = data.get("taskset")
+    if document is None:
+        raise ApiError.bad_request(
+            "missing-taskset", "request needs a 'taskset' object"
+        )
+    _require_mapping(document, "'taskset'")
+    if isinstance(document.get("tasks"), list) and (
+        len(document["tasks"]) > MAX_REQUEST_ITEMS
+    ):
+        raise ApiError.bad_request(
+            "too-large", f"'tasks' exceeds {MAX_REQUEST_ITEMS} items"
+        )
+    try:
+        return taskset_from_dict(dict(document))
+    except Exception as exc:
+        # The model constructors raise ValueError/TypeError/LintError with
+        # a single-line reason; surface it structurally.
+        raise ApiError.bad_request("invalid-taskset", str(exc)) from None
+
+
+def _parse_float(
+    data: Mapping[str, Any], field: str, default: float, positive: bool = True
+) -> float:
+    raw = data.get(field, default)
+    try:
+        value = float(raw)
+    except (TypeError, ValueError):
+        raise ApiError.bad_request(
+            "invalid-request", f"'{field}' must be a number, got {raw!r}"
+        ) from None
+    if positive and not value > 0:
+        raise ApiError.bad_request(
+            "invalid-request", f"'{field}' must be positive, got {value!r}"
+        )
+    return value
+
+
+def _parse_int(data: Mapping[str, Any], field: str, default: int | None) -> int:
+    raw = data.get(field, default)
+    if raw is None:
+        raise ApiError.bad_request(
+            "invalid-request", f"request needs an integer '{field}'"
+        )
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ApiError.bad_request(
+            "invalid-request", f"'{field}' must be an integer, got {raw!r}"
+        )
+    if raw < 0:
+        raise ApiError.bad_request(
+            "invalid-request", f"'{field}' must be non-negative, got {raw}"
+        )
+    return raw
+
+
+# -- FT-S profile search -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """One FT-S (Algorithm 1) run: find safe + schedulable profiles."""
+
+    taskset: TaskSet
+    backend: str = "edf-vd"
+    degradation_factor: float | None = None
+    operation_hours: float = DEFAULT_OPERATION_HOURS
+    max_n: int = DEFAULT_MAX_REEXECUTIONS
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "ScheduleRequest":
+        data = _require_mapping(data, "request body")
+        df = data.get("degradation_factor")
+        return cls(
+            taskset=parse_taskset_field(data),
+            backend=str(data.get("backend", "edf-vd")),
+            degradation_factor=(
+                _parse_float(data, "degradation_factor", 0.0) if df is not None
+                else None
+            ),
+            operation_hours=_parse_float(
+                data, "operation_hours", DEFAULT_OPERATION_HOURS
+            ),
+            max_n=_parse_int(data, "max_n", DEFAULT_MAX_REEXECUTIONS),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "taskset": taskset_to_dict(self.taskset),
+            "backend": self.backend,
+            "operation_hours": self.operation_hours,
+            "max_n": self.max_n,
+        }
+        if self.degradation_factor is not None:
+            payload["degradation_factor"] = self.degradation_factor
+        return payload
+
+
+@dataclass(frozen=True)
+class ScheduleResponse:
+    """The :class:`~repro.core.ftmc.FTSResult` fields, JSON-shaped."""
+
+    success: bool
+    failure: str | None
+    backend: str
+    mechanism: str
+    operation_hours: float
+    degradation_factor: float | None
+    n_hi: int | None
+    n_lo: int | None
+    n1_hi: int | None
+    n2_hi: int | None
+    adaptation: int | None
+    pfh_hi: float
+    pfh_lo: float
+    u_mc: float
+
+    @classmethod
+    def from_result(cls, result: FTSResult) -> "ScheduleResponse":
+        return cls(
+            success=result.success,
+            failure=result.failure.name if result.failure is not None else None,
+            backend=result.backend_name,
+            mechanism=result.mechanism,
+            operation_hours=result.operation_hours,
+            degradation_factor=result.degradation_factor,
+            n_hi=result.n_hi,
+            n_lo=result.n_lo,
+            n1_hi=result.n1_hi,
+            n2_hi=result.n2_hi,
+            adaptation=result.adaptation,
+            pfh_hi=result.pfh_hi,
+            pfh_lo=result.pfh_lo,
+            u_mc=result.u_mc,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "success": self.success,
+            "failure": self.failure,
+            "backend": self.backend,
+            "mechanism": self.mechanism,
+            "operation_hours": self.operation_hours,
+            "degradation_factor": self.degradation_factor,
+            "n_hi": self.n_hi,
+            "n_lo": self.n_lo,
+            "n1_hi": self.n1_hi,
+            "n2_hi": self.n2_hi,
+            "adaptation": self.adaptation,
+            "pfh_hi": _float_or_none(self.pfh_hi),
+            "pfh_lo": _float_or_none(self.pfh_lo),
+            "u_mc": _float_or_none(self.u_mc),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScheduleResponse":
+        return cls(
+            success=bool(data["success"]),
+            failure=data.get("failure"),
+            backend=str(data["backend"]),
+            mechanism=str(data["mechanism"]),
+            operation_hours=float(data["operation_hours"]),
+            degradation_factor=(
+                None if data.get("degradation_factor") is None
+                else float(data["degradation_factor"])
+            ),
+            n_hi=data.get("n_hi"),
+            n_lo=data.get("n_lo"),
+            n1_hi=data.get("n1_hi"),
+            n2_hi=data.get("n2_hi"),
+            adaptation=data.get("adaptation"),
+            pfh_hi=_float_from_wire(data.get("pfh_hi")),
+            pfh_lo=_float_from_wire(data.get("pfh_lo")),
+            u_mc=_float_from_wire(data.get("u_mc")),
+        )
+
+
+# -- single schedulability verdict ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class SchedulabilityRequest:
+    """One backend verdict on the Lemma 4.1 conversion ``Gamma(n, n')``."""
+
+    taskset: TaskSet
+    backend: str = "edf-vd"
+    degradation_factor: float | None = None
+    n_hi: int = 1
+    n_lo: int = 1
+    n_prime_hi: int = 1
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "SchedulabilityRequest":
+        data = _require_mapping(data, "request body")
+        df = data.get("degradation_factor")
+        return cls(
+            taskset=parse_taskset_field(data),
+            backend=str(data.get("backend", "edf-vd")),
+            degradation_factor=(
+                _parse_float(data, "degradation_factor", 0.0) if df is not None
+                else None
+            ),
+            n_hi=_parse_int(data, "n_hi", 1),
+            n_lo=_parse_int(data, "n_lo", 1),
+            n_prime_hi=_parse_int(data, "n_prime_hi", 1),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "taskset": taskset_to_dict(self.taskset),
+            "backend": self.backend,
+            "n_hi": self.n_hi,
+            "n_lo": self.n_lo,
+            "n_prime_hi": self.n_prime_hi,
+        }
+        if self.degradation_factor is not None:
+            payload["degradation_factor"] = self.degradation_factor
+        return payload
+
+
+@dataclass(frozen=True)
+class SchedulabilityResponse:
+    schedulable: bool
+    backend: str
+    mechanism: str
+    kernel_tier: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schedulable": self.schedulable,
+            "backend": self.backend,
+            "mechanism": self.mechanism,
+            "kernel_tier": self.kernel_tier,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SchedulabilityResponse":
+        return cls(
+            schedulable=bool(data["schedulable"]),
+            backend=str(data["backend"]),
+            mechanism=str(data["mechanism"]),
+            kernel_tier=str(data["kernel_tier"]),
+        )
+
+
+# -- PFH bounds ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PFHRequest:
+    """Safety quantification at given profiles (eqs. 2, 5 and 7).
+
+    ``mechanism`` selects the LO-level bound: ``"plain"`` (eq. 2, no
+    adaptation), ``"kill"`` (eq. 5) or ``"degrade"`` (eq. 7); the HI
+    level is always eq. 2.  ``adaptation`` (``n'_HI``) is required for
+    kill/degrade and ignored for plain.
+    """
+
+    taskset: TaskSet
+    n_hi: int
+    n_lo: int
+    mechanism: str = "plain"
+    adaptation: int | None = None
+    operation_hours: float = DEFAULT_OPERATION_HOURS
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PFHRequest":
+        data = _require_mapping(data, "request body")
+        mechanism = str(data.get("mechanism", "plain"))
+        if mechanism not in ("plain", "kill", "degrade"):
+            raise ApiError.bad_request(
+                "invalid-request",
+                "'mechanism' must be 'plain', 'kill' or 'degrade', "
+                f"got {mechanism!r}",
+            )
+        adaptation: int | None = None
+        if mechanism != "plain":
+            adaptation = _parse_int(data, "adaptation", None)
+        return cls(
+            taskset=parse_taskset_field(data),
+            n_hi=_parse_int(data, "n_hi", None),
+            n_lo=_parse_int(data, "n_lo", None),
+            mechanism=mechanism,
+            adaptation=adaptation,
+            operation_hours=_parse_float(
+                data, "operation_hours", DEFAULT_OPERATION_HOURS
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "taskset": taskset_to_dict(self.taskset),
+            "n_hi": self.n_hi,
+            "n_lo": self.n_lo,
+            "mechanism": self.mechanism,
+            "operation_hours": self.operation_hours,
+        }
+        if self.adaptation is not None:
+            payload["adaptation"] = self.adaptation
+        return payload
+
+
+@dataclass(frozen=True)
+class PFHResponse:
+    pfh_hi: float
+    pfh_lo: float
+    mechanism: str
+    n_hi: int
+    n_lo: int
+    adaptation: int | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pfh_hi": _float_or_none(self.pfh_hi),
+            "pfh_lo": _float_or_none(self.pfh_lo),
+            "mechanism": self.mechanism,
+            "n_hi": self.n_hi,
+            "n_lo": self.n_lo,
+            "adaptation": self.adaptation,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PFHResponse":
+        return cls(
+            pfh_hi=_float_from_wire(data.get("pfh_hi")),
+            pfh_lo=_float_from_wire(data.get("pfh_lo")),
+            mechanism=str(data["mechanism"]),
+            n_hi=int(data["n_hi"]),
+            n_lo=int(data["n_lo"]),
+            adaptation=data.get("adaptation"),
+        )
+
+
+# -- batched demand-bound evaluation -------------------------------------------
+
+
+@dataclass(frozen=True)
+class DbfRequest:
+    """``dbf(t)`` at many deadline points for one workload.
+
+    Concurrent requests sharing a workload are micro-batched into single
+    :func:`repro.analysis.kernels.dbf_batch` kernel calls by the service
+    (:mod:`repro.api.batching`); results are identical either way.
+    """
+
+    workload: tuple[Workload, ...]
+    instants: tuple[float, ...]
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "DbfRequest":
+        data = _require_mapping(data, "request body")
+        raw_items = data.get("workload")
+        if not isinstance(raw_items, list) or not raw_items:
+            raise ApiError.bad_request(
+                "invalid-request", "request needs a non-empty 'workload' list"
+            )
+        raw_instants = data.get("instants")
+        if not isinstance(raw_instants, list) or not raw_instants:
+            raise ApiError.bad_request(
+                "invalid-request", "request needs a non-empty 'instants' list"
+            )
+        if len(raw_items) > MAX_REQUEST_ITEMS:
+            raise ApiError.bad_request(
+                "too-large", f"'workload' exceeds {MAX_REQUEST_ITEMS} items"
+            )
+        if len(raw_instants) > MAX_REQUEST_ITEMS:
+            raise ApiError.bad_request(
+                "too-large", f"'instants' exceeds {MAX_REQUEST_ITEMS} items"
+            )
+        items = []
+        for i, raw in enumerate(raw_items):
+            item = _require_mapping(raw, f"workload item #{i}")
+            try:
+                items.append(
+                    Workload(
+                        period=float(item["period"]),
+                        deadline=float(item.get("deadline", item["period"])),
+                        wcet=float(item["wcet"]),
+                    )
+                )
+            except (KeyError, TypeError, ValueError) as exc:
+                raise ApiError.bad_request(
+                    "invalid-request", f"workload item #{i}: {exc}"
+                ) from None
+        try:
+            instants = tuple(float(t) for t in raw_instants)
+        except (TypeError, ValueError):
+            raise ApiError.bad_request(
+                "invalid-request", "'instants' must be a list of numbers"
+            ) from None
+        if any(t < 0 for t in instants):
+            raise ApiError.bad_request(
+                "invalid-request", "'instants' must be non-negative"
+            )
+        return cls(workload=tuple(items), instants=instants)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": [
+                {"period": w.period, "deadline": w.deadline, "wcet": w.wcet}
+                for w in self.workload
+            ],
+            "instants": list(self.instants),
+        }
+
+
+@dataclass(frozen=True)
+class DbfResponse:
+    demands: tuple[float, ...]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"demands": list(self.demands)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DbfResponse":
+        return cls(demands=tuple(float(d) for d in data["demands"]))
+
+
+# -- full certification report -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AnalyzeRequest:
+    """The complete toolchain run behind ``ftmc analyze``."""
+
+    taskset: TaskSet
+    operation_hours: float = DEFAULT_OPERATION_HOURS
+    degradation_factor: float = 6.0
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "AnalyzeRequest":
+        data = _require_mapping(data, "request body")
+        return cls(
+            taskset=parse_taskset_field(data),
+            operation_hours=_parse_float(
+                data, "operation_hours", DEFAULT_OPERATION_HOURS
+            ),
+            degradation_factor=_parse_float(data, "degradation_factor", 6.0),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "taskset": taskset_to_dict(self.taskset),
+            "operation_hours": self.operation_hours,
+            "degradation_factor": self.degradation_factor,
+        }
+
+
+@dataclass(frozen=True)
+class AnalyzeResponse:
+    """Feasibility verdict plus the rendered certification report.
+
+    ``report`` is byte-identical to what ``ftmc analyze`` prints for the
+    same document — the contract the serve-smoke CI job pins.
+    """
+
+    feasible: bool
+    recommendation: str
+    report: str
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "feasible": self.feasible,
+            "recommendation": self.recommendation,
+            "report": self.report,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AnalyzeResponse":
+        return cls(
+            feasible=bool(data["feasible"]),
+            recommendation=str(data["recommendation"]),
+            report=str(data["report"]),
+        )

@@ -133,7 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
             "fig1", "fig2", "fig3", "all", "analyze",
             "backends", "sensitivity", "validate",
             "lint", "selfcheck", "campaign", "campaign-worker",
-            "bench", "stats",
+            "bench", "stats", "serve",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
@@ -141,7 +141,8 @@ def build_parser() -> argparse.ArgumentParser:
             "studies; 'lint'/'selfcheck' for static analysis; 'campaign' "
             "for a fault-tolerant sharded run (docs/robustness.md); "
             "'bench' for the performance baseline (docs/performance.md); "
-            "'stats' to aggregate an obs trace (docs/observability.md)"
+            "'stats' to aggregate an obs trace (docs/observability.md); "
+            "'serve' for the resident HTTP/JSON API (docs/api.md)"
         ),
     )
     parser.add_argument(
@@ -251,6 +252,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--degradation-factor", type=float, default=6.0,
         help="service degradation factor df for 'analyze' (default 6)",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="serve: interface to bind (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=8181,
+        help="serve: TCP port to bind (default 8181; 0 = ephemeral, "
+             "printed on startup)",
     )
     parser.add_argument(
         "--output-dir", default=None, help="directory for CSV exports"
@@ -592,6 +602,38 @@ def _run_bench(args: argparse.Namespace) -> int:
     return 1 if report["guard"]["passed"] is False else 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.api.server import ApiServer
+
+    if not 0 <= args.port <= 65535:
+        return _fail(f"--port must be in 0..65535, got {args.port}")
+    try:
+        server = ApiServer(host=args.host, port=args.port)
+    except OSError as exc:
+        return _fail(
+            f"cannot bind {args.host}:{args.port}: {exc.strerror or exc}"
+        )
+    print(f"ftmc serve: listening on http://{server.host}:{server.port} "
+          "(Ctrl-C to stop)")
+
+    # SIGTERM must unwind like SIGINT so a --trace session is closed
+    # properly and `ftmc stats --check` accepts the emitted stream.
+    def _terminate(signum: int, frame: object) -> None:
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, _terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("ftmc serve: shutting down")
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.stop()
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.experiment == "campaign-worker":
         # Internal: the worker-group entry point spawned by --executors.
@@ -610,6 +652,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _run_campaign(args)
     if args.experiment == "stats":
         return _run_stats(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment == "backends":
         _run_backends(args)
         return 0

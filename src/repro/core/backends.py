@@ -20,6 +20,7 @@ from __future__ import annotations
 import abc
 import math
 
+from repro.analysis import kernels
 from repro.analysis.amc import amc_rtb_schedulable
 from repro.analysis.amc_max import amc_max_schedulable
 from repro.analysis.dbf_mc import dbf_mc_schedulable
@@ -46,31 +47,40 @@ __all__ = [
 
 
 #: Shared memo for :meth:`SchedulerBackend.is_schedulable_cached`, keyed by
-#: ``(backend cache signature, MCTaskSet.cache_key())``.  Kept module-level
-#: (rather than per backend instance) because the experiment drivers create
-#: fresh backend objects per sweep point while analysing heavily-overlapping
-#: converted task sets.  Bounded LRU: oldest entries are evicted at
-#: :data:`_CACHE_LIMIT` so week-long campaign runs cannot grow it unboundedly.
+#: ``(backend cache signature, kernel tier, MCTaskSet.cache_key())``.  Kept
+#: module-level (rather than per backend instance) because the experiment
+#: drivers create fresh backend objects per sweep point while analysing
+#: heavily-overlapping converted task sets.  True LRU: hits refresh an
+#: entry's recency (dicts preserve insertion order, so pop-and-reinsert is
+#: the recency update) and the least-recently-used entry is evicted at
+#: :data:`_CACHE_LIMIT` — a resident ``ftmc serve`` process answering
+#: millions of distinct task sets holds at most the limit, and the hot
+#: working set survives the churn that pure insertion-order eviction would
+#: have evicted it under.
 _schedulability_cache: dict[tuple, bool] = {}
 _CACHE_LIMIT: int = 65536
 _cache_hits: int = 0
 _cache_misses: int = 0
+_cache_evictions: int = 0
 
 
 def clear_schedulability_cache() -> None:
-    """Drop every memoized verdict (and reset the hit/miss counters)."""
-    global _cache_hits, _cache_misses
+    """Drop every memoized verdict (and reset the cache counters)."""
+    global _cache_hits, _cache_misses, _cache_evictions
     _schedulability_cache.clear()
     _cache_hits = 0
     _cache_misses = 0
+    _cache_evictions = 0
 
 
 def schedulability_cache_info() -> dict[str, int]:
-    """Counters for diagnostics and the ``ftmc bench`` report."""
+    """Counters for diagnostics, ``ftmc bench`` and the serve endpoints."""
     return {
         "entries": len(_schedulability_cache),
+        "limit": _CACHE_LIMIT,
         "hits": _cache_hits,
         "misses": _cache_misses,
+        "evictions": _cache_evictions,
     }
 
 
@@ -103,14 +113,22 @@ class SchedulerBackend(abc.ABC):
         The FT-S searches (and the experiment sweeps built on them) probe
         the same converted task sets many times — e.g. line 8's descending
         ``n'`` scan revisits the sets of neighbouring sweep points — so
-        verdicts are memoized by ``(cache_signature, mc.cache_key())``.
-        Safe because backends are referentially transparent in the task
-        parameters; task *names* are deliberately not part of the key.
+        verdicts are memoized by ``(cache_signature, kernel tier,
+        mc.cache_key())``.  Safe because backends are referentially
+        transparent in the task parameters; task *names* are deliberately
+        not part of the key.  The kernel tier
+        (:func:`repro.analysis.kernels.kernel_tier`) *is* part of the key:
+        ``REPRO_NO_NUMPY`` is read at call time, so within one resident
+        process a verdict computed under one tier must never be replayed
+        as the other tier's answer — conflating them would defeat the
+        toggle as an equivalence diagnostic.
         """
-        global _cache_hits, _cache_misses
-        key = (self.cache_signature, mc.cache_key())
+        global _cache_hits, _cache_misses, _cache_evictions
+        key = (self.cache_signature, kernels.kernel_tier(), mc.cache_key())
         try:
-            verdict = _schedulability_cache[key]
+            # Pop-and-reinsert marks the entry most-recently-used.
+            verdict = _schedulability_cache.pop(key)
+            _schedulability_cache[key] = verdict
             _cache_hits += 1
             obs_metrics.inc("core.sched_cache.hits")
             return verdict
@@ -118,11 +136,10 @@ class SchedulerBackend(abc.ABC):
             _cache_misses += 1
             obs_metrics.inc("core.sched_cache.misses")
         verdict = self.is_schedulable(mc)
-        if len(_schedulability_cache) >= _CACHE_LIMIT:
-            # Evict the oldest insertions (dicts preserve insertion order);
-            # dropping a quarter amortises the cost over many calls.
-            for old in list(_schedulability_cache)[: _CACHE_LIMIT // 4]:
-                del _schedulability_cache[old]
+        while len(_schedulability_cache) >= _CACHE_LIMIT:
+            _schedulability_cache.pop(next(iter(_schedulability_cache)))
+            _cache_evictions += 1
+            obs_metrics.inc("core.sched_cache.evictions")
         _schedulability_cache[key] = verdict
         return verdict
 

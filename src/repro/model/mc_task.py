@@ -73,13 +73,32 @@ class MCTask:
 
 
 class MCTaskSet:
-    """A dual-criticality task set in the conventional (Vestal) model."""
+    """A dual-criticality task set in the conventional (Vestal) model.
+
+    Instances are **frozen after construction**: attribute assignment
+    raises :class:`AttributeError`.  The freeze is what makes the lazy
+    :meth:`cache_key` memo sound — a mutable set could compute its key,
+    be mutated, and then serve every backend a stale cached verdict for
+    the rest of a resident process's lifetime.  Derive modified sets by
+    constructing new ones instead.
+    """
 
     def __init__(self, tasks: Iterable[MCTask], name: str = "mc-taskset") -> None:
         self._tasks: tuple[MCTask, ...] = tuple(tasks)
         self.name = name
         self._cache_key: tuple | None = None
         raise_on_error(check_unique_names([t.name for t in self._tasks]))
+        self._frozen = True
+
+    def __setattr__(self, attr: str, value: object) -> None:
+        if getattr(self, "_frozen", False):
+            raise AttributeError(
+                f"MCTaskSet is frozen: cannot assign {attr!r} after "
+                "construction (build a new set instead — cached "
+                "schedulability verdicts are keyed on the parameters "
+                "at construction time)"
+            )
+        object.__setattr__(self, attr, value)
 
     def __iter__(self) -> Iterator[MCTask]:
         return iter(self._tasks)
@@ -105,14 +124,18 @@ class MCTaskSet:
         name are ignored), so two sets with equal keys are interchangeable
         to any backend — the contract behind
         :meth:`repro.core.backends.SchedulerBackend.is_schedulable_cached`.
-        Computed lazily and memoized (tasks are immutable).
+        Computed lazily and memoized — sound because the set is frozen
+        (see the class docstring); the memo write itself goes through
+        ``object.__setattr__`` to bypass the freeze.
         """
-        if self._cache_key is None:
-            self._cache_key = tuple(
+        key = self._cache_key
+        if key is None:
+            key = tuple(
                 (t.period, t.deadline, t.wcet_lo, t.wcet_hi, t.criticality)
                 for t in self._tasks
             )
-        return self._cache_key
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
     def task(self, name: str) -> MCTask:
         for t in self._tasks:

@@ -49,6 +49,7 @@ __all__ = [
     "event",
     "load_trace",
     "open_span",
+    "register_fork_reset",
     "reset_inherited_session",
     "span",
     "start_tracing",
@@ -173,19 +174,44 @@ def tracing(path: str) -> Iterator[TraceSession]:
         stop_tracing()
 
 
+#: Callbacks run by :func:`reset_inherited_session` after the trace
+#: stream is disarmed — process-wide caches that must not survive a fork
+#: register here (see :func:`register_fork_reset`).
+_fork_resets: list[Any] = []
+
+
+def register_fork_reset(callback: Any) -> None:
+    """Register a callable to run in forked children (idempotent).
+
+    The FTMCF fork-safety rules require worker entry points to call
+    :func:`reset_inherited_session` before doing real work; modules
+    holding process-wide memo state (e.g. the timing-point
+    ``lru_cache`` of :mod:`repro.safety.killing`) register their clear
+    functions here so a child starts from cold caches instead of
+    keeping the parent's pages alive through copy-on-write references.
+    Callbacks must be safe to invoke repeatedly and in any order.
+    """
+    if callback not in _fork_resets:
+        _fork_resets.append(callback)
+
+
 def reset_inherited_session() -> None:
     """Disarm a session inherited across ``fork`` (campaign workers).
 
     The supervisor owns the trace stream; a forked worker that inherits
     the open appender must neither write to it nor flush it on exit.
     Workers call this first thing, making every subsequent
-    :func:`span`/:func:`event` in the child a no-op.
+    :func:`span`/:func:`event` in the child a no-op.  Registered
+    fork-reset callbacks (see :func:`register_fork_reset`) then clear
+    inherited process-wide caches.
     """
     global _session
     session = _session
     if session is not None:
         _session = None
         session.abandon()
+    for callback in _fork_resets:
+        callback()
 
 
 @contextmanager

@@ -6,10 +6,17 @@ a ``BENCH_<date>.json`` artifact (see ``docs/performance.md``).
 """
 
 from repro.perf.bench import (
+    QPS_FLOORS,
     SPEEDUP_FLOORS,
     render_report,
     run_benchmarks,
     write_report,
 )
 
-__all__ = ["SPEEDUP_FLOORS", "render_report", "run_benchmarks", "write_report"]
+__all__ = [
+    "QPS_FLOORS",
+    "SPEEDUP_FLOORS",
+    "render_report",
+    "run_benchmarks",
+    "write_report",
+]

@@ -40,6 +40,9 @@ import numpy as np
 
 from repro.analysis import kernels
 from repro.analysis.dbf_mc import dbf_mc_analyse
+from repro.api.server import ApiServer
+from repro.api.service import AnalysisService
+from repro.api.types import SchedulabilityRequest
 from repro.analysis.edf import (
     Workload,
     demand_bound_function,
@@ -61,6 +64,7 @@ from repro.runner.supervisor import run_campaign
 
 __all__ = [
     "MIN_TIME_ENV",
+    "QPS_FLOORS",
     "SCHEMA",
     "SPEEDUP_FLOORS",
     "render_report",
@@ -82,6 +86,16 @@ SPEEDUP_FLOORS: dict[str, float] = {
     "dbf_mc_analyse": 3.0,
     "fig3_point": 2.0,
     "campaign_jobs4": 2.0,
+}
+
+#: Throughput floors (queries/second) on the ``repro.api`` facade under
+#: a warm verdict cache — the load a resident ``ftmc serve`` process is
+#: expected to sustain.  Deliberately conservative: a warm verdict is a
+#: dict lookup plus request plumbing, so dropping below the floor means
+#: the facade grew a per-request cost, not that the machine is slow.
+#: Guarded by the same ``ftmc bench`` exit code as the speedup floors.
+QPS_FLOORS: dict[str, float] = {
+    "api_schedulability_warm": 2000.0,
 }
 
 
@@ -308,17 +322,79 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
     }
     report["speedups"]["campaign_exec2"] = serial_ns / exec_ns
 
+    # --- the repro.api facade + ftmc serve front-end --------------------
+    report["api"] = _bench_api(seed + 2, budget)
+
     report["cache"] = schedulability_cache_info()
     if numpy_active:
-        failures = {
+        failures: dict[str, dict] = {
             name: {"speedup": report["speedups"][name], "floor": floor}
             for name, floor in SPEEDUP_FLOORS.items()
             if report["speedups"][name] < floor
         }
+        for name, floor in QPS_FLOORS.items():
+            qps = report["api"][name]["qps"]
+            if qps < floor:
+                failures[name] = {"qps": qps, "floor_qps": floor}
         report["guard"] = {"passed": not failures, "failures": failures}
     else:
         report["guard"] = {"passed": None, "failures": {}}
     return report
+
+
+def _bench_api(seed: int, budget_ns: int) -> dict:
+    """Facade and HTTP round-trip load numbers for ``ftmc serve``.
+
+    Both subjects run against a *warm* verdict cache — the steady state
+    of a resident server — so they price the facade plumbing (request
+    objects, spans, dispatch; plus socket + JSON framing for the HTTP
+    row), not the schedulability analysis itself.  Only the in-process
+    row is floor-guarded (:data:`QPS_FLOORS`): loopback socket latency
+    varies across machines in a way the facade's own overhead does not.
+    """
+    gen = np.random.default_rng(seed)
+    spec = DualCriticalitySpec.from_names("B", "C")
+    taskset = generate_taskset(0.6, spec, gen, config=_MC_CORPUS_CONFIG)
+    request = SchedulabilityRequest(taskset=taskset, n_hi=2, n_lo=1,
+                                    n_prime_hi=1)
+    service = AnalysisService()
+    clear_schedulability_cache()
+    section: dict = {}
+
+    # Prime the memo: the subject is the *warm* steady state, and under
+    # the tiny CI measurement budgets the single cold miss would
+    # otherwise dominate the mean.
+    service.schedulability(request)
+    entry = _measure(lambda: service.schedulability(request), budget_ns)
+    entry["qps"] = 1e9 / entry["ns_per_op"]
+    section["api_schedulability_warm"] = entry
+
+    import http.client
+    import json as _json
+
+    from repro.io import taskset_to_dict
+
+    body = _json.dumps(
+        {"taskset": taskset_to_dict(taskset), "n_hi": 2, "n_lo": 1,
+         "n_prime_hi": 1}
+    ).encode("utf-8")
+    with ApiServer(service=service) as server:
+        conn = http.client.HTTPConnection(server.host, server.port)
+
+        def round_trip() -> None:
+            conn.request(
+                "POST", "/v1/schedulability", body,
+                {"Content-Type": "application/json"},
+            )
+            conn.getresponse().read()
+
+        try:
+            entry = _measure(round_trip, budget_ns)
+        finally:
+            conn.close()
+    entry["qps"] = 1e9 / entry["ns_per_op"]
+    section["serve_schedulability_http"] = entry
+    return section
 
 
 def write_report(report: dict, output_dir: str) -> str:
@@ -339,12 +415,16 @@ def render_report(report: dict) -> str:
         f"{'subject':<28}{'ns/op':>14}{'ops':>8}",
         "-" * 50,
     ]
-    for section in ("kernels", "end_to_end"):
-        for name, entry in report[section].items():
+    for section in ("kernels", "end_to_end", "api"):
+        for name, entry in report.get(section, {}).items():
             lines.append(
                 f"{name:<28}{entry['ns_per_op']:>14.0f}{entry['ops']:>8}"
             )
     lines.append("")
+    for name, entry in report.get("api", {}).items():
+        floor = QPS_FLOORS.get(name)
+        suffix = f" (floor {floor:g} qps)" if floor is not None else ""
+        lines.append(f"throughput {name}: {entry['qps']:.0f} qps{suffix}")
     for name, value in report["speedups"].items():
         floor = SPEEDUP_FLOORS.get(name)
         suffix = f" (floor {floor:g}x)" if floor is not None else ""

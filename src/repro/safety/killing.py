@@ -36,6 +36,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.analysis import kernels
+from repro.obs.trace import register_fork_reset
 from repro.model.faults import (
     AdaptationProfile,
     ReexecutionProfile,
@@ -173,6 +174,13 @@ def _timing_points_cached(
     points = timing_points(task, executions, horizon, assume_full_wcet)
     points.setflags(write=False)
     return points
+
+
+# Fork safety (FTMCF rules): a campaign/serve worker forked mid-run
+# inherits this module's lru_cache pages; clearing it alongside the
+# inherited trace session keeps children cold instead of pinning the
+# parent's arrays through copy-on-write references.
+register_fork_reset(_timing_points_cached.cache_clear)
 
 
 def pfh_lo_killing(

@@ -1,0 +1,233 @@
+"""HTTP contract of ``ftmc serve``: routing, errors, CLI equivalence."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import API_SCHEMA, AnalysisService, ApiServer
+from repro.core.backends import clear_schedulability_cache
+from repro.io import taskset_to_dict
+from repro.report import analyse_system, render_report
+
+
+@pytest.fixture(scope="module")
+def server():
+    clear_schedulability_cache()
+    with ApiServer() as running:
+        yield running
+    clear_schedulability_cache()
+
+
+@pytest.fixture()
+def document(example31):
+    return taskset_to_dict(example31)
+
+
+def get(server, path):
+    try:
+        with urllib.request.urlopen(
+            f"http://{server.host}:{server.port}{path}"
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def post(server, path, payload, raw=None):
+    body = raw if raw is not None else json.dumps(payload).encode()
+    request = urllib.request.Request(
+        f"http://{server.host}:{server.port}{path}",
+        data=body,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = get(server, "/healthz")
+        assert status == 200
+        assert body == {"schema": API_SCHEMA, "status": "ok"}
+
+    def test_backend_catalog(self, server):
+        status, body = get(server, "/v1/backends")
+        assert status == 200
+        names = [row["name"] for row in body["backends"]]
+        assert "edf-vd" in names and "edf-vd-degradation" in names
+
+    def test_stats_exposes_cache_counters(self, server, document):
+        post(server, "/v1/schedulability",
+             {"taskset": document, "n_hi": 2, "n_lo": 1, "n_prime_hi": 1})
+        status, body = get(server, "/v1/stats")
+        assert status == 200
+        cache = body["schedulability_cache"]
+        assert set(cache) == {"entries", "limit", "hits", "misses",
+                              "evictions"}
+        assert cache["entries"] >= 1
+
+    def test_unknown_routes_are_404(self, server):
+        for status, body in (
+            get(server, "/nope"),
+            post(server, "/v1/nope", {}),
+        ):
+            assert status == 404
+            assert body["error"]["code"] == "not-found"
+
+
+class TestVerdicts:
+    def test_schedule(self, server, document):
+        status, body = post(server, "/v1/schedule", {"taskset": document})
+        assert status == 200
+        assert body["success"] is True
+        assert body["backend"] == "edf-vd"
+        assert body["adaptation"] == 2
+
+    def test_analyze_report_matches_one_shot_path(self, server, example31,
+                                                  document):
+        """The serve path and `ftmc analyze` must emit identical bytes."""
+        status, body = post(server, "/v1/analyze", {"taskset": document})
+        assert status == 200
+        expected = render_report(
+            analyse_system(example31, operation_hours=10.0,
+                           degradation_factor=6.0)
+        )
+        assert body["report"] == expected
+
+    def test_dbf(self, server):
+        status, body = post(
+            server, "/v1/dbf",
+            {"workload": [{"period": 10, "wcet": 2}],
+             "instants": [5, 10, 25]},
+        )
+        assert status == 200
+        assert body["demands"] == [0.0, 2.0, 4.0]
+
+    def test_pfh(self, server, document):
+        status, body = post(
+            server, "/v1/pfh",
+            {"taskset": document, "n_hi": 3, "n_lo": 1, "mechanism": "kill",
+             "adaptation": 2},
+        )
+        assert status == 200
+        assert body["pfh_hi"] > 0
+        assert body["pfh_lo"] > 0
+
+
+class TestErrorMapping:
+    """Malformed input: structured 4xx bodies, never a traceback."""
+
+    def test_invalid_taskset_is_400(self, server):
+        status, body = post(server, "/v1/schedule", {"taskset": {"tasks": 1}})
+        assert status == 400
+        assert body["error"]["code"] == "invalid-taskset"
+        assert "Traceback" not in json.dumps(body)
+
+    def test_invalid_json_is_400(self, server):
+        status, body = post(server, "/v1/schedule", None, raw=b"not json {")
+        assert status == 400
+        assert body["error"]["code"] == "invalid-json"
+
+    def test_unknown_backend_is_400(self, server, document):
+        status, body = post(
+            server, "/v1/schedule",
+            {"taskset": document, "backend": "round-robin"},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "unknown-backend"
+
+    def test_infeasible_profile_is_400(self, server, document):
+        status, body = post(
+            server, "/v1/schedulability",
+            {"taskset": document, "n_hi": 1, "n_lo": 1, "n_prime_hi": 9},
+        )
+        assert status == 400
+        assert body["error"]["code"] == "invalid-request"
+
+    def test_error_body_shape_is_stable(self, server):
+        status, body = post(server, "/v1/schedule", {})
+        assert status == 400
+        assert set(body) == {"error"}
+        assert set(body["error"]) == {"status", "code", "message"}
+
+
+class TestConcurrentDeterminism:
+    def test_concurrent_http_requests_match_serial(self, server, document):
+        payloads = [
+            {"taskset": document, "n_hi": n_hi, "n_lo": 1,
+             "n_prime_hi": n_prime}
+            for n_hi in (1, 2, 3)
+            for n_prime in range(1, n_hi + 1)
+        ]
+
+        def verdict(payload):
+            status, body = post(server, "/v1/schedulability", payload)
+            assert status == 200
+            return body["schedulable"]
+
+        serial = [verdict(p) for p in payloads]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(pool.map(verdict, payloads * 3))
+        assert concurrent == serial * 3
+
+    def test_keep_alive_connection_reuse(self, server, document):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port)
+        try:
+            body = json.dumps(
+                {"taskset": document, "n_hi": 2, "n_lo": 1, "n_prime_hi": 1}
+            ).encode()
+            verdicts = []
+            for _ in range(5):
+                conn.request("POST", "/v1/schedulability", body,
+                             {"Content-Type": "application/json"})
+                response = conn.getresponse()
+                verdicts.append(json.loads(response.read())["schedulable"])
+                assert response.status == 200
+            assert len(set(verdicts)) == 1
+        finally:
+            conn.close()
+
+
+class TestLifecycle:
+    def test_ephemeral_port_and_context_manager(self):
+        with ApiServer(service=AnalysisService()) as running:
+            assert running.port > 0
+            status, body = get(running, "/healthz")
+            assert status == 200
+        with pytest.raises(urllib.error.URLError):
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{running.port}/healthz", timeout=0.5
+            )
+
+    def test_two_servers_do_not_share_state(self):
+        with ApiServer() as one, ApiServer() as two:
+            assert one.port != two.port
+            assert one.service is not two.service
+
+    def test_double_start_rejected(self):
+        server = ApiServer()
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_serve_forever_unblocks_on_stop(self):
+        server = ApiServer()
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        server._httpd.shutdown()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        server._httpd.server_close()

@@ -1,0 +1,279 @@
+"""The :class:`repro.api.AnalysisService` facade: equivalence + concurrency."""
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.api import (
+    AnalysisService,
+    AnalyzeRequest,
+    ApiError,
+    DbfMicroBatcher,
+    DbfRequest,
+    PFHRequest,
+    ScheduleRequest,
+    SchedulabilityRequest,
+    backend_catalog,
+    make_backend,
+)
+from repro.analysis.edf import Workload, demand_bound_function
+from repro.core.backends import EDFVDBackend, clear_schedulability_cache
+from repro.core.conversion import convert_uniform
+from repro.core.ftmc import ft_schedule
+from repro.io import taskset_to_dict
+from repro.report import analyse_system, render_report
+
+
+@pytest.fixture()
+def service():
+    clear_schedulability_cache()
+    yield AnalysisService()
+    clear_schedulability_cache()
+
+
+@pytest.fixture()
+def document(example31):
+    return taskset_to_dict(example31)
+
+
+class TestBackendRegistry:
+    def test_catalog_names_and_mechanisms(self):
+        catalog = {row["name"]: row["mechanism"] for row in backend_catalog()}
+        assert catalog["edf-vd"] == "kill"
+        assert catalog["edf-vd-degradation"] == "degrade"
+        assert set(catalog) == {
+            "edf-vd", "edf-vd-degradation", "amc-rtb", "amc-max", "smc",
+            "dbf-mc",
+        }
+
+    def test_unknown_backend_is_structured(self):
+        with pytest.raises(ApiError) as excinfo:
+            make_backend("rate-monotonic")
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-backend"
+
+    def test_degradation_factor_only_for_degrade_backends(self):
+        assert make_backend("edf-vd-degradation", 4.0).degradation_factor == 4.0
+        with pytest.raises(ApiError):
+            make_backend("edf-vd", 4.0)
+
+    def test_bad_degradation_factor_is_structured(self):
+        with pytest.raises(ApiError) as excinfo:
+            make_backend("edf-vd-degradation", 0.5)
+        assert excinfo.value.status == 400
+
+
+class TestEquivalenceWithDirectCalls:
+    """The facade must answer exactly what the underlying modules answer."""
+
+    def test_schedule_matches_ft_schedule(self, service, example31):
+        response = service.schedule(ScheduleRequest(taskset=example31))
+        direct = ft_schedule(example31, EDFVDBackend())
+        assert response.success == direct.success
+        assert response.adaptation == direct.adaptation
+        assert response.n_hi == direct.n_hi
+        assert response.pfh_lo == direct.pfh_lo
+
+    def test_schedulability_matches_backend(self, service, example31):
+        request = SchedulabilityRequest(taskset=example31, n_hi=3, n_lo=1,
+                                        n_prime_hi=2)
+        response = service.schedulability(request)
+        direct = EDFVDBackend().is_schedulable(
+            convert_uniform(example31, 3, 1, 2)
+        )
+        assert response.schedulable == direct
+
+    def test_analyze_report_byte_identical(self, service, example31):
+        response = service.analyze(AnalyzeRequest(taskset=example31))
+        report = analyse_system(example31, operation_hours=10.0,
+                                degradation_factor=6.0)
+        assert response.report == render_report(report)
+        assert response.feasible == report.feasible
+        assert response.recommendation == report.recommendation
+
+    def test_dbf_matches_reference(self, service):
+        workload = (Workload(10.0, 10.0, 2.0), Workload(20.0, 15.0, 4.0))
+        request = DbfRequest(workload=workload,
+                             instants=(0.0, 10.0, 15.0, 100.0))
+        response = service.dbf(request)
+        assert response.demands == tuple(
+            demand_bound_function(workload, t) for t in request.instants
+        )
+
+    def test_pfh_plain_and_adapted(self, service, example31):
+        doc = taskset_to_dict(example31)
+        plain = service.pfh(PFHRequest.from_dict(
+            {"taskset": doc, "n_hi": 3, "n_lo": 1, "mechanism": "plain"}
+        ))
+        assert plain.pfh_hi > 0 and plain.pfh_lo > 0
+        killed = service.pfh(PFHRequest.from_dict(
+            {"taskset": doc, "n_hi": 3, "n_lo": 1, "mechanism": "kill",
+             "adaptation": 2}
+        ))
+        # The HI bound (eq. 2) is unaffected by the adaptation mechanism.
+        assert killed.pfh_hi == plain.pfh_hi
+        assert killed.pfh_lo != plain.pfh_lo
+
+    def test_invalid_profile_is_structured(self, service, example31):
+        with pytest.raises(ApiError) as excinfo:
+            service.schedulability(
+                SchedulabilityRequest(taskset=example31, n_hi=1, n_lo=1,
+                                      n_prime_hi=5)  # n' > n
+            )
+        assert excinfo.value.status == 400
+
+    def test_stats_shape(self, service, example31):
+        service.schedulability(
+            SchedulabilityRequest(taskset=example31, n_hi=2, n_lo=1,
+                                  n_prime_hi=1)
+        )
+        stats = service.stats()
+        assert stats["schedulability_cache"]["entries"] >= 1
+        assert stats["kernel_tier"] in ("numpy", "scalar")
+        assert "metrics" in stats
+
+
+class TestConcurrentDeterminism:
+    """Concurrent requests return the same verdicts as serial ones."""
+
+    def test_mixed_concurrent_requests_match_serial(self, service, example31):
+        requests = []
+        for n_hi in (1, 2, 3):
+            for n_prime in range(1, n_hi + 1):
+                requests.append(
+                    SchedulabilityRequest(taskset=example31, n_hi=n_hi,
+                                          n_lo=1, n_prime_hi=n_prime)
+                )
+        serial = [service.schedulability(r).schedulable for r in requests]
+        clear_schedulability_cache()
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            concurrent = list(
+                pool.map(lambda r: service.schedulability(r).schedulable,
+                         requests * 4)
+            )
+        assert concurrent == serial * 4
+
+    def test_concurrent_dbf_batched_equals_solo(self, service):
+        workload = (Workload(10.0, 10.0, 2.0), Workload(7.0, 5.0, 1.0))
+        chunks = [
+            tuple(float(t) for t in range(start, start + 16))
+            for start in range(0, 128, 16)
+        ]
+        solo = [
+            service.dbf(DbfRequest(workload=workload, instants=c)).demands
+            for c in chunks
+        ]
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            batched = list(
+                pool.map(
+                    lambda c: service.dbf(
+                        DbfRequest(workload=workload, instants=c)
+                    ).demands,
+                    chunks,
+                )
+            )
+        assert batched == solo
+
+
+class TestMicroBatcher:
+    def test_solo_evaluation_matches_reference(self):
+        batcher = DbfMicroBatcher(window_s=0.0)
+        workload = (Workload(10.0, 8.0, 2.0),)
+        instants = (0.0, 8.0, 18.0, 28.0)
+        assert batcher.evaluate(workload, instants) == tuple(
+            demand_bound_function(workload, t) for t in instants
+        )
+
+    def test_concurrent_members_coalesce_and_split_exactly(self):
+        batcher = DbfMicroBatcher(window_s=0.05)
+        workload = (Workload(10.0, 10.0, 2.0), Workload(3.0, 2.0, 0.5))
+        chunks = [tuple(float(t) for t in range(i, i + 7)) for i in range(6)]
+        expected = [
+            tuple(demand_bound_function(workload, t) for t in chunk)
+            for chunk in chunks
+        ]
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(
+                pool.map(lambda c: batcher.evaluate(workload, c), chunks)
+            )
+        assert results == expected
+
+    def test_distinct_workloads_never_mix(self):
+        batcher = DbfMicroBatcher(window_s=0.05)
+        workloads = [
+            (Workload(10.0, 10.0, float(k)),) for k in range(1, 5)
+        ]
+        instants = (10.0, 20.0)
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            results = list(
+                pool.map(lambda w: batcher.evaluate(w, instants), workloads)
+            )
+        for workload, demands in zip(workloads, results):
+            assert demands == tuple(
+                demand_bound_function(workload, t) for t in instants
+            )
+
+    def test_scalar_tier_bypasses_batching(self, monkeypatch):
+        from repro.analysis import kernels
+
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        batcher = DbfMicroBatcher(window_s=10.0)  # would hang if it batched
+        workload = (Workload(10.0, 10.0, 2.0),)
+        assert batcher.evaluate(workload, (25.0,)) == (
+            demand_bound_function(workload, 25.0),
+        )
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            DbfMicroBatcher(window_s=-1.0)
+
+
+class TestObservability:
+    def test_per_endpoint_counters_and_latency(self, service, example31,
+                                               monkeypatch):
+        from repro.obs import metrics
+
+        metrics.enable()
+        try:
+            base = metrics.registry().counter("api.requests.schedulability")
+            service.schedulability(
+                SchedulabilityRequest(taskset=example31, n_hi=2, n_lo=1,
+                                      n_prime_hi=1)
+            )
+            registry = metrics.registry()
+            assert registry.counter("api.requests.schedulability") == base + 1
+            snapshot = registry.snapshot()
+            assert "api.latency_ns.schedulability" in snapshot["histograms"]
+        finally:
+            metrics.disable()
+
+    def test_error_counter_increments(self, service, example31):
+        from repro.obs import metrics
+
+        metrics.enable()
+        try:
+            before = metrics.registry().counter("api.errors.schedulability")
+            with pytest.raises(ApiError):
+                service.schedulability(
+                    SchedulabilityRequest(taskset=example31, n_hi=1, n_lo=1,
+                                          n_prime_hi=3)
+                )
+            assert metrics.registry().counter(
+                "api.errors.schedulability"
+            ) == before + 1
+        finally:
+            metrics.disable()
+
+
+class TestDegradeBackendPath:
+    def test_schedule_with_degradation(self, service, example31):
+        response = service.schedule(
+            ScheduleRequest(taskset=example31, backend="edf-vd-degradation",
+                            degradation_factor=6.0)
+        )
+        assert response.mechanism == "degrade"
+        assert response.degradation_factor == 6.0
+        if not response.success:
+            assert response.failure is not None
+            assert math.isnan(response.pfh_lo) or response.pfh_lo >= 0

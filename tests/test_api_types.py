@@ -1,0 +1,211 @@
+"""Golden wire-shape tests for the ``repro.api`` request/response types."""
+
+import json
+import math
+
+import pytest
+
+from repro.api import (
+    AnalyzeRequest,
+    ApiError,
+    DbfRequest,
+    DbfResponse,
+    PFHRequest,
+    PFHResponse,
+    ScheduleRequest,
+    ScheduleResponse,
+    SchedulabilityRequest,
+    SchedulabilityResponse,
+)
+from repro.io import taskset_to_dict
+
+
+@pytest.fixture()
+def document(example31):
+    return taskset_to_dict(example31)
+
+
+class TestScheduleRequest:
+    def test_round_trip(self, document):
+        request = ScheduleRequest.from_dict(
+            {"taskset": document, "backend": "edf-vd", "operation_hours": 5.0}
+        )
+        again = ScheduleRequest.from_dict(request.to_dict())
+        assert again.to_dict() == request.to_dict()
+        assert again.operation_hours == 5.0
+        assert again.backend == "edf-vd"
+
+    def test_defaults(self, document):
+        request = ScheduleRequest.from_dict({"taskset": document})
+        assert request.backend == "edf-vd"
+        assert request.operation_hours == 10.0
+        assert request.degradation_factor is None
+
+    def test_degradation_factor_survives_round_trip(self, document):
+        request = ScheduleRequest.from_dict(
+            {"taskset": document, "backend": "edf-vd-degradation",
+             "degradation_factor": 4.0}
+        )
+        assert ScheduleRequest.from_dict(
+            request.to_dict()
+        ).degradation_factor == 4.0
+
+    def test_missing_taskset_is_structured(self):
+        with pytest.raises(ApiError) as excinfo:
+            ScheduleRequest.from_dict({})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "missing-taskset"
+
+    def test_malformed_taskset_is_structured(self):
+        with pytest.raises(ApiError) as excinfo:
+            ScheduleRequest.from_dict({"taskset": {"tasks": 1}})
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "invalid-taskset"
+
+    def test_non_object_body_is_structured(self):
+        with pytest.raises(ApiError) as excinfo:
+            ScheduleRequest.from_dict([1, 2])
+        assert excinfo.value.code == "invalid-request"
+
+    @pytest.mark.parametrize("hours", [0, -1, "soon"])
+    def test_bad_operation_hours(self, document, hours):
+        with pytest.raises(ApiError) as excinfo:
+            ScheduleRequest.from_dict(
+                {"taskset": document, "operation_hours": hours}
+            )
+        assert excinfo.value.status == 400
+
+    def test_bool_is_not_an_integer(self, document):
+        with pytest.raises(ApiError):
+            ScheduleRequest.from_dict({"taskset": document, "max_n": True})
+
+
+class TestScheduleResponse:
+    def test_nan_maps_to_null_on_the_wire(self):
+        response = ScheduleResponse(
+            success=False, failure="NO_SAFE_PROFILE", backend="edf-vd",
+            mechanism="kill", operation_hours=10.0, degradation_factor=None,
+            n_hi=None, n_lo=None, n1_hi=None, n2_hi=None, adaptation=None,
+            pfh_hi=math.nan, pfh_lo=math.nan, u_mc=math.nan,
+        )
+        wire = json.loads(json.dumps(response.to_dict()))
+        assert wire["pfh_hi"] is None
+        assert wire["u_mc"] is None
+        back = ScheduleResponse.from_dict(wire)
+        assert math.isnan(back.pfh_hi) and math.isnan(back.u_mc)
+
+    def test_finite_floats_round_trip_exactly(self):
+        response = ScheduleResponse(
+            success=True, failure=None, backend="edf-vd", mechanism="kill",
+            operation_hours=10.0, degradation_factor=None, n_hi=3, n_lo=1,
+            n1_hi=1, n2_hi=2, adaptation=2, pfh_hi=2.04e-05,
+            pfh_lo=1.1754330e-08, u_mc=0.9617,
+        )
+        wire = json.loads(json.dumps(response.to_dict(), sort_keys=True))
+        assert ScheduleResponse.from_dict(wire) == response
+
+
+class TestPFHRequest:
+    def test_plain_ignores_adaptation(self, document):
+        request = PFHRequest.from_dict(
+            {"taskset": document, "n_hi": 2, "n_lo": 1, "mechanism": "plain"}
+        )
+        assert request.adaptation is None
+        assert PFHRequest.from_dict(request.to_dict()).to_dict() == request.to_dict()
+
+    def test_kill_requires_adaptation(self, document):
+        with pytest.raises(ApiError) as excinfo:
+            PFHRequest.from_dict(
+                {"taskset": document, "n_hi": 2, "n_lo": 1, "mechanism": "kill"}
+            )
+        assert excinfo.value.status == 400
+
+    def test_unknown_mechanism_rejected(self, document):
+        with pytest.raises(ApiError) as excinfo:
+            PFHRequest.from_dict(
+                {"taskset": document, "n_hi": 1, "n_lo": 1,
+                 "mechanism": "wish"}
+            )
+        assert "mechanism" in excinfo.value.message
+
+    def test_response_round_trip(self):
+        response = PFHResponse(pfh_hi=1e-9, pfh_lo=math.nan, mechanism="kill",
+                               n_hi=3, n_lo=1, adaptation=2)
+        wire = json.loads(json.dumps(response.to_dict()))
+        assert wire["pfh_lo"] is None
+        back = PFHResponse.from_dict(wire)
+        assert back.pfh_hi == 1e-9 and math.isnan(back.pfh_lo)
+
+
+class TestDbfRequest:
+    def test_round_trip(self):
+        request = DbfRequest.from_dict(
+            {"workload": [{"period": 10, "wcet": 2},
+                          {"period": 20, "deadline": 15, "wcet": 4}],
+             "instants": [0, 10, 15.5]}
+        )
+        again = DbfRequest.from_dict(request.to_dict())
+        assert again == request
+        # The implicit deadline defaulted to the period.
+        assert request.workload[0].deadline == 10
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"instants": [1.0]},
+            {"workload": [], "instants": [1.0]},
+            {"workload": [{"period": 10, "wcet": 2}]},
+            {"workload": [{"period": 10, "wcet": 2}], "instants": []},
+            {"workload": [{"wcet": 2}], "instants": [1.0]},
+            {"workload": [{"period": -1, "wcet": 2}], "instants": [1.0]},
+            {"workload": [{"period": 10, "wcet": 2}], "instants": [-1.0]},
+            {"workload": [{"period": 10, "wcet": 2}], "instants": ["x"]},
+        ],
+    )
+    def test_malformed_payloads_are_structured_400s(self, payload):
+        with pytest.raises(ApiError) as excinfo:
+            DbfRequest.from_dict(payload)
+        assert excinfo.value.status == 400
+
+    def test_response_round_trip(self):
+        response = DbfResponse(demands=(0.0, 2.0, 4.0))
+        assert DbfResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        ) == response
+
+
+class TestSchedulabilityAndAnalyze:
+    def test_schedulability_round_trip(self, document):
+        request = SchedulabilityRequest.from_dict(
+            {"taskset": document, "backend": "dbf-mc", "n_hi": 2, "n_lo": 1,
+             "n_prime_hi": 1}
+        )
+        assert SchedulabilityRequest.from_dict(
+            request.to_dict()
+        ).to_dict() == request.to_dict()
+
+    def test_schedulability_response_round_trip(self):
+        response = SchedulabilityResponse(
+            schedulable=True, backend="edf-vd", mechanism="kill",
+            kernel_tier="numpy",
+        )
+        assert SchedulabilityResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        ) == response
+
+    def test_analyze_round_trip(self, document):
+        request = AnalyzeRequest.from_dict(
+            {"taskset": document, "degradation_factor": 4.0}
+        )
+        again = AnalyzeRequest.from_dict(request.to_dict())
+        assert again.to_dict() == request.to_dict()
+        assert again.degradation_factor == 4.0
+
+
+class TestApiErrorShape:
+    def test_error_body_shape(self):
+        error = ApiError.bad_request("invalid-taskset", "boom")
+        assert error.to_dict() == {
+            "error": {"status": 400, "code": "invalid-taskset",
+                      "message": "boom"}
+        }

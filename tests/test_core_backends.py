@@ -132,4 +132,73 @@ class TestSchedulabilityCache:
         backend.is_schedulable_cached(convert_uniform(example31, 3, 1, 2))
         clear_schedulability_cache()
         info = schedulability_cache_info()
-        assert info == {"entries": 0, "hits": 0, "misses": 0}
+        assert info["entries"] == 0
+        assert info["hits"] == 0
+        assert info["misses"] == 0
+        assert info["evictions"] == 0
+        assert info["limit"] > 0
+
+    def test_bounded_lru_evicts_oldest_first(self, example31, monkeypatch):
+        """A resident process must hold at most `limit` verdicts."""
+        from repro.core import backends as backends_module
+
+        monkeypatch.setattr(backends_module, "_CACHE_LIMIT", 3)
+        backend = EDFVDBackend()
+        sets = [convert_uniform(example31, 3, 1, n) for n in (1, 2, 3)]
+        for mc in sets:
+            backend.is_schedulable_cached(mc)
+        assert schedulability_cache_info()["entries"] == 3
+        # A fourth distinct key evicts exactly one (the LRU: n'=1).
+        backend.is_schedulable_cached(convert_uniform(example31, 2, 1, 1))
+        info = schedulability_cache_info()
+        assert info["entries"] == 3
+        assert info["evictions"] == 1
+        # n'=2 and n'=3 survived: hitting them computes nothing new.
+        misses = info["misses"]
+        backend.is_schedulable_cached(sets[1])
+        backend.is_schedulable_cached(sets[2])
+        assert schedulability_cache_info()["misses"] == misses
+
+    def test_lru_recency_refreshed_on_hit(self, example31, monkeypatch):
+        """A hit protects an old entry from the next eviction."""
+        from repro.core import backends as backends_module
+
+        monkeypatch.setattr(backends_module, "_CACHE_LIMIT", 2)
+        backend = EDFVDBackend()
+        first = convert_uniform(example31, 3, 1, 1)
+        second = convert_uniform(example31, 3, 1, 2)
+        backend.is_schedulable_cached(first)
+        backend.is_schedulable_cached(second)
+        backend.is_schedulable_cached(first)  # refresh: second is now LRU
+        backend.is_schedulable_cached(convert_uniform(example31, 3, 1, 3))
+        misses = schedulability_cache_info()["misses"]
+        backend.is_schedulable_cached(first)
+        assert schedulability_cache_info()["misses"] == misses, (
+            "the refreshed entry was evicted — recency is not updated on hits"
+        )
+
+    def test_kernel_tier_is_part_of_the_key(self, example31, monkeypatch):
+        """A verdict computed under one tier is never replayed as the other's.
+
+        ``REPRO_NO_NUMPY`` is read at call time, so a resident process can
+        flip tiers mid-flight; conflating the tiers would defeat the toggle
+        as an equivalence diagnostic.
+        """
+        from repro.analysis import kernels
+
+        backend = EDFVDBackend()
+        mc = convert_uniform(example31, 3, 1, 2)
+        monkeypatch.delenv(kernels.NO_NUMPY_ENV, raising=False)
+        verdict = backend.is_schedulable_cached(mc)
+        misses_after_first = schedulability_cache_info()["misses"]
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        assert backend.is_schedulable_cached(mc) == verdict
+        info = schedulability_cache_info()
+        assert info["misses"] == misses_after_first + 1, (
+            "the scalar-tier call replayed the numpy-tier verdict"
+        )
+        # Each tier now has its own entry; both hit on the second round.
+        assert backend.is_schedulable_cached(mc) == verdict
+        monkeypatch.delenv(kernels.NO_NUMPY_ENV)
+        assert backend.is_schedulable_cached(mc) == verdict
+        assert schedulability_cache_info()["misses"] == misses_after_first + 1

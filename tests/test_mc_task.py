@@ -126,3 +126,44 @@ class TestMCTaskSet:
         empty = MCTaskSet([])
         assert empty.u_hi_lo == 0.0
         assert empty.u_lo_lo == 0.0
+
+
+class TestMCTaskSetFreeze:
+    """The set is frozen after construction: cached verdicts stay honest.
+
+    ``cache_key()`` memoizes lazily, and the shared schedulability cache
+    keys on it — a post-construction mutation would let a stale verdict
+    be served for a set that no longer matches it.
+    """
+
+    def test_attribute_assignment_rejected(self):
+        mc = table3_taskset()
+        with pytest.raises(AttributeError, match="frozen"):
+            mc.tasks = ()
+        with pytest.raises(AttributeError, match="frozen"):
+            mc.name = "renamed"
+
+    def test_mutated_set_cannot_serve_a_stale_verdict(self, example31):
+        """Regression: swap the task tuple after a cached verdict."""
+        from repro.core.backends import (
+            EDFVDBackend,
+            clear_schedulability_cache,
+        )
+        from repro.core.conversion import convert_uniform
+
+        clear_schedulability_cache()
+        try:
+            mc = convert_uniform(example31, 3, 1, 2)
+            backend = EDFVDBackend()
+            backend.is_schedulable_cached(mc)
+            heavy = MCTask("x", 1.0, 1.0, 0.9, 0.99, CriticalityRole.HI)
+            with pytest.raises(AttributeError, match="frozen"):
+                mc.tasks = (*mc.tasks, heavy)
+        finally:
+            clear_schedulability_cache()
+
+    def test_cache_key_stable_and_name_free(self):
+        a = table3_taskset()
+        b = table3_taskset()
+        assert a.cache_key() == a.cache_key()
+        assert a.cache_key() == b.cache_key()

@@ -330,3 +330,46 @@ class TestCheckTrace:
         log = load_trace(path)
         assert log.corrupt_lines == 1
         assert any("duplicate header" in p for p in check_trace(path))
+
+
+class TestForkResets:
+    def test_registered_callback_runs_on_reset(self):
+        from repro.obs.trace import _fork_resets, register_fork_reset
+
+        calls = []
+
+        def callback():
+            calls.append(True)
+
+        register_fork_reset(callback)
+        try:
+            reset_inherited_session()
+            assert calls == [True]
+        finally:
+            _fork_resets.remove(callback)
+
+    def test_registration_is_idempotent(self):
+        from repro.obs.trace import _fork_resets, register_fork_reset
+
+        def callback():
+            pass
+
+        register_fork_reset(callback)
+        register_fork_reset(callback)
+        try:
+            assert _fork_resets.count(callback) == 1
+        finally:
+            _fork_resets.remove(callback)
+
+    def test_killing_timing_point_memo_cleared(self):
+        """FTMCF regression: a forked worker must not pin the parent's
+        lru_cache pages through copy-on-write references."""
+        from repro.safety.killing import _timing_points_cached
+        from repro.experiments.tables import example31_taskset
+
+        taskset = example31_taskset()
+        task = taskset.lo_tasks[0]
+        _timing_points_cached(task, 1, 3.6e6, True)
+        assert _timing_points_cached.cache_info().currsize >= 1
+        reset_inherited_session()
+        assert _timing_points_cached.cache_info().currsize == 0

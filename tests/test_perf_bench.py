@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis import kernels
 from repro.perf import (
+    QPS_FLOORS,
     SPEEDUP_FLOORS,
     render_report,
     run_benchmarks,
@@ -80,6 +81,11 @@ class TestReportShape:
             name
             for name, floor in SPEEDUP_FLOORS.items()
             if quick_report["speedups"][name] < floor
+        }
+        expected_failures |= {
+            name
+            for name, floor in QPS_FLOORS.items()
+            if quick_report["api"][name]["qps"] < floor
         }
         assert set(guard["failures"]) == expected_failures
         assert guard["passed"] == (not expected_failures)
