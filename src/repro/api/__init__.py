@@ -35,6 +35,8 @@ from repro.api.types import (
     DbfResponse,
     PFHRequest,
     PFHResponse,
+    PlanRequest,
+    PlanResponse,
     ScheduleRequest,
     ScheduleResponse,
     SchedulabilityRequest,
@@ -53,6 +55,8 @@ __all__ = [
     "DbfResponse",
     "PFHRequest",
     "PFHResponse",
+    "PlanRequest",
+    "PlanResponse",
     "ScheduleRequest",
     "ScheduleResponse",
     "SchedulabilityRequest",

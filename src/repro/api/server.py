@@ -19,6 +19,7 @@ POST      ``/v1/schedulability``  one backend verdict on ``Gamma(n, n')``
 POST      ``/v1/pfh``          PFH bounds (eqs. 2, 5, 7)
 POST      ``/v1/dbf``          batched demand-bound evaluation
 POST      ``/v1/analyze``      full certification report (= ``ftmc analyze``)
+POST      ``/v1/plan``         FT-MP partitioned planning (= ``ftmc plan``)
 ========  ===================  =============================================
 
 Every failure is a structured JSON error body — a traceback never
@@ -41,6 +42,7 @@ from repro.api.types import (
     ApiError,
     DbfRequest,
     PFHRequest,
+    PlanRequest,
     ScheduleRequest,
     SchedulabilityRequest,
 )
@@ -149,6 +151,8 @@ class _Handler(BaseHTTPRequestHandler):
                 DbfRequest.from_dict(data)).to_dict(),
             "/v1/analyze": lambda data: service.analyze(
                 AnalyzeRequest.from_dict(data)).to_dict(),
+            "/v1/plan": lambda data: service.plan(
+                PlanRequest.from_dict(data)).to_dict(),
         }
         route = routes.get(self.path)
         if route is None:

@@ -25,8 +25,10 @@ from repro.core.ftmc import ft_schedule
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import ReexecutionProfile
 from repro.core.profiles import pfh_lo_adapted
+from repro.multicore.ftmp import ft_schedule_partitioned
 from repro.obs import metrics as obs_metrics
 from repro.obs.trace import span
+from repro.planner import PlanOptions
 from repro.report import analyse_system, render_report
 from repro.safety.pfh import pfh_plain
 
@@ -39,6 +41,8 @@ from repro.api.types import (
     DbfResponse,
     PFHRequest,
     PFHResponse,
+    PlanRequest,
+    PlanResponse,
     ScheduleRequest,
     ScheduleResponse,
     SchedulabilityRequest,
@@ -50,26 +54,15 @@ __all__ = ["AnalysisService", "backend_catalog", "make_backend"]
 R = TypeVar("R")
 
 #: Default ``df`` when a degrade backend is requested without one; matches
-#: the ``ftmc analyze`` default.
-DEFAULT_DEGRADATION_FACTOR = 6.0
-
-_BACKENDS: dict[str, Callable[[float | None], core_backends.SchedulerBackend]] = {
-    "edf-vd": lambda df: core_backends.EDFVDBackend(),
-    "edf-vd-degradation": lambda df: core_backends.EDFVDDegradationBackend(
-        DEFAULT_DEGRADATION_FACTOR if df is None else df
-    ),
-    "amc-rtb": lambda df: core_backends.AMCBackend(),
-    "amc-max": lambda df: core_backends.AMCMaxBackend(),
-    "smc": lambda df: core_backends.SMCBackend(),
-    "dbf-mc": lambda df: core_backends.DbfMCBackend(),
-}
+#: the ``ftmc analyze`` default (re-exported from the core registry).
+DEFAULT_DEGRADATION_FACTOR = core_backends.DEFAULT_DEGRADATION_FACTOR
 
 
 def backend_catalog() -> list[dict[str, str]]:
     """The selectable backends, as JSON-ready rows (``GET /v1/backends``)."""
     rows = []
-    for name in sorted(_BACKENDS):
-        instance = _BACKENDS[name](None)
+    for name in core_backends.backend_names():
+        instance = core_backends.make_backend(name)
         rows.append({"name": name, "mechanism": instance.mechanism})
     return rows
 
@@ -79,22 +72,19 @@ def make_backend(
 ) -> core_backends.SchedulerBackend:
     """Instantiate a backend by its registry name.
 
-    ``degradation_factor`` applies to degrade backends (default ``6.0``)
-    and is rejected for kill backends rather than silently ignored.
+    The structured-error face of
+    :func:`repro.core.backends.make_backend`: unknown names map to a 400
+    with code ``unknown-backend``, invalid parameters (including a
+    degradation factor on a kill backend) to ``invalid-request``.
     """
-    factory = _BACKENDS.get(name)
-    if factory is None:
+    if name not in core_backends.backend_names():
         raise ApiError.bad_request(
             "unknown-backend",
-            f"unknown backend {name!r}; one of: {', '.join(sorted(_BACKENDS))}",
-        )
-    if degradation_factor is not None and name != "edf-vd-degradation":
-        raise ApiError.bad_request(
-            "invalid-request",
-            f"backend {name!r} does not take a degradation factor",
+            f"unknown backend {name!r}; one of: "
+            f"{', '.join(core_backends.backend_names())}",
         )
     try:
-        return factory(degradation_factor)
+        return core_backends.make_backend(name, degradation_factor)
     except ValueError as exc:
         raise ApiError.bad_request("invalid-request", str(exc)) from None
 
@@ -198,6 +188,27 @@ class AnalysisService:
             n_lo=request.n_lo,
             adaptation=request.adaptation,
         )
+
+    def plan(self, request: PlanRequest) -> PlanResponse:
+        """FT-MP planning: Algorithm 1 lifted to ``cores`` processors."""
+        return self._run("plan", lambda: self._plan(request))
+
+    def _plan(self, request: PlanRequest) -> PlanResponse:
+        backend = make_backend(request.backend, request.degradation_factor)
+        try:
+            result = ft_schedule_partitioned(
+                request.taskset,
+                request.cores,
+                backend,
+                operation_hours=request.operation_hours,
+                max_n=request.max_n,
+                plan_options=PlanOptions(
+                    exact=request.exact, max_nodes=request.max_nodes
+                ),
+            )
+        except ValueError as exc:
+            raise ApiError.bad_request("invalid-request", str(exc)) from None
+        return PlanResponse.from_result(result)
 
     def dbf(self, request: DbfRequest) -> DbfResponse:
         """Demand bound ``dbf(t)`` at each instant, micro-batched."""

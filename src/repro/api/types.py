@@ -25,6 +25,8 @@ from repro.analysis.edf import Workload
 from repro.core.ftmc import DEFAULT_OPERATION_HOURS, FTSResult
 from repro.io import taskset_from_dict, taskset_to_dict
 from repro.model.task import TaskSet
+from repro.multicore.ftmp import FTMPResult
+from repro.planner import DEFAULT_MAX_NODES
 from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS
 
 __all__ = [
@@ -36,6 +38,8 @@ __all__ = [
     "DbfResponse",
     "PFHRequest",
     "PFHResponse",
+    "PlanRequest",
+    "PlanResponse",
     "ScheduleRequest",
     "ScheduleResponse",
     "SchedulabilityRequest",
@@ -433,6 +437,216 @@ class PFHResponse:
             n_hi=int(data["n_hi"]),
             n_lo=int(data["n_lo"]),
             adaptation=data.get("adaptation"),
+        )
+
+
+# -- partitioned multicore planning --------------------------------------------
+
+
+def _parse_bool(data: Mapping[str, Any], field: str, default: bool) -> bool:
+    raw = data.get(field, default)
+    if not isinstance(raw, bool):
+        raise ApiError.bad_request(
+            "invalid-request", f"'{field}' must be a boolean, got {raw!r}"
+        )
+    return raw
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One FT-MP planning run: Algorithm 1 lifted to ``cores`` processors.
+
+    ``exact=False`` restricts planning to the heuristic portfolio (the
+    verdict can then be inconclusive but never proven infeasible);
+    ``max_nodes`` budgets the branch-and-bound search.
+    """
+
+    taskset: TaskSet
+    cores: int
+    backend: str = "edf-vd"
+    degradation_factor: float | None = None
+    operation_hours: float = DEFAULT_OPERATION_HOURS
+    max_n: int = DEFAULT_MAX_REEXECUTIONS
+    exact: bool = True
+    max_nodes: int = DEFAULT_MAX_NODES
+
+    @classmethod
+    def from_dict(cls, data: Any) -> "PlanRequest":
+        data = _require_mapping(data, "request body")
+        df = data.get("degradation_factor")
+        cores = _parse_int(data, "cores", None)
+        if cores < 1:
+            raise ApiError.bad_request(
+                "invalid-request", f"'cores' must be >= 1, got {cores}"
+            )
+        max_nodes = _parse_int(data, "max_nodes", DEFAULT_MAX_NODES)
+        if max_nodes < 1:
+            raise ApiError.bad_request(
+                "invalid-request", f"'max_nodes' must be >= 1, got {max_nodes}"
+            )
+        return cls(
+            taskset=parse_taskset_field(data),
+            cores=cores,
+            backend=str(data.get("backend", "edf-vd")),
+            degradation_factor=(
+                _parse_float(data, "degradation_factor", 0.0) if df is not None
+                else None
+            ),
+            operation_hours=_parse_float(
+                data, "operation_hours", DEFAULT_OPERATION_HOURS
+            ),
+            max_n=_parse_int(data, "max_n", DEFAULT_MAX_REEXECUTIONS),
+            exact=_parse_bool(data, "exact", True),
+            max_nodes=max_nodes,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "taskset": taskset_to_dict(self.taskset),
+            "cores": self.cores,
+            "backend": self.backend,
+            "operation_hours": self.operation_hours,
+            "max_n": self.max_n,
+            "exact": self.exact,
+            "max_nodes": self.max_nodes,
+        }
+        if self.degradation_factor is not None:
+            payload["degradation_factor"] = self.degradation_factor
+        return payload
+
+
+@dataclass(frozen=True)
+class PlanResponse:
+    """The :class:`~repro.multicore.ftmp.FTMPResult` fields, JSON-shaped.
+
+    ``partition`` is the proof object — per-core lists of task names of
+    the converted set at the adopted adaptation profile (``null`` when
+    no partition was found).  ``inconclusive`` is True when some
+    rejection along the profile scan was heuristic-only, so the reported
+    ``n2``/verdict may be pessimistic.  The ``heuristic_objective`` /
+    ``exact_objective`` pair (``null`` when undefined) reports the
+    heuristic-vs-optimal makespan gap of the adopted plan.
+    """
+
+    success: bool
+    failure: str | None
+    cores: int
+    backend: str
+    mechanism: str
+    operation_hours: float
+    inconclusive: bool
+    n_hi: int | None
+    n_lo: int | None
+    n1_hi: int | None
+    n2_hi: int | None
+    adaptation: int | None
+    partition: tuple[tuple[str, ...], ...] | None
+    strategy: str | None
+    heuristic_objective: float
+    exact_objective: float
+    gap: float | None
+    exact_nodes: int
+    exact_complete: bool
+    pfh_hi: float
+    pfh_lo: float
+
+    @classmethod
+    def from_result(cls, result: FTMPResult) -> "PlanResponse":
+        plan = result.plan
+        return cls(
+            success=result.success,
+            failure=result.failure.name if result.failure is not None else None,
+            cores=result.m,
+            backend=result.backend_name,
+            mechanism=result.mechanism,
+            operation_hours=result.operation_hours,
+            inconclusive=result.inconclusive,
+            n_hi=result.n_hi,
+            n_lo=result.n_lo,
+            n1_hi=result.n1_hi,
+            n2_hi=result.n2_hi,
+            adaptation=result.adaptation,
+            partition=(
+                result.partition.task_names()
+                if result.partition is not None else None
+            ),
+            strategy=plan.strategy if plan is not None else None,
+            heuristic_objective=(
+                plan.heuristic_objective if plan is not None else math.inf
+            ),
+            exact_objective=(
+                plan.exact_objective if plan is not None else math.inf
+            ),
+            gap=plan.gap if plan is not None else None,
+            exact_nodes=plan.exact_nodes if plan is not None else 0,
+            exact_complete=plan.exact_complete if plan is not None else False,
+            pfh_hi=result.pfh_hi,
+            pfh_lo=result.pfh_lo,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "success": self.success,
+            "failure": self.failure,
+            "cores": self.cores,
+            "backend": self.backend,
+            "mechanism": self.mechanism,
+            "operation_hours": self.operation_hours,
+            "inconclusive": self.inconclusive,
+            "n_hi": self.n_hi,
+            "n_lo": self.n_lo,
+            "n1_hi": self.n1_hi,
+            "n2_hi": self.n2_hi,
+            "adaptation": self.adaptation,
+            "partition": (
+                [list(core) for core in self.partition]
+                if self.partition is not None else None
+            ),
+            "strategy": self.strategy,
+            "heuristic_objective": _float_or_none(self.heuristic_objective),
+            "exact_objective": _float_or_none(self.exact_objective),
+            "gap": self.gap,
+            "exact_nodes": self.exact_nodes,
+            "exact_complete": self.exact_complete,
+            "pfh_hi": _float_or_none(self.pfh_hi),
+            "pfh_lo": _float_or_none(self.pfh_lo),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlanResponse":
+        raw_partition = data.get("partition")
+        return cls(
+            success=bool(data["success"]),
+            failure=data.get("failure"),
+            cores=int(data["cores"]),
+            backend=str(data["backend"]),
+            mechanism=str(data["mechanism"]),
+            operation_hours=float(data["operation_hours"]),
+            inconclusive=bool(data["inconclusive"]),
+            n_hi=data.get("n_hi"),
+            n_lo=data.get("n_lo"),
+            n1_hi=data.get("n1_hi"),
+            n2_hi=data.get("n2_hi"),
+            adaptation=data.get("adaptation"),
+            partition=(
+                tuple(tuple(str(name) for name in core)
+                      for core in raw_partition)
+                if raw_partition is not None else None
+            ),
+            strategy=data.get("strategy"),
+            heuristic_objective=(
+                math.inf if data.get("heuristic_objective") is None
+                else float(data["heuristic_objective"])
+            ),
+            exact_objective=(
+                math.inf if data.get("exact_objective") is None
+                else float(data["exact_objective"])
+            ),
+            gap=data.get("gap"),
+            exact_nodes=int(data.get("exact_nodes", 0)),
+            exact_complete=bool(data.get("exact_complete", False)),
+            pfh_hi=_float_from_wire(data.get("pfh_hi")),
+            pfh_lo=_float_from_wire(data.get("pfh_lo")),
         )
 
 

@@ -130,13 +130,15 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=[
             "table1", "table2", "table3", "table4",
-            "fig1", "fig2", "fig3", "all", "analyze",
+            "fig1", "fig2", "fig3", "all", "analyze", "plan",
             "backends", "sensitivity", "validate",
             "lint", "selfcheck", "campaign", "campaign-worker",
             "bench", "stats", "serve",
         ],
         help=(
             "paper artifact to regenerate; 'analyze' for a user system; "
+            "'plan' for partitioned multicore planning "
+            "(docs/multicore.md); "
             "'backends'/'sensitivity'/'validate' for the extension "
             "studies; 'lint'/'selfcheck' for static analysis; 'campaign' "
             "for a fault-tolerant sharded run (docs/robustness.md); "
@@ -153,7 +155,8 @@ def build_parser() -> argparse.ArgumentParser:
         "path", nargs="?", default=None, metavar="TARGET",
         help=(
             "task-set JSON to check (for 'lint'), experiment name "
-            "(for 'campaign': fig1, fig2, fig3, tables, validation), or "
+            "(for 'campaign': fig1, fig2, fig3, tables, validation, "
+            "multicore), or "
             "trace file (for 'stats')"
         ),
     )
@@ -243,7 +246,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--system", default=None, metavar="FILE.json",
-        help="task-set JSON for 'analyze' (see repro.io for the format)",
+        help="task-set JSON for 'analyze'/'plan' (see repro.io for the "
+             "format)",
+    )
+    parser.add_argument(
+        "--cores", type=int, default=2, metavar="M",
+        help="plan: number of processors to partition onto (default 2)",
+    )
+    parser.add_argument(
+        "--backend", default="edf-vd", metavar="NAME",
+        help="plan: uniprocessor schedulability backend (default edf-vd; "
+             "see GET /v1/backends or docs/api.md for the catalog)",
+    )
+    parser.add_argument(
+        "--no-exact", action="store_true",
+        help="plan: heuristic portfolio only, skip the branch-and-bound "
+             "optimizer (verdicts may then be inconclusive)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="plan: node budget for the branch-and-bound search "
+             "(default 50000)",
     )
     parser.add_argument(
         "--operation-hours", type=float, default=10.0,
@@ -320,6 +343,79 @@ def _run_analyze(args: argparse.Namespace) -> int:
     )
     print(render_report(report))
     return 0 if report.feasible else 1
+
+
+def _run_plan(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.api import AnalysisService, ApiError, PlanRequest
+    from repro.io import load_taskset
+
+    path = args.system or args.path
+    if path is None:
+        return _fail("'plan' needs a task-set file: ftmc plan --system "
+                     "FILE.json --cores M")
+    if args.cores < 1:
+        return _fail(f"--cores must be >= 1, got {args.cores}")
+    if args.max_nodes is not None and args.max_nodes < 1:
+        return _fail(f"--max-nodes must be >= 1, got {args.max_nodes}")
+    try:
+        taskset = load_taskset(path)
+    except OSError as exc:
+        return _fail(f"cannot read {path}: {exc.strerror or exc}")
+    except json.JSONDecodeError as exc:
+        return _fail(
+            f"{path} is not valid JSON: {exc.msg} "
+            f"(line {exc.lineno}, column {exc.colno})"
+        )
+    except (ValueError, TypeError, KeyError) as exc:
+        return _fail(f"{path}: {exc}")
+
+    from repro.planner import DEFAULT_MAX_NODES
+
+    request = PlanRequest(
+        taskset=taskset,
+        cores=args.cores,
+        backend=args.backend,
+        degradation_factor=(
+            args.degradation_factor
+            if args.backend == "edf-vd-degradation" else None
+        ),
+        operation_hours=args.operation_hours,
+        exact=not args.no_exact,
+        max_nodes=(
+            args.max_nodes if args.max_nodes is not None else DEFAULT_MAX_NODES
+        ),
+    )
+    try:
+        response = AnalysisService().plan(request)
+    except ApiError as exc:
+        return _fail(exc.message)
+
+    verdict = "SCHEDULABLE" if response.success else (
+        f"NOT SCHEDULABLE ({response.failure})"
+    )
+    print(f"FT-MP plan: {verdict} on m={response.cores} cores "
+          f"[{response.backend}]")
+    if response.n_hi is not None:
+        print(f"  profiles: n_HI={response.n_hi} n_LO={response.n_lo} "
+              f"n1_HI={response.n1_hi} n2_HI={response.n2_hi}")
+    if response.success:
+        print(f"  pfh: HI={response.pfh_hi:.3e} LO={response.pfh_lo:.3e} "
+              f"(OS={response.operation_hours:g} h, {response.mechanism})")
+        gap = "n/a" if response.gap is None else f"{response.gap:.4f}"
+        print(f"  strategy: {response.strategy} "
+              f"(portfolio objective={response.heuristic_objective:.4f}, "
+              f"exact objective={response.exact_objective:.4f}, "
+              f"gap={gap}, nodes={response.exact_nodes})")
+        if response.partition is not None:
+            for index, names in enumerate(response.partition):
+                print(f"  P{index}: [{', '.join(names)}]")
+    if response.inconclusive:
+        print("  note: verdict is INCONCLUSIVE at some adaptation profile "
+              "(heuristic miss without an exhaustive exact search) — the "
+              "reported n2/verdict may be pessimistic")
+    return 0 if response.success else 1
 
 
 def _emit_lint_report(report, subject: str, args: argparse.Namespace) -> int:
@@ -642,6 +738,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return run_worker_group()
     if args.experiment == "analyze":
         return _run_analyze(args)
+    if args.experiment == "plan":
+        return _run_plan(args)
     if args.experiment == "bench":
         return _run_bench(args)
     if args.experiment == "lint":

@@ -41,6 +41,9 @@ __all__ = [
     "AMCMaxBackend",
     "DbfMCBackend",
     "SMCBackend",
+    "DEFAULT_DEGRADATION_FACTOR",
+    "backend_names",
+    "make_backend",
     "clear_schedulability_cache",
     "schedulability_cache_info",
 ]
@@ -270,3 +273,49 @@ class AMCMaxBackend(SchedulerBackend):
 
     def is_schedulable(self, mc: MCTaskSet) -> bool:
         return amc_max_schedulable(mc)
+
+
+# -- registry ------------------------------------------------------------------
+
+#: Default ``df`` when a degrade backend is requested without one; matches
+#: the ``ftmc analyze`` default.
+DEFAULT_DEGRADATION_FACTOR: float = 6.0
+
+_BACKEND_FACTORIES = {
+    "edf-vd": lambda df: EDFVDBackend(),
+    "edf-vd-degradation": lambda df: EDFVDDegradationBackend(
+        DEFAULT_DEGRADATION_FACTOR if df is None else df
+    ),
+    "amc-rtb": lambda df: AMCBackend(),
+    "amc-max": lambda df: AMCMaxBackend(),
+    "smc": lambda df: SMCBackend(),
+    "dbf-mc": lambda df: DbfMCBackend(),
+}
+
+
+def backend_names() -> list[str]:
+    """The selectable backend registry names, sorted."""
+    return sorted(_BACKEND_FACTORIES)
+
+
+def make_backend(
+    name: str, degradation_factor: float | None = None
+) -> SchedulerBackend:
+    """Instantiate a backend by its registry name.
+
+    ``degradation_factor`` applies to degrade backends (default
+    :data:`DEFAULT_DEGRADATION_FACTOR`) and is rejected for kill backends
+    rather than silently ignored.  Raises :class:`ValueError` on unknown
+    names or invalid parameters; the API facade maps those to structured
+    400s (:func:`repro.api.service.make_backend`).
+    """
+    factory = _BACKEND_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown backend {name!r}; one of: {', '.join(backend_names())}"
+        )
+    if degradation_factor is not None and name != "edf-vd-degradation":
+        raise ValueError(
+            f"backend {name!r} does not take a degradation factor"
+        )
+    return factory(degradation_factor)

@@ -1,8 +1,11 @@
 """Partitioned multiprocessor scheduling — library extension.
 
-Lifts the paper's uniprocessor FT-S to ``m`` processors by first-fit
-partitioning of the converted task set; each share is an independent
-instance of the uniprocessor problem, so soundness follows directly.
+Lifts the paper's uniprocessor FT-S to ``m`` processors by partitioning
+the converted task set; each share is an independent instance of the
+uniprocessor problem, so soundness follows directly.  Partitioning is
+delegated to :mod:`repro.planner` (heuristic portfolio + exact
+branch-and-bound); :func:`first_fit_decreasing` remains as the original
+seed baseline.
 """
 
 from repro.multicore.ftmp import FTMPResult, ft_schedule_partitioned

@@ -14,10 +14,16 @@ to ``m`` independent instances of the paper's uniprocessor problem:
   the uniprocessor backend test on its share of the converted set
   (Lemma 4.1).
 
-The driver mirrors Algorithm 1, replacing line 8's test with "a first-fit
-partition exists at this adaptation profile".  The heuristic keeps the
-scan sound (a found partition is proof; a miss is merely inconclusive, so
-the reported ``n2`` may be pessimistic — as with any sufficient test).
+The driver mirrors Algorithm 1, replacing line 8's test with a planning
+run (:func:`repro.planner.plan_partition`) at each candidate adaptation
+profile: the heuristic portfolio first, then the exact branch-and-bound
+unless disabled.  A found partition is proof of schedulability; a
+heuristic miss alone is merely inconclusive.  The planner makes the
+distinction explicit — when every miss along the descending ``n'`` scan
+was *proven* infeasible by a completed exact search, the reported ``n2``
+(or the UNSCHEDULABLE verdict) is exact relative to the backend's test;
+otherwise the result carries ``inconclusive=True``, meaning the true
+``n2`` may be larger than reported (the historic silent-pessimism case).
 """
 
 from __future__ import annotations
@@ -35,7 +41,8 @@ from repro.core.profiles import (
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import ReexecutionProfile
 from repro.model.task import TaskSet
-from repro.multicore.partition import Partition, first_fit_decreasing
+from repro.planner import PlanOptions, PlanResult, plan_partition
+from repro.planner.partition import Partition
 from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, pfh_plain
 
 __all__ = ["FTMPResult", "ft_schedule_partitioned"]
@@ -43,7 +50,14 @@ __all__ = ["FTMPResult", "ft_schedule_partitioned"]
 
 @dataclass(frozen=True)
 class FTMPResult:
-    """Outcome of one FT-MP run."""
+    """Outcome of one FT-MP run.
+
+    ``inconclusive`` is True when some adaptation profile above the
+    adopted one (or, on failure, any profile at all) was rejected only
+    heuristically — i.e. without a completed exact search proving it
+    infeasible — so the reported ``n2``/verdict may be pessimistic.
+    ``plan`` carries the planning outcome behind the adopted partition.
+    """
 
     success: bool
     failure: FTSFailure | None
@@ -59,6 +73,8 @@ class FTMPResult:
     partition: Partition | None = None
     pfh_hi: float = float("nan")
     pfh_lo: float = float("nan")
+    inconclusive: bool = False
+    plan: PlanResult | None = None
 
     def __bool__(self) -> bool:
         return self.success
@@ -71,15 +87,19 @@ def ft_schedule_partitioned(
     operation_hours: float = DEFAULT_OPERATION_HOURS,
     max_n: int = DEFAULT_MAX_REEXECUTIONS,
     assume_full_wcet: bool = True,
+    plan_options: PlanOptions | None = None,
 ) -> FTMPResult:
-    """FT-S on ``m`` processors via first-fit partitioning.
+    """FT-S on ``m`` processors via planned partitioning.
 
     Identical to :func:`repro.core.ftmc.ft_schedule` except that the
     schedulability oracle is "the converted set partitions onto ``m``
-    processors with every share passing the backend test".
+    processors with every share passing the backend test", answered by
+    :func:`repro.planner.plan_partition` under ``plan_options`` (default:
+    full portfolio plus exact search).
     """
     if m < 1:
         raise ValueError(f"need at least one processor, got {m}")
+    options = plan_options if plan_options is not None else PlanOptions()
 
     def fail(reason: FTSFailure, **fields) -> FTMPResult:
         return FTMPResult(
@@ -107,20 +127,28 @@ def ft_schedule_partitioned(
         return fail(FTSFailure.UNSAFE_ADAPTATION, n_hi=n_hi, n_lo=n_lo)
 
     n2 = None
-    partition = None
+    plan = None
+    # A miss at some n' above the adopted n2 that the exact search did
+    # not prove infeasible leaves the reported n2 possibly pessimistic.
+    pessimistic_miss = False
     for n_prime in range(n_hi, 0, -1):
         mc = convert_uniform(taskset, n_hi, n_lo, n_prime)
-        found = first_fit_decreasing(mc, m, backend)
-        if found is not None:
+        candidate = plan_partition(mc, m, backend, options)
+        if candidate.schedulable:
             n2 = n_prime
-            partition = found
+            plan = candidate
             break
-    if n2 is None:
-        return fail(FTSFailure.UNSCHEDULABLE, n_hi=n_hi, n_lo=n_lo, n1_hi=n1)
+        if not candidate.proven_infeasible:
+            pessimistic_miss = True
+    if n2 is None or plan is None:
+        return fail(
+            FTSFailure.UNSCHEDULABLE, n_hi=n_hi, n_lo=n_lo, n1_hi=n1,
+            inconclusive=pessimistic_miss,
+        )
     if n1 > n2:
         return fail(
             FTSFailure.INFEASIBLE_WINDOW, n_hi=n_hi, n_lo=n_lo,
-            n1_hi=n1, n2_hi=n2,
+            n1_hi=n1, n2_hi=n2, inconclusive=pessimistic_miss, plan=plan,
         )
 
     reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
@@ -136,11 +164,13 @@ def ft_schedule_partitioned(
         n1_hi=n1,
         n2_hi=n2,
         adaptation=n2,
-        partition=partition,
+        partition=plan.partition,
         pfh_hi=pfh_plain(taskset, CriticalityRole.HI, reexecution,
                          assume_full_wcet),
         pfh_lo=pfh_lo_adapted(
             taskset, n_hi, n_lo, n2, backend.mechanism, operation_hours,
             assume_full_wcet,
         ),
+        inconclusive=pessimistic_miss,
+        plan=plan,
     )

@@ -5,13 +5,13 @@ Building block of the partitioned-multiprocessor extension
 converted MC task set (Lemma 4.1) to one of ``m`` processors; each
 processor is then exactly the paper's uniprocessor problem.
 
-Heuristics (all first-fit flavoured, the standard baseline family):
-
-- :func:`first_fit_decreasing` — tasks sorted by a size measure, placed
-  on the first processor whose backend test still passes;
-- *criticality-aware* ordering (HI tasks first) tends to spread the HI
-  load before the LO filler arrives, which helps the EDF-VD test whose
-  HI-mode term is the bottleneck.
+This module keeps the original seed heuristic,
+:func:`first_fit_decreasing`, as the stable public baseline; the full
+packing portfolio (best/worst-fit flavours, pluggable size keys,
+fault-tolerance-aware balancing) and the exact branch-and-bound
+optimizer live in :mod:`repro.planner`, which also owns the
+:class:`~repro.planner.partition.Partition` value type re-exported here
+for backward compatibility.
 
 Feasibility of a placement is delegated to the uniprocessor backend, so
 any :class:`~repro.core.backends.SchedulerBackend` works.
@@ -19,40 +19,12 @@ any :class:`~repro.core.backends.SchedulerBackend` works.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 from repro.core.backends import SchedulerBackend
 from repro.model.criticality import CriticalityRole
 from repro.model.mc_task import MCTask, MCTaskSet
+from repro.planner.partition import Partition
 
 __all__ = ["Partition", "first_fit_decreasing"]
-
-
-@dataclass(frozen=True)
-class Partition:
-    """An assignment of MC tasks to processors."""
-
-    processors: tuple[MCTaskSet, ...]
-
-    @property
-    def m(self) -> int:
-        return len(self.processors)
-
-    def processor_of(self, task_name: str) -> int:
-        for index, processor in enumerate(self.processors):
-            if any(t.name == task_name for t in processor):
-                return index
-        raise KeyError(task_name)
-
-    def describe(self) -> str:
-        lines = []
-        for index, processor in enumerate(self.processors):
-            names = ", ".join(t.name for t in processor)
-            lines.append(
-                f"P{index}: U_HI^HI={processor.u_hi_hi:.3f} "
-                f"U_LO^LO={processor.u_lo_lo:.3f} [{names}]"
-            )
-        return "\n".join(lines)
 
 
 def _size(task: MCTask) -> float:
@@ -72,7 +44,10 @@ def first_fit_decreasing(
     """First-fit decreasing partitioning validated by the backend test.
 
     Tasks are ordered by decreasing size; with ``criticality_aware`` the
-    HI tasks are placed before any LO task.  A task goes to the first
+    HI tasks are placed before any LO task.  Equal-size tasks order by
+    task name — without that tie-breaker the packing (and therefore any
+    result file built on it) would depend on the task set's insertion
+    order rather than on its parameters alone.  A task goes to the first
     processor where the backend still accepts the accumulated set.
     Returns ``None`` when some task fits nowhere.
     """
@@ -84,10 +59,11 @@ def first_fit_decreasing(
             key=lambda t: (
                 t.criticality is not CriticalityRole.HI,  # HI first
                 -_size(t),
+                t.name,
             ),
         )
     else:
-        ordered = sorted(mc, key=lambda t: -_size(t))
+        ordered = sorted(mc, key=lambda t: (-_size(t), t.name))
 
     bins: list[list[MCTask]] = [[] for _ in range(m)]
     for task in ordered:

@@ -6,6 +6,7 @@ a ``BENCH_<date>.json`` artifact (see ``docs/performance.md``).
 """
 
 from repro.perf.bench import (
+    PLAN_FLOORS,
     QPS_FLOORS,
     SPEEDUP_FLOORS,
     render_report,
@@ -14,6 +15,7 @@ from repro.perf.bench import (
 )
 
 __all__ = [
+    "PLAN_FLOORS",
     "QPS_FLOORS",
     "SPEEDUP_FLOORS",
     "render_report",

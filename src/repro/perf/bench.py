@@ -54,16 +54,19 @@ from repro.core.backends import (
     clear_schedulability_cache,
     schedulability_cache_info,
 )
+from repro.core.backends import make_backend
 from repro.core.conversion import convert_uniform
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig3 import FIG3_PANELS, fig3_point
-from repro.gen.taskset import GeneratorConfig, generate_taskset
+from repro.gen.taskset import PAPER_CONFIG, GeneratorConfig, generate_taskset
 from repro.io import atomic_write_json
 from repro.model.criticality import DualCriticalitySpec
+from repro.planner import DEFAULT_MAX_NODES, PlanOptions, plan_partition
 from repro.runner.supervisor import run_campaign
 
 __all__ = [
     "MIN_TIME_ENV",
+    "PLAN_FLOORS",
     "QPS_FLOORS",
     "SCHEMA",
     "SPEEDUP_FLOORS",
@@ -96,6 +99,17 @@ SPEEDUP_FLOORS: dict[str, float] = {
 #: Guarded by the same ``ftmc bench`` exit code as the speedup floors.
 QPS_FLOORS: dict[str, float] = {
     "api_schedulability_warm": 2000.0,
+}
+
+#: Throughput floor (plans/second) on the heuristic planning portfolio
+#: against a *cold* verdict cache — the configuration every campaign
+#: shard and ``ftmc plan`` invocation pays.  The exact branch-and-bound
+#: is reported alongside but not guarded: its node count (and therefore
+#: its runtime) depends on how adversarial the instance is, which is a
+#: property of the workload, not a regression.  Guarded by the same
+#: ``ftmc bench`` exit code as the other floors.
+PLAN_FLOORS: dict[str, float] = {
+    "plan_portfolio": 20.0,
 }
 
 
@@ -325,6 +339,9 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
     # --- the repro.api facade + ftmc serve front-end --------------------
     report["api"] = _bench_api(seed + 2, budget)
 
+    # --- the partitioned planner (repro.planner) ------------------------
+    report["plan"] = _bench_plan(seed + 3, budget)
+
     report["cache"] = schedulability_cache_info()
     if numpy_active:
         failures: dict[str, dict] = {
@@ -334,6 +351,10 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
         }
         for name, floor in QPS_FLOORS.items():
             qps = report["api"][name]["qps"]
+            if qps < floor:
+                failures[name] = {"qps": qps, "floor_qps": floor}
+        for name, floor in PLAN_FLOORS.items():
+            qps = report["plan"][name]["qps"]
             if qps < floor:
                 failures[name] = {"qps": qps, "floor_qps": floor}
         report["guard"] = {"passed": not failures, "failures": failures}
@@ -397,6 +418,42 @@ def _bench_api(seed: int, budget_ns: int) -> dict:
     return section
 
 
+def _bench_plan(seed: int, budget_ns: int) -> dict:
+    """Partitioned-planner throughput on a paper-config two-core instance.
+
+    Both subjects run against a *cold* verdict cache (cleared before
+    every repetition) because that is how the planner is actually used:
+    campaign shards and ``ftmc plan`` invocations each see fresh task
+    sets.  ``plan_portfolio`` prices the heuristic packing portfolio
+    alone (the floor-guarded production path); ``plan_exact`` adds the
+    branch-and-bound confirmation pass and is reported unguarded — its
+    cost tracks the instance's node count, not the code's efficiency.
+    """
+    gen = np.random.default_rng(seed)
+    spec = DualCriticalitySpec.from_names("B", "D")
+    taskset = generate_taskset(1.4, spec, gen, config=PAPER_CONFIG)
+    mc = convert_uniform(taskset, n_hi=1, n_lo=1, n_prime_hi=1)
+    backend = make_backend("edf-vd")
+    section: dict = {}
+
+    portfolio_only = PlanOptions(exact=False)
+    entry = _measure(
+        _fresh(lambda: plan_partition(mc, 2, backend, portfolio_only)),
+        budget_ns,
+    )
+    entry["qps"] = 1e9 / entry["ns_per_op"]
+    section["plan_portfolio"] = entry
+
+    with_exact = PlanOptions(exact=True, max_nodes=DEFAULT_MAX_NODES)
+    entry = _measure(
+        _fresh(lambda: plan_partition(mc, 2, backend, with_exact)),
+        budget_ns,
+    )
+    entry["qps"] = 1e9 / entry["ns_per_op"]
+    section["plan_exact"] = entry
+    return section
+
+
 def write_report(report: dict, output_dir: str) -> str:
     """Persist ``report`` as ``<output_dir>/BENCH_<date>.json``."""
     os.makedirs(output_dir, exist_ok=True)
@@ -415,16 +472,19 @@ def render_report(report: dict) -> str:
         f"{'subject':<28}{'ns/op':>14}{'ops':>8}",
         "-" * 50,
     ]
-    for section in ("kernels", "end_to_end", "api"):
+    for section in ("kernels", "end_to_end", "api", "plan"):
         for name, entry in report.get(section, {}).items():
             lines.append(
                 f"{name:<28}{entry['ns_per_op']:>14.0f}{entry['ops']:>8}"
             )
     lines.append("")
-    for name, entry in report.get("api", {}).items():
-        floor = QPS_FLOORS.get(name)
-        suffix = f" (floor {floor:g} qps)" if floor is not None else ""
-        lines.append(f"throughput {name}: {entry['qps']:.0f} qps{suffix}")
+    for section, floors in (("api", QPS_FLOORS), ("plan", PLAN_FLOORS)):
+        for name, entry in report.get(section, {}).items():
+            floor = floors.get(name)
+            suffix = f" (floor {floor:g} qps)" if floor is not None else ""
+            lines.append(
+                f"throughput {name}: {entry['qps']:.0f} qps{suffix}"
+            )
     for name, value in report["speedups"].items():
         floor = SPEEDUP_FLOORS.get(name)
         suffix = f" (floor {floor:g}x)" if floor is not None else ""

@@ -1,0 +1,38 @@
+"""Partitioned multicore planning: heuristic portfolio + exact optimizer.
+
+The planning subsystem behind the FT-MP extension
+(:mod:`repro.multicore`), the ``ftmc plan`` CLI verb and the ``/v1/plan``
+API endpoint.  See ``docs/multicore.md`` for the architecture and the
+heuristic-vs-exact verdict semantics.
+"""
+
+from repro.planner.exact import DEFAULT_MAX_NODES, ExactResult, branch_and_bound
+from repro.planner.heuristics import (
+    DEFAULT_PORTFOLIO,
+    HeuristicSpec,
+    core_load,
+    pack,
+    partition_objective,
+    run_portfolio,
+)
+from repro.planner.partition import Partition
+from repro.planner.plan import PlanOptions, PlanResult, plan_partition
+from repro.planner.sizes import SIZE_KEYS, size_key
+
+__all__ = [
+    "DEFAULT_MAX_NODES",
+    "DEFAULT_PORTFOLIO",
+    "ExactResult",
+    "HeuristicSpec",
+    "Partition",
+    "PlanOptions",
+    "PlanResult",
+    "SIZE_KEYS",
+    "branch_and_bound",
+    "core_load",
+    "pack",
+    "partition_objective",
+    "plan_partition",
+    "run_portfolio",
+    "size_key",
+]

@@ -1,0 +1,160 @@
+"""Exact partitioning: branch-and-bound over task-to-core assignments.
+
+Stdlib-only depth-first search in the classic bin-packing shape: tasks
+in decreasing :func:`~repro.planner.sizes.task_size` order (name as the
+tie-breaker), each placed on one core per level of the tree.  Three
+prunings keep the tree tractable:
+
+- **necessary utilization bound** — a core whose per-mode utilization
+  sum would exceed 1 cannot pass any correct uniprocessor test, so the
+  (much more expensive) backend test is never consulted for it;
+- **incumbent bound** — the makespan objective only grows along a
+  branch, and ``max(total_lo, total_hi) / m`` lower-bounds every
+  completion, so any branch whose bound reaches the best objective found
+  so far (seeded with the heuristic portfolio's incumbent) is cut;
+- **symmetry breaking** — empty cores are interchangeable, so a task may
+  only open the *first* empty core; permutations of a partition are
+  explored once.
+
+Soundness relative to the backend: the search prunes a branch as soon as
+one core fails the backend test, which is justified because every
+shipped test is *monotone under adding tasks to a core* (the module
+docstring of :mod:`repro.core.backends` states the obligation) — a core
+that fails can never be repaired by the remaining placements.  Under
+that assumption an exhausted search (``complete=True``, no solution) is
+a proof that **no** partition passes the backend's sufficient test; it
+is never a claim about feasibility beyond what that test certifies.
+
+The search is budgeted: ``max_nodes`` caps the number of attempted
+placements, and a truncated search reports ``complete=False`` so callers
+(:mod:`repro.planner.plan`) degrade the verdict to *inconclusive*
+instead of over-claiming infeasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.tolerance import utilization_exceeds
+from repro.core.backends import SchedulerBackend
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+from repro.planner.partition import Partition
+from repro.planner.sizes import task_size
+
+__all__ = ["ExactResult", "DEFAULT_MAX_NODES", "branch_and_bound"]
+
+#: Default placement-attempt budget; generous for the study sizes
+#: (tens of tasks on <= 8 cores) while bounding adversarial inputs.
+DEFAULT_MAX_NODES: int = 50_000
+
+
+@dataclass(frozen=True)
+class ExactResult:
+    """Outcome of one branch-and-bound search.
+
+    ``partition``/``objective`` describe the best assignment the *search
+    itself* found — ``None``/``inf`` when nothing beat the incumbent it
+    was seeded with.  ``complete`` is True when the tree was exhausted
+    within the node budget; only then is a solution provably optimal and
+    a miss provably infeasible (relative to the backend's test).
+    """
+
+    partition: Partition | None
+    objective: float
+    nodes: int
+    complete: bool
+
+
+def branch_and_bound(
+    mc: MCTaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    incumbent_objective: float = float("inf"),
+    max_nodes: int = DEFAULT_MAX_NODES,
+) -> ExactResult:
+    """Search for the minimum-makespan feasible partition of ``mc``.
+
+    ``incumbent_objective`` seeds the bound (pass the heuristic
+    portfolio's best); only strictly better assignments are reported, so
+    the caller's incumbent remains the answer when the search finds
+    nothing — exact verdicts can only *improve* on heuristic ones.
+    """
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+    if max_nodes < 1:
+        raise ValueError(f"need a positive node budget, got {max_nodes}")
+
+    tasks = sorted(mc, key=lambda t: (-task_size(t), t.name))
+    total_lo = sum(t.utilization(CriticalityRole.LO) for t in tasks)
+    total_hi = sum(t.utilization(CriticalityRole.HI) for t in tasks)
+    # Every completion's makespan is at least the per-mode average load.
+    floor_bound = max(total_lo, total_hi) / m
+
+    bins: list[list[MCTask]] = [[] for _ in range(m)]
+    loads_lo = [0.0] * m
+    loads_hi = [0.0] * m
+
+    best_partition: Partition | None = None
+    best_objective = incumbent_objective
+    nodes = 0
+    truncated = False
+
+    def snapshot() -> Partition:
+        return Partition(
+            processors=tuple(
+                MCTaskSet(list(bin_tasks), name=f"{mc.name}/P{index}")
+                for index, bin_tasks in enumerate(bins)
+            )
+        )
+
+    def current_makespan() -> float:
+        return max(
+            max(lo, hi) for lo, hi in zip(loads_lo, loads_hi)
+        ) if m else 0.0
+
+    def dfs(depth: int) -> None:
+        nonlocal best_partition, best_objective, nodes, truncated
+        if truncated:
+            return
+        if depth == len(tasks):
+            objective = current_makespan()
+            if objective < best_objective:
+                best_objective = objective
+                best_partition = snapshot()
+            return
+        task = tasks[depth]
+        used = sum(1 for bin_tasks in bins if bin_tasks)
+        for index in range(min(used + 1, m)):
+            nodes += 1
+            if nodes > max_nodes:
+                truncated = True
+                return
+            new_lo = loads_lo[index] + task.utilization(CriticalityRole.LO)
+            new_hi = loads_hi[index] + task.utilization(CriticalityRole.HI)
+            if utilization_exceeds(new_lo) or utilization_exceeds(new_hi):
+                continue
+            bound = max(current_makespan(), new_lo, new_hi, floor_bound)
+            if bound >= best_objective:
+                continue
+            if not backend.is_schedulable_cached(MCTaskSet(bins[index] + [task])):
+                continue
+            old_lo, old_hi = loads_lo[index], loads_hi[index]
+            bins[index].append(task)
+            loads_lo[index] = new_lo
+            loads_hi[index] = new_hi
+            dfs(depth + 1)
+            bins[index].pop()
+            loads_lo[index], loads_hi[index] = old_lo, old_hi
+            if truncated:
+                return
+
+    dfs(0)
+    return ExactResult(
+        partition=best_partition,
+        objective=(
+            best_objective if best_partition is not None else float("inf")
+        ),
+        nodes=nodes,
+        complete=not truncated,
+    )

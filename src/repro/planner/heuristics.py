@@ -1,0 +1,188 @@
+"""The heuristic packing portfolio: FFD/BFD/WFD over pluggable size keys.
+
+Every packer shares the same shape: order the tasks by decreasing size
+(HI tasks first, task name as the final tie-breaker, so the packing is a
+pure function of the task parameters), then place each task on a core
+chosen among those whose accumulated set still passes the uniprocessor
+backend test.  The *fit rules* differ only in how they rank the cores:
+
+``ffd``
+    first feasible core in index order — the classic baseline;
+``bfd``
+    the feasible core already carrying the most load (best fit keeps
+    fragmentation low, leaving whole cores for the big tasks to come);
+``wfd``
+    the feasible core carrying the least load (worst fit balances, which
+    utilization-style MC tests reward because their per-core bound is a
+    max over modes);
+``wfd-reexec``
+    fault-tolerance-aware worst fit: balance the *re-execution surplus*
+    ``sum (C(HI) - C(LO)) / T`` across cores, so no single core absorbs
+    all the inflated post-switch demand the mode switch can trigger.
+
+A returned :class:`~repro.multicore.partition.Partition` is proof of
+schedulability (every core passed the backend's sufficient test); a
+``None`` is *only* a heuristic miss — the exact search
+(:mod:`repro.planner.exact`) is what turns misses into verdicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.backends import SchedulerBackend
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask, MCTaskSet
+from repro.planner.partition import Partition
+from repro.planner.sizes import reexecution_surplus, size_key
+
+__all__ = [
+    "HeuristicSpec",
+    "DEFAULT_PORTFOLIO",
+    "pack",
+    "run_portfolio",
+    "partition_objective",
+    "core_load",
+]
+
+_FITS = ("ffd", "bfd", "wfd", "wfd-reexec")
+
+
+@dataclass(frozen=True)
+class HeuristicSpec:
+    """One portfolio entry: a fit rule plus a size key."""
+
+    fit: str
+    size: str
+
+    def __post_init__(self) -> None:
+        if self.fit not in _FITS:
+            raise ValueError(
+                f"unknown fit rule {self.fit!r} (known: {', '.join(_FITS)})"
+            )
+        size_key(self.size)  # validates the key name
+
+    @property
+    def name(self) -> str:
+        return f"{self.fit}/{self.size}"
+
+
+#: The default portfolio, tried in order; the first entries are the
+#: cheapest-to-compute classics, the tail the fault-tolerance-aware
+#: balancer.  Order matters only for tie-breaking between equally good
+#: partitions (the earliest winner is kept).
+DEFAULT_PORTFOLIO: tuple[HeuristicSpec, ...] = (
+    HeuristicSpec("ffd", "max-util"),
+    HeuristicSpec("ffd", "hi-util"),
+    HeuristicSpec("ffd", "lo-util"),
+    HeuristicSpec("ffd", "density"),
+    HeuristicSpec("bfd", "max-util"),
+    HeuristicSpec("bfd", "hi-util"),
+    HeuristicSpec("bfd", "density"),
+    HeuristicSpec("wfd", "max-util"),
+    HeuristicSpec("wfd", "hi-util"),
+    HeuristicSpec("wfd", "density"),
+    HeuristicSpec("wfd-reexec", "max-util"),
+)
+
+
+def core_load(tasks: list[MCTask] | MCTaskSet) -> float:
+    """A core's backend-agnostic load: the larger per-mode utilization sum.
+
+    For a converted set, the LO-mode sum is the fault-free demand and the
+    HI-mode sum the fully-inflated post-switch demand; either exceeding 1
+    already fails every shipped test, and their max is the quantity the
+    planner minimises across cores (the partition *makespan*).
+    """
+    lo = sum(t.utilization(CriticalityRole.LO) for t in tasks)
+    hi = sum(t.utilization(CriticalityRole.HI) for t in tasks)
+    return max(lo, hi)
+
+
+def partition_objective(partition: Partition) -> float:
+    """The makespan objective: the most loaded core's :func:`core_load`."""
+    return max(core_load(processor) for processor in partition.processors)
+
+
+def ordered_tasks(mc: MCTaskSet, size_name: str) -> list[MCTask]:
+    """Decreasing-size order, HI first, task name as the final tie-breaker.
+
+    The name tie-breaker makes the order — and hence every packing built
+    on it — a pure function of the task parameters rather than of dict or
+    insertion order (the determinism contract the campaign runner needs).
+    """
+    size = size_key(size_name)
+    return sorted(
+        mc,
+        key=lambda t: (
+            t.criticality is not CriticalityRole.HI,  # HI first
+            -size(t),
+            t.name,
+        ),
+    )
+
+
+def pack(
+    mc: MCTaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    spec: HeuristicSpec,
+) -> Partition | None:
+    """Run one portfolio entry; ``None`` on a (merely heuristic) miss."""
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+    size = size_key(spec.size)
+    bins: list[list[MCTask]] = [[] for _ in range(m)]
+    loads = [0.0] * m
+    surpluses = [0.0] * m
+    for task in ordered_tasks(mc, spec.size):
+        if spec.fit == "ffd":
+            ranked = range(m)
+        elif spec.fit == "bfd":
+            ranked = sorted(range(m), key=lambda i: (-loads[i], i))
+        elif spec.fit == "wfd":
+            ranked = sorted(range(m), key=lambda i: (loads[i], i))
+        else:  # wfd-reexec
+            ranked = sorted(range(m), key=lambda i: (surpluses[i], loads[i], i))
+        placed = False
+        for index in ranked:
+            candidate = MCTaskSet(bins[index] + [task])
+            if backend.is_schedulable_cached(candidate):
+                bins[index].append(task)
+                loads[index] += size(task)
+                surpluses[index] += reexecution_surplus(task)
+                placed = True
+                break
+        if not placed:
+            return None
+    return Partition(
+        processors=tuple(
+            MCTaskSet(bin_tasks, name=f"{mc.name}/P{index}")
+            for index, bin_tasks in enumerate(bins)
+        )
+    )
+
+
+def run_portfolio(
+    mc: MCTaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    portfolio: tuple[HeuristicSpec, ...] = DEFAULT_PORTFOLIO,
+) -> tuple[Partition | None, HeuristicSpec | None, float]:
+    """Try every entry; keep the feasible partition with the best objective.
+
+    Returns ``(partition, winning spec, objective)`` — ``(None, None,
+    inf)`` when every entry misses.  Ties go to the earliest entry, so
+    the result is independent of anything but ``mc``'s parameters.
+    """
+    best: Partition | None = None
+    best_spec: HeuristicSpec | None = None
+    best_objective = float("inf")
+    for spec in portfolio:
+        partition = pack(mc, m, backend, spec)
+        if partition is None:
+            continue
+        objective = partition_objective(partition)
+        if objective < best_objective:
+            best, best_spec, best_objective = partition, spec, objective
+    return best, best_spec, best_objective

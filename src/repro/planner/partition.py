@@ -1,0 +1,48 @@
+"""The :class:`Partition` value type: an assignment of tasks to cores.
+
+Historically defined in :mod:`repro.multicore.partition` (which still
+re-exports it); it lives with the planner now because every planning
+stage produces and consumes it, while :mod:`repro.multicore` merely
+wraps planning into the FT-MP driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.mc_task import MCTaskSet
+
+__all__ = ["Partition"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An assignment of MC tasks to processors."""
+
+    processors: tuple[MCTaskSet, ...]
+
+    @property
+    def m(self) -> int:
+        return len(self.processors)
+
+    def processor_of(self, task_name: str) -> int:
+        for index, processor in enumerate(self.processors):
+            if any(t.name == task_name for t in processor):
+                return index
+        raise KeyError(task_name)
+
+    def task_names(self) -> tuple[tuple[str, ...], ...]:
+        """Per-core task names in placement order (the wire shape)."""
+        return tuple(
+            tuple(t.name for t in processor) for processor in self.processors
+        )
+
+    def describe(self) -> str:
+        lines = []
+        for index, processor in enumerate(self.processors):
+            names = ", ".join(t.name for t in processor)
+            lines.append(
+                f"P{index}: U_HI^HI={processor.u_hi_hi:.3f} "
+                f"U_LO^LO={processor.u_lo_lo:.3f} [{names}]"
+            )
+        return "\n".join(lines)

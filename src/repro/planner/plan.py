@@ -1,0 +1,177 @@
+"""The planning driver: portfolio first, branch-and-bound on top.
+
+:func:`plan_partition` is the one entry point the rest of the library
+uses to place a converted task set (Lemma 4.1) on ``m`` cores.  It runs
+the heuristic portfolio, then — unless disabled — the exact search
+seeded with the portfolio's best objective as incumbent, and merges the
+two into a single :class:`PlanResult` with three-valued semantics:
+
+- ``schedulable`` — some partition passes every per-core backend test
+  (found by either stage; the partition is the proof);
+- ``proven_infeasible`` — the exact search exhausted the assignment tree
+  without a solution, so *no* partition passes the backend's sufficient
+  test (see :mod:`repro.planner.exact` for the monotonicity assumption
+  this rests on);
+- ``inconclusive`` — neither: the portfolio missed and the exact search
+  was disabled or ran out of its node budget.
+
+Because the exact stage starts from the heuristic incumbent, its verdict
+can only confirm or improve the heuristic one — a set the portfolio
+schedules is never "lost" by the optimizer, which is the domination
+property the soundness tests pin.
+
+Everything is instrumented under the ``planner.*`` obs namespace
+(span ``planner.plan`` with per-stage counters; see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.backends import SchedulerBackend
+from repro.model.mc_task import MCTaskSet
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.planner.exact import DEFAULT_MAX_NODES, branch_and_bound
+from repro.planner.heuristics import (
+    DEFAULT_PORTFOLIO,
+    HeuristicSpec,
+    run_portfolio,
+)
+from repro.planner.partition import Partition
+
+__all__ = ["PlanOptions", "PlanResult", "plan_partition"]
+
+
+@dataclass(frozen=True)
+class PlanOptions:
+    """Knobs for one planning run.
+
+    ``exact=False`` restricts planning to the portfolio (verdicts can
+    then never be ``proven_infeasible``); ``max_nodes`` budgets the
+    branch-and-bound; ``portfolio`` substitutes the heuristic lineup
+    (mainly for tests that need a deliberately weak portfolio).
+    """
+
+    exact: bool = True
+    max_nodes: int = DEFAULT_MAX_NODES
+    portfolio: tuple[HeuristicSpec, ...] = field(default=DEFAULT_PORTFOLIO)
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Merged heuristic + exact outcome for one ``(mc, m)`` instance."""
+
+    m: int
+    backend_name: str
+    schedulable: bool
+    proven_infeasible: bool
+    partition: Partition | None
+    #: Winning portfolio entry name, ``"exact"`` when the optimizer found
+    #: the adopted partition, ``None`` when nothing was found.
+    strategy: str | None
+    heuristic_objective: float
+    exact_objective: float
+    exact_nodes: int
+    exact_complete: bool
+
+    @property
+    def inconclusive(self) -> bool:
+        """Neither schedulable nor proven infeasible."""
+        return not self.schedulable and not self.proven_infeasible
+
+    @property
+    def gap(self) -> float | None:
+        """Heuristic-vs-optimal makespan gap (``None`` when undefined).
+
+        Only meaningful when the exact search completed: then
+        ``exact_objective`` is the true optimum and the gap measures how
+        much the portfolio over-packed its worst core.
+        """
+        if not self.exact_complete:
+            return None
+        if self.heuristic_objective == float("inf"):
+            return None
+        if self.exact_objective == float("inf"):
+            return None
+        return self.heuristic_objective - self.exact_objective
+
+    def __bool__(self) -> bool:
+        return self.schedulable
+
+
+def plan_partition(
+    mc: MCTaskSet,
+    m: int,
+    backend: SchedulerBackend,
+    options: PlanOptions = PlanOptions(),
+) -> PlanResult:
+    """Plan ``mc`` onto ``m`` cores under ``backend``'s uniprocessor test."""
+    if m < 1:
+        raise ValueError(f"need at least one processor, got {m}")
+    with obs_trace.span(
+        "planner.plan", m=m, tasks=len(mc), backend=backend.name,
+        exact=options.exact,
+    ):
+        obs_metrics.inc("planner.plans")
+        heuristic, spec, heuristic_objective = run_portfolio(
+            mc, m, backend, options.portfolio
+        )
+        if heuristic is not None:
+            obs_metrics.inc("planner.heuristic.feasible")
+
+        partition = heuristic
+        strategy = spec.name if spec is not None else None
+        exact_objective = heuristic_objective
+        exact_nodes = 0
+        exact_complete = False
+        proven_infeasible = False
+
+        if options.exact:
+            with obs_trace.span("planner.exact", m=m, tasks=len(mc)):
+                result = branch_and_bound(
+                    mc,
+                    m,
+                    backend,
+                    incumbent_objective=heuristic_objective,
+                    max_nodes=options.max_nodes,
+                )
+            obs_metrics.inc("planner.exact.runs")
+            obs_metrics.inc("planner.exact.nodes", result.nodes)
+            exact_nodes = result.nodes
+            exact_complete = result.complete
+            if result.partition is not None:
+                partition = result.partition
+                strategy = "exact"
+                exact_objective = result.objective
+                if heuristic is None:
+                    obs_metrics.inc("planner.exact.rescues")
+            elif heuristic is None and result.complete:
+                proven_infeasible = True
+                obs_metrics.inc("planner.proven_infeasible")
+
+        schedulable = partition is not None
+        if not schedulable and not proven_infeasible:
+            obs_metrics.inc("planner.inconclusive")
+        gap = (
+            heuristic_objective - exact_objective
+            if exact_complete
+            and heuristic_objective != float("inf")
+            and exact_objective != float("inf")
+            else None
+        )
+        if gap is not None:
+            obs_metrics.observe("planner.gap", gap)
+        return PlanResult(
+            m=m,
+            backend_name=backend.name,
+            schedulable=schedulable,
+            proven_infeasible=proven_infeasible,
+            partition=partition,
+            strategy=strategy,
+            heuristic_objective=heuristic_objective,
+            exact_objective=exact_objective,
+            exact_nodes=exact_nodes,
+            exact_complete=exact_complete,
+        )

@@ -1,0 +1,84 @@
+"""Pluggable bin-packing size measures for the partition planner.
+
+A *size key* maps an :class:`~repro.model.mc_task.MCTask` of a converted
+task set (Lemma 4.1) to the scalar the decreasing-order heuristics sort
+by.  Different keys expose different structure to the packers:
+
+- ``lo-util`` — LO-mode utilization ``C(LO)/T``; orders by the load the
+  task contributes *before* the mode switch (the EDF-VD LO-mode term);
+- ``hi-util`` — HI-mode utilization ``C(HI)/T``; for a converted set the
+  HI budgets carry the re-execution inflation ``(n'+1)C``, so this key
+  front-loads exactly the tasks that stress the post-switch term;
+- ``density`` — ``max(C(LO), C(HI)) / min(D, T)``; the converted sets
+  are implicit-deadline, but density stays meaningful for
+  constrained-deadline inputs fed to the planner directly;
+- ``max-util`` — the largest per-mode utilization, the measure the
+  original :func:`repro.multicore.partition.first_fit_decreasing` seed
+  used; kept as the portfolio default.
+
+Keys are registered in :data:`SIZE_KEYS`; the portfolio iterates the
+registry in sorted-name order so planning is deterministic regardless of
+registration order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.model.criticality import CriticalityRole
+from repro.model.mc_task import MCTask
+
+__all__ = ["SIZE_KEYS", "size_key", "task_size", "reexecution_surplus"]
+
+SizeKey = Callable[[MCTask], float]
+
+
+def _lo_util(task: MCTask) -> float:
+    return task.utilization(CriticalityRole.LO)
+
+
+def _hi_util(task: MCTask) -> float:
+    return task.utilization(CriticalityRole.HI)
+
+
+def _max_util(task: MCTask) -> float:
+    return max(_lo_util(task), _hi_util(task))
+
+
+def _density(task: MCTask) -> float:
+    return max(task.wcet_lo, task.wcet_hi) / min(task.deadline, task.period)
+
+
+#: The pluggable size measures, by registry name.
+SIZE_KEYS: dict[str, SizeKey] = {
+    "lo-util": _lo_util,
+    "hi-util": _hi_util,
+    "max-util": _max_util,
+    "density": _density,
+}
+
+
+def size_key(name: str) -> SizeKey:
+    """Look up a registered size key by name."""
+    try:
+        return SIZE_KEYS[name]
+    except KeyError:
+        known = ", ".join(sorted(SIZE_KEYS))
+        raise ValueError(f"unknown size key {name!r} (known: {known})") from None
+
+
+def task_size(task: MCTask) -> float:
+    """The default size measure (``max-util``), shared with the exact search."""
+    return _max_util(task)
+
+
+def reexecution_surplus(task: MCTask) -> float:
+    """The utilization a task adds only when faults force re-execution.
+
+    For a converted task (Lemma 4.1) ``C(HI) - C(LO)`` is exactly the
+    inflated re-execution budget beyond the fault-free demand, so
+    ``(C(HI) - C(LO)) / T`` is the extra per-core load the mode switch
+    can materialise.  The fault-tolerance-aware packer balances this
+    quantity across cores instead of the fault-free load.
+    """
+    return max(0.0, task.wcet_hi - task.wcet_lo) / task.period

@@ -33,6 +33,13 @@ from repro.experiments.fig3 import (
     fig3_point,
 )
 from repro.experiments.fms_sweep import SWEEP_COLUMNS, sweep_notes, sweep_point
+from repro.experiments.multicore_sweep import (
+    DEFAULT_CORES,
+    DEFAULT_PER_CORE_UTILIZATION,
+    DEFAULT_PLANNER_MAX_NODES,
+    multicore_point,
+    multicore_skeleton,
+)
 from repro.experiments.results import ExperimentResult
 from repro.experiments.tables import (
     table1,
@@ -343,6 +350,68 @@ def _validation_finalize(
     return results
 
 
+# -- multicore: one shard per core count ---------------------------------------
+
+
+def _multicore_options() -> dict[str, Any]:
+    return {
+        "cores": [int(m) for m in DEFAULT_CORES],
+        "per_core_utilization": DEFAULT_PER_CORE_UTILIZATION,
+        "sets_per_point": 40,
+        "backend": "edf-vd",
+        "max_nodes": DEFAULT_PLANNER_MAX_NODES,
+        "seed": 0,
+    }
+
+
+def _multicore_plan(options: dict[str, Any]) -> list[ShardSpec]:
+    return [
+        ShardSpec(
+            id=f"m{m}",
+            index=point_index,
+            seed=int(options.get("seed", 0)),
+            params={
+                "m": int(m),
+                "point_index": point_index,
+                "per_core_utilization": float(options["per_core_utilization"]),
+                "sets_per_point": int(options["sets_per_point"]),
+                "backend": options["backend"],
+                "max_nodes": int(options["max_nodes"]),
+                "seed": int(options.get("seed", 0)),
+            },
+        )
+        for point_index, m in enumerate(options["cores"])
+    ]
+
+
+def _multicore_execute(params: dict[str, Any]) -> list[Any]:
+    row = multicore_point(
+        int(params["m"]),
+        int(params["point_index"]),
+        float(params["per_core_utilization"]),
+        int(params["sets_per_point"]),
+        params["backend"],
+        int(params["max_nodes"]),
+        int(params["seed"]),
+    )
+    return list(row)
+
+
+def _multicore_finalize(
+    payloads: Mapping[str, Any], options: dict[str, Any]
+) -> list[ExperimentResult]:
+    result = multicore_skeleton(
+        float(options["per_core_utilization"]),
+        options["backend"],
+        int(options["max_nodes"]),
+    )
+    for m in options["cores"]:
+        payload = payloads.get(f"m{m}")
+        if payload is not None:
+            result.add_row(*payload)
+    return [result]
+
+
 # -- registry ------------------------------------------------------------------
 
 CAMPAIGNS: dict[str, CampaignDefinition] = {
@@ -385,6 +454,14 @@ CAMPAIGNS: dict[str, CampaignDefinition] = {
         plan=_validation_plan,
         execute=_validation_execute,
         finalize=_validation_finalize,
+    ),
+    "multicore": CampaignDefinition(
+        name="multicore",
+        description="FT-MP acceptance vs core count, one shard per m",
+        default_options=_multicore_options,
+        plan=_multicore_plan,
+        execute=_multicore_execute,
+        finalize=_multicore_finalize,
     ),
 }
 

@@ -231,3 +231,35 @@ class TestLifecycle:
         thread.join(timeout=5.0)
         assert not thread.is_alive()
         server._httpd.server_close()
+
+
+class TestPlanEndpoint:
+    def test_plan_round_trip(self, server, document):
+        status, body = post(
+            server, "/v1/plan", {"taskset": document, "cores": 2}
+        )
+        assert status == 200
+        assert body["success"] is True
+        assert body["cores"] == 2
+        assert body["partition"] is not None
+        placed = sorted(name for core in body["partition"] for name in core)
+        assert placed == sorted(task["name"] for task in document["tasks"])
+        assert body["strategy"] is not None
+
+    def test_plan_missing_cores_is_400(self, server, document):
+        status, body = post(server, "/v1/plan", {"taskset": document})
+        assert status == 400
+        assert body["error"]["code"] == "invalid-request"
+
+    def test_plan_matches_service_answer(self, server, document, example31):
+        from repro.api import PlanRequest
+
+        status, body = post(
+            server, "/v1/plan",
+            {"taskset": document, "cores": 2, "exact": False},
+        )
+        assert status == 200
+        direct = AnalysisService().plan(
+            PlanRequest(taskset=example31, cores=2, exact=False)
+        )
+        assert body == json.loads(json.dumps(direct.to_dict()))

@@ -277,3 +277,53 @@ class TestDegradeBackendPath:
         if not response.success:
             assert response.failure is not None
             assert math.isnan(response.pfh_lo) or response.pfh_lo >= 0
+
+
+class TestPlanOperation:
+    def test_plan_matches_direct_ftmp(self, service, example31):
+        from repro.api import PlanRequest
+        from repro.multicore.ftmp import ft_schedule_partitioned
+
+        response = service.plan(PlanRequest(taskset=example31, cores=2))
+        direct = ft_schedule_partitioned(example31, 2, EDFVDBackend())
+        assert response.success == direct.success
+        assert response.adaptation == direct.adaptation
+        assert response.n_hi == direct.n_hi
+        assert response.partition == direct.partition.task_names()
+
+    def test_plan_partition_covers_taskset(self, service, example31):
+        from repro.api import PlanRequest
+
+        response = service.plan(PlanRequest(taskset=example31, cores=2))
+        placed = sorted(
+            name for core in response.partition for name in core
+        )
+        assert placed == sorted(t.name for t in example31)
+
+    def test_plan_unknown_backend_is_structured(self, service, example31):
+        from repro.api import PlanRequest
+
+        with pytest.raises(ApiError) as excinfo:
+            service.plan(
+                PlanRequest(taskset=example31, cores=2, backend="pfair")
+            )
+        assert excinfo.value.status == 400
+        assert excinfo.value.code == "unknown-backend"
+
+    def test_plan_zero_cores_is_structured(self, service, example31):
+        from repro.api import PlanRequest
+
+        with pytest.raises(ApiError) as excinfo:
+            service.plan(PlanRequest(taskset=example31, cores=0))
+        assert excinfo.value.status == 400
+
+    def test_plan_heuristic_only_never_proves_infeasible(self, service,
+                                                         example31):
+        from repro.api import PlanRequest
+
+        response = service.plan(
+            PlanRequest(taskset=example31, cores=1, exact=False)
+        )
+        # Either it schedules, or the verdict must stay inconclusive.
+        if not response.success:
+            assert response.inconclusive

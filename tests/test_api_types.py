@@ -209,3 +209,74 @@ class TestApiErrorShape:
             "error": {"status": 400, "code": "invalid-taskset",
                       "message": "boom"}
         }
+
+
+class TestPlanTypes:
+    def test_request_round_trip(self, document):
+        from repro.api import PlanRequest
+
+        request = PlanRequest.from_dict(
+            {"taskset": document, "cores": 2, "exact": False,
+             "max_nodes": 123}
+        )
+        assert request.cores == 2
+        assert request.exact is False
+        assert request.max_nodes == 123
+        assert PlanRequest.from_dict(
+            request.to_dict()
+        ).to_dict() == request.to_dict()
+
+    def test_request_requires_cores(self, document):
+        from repro.api import PlanRequest
+
+        with pytest.raises(ApiError) as excinfo:
+            PlanRequest.from_dict({"taskset": document})
+        assert excinfo.value.status == 400
+
+    @pytest.mark.parametrize("cores", [0, -1, "two", True])
+    def test_bad_cores_rejected(self, document, cores):
+        from repro.api import PlanRequest
+
+        with pytest.raises(ApiError):
+            PlanRequest.from_dict({"taskset": document, "cores": cores})
+
+    def test_bad_max_nodes_rejected(self, document):
+        from repro.api import PlanRequest
+
+        with pytest.raises(ApiError):
+            PlanRequest.from_dict(
+                {"taskset": document, "cores": 2, "max_nodes": 0}
+            )
+
+    def test_response_round_trip_with_partition(self, example31):
+        from repro.api import PlanRequest, PlanResponse
+        from repro.api.service import AnalysisService
+
+        response = AnalysisService().plan(
+            PlanRequest(taskset=example31, cores=2)
+        )
+        assert response.success
+        assert response.partition is not None
+        again = PlanResponse.from_dict(
+            json.loads(json.dumps(response.to_dict()))
+        )
+        assert again == response
+
+    def test_infinite_objectives_map_to_null(self, example31):
+        from repro.api import PlanResponse
+
+        response = PlanResponse(
+            success=False, failure="UNSCHEDULABLE", cores=2,
+            backend="edf-vd", mechanism="kill", operation_hours=1.0,
+            inconclusive=True, n_hi=2, n_lo=1, n1_hi=1, n2_hi=None,
+            adaptation=None, partition=None, strategy=None,
+            heuristic_objective=math.inf, exact_objective=math.inf,
+            gap=None, exact_nodes=0, exact_complete=False,
+            pfh_hi=1e-9, pfh_lo=1e-7,
+        )
+        wire = json.loads(json.dumps(response.to_dict()))
+        assert wire["heuristic_objective"] is None
+        assert wire["exact_objective"] is None
+        again = PlanResponse.from_dict(wire)
+        assert again.heuristic_objective == math.inf
+        assert again.exact_objective == math.inf

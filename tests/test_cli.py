@@ -410,3 +410,58 @@ class TestCampaignCommand:
             ["campaign", "tables", "--output-dir", str(tmp_path), "--resume"]
         ) == 2
         assert "no usable checkpoint" in capsys.readouterr().err
+
+
+class TestPlanCommand:
+    @pytest.fixture()
+    def system(self, tmp_path, fms):
+        from repro.io import save_taskset
+
+        path = str(tmp_path / "fms.json")
+        save_taskset(fms, path)
+        return path
+
+    def test_plan_requires_system(self, capsys):
+        assert main(["plan"]) == 2
+        assert "--system" in capsys.readouterr().err
+
+    def test_plan_schedulable_prints_partition(self, system, capsys):
+        assert main(["plan", "--system", system, "--cores", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "SCHEDULABLE" in out
+        assert "P0" in out and "P1" in out
+        assert "strategy" in out
+
+    def test_plan_positional_target(self, system, capsys):
+        assert main(["plan", system, "--cores", "2"]) == 0
+        assert "SCHEDULABLE" in capsys.readouterr().out
+
+    def test_plan_infeasible_exit_code(self, system, capsys):
+        assert main(["plan", "--system", system, "--cores", "1"]) == 1
+
+    def test_plan_no_exact_notes_inconclusive(self, system, capsys):
+        code = main(
+            ["plan", "--system", system, "--cores", "1", "--no-exact"]
+        )
+        out = capsys.readouterr().out
+        if code == 1 and "INCONCLUSIVE" not in out:
+            pytest.fail("heuristic-only miss must be flagged inconclusive")
+
+    def test_plan_unknown_backend(self, system, capsys):
+        assert main(
+            ["plan", "--system", system, "--cores", "2",
+             "--backend", "pfair"]
+        ) == 2
+        assert "unknown backend" in capsys.readouterr().err
+
+    def test_plan_bad_cores(self, system, capsys):
+        assert main(["plan", "--system", system, "--cores", "0"]) == 2
+
+    def test_plan_missing_file(self, tmp_path, capsys):
+        assert main(
+            ["plan", "--system", str(tmp_path / "ghost.json")]
+        ) == 2
+
+    def test_campaign_multicore_listed(self, capsys):
+        assert main(["campaign"]) == 2
+        assert "multicore" in capsys.readouterr().err

@@ -150,3 +150,83 @@ class TestFTMP:
 
     def test_result_truthiness(self, example31):
         assert ft_schedule_partitioned(example31, 2, EDFVDBackend())
+
+
+class TestPackingDeterminism:
+    """Packing must be a pure function of task parameters (not list order)."""
+
+    def _tied_tasks(self):
+        from repro.model.mc_task import MCTask
+
+        # Four tasks with identical sizes: only the name tie-breaker
+        # distinguishes their packing order.
+        return [
+            MCTask(name, 100.0, 100.0, 30.0, 30.0, CriticalityRole.LO)
+            for name in ("alpha", "beta", "gamma", "delta")
+        ]
+
+    def test_ffd_ignores_insertion_order(self):
+        from repro.model.mc_task import MCTaskSet
+
+        tasks = self._tied_tasks()
+        backend = EDFVDBackend()
+        forward = first_fit_decreasing(MCTaskSet(tasks), 2, backend)
+        reverse = first_fit_decreasing(
+            MCTaskSet(list(reversed(tasks))), 2, backend
+        )
+        assert forward is not None and reverse is not None
+        membership = lambda p: [  # noqa: E731
+            sorted(t.name for t in core) for core in p.processors
+        ]
+        assert membership(forward) == membership(reverse)
+
+    def test_planner_pack_ignores_insertion_order(self):
+        from repro.model.mc_task import MCTaskSet
+        from repro.planner import HeuristicSpec, pack
+
+        tasks = self._tied_tasks()
+        backend = EDFVDBackend()
+        for fit in ("ffd", "bfd", "wfd", "wfd-reexec"):
+            spec = HeuristicSpec(fit, "max-util")
+            forward = pack(MCTaskSet(tasks), 2, backend, spec)
+            reverse = pack(
+                MCTaskSet(list(reversed(tasks))), 2, backend, spec
+            )
+            assert forward is not None and reverse is not None
+            assert [
+                sorted(t.name for t in core) for core in forward.processors
+            ] == [
+                sorted(t.name for t in core) for core in reverse.processors
+            ], fit
+
+
+class TestInconclusiveVerdicts:
+    """FT-MP distinguishes heuristic misses from proven infeasibility."""
+
+    def test_success_is_conclusive(self, example31):
+        result = ft_schedule_partitioned(example31, 2, EDFVDBackend())
+        assert result.success
+        assert not result.inconclusive
+        assert result.plan is not None
+        assert result.plan.schedulable
+
+    def test_exact_miss_is_conclusive(self):
+        """With the exact stage on, a small infeasible set is *proven* so."""
+        taskset = generate_taskset(1.9, SPEC, 7)
+        result = ft_schedule_partitioned(taskset, 1, EDFVDBackend())
+        if not result.success:
+            assert not result.inconclusive
+
+    def test_heuristic_only_miss_is_inconclusive(self):
+        from repro.planner import PlanOptions
+
+        for seed in range(12):
+            taskset = generate_taskset(2.6, SPEC, seed)
+            result = ft_schedule_partitioned(
+                taskset, 2, EDFVDBackend(),
+                plan_options=PlanOptions(exact=False),
+            )
+            if not result.success:
+                assert result.inconclusive
+                return
+        pytest.fail("no heuristic miss found in 12 seeds")

@@ -108,3 +108,28 @@ class TestReportOutput:
             assert f"speedup {name}" in text
             assert f"floor {floor:g}x" in text
         assert "perf guard" in text
+
+
+class TestPlanSection:
+    def test_plan_subjects_present(self, quick_report):
+        from repro.perf import PLAN_FLOORS
+
+        section = quick_report["plan"]
+        assert "plan_portfolio" in section
+        assert "plan_exact" in section
+        for name in PLAN_FLOORS:
+            assert name in section
+            assert section[name]["qps"] > 0
+
+    def test_plan_floor_guarded(self, quick_report):
+        from repro.perf import PLAN_FLOORS
+
+        if quick_report["guard"]["passed"] is None:
+            pytest.skip("NumPy kernels unavailable")
+        for name, floor in PLAN_FLOORS.items():
+            below = quick_report["plan"][name]["qps"] < floor
+            assert (name in quick_report["guard"]["failures"]) == below
+
+    def test_render_mentions_plan_throughput(self, quick_report):
+        text = render_report(quick_report)
+        assert "plan_portfolio" in text

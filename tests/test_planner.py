@@ -1,0 +1,280 @@
+"""Tests for the partitioned planning subsystem (repro.planner)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.backends import EDFVDBackend
+from repro.core.conversion import convert_uniform
+from repro.gen.taskset import generate_taskset
+from repro.model.criticality import CriticalityRole, DualCriticalitySpec
+from repro.model.mc_task import MCTask, MCTaskSet
+from repro.planner import (
+    DEFAULT_PORTFOLIO,
+    HeuristicSpec,
+    PlanOptions,
+    branch_and_bound,
+    core_load,
+    pack,
+    partition_objective,
+    plan_partition,
+    run_portfolio,
+    size_key,
+)
+from repro.planner.sizes import SIZE_KEYS, reexecution_surplus, task_size
+
+SPEC = DualCriticalitySpec.from_names("B", "D")
+
+
+def mc_from_sizes(sizes, hi_sizes=None):
+    """A converted-style MCTaskSet from per-task (LO, HI) utilizations."""
+    hi_sizes = sizes if hi_sizes is None else hi_sizes
+    tasks = []
+    for index, (lo, hi) in enumerate(zip(sizes, hi_sizes)):
+        role = CriticalityRole.HI if hi > lo else CriticalityRole.LO
+        tasks.append(
+            MCTask(f"t{index}", 100.0, 100.0, lo * 100.0, hi * 100.0, role)
+        )
+    return MCTaskSet(tasks)
+
+
+class TestSizeKeys:
+    def test_catalog(self):
+        assert set(SIZE_KEYS) == {"lo-util", "hi-util", "max-util", "density"}
+
+    def test_unknown_size_key_rejected(self):
+        with pytest.raises(ValueError, match="size key"):
+            size_key("volume")
+
+    def test_task_size_is_max_mode_utilization(self):
+        task = MCTask("t", 100.0, 100.0, 10.0, 30.0, CriticalityRole.HI)
+        assert task_size(task) == pytest.approx(0.3)
+        assert size_key("lo-util")(task) == pytest.approx(0.1)
+        assert size_key("hi-util")(task) == pytest.approx(0.3)
+
+    def test_reexecution_surplus(self):
+        task = MCTask("t", 100.0, 100.0, 10.0, 30.0, CriticalityRole.HI)
+        assert reexecution_surplus(task) == pytest.approx(0.2)
+        lo = MCTask("l", 100.0, 100.0, 10.0, 10.0, CriticalityRole.LO)
+        assert reexecution_surplus(lo) == 0.0
+
+
+class TestHeuristicSpec:
+    def test_name(self):
+        assert HeuristicSpec("wfd", "hi-util").name == "wfd/hi-util"
+
+    def test_unknown_fit_rejected(self):
+        with pytest.raises(ValueError, match="fit rule"):
+            HeuristicSpec("next-fit", "max-util")
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            HeuristicSpec("ffd", "weight")
+
+    def test_default_portfolio_is_valid_and_deduplicated(self):
+        names = [spec.name for spec in DEFAULT_PORTFOLIO]
+        assert len(names) == len(set(names))
+        assert "ffd/max-util" in names
+        assert "wfd-reexec/max-util" in names
+
+
+class TestPack:
+    def test_every_fit_rule_packs_a_balanced_set(self):
+        mc = mc_from_sizes([0.38, 0.38, 0.3, 0.3, 0.2, 0.2])
+        for spec in DEFAULT_PORTFOLIO:
+            partition = pack(mc, 2, EDFVDBackend(), spec)
+            assert partition is not None, spec.name
+            placed = sorted(
+                t.name for core in partition.processors for t in core
+            )
+            assert placed == sorted(t.name for t in mc)
+
+    def test_rejects_zero_processors(self):
+        mc = mc_from_sizes([0.2])
+        with pytest.raises(ValueError, match="processor"):
+            pack(mc, 0, EDFVDBackend(), HeuristicSpec("ffd", "max-util"))
+
+    def test_wfd_balances_better_than_ffd(self):
+        """Worst fit spreads equal tasks; first fit piles them up."""
+        mc = mc_from_sizes([0.3, 0.3, 0.3, 0.3])
+        backend = EDFVDBackend()
+        ffd = pack(mc, 2, backend, HeuristicSpec("ffd", "max-util"))
+        wfd = pack(mc, 2, backend, HeuristicSpec("wfd", "max-util"))
+        assert partition_objective(wfd) <= partition_objective(ffd)
+        assert partition_objective(wfd) == pytest.approx(0.6)
+
+    def test_miss_returns_none_not_raise(self):
+        mc = mc_from_sizes([0.6, 0.6, 0.6])
+        spec = HeuristicSpec("ffd", "max-util")
+        assert pack(mc, 2, EDFVDBackend(), spec) is None
+
+
+class TestPortfolio:
+    def test_keeps_best_objective(self):
+        mc = mc_from_sizes([0.3, 0.3, 0.3, 0.3])
+        partition, spec, objective = run_portfolio(mc, 2, EDFVDBackend())
+        assert partition is not None
+        assert spec is not None
+        assert objective == pytest.approx(0.6)
+
+    def test_total_miss_returns_inf(self):
+        mc = mc_from_sizes([0.9, 0.9, 0.9])
+        partition, spec, objective = run_portfolio(mc, 2, EDFVDBackend())
+        assert partition is None
+        assert spec is None
+        assert objective == math.inf
+
+
+class TestBranchAndBound:
+    def test_rescues_a_weak_portfolio_miss(self):
+        """FFD alone mis-packs this instance; the exact search places it."""
+        mc = mc_from_sizes([0.44, 0.44, 0.34, 0.34, 0.19, 0.19])
+        backend = EDFVDBackend()
+        weak = (HeuristicSpec("ffd", "max-util"),)
+        assert run_portfolio(mc, 2, backend, weak)[0] is None
+        result = branch_and_bound(mc, 2, backend)
+        assert result.partition is not None
+        assert result.complete
+        assert result.objective == pytest.approx(0.97)
+
+    def test_proves_infeasibility(self):
+        mc = mc_from_sizes([0.6, 0.6, 0.6])
+        result = branch_and_bound(mc, 2, EDFVDBackend())
+        assert result.partition is None
+        assert result.complete
+
+    def test_node_budget_truncates(self):
+        taskset = generate_taskset(2.6, SPEC, 5)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        result = branch_and_bound(mc, 3, EDFVDBackend(), max_nodes=3)
+        assert result.nodes >= 3
+        assert not result.complete
+
+    def test_incumbent_prunes_equal_objectives(self):
+        """Only strictly better solutions than the incumbent come back."""
+        mc = mc_from_sizes([0.3, 0.3, 0.3, 0.3])
+        backend = EDFVDBackend()
+        result = branch_and_bound(mc, 2, backend, incumbent_objective=0.6)
+        assert result.partition is None  # 0.6 is already optimal
+        assert result.complete
+
+
+class TestPlanPartition:
+    def test_schedulable_via_portfolio(self):
+        mc = mc_from_sizes([0.3, 0.3, 0.3, 0.3])
+        plan = plan_partition(mc, 2, EDFVDBackend())
+        assert plan.schedulable
+        assert plan
+        assert plan.strategy in {spec.name for spec in DEFAULT_PORTFOLIO}
+        assert plan.gap is not None and plan.gap >= 0.0
+
+    def test_exact_rescue_sets_strategy(self):
+        mc = mc_from_sizes([0.44, 0.44, 0.34, 0.34, 0.19, 0.19])
+        options = PlanOptions(portfolio=(HeuristicSpec("ffd", "max-util"),))
+        plan = plan_partition(mc, 2, EDFVDBackend(), options)
+        assert plan.schedulable
+        assert plan.strategy == "exact"
+        assert plan.heuristic_objective == math.inf
+        assert plan.gap is None  # no heuristic objective to compare
+
+    def test_proven_infeasible(self):
+        mc = mc_from_sizes([0.6, 0.6, 0.6])
+        plan = plan_partition(mc, 2, EDFVDBackend())
+        assert not plan.schedulable
+        assert plan.proven_infeasible
+        assert not plan.inconclusive
+        assert not plan
+
+    def test_inconclusive_without_exact(self):
+        mc = mc_from_sizes([0.6, 0.6, 0.6])
+        plan = plan_partition(
+            mc, 2, EDFVDBackend(), PlanOptions(exact=False)
+        )
+        assert not plan.schedulable
+        assert not plan.proven_infeasible
+        assert plan.inconclusive
+
+    def test_inconclusive_on_truncated_search(self):
+        taskset = generate_taskset(3.4, SPEC, 19)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        plan = plan_partition(
+            mc, 3, EDFVDBackend(), PlanOptions(max_nodes=2)
+        )
+        if not plan.schedulable:
+            assert not plan.proven_infeasible
+            assert plan.inconclusive
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValueError, match="processor"):
+            plan_partition(mc_from_sizes([0.2]), 0, EDFVDBackend())
+
+
+class TestPlannerProperties:
+    """The soundness properties the subsystem is built around."""
+
+    @given(st.integers(0, 60), st.integers(1, 3), st.floats(0.3, 2.2))
+    @settings(max_examples=40, deadline=None)
+    def test_partition_is_exact_cover_and_per_core_schedulable(
+        self, seed, m, utilization
+    ):
+        taskset = generate_taskset(utilization, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        plan = plan_partition(
+            mc, m, EDFVDBackend(), PlanOptions(max_nodes=500)
+        )
+        if plan.partition is None:
+            return
+        names = sorted(
+            t.name for core in plan.partition.processors for t in core
+        )
+        assert names == sorted(t.name for t in mc)
+        backend = EDFVDBackend()
+        for core in plan.partition.processors:
+            assert backend.is_schedulable(core)
+
+    @given(st.integers(0, 60), st.integers(1, 3), st.floats(0.3, 2.2))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_verdicts_dominate_heuristic(self, seed, m, utilization):
+        """Exact planning never loses a set the portfolio schedules."""
+        taskset = generate_taskset(utilization, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        backend = EDFVDBackend()
+        heuristic = plan_partition(
+            mc, m, backend, PlanOptions(exact=False)
+        )
+        full = plan_partition(mc, m, backend, PlanOptions(max_nodes=500))
+        if heuristic.schedulable:
+            assert full.schedulable
+            assert not full.proven_infeasible
+            assert full.exact_objective <= heuristic.heuristic_objective
+        if full.proven_infeasible:
+            assert not heuristic.schedulable
+
+    @given(st.integers(0, 60), st.floats(0.3, 2.2))
+    @settings(max_examples=30, deadline=None)
+    def test_objective_matches_adopted_partition(self, seed, utilization):
+        taskset = generate_taskset(utilization, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        plan = plan_partition(
+            mc, 2, EDFVDBackend(), PlanOptions(max_nodes=500)
+        )
+        if plan.partition is None:
+            return
+        assert partition_objective(plan.partition) == pytest.approx(
+            plan.exact_objective
+            if plan.strategy == "exact" or plan.exact_complete
+            else plan.heuristic_objective
+        )
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_core_load_is_max_of_mode_sums(self, seed):
+        taskset = generate_taskset(0.8, SPEC, seed)
+        mc = convert_uniform(taskset, 2, 1, 1)
+        lo = sum(t.utilization(CriticalityRole.LO) for t in mc)
+        hi = sum(t.utilization(CriticalityRole.HI) for t in mc)
+        assert core_load(mc) == pytest.approx(max(lo, hi))

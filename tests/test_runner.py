@@ -339,7 +339,7 @@ class TestChaosInjector:
 class TestCampaignDefinitions:
     def test_registry_names(self):
         assert campaign_names() == ["fig1", "fig2", "fig3", "tables",
-                                    "validation"]
+                                    "validation", "multicore"]
 
     def test_unknown_campaign_rejected(self):
         with pytest.raises(ValueError, match="unknown campaign"):
