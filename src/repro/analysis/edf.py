@@ -41,9 +41,11 @@ __all__ = [
     "edf_utilization_test",
     "demand_bound_function",
     "edf_processor_demand_test",
+    "edf_processor_demand_test_batch",
     "edf_processor_demand_test_reference",
     "edf_schedulable",
     "schedulable_without_adaptation",
+    "schedulable_without_adaptation_batch",
 ]
 
 
@@ -200,6 +202,27 @@ def edf_processor_demand_test(workload: Sequence[Workload]) -> bool:
     return _pdc_scan_reference(workload, horizon)
 
 
+def edf_processor_demand_test_batch(
+    workloads: Sequence[Sequence[Workload]],
+) -> list[bool]:
+    """The PDC over many workloads in one stacked sweep.
+
+    With the sweep-batch tier active
+    (:func:`repro.analysis.kernels.batch_enabled`) the workloads are
+    projected onto arrays and verdicted together by
+    :func:`repro.analysis.kernels.pdc_schedulable_multi` — one padded
+    2-D demand sweep for the whole batch instead of one kernel dispatch
+    per set.  Under ``REPRO_NO_BATCH`` (or without NumPy) each workload
+    falls back to :func:`edf_processor_demand_test`, which remains the
+    per-set oracle for this path.
+    """
+    if not kernels.batch_enabled():
+        return [edf_processor_demand_test(w) for w in workloads]
+    filtered = [[w for w in workload if w.wcet > 0] for workload in workloads]
+    triples = [kernels.workload_arrays(w) for w in filtered]
+    return [bool(v) for v in kernels.pdc_schedulable_multi(triples, _MAX_TEST_POINTS)]
+
+
 def edf_processor_demand_test_reference(workload: Sequence[Workload]) -> bool:
     """The PDC on the scalar reference path, regardless of NumPy.
 
@@ -238,3 +261,36 @@ def schedulable_without_adaptation(
     measure the benefit of task killing / service degradation.
     """
     return edf_schedulable(inflated_workload(taskset, reexecution))
+
+
+def schedulable_without_adaptation_batch(
+    tasksets: Sequence[TaskSet],
+    reexecutions: Sequence[ReexecutionProfile],
+) -> list[bool]:
+    """:func:`schedulable_without_adaptation` over a whole sweep of sets.
+
+    Per-set dispatch mirrors :func:`edf_schedulable` exactly — empty and
+    implicit-deadline workloads keep their (cheap, scalar) utilization
+    test — while every workload that needs the PDC is deferred into one
+    :func:`edf_processor_demand_test_batch` call, so an acceptance sweep
+    with constrained-deadline sets pays a single stacked demand sweep.
+    """
+    verdicts: list[bool | None] = []
+    pending: list[int] = []
+    pending_workloads: list[list[Workload]] = []
+    for taskset, reexecution in zip(tasksets, reexecutions):
+        workload = inflated_workload(taskset, reexecution)
+        if not workload:
+            verdicts.append(True)
+        elif all(math.isclose(w.deadline, w.period) for w in workload):
+            verdicts.append(edf_utilization_test(workload))
+        else:
+            pending.append(len(verdicts))
+            pending_workloads.append(workload)
+            verdicts.append(None)
+    if pending:
+        for index, verdict in zip(
+            pending, edf_processor_demand_test_batch(pending_workloads)
+        ):
+            verdicts[index] = verdict
+    return [bool(v) for v in verdicts]

@@ -22,6 +22,16 @@ Setting the environment variable ``REPRO_NO_NUMPY`` to anything but
 ``0``/empty forces every caller back onto the scalar reference paths
 (used by ``ftmc bench`` to record before/after numbers, and available as
 an escape hatch on platforms without NumPy — the import is guarded).
+
+On top of the per-set kernels sits the *sweep-batch* tier: cross-set
+variants (:func:`dbf_batch_multi`, :func:`pdc_schedulable_multi`) that
+stack the deadline-point/demand arrays of a whole acceptance sweep into
+padded 2-D arrays and verdict the batch in one chunked pass, plus the
+candidate-series evaluators in :mod:`repro.safety` and
+:mod:`repro.core.profiles` gated on the same switch.  Setting
+``REPRO_NO_BATCH`` truthy disables only this tier, keeping the per-set
+NumPy kernels — ``ftmc bench`` uses the combination to price the batch
+tier against the per-set path it replaced.
 """
 
 from __future__ import annotations
@@ -42,20 +52,29 @@ if TYPE_CHECKING:  # pragma: no cover
 
 __all__ = [
     "NO_NUMPY_ENV",
+    "NO_BATCH_ENV",
     "numpy_enabled",
+    "batch_enabled",
     "kernel_tier",
     "workload_arrays",
     "deadline_points",
     "dbf_batch",
+    "dbf_batch_multi",
     "dbf_single",
     "demand_satisfied",
     "max_deadline_at_or_below",
     "max_deadline_strictly_below",
     "pdc_schedulable",
+    "pdc_schedulable_multi",
 ]
 
 #: Environment variable disabling the NumPy kernels when set truthy.
 NO_NUMPY_ENV: str = "REPRO_NO_NUMPY"
+
+#: Environment variable disabling only the sweep-batch tier (cross-set
+#: kernels and candidate-series evaluators) while keeping the per-set
+#: NumPy kernels — the reference configuration for the batch benchmarks.
+NO_BATCH_ENV: str = "REPRO_NO_BATCH"
 
 #: Check instants are evaluated in chunks of this many rows so the
 #: ``points x tasks`` quotient matrix stays cache-sized even near the
@@ -72,6 +91,22 @@ def numpy_enabled() -> bool:
     if np is None:
         return False
     return os.environ.get(NO_NUMPY_ENV, "") in ("", "0")
+
+
+def batch_enabled() -> bool:
+    """Whether the sweep-batch tier is active for this call.
+
+    Like :func:`numpy_enabled` this is read at call time.  The batch tier
+    changes only the *evaluation strategy* (stacked arrays, candidate
+    series) of quantities the per-set NumPy path computes too, so it shares
+    the ``"numpy"`` :func:`kernel_tier` — its verdicts are pinned
+    equivalent to the per-set path by the oracle suite, and the EDF-VD
+    series verdicts are bit-identical by construction (same Python float
+    operations in the same order as ``analyse``).
+    """
+    if not numpy_enabled():
+        return False
+    return os.environ.get(NO_BATCH_ENV, "") in ("", "0")
 
 
 def kernel_tier() -> str:
@@ -241,3 +276,101 @@ def pdc_schedulable(periods, deadlines, wcets, max_points: int) -> bool:
     if (horizon / float(periods.min())) * periods.size > max_points:
         return False  # intractable horizon: reject conservatively
     return demand_satisfied(periods, deadlines, wcets, horizon)
+
+
+def dbf_batch_multi(periods2d, deadlines2d, wcets2d, instants, set_idx):
+    """``dbf`` over *many task sets at once*: demand of set ``set_idx[k]``
+    at instant ``instants[k]``.
+
+    ``periods2d``/``deadlines2d``/``wcets2d`` are ``(n_sets, width)``
+    arrays padded to a common width; padding columns must carry
+    ``wcet = 0`` (their job counts are computed but contribute no demand)
+    and positive periods/deadlines so the quotients stay finite.  This is
+    the demand evaluator behind :func:`pdc_schedulable_multi`: one call
+    sweeps the concatenated check instants of a whole acceptance sweep.
+    """
+    obs_metrics.observe("analysis.kernels.dbf_batch_multi.points", len(instants))
+    out = np.empty(len(instants))
+    for start in range(0, len(instants), _CHUNK):
+        ts = instants[start : start + _CHUNK]
+        rows = set_idx[start : start + _CHUNK]
+        quotients = (ts[:, None] - deadlines2d[rows]) / periods2d[rows]
+        jobs = _floor_eps(quotients) + 1.0
+        np.clip(jobs, 0.0, None, out=jobs)
+        out[start : start + _CHUNK] = np.einsum("ij,ij->i", jobs, wcets2d[rows])
+    return out
+
+
+def pdc_schedulable_multi(sets, max_points: int):
+    """Processor-demand verdicts for many task sets in one stacked sweep.
+
+    ``sets`` is a sequence of ``(periods, deadlines, wcets)`` array
+    triples, one per task set, each under the same contract as
+    :func:`pdc_schedulable` (zero-wcet entries already filtered out; the
+    sets may be ragged — any sizes, including empty).  Returns a boolean
+    array of per-set verdicts.
+
+    The per-set preamble (utilization bound, testing horizon, point-count
+    bail-out) runs with exactly the float operations of
+    :func:`pdc_schedulable`; sets it cannot decide are stacked into padded
+    2-D arrays and their deadline points concatenated (tagged with a row
+    index) so the whole sweep goes through :func:`dbf_batch_multi` in
+    cache-sized chunks, with an early exit once every surviving set has
+    been refuted.
+    """
+    n_sets = len(sets)
+    verdicts = np.ones(n_sets, dtype=bool)
+    undecided: list[tuple[int, float]] = []
+    for s, (periods, deadlines, wcets) in enumerate(sets):
+        if periods.size == 0:
+            continue  # vacuously schedulable
+        util_each = wcets / periods
+        total = float(util_each.sum())
+        if total > 1.0 + UTIL_EPS:
+            verdicts[s] = False
+            continue
+        d_max = float(deadlines.max())
+        if total >= 1.0:
+            span = float(periods.max()) + d_max
+            horizon = max(d_max, 2.0 * span * periods.size)
+        else:
+            la = float(((periods - deadlines) * util_each).sum())
+            horizon = max(d_max, max(la, 0.0) / (1.0 - total))
+        if (horizon / float(periods.min())) * periods.size > max_points:
+            verdicts[s] = False  # intractable horizon: reject conservatively
+            continue
+        undecided.append((s, horizon))
+    if not undecided:
+        return verdicts
+    width = max(sets[s][0].size for s, _ in undecided)
+    periods2d = np.ones((len(undecided), width))
+    deadlines2d = np.ones((len(undecided), width))
+    wcets2d = np.zeros((len(undecided), width))
+    points_parts: list = []
+    idx_parts: list = []
+    rows = np.empty(len(undecided), dtype=int)
+    for row, (s, horizon) in enumerate(undecided):
+        periods, deadlines, wcets = sets[s]
+        periods2d[row, : periods.size] = periods
+        deadlines2d[row, : deadlines.size] = deadlines
+        wcets2d[row, : wcets.size] = wcets
+        rows[row] = s
+        points = deadline_points(periods, deadlines, horizon)
+        points_parts.append(points)
+        idx_parts.append(np.full(points.size, row, dtype=int))
+    points = np.concatenate(points_parts)
+    set_idx = np.concatenate(idx_parts)
+    obs_metrics.observe("analysis.kernels.multi_sweep.points", len(points))
+    alive = np.ones(len(undecided), dtype=bool)
+    for start in range(0, len(points), _CHUNK):
+        ts = points[start : start + _CHUNK]
+        chunk_rows = set_idx[start : start + _CHUNK]
+        demands = dbf_batch_multi(periods2d, deadlines2d, wcets2d, ts, chunk_rows)
+        slack = REL_EPS * np.maximum(1.0, np.maximum(np.abs(demands), np.abs(ts)))
+        violated = demands > ts + slack
+        if violated.any():
+            alive[chunk_rows[violated]] = False
+            if not alive.any():
+                break
+    verdicts[rows[~alive]] = False
+    return verdicts

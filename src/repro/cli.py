@@ -156,8 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "task-set JSON to check (for 'lint'), experiment name "
             "(for 'campaign': fig1, fig2, fig3, tables, validation, "
-            "multicore), or "
-            "trace file (for 'stats')"
+            "multicore), "
+            "trace file (for 'stats'), or "
+            "bench report (for 'bench --check')"
         ),
     )
     parser.add_argument(
@@ -168,7 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--check", action="store_true",
         help="stats: validate the trace against the schema instead of "
-             "aggregating it (exit 0 valid, 2 problems)",
+             "aggregating it (exit 0 valid, 2 problems); "
+             "bench: validate an existing BENCH_*.json report against the "
+             "schema and the committed floors instead of measuring "
+             "(exit 0 valid, 1 problems)",
     )
     parser.add_argument(
         "--resume", action="store_true",
@@ -686,7 +690,36 @@ def _run_stats(args: argparse.Namespace) -> int:
 
 
 def _run_bench(args: argparse.Namespace) -> int:
-    from repro.perf import render_report, run_benchmarks, write_report
+    from repro.perf import (
+        SCHEMA,
+        check_report,
+        render_report,
+        run_benchmarks,
+        write_report,
+    )
+
+    if args.check:
+        import json
+
+        if args.path is None:
+            return _fail(
+                "'bench --check' needs a report file: "
+                "ftmc bench --check BENCH.json"
+            )
+        try:
+            with open(args.path, "r", encoding="utf-8") as handle:
+                report = json.load(handle)
+        except OSError as exc:
+            return _fail(f"cannot read {args.path}: {exc.strerror or exc}")
+        except ValueError as exc:
+            return _fail(f"{args.path}: not valid JSON ({exc})")
+        problems = check_report(report)
+        if problems:
+            for problem in problems:
+                print(f"{args.path}: {problem}", file=sys.stderr)
+            return 1
+        print(f"{args.path}: valid {SCHEMA} report, all floors hold")
+        return 0
 
     report = run_benchmarks(quick=args.quick, seed=args.seed)
     print(render_report(report))

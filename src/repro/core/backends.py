@@ -20,6 +20,8 @@ from __future__ import annotations
 import abc
 import math
 
+from typing import Callable, Sequence
+
 from repro.analysis import kernels
 from repro.analysis.amc import amc_rtb_schedulable
 from repro.analysis.amc_max import amc_max_schedulable
@@ -30,7 +32,17 @@ from repro.analysis.edf_vd_degradation import (
     edf_vd_degradation_schedulable,
     edf_vd_degradation_utilization,
 )
+from repro.analysis.edf import (
+    edf_processor_demand_test_batch,
+    edf_schedulable,
+    inflated_workload,
+)
+from repro.analysis.tolerance import utilization_exceeds
+from repro.core import shared_cache
+from repro.model.criticality import CriticalityRole
+from repro.model.faults import AdaptationProfile, ReexecutionProfile
 from repro.model.mc_task import MCTaskSet
+from repro.model.task import TaskSet
 from repro.obs import metrics as obs_metrics
 
 __all__ = [
@@ -46,6 +58,7 @@ __all__ = [
     "make_backend",
     "clear_schedulability_cache",
     "schedulability_cache_info",
+    "baseline_schedulable_series",
 ]
 
 
@@ -65,26 +78,144 @@ _CACHE_LIMIT: int = 65536
 _cache_hits: int = 0
 _cache_misses: int = 0
 _cache_evictions: int = 0
+_shared_hits: int = 0
 
 
 def clear_schedulability_cache() -> None:
     """Drop every memoized verdict (and reset the cache counters)."""
-    global _cache_hits, _cache_misses, _cache_evictions
+    global _cache_hits, _cache_misses, _cache_evictions, _shared_hits
     _schedulability_cache.clear()
     _cache_hits = 0
     _cache_misses = 0
     _cache_evictions = 0
+    _shared_hits = 0
 
 
 def schedulability_cache_info() -> dict[str, int]:
-    """Counters for diagnostics, ``ftmc bench`` and the serve endpoints."""
+    """Counters for diagnostics, ``ftmc bench`` and the serve endpoints.
+
+    ``shared_hits`` counts verdicts this process adopted from the
+    campaign-wide :mod:`repro.core.shared_cache` segment instead of
+    recomputing (always 0 when no campaign cache is announced).
+    """
     return {
         "entries": len(_schedulability_cache),
         "limit": _CACHE_LIMIT,
         "hits": _cache_hits,
         "misses": _cache_misses,
         "evictions": _cache_evictions,
+        "shared_hits": _shared_hits,
     }
+
+
+def _cached_verdict(key: tuple, compute: Callable[[], bool]) -> bool:
+    """Route one verdict through the local LRU and the shared campaign cache.
+
+    Probe order: local memo (pop-and-reinsert refreshes recency), then the
+    cross-process segment of :mod:`repro.core.shared_cache` (present only
+    inside parallel campaigns), then ``compute()``.  Freshly computed
+    verdicts are published to both layers; shared hits are inserted into
+    the local memo so each process pays the (cheap, but syscall-free is
+    better) shared probe at most once per key.  Adopting a sibling
+    worker's verdict is sound for the same reason the local memo is: a
+    verdict is a deterministic function of the key, which embeds the
+    backend signature, the kernel tier and the full analysed parameters.
+    """
+    verdict = _probe_cached(key)
+    if verdict is not None:
+        return verdict
+    verdict = compute()
+    _store_verdict(key, verdict, publish=True)
+    return verdict
+
+
+def _probe_cached(key: tuple) -> bool | None:
+    """Probe both cache layers; a shared hit is adopted into the local memo."""
+    global _cache_hits, _cache_misses, _shared_hits
+    try:
+        # Pop-and-reinsert marks the entry most-recently-used.
+        verdict = _schedulability_cache.pop(key)
+        _schedulability_cache[key] = verdict
+        _cache_hits += 1
+        obs_metrics.inc("core.sched_cache.hits")
+        return verdict
+    except KeyError:
+        _cache_misses += 1
+        obs_metrics.inc("core.sched_cache.misses")
+    shared = shared_cache.probe(repr(key).encode())
+    if shared is None:
+        return None
+    _shared_hits += 1
+    obs_metrics.inc("core.sched_cache.shared_hits")
+    _store_verdict(key, shared, publish=False)
+    return shared
+
+
+def _store_verdict(key: tuple, verdict: bool, publish: bool) -> None:
+    """Insert into the local LRU; optionally announce to the campaign cache."""
+    global _cache_evictions
+    if publish:
+        shared_cache.publish(repr(key).encode(), verdict)
+    while len(_schedulability_cache) >= _CACHE_LIMIT:
+        _schedulability_cache.pop(next(iter(_schedulability_cache)))
+        _cache_evictions += 1
+        obs_metrics.inc("core.sched_cache.evictions")
+    _schedulability_cache[key] = verdict
+
+
+def baseline_schedulable_series(
+    tasksets: Sequence[TaskSet],
+    reexecutions: Sequence[ReexecutionProfile],
+) -> list[bool]:
+    """The no-adaptation baseline over a whole sweep, through the caches.
+
+    Cached sweep form of
+    :func:`repro.analysis.edf.schedulable_without_adaptation`: each set's
+    verdict is keyed by its *inflated workload* (the ``n_i``-budgeted
+    WCETs plus deadline and period per task), the kernel tier and a
+    baseline marker — nothing panel- or mechanism-specific.  That makes
+    the entries shareable wherever different sweeps analyse identical
+    generated sets with equal re-execution profiles, which is exactly the
+    fig3 overlap (panels at equal failure probability and grid point
+    re-generate the same sets, and the profile pairs coincide across
+    same-LO-level panels).  Misses that need the processor-demand
+    criterion are deferred into one
+    :func:`~repro.analysis.edf.edf_processor_demand_test_batch` call;
+    empty and implicit-deadline workloads keep the scalar dispatch of
+    :func:`~repro.analysis.edf.edf_schedulable` verbatim.
+    """
+    tier = kernels.kernel_tier()
+    verdicts: list[bool | None] = []
+    pending: list[tuple[int, tuple, list]] = []
+    for taskset, reexecution in zip(tasksets, reexecutions):
+        workload = inflated_workload(taskset, reexecution)
+        key = (
+            "edf.baseline",
+            tier,
+            tuple((w.wcet, w.deadline, w.period) for w in workload),
+        )
+        cached = _probe_cached(key)
+        if cached is not None:
+            verdicts.append(cached)
+            continue
+        needs_pdc = workload and not all(
+            math.isclose(w.deadline, w.period) for w in workload
+        )
+        if needs_pdc and kernels.batch_enabled():
+            pending.append((len(verdicts), key, workload))
+            verdicts.append(None)
+            continue
+        verdict = edf_schedulable(workload)
+        _store_verdict(key, verdict, publish=True)
+        verdicts.append(verdict)
+    if pending:
+        batch = edf_processor_demand_test_batch(
+            [workload for _, _, workload in pending]
+        )
+        for (index, key, _), verdict in zip(pending, batch):
+            _store_verdict(key, verdict, publish=True)
+            verdicts[index] = verdict
+    return [bool(v) for v in verdicts]
 
 
 class SchedulerBackend(abc.ABC):
@@ -124,27 +255,40 @@ class SchedulerBackend(abc.ABC):
         ``REPRO_NO_NUMPY`` is read at call time, so within one resident
         process a verdict computed under one tier must never be replayed
         as the other tier's answer — conflating them would defeat the
-        toggle as an equivalence diagnostic.
+        toggle as an equivalence diagnostic.  Inside a parallel campaign
+        the same key is additionally probed against (and published to) the
+        cross-process segment of :mod:`repro.core.shared_cache`, so
+        sibling workers that converge on the same converted set share one
+        computation.
         """
-        global _cache_hits, _cache_misses, _cache_evictions
         key = (self.cache_signature, kernels.kernel_tier(), mc.cache_key())
-        try:
-            # Pop-and-reinsert marks the entry most-recently-used.
-            verdict = _schedulability_cache.pop(key)
-            _schedulability_cache[key] = verdict
-            _cache_hits += 1
-            obs_metrics.inc("core.sched_cache.hits")
-            return verdict
-        except KeyError:
-            _cache_misses += 1
-            obs_metrics.inc("core.sched_cache.misses")
-        verdict = self.is_schedulable(mc)
-        while len(_schedulability_cache) >= _CACHE_LIMIT:
-            _schedulability_cache.pop(next(iter(_schedulability_cache)))
-            _cache_evictions += 1
-            obs_metrics.inc("core.sched_cache.evictions")
-        _schedulability_cache[key] = verdict
-        return verdict
+        return _cached_verdict(key, lambda: self.is_schedulable(mc))
+
+    def schedulable_uniform_series(
+        self,
+        taskset: TaskSet,
+        n_hi: int,
+        n_lo: int,
+        n_primes: Sequence[int],
+    ) -> list[bool] | None:
+        """Verdict ``Gamma(n_hi, n_lo, n')`` for every ``n'``, analytically.
+
+        Sweep-batch hook for line 8 of Algorithm 1: backends whose test is
+        a closed-form function of the criticality utilizations can verdict
+        a whole candidate series without materialising the converted
+        :class:`~repro.model.mc_task.MCTaskSet` objects.  Implementations
+        must return verdicts aligned with ``n_primes`` that are
+        *bit-identical* to ``is_schedulable_cached(convert_uniform(...))``
+        per candidate — including raising the same validation errors — and
+        must route every candidate through :func:`_cached_verdict` under
+        the exact key the converted set would have produced, so the local
+        and shared caches stay coherent across the fast and generic paths.
+
+        The base implementation returns ``None`` ("no fast path"), which
+        makes :func:`repro.core.profiles.maximal_adaptation_profile` fall
+        back to the conversion-based scan.
+        """
+        return None
 
     def utilization_metric(self, mc: MCTaskSet) -> float:
         """``U_MC`` when the backend defines one; ``nan`` otherwise.
@@ -163,6 +307,88 @@ class SchedulerBackend(abc.ABC):
         return f"<{type(self).__name__} {self.name}>"
 
 
+def _edf_vd_uniform_series(
+    backend: SchedulerBackend,
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    n_primes: Sequence[int],
+    degradation_factor: float | None,
+) -> list[bool]:
+    """Analytic uniform-series verdicts for the EDF-VD family.
+
+    Mirrors, expression by expression, the composition of
+    :func:`repro.core.conversion.convert_uniform_series` with
+    :func:`repro.analysis.edf_vd.analyse` (``degradation_factor is None``)
+    or :func:`repro.analysis.edf_vd_degradation.analyse`: the converted
+    budgets are ``n' * C`` / ``n_hi * C`` for HI tasks and ``n_lo * C``
+    for LO tasks, so the criticality utilizations are plain Python sums of
+    ``(n * wcet) / period`` in task order — evaluated here with the same
+    float operations in the same order as the materialised path, making
+    the verdicts (and the cache keys they are stored under) bit-identical.
+    ``U_LO^LO`` and ``U_HI^HI`` are candidate-independent and hoisted out
+    of the scan; only ``U_HI^LO`` is recomputed per ``n'``.
+    """
+    n_primes = list(n_primes)
+    if not n_primes:
+        return []
+    # Same validation, in the same order, as convert_uniform_series.
+    reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+    AdaptationProfile.uniform(taskset, max(n_primes)).validate_for(
+        taskset, reexecution
+    )
+    if min(n_primes) < 1:
+        raise ValueError(
+            f"adaptation profile must be at least 1, got {min(n_primes)}"
+        )
+    # analyse() would reject the first converted candidate; fail up front.
+    if not all(math.isclose(t.deadline, t.period) for t in taskset):
+        raise ValueError("EDF-VD analysis requires implicit deadlines")
+    hi_tasks = taskset.hi_tasks
+    lo_tasks = taskset.lo_tasks
+    u_lo_lo = sum((n_lo * t.wcet) / t.period for t in lo_tasks)
+    u_hi_hi = sum((n_hi * t.wcet) / t.period for t in hi_tasks)
+    tier = kernels.kernel_tier()
+    signature = backend.cache_signature
+
+    def verdict_at(n_prime: int) -> bool:
+        u_hi_lo = sum((n_prime * t.wcet) / t.period for t in hi_tasks)
+        lo_mode = u_hi_lo + u_lo_lo
+        if u_lo_lo >= 1.0:
+            hi_mode = math.inf
+        elif degradation_factor is None:
+            x = u_hi_lo / (1.0 - u_lo_lo)
+            hi_mode = u_hi_hi + x * u_lo_lo
+        else:
+            lam = u_hi_lo / (1.0 - u_lo_lo)
+            if lam >= 1.0:
+                hi_mode = math.inf
+            else:
+                hi_mode = u_hi_hi / (1.0 - lam) + u_lo_lo / (
+                    degradation_factor - 1.0
+                )
+        return not utilization_exceeds(max(lo_mode, hi_mode))
+
+    verdicts = []
+    for n_prime in n_primes:
+        # The key the converted set would have produced: MCTaskSet.cache_key()
+        # is (T, D, C(LO), C(HI), chi) per task in original order, with the
+        # budgets exactly as convert() computes them.
+        mc_key = tuple(
+            (t.period, t.deadline, n_prime * t.wcet, n_hi * t.wcet,
+             CriticalityRole.HI)
+            if t.criticality is CriticalityRole.HI
+            else (t.period, t.deadline, n_lo * t.wcet, n_lo * t.wcet,
+                  CriticalityRole.LO)
+            for t in taskset
+        )
+        key = (signature, tier, mc_key)
+        verdicts.append(
+            _cached_verdict(key, lambda n=n_prime: verdict_at(n))
+        )
+    return verdicts
+
+
 class EDFVDBackend(SchedulerBackend):
     """EDF-VD with task killing [Baruah et al. 2012] — Appendix B.0.1.
 
@@ -175,6 +401,17 @@ class EDFVDBackend(SchedulerBackend):
 
     def is_schedulable(self, mc: MCTaskSet) -> bool:
         return edf_vd_schedulable(mc)
+
+    def schedulable_uniform_series(
+        self,
+        taskset: TaskSet,
+        n_hi: int,
+        n_lo: int,
+        n_primes: Sequence[int],
+    ) -> list[bool] | None:
+        return _edf_vd_uniform_series(
+            self, taskset, n_hi, n_lo, n_primes, None
+        )
 
     def utilization_metric(self, mc: MCTaskSet) -> float:
         return edf_vd_utilization(mc)
@@ -215,6 +452,17 @@ class EDFVDDegradationBackend(SchedulerBackend):
 
     def utilization_metric(self, mc: MCTaskSet) -> float:
         return edf_vd_degradation_utilization(mc, self._df)
+
+    def schedulable_uniform_series(
+        self,
+        taskset: TaskSet,
+        n_hi: int,
+        n_lo: int,
+        n_primes: Sequence[int],
+    ) -> list[bool] | None:
+        return _edf_vd_uniform_series(
+            self, taskset, n_hi, n_lo, n_primes, self._df
+        )
 
 
 class AMCBackend(SchedulerBackend):

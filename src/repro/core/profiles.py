@@ -21,14 +21,16 @@ from __future__ import annotations
 import weakref
 from dataclasses import dataclass
 
+from repro.analysis import kernels
 from repro.core.backends import SchedulerBackend
 from repro.core.conversion import convert_uniform_series
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import AdaptationProfile, ReexecutionProfile
 from repro.model.task import TaskSet
 from repro.obs import metrics as obs_metrics
-from repro.safety.degradation import pfh_lo_degradation
-from repro.safety.killing import pfh_lo_killing
+from repro.obs.trace import register_fork_reset
+from repro.safety.degradation import pfh_lo_degradation, pfh_lo_degradation_uniform
+from repro.safety.killing import pfh_lo_killing, pfh_lo_killing_uniform
 from repro.safety.pfh import DEFAULT_MAX_REEXECUTIONS, minimal_uniform_reexecution
 
 __all__ = [
@@ -56,6 +58,9 @@ class ReexecutionProfiles:
 _reexecution_memo: "weakref.WeakKeyDictionary[TaskSet, dict]" = (
     weakref.WeakKeyDictionary()
 )
+# Fork safety (FTMCF rules): forked campaign workers must not inherit the
+# parent's memo pages — same treatment as ``killing._timing_points_cached``.
+register_fork_reset(_reexecution_memo.clear)
 
 
 def minimal_reexecution_profiles(
@@ -76,7 +81,18 @@ def minimal_reexecution_profiles(
     if taskset.spec is None:
         raise ValueError("task set has no dual-criticality spec attached")
     memo = _reexecution_memo.setdefault(taskset, {})
-    knobs = (max_n, assume_full_wcet)
+    # The spec is part of the key: rebinding a different spec to an equal
+    # set must not serve the previous spec's profile.  So is the kernel
+    # tier — the vectorized and scalar line-2 searches are only
+    # verdict-equivalent up to the tolerance contract, and a memo that
+    # conflated them would defeat the toggles as diagnostics.
+    knobs = (
+        max_n,
+        assume_full_wcet,
+        taskset.spec,
+        kernels.kernel_tier(),
+        kernels.batch_enabled(),
+    )
     if knobs in memo:
         obs_metrics.inc("core.profile_memo.hits")
         return memo[knobs]
@@ -117,17 +133,28 @@ def pfh_lo_adapted(
     Dispatches to eq. (5) (``mechanism="kill"``) or eq. (7)
     (``mechanism="degrade"``).
     """
+    if mechanism not in ("kill", "degrade"):
+        raise ValueError(f"unknown adaptation mechanism: {mechanism!r}")
+    if kernels.batch_enabled() and 1 <= n_prime <= n_hi:
+        # The uniform-candidate evaluators share one gathered context per
+        # task set and memoize each candidate, so the line-4 scan and the
+        # final evaluation at the adopted profile share the computation.
+        if mechanism == "kill":
+            return pfh_lo_killing_uniform(
+                taskset, n_hi, n_lo, n_prime, operation_hours, assume_full_wcet
+            )
+        return pfh_lo_degradation_uniform(
+            taskset, n_hi, n_lo, n_prime, operation_hours, assume_full_wcet
+        )
     reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
     adaptation = AdaptationProfile.uniform(taskset, n_prime)
     if mechanism == "kill":
         return pfh_lo_killing(
             taskset, reexecution, adaptation, operation_hours, assume_full_wcet
         )
-    if mechanism == "degrade":
-        return pfh_lo_degradation(
-            taskset, reexecution, adaptation, operation_hours, assume_full_wcet
-        )
-    raise ValueError(f"unknown adaptation mechanism: {mechanism!r}")
+    return pfh_lo_degradation(
+        taskset, reexecution, adaptation, operation_hours, assume_full_wcet
+    )
 
 
 def minimal_adaptation_profile(
@@ -150,6 +177,33 @@ def minimal_adaptation_profile(
     ceiling = taskset.spec.pfh_requirement(CriticalityRole.LO)
     if not taskset.spec.lo_is_safety_related or not taskset.lo_tasks:
         return 1
+    if kernels.batch_enabled():
+        if mechanism == "kill":
+            evaluate = pfh_lo_killing_uniform
+        elif mechanism == "degrade":
+            evaluate = pfh_lo_degradation_uniform
+        else:
+            raise ValueError(f"unknown adaptation mechanism: {mechanism!r}")
+        # Monotone pre-check (Lemmas 3.3/3.4: pfh(LO) is non-increasing in
+        # n'): when even the largest candidate misses the ceiling the whole
+        # scan is FAILURE, for the cost of one evaluation instead of n_HI.
+        # The value is memoized, so a scan that does succeed gets this
+        # evaluation back at its last candidate — and usually again at the
+        # adopted-profile evaluation of ft_schedule.
+        if (
+            evaluate(
+                taskset, n_hi, n_lo, n_hi, operation_hours, assume_full_wcet
+            )
+            >= ceiling
+        ):
+            return None
+        for n_prime in range(1, n_hi + 1):
+            value = evaluate(
+                taskset, n_hi, n_lo, n_prime, operation_hours, assume_full_wcet
+            )
+            if value < ceiling:
+                return n_prime
+        return None
     for n_prime in range(1, n_hi + 1):
         value = pfh_lo_adapted(
             taskset, n_hi, n_lo, n_prime, mechanism, operation_hours,
@@ -176,7 +230,22 @@ def maximal_adaptation_profile(
     HI budgets change with ``n'``), and the verdicts go through the
     backend's shared memo: neighbouring sweep points revisit most of the
     same ``(n_hi, n_lo, n')`` triples.
+
+    With the sweep-batch tier active, backends that implement
+    :meth:`~repro.core.backends.SchedulerBackend.schedulable_uniform_series`
+    verdict the whole candidate series analytically — no ``MCTaskSet``
+    objects are built, but every candidate still probes and populates the
+    shared verdict memo under the key the converted set would have used.
     """
+    if kernels.batch_enabled():
+        series = backend.schedulable_uniform_series(
+            taskset, n_hi, n_lo, range(n_hi, 0, -1)
+        )
+        if series is not None:
+            for n_prime, ok in zip(range(n_hi, 0, -1), series):
+                if ok:
+                    return n_prime
+            return None
     for n_prime, mc in convert_uniform_series(
         taskset, n_hi, n_lo, range(n_hi, 0, -1)
     ):

@@ -1,0 +1,257 @@
+"""Cross-process schedulability verdict cache over ``multiprocessing.shared_memory``.
+
+The per-process verdict memo in :mod:`repro.core.backends` stops helping
+the moment a campaign fans out over ``--jobs N`` workers: every process
+recomputes the verdicts of the task sets its shards happen to share with
+its siblings (the fig3 sweep literally re-generates identical sets across
+panels at equal failure probability and point index, because the panel is
+deliberately not part of the generator seed).  This module gives all
+workers of one campaign a fixed-size, fingerprint-keyed verdict table in
+shared memory.
+
+Design constraints and how they are met:
+
+- **Lock-free.**  No locks, no atomics — a slot is 16 opaque bytes.  The
+  stored value is ``blake2b(key_bytes + verdict_byte)``, so a *reader*
+  recomputes both candidate digests (verdict ``True``/``False``) and
+  infers the verdict from which one matches the slot.  A torn or
+  concurrent write matches neither digest (collision probability
+  ``2^-128``) and reads as a miss — never as a wrong verdict.  Writes are
+  last-writer-wins; verdicts are deterministic functions of the key, so
+  two writers racing on one slot write interchangeable bytes unless they
+  disagree on the key, in which case the loser's entry is simply evicted.
+- **Fixed-slot, no eviction scan.**  The slot index is the key digest
+  modulo the slot count; colliding keys overwrite each other (a lossy
+  cache is fine — the backend memo in front of it absorbs re-misses).
+- **Fork-reset aware.**  The per-process attachment is lazy (resolved
+  from :data:`ENV_VAR` on first probe) and registered with
+  :func:`repro.obs.trace.register_fork_reset`, so forked workers drop the
+  inherited mapping and re-attach by name; the shared *data* is never
+  cleared by a fork.
+- **Fail-open.**  Any failure to create, attach or touch the segment
+  disables the cache for the calling process; analyses never fail because
+  the cache did.
+
+The hit/store counters live in the segment header and are updated with
+racy read-modify-write cycles: lossy under contention, but monotone and
+never reset to zero by a race — sufficient for the parallel-smoke
+assertion that a multi-worker campaign actually shared verdicts.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from hashlib import blake2b
+
+from repro.obs.trace import register_fork_reset
+
+try:  # pragma: no cover - absent on some minimal platforms
+    from multiprocessing import resource_tracker, shared_memory
+except ImportError:  # pragma: no cover
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+
+__all__ = [
+    "ENV_VAR",
+    "DEFAULT_SLOTS",
+    "SharedVerdictCache",
+    "active_cache",
+    "probe",
+    "publish",
+    "stats",
+]
+
+#: Environment variable carrying the shared-memory segment name; set by the
+#: campaign supervisor before executors start so both forked and spawned
+#: workers inherit it.
+ENV_VAR: str = "REPRO_SHARED_CACHE"
+
+#: Default slot count: 64 Ki slots x 16 bytes = 1 MiB per campaign.
+DEFAULT_SLOTS: int = 1 << 16
+
+_DIGEST_SIZE: int = 16
+_MAGIC: bytes = b"FTMCSHC1"
+_HEADER = struct.Struct("<8sQQQ")  # magic, nslots, hits, stores
+_HITS_OFFSET: int = 16
+_STORES_OFFSET: int = 24
+
+
+class SharedVerdictCache:
+    """One campaign's shared verdict table (see the module docstring)."""
+
+    def __init__(self, shm, nslots: int, owner: bool) -> None:
+        self._shm = shm
+        self._nslots = nslots
+        self._owner = owner
+
+    @classmethod
+    def create(cls, nslots: int = DEFAULT_SLOTS) -> "SharedVerdictCache":
+        """Allocate a fresh zeroed segment (supervisor side)."""
+        if shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        if nslots < 1:
+            raise ValueError(f"slot count must be positive, got {nslots}")
+        size = _HEADER.size + nslots * _DIGEST_SIZE
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        _HEADER.pack_into(shm.buf, 0, _MAGIC, nslots, 0, 0)
+        return cls(shm, nslots, owner=True)
+
+    @classmethod
+    def attach(cls, name: str) -> "SharedVerdictCache":
+        """Map an existing segment by name (worker side)."""
+        if shared_memory is None:
+            raise RuntimeError("multiprocessing.shared_memory unavailable")
+        # CPython's resource tracker registers *attachments* too and would
+        # unlink the segment when this worker exits, yanking it from under
+        # the supervisor and its siblings; worse, forked workers share the
+        # parent's tracker process, where an after-the-fact unregister
+        # would also erase the creator's legitimate registration (names
+        # are a set there) and turn the final unlink into tracker noise.
+        # So suppress the registration during construction instead
+        # (equivalent to 3.13's ``track=False``).  Ownership stays with
+        # the creator.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original_register
+        magic, nslots, _, _ = _HEADER.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            shm.close()
+            raise ValueError(f"segment {name!r} is not a verdict cache")
+        return cls(shm, int(nslots), owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nslots(self) -> int:
+        return self._nslots
+
+    def _slot_offset(self, payload: bytes) -> int:
+        digest = blake2b(payload, digest_size=8).digest()
+        slot = int.from_bytes(digest, "little") % self._nslots
+        return _HEADER.size + slot * _DIGEST_SIZE
+
+    @staticmethod
+    def _fingerprints(payload: bytes) -> tuple[bytes, bytes]:
+        true_digest = blake2b(payload + b"\x01", digest_size=_DIGEST_SIZE).digest()
+        false_digest = blake2b(payload + b"\x00", digest_size=_DIGEST_SIZE).digest()
+        return true_digest, false_digest
+
+    def _bump(self, offset: int) -> None:
+        value = struct.unpack_from("<Q", self._shm.buf, offset)[0]
+        struct.pack_into("<Q", self._shm.buf, offset, (value + 1) & (2**64 - 1))
+
+    def probe(self, payload: bytes) -> bool | None:
+        """The published verdict for ``payload``, or ``None`` on a miss."""
+        offset = self._slot_offset(payload)
+        stored = bytes(self._shm.buf[offset : offset + _DIGEST_SIZE])
+        true_digest, false_digest = self._fingerprints(payload)
+        if stored == true_digest:
+            verdict = True
+        elif stored == false_digest:
+            verdict = False
+        else:
+            return None
+        self._bump(_HITS_OFFSET)
+        return verdict
+
+    def publish(self, payload: bytes, verdict: bool) -> None:
+        """Store ``verdict`` for ``payload`` (last writer wins)."""
+        true_digest, false_digest = self._fingerprints(payload)
+        offset = self._slot_offset(payload)
+        self._shm.buf[offset : offset + _DIGEST_SIZE] = (
+            true_digest if verdict else false_digest
+        )
+        self._bump(_STORES_OFFSET)
+
+    def stats(self) -> dict[str, int]:
+        """Shared (cross-process, racy-but-monotone) counters."""
+        _, _, hits, stores = _HEADER.unpack_from(self._shm.buf, 0)
+        return {"slots": self._nslots, "hits": int(hits), "stores": int(stores)}
+
+    def close(self) -> None:
+        """Unmap this process's view (the segment itself survives)."""
+        try:
+            self._shm.close()
+        except Exception:  # pragma: no cover - double close after fork
+            pass
+
+    def destroy(self) -> None:
+        """Unmap and unlink the segment (creator side, end of campaign)."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - already gone
+                pass
+
+
+# -- lazy per-process attachment (what the backends talk to) -------------------
+
+#: ``False`` = not yet resolved; ``None`` = resolved to "no cache";
+#: otherwise the live attachment.
+_attached: "SharedVerdictCache | None | bool" = False
+
+
+def _reset_attachment() -> None:
+    """Drop the (possibly fork-inherited) attachment; re-resolve lazily."""
+    global _attached
+    if isinstance(_attached, SharedVerdictCache):
+        _attached.close()
+    _attached = False
+
+
+register_fork_reset(_reset_attachment)
+
+
+def active_cache() -> SharedVerdictCache | None:
+    """The process's attachment to the campaign cache, if one is announced."""
+    global _attached
+    if _attached is False:
+        name = os.environ.get(ENV_VAR, "")
+        if not name:
+            _attached = None
+        else:
+            try:
+                _attached = SharedVerdictCache.attach(name)
+            except Exception:
+                _attached = None  # fail-open: run uncached
+    return _attached if isinstance(_attached, SharedVerdictCache) else None
+
+
+def probe(payload: bytes) -> bool | None:
+    """Probe the campaign cache; ``None`` when absent, missing or failing."""
+    cache = active_cache()
+    if cache is None:
+        return None
+    try:
+        return cache.probe(payload)
+    except Exception:  # pragma: no cover - segment vanished mid-run
+        return None
+
+
+def publish(payload: bytes, verdict: bool) -> None:
+    """Publish a verdict to the campaign cache; silently a no-op without one."""
+    cache = active_cache()
+    if cache is None:
+        return
+    try:
+        cache.publish(payload, verdict)
+    except Exception:  # pragma: no cover - segment vanished mid-run
+        pass
+
+
+def stats() -> dict[str, int] | None:
+    """Shared counters of the attached cache, or ``None`` without one."""
+    cache = active_cache()
+    if cache is None:
+        return None
+    try:
+        return cache.stats()
+    except Exception:  # pragma: no cover
+        return None

@@ -29,7 +29,9 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.analysis import kernels
 from repro.analysis.edf import schedulable_without_adaptation
+from repro.core.backends import baseline_schedulable_series
 from repro.core.ftmc import ft_edf_vd, ft_edf_vd_degradation
 from repro.core.profiles import minimal_reexecution_profiles
 from repro.experiments.ascii_chart import line_chart
@@ -115,6 +117,47 @@ def _accept(taskset, mechanism: str) -> tuple[bool, bool]:
     return False, fts.success
 
 
+def _accept_batch(tasksets, mechanism: str) -> list[tuple[bool, bool]]:
+    """:func:`_accept` over one sweep point's whole set list (batch tier).
+
+    Same verdicts in the same per-set order, but the no-adaptation
+    baselines of every eligible set travel together through
+    :func:`~repro.core.backends.baseline_schedulable_series` — one stacked
+    processor-demand sweep for constrained-deadline generators, plus the
+    campaign's cross-process verdict cache for the sets fig3 re-generates
+    across panels.  FT-S still runs per set (only where the baseline
+    failed), on the batch-tier profile searches.
+    """
+    profiles = [minimal_reexecution_profiles(ts) for ts in tasksets]
+    eligible = [
+        (index, taskset, prof)
+        for index, (taskset, prof) in enumerate(zip(tasksets, profiles))
+        if prof is not None
+    ]
+    baselines = baseline_schedulable_series(
+        [taskset for _, taskset, _ in eligible],
+        [
+            ReexecutionProfile.uniform(taskset, prof.n_hi, prof.n_lo)
+            for _, taskset, prof in eligible
+        ],
+    )
+    results = [(False, False)] * len(tasksets)
+    for (index, taskset, _), baseline in zip(eligible, baselines):
+        if baseline:
+            results[index] = (True, True)
+            continue
+        if mechanism == "kill":
+            fts = ft_edf_vd(taskset, operation_hours=FIG3_OPERATION_HOURS)
+        else:
+            fts = ft_edf_vd_degradation(
+                taskset,
+                FIG3_DEGRADATION_FACTOR,
+                operation_hours=FIG3_OPERATION_HOURS,
+            )
+        results[index] = (False, fts.success)
+    return results
+
+
 def fig3_point(
     panel: PanelConfig,
     failure_probability: float,
@@ -141,12 +184,19 @@ def fig3_point(
         utilization=utilization,
         sets=sets_per_point,
     ):
+        tasksets = []
         for set_index in range(sets_per_point):
             rng = np.random.default_rng(
                 [seed, point_index, set_index, int(failure_probability * 1e9)]
             )
-            taskset = generate_taskset(utilization, panel.spec, rng, config)
-            base, adapted = _accept(taskset, panel.mechanism)
+            tasksets.append(
+                generate_taskset(utilization, panel.spec, rng, config)
+            )
+        if kernels.batch_enabled():
+            accepts = _accept_batch(tasksets, panel.mechanism)
+        else:
+            accepts = [_accept(ts, panel.mechanism) for ts in tasksets]
+        for base, adapted in accepts:
             baseline_ok += base
             adapted_ok += adapted
         obs_metrics.inc("experiments.fig3.sets", sets_per_point)

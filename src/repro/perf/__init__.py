@@ -8,7 +8,9 @@ a ``BENCH_<date>.json`` artifact (see ``docs/performance.md``).
 from repro.perf.bench import (
     PLAN_FLOORS,
     QPS_FLOORS,
+    SCHEMA,
     SPEEDUP_FLOORS,
+    check_report,
     render_report,
     run_benchmarks,
     write_report,
@@ -17,7 +19,9 @@ from repro.perf.bench import (
 __all__ = [
     "PLAN_FLOORS",
     "QPS_FLOORS",
+    "SCHEMA",
     "SPEEDUP_FLOORS",
+    "check_report",
     "render_report",
     "run_benchmarks",
     "write_report",

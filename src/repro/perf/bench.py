@@ -4,7 +4,10 @@ The suite pits the optimized implementations (NumPy kernels of
 :mod:`repro.analysis.kernels` plus the schedulability caching of
 :mod:`repro.core.backends`) against the scalar reference paths, in one
 process, by toggling ``REPRO_NO_NUMPY`` between measurements — the same
-escape hatch users have.  Three kinds of numbers are recorded:
+escape hatch users have.  The sweep-level subjects (``fig3_sweep``,
+``profile_search_batch``) pair against ``REPRO_NO_BATCH`` instead, so
+their ratios isolate the cross-task-set batch tier from the per-set
+NumPy win.  Three kinds of numbers are recorded:
 
 - **kernels**: ns/op of the individual demand-bound primitives
   (``demand_bound_function``, ``dbf_batch``, the PDC, QPA);
@@ -56,8 +59,17 @@ from repro.core.backends import (
 )
 from repro.core.backends import make_backend
 from repro.core.conversion import convert_uniform
+from repro.core.profiles import (
+    maximal_adaptation_profile,
+    minimal_adaptation_profile,
+    minimal_reexecution_profiles,
+)
 from repro.experiments.fig1 import run_fig1
-from repro.experiments.fig3 import FIG3_PANELS, fig3_point
+from repro.experiments.fig3 import (
+    FIG3_OPERATION_HOURS,
+    FIG3_PANELS,
+    fig3_point,
+)
 from repro.gen.taskset import PAPER_CONFIG, GeneratorConfig, generate_taskset
 from repro.io import atomic_write_json
 from repro.model.criticality import DualCriticalitySpec
@@ -70,6 +82,7 @@ __all__ = [
     "QPS_FLOORS",
     "SCHEMA",
     "SPEEDUP_FLOORS",
+    "check_report",
     "render_report",
     "run_benchmarks",
     "write_report",
@@ -88,6 +101,10 @@ MIN_TIME_ENV: str = "FTMC_BENCH_MIN_TIME_MS"
 SPEEDUP_FLOORS: dict[str, float] = {
     "dbf_mc_analyse": 3.0,
     "fig3_point": 2.0,
+    "fig3_sweep": 3.0,
+    # The quick-mode corpus is tiny and set generation (common to both
+    # variants) dilutes the ratio; full-shape runs measure ~2.5x.
+    "profile_search_batch": 1.3,
     "campaign_jobs4": 2.0,
 }
 
@@ -149,6 +166,26 @@ def _scalar_reference() -> Iterator[None]:
             del os.environ[kernels.NO_NUMPY_ENV]
         else:
             os.environ[kernels.NO_NUMPY_ENV] = previous
+
+
+@contextmanager
+def _per_set_reference() -> Iterator[None]:
+    """Disable only the sweep-batch tier for the duration of the block.
+
+    The per-set NumPy kernels stay on, so a pair measured against this
+    reference isolates the cross-task-set batching win (stacked PDC
+    sweeps, uniform-series profile scans, the breakpoint pfh evaluator)
+    from the scalar-vs-NumPy win that :func:`_scalar_reference` prices.
+    """
+    previous = os.environ.get(kernels.NO_BATCH_ENV)
+    os.environ[kernels.NO_BATCH_ENV] = "1"
+    try:
+        yield
+    finally:
+        if previous is None:
+            del os.environ[kernels.NO_BATCH_ENV]
+        else:
+            os.environ[kernels.NO_BATCH_ENV] = previous
 
 
 def _fresh(fn: Callable[[], object]) -> Callable[[], object]:
@@ -279,6 +316,79 @@ def run_benchmarks(quick: bool = False, seed: int = 0) -> dict:
         "sets_per_point": sets,
     }
     report["speedups"]["fig3_point"] = ref["ns_per_op"] / opt["ns_per_op"]
+
+    # --- end-to-end: a Fig. 3 mini-sweep, batch tier vs per-set ---------
+    # Multiple panels x utilizations in one process, the shape a campaign
+    # shard sequence takes.  The reference keeps the per-set NumPy kernels
+    # (``REPRO_NO_BATCH``), so the ratio prices exactly what the sweep
+    # batch tier adds: stacked baseline PDC sweeps, the uniform-series
+    # line-8 scan, and the breakpoint pfh(LO) evaluator with its monotone
+    # line-4 pre-check.
+    sweep_sets = 3 if quick else 8
+    sweep_panels = ("a", "b") if quick else ("a", "b", "c", "d")
+    sweep_points = (0.70, 0.90)
+
+    def sweep() -> None:
+        for key in sweep_panels:
+            for point_index, utilization in enumerate(sweep_points):
+                fig3_point(
+                    FIG3_PANELS[key],
+                    failure_probability=1e-3,
+                    point_index=point_index,
+                    utilization=utilization,
+                    sets_per_point=sweep_sets,
+                    seed=seed,
+                )
+
+    sweep_shape = {
+        "panels": len(sweep_panels),
+        "points_per_panel": len(sweep_points),
+        "sets_per_point": sweep_sets,
+    }
+    opt = _measure(_fresh(sweep), budget)
+    with _per_set_reference():
+        ref = _measure(_fresh(sweep), budget)
+    report["end_to_end"]["fig3_sweep"] = {**opt, **sweep_shape}
+    report["end_to_end"]["fig3_sweep_per_set"] = {**ref, **sweep_shape}
+    report["speedups"]["fig3_sweep"] = ref["ns_per_op"] / opt["ns_per_op"]
+
+    # --- end-to-end: the Algorithm 1 profile searches, batch vs per-set -
+    # Lines 2, 4 and 8 back-to-back on fresh LO-safety-related sets (the
+    # regime where the line-4 pfh(LO) scan dominates).  Sets are generated
+    # inside the subject so the per-task-set memos start cold on every
+    # repetition for both variants; generation cost is common to both
+    # sides and only biases the ratio toward 1.
+    search_sets = 3 if quick else 8
+    search_spec = DualCriticalitySpec.from_names("B", "C")
+    search_backend = make_backend("edf-vd")
+
+    def profile_search() -> None:
+        for set_index in range(search_sets):
+            rng = np.random.default_rng([seed + 11, set_index])
+            taskset = generate_taskset(0.9, search_spec, rng, PAPER_CONFIG)
+            profiles = minimal_reexecution_profiles(taskset)
+            if profiles is None:
+                continue
+            minimal_adaptation_profile(
+                taskset, profiles.n_hi, profiles.n_lo, "kill",
+                FIG3_OPERATION_HOURS,
+            )
+            maximal_adaptation_profile(
+                taskset, profiles.n_hi, profiles.n_lo, search_backend
+            )
+
+    opt = _measure(_fresh(profile_search), budget)
+    with _per_set_reference():
+        ref = _measure(_fresh(profile_search), budget)
+    report["end_to_end"]["profile_search_batch"] = {
+        **opt, "sets": search_sets,
+    }
+    report["end_to_end"]["profile_search_per_set"] = {
+        **ref, "sets": search_sets,
+    }
+    report["speedups"]["profile_search_batch"] = (
+        ref["ns_per_op"] / opt["ns_per_op"]
+    )
 
     # --- end-to-end: the Fig. 1 sweep (optimized only; it is dominated
     # by the safety bounds, not the kernels, and serves as a regression
@@ -460,6 +570,77 @@ def write_report(report: dict, output_dir: str) -> str:
     path = os.path.join(output_dir, f"BENCH_{report['date']}.json")
     atomic_write_json(path, report)
     return path
+
+
+def _is_number(value: object) -> bool:
+    """Strictly numeric (``bool`` is an ``int`` but not a measurement)."""
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_report(report: object) -> list[str]:
+    """Offline validation of a bench artifact (``ftmc bench --check``).
+
+    Returns problem strings; empty means the report is well-formed and
+    every committed floor holds.  Every row of every section must carry a
+    numeric ``ns_per_op`` — malformed rows (truncated artifacts,
+    hand-edited baselines, schema drift) are reported individually
+    instead of raising ``KeyError`` or silently passing.  Floors are only
+    enforced for reports measured with the NumPy kernels active, matching
+    the live guard in :func:`run_benchmarks`.
+    """
+    if not isinstance(report, dict):
+        return ["report is not a JSON object"]
+    problems: list[str] = []
+    schema = report.get("schema")
+    if schema != SCHEMA:
+        problems.append(
+            f"unrecognised schema {schema!r} (expected {SCHEMA!r})"
+        )
+    for section in ("kernels", "end_to_end", "api", "plan"):
+        rows = report.get(section)
+        if rows is None:
+            continue
+        if not isinstance(rows, dict):
+            problems.append(f"section {section!r} is not an object")
+            continue
+        for name, entry in sorted(rows.items()):
+            if not isinstance(entry, dict) or not _is_number(
+                entry.get("ns_per_op")
+            ):
+                problems.append(
+                    f"{section}.{name}: missing or non-numeric ns_per_op"
+                )
+    speedups = report.get("speedups")
+    if not isinstance(speedups, dict):
+        problems.append("section 'speedups' is missing or not an object")
+        speedups = {}
+    if report.get("numpy"):
+        for name, floor in sorted(SPEEDUP_FLOORS.items()):
+            value = speedups.get(name)
+            if not _is_number(value):
+                problems.append(
+                    f"speedups.{name}: missing or non-numeric speedup"
+                )
+            elif value < floor:
+                problems.append(
+                    f"speedups.{name}: {value:.2f}x below floor {floor:g}x"
+                )
+        for section, floors in (("api", QPS_FLOORS), ("plan", PLAN_FLOORS)):
+            rows = report.get(section)
+            rows = rows if isinstance(rows, dict) else {}
+            for name, floor in sorted(floors.items()):
+                entry = rows.get(name)
+                qps = entry.get("qps") if isinstance(entry, dict) else None
+                if not _is_number(qps):
+                    problems.append(
+                        f"{section}.{name}: missing or non-numeric qps"
+                    )
+                elif qps < floor:
+                    problems.append(
+                        f"{section}.{name}: {qps:.0f} qps below floor "
+                        f"{floor:g} qps"
+                    )
+    return problems
 
 
 def render_report(report: dict) -> str:

@@ -157,6 +157,10 @@ class CampaignReport:
     reclaimed_leases: int = 0
     #: Leases found without a completed shard record on ``--resume``.
     stale_leases: int = 0
+    #: Final counters of the campaign's shared verdict cache (multi-worker
+    #: runs only; timing/topology-dependent, so reported here and never
+    #: written into the coverage or result bytes).
+    shared_cache: dict[str, int] | None = None
 
     @property
     def total(self) -> int:
@@ -247,6 +251,12 @@ class CampaignReport:
             lines.append(
                 f"resume: {self.stale_leases} stale lease(s) from the "
                 "previous run were re-executed"
+            )
+        if self.shared_cache is not None:
+            lines.append(
+                f"shared verdict cache: {self.shared_cache['hits']} hit(s), "
+                f"{self.shared_cache['stores']} store(s) across "
+                f"{self.shared_cache['slots']} slot(s)"
             )
         for outcome in self.retried:
             reasons = "; ".join(outcome.errors) or "checkpoint record lost"

@@ -68,6 +68,7 @@ import threading
 import time
 from typing import Any, Callable
 
+from repro.core import shared_cache
 from repro.io import atomic_write_json
 from repro.obs import clock
 from repro.obs import metrics as obs_metrics
@@ -853,6 +854,24 @@ def run_campaign(
             }
         )
 
+    # Multi-worker campaigns share one schedulability verdict table: the
+    # supervisor owns the segment, announces it through the environment
+    # (inherited by forked and spawned workers alike), and tears it down
+    # with the campaign.  Serial campaigns skip it entirely — their
+    # in-process memo already sees every verdict — and any failure to
+    # create the segment just runs the campaign uncached (fail-open, like
+    # the worker-side attachment).  Verdicts are deterministic functions
+    # of their keys, so the cache trades recomputation for wall-clock
+    # time without touching result or coverage bytes.
+    verdict_cache: shared_cache.SharedVerdictCache | None = None
+    previous_env = os.environ.get(shared_cache.ENV_VAR)
+    if jobs > 1:
+        try:
+            verdict_cache = shared_cache.SharedVerdictCache.create()
+            os.environ[shared_cache.ENV_VAR] = verdict_cache.name
+        except Exception:
+            verdict_cache = None
+
     # Install signal handlers (main thread only; tests may call us from
     # worker threads where signal.signal raises ValueError).
     previous_handlers: dict[int, Any] = {}
@@ -891,8 +910,16 @@ def run_campaign(
                     "unrecognised record(s) (written by a newer ftmc?)"
                 )
             supervisor.finalize(report)
+            if verdict_cache is not None:
+                report.shared_cache = verdict_cache.stats()
     finally:
         supervisor.shutdown_executors()
+        if verdict_cache is not None:
+            verdict_cache.destroy()
+        if previous_env is None:
+            os.environ.pop(shared_cache.ENV_VAR, None)
+        else:
+            os.environ[shared_cache.ENV_VAR] = previous_env
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
     return report

@@ -23,16 +23,24 @@ property tests.
 
 from __future__ import annotations
 
+import weakref
+
 from repro.model.faults import (
     AdaptationProfile,
     ReexecutionProfile,
     round_failure_probability,
 )
 from repro.model.task import HOUR_MS, TaskSet
+from repro.obs.trace import register_fork_reset
 from repro.safety.killing import survival_probability
 from repro.safety.pfh import max_rounds
 
-__all__ = ["omega", "pfh_lo_degradation", "pfh_lo_degradation_scenario"]
+__all__ = [
+    "omega",
+    "pfh_lo_degradation",
+    "pfh_lo_degradation_uniform",
+    "pfh_lo_degradation_scenario",
+]
 
 
 def omega(
@@ -90,6 +98,64 @@ def pfh_lo_degradation(
     return trigger * omega(taskset, reexecution, 1.0, horizon, assume_full_wcet) / (
         operation_hours
     )
+
+
+#: Memo for :func:`pfh_lo_degradation_uniform` — same role and lifecycle as
+#: ``killing._killing_series_memo`` (weak per-set entries, lazy
+#: per-candidate values, fork-cleared).
+_degradation_series_memo: "weakref.WeakKeyDictionary[TaskSet, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+register_fork_reset(_degradation_series_memo.clear)
+
+
+def pfh_lo_degradation_uniform(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    n_prime: int,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """``pfh(LO)`` of eq. (7) at uniform profiles ``(n_hi, n_lo, n')``.
+
+    The sweep-batch form of the line-4 search under degradation: the
+    undegraded rate ``omega(1, t)`` is candidate-independent, so it is
+    computed once per ``(task set, n_HI, n_LO, OS, wcet-flag)`` and shared
+    by every candidate; per candidate only the trigger probability
+    ``1 - R(N', t)`` remains, a single-horizon eq. (3) evaluation.  Equals
+    :func:`pfh_lo_degradation` at the same profiles bit-for-bit (the same
+    functions run in the same order).  Values are memoized lazily per
+    candidate.
+    """
+    if operation_hours <= 0:
+        raise ValueError(f"operation hours must be positive, got {operation_hours}")
+    if not 1 <= n_prime <= n_hi:
+        raise ValueError(
+            f"adaptation profile must lie in 1..{n_hi}, got {n_prime}"
+        )
+    memo = _degradation_series_memo.setdefault(taskset, {})
+    knobs = (n_hi, n_lo, operation_hours, assume_full_wcet)
+    entry = memo.get(knobs)
+    if entry is None:
+        reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+        AdaptationProfile.uniform(taskset, n_hi).validate_for(
+            taskset, reexecution
+        )
+        horizon = operation_hours * HOUR_MS
+        rate = omega(taskset, reexecution, 1.0, horizon, assume_full_wcet)
+        entry = memo[knobs] = (rate, {})
+    rate, values = entry
+    if n_prime in values:
+        return values[n_prime]
+    horizon = operation_hours * HOUR_MS
+    adaptation = AdaptationProfile.uniform(taskset, n_prime)
+    trigger = 1.0 - survival_probability(
+        taskset, adaptation, horizon, assume_full_wcet
+    )
+    value = trigger * rate / operation_hours
+    values[n_prime] = value
+    return value
 
 
 def pfh_lo_degradation_scenario(

@@ -30,12 +30,14 @@ near-one factors are accumulated in log space via ``log1p``.
 from __future__ import annotations
 
 import math
+import weakref
 from functools import lru_cache
 from typing import Iterable, Sequence
 
 import numpy as np
 
 from repro.analysis import kernels
+from repro.obs import metrics as obs_metrics
 from repro.obs.trace import register_fork_reset
 from repro.model.faults import (
     AdaptationProfile,
@@ -51,6 +53,7 @@ __all__ = [
     "kill_probability",
     "timing_points",
     "pfh_lo_killing",
+    "pfh_lo_killing_uniform",
 ]
 
 
@@ -181,6 +184,262 @@ def _timing_points_cached(
 # inherited trace session keeps children cold instead of pinning the
 # parent's arrays through copy-on-write references.
 register_fork_reset(_timing_points_cached.cache_clear)
+
+
+#: Memo for :func:`pfh_lo_killing_uniform`: Algorithm 1 evaluates eq. (5)
+#: for the line-4 candidates *and again* at the adopted profile once line 8
+#: settles — under uniform profiles those are all evaluations of one
+#: candidate family, so the gathered timing-point context is built once per
+#: ``(task set, n_HI, n_LO, OS, wcet-flag)`` and every candidate value is
+#: memoized as it is first demanded (lazily: a panel that only ever asks
+#: for the adopted profile pays for one candidate, not ``n_HI``).  Keyed
+#: weakly so retiring a generated set frees its entry; cleared on fork
+#: like every module-level memo (FTMCF rules).
+_killing_series_memo: "weakref.WeakKeyDictionary[TaskSet, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+register_fork_reset(_killing_series_memo.clear)
+
+
+class _KillingContext:
+    """Candidate-independent state of the eq. (5) family for one task set.
+
+    :meth:`value_at` evaluates one uniform candidate ``n'`` through a
+    breakpoint reformulation of eq. (5) whose cost is independent of the
+    number of LO timing points.  Each LO task's points (eq. 4) form an
+    arithmetic grid ``alpha_m = G - m*T_LO`` (plus the singleton ``t``),
+    and the survival probability ``s(alpha) = R(N', alpha)`` of eq. (3) is
+    a step function that only jumps where some HI task gains a round —
+    at the ``B = sum_h r_h(n', t)`` breakpoints ``beta = n'C_h + k*T_h``.
+    Writing the step function through its jumps,
+    ``s(alpha) = 1 + sum_{beta_j <= alpha} delta_j`` with
+    ``delta_j = s(beta_j) * (1 - 1/(1 - f_h^n'))``, the grid sum
+    telescopes to
+
+        ``sum_m s(alpha_m) = M + sum_j delta_j * c_j``,
+
+    where ``c_j = #{m : alpha_m >= beta_j}`` is a closed-form floor of
+    ``(G - beta_j)/T_LO`` — no per-point work at all.  The per-task bound
+    then assembles cancellation-free:
+
+        ``(M+1) * f_LO^n  -  (1 - f_LO^n) * (sum_j delta_j c_j + expm1(log s(t)))``
+
+    (the matrix path's ``sum(1 - s*rs)`` subtracts ~1e-11 quantities from
+    1.0 point by point; here every addend is small and same-signed).
+    Values agree with :func:`pfh_lo_killing` within the documented
+    float-tolerance contract — the floor epsilons on both paths absorb
+    the ~1e-11 quotient noise of the reassociated expressions, so verdict
+    flips require a true value within that noise of a decision boundary.
+    """
+
+    __slots__ = (
+        "lo_grid_starts", "lo_periods", "lo_counts", "lo_round_failures",
+        "lo_inv_periods", "lo_scaled_starts",
+        "hi_wcets", "hi_periods", "hi_failures", "hi_inv_periods",
+        "horizon", "operation_hours", "assume_full_wcet", "trivial",
+    )
+
+    def __init__(
+        self,
+        taskset: TaskSet,
+        n_hi: int,
+        n_lo: int,
+        operation_hours: float,
+        assume_full_wcet: bool,
+    ) -> None:
+        reexecution = ReexecutionProfile.uniform(taskset, n_hi, n_lo)
+        AdaptationProfile.uniform(taskset, n_hi).validate_for(
+            taskset, reexecution
+        )
+        self.operation_hours = operation_hours
+        self.assume_full_wcet = assume_full_wcet
+        self.horizon = operation_hours * HOUR_MS
+        starts: list[float] = []
+        periods: list[float] = []
+        counts: list[float] = []
+        failures: list[float] = []
+        for task in taskset.lo_tasks:
+            n = reexecution[task]
+            points = _timing_points_cached(
+                task, n, self.horizon, assume_full_wcet
+            )
+            if points.size == 0:
+                continue
+            setup = n * task.wcet if assume_full_wcet else 0.0
+            # alpha_m = (horizon - setup + D) - m*T for m = 1..M, all > 0,
+            # plus the singleton alpha = horizon (see timing_points).
+            starts.append(self.horizon - setup + task.deadline)
+            periods.append(task.period)
+            counts.append(float(points.size - 1))
+            failures.append(
+                round_failure_probability(task.failure_probability, n)
+            )
+        if not starts:
+            self.trivial = 0.0
+            return
+        self.lo_grid_starts = np.array(starts)
+        self.lo_periods = np.array(periods)
+        self.lo_counts = np.array(counts)
+        self.lo_round_failures = np.array(failures)
+        # (G - beta)/T is evaluated as G/T + eps - beta*(1/T): one multiply
+        # instead of a broadcast divide (~2x on the dominant pass), at the
+        # cost of reassociation noise well inside the epsilon the floor
+        # already carries.
+        self.lo_inv_periods = 1.0 / self.lo_periods
+        self.lo_scaled_starts = (
+            self.lo_grid_starts / self.lo_periods + 1e-9
+        )
+        hi_tasks = taskset.hi_tasks
+        if not hi_tasks:
+            # No HI task can ever trigger a kill: R = 1 at every point, so
+            # every point contributes exactly its plain round failure.
+            self.trivial = float(
+                np.sum((self.lo_counts + 1.0) * self.lo_round_failures)
+            ) / operation_hours
+            return
+        self.trivial = None
+        self.hi_wcets = np.fromiter(
+            (t.wcet for t in hi_tasks), float, len(hi_tasks)
+        )
+        self.hi_periods = np.fromiter(
+            (t.period for t in hi_tasks), float, len(hi_tasks)
+        )
+        self.hi_failures = np.fromiter(
+            (t.failure_probability for t in hi_tasks), float, len(hi_tasks)
+        )
+        self.hi_inv_periods = 1.0 / self.hi_periods
+
+    def value_at(self, n_prime: int) -> float:
+        if self.trivial is not None:
+            return self.trivial
+        n_hi_tasks = len(self.hi_wcets)
+        setups = (
+            n_prime * self.hi_wcets
+            if self.assume_full_wcet
+            else np.zeros(n_hi_tasks)
+        )
+        round_failures = [
+            round_failure_probability(float(f), n_prime)
+            for f in self.hi_failures
+        ]
+        log_successes = [math.log1p(-f) for f in round_failures]
+        # r_h(n', t): rounds of HI task h over the full mission — also the
+        # number of breakpoints of h inside (0, t].
+        tops = [
+            max(
+                int(
+                    math.floor(
+                        (self.horizon - float(setups[h]))
+                        / float(self.hi_periods[h])
+                        + 1e-9
+                    )
+                )
+                + 1,
+                0,
+            )
+            for h in range(n_hi_tasks)
+        ]
+        log_s_horizon = sum(
+            log_successes[h] * tops[h] for h in range(n_hi_tasks)
+        )
+        delta_parts: list[np.ndarray] = []
+        beta_parts: list[np.ndarray] = []
+        for h in range(n_hi_tasks):
+            if tops[h] == 0:
+                continue
+            ks = np.arange(float(tops[h]))
+            # The k-th breakpoint lifts r_h from k to k+1; the 1e-9 shift
+            # mirrors the epsilon inside the floor of eq. (1).
+            beta = (ks - 1e-9) * float(self.hi_periods[h]) + float(setups[h])
+            # log s just *above* beta: own task contributes k+1 rounds
+            # (exact, by construction); the other tasks are evaluated by
+            # the eq. (1) formula at generic (non-resonant) positions.
+            log_s = ks
+            log_s += 1.0
+            log_s *= log_successes[h]
+            for h2 in range(n_hi_tasks):
+                if h2 == h:
+                    continue
+                inv2 = float(self.hi_inv_periods[h2])
+                r2 = beta * inv2
+                r2 -= float(setups[h2]) * inv2 - 1e-9
+                np.floor(r2, out=r2)
+                r2 += 1.0
+                np.maximum(r2, 0.0, out=r2)
+                r2 *= log_successes[h2]
+                log_s += r2
+            # Jump size in s-space: s_above - s_below = s_above*(1 - 1/q).
+            jump = -round_failures[h] / (1.0 - round_failures[h])
+            delta = np.exp(log_s)
+            delta *= jump
+            delta_parts.append(delta)
+            beta_parts.append(beta)
+        per_task = (self.lo_counts + 1.0) * self.lo_round_failures
+        survivals = -math.expm1(log_s_horizon)
+        successes = 1.0 - self.lo_round_failures
+        if delta_parts:
+            deltas = np.concatenate(delta_parts)
+            betas = np.concatenate(beta_parts)
+            # c[l, j] = #{m in 1..M_l : G_l - m*T_l >= beta_j}, i.e.
+            # clip(floor(G_l/T_l + eps - beta_j/T_l), 0, M_l).
+            c = np.multiply.outer(self.lo_inv_periods, betas)
+            np.subtract(self.lo_scaled_starts[:, np.newaxis], c, out=c)
+            np.floor(c, out=c)
+            np.clip(c, 0.0, self.lo_counts[:, np.newaxis], out=c)
+            grid_kill = -(c @ deltas)
+        else:
+            grid_kill = np.zeros(len(self.lo_periods))
+        total = float(
+            np.sum(per_task + successes * (grid_kill + survivals))
+        )
+        return total / self.operation_hours
+
+
+def pfh_lo_killing_uniform(
+    taskset: TaskSet,
+    n_hi: int,
+    n_lo: int,
+    n_prime: int,
+    operation_hours: float,
+    assume_full_wcet: bool = True,
+) -> float:
+    """``pfh(LO)`` of eq. (5) at uniform profiles ``(n_hi, n_lo, n')``.
+
+    The sweep-batch form of the line-4 search: the timing points (eq. 4)
+    and their per-round successes do not depend on ``n'``, so they are
+    gathered once per ``(task set, n_HI, n_LO, OS, wcet-flag)`` and shared
+    by every candidate — including the re-evaluation at the adopted
+    profile after line 8, which becomes a memo hit.  Per candidate, the
+    survival probabilities ``R(N', α)`` (eq. 3) are evaluated through
+    per-HI-task geometric tables ``(1 - f^{n'})^r`` indexed by the round
+    counts instead of re-running the full rounds-matrix/exp pipeline of
+    :func:`survival_probability_at`.  Values agree with
+    :func:`pfh_lo_killing` within the documented float-reordering
+    tolerance (observed well under 1e-6 relative); the verdict-level
+    equivalence is pinned by the test suite.
+    """
+    if operation_hours <= 0:
+        raise ValueError(f"operation hours must be positive, got {operation_hours}")
+    if not 1 <= n_prime <= n_hi:
+        raise ValueError(
+            f"adaptation profile must lie in 1..{n_hi}, got {n_prime}"
+        )
+    memo = _killing_series_memo.setdefault(taskset, {})
+    knobs = (n_hi, n_lo, operation_hours, assume_full_wcet)
+    entry = memo.get(knobs)
+    if entry is None:
+        context = _KillingContext(
+            taskset, n_hi, n_lo, operation_hours, assume_full_wcet
+        )
+        entry = memo[knobs] = (context, {})
+    context, values = entry
+    if n_prime in values:
+        obs_metrics.inc("safety.killing_series.hits")
+        return values[n_prime]
+    obs_metrics.inc("safety.killing_series.misses")
+    value = context.value_at(n_prime)
+    values[n_prime] = value
+    return value
 
 
 def pfh_lo_killing(

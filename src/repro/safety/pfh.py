@@ -22,6 +22,7 @@ from __future__ import annotations
 import math
 from typing import Iterable
 
+from repro.analysis import kernels
 from repro.model.criticality import CriticalityRole
 from repro.model.faults import ReexecutionProfile, round_failure_probability
 from repro.model.task import HOUR_MS, Task, TaskSet
@@ -139,6 +140,30 @@ def minimal_uniform_reexecution(
     tasks = taskset.by_criticality(role)
     if not tasks:
         return 1
+    if kernels.batch_enabled():
+        # Sweep-batch tier: evaluate eq. (2) for every candidate n at once.
+        # rounds[n-1, i] and f_i^n form (max_n, tasks) matrices; the scalar
+        # loop below stays the oracle (the per-candidate sums commute only
+        # up to float reordering, within the documented tolerance).
+        np = kernels.np
+        wcets = np.fromiter((t.wcet for t in tasks), float, len(tasks))
+        periods = np.fromiter((t.period for t in tasks), float, len(tasks))
+        failures = np.fromiter(
+            (t.failure_probability for t in tasks), float, len(tasks)
+        )
+        ns = np.arange(1.0, max_n + 1.0)
+        setups = (
+            ns[:, None] * wcets[None, :]
+            if assume_full_wcet
+            else np.zeros((max_n, len(tasks)))
+        )
+        rounds = np.maximum(
+            np.floor((HOUR_MS - setups) / periods[None, :] + _FLOOR_EPS) + 1.0, 0.0
+        )
+        values = (rounds * (failures[None, :] ** ns[:, None])).sum(axis=1)
+        ok = (values < pfh_ceiling) if strict else (values <= pfh_ceiling)
+        hits = np.nonzero(ok)[0]
+        return int(hits[0]) + 1 if hits.size else None
     for n in range(1, max_n + 1):
         profile = ReexecutionProfile.constant(tasks, n)
         value = pfh_of_tasks(tasks, profile, HOUR_MS, assume_full_wcet)

@@ -1,0 +1,227 @@
+"""Oracle-equivalence tests for the sweep-batch (multi-set) kernels.
+
+The cross-task-set kernels (:func:`repro.analysis.kernels.dbf_batch_multi`,
+:func:`repro.analysis.kernels.pdc_schedulable_multi`) and the batch EDF
+wrappers built on them must return identical verdicts to the per-set
+paths they replace, for any mix of set sizes — ragged batches, empty
+sets, singleton batches, padding-boundary shapes.  The per-set kernels
+are the oracle for the batch tier; the scalar paths stay the oracle for
+both (``REPRO_NO_NUMPY`` parity).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import kernels
+from repro.analysis.edf import (
+    Workload,
+    edf_processor_demand_test,
+    edf_processor_demand_test_batch,
+    inflated_workload,
+    schedulable_without_adaptation,
+    schedulable_without_adaptation_batch,
+)
+from repro.gen.taskset import GeneratorConfig, generate_taskset
+from repro.model.criticality import DualCriticalitySpec
+from repro.model.faults import ReexecutionProfile
+
+pytestmark = pytest.mark.skipif(
+    not kernels.numpy_enabled(),
+    reason="NumPy kernels disabled (REPRO_NO_NUMPY or missing NumPy)",
+)
+
+_SPEC = DualCriticalitySpec.from_names("B", "C")
+_MANY_TASKS = GeneratorConfig(u_min=0.004, u_max=0.02, p_hi=0.5)
+_MAX_POINTS = 2_000_000
+
+
+def _triple(workload):
+    """Project a workload onto the (periods, deadlines, wcets) arrays."""
+    return kernels.workload_arrays([w for w in workload if w.wcet > 0])
+
+
+def _corpus_workload(seed, utilization, ratio, config=_MANY_TASKS):
+    gen = np.random.default_rng(seed)
+    taskset = generate_taskset(utilization, _SPEC, gen, config=config)
+    return [Workload(t.period, ratio * t.period, t.wcet) for t in taskset]
+
+
+def _ragged_batch():
+    """A deliberately ragged batch: empty, tiny, large, over-utilized."""
+    batch = [
+        [],                                    # vacuously schedulable
+        [Workload(100.0, 80.0, 10.0)],         # singleton
+        _corpus_workload(1, 0.85, 0.8),        # wide, schedulable regime
+        _corpus_workload(2, 0.99, 0.6),        # near the utilization edge
+        _corpus_workload(3, 0.5, 0.9),
+        [Workload(10.0, 8.0, 11.0)],           # over-utilized: reject
+    ]
+    # Paper-config sets have ~5 tasks; the corpus sets ~50 — the padded
+    # width is set by the largest, exercising the padding columns of
+    # every other row.
+    return batch
+
+
+class TestPdcScheduleableMulti:
+    def test_matches_per_set_kernel_on_ragged_batch(self):
+        batch = _ragged_batch()
+        triples = [_triple(w) for w in batch]
+        verdicts = kernels.pdc_schedulable_multi(triples, _MAX_POINTS)
+        expected = [
+            kernels.pdc_schedulable(*_triple(w), _MAX_POINTS) if w else True
+            for w in batch
+        ]
+        assert [bool(v) for v in verdicts] == expected
+
+    def test_empty_batch(self):
+        verdicts = kernels.pdc_schedulable_multi([], _MAX_POINTS)
+        assert list(verdicts) == []
+
+    def test_all_empty_sets(self):
+        triples = [_triple([]) for _ in range(3)]
+        assert list(kernels.pdc_schedulable_multi(triples, _MAX_POINTS)) == [
+            True,
+            True,
+            True,
+        ]
+
+    def test_singleton_batch_matches_per_set(self):
+        workload = _corpus_workload(7, 0.9, 0.7)
+        triple = _triple(workload)
+        [verdict] = kernels.pdc_schedulable_multi([triple], _MAX_POINTS)
+        assert bool(verdict) == kernels.pdc_schedulable(*triple, _MAX_POINTS)
+
+    def test_intractable_horizon_rejected_per_set(self):
+        # One set trips the point-count bail-out; its neighbours must be
+        # verdicted normally, not dragged into the rejection.
+        fine = _triple(_corpus_workload(11, 0.6, 0.8))
+        coarse = _triple([Workload(1e9, 0.5e9, 0.5e9),
+                          Workload(1.0, 0.5, 0.4)])
+        verdicts = kernels.pdc_schedulable_multi([fine, coarse], 1000)
+        expected = [
+            kernels.pdc_schedulable(*fine, 1000),
+            kernels.pdc_schedulable(*coarse, 1000),
+        ]
+        assert [bool(v) for v in verdicts] == expected
+
+
+class TestDbfBatchMulti:
+    def test_padding_columns_contribute_no_demand(self):
+        small = _triple([Workload(100.0, 80.0, 10.0)])
+        large = _triple(_corpus_workload(5, 0.85, 0.8))
+        width = max(small[0].size, large[0].size)
+        periods2d = np.ones((2, width))
+        deadlines2d = np.ones((2, width))
+        wcets2d = np.zeros((2, width))
+        for row, (periods, deadlines, wcets) in enumerate((small, large)):
+            periods2d[row, : periods.size] = periods
+            deadlines2d[row, : deadlines.size] = deadlines
+            wcets2d[row, : wcets.size] = wcets
+        instants = np.array([50.0, 80.0, 400.0, 50.0, 80.0, 400.0])
+        set_idx = np.array([0, 0, 0, 1, 1, 1])
+        demands = kernels.dbf_batch_multi(
+            periods2d, deadlines2d, wcets2d, instants, set_idx
+        )
+        for (periods, deadlines, wcets), rows in ((small, [0, 1, 2]),
+                                                  (large, [3, 4, 5])):
+            expected = kernels.dbf_batch(
+                periods, deadlines, wcets, instants[rows]
+            )
+            assert demands[rows] == pytest.approx(expected, rel=1e-12)
+
+
+class TestEdfBatchWrappers:
+    def test_batch_pdc_matches_per_set(self):
+        batch = _ragged_batch()
+        assert edf_processor_demand_test_batch(batch) == [
+            edf_processor_demand_test(w) for w in batch
+        ]
+
+    def test_batch_pdc_under_no_batch_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.NO_BATCH_ENV, "1")
+        batch = _ragged_batch()
+        assert edf_processor_demand_test_batch(batch) == [
+            edf_processor_demand_test(w) for w in batch
+        ]
+
+    def test_batch_pdc_scalar_parity(self, monkeypatch):
+        batch = [_corpus_workload(s, 0.8, 0.8) for s in range(3)]
+        with_numpy = edf_processor_demand_test_batch(batch)
+        monkeypatch.setenv(kernels.NO_NUMPY_ENV, "1")
+        assert edf_processor_demand_test_batch(batch) == with_numpy
+
+    def test_baseline_batch_matches_per_set(self):
+        specs = []
+        for seed, utilization in ((1, 0.5), (2, 0.8), (3, 1.1)):
+            gen = np.random.default_rng(seed)
+            taskset = generate_taskset(utilization, _SPEC, gen)
+            profiles = ReexecutionProfile.uniform(taskset, 2, 1)
+            specs.append((taskset, profiles))
+        tasksets = [ts for ts, _ in specs]
+        reexecutions = [re for _, re in specs]
+        batch = schedulable_without_adaptation_batch(tasksets, reexecutions)
+        assert batch == [
+            schedulable_without_adaptation(ts, re) for ts, re in specs
+        ]
+
+    def test_baseline_batch_keeps_utilization_dispatch(self):
+        # Implicit-deadline sets must keep the cheap utilization verdict
+        # (bit-identical dispatch to edf_schedulable), even mid-batch.
+        gen = np.random.default_rng(4)
+        implicit = generate_taskset(0.6, _SPEC, gen)
+        assert all(
+            math.isclose(w.deadline, w.period)
+            for w in inflated_workload(
+                implicit, ReexecutionProfile.uniform(implicit, 1, 1)
+            )
+        )
+        batch = schedulable_without_adaptation_batch(
+            [implicit], [ReexecutionProfile.uniform(implicit, 1, 1)]
+        )
+        assert batch == [
+            schedulable_without_adaptation(
+                implicit, ReexecutionProfile.uniform(implicit, 1, 1)
+            )
+        ]
+
+
+# -- property-based: batch == per-set for arbitrary ragged batches -------------
+
+_workload_strategy = st.lists(
+    st.builds(
+        Workload,
+        period=st.floats(1.0, 1000.0, allow_nan=False),
+        deadline=st.floats(0.5, 1000.0, allow_nan=False),
+        wcet=st.floats(0.0, 50.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=8,
+)
+
+
+class TestBatchProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(_workload_strategy, min_size=0, max_size=6))
+    def test_pdc_batch_equals_per_set(self, batch):
+        assert edf_processor_demand_test_batch(batch) == [
+            edf_processor_demand_test(w) for w in batch
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(_workload_strategy, min_size=1, max_size=4))
+    def test_pdc_batch_scalar_parity(self, batch):
+        with_batch = edf_processor_demand_test_batch(batch)
+        previous = kernels.os.environ.get(kernels.NO_NUMPY_ENV)
+        kernels.os.environ[kernels.NO_NUMPY_ENV] = "1"
+        try:
+            scalar = edf_processor_demand_test_batch(batch)
+        finally:
+            if previous is None:
+                del kernels.os.environ[kernels.NO_NUMPY_ENV]
+            else:
+                kernels.os.environ[kernels.NO_NUMPY_ENV] = previous
+        assert with_batch == scalar

@@ -71,7 +71,7 @@ class TestRoutes:
         assert status == 200
         cache = body["schedulability_cache"]
         assert set(cache) == {"entries", "limit", "hits", "misses",
-                              "evictions"}
+                              "evictions", "shared_hits"}
         assert cache["entries"] >= 1
 
     def test_unknown_routes_are_404(self, server):

@@ -149,6 +149,73 @@ class TestMain:
         assert main(["bench", "--quick"]) == 1
         assert "perf guard: FAIL" in capsys.readouterr().out
 
+    @staticmethod
+    def _minimal_report() -> dict:
+        """A well-formed scalar-tier report (floors legitimately skipped)."""
+        return {
+            "schema": "ftmc-bench/1", "date": "2026-01-01", "quick": True,
+            "seed": 0, "numpy": False, "budget_ms_per_subject": 1.0,
+            "kernels": {"pdc": {"ns_per_op": 10.0, "ops": 3, "total_ms": 0.1}},
+            "end_to_end": {
+                "fig3_sweep": {"ns_per_op": 99.0, "ops": 1, "total_ms": 0.1},
+            },
+            "speedups": {},
+            "cache": {"entries": 0, "hits": 0, "misses": 0},
+            "guard": {"passed": None, "failures": {}},
+        }
+
+    def test_bench_check_accepts_valid_report(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(self._minimal_report()))
+        assert main(["bench", "--check", str(path)]) == 0
+        assert "all floors hold" in capsys.readouterr().out
+
+    def test_bench_check_exits_1_on_malformed_rows(self, tmp_path, capsys):
+        """Regression: a malformed baseline row must fail the check with
+        exit 1 and a named problem — not a KeyError, not a silent pass."""
+        import json
+
+        report = self._minimal_report()
+        del report["end_to_end"]["fig3_sweep"]["ns_per_op"]
+        report["kernels"]["pdc"] = "not-a-row"
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(report))
+        assert main(["bench", "--check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "end_to_end.fig3_sweep" in err
+        assert "kernels.pdc" in err
+
+    def test_bench_check_exits_1_on_floor_regression(self, tmp_path, capsys):
+        import json
+
+        from repro.perf import SPEEDUP_FLOORS
+
+        report = self._minimal_report()
+        report["numpy"] = True
+        report["speedups"] = {name: floor + 1.0
+                              for name, floor in SPEEDUP_FLOORS.items()}
+        report["speedups"]["fig3_sweep"] = 0.5
+        # api/plan sections absent: their qps floors must be reported as
+        # missing rather than crashing the validator.
+        path = tmp_path / "BENCH.json"
+        path.write_text(json.dumps(report))
+        assert main(["bench", "--check", str(path)]) == 1
+        err = capsys.readouterr().err
+        assert "fig3_sweep" in err and "below floor" in err
+
+    def test_bench_check_requires_a_path(self, capsys):
+        assert main(["bench", "--check"]) == 2
+        assert "BENCH.json" in capsys.readouterr().err
+
+    def test_bench_check_rejects_unreadable_or_invalid(self, tmp_path, capsys):
+        assert main(["bench", "--check", str(tmp_path / "missing.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text("{torn")
+        assert main(["bench", "--check", str(bad)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
     def test_backends_command(self, capsys):
         assert main(["backends", "--sets", "5"]) == 0
         out = capsys.readouterr().out

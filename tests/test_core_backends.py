@@ -202,3 +202,76 @@ class TestSchedulabilityCache:
         monkeypatch.delenv(kernels.NO_NUMPY_ENV)
         assert backend.is_schedulable_cached(mc) == verdict
         assert schedulability_cache_info()["misses"] == misses_after_first + 1
+
+
+class TestSchedulableUniformSeries:
+    """The analytic candidate-series path vs the conversion-based scan."""
+
+    def _series_backends(self):
+        return [EDFVDBackend(), EDFVDDegradationBackend(6.0)]
+
+    def test_bit_identical_to_cached_scan(self, fms):
+        for backend in self._series_backends():
+            clear_schedulability_cache()
+            series = backend.schedulable_uniform_series(
+                fms, 3, 2, range(3, 0, -1)
+            )
+            assert series is not None
+            clear_schedulability_cache()
+            expected = [
+                backend.is_schedulable_cached(convert_uniform(fms, 3, 2, n))
+                for n in range(3, 0, -1)
+            ]
+            assert series == expected
+
+    def test_series_populates_the_converted_set_keys(self, fms):
+        backend = EDFVDBackend()
+        clear_schedulability_cache()
+        backend.schedulable_uniform_series(fms, 3, 2, range(3, 0, -1))
+        hits_before = schedulability_cache_info()["hits"]
+        backend.is_schedulable_cached(convert_uniform(fms, 3, 2, 2))
+        assert schedulability_cache_info()["hits"] == hits_before + 1, (
+            "the generic path missed a verdict the series path computed"
+        )
+
+    def test_generic_backends_decline_the_fast_path(self, fms):
+        assert (
+            AMCBackend().schedulable_uniform_series(fms, 3, 2, [1]) is None
+        )
+
+
+class TestBaselineSchedulableSeries:
+    def test_matches_per_set_baseline(self):
+        import numpy as np
+
+        from repro.analysis.edf import schedulable_without_adaptation
+        from repro.core.backends import baseline_schedulable_series
+        from repro.gen.taskset import generate_taskset
+        from repro.model.criticality import DualCriticalitySpec
+        from repro.model.faults import ReexecutionProfile
+
+        spec = DualCriticalitySpec.from_names("B", "C")
+        tasksets, reexecutions = [], []
+        for seed, utilization in enumerate((0.5, 0.85, 1.1)):
+            rng = np.random.default_rng([59, seed])
+            taskset = generate_taskset(utilization, spec, rng)
+            tasksets.append(taskset)
+            reexecutions.append(ReexecutionProfile.uniform(taskset, 2, 1))
+        clear_schedulability_cache()
+        batch = baseline_schedulable_series(tasksets, reexecutions)
+        assert batch == [
+            schedulable_without_adaptation(ts, re)
+            for ts, re in zip(tasksets, reexecutions)
+        ]
+
+    def test_second_sweep_is_served_from_cache(self, fms):
+        from repro.core.backends import baseline_schedulable_series
+        from repro.model.faults import ReexecutionProfile
+
+        reexecution = ReexecutionProfile.uniform(fms, 3, 2)
+        clear_schedulability_cache()
+        first = baseline_schedulable_series([fms], [reexecution])
+        hits_before = schedulability_cache_info()["hits"]
+        second = baseline_schedulable_series([fms], [reexecution])
+        assert second == first
+        assert schedulability_cache_info()["hits"] == hits_before + 1

@@ -167,3 +167,137 @@ class TestMinimalReexecutionMemo:
         del clone
         gc.collect()
         assert ref() is None
+
+
+class TestMemoForkReset:
+    """Regression: every profile-search memo must reset in forked workers.
+
+    ``_reexecution_memo`` (and the candidate-series memos it feeds) was
+    originally not registered with ``register_fork_reset``, so forked
+    campaign workers kept the parent's memo pages alive through
+    copy-on-write references — against the FTMCF fork-safety rules.
+    """
+
+    def test_reexecution_memo_cleared_on_fork_reset(self, fms):
+        from repro.core.profiles import _reexecution_memo
+        from repro.obs.trace import reset_inherited_session
+
+        expected = minimal_reexecution_profiles(fms)
+        assert fms in _reexecution_memo
+        reset_inherited_session()  # what a forked worker runs first
+        assert fms not in _reexecution_memo
+        # Cold recomputation after the reset still agrees.
+        fresh = minimal_reexecution_profiles(fms)
+        assert (fresh.n_hi, fresh.n_lo) == (expected.n_hi, expected.n_lo)
+
+    def test_safety_series_memos_cleared_on_fork_reset(self, fms):
+        from repro.analysis import kernels
+        from repro.obs.trace import reset_inherited_session
+        from repro.safety.degradation import _degradation_series_memo
+        from repro.safety.killing import _killing_series_memo
+
+        if not kernels.batch_enabled():
+            pytest.skip("series memos are only populated on the batch tier")
+        minimal_adaptation_profile(fms, 3, 2, "kill", 10.0)
+        minimal_adaptation_profile(fms, 3, 2, "degrade", 10.0)
+        assert fms in _killing_series_memo
+        assert fms in _degradation_series_memo
+        reset_inherited_session()
+        assert fms not in _killing_series_memo
+        assert fms not in _degradation_series_memo
+
+
+class TestMemoSpecKeying:
+    """Regression: the memo must key on the *bound* spec, not just args.
+
+    ``TaskSet.spec`` is a plain attribute; rebinding a different
+    :class:`DualCriticalitySpec` to the same object used to serve the
+    previous spec's profile out of the memo.
+    """
+
+    def test_rebinding_spec_invalidates_memo(self, example31):
+        relaxed = minimal_reexecution_profiles(example31)
+        assert relaxed is not None and relaxed.n_lo == 1  # LO=D: no PFH req
+        example31.spec = DualCriticalitySpec.from_names("B", "C")
+        strict = minimal_reexecution_profiles(example31)
+        assert strict is not None
+        assert strict.n_lo >= 2  # level C forces LO re-execution
+
+    def test_original_spec_result_restored_on_rebind_back(self, example31):
+        original_spec = example31.spec
+        first = minimal_reexecution_profiles(example31)
+        example31.spec = DualCriticalitySpec.from_names("B", "C")
+        minimal_reexecution_profiles(example31)
+        example31.spec = original_spec
+        again = minimal_reexecution_profiles(example31)
+        assert again is first  # memo entry for the original spec survives
+
+
+class TestBatchTierEquivalence:
+    """The sweep-batch profile searches must agree with the per-set path."""
+
+    def _profile_rows(self, taskset):
+        profiles = minimal_reexecution_profiles(taskset)
+        if profiles is None:
+            return None
+        n1_kill = minimal_adaptation_profile(
+            taskset, profiles.n_hi, profiles.n_lo, "kill", 10.0
+        )
+        n1_degrade = minimal_adaptation_profile(
+            taskset, profiles.n_hi, profiles.n_lo, "degrade", 10.0
+        )
+        n2 = maximal_adaptation_profile(
+            taskset, profiles.n_hi, profiles.n_lo, EDFVDBackend()
+        )
+        return (profiles.n_hi, profiles.n_lo, n1_kill, n1_degrade, n2)
+
+    def _corpus(self):
+        import numpy as np
+
+        from repro.gen.taskset import generate_taskset
+
+        sets = []
+        for seed, (utilization, lo) in enumerate(
+            [(0.6, "C"), (0.85, "C"), (0.85, "D"), (1.0, "C")]
+        ):
+            rng = np.random.default_rng([97, seed])
+            sets.append(
+                generate_taskset(
+                    utilization,
+                    DualCriticalitySpec.from_names("B", lo),
+                    rng,
+                )
+            )
+        return sets
+
+    def test_batch_and_per_set_profiles_agree(self, monkeypatch, fms):
+        from repro.analysis import kernels
+        from repro.core.backends import clear_schedulability_cache
+
+        if not kernels.numpy_enabled():
+            pytest.skip("NumPy kernels disabled")
+        corpus = [fms] + self._corpus()
+        clear_schedulability_cache()
+        batch = [self._profile_rows(ts) for ts in corpus]
+        monkeypatch.setenv(kernels.NO_BATCH_ENV, "1")
+        clear_schedulability_cache()
+        per_set = [self._profile_rows(ts) for ts in corpus]
+        assert batch == per_set
+
+    def test_monotone_precheck_matches_full_scan(self, example31_lo_c):
+        """Line 4's n_HI-first bail-out must never change the verdict."""
+        from repro.analysis import kernels
+
+        if not kernels.batch_enabled():
+            pytest.skip("pre-check only runs on the batch tier")
+        # example31_lo_c: killing is unsafe at every n' (FAILURE), the
+        # exact case the pre-check answers with one evaluation.
+        assert (
+            minimal_adaptation_profile(example31_lo_c, 3, 3, "kill", 10.0)
+            is None
+        )
+        # And a scan that succeeds is unaffected by it.
+        assert (
+            minimal_adaptation_profile(example31_lo_c, 3, 3, "degrade", 10.0)
+            == 1
+        )

@@ -133,3 +133,98 @@ class TestPlanSection:
     def test_render_mentions_plan_throughput(self, quick_report):
         text = render_report(quick_report)
         assert "plan_portfolio" in text
+
+
+class TestSweepBatchSections:
+    def test_sweep_pairs_present(self, quick_report):
+        e2e = quick_report["end_to_end"]
+        for name in (
+            "fig3_sweep",
+            "fig3_sweep_per_set",
+            "profile_search_batch",
+            "profile_search_per_set",
+        ):
+            assert name in e2e
+            assert e2e[name]["ns_per_op"] > 0
+
+    def test_sweep_speedups_floor_guarded(self, quick_report):
+        assert "fig3_sweep" in SPEEDUP_FLOORS
+        assert SPEEDUP_FLOORS["fig3_sweep"] >= 3.0
+        assert "profile_search_batch" in SPEEDUP_FLOORS
+        for name in ("fig3_sweep", "profile_search_batch"):
+            assert quick_report["speedups"][name] > 0
+
+    def test_per_set_reference_toggles_only_batch(self):
+        from repro.analysis import kernels
+        from repro.perf.bench import _per_set_reference
+
+        if not kernels.numpy_enabled():
+            pytest.skip("NumPy kernels disabled")
+        assert kernels.batch_enabled()
+        with _per_set_reference():
+            assert not kernels.batch_enabled()
+            assert kernels.numpy_enabled()  # per-set kernels stay on
+            assert kernels.kernel_tier() == "numpy"
+        assert kernels.batch_enabled()
+
+
+class TestCheckReport:
+    def test_real_report_is_clean(self, quick_report):
+        from repro.perf import check_report
+
+        assert check_report(quick_report) == []
+
+    def test_rejects_non_object(self):
+        from repro.perf import check_report
+
+        assert check_report([1, 2]) == ["report is not a JSON object"]
+
+    def test_flags_unknown_schema(self, quick_report):
+        from repro.perf import check_report
+
+        bad = dict(quick_report, schema="ftmc-bench/99")
+        assert any("schema" in p for p in check_report(bad))
+
+    def test_flags_malformed_rows_instead_of_raising(self, quick_report):
+        from repro.perf import check_report
+
+        bad = json.loads(json.dumps(quick_report))
+        bad["kernels"]["pdc"] = 42                       # row not an object
+        del bad["end_to_end"]["fig3_sweep"]["ns_per_op"]  # row missing field
+        bad["end_to_end"]["fig1_sweep"]["ns_per_op"] = "fast"  # non-numeric
+        problems = check_report(bad)
+        assert any("kernels.pdc" in p for p in problems)
+        assert any("end_to_end.fig3_sweep" in p for p in problems)
+        assert any("end_to_end.fig1_sweep" in p for p in problems)
+
+    def test_boolean_is_not_a_measurement(self, quick_report):
+        from repro.perf import check_report
+
+        bad = json.loads(json.dumps(quick_report))
+        bad["kernels"]["qpa"]["ns_per_op"] = True
+        assert any("kernels.qpa" in p for p in check_report(bad))
+
+    def test_flags_floor_regressions(self, quick_report):
+        from repro.perf import check_report
+
+        if not quick_report["numpy"]:
+            pytest.skip("floors only enforced with NumPy active")
+        bad = json.loads(json.dumps(quick_report))
+        bad["speedups"]["fig3_sweep"] = 0.5
+        problems = check_report(bad)
+        assert any("below floor" in p and "fig3_sweep" in p for p in problems)
+
+    def test_flags_missing_speedups_section(self, quick_report):
+        from repro.perf import check_report
+
+        bad = json.loads(json.dumps(quick_report))
+        del bad["speedups"]
+        assert any("speedups" in p for p in check_report(bad))
+
+    def test_scalar_report_skips_floors(self, quick_report):
+        from repro.perf import check_report
+
+        scalar = json.loads(json.dumps(quick_report))
+        scalar["numpy"] = False
+        scalar["speedups"] = {}  # no floors to hold without the kernels
+        assert check_report(scalar) == []

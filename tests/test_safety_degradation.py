@@ -159,3 +159,41 @@ class TestScenarioBound:
             pfh_lo_degradation_scenario(
                 example31, reexecution, adaptation, 6.0, 2 * HOUR_MS, 1.0
             )
+
+
+class TestUniformSeriesEvaluator:
+    """The candidate-series evaluator must be bit-identical to eq. (7)."""
+
+    def test_bit_identical_to_direct_path(self, fms):
+        from repro.safety.degradation import pfh_lo_degradation_uniform
+
+        for n_prime in (1, 2, 3):
+            fast = pfh_lo_degradation_uniform(fms, 3, 2, n_prime, 10.0)
+            slow = pfh_lo_degradation(
+                fms,
+                ReexecutionProfile.uniform(fms, 3, 2),
+                AdaptationProfile.uniform(fms, n_prime),
+                10.0,
+            )
+            assert fast == slow  # same float ops in the same order
+
+    def test_bit_identical_on_generated_corpus(self):
+        import numpy as np
+
+        from repro.gen.taskset import generate_taskset
+        from repro.model.criticality import DualCriticalitySpec
+        from repro.safety.degradation import pfh_lo_degradation_uniform
+
+        spec = DualCriticalitySpec.from_names("B", "C")
+        for seed in range(4):
+            rng = np.random.default_rng([43, seed])
+            taskset = generate_taskset(0.9, spec, rng)
+            for n_prime in (1, 3):
+                fast = pfh_lo_degradation_uniform(taskset, 3, 2, n_prime, 10.0)
+                slow = pfh_lo_degradation(
+                    taskset,
+                    ReexecutionProfile.uniform(taskset, 3, 2),
+                    AdaptationProfile.uniform(taskset, n_prime),
+                    10.0,
+                )
+                assert fast == slow

@@ -250,3 +250,71 @@ class TestPfhLoKilling:
             example31, reexecution, adaptation, 1.0, assume_full_wcet=False
         )
         assert without >= with_setup
+
+
+class TestUniformSeriesEvaluator:
+    """The breakpoint evaluator vs the rounds-matrix oracle (eq. 5)."""
+
+    def _oracle(self, taskset, n_hi, n_lo, n_prime, hours, full_wcet=True):
+        return pfh_lo_killing(
+            taskset,
+            ReexecutionProfile.uniform(taskset, n_hi, n_lo),
+            AdaptationProfile.uniform(taskset, n_prime),
+            hours,
+            assume_full_wcet=full_wcet,
+        )
+
+    def test_matches_matrix_path_on_example31(self, example31):
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        for n_prime in (1, 2, 3):
+            fast = pfh_lo_killing_uniform(example31, 3, 2, n_prime, 10.0)
+            slow = self._oracle(example31, 3, 2, n_prime, 10.0)
+            assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_matches_matrix_path_on_fms(self, fms):
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        for n_prime in (1, 2, 3):
+            for hours in (1.0, 10.0):
+                fast = pfh_lo_killing_uniform(fms, 3, 2, n_prime, hours)
+                slow = self._oracle(fms, 3, 2, n_prime, hours)
+                assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_matches_on_generated_corpus(self):
+        from repro.gen.taskset import generate_taskset
+        from repro.model.criticality import DualCriticalitySpec
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        spec = DualCriticalitySpec.from_names("B", "C")
+        for seed in range(6):
+            rng = np.random.default_rng([41, seed])
+            taskset = generate_taskset(0.85, spec, rng)
+            for n_prime in (1, 2, 4):
+                fast = pfh_lo_killing_uniform(taskset, 4, 2, n_prime, 10.0)
+                slow = self._oracle(taskset, 4, 2, n_prime, 10.0)
+                assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_footnote1_variant_matches(self, fms):
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        fast = pfh_lo_killing_uniform(
+            fms, 3, 2, 2, 10.0, assume_full_wcet=False
+        )
+        slow = self._oracle(fms, 3, 2, 2, 10.0, full_wcet=False)
+        assert fast == pytest.approx(slow, rel=1e-6)
+
+    def test_memoized_across_candidates(self, fms):
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        first = pfh_lo_killing_uniform(fms, 3, 2, 2, 10.0)
+        second = pfh_lo_killing_uniform(fms, 3, 2, 2, 10.0)
+        assert second == first
+
+    def test_validates_arguments(self, fms):
+        from repro.safety.killing import pfh_lo_killing_uniform
+
+        with pytest.raises(ValueError, match="operation hours"):
+            pfh_lo_killing_uniform(fms, 3, 2, 2, 0.0)
+        with pytest.raises(ValueError, match="1..3"):
+            pfh_lo_killing_uniform(fms, 3, 2, 4, 10.0)

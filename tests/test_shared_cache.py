@@ -1,0 +1,186 @@
+"""Tests for the cross-process shared verdict cache and its campaign wiring.
+
+Unit level: probe/publish round trips, torn-write-as-miss, counter
+semantics, fail-open attachment, fork reset.  Campaign level: a
+``--jobs 4`` fig3 campaign must produce byte-identical results to the
+serial run while actually sharing verdicts (hit counter > 0), and a
+serial campaign must not create a segment at all.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core import shared_cache
+from repro.core.shared_cache import SharedVerdictCache
+from repro.runner import RetryPolicy, run_campaign
+
+pytestmark = pytest.mark.skipif(
+    shared_cache.shared_memory is None,
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+FAST_RETRY = RetryPolicy(max_retries=0, base_delay=0.0)
+
+
+@pytest.fixture
+def cache():
+    cache = SharedVerdictCache.create(nslots=64)
+    try:
+        yield cache
+    finally:
+        cache.destroy()
+
+
+@pytest.fixture
+def detached(monkeypatch):
+    """Isolate the module-level attachment from the surrounding process."""
+    monkeypatch.delenv(shared_cache.ENV_VAR, raising=False)
+    shared_cache._reset_attachment()
+    yield
+    shared_cache._reset_attachment()
+
+
+class TestSharedVerdictCache:
+    def test_round_trip_both_verdicts(self, cache):
+        cache.publish(b"set-a", True)
+        cache.publish(b"set-b", False)
+        assert cache.probe(b"set-a") is True
+        assert cache.probe(b"set-b") is False
+
+    def test_unknown_key_misses(self, cache):
+        assert cache.probe(b"never-published") is None
+
+    def test_counters_monotone(self, cache):
+        assert cache.stats() == {"slots": 64, "hits": 0, "stores": 0}
+        cache.publish(b"k", True)
+        cache.probe(b"k")
+        cache.probe(b"k")
+        cache.probe(b"other")  # miss: not counted as a hit
+        assert cache.stats() == {"slots": 64, "hits": 2, "stores": 1}
+
+    def test_torn_write_reads_as_miss(self, cache):
+        cache.publish(b"torn", True)
+        offset = cache._slot_offset(b"torn")
+        # Corrupt one byte of the stored fingerprint — a torn/partial
+        # write must never be misread as a verdict.
+        cache._shm.buf[offset] = cache._shm.buf[offset] ^ 0xFF
+        assert cache.probe(b"torn") is None
+
+    def test_colliding_keys_evict_not_corrupt(self, cache):
+        # With 64 slots, 200 keys guarantee collisions; whatever survives
+        # must still verdict correctly for the key that owns the slot.
+        for index in range(200):
+            cache.publish(b"key-%d" % index, index % 2 == 0)
+        for index in range(200):
+            verdict = cache.probe(b"key-%d" % index)
+            assert verdict in (None, index % 2 == 0)
+
+    def test_attach_sees_creator_state(self, cache):
+        cache.publish(b"shared", True)
+        attachment = SharedVerdictCache.attach(cache.name)
+        try:
+            assert attachment.probe(b"shared") is True
+            attachment.publish(b"from-attachment", False)
+            assert cache.probe(b"from-attachment") is False
+        finally:
+            attachment.close()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory as shm_module
+
+        foreign = shm_module.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(ValueError, match="verdict cache"):
+                SharedVerdictCache.attach(foreign.name)
+        finally:
+            foreign.close()
+            foreign.unlink()
+
+
+class TestModuleAttachment:
+    def test_no_env_means_no_cache(self, detached):
+        assert shared_cache.active_cache() is None
+        assert shared_cache.probe(b"x") is None
+        assert shared_cache.stats() is None
+        shared_cache.publish(b"x", True)  # must not raise
+
+    def test_bogus_name_fails_open(self, detached, monkeypatch):
+        monkeypatch.setenv(shared_cache.ENV_VAR, "ftmc-no-such-segment")
+        shared_cache._reset_attachment()
+        assert shared_cache.active_cache() is None
+        assert shared_cache.probe(b"x") is None
+
+    def test_env_announced_cache_is_used(self, detached, monkeypatch, cache):
+        monkeypatch.setenv(shared_cache.ENV_VAR, cache.name)
+        shared_cache._reset_attachment()
+        shared_cache.publish(b"via-module", True)
+        assert shared_cache.probe(b"via-module") is True
+        assert cache.stats()["stores"] == 1
+
+    def test_fork_reset_reattaches(self, detached, monkeypatch, cache):
+        from repro.obs.trace import reset_inherited_session
+
+        monkeypatch.setenv(shared_cache.ENV_VAR, cache.name)
+        shared_cache._reset_attachment()
+        assert shared_cache.active_cache() is not None
+        first = shared_cache.active_cache()
+        reset_inherited_session()  # what a forked worker runs first
+        second = shared_cache.active_cache()
+        assert second is not None
+        assert second is not first  # fresh attachment, same segment
+        second.publish(b"after-fork", False)
+        assert cache.probe(b"after-fork") is False
+
+
+def _result_bytes(out_dir):
+    payload = {}
+    for name in sorted(os.listdir(out_dir)):
+        if name.endswith(".json") and "coverage" not in name:
+            with open(os.path.join(out_dir, name), "rb") as handle:
+                payload[name] = handle.read()
+    return payload
+
+
+class TestCampaignSharing:
+    # Two panels sharing one LO level: fig3 generates identical sets for
+    # both (the panel is deliberately not part of the generator seed), so
+    # the second panel's baseline verdicts are structural cache hits.
+    OPTIONS = {
+        "panels": ["a", "c"],
+        "failure_probabilities": [1e-3],
+        "utilizations": [0.7, 0.9],
+        "sets_per_point": 6,
+        "seed": 0,
+    }
+
+    def _run(self, tmp_path, subdir, jobs):
+        return run_campaign(
+            "fig3",
+            options=dict(self.OPTIONS),
+            output_dir=str(tmp_path / subdir),
+            jobs=jobs,
+            retry=FAST_RETRY,
+            timeout=120.0,
+        )
+
+    def test_parallel_bytes_equal_serial_and_cache_hits(self, tmp_path):
+        serial = self._run(tmp_path, "serial", jobs=1)
+        parallel = self._run(tmp_path, "parallel", jobs=4)
+        assert serial.exit_code == 0
+        assert parallel.exit_code == 0
+        assert serial.shared_cache is None  # serial: no segment at all
+        assert parallel.shared_cache is not None
+        assert parallel.shared_cache["hits"] > 0
+        assert parallel.shared_cache["stores"] > 0
+        assert _result_bytes(tmp_path / "serial") == _result_bytes(
+            tmp_path / "parallel"
+        )
+
+    def test_segment_destroyed_after_campaign(self, tmp_path):
+        report = self._run(tmp_path, "cleanup", jobs=2)
+        assert report.shared_cache is not None
+        assert os.environ.get(shared_cache.ENV_VAR) is None
+        # The render line surfaces the counters to the operator.
+        assert "shared verdict cache" in report.render()
